@@ -1,0 +1,20 @@
+//! # dcs-apps — the paper's benchmark applications
+//!
+//! * [`pfor`] — PFor and RecPFor synthetic benchmarks (§IV-C, Fig. 5/6,
+//!   Table II, Fig. 7),
+//! * [`uts`] — Unbalanced Tree Search with SHA-1 tree generation (§V-C,
+//!   Fig. 8/9), fork-join parallelization,
+//! * [`lcs`] — longest common subsequence via recursive decomposition and
+//!   multi-consumer futures (§V-D, Fig. 10–12, Table III),
+//! * [`sha1`] — the SHA-1 substrate UTS relies on,
+//! * [`nqueens`] — irregular backtracking search (extra workload),
+//! * [`msort`] — parallel mergesort whose data flows through task values
+//!   (extra workload).
+
+pub mod lcs;
+pub mod matmul;
+pub mod msort;
+pub mod nqueens;
+pub mod pfor;
+pub mod sha1;
+pub mod uts;

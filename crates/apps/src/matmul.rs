@@ -1,0 +1,344 @@
+//! Cache-oblivious matrix multiplication — a compute-dense fork-join
+//! workload.
+//!
+//! Recursively splits `C += A·B` into eight sub-products; the four
+//! quadrant pairs writing disjoint parts of `C` run in parallel, the two
+//! halves of each pair run sequentially (the classic dependence-safe
+//! parallelization). Leaf blocks run the real kernel as charged host work
+//! over inputs generated deterministically from the seed, so results are
+//! verified against a naive host multiply.
+//!
+//! Complements the benchmark suite: UTS is spawn-dense with trivial
+//! compute, LCS is dependency-dense, mergesort is data-movement-dense —
+//! matmul is compute-dense with a wide, regular task tree (span
+//! `O(log² n)`), the regime where all policies should do well and overheads
+//! show up only at the margin.
+
+use std::sync::Arc;
+
+use dcs_core::prelude::*;
+use dcs_core::HostWork;
+use dcs_sim::SimRng;
+
+/// Matrices are flattened row-major `u32` with wrapping arithmetic (exact
+/// equality checks without float noise).
+#[derive(Clone, Debug)]
+pub struct MatParams {
+    pub n: usize,
+    /// Leaf block size (paper-style granularity control).
+    pub cutoff: usize,
+    pub a: Arc<[u32]>,
+    pub b: Arc<[u32]>,
+    /// Virtual time per leaf multiply-accumulate.
+    pub per_flop: VTime,
+}
+
+impl MatParams {
+    pub fn random(n: usize, cutoff: usize, seed: u64) -> MatParams {
+        assert!(n.is_power_of_two() && cutoff.is_power_of_two() && cutoff <= n);
+        let mut rng = SimRng::new(seed);
+        let gen = |rng: &mut SimRng| -> Arc<[u32]> {
+            (0..n * n).map(|_| rng.next_u64() as u32 & 0xFF).collect()
+        };
+        MatParams {
+            n,
+            cutoff,
+            a: gen(&mut rng),
+            b: gen(&mut rng),
+            per_flop: VTime::ns(1),
+        }
+    }
+
+    /// `T1 ≈ per_flop · n³` (machine-scaled by callers via `ctx.scaled`).
+    pub fn t1(&self, compute_scale: f64) -> VTime {
+        (self.per_flop * (self.n as u64).pow(3)).scale(compute_scale)
+    }
+}
+
+/// Naive host-side reference multiply.
+pub fn reference(a: &[u32], b: &[u32], n: usize) -> Vec<u32> {
+    let mut c = vec![0u32; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let av = a[i * n + k];
+            for j in 0..n {
+                c[i * n + j] = c[i * n + j].wrapping_add(av.wrapping_mul(b[k * n + j]));
+            }
+        }
+    }
+    c
+}
+
+/// A sub-problem: compute the product of `A[ai..ai+s, ak..ak+s]` and
+/// `B[ak..ak+s, bj..bj+s]`, returning the `s × s` result block.
+#[derive(Clone, Copy, Debug)]
+struct Prob {
+    ai: usize,
+    ak: usize,
+    bj: usize,
+    s: usize,
+}
+
+impl Prob {
+    fn pack(&self) -> Value {
+        Value::pair(
+            Value::pair((self.ai as u64).into(), (self.ak as u64).into()),
+            Value::pair((self.bj as u64).into(), (self.s as u64).into()),
+        )
+    }
+
+    fn unpack(v: &Value) -> Prob {
+        let Value::Pair(a, b) = v else { panic!("bad prob") };
+        let Value::Pair(ai, ak) = a.as_ref() else { panic!("bad prob") };
+        let Value::Pair(bj, s) = b.as_ref() else { panic!("bad prob") };
+        Prob {
+            ai: ai.as_u64() as usize,
+            ak: ak.as_u64() as usize,
+            bj: bj.as_u64() as usize,
+            s: s.as_u64() as usize,
+        }
+    }
+}
+
+fn add_blocks(x: &[u32], y: &[u32]) -> Arc<[u32]> {
+    x.iter().zip(y).map(|(&a, &b)| a.wrapping_add(b)).collect()
+}
+
+/// Task: compute one sub-product block.
+///
+/// Internal nodes split the k-dimension: `C = A₁·B₁ + A₂·B₂`, with each
+/// half itself split over the (i, j) quadrants via four parallel tasks.
+fn mm_task(arg: Value, ctx: &mut TaskCtx) -> Effect {
+    let p = Prob::unpack(&arg);
+    let mp = ctx.app::<MatParams>();
+    if p.s <= mp.cutoff {
+        // Leaf: real kernel, charged s³ flops.
+        let dur = ctx.scaled(mp.per_flop * (p.s as u64).pow(3));
+        let work: HostWork = Box::new(move |ctx: &mut TaskCtx| {
+            let mp = ctx.app::<MatParams>();
+            let n = mp.n;
+            let s = p.s;
+            let mut c = vec![0u32; s * s];
+            for i in 0..s {
+                for k in 0..s {
+                    let av = mp.a[(p.ai + i) * n + p.ak + k];
+                    for j in 0..s {
+                        c[i * s + j] = c[i * s + j]
+                            .wrapping_add(av.wrapping_mul(mp.b[(p.ak + k) * n + p.bj + j]));
+                    }
+                }
+            }
+            Value::U32s(c.into())
+        });
+        return Effect::compute_with(dur, work, frame(|v, _| Effect::Return(v)));
+    }
+    // Split: four disjoint output quadrants in parallel; each quadrant sums
+    // two k-halves sequentially.
+    let h = p.s / 2;
+    let quads: [Prob; 4] = [
+        Prob { ai: p.ai, ak: p.ak, bj: p.bj, s: h },
+        Prob { ai: p.ai, ak: p.ak, bj: p.bj + h, s: h },
+        Prob { ai: p.ai + h, ak: p.ak, bj: p.bj, s: h },
+        Prob { ai: p.ai + h, ak: p.ak, bj: p.bj + h, s: h },
+    ];
+    spawn_quads(p, quads, 0, Vec::new())
+}
+
+/// One output quadrant = sequential sum of two recursive sub-products.
+fn quad_task(arg: Value, _ctx: &mut TaskCtx) -> Effect {
+    let p = Prob::unpack(&arg);
+    let second = Prob {
+        ak: p.ak + p.s,
+        ..p
+    };
+    Effect::call(
+        mm_task,
+        p.pack(),
+        frame(move |first, _| {
+            let first = Arc::clone(first.as_u32s());
+            Effect::call(
+                mm_task,
+                second.pack(),
+                frame(move |snd, _| {
+                    Effect::ret(Value::U32s(add_blocks(&first, snd.as_u32s())))
+                }),
+            )
+        }),
+    )
+}
+
+fn spawn_quads(parent: Prob, quads: [Prob; 4], i: usize, handles: Vec<ThreadHandle>) -> Effect {
+    // The quadrant problems at size h each sum halves (k and k+h); encode
+    // the quadrant with its own half-k origin and let quad_task do the sum.
+    let q = quads[i];
+    if i == 3 {
+        return Effect::call(
+            quad_task,
+            q.pack(),
+            frame(move |last, _| {
+                join_quads(parent, quads, handles, 0, vec![None, None, None, Some(Arc::clone(last.as_u32s()))])
+            }),
+        );
+    }
+    Effect::fork(
+        quad_task,
+        q.pack(),
+        frame(move |h, _| {
+            let mut handles = handles;
+            handles.push(h.as_handle());
+            spawn_quads(parent, quads, i + 1, handles)
+        }),
+    )
+}
+
+fn join_quads(
+    parent: Prob,
+    quads: [Prob; 4],
+    handles: Vec<ThreadHandle>,
+    i: usize,
+    mut acc: Vec<Option<Arc<[u32]>>>,
+) -> Effect {
+    if i == handles.len() {
+        // Assemble the four quadrant blocks into the parent block.
+        let h = parent.s / 2;
+        let mut out = vec![0u32; parent.s * parent.s];
+        for (qi, q) in quads.iter().enumerate() {
+            let block = acc[qi].take().expect("quadrant present");
+            let (row0, col0) = (q.ai - parent.ai, q.bj - parent.bj);
+            debug_assert_eq!(block.len(), h * h);
+            for r in 0..h {
+                let dst = (row0 + r) * parent.s + col0;
+                out[dst..dst + h].copy_from_slice(&block[r * h..(r + 1) * h]);
+            }
+        }
+        return Effect::ret(Value::U32s(out.into()));
+    }
+    let hnd = handles[i];
+    Effect::join(
+        hnd,
+        frame(move |v, _| {
+            let mut acc = acc;
+            acc[i] = Some(Arc::clone(v.as_u32s()));
+            join_quads(parent, quads, handles, i + 1, acc)
+        }),
+    )
+}
+
+/// Build the matmul program.
+pub fn program(params: MatParams) -> Program {
+    let root = Prob {
+        ai: 0,
+        ak: 0,
+        bj: 0,
+        s: params.n,
+    };
+    // The root problem must sum both k-halves, which quad_task does.
+    Program::new(quad_task_root, root.pack()).with_app(params)
+}
+
+/// Root wrapper: a full multiply is one "quadrant" covering the whole
+/// matrix when n == s (the k-split happens inside quad_task); at the root
+/// the k-origin is 0 and the second half starts at s — but a root of size
+/// n only has one k-half of size n. Run the plain task tree instead.
+fn quad_task_root(arg: Value, ctx: &mut TaskCtx) -> Effect {
+    let p = Prob::unpack(&arg);
+    if p.s <= ctx.app::<MatParams>().cutoff {
+        return mm_task(arg, ctx);
+    }
+    // C = A[*, 0..h]·B[0..h, *] + A[*, h..n]·B[h..n, *], via quad_task
+    // applied to a half-size k but full-size (i, j)? Simpler: reuse the
+    // standard decomposition by treating the root as one problem whose
+    // k-extent equals s: split (i, j) quadrants here, each quadrant sums
+    // its two k-halves.
+    let h = p.s / 2;
+    let quads: [Prob; 4] = [
+        Prob { ai: 0, ak: 0, bj: 0, s: h },
+        Prob { ai: 0, ak: 0, bj: h, s: h },
+        Prob { ai: h, ak: 0, bj: 0, s: h },
+        Prob { ai: h, ak: 0, bj: h, s: h },
+    ];
+    spawn_quads(p, quads, 0, Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_core::policy::Policy;
+
+    fn check(policy: Policy, workers: usize, n: usize, cutoff: usize) {
+        let params = MatParams::random(n, cutoff, 11);
+        let expect = reference(&params.a, &params.b, n);
+        let cfg = RunConfig::new(workers, policy)
+            .with_profile(profiles::test_profile())
+            .with_seg_bytes(64 << 20);
+        let r = dcs_core::run(cfg, program(params));
+        assert_eq!(
+            r.result.as_u32s().as_ref(),
+            expect.as_slice(),
+            "{policy:?} P={workers} n={n}"
+        );
+    }
+
+    #[test]
+    fn reference_identity() {
+        // I · B = B for the 2x2 identity.
+        let a = vec![1, 0, 0, 1];
+        let b = vec![5, 6, 7, 8];
+        assert_eq!(reference(&a, &b, 2), b);
+    }
+
+    #[test]
+    fn matches_reference_all_policies() {
+        for policy in Policy::ALL {
+            check(policy, 4, 16, 4);
+        }
+    }
+
+    #[test]
+    fn matches_reference_various_shapes() {
+        check(Policy::ContGreedy, 1, 8, 8); // single leaf
+        check(Policy::ContGreedy, 2, 16, 8);
+        check(Policy::ContGreedy, 8, 32, 4); // deep recursion
+    }
+
+    #[test]
+    fn t1_is_cubic() {
+        let small = MatParams::random(16, 4, 1);
+        let big = MatParams::random(32, 4, 1);
+        assert_eq!(big.t1(1.0), small.t1(1.0) * 8);
+    }
+
+    #[test]
+    fn scales_with_workers_on_a_fast_fabric() {
+        // Under the negligible-latency test profile the task tree scales;
+        // under real profiles value-passing matmul is communication-bound
+        // (every level moves O(n²) block data through entries) — which is
+        // precisely the class of application §VII says needs a global heap.
+        let params = MatParams::random(64, 8, 3);
+        let t = |p| {
+            let cfg = RunConfig::new(p, Policy::ContGreedy)
+                .with_profile(profiles::test_profile())
+                .with_seg_bytes(64 << 20);
+            dcs_core::run(cfg, program(params.clone())).elapsed
+        };
+        let t1 = t(1);
+        let t8 = t(8);
+        let speedup = t1.as_ns() as f64 / t8.as_ns() as f64;
+        assert!(speedup > 3.0, "matmul speedup {speedup:.1} too low");
+    }
+
+    #[test]
+    fn communication_bound_under_real_latencies() {
+        // The §VII observation, quantified: on ITO-A latencies the bytes
+        // moved through entries rival the compute, capping speedup.
+        let params = MatParams::random(32, 8, 3);
+        let cfg = RunConfig::new(8, Policy::ContGreedy).with_seg_bytes(64 << 20);
+        let r = dcs_core::run(cfg, program(params.clone()));
+        let expect = reference(&params.a, &params.b, 32);
+        assert_eq!(r.result.as_u32s().as_ref(), expect.as_slice());
+        assert!(
+            r.fabric.bytes_got + r.fabric.bytes_put > (32 * 32 * 4) as u64,
+            "block traffic should exceed one matrix"
+        );
+    }
+}

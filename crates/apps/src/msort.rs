@@ -1,0 +1,182 @@
+//! Parallel mergesort — divide-and-conquer with data flowing through task
+//! return values.
+//!
+//! Complements the other benchmarks: UTS returns scalars, LCS returns
+//! boundary vectors through futures — mergesort moves the *entire dataset*
+//! through task values, so steal and join costs scale with the payload.
+//! This exposes the value-passing programming model of §VII ("data are only
+//! exchanged via arguments or return values of tasks") on a workload whose
+//! communication volume rivals its compute.
+//!
+//! The merge itself runs as charged host work; results are validated
+//! against a host-side sort.
+
+use std::sync::Arc;
+
+use dcs_core::prelude::*;
+use dcs_core::HostWork;
+use dcs_sim::SimRng;
+
+/// Workload parameters: the input array plus cost calibration.
+#[derive(Clone, Debug)]
+pub struct SortParams {
+    pub data: Arc<[u32]>,
+    /// Elements below which a task sorts sequentially.
+    pub cutoff: usize,
+    /// Virtual time per element compared/moved.
+    pub per_elem: VTime,
+}
+
+impl SortParams {
+    pub fn random(len: usize, cutoff: usize, seed: u64) -> SortParams {
+        let mut rng = SimRng::new(seed);
+        SortParams {
+            data: (0..len).map(|_| rng.next_u64() as u32).collect(),
+            cutoff: cutoff.max(1),
+            per_elem: VTime::ns(12),
+        }
+    }
+}
+
+fn range_value(lo: u64, hi: u64) -> Value {
+    Value::pair(lo.into(), hi.into())
+}
+
+/// Sort `data[lo..hi)`, returning the sorted run as a `U32s` value.
+pub fn msort(arg: Value, ctx: &mut TaskCtx) -> Effect {
+    let (lo, hi) = arg.into_pair();
+    let (lo, hi) = (lo.as_u64() as usize, hi.as_u64() as usize);
+    let p = ctx.app::<SortParams>();
+    let n = hi - lo;
+    if n <= p.cutoff {
+        // Sequential leaf: sort the slice as charged host work
+        // (n log n comparisons).
+        let dur = ctx.scaled(p.per_elem * (n.max(2) as u64 * n.max(2).ilog2() as u64));
+        let work: HostWork = Box::new(move |ctx: &mut TaskCtx| {
+            let p = ctx.app::<SortParams>();
+            let mut v: Vec<u32> = p.data[lo..hi].to_vec();
+            v.sort_unstable();
+            Value::U32s(v.into())
+        });
+        return Effect::compute_with(dur, work, frame(|v, _| Effect::Return(v)));
+    }
+    let mid = lo + n / 2;
+    Effect::fork(
+        msort,
+        range_value(lo as u64, mid as u64),
+        frame(move |h, _| {
+            let h = h.as_handle();
+            Effect::call(
+                msort,
+                range_value(mid as u64, hi as u64),
+                frame(move |right, _| {
+                    let right = Arc::clone(right.as_u32s());
+                    Effect::join(
+                        h,
+                        frame(move |left, ctx| {
+                            let left = Arc::clone(left.as_u32s());
+                            merge(left, right, ctx)
+                        }),
+                    )
+                }),
+            )
+        }),
+    )
+}
+
+/// Merge two sorted runs as charged host work.
+fn merge(left: Arc<[u32]>, right: Arc<[u32]>, ctx: &mut TaskCtx) -> Effect {
+    let p = ctx.app::<SortParams>();
+    let total = left.len() + right.len();
+    let dur = ctx.scaled(p.per_elem * total as u64);
+    let work: HostWork = Box::new(move |_| {
+        let mut out = Vec::with_capacity(left.len() + right.len());
+        let (mut i, mut j) = (0, 0);
+        while i < left.len() && j < right.len() {
+            if left[i] <= right[j] {
+                out.push(left[i]);
+                i += 1;
+            } else {
+                out.push(right[j]);
+                j += 1;
+            }
+        }
+        out.extend_from_slice(&left[i..]);
+        out.extend_from_slice(&right[j..]);
+        Value::U32s(out.into())
+    });
+    Effect::compute_with(dur, work, frame(|v, _| Effect::Return(v)))
+}
+
+/// Build a mergesort program over the whole input.
+pub fn program(params: SortParams) -> Program {
+    let n = params.data.len() as u64;
+    Program::new(msort, range_value(0, n)).with_app(params)
+}
+
+/// T1 of the sort: merging dominates — `n log₂(n/cutoff)` merge moves plus
+/// the leaf sorts.
+pub fn t1(params: &SortParams, compute_scale: f64) -> VTime {
+    let n = params.data.len() as u64;
+    let levels = (n as f64 / params.cutoff as f64).log2().ceil().max(0.0) as u64;
+    let c = params.cutoff.max(2) as u64;
+    let leaf = params.per_elem * (c * c.ilog2() as u64) * n.div_ceil(c);
+    (params.per_elem * n * levels + leaf).scale(compute_scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_core::policy::Policy;
+
+    fn check(policy: Policy, workers: usize, len: usize, cutoff: usize) {
+        let params = SortParams::random(len, cutoff, 42);
+        let mut expect: Vec<u32> = params.data.to_vec();
+        expect.sort_unstable();
+        let cfg = RunConfig::new(workers, policy)
+            .with_profile(profiles::test_profile())
+            .with_seg_bytes(64 << 20);
+        let r = dcs_core::run(cfg, program(params));
+        assert_eq!(
+            r.result.as_u32s().as_ref(),
+            expect.as_slice(),
+            "{policy:?} P={workers}"
+        );
+    }
+
+    #[test]
+    fn sorts_correctly_all_policies() {
+        for policy in Policy::ALL {
+            check(policy, 4, 1000, 32);
+        }
+    }
+
+    #[test]
+    fn sorts_edge_shapes() {
+        check(Policy::ContGreedy, 1, 1, 8); // single element
+        check(Policy::ContGreedy, 2, 7, 2); // odd length, tiny cutoff
+        check(Policy::ContGreedy, 8, 4096, 64);
+    }
+
+    #[test]
+    fn payload_moves_through_steals() {
+        let params = SortParams::random(8192, 128, 7);
+        let cfg = RunConfig::new(8, Policy::ContGreedy).with_seg_bytes(64 << 20);
+        let r = dcs_core::run(cfg, program(params));
+        assert!(r.stats.steals_ok > 0);
+        // Joined runs ride in entries: bytes moved rival the array size.
+        assert!(
+            r.fabric.bytes_got > 8192,
+            "expected payload traffic, got {} B",
+            r.fabric.bytes_got
+        );
+    }
+
+    #[test]
+    fn t1_scales_with_input() {
+        let small = SortParams::random(1024, 32, 1);
+        let big = SortParams::random(4096, 32, 1);
+        assert!(t1(&big, 1.0) > t1(&small, 1.0) * 3);
+        assert_eq!(t1(&small, 2.0), t1(&small, 1.0).scale(2.0));
+    }
+}

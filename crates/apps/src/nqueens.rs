@@ -1,0 +1,180 @@
+//! NQueens — classic irregular fork-join search.
+//!
+//! Counts the placements of `n` queens on an `n × n` board. The search tree
+//! is highly irregular (subtrees die at different depths), making it a
+//! standard stress test for work stealing — the same class of workload the
+//! paper's introduction motivates. Each task extends a partial placement by
+//! one row, forking one child per safe column.
+//!
+//! The board prefix travels as a byte vector in the task argument, so
+//! stolen task sizes grow with depth — a nice contrast to UTS's fixed
+//! 20-byte digests.
+
+use std::sync::Arc;
+
+use dcs_core::prelude::*;
+
+/// Problem parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct NqParams {
+    pub n: u32,
+    /// Virtual time to test one column placement (board scan).
+    pub probe_cost: VTime,
+}
+
+impl NqParams {
+    pub fn new(n: u32) -> NqParams {
+        NqParams {
+            n,
+            probe_cost: VTime::ns(60),
+        }
+    }
+}
+
+/// Known solution counts for validation.
+pub const SOLUTIONS: [u64; 13] = [1, 1, 0, 0, 2, 10, 4, 40, 92, 352, 724, 2680, 14200];
+
+/// Is placing a queen at (row = prefix.len(), col) safe?
+fn safe(prefix: &[u8], col: u8) -> bool {
+    let row = prefix.len();
+    prefix.iter().enumerate().all(|(r, &c)| {
+        c != col && (row - r) as i32 != (col as i32 - c as i32).abs()
+    })
+}
+
+/// Sequential reference (host-side ground truth).
+pub fn serial_count(n: u32) -> u64 {
+    fn go(prefix: &mut Vec<u8>, n: u32) -> u64 {
+        if prefix.len() == n as usize {
+            return 1;
+        }
+        let mut total = 0;
+        for col in 0..n as u8 {
+            if safe(prefix, col) {
+                prefix.push(col);
+                total += go(prefix, n);
+                prefix.pop();
+            }
+        }
+        total
+    }
+    go(&mut Vec::new(), n)
+}
+
+fn prefix_value(prefix: &[u8]) -> Value {
+    Value::Bytes(Arc::from(prefix))
+}
+
+/// Task: count completions of the placement prefix in the argument.
+pub fn nq_count(arg: Value, ctx: &mut TaskCtx) -> Effect {
+    let Value::Bytes(prefix) = arg else {
+        panic!("expected board prefix")
+    };
+    let params = *ctx.app::<NqParams>();
+    let row = prefix.len() as u32;
+    if row == params.n {
+        return Effect::ret(1u64);
+    }
+    // Charge the column probes of this row as compute.
+    let dur = ctx.scaled(params.probe_cost * params.n as u64);
+    Effect::compute(
+        dur,
+        frame(move |_, _| {
+            let safe_cols: Vec<u8> = (0..params.n as u8)
+                .filter(|&c| safe(&prefix, c))
+                .collect();
+            if safe_cols.is_empty() {
+                return Effect::ret(0u64);
+            }
+            spawn_cols(prefix, safe_cols, 0, Vec::new())
+        }),
+    )
+}
+
+/// Fork a child per safe column (last one runs inline), then join and sum.
+fn spawn_cols(
+    prefix: Arc<[u8]>,
+    cols: Vec<u8>,
+    i: usize,
+    handles: Vec<ThreadHandle>,
+) -> Effect {
+    let mut child = prefix.to_vec();
+    child.push(cols[i]);
+    let child_v = prefix_value(&child);
+    if i + 1 == cols.len() {
+        return Effect::call(
+            nq_count,
+            child_v,
+            frame(move |last, _| join_cols(handles, 0, last.as_u64())),
+        );
+    }
+    Effect::fork(
+        nq_count,
+        child_v,
+        frame(move |h, _| {
+            let mut handles = handles;
+            handles.push(h.as_handle());
+            spawn_cols(prefix, cols, i + 1, handles)
+        }),
+    )
+}
+
+fn join_cols(handles: Vec<ThreadHandle>, i: usize, acc: u64) -> Effect {
+    if i == handles.len() {
+        return Effect::ret(acc);
+    }
+    let h = handles[i];
+    Effect::join(
+        h,
+        frame(move |v, _| join_cols(handles, i + 1, acc + v.as_u64())),
+    )
+}
+
+/// Build the NQueens program.
+pub fn program(params: NqParams) -> Program {
+    Program::new(nq_count, Value::Bytes(Arc::from(&[][..]))).with_app(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_core::policy::Policy;
+
+    #[test]
+    fn serial_matches_known_counts() {
+        for (n, &expect) in SOLUTIONS.iter().enumerate().take(10) {
+            assert_eq!(serial_count(n as u32), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn safety_predicate() {
+        assert!(safe(&[], 0));
+        assert!(!safe(&[0], 0), "same column");
+        assert!(!safe(&[0], 1), "diagonal");
+        assert!(safe(&[0], 2));
+        assert!(!safe(&[1, 3], 2), "diagonal from row 1");
+    }
+
+    #[test]
+    fn parallel_matches_serial_all_policies() {
+        for policy in Policy::ALL {
+            let cfg = RunConfig::new(4, policy)
+                .with_profile(profiles::test_profile())
+                .with_seg_bytes(64 << 20);
+            let r = dcs_core::run(cfg, program(NqParams::new(7)));
+            assert_eq!(r.result.as_u64(), SOLUTIONS[7], "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_n8_with_steals() {
+        let cfg = RunConfig::new(8, Policy::ContGreedy).with_seg_bytes(64 << 20);
+        let r = dcs_core::run(cfg, program(NqParams::new(8)));
+        assert_eq!(r.result.as_u64(), 92);
+        assert!(r.stats.steals_ok > 0);
+        // Stolen continuations carry board prefixes: bigger than UTS stacks
+        // of comparable depth would suggest.
+        assert!(r.stats.avg_stolen_bytes() > 200);
+    }
+}

@@ -1,0 +1,149 @@
+//! Criterion microbenchmarks for the host-side building blocks.
+//!
+//! These measure the *simulator's* own performance (how much host work one
+//! simulated event costs) and the real computational kernels the
+//! benchmarks execute (SHA-1, the LCS leaf DP). Virtual-time results — the
+//! paper's tables and figures — come from the `fig*`/`table*` binaries,
+//! not from here.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use dcs_apps::lcs::leaf_kernel;
+use dcs_apps::sha1::{sha1, sha1_child};
+use dcs_apps::uts::{presets, serial_count};
+use dcs_core::deque::{owner_pop, owner_push, thief_lock, thief_take};
+use dcs_core::layout::SegLayout;
+use dcs_core::policy::{Policy, RunConfig};
+use dcs_core::prelude::*;
+use dcs_core::util::Slab;
+use dcs_core::world::QueueItem;
+use dcs_sim::{profiles, Machine, MachineConfig, SimRng};
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha1");
+    g.throughput(Throughput::Bytes(24));
+    let d = sha1(b"root");
+    g.bench_function("child_derivation", |b| {
+        b.iter(|| sha1_child(black_box(&d), black_box(7)))
+    });
+    let long = vec![0xabu8; 4096];
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("bulk_4k", |b| b.iter(|| sha1(black_box(&long))));
+    g.finish();
+}
+
+fn bench_lcs_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lcs_kernel");
+    let n = 256usize;
+    let mut rng = SimRng::new(1);
+    let a: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
+    let b_: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
+    let top = vec![0u32; n + 1];
+    let left = vec![0u32; n + 1];
+    g.throughput(Throughput::Elements((n * n) as u64));
+    g.bench_function("block_256", |bch| {
+        bch.iter(|| leaf_kernel(black_box(&a), black_box(&b_), 0, 0, n, &top, &left))
+    });
+    g.finish();
+}
+
+fn bench_deque(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deque");
+    let cfg = RunConfig::new(2, Policy::ChildFull);
+    let lay = SegLayout::new(&cfg);
+    let mk = || {
+        let m = Machine::new(
+            MachineConfig::new(2, profiles::test_profile())
+                .with_seg_bytes(cfg.seg_bytes)
+                .with_reserved(lay.reserved),
+        );
+        (m, Slab::new())
+    };
+    fn item(i: u64) -> QueueItem {
+        QueueItem::Child {
+            f: |_, _| Effect::ret(0u64),
+            arg: Value::U64(i),
+            handle: ThreadHandle::single(dcs_sim::GlobalAddr::new(0, 8)),
+        }
+    }
+    g.bench_function("push_pop", |b| {
+        b.iter_batched_ref(
+            mk,
+            |(m, items)| {
+                owner_push(m, items, &lay, 0, item(1)).unwrap();
+                owner_pop(m, items, &lay, 0).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("steal", |b| {
+        b.iter_batched_ref(
+            mk,
+            |(m, items)| {
+                owner_push(m, items, &lay, 0, item(1)).unwrap();
+                let (ok, _) = thief_lock(m, &lay, 1, 0);
+                assert!(ok);
+                thief_take(m, items, &lay, 1, 0)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_uts_serial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uts");
+    let spec = presets::tiny();
+    let nodes = serial_count(&spec).nodes;
+    g.throughput(Throughput::Elements(nodes));
+    g.sample_size(10);
+    g.bench_function("serial_tiny", |b| b.iter(|| serial_count(black_box(&spec))));
+    g.finish();
+}
+
+fn bench_end_to_end_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    // Host cost of simulating one small fork-join run end-to-end.
+    fn fib(arg: Value, _ctx: &mut TaskCtx) -> Effect {
+        let n = arg.as_u64();
+        if n < 2 {
+            return Effect::ret(n);
+        }
+        Effect::fork(
+            fib,
+            n - 1,
+            frame(move |h, _| {
+                let h = h.as_handle();
+                Effect::call(
+                    fib,
+                    n - 2,
+                    frame(move |b, _| {
+                        let b = b.as_u64();
+                        Effect::join(h, frame(move |a, _| Effect::ret(a.as_u64() + b)))
+                    }),
+                )
+            }),
+        )
+    }
+    g.bench_function("fib16_p4_greedy", |b| {
+        b.iter(|| {
+            let cfg = RunConfig::new(4, Policy::ContGreedy)
+                .with_profile(profiles::test_profile())
+                .with_seg_bytes(64 << 20);
+            run(cfg, Program::new(fib, 16u64))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha1,
+    bench_lcs_kernel,
+    bench_deque,
+    bench_uts_serial,
+    bench_end_to_end_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation (§III-B) — remote-object freeing: lock-queue baseline versus
+//! local collection.
+//!
+//! Measures both the end-to-end effect (RecPFor execution time) and the
+//! mechanism (remote atomic/put counts per thread spawned): the lock-queue
+//! protocol costs four round trips per remote free, local collection one
+//! non-blocking put.
+
+use dcs_apps::pfor::{recpfor_program, PforParams};
+use dcs_bench::{quick, workers_default, Csv};
+use dcs_core::prelude::*;
+
+fn main() {
+    let workers = workers_default(64);
+    let n = if quick() { 1 << 8 } else { 1 << 11 };
+    let params = PforParams::paper(n);
+    let mut csv = Csv::create(
+        "ablate_free",
+        "strategy,exec_ms,remote_amos,remote_puts,remote_gets,amos_per_thread",
+    );
+
+    println!(
+        "=== §III-B ablation: remote freeing, RecPFor N=2^{} (P = {workers}) ===\n",
+        n.ilog2()
+    );
+    println!(
+        "{:<18} {:>10} {:>12} {:>12} {:>12} {:>14}",
+        "strategy", "time", "remote amo", "remote put", "remote get", "amo/thread"
+    );
+    for strategy in [FreeStrategy::LockQueue, FreeStrategy::LocalCollection] {
+        let cfg = RunConfig::new(workers, Policy::ContStalling)
+            .with_free_strategy(strategy)
+            .with_seg_bytes(64 << 20);
+        let r = run(cfg, recpfor_program(params));
+        let f = &r.fabric;
+        let apt = f.remote_amos as f64 / r.threads as f64;
+        println!(
+            "{:<18} {:>10} {:>12} {:>12} {:>12} {:>14.2}",
+            strategy.label(),
+            r.elapsed.to_string(),
+            f.remote_amos,
+            f.remote_puts,
+            f.remote_gets,
+            apt
+        );
+        csv.row(&[
+            &strategy.label(),
+            &format!("{:.3}", r.elapsed.as_ms_f64()),
+            &f.remote_amos,
+            &f.remote_puts,
+            &f.remote_gets,
+            &format!("{apt:.3}"),
+        ]);
+    }
+    println!("\nCSV written to {}", csv.path());
+    println!("Paper: local collection improved PFor by up to 40% and RecPFor by");
+    println!("27% over the lock-queue baseline by eliminating the 4-round-trip");
+    println!("remote free.");
+}

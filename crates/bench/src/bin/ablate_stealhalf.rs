@@ -1,0 +1,55 @@
+//! Ablation — steal-half versus steal-one in the one-sided bag-of-tasks
+//! runtime (the Dinan et al. / Hendler & Shavit design point SAWS builds
+//! on).
+//!
+//! On UTS the contrast is subtler than on flat bags — a single stolen node
+//! roots an entire subtree — so the effect shows up at larger worker
+//! counts, where steal-half pre-distributes enough nodes to absorb the
+//! irregular subtree sizes while steal-one keeps going back to the well.
+
+use dcs_apps::uts::{self, presets};
+use dcs_bench::{mnodes, quick, Csv};
+use dcs_bot::onesided::{run_uts_with, StealAmount};
+use dcs_sim::profiles;
+
+fn main() {
+    let spec = if quick() { presets::tiny() } else { presets::medium() };
+    let info = uts::serial_count(&spec);
+    let ps: &[usize] = if quick() { &[4, 8] } else { &[16, 64, 256] };
+    let mut csv = Csv::create(
+        "ablate_stealhalf",
+        "amount,p,throughput_mnodes_s,steals_ok,steals_failed",
+    );
+
+    println!(
+        "=== steal-half vs steal-one (one-sided BoT, UTS {} nodes) ===\n",
+        info.nodes
+    );
+    println!(
+        "{:>5} {:<12} {:>14} {:>10} {:>10}",
+        "P", "amount", "throughput", "#steal", "#failed"
+    );
+    for &p in ps {
+        for amount in [StealAmount::Half, StealAmount::One] {
+            let r = run_uts_with(&spec, p, profiles::itoa(), 5, amount);
+            assert_eq!(r.nodes, info.nodes);
+            let tp = mnodes(r.nodes, r.elapsed);
+            println!(
+                "{:>5} {:<12} {:>11.2} Mn {:>10} {:>10}",
+                p,
+                format!("{amount:?}"),
+                tp,
+                r.steals_ok,
+                r.steals_failed
+            );
+            csv.row(&[
+                &format!("{amount:?}"),
+                &p,
+                &format!("{tp:.3}"),
+                &r.steals_ok,
+                &r.steals_failed,
+            ]);
+        }
+    }
+    println!("\nCSV written to {}", csv.path());
+}

@@ -1,0 +1,85 @@
+//! Fig. 12 — LCS execution time of continuation stealing (greedy join)
+//! versus the greedy-scheduling-theorem bounds, across problem sizes and
+//! worker counts.
+//!
+//! With `T1 = (N/C)²·Tc` and `T∞ = (2N/C − 1)·Tc` the bounds are
+//! `max(T1/P, T∞) ≤ T_P ≤ T1/P + T∞`. The paper shows most measured points
+//! inside the band up to ~10k cores — evidence that "almost no tasks were
+//! unnecessarily blocked by the scheduler".
+
+use dcs_apps::lcs::{self, LcsParams};
+use dcs_bench::{quick, Csv};
+use dcs_core::prelude::*;
+
+fn main() {
+    let sizes: &[u64] = if quick() {
+        &[1 << 10]
+    } else {
+        &[1 << 11, 1 << 12, 1 << 13, 1 << 14]
+    };
+    let ps: &[usize] = if quick() {
+        &[1, 4]
+    } else {
+        &[1, 4, 16, 64, 256]
+    };
+    let c = 512;
+    let profile = profiles::itoa();
+    let scale = profile.compute_scale;
+    let mut csv = Csv::create("fig12", "n,p,t_ms,lower_ms,upper_ms,in_bounds");
+
+    println!("=== Fig. 12: LCS bounds check on {} (C = {c}) ===", profile.name);
+    let mut inside = 0usize;
+    let mut total = 0usize;
+    for &n in sizes {
+        let c_eff = c.min(n);
+        let params = LcsParams::random(n, c_eff, 7);
+        let expected = lcs::lcs_reference(&params.a, &params.b) as u64;
+        let t1 = params.t1(scale);
+        let tinf = params.t_inf(scale);
+        println!(
+            "\nN = 2^{} (T1 = {}, T∞ = {}):",
+            n.ilog2(),
+            t1,
+            tinf
+        );
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>8}",
+            "P", "lower", "measured", "upper", "inside"
+        );
+        for &p in ps {
+            let cfg = RunConfig::new(p, Policy::ContGreedy)
+                .with_profile(profile.clone())
+                .with_seg_bytes(64 << 20);
+            let r = run(cfg, lcs::program(params.clone()));
+            assert_eq!(r.result.as_u64(), expected);
+            let lower = (t1 / p as u64).max(tinf);
+            let upper = t1 / p as u64 + tinf;
+            // The theorem assumes zero runtime overhead; allow the paper's
+            // observed slack above the ideal upper bound.
+            let ok = r.elapsed >= lower && r.elapsed.as_ns() as f64 <= upper.as_ns() as f64 * 1.25;
+            inside += ok as usize;
+            total += 1;
+            println!(
+                "{:>6} {:>12} {:>12} {:>12} {:>8}",
+                p,
+                lower.to_string(),
+                r.elapsed.to_string(),
+                upper.to_string(),
+                if ok { "yes" } else { "NO" }
+            );
+            csv.row(&[
+                &n,
+                &p,
+                &format!("{:.3}", r.elapsed.as_ms_f64()),
+                &format!("{:.3}", lower.as_ms_f64()),
+                &format!("{:.3}", upper.as_ms_f64()),
+                &ok,
+            ]);
+        }
+    }
+    println!(
+        "\n{} / {} points within the greedy-scheduling band (paper: \"most\")",
+        inside, total
+    );
+    println!("CSV written to {}", csv.path());
+}

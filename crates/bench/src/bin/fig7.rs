@@ -1,0 +1,63 @@
+//! Fig. 7 — time series of scheduler activity in RecPFor: number of busy
+//! workers (filled area in the paper) and number of ready-to-execute
+//! outstanding joins (line plot), for continuation stealing (greedy) versus
+//! child stealing (Full).
+//!
+//! Expected shape: under continuation stealing almost all workers stay busy
+//! and ready outstanding joins hover near zero; under child stealing the
+//! busy count shows deep "valleys" in the latter half while hundreds of
+//! ready joins sit unexecuted (a non-greedy schedule).
+
+use dcs_apps::pfor::{recpfor_program, PforParams};
+use dcs_bench::{quick, workers_default, Csv};
+use dcs_core::prelude::*;
+
+fn main() {
+    let workers = workers_default(64);
+    let n = if quick() { 1 << 8 } else { 1 << 12 };
+    let buckets = 60;
+    let mut csv = Csv::create("fig7", "strategy,t_ms,busy_workers,ready_joins");
+
+    for policy in [Policy::ContGreedy, Policy::ChildFull] {
+        let params = PforParams::paper(n);
+        let cfg = RunConfig::new(workers, policy)
+            .with_trace(TraceLevel::Series)
+            .with_seg_bytes(64 << 20);
+        let r = run(cfg, recpfor_program(params));
+        let busy = r.stats.busy_series(r.elapsed, buckets);
+        let joins = r.stats.ready_join_series(r.elapsed, buckets);
+
+        println!(
+            "\n=== Fig. 7: RecPFor N=2^{} {} (P = {workers}, elapsed {}) ===",
+            n.ilog2(),
+            policy.label(),
+            r.elapsed
+        );
+        println!("{:>9} {:>6} {:>7}  busy-worker sparkline", "t", "busy", "joins");
+        for (i, ((t, b), (_, j))) in busy.iter().zip(joins.iter()).enumerate() {
+            let bar_len = (*b as usize * 40) / workers.max(1);
+            if i % 3 == 0 {
+                println!(
+                    "{:>9} {:>6} {:>7}  {}",
+                    t.to_string(),
+                    b,
+                    j,
+                    "#".repeat(bar_len)
+                );
+            }
+            csv.row(&[
+                &policy.label(),
+                &format!("{:.3}", t.as_ms_f64()),
+                b,
+                j,
+            ]);
+        }
+        let avg_busy: f64 =
+            busy.iter().map(|&(_, b)| b as f64).sum::<f64>() / busy.len() as f64;
+        let max_joins = joins.iter().map(|&(_, j)| j).max().unwrap_or(0);
+        println!(
+            "avg busy workers: {avg_busy:.1}/{workers}; peak ready outstanding joins: {max_joins}"
+        );
+    }
+    println!("\nCSV written to {}", csv.path());
+}

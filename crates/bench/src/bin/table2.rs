@@ -1,0 +1,99 @@
+//! Table II — statistics of join and steal events for the four strategies
+//! on PFor and RecPFor, on both machine profiles.
+//!
+//! Paper columns: execution time, # outstanding joins, avg outstanding join
+//! time, # successful steals, avg steal latency, # failed steals, avg
+//! stolen task size, avg task copy time — profiled at the largest Fig. 6
+//! problem sizes.
+//!
+//! Expected shape: child stealing suffers orders of magnitude more
+//! outstanding joins on RecPFor (RtC worst — buried joins); continuation
+//! stealing's stolen tasks are ~1–2 kB (vs. ~55 B) yet its successful-steal
+//! latency is < 20% higher; only greedy join keeps the average outstanding
+//! join time in the microsecond range.
+
+use dcs_apps::pfor::{pfor_program, recpfor_program, PforParams};
+use dcs_bench::{quick, workers_default, Csv};
+use dcs_core::prelude::*;
+
+fn main() {
+    let workers = workers_default(64);
+    let (pfor_n, recpfor_n): (u64, u64) = if quick() {
+        (1 << 12, 1 << 8)
+    } else {
+        (1 << 16, 1 << 12)
+    };
+    let mut csv = Csv::create(
+        "table2",
+        "machine,bench,strategy,exec_ms,outstanding_joins,avg_outstanding_us,steals_ok,avg_steal_latency_us,steals_failed,avg_stolen_bytes,avg_copy_us",
+    );
+
+    for profile in [profiles::itoa(), profiles::wisteria()] {
+        for (bench, n) in [("PFor", pfor_n), ("RecPFor", recpfor_n)] {
+            println!(
+                "\n=== Table II: {bench} N=2^{} on {} (P = {workers}) ===",
+                n.ilog2(),
+                profile.name
+            );
+            println!(
+                "{:<24} {:>9} {:>10} {:>11} {:>9} {:>9} {:>9} {:>9} {:>8}",
+                "strategy",
+                "time",
+                "#outjoin",
+                "avg oj",
+                "#steal",
+                "latency",
+                "#failed",
+                "size",
+                "copy"
+            );
+            for policy in Policy::ALL {
+                let params = PforParams::paper(n);
+                let cfg = RunConfig::new(workers, policy)
+                    .with_profile(profile.clone())
+                    .with_seg_bytes(64 << 20);
+                let program = match bench {
+                    "PFor" => pfor_program(params),
+                    _ => recpfor_program(params),
+                };
+                let r = run(cfg, program);
+                let s = &r.stats;
+                println!(
+                    "{:<24} {:>9} {:>10} {:>9}us {:>9} {:>7}us {:>9} {:>7}B {:>6}us",
+                    policy.label(),
+                    r.elapsed.to_string(),
+                    s.outstanding_joins,
+                    format_us(s.avg_outstanding_time()),
+                    s.steals_ok,
+                    format_us(s.avg_steal_latency()),
+                    s.steals_failed,
+                    s.avg_stolen_bytes(),
+                    format_us(s.avg_copy_time()),
+                );
+                csv.row(&[
+                    &profile.name,
+                    &bench,
+                    &policy.label(),
+                    &format!("{:.3}", r.elapsed.as_ms_f64()),
+                    &s.outstanding_joins,
+                    &format!("{:.1}", s.avg_outstanding_time().as_us_f64()),
+                    &s.steals_ok,
+                    &format!("{:.1}", s.avg_steal_latency().as_us_f64()),
+                    &s.steals_failed,
+                    &s.avg_stolen_bytes(),
+                    &format!("{:.2}", s.avg_copy_time().as_us_f64()),
+                ]);
+            }
+        }
+    }
+    println!("\nCSV written to {}", csv.path());
+}
+
+fn format_us(t: VTime) -> String {
+    let us = t.as_us_f64();
+    if us >= 100.0 {
+        format!("{us:.0}")
+    } else {
+        format!("{us:.1}")
+    }
+}

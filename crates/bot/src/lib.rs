@@ -1,0 +1,115 @@
+//! # dcs-bot — bag-of-tasks work-stealing baselines
+//!
+//! The paper compares its fork-join runtime against three *bag-of-tasks*
+//! (BoT) systems on UTS (Fig. 8): SAWS (RDMA steal-half), Charm++/ParSSSE
+//! (message-based random stealing) and X10/GLB (message-based lifeline
+//! stealing). A BoT cannot express task dependencies, so it needs (a) a
+//! per-worker bag of not-yet-expanded tree nodes and (b) **global
+//! termination detection** before the per-worker counts can be reduced.
+//!
+//! This crate implements all three styles on the same simulated fabric:
+//!
+//! * [`onesided`] — SAWS/Scioto-like: the bag's control words live in
+//!   pinned memory; thieves lock the bag with an RDMA CAS and take **half**
+//!   the tasks one-sidedly, never interrupting the victim.
+//! * [`twosided`] — Charm++-style random request/reply stealing and
+//!   X10/GLB-style *lifeline* stealing, both over two-sided messages that
+//!   the victim must poll for and handle (the overhead the paper blames for
+//!   their poorer scaling).
+//! * [`termination`] — Mattern four-counter (double-round) token
+//!   termination detection, in both a one-sided (token words written into
+//!   the successor's segment) and a message-ring flavour.
+
+pub mod onesided;
+pub mod termination;
+pub mod twosided;
+
+use dcs_apps::uts::UtsSpec;
+use dcs_sim::{FabricStats, VTime};
+
+/// A not-yet-expanded UTS node in a bag.
+pub type NodeTask = (dcs_apps::sha1::Digest, u32);
+
+/// Wire size of one bag task: 20-byte digest + depth + header.
+pub const TASK_BYTES: usize = 28;
+
+/// Per-worker work/termination counters (Mattern's method counts task
+/// creations and consumptions; both are monotone).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counters {
+    pub created: u64,
+    pub consumed: u64,
+    /// Nodes counted by this worker (the UTS result contribution).
+    pub nodes: u64,
+}
+
+/// Result of a bag-of-tasks run.
+#[derive(Debug, Clone)]
+pub struct BotReport {
+    /// Virtual makespan, including termination detection and the final
+    /// count reduction.
+    pub elapsed: VTime,
+    /// Total nodes counted (must equal the tree size).
+    pub nodes: u64,
+    pub steals_ok: u64,
+    pub steals_failed: u64,
+    /// Messages handled by receivers (two-sided runtimes).
+    pub messages: u64,
+    /// Token rounds until termination fired.
+    pub token_rounds: u64,
+    pub fabric: FabricStats,
+    pub steps: u64,
+}
+
+impl BotReport {
+    /// UTS throughput in nodes per second of virtual time.
+    pub fn throughput(&self) -> f64 {
+        self.nodes as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Shared helper: expand one node, pushing children into `bag`, returning
+/// (children, visit cost at the given compute scale).
+pub fn expand_node(
+    spec: &UtsSpec,
+    task: NodeTask,
+    bag: &mut Vec<NodeTask>,
+    compute_scale: f64,
+) -> (u32, VTime) {
+    let (digest, depth) = task;
+    let children = spec.children(&digest, depth);
+    let n = children.len() as u32;
+    for c in children {
+        bag.push((c, depth + 1));
+    }
+    (n, spec.visit_cost(n).scale(compute_scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_apps::uts::presets;
+
+    #[test]
+    fn expand_matches_spec() {
+        let spec = presets::tiny();
+        let mut bag = Vec::new();
+        let root = (spec.root(), 0u32);
+        let (n, cost) = expand_node(&spec, root, &mut bag, 1.0);
+        assert_eq!(n as usize, bag.len());
+        assert_eq!(n, spec.num_children(&spec.root(), 0));
+        assert_eq!(cost, spec.visit_cost(n));
+        // Children are at depth 1.
+        assert!(bag.iter().all(|&(_, d)| d == 1));
+    }
+
+    #[test]
+    fn expand_scales_cost() {
+        let spec = presets::tiny();
+        let mut bag = Vec::new();
+        let (_, c1) = expand_node(&spec, (spec.root(), 0), &mut bag, 1.0);
+        bag.clear();
+        let (_, c2) = expand_node(&spec, (spec.root(), 0), &mut bag, 2.0);
+        assert_eq!(c2, c1.scale(2.0));
+    }
+}

@@ -1,0 +1,389 @@
+//! One-sided (SAWS/Scioto-style) bag-of-tasks work stealing.
+//!
+//! Each worker keeps a bag of unexpanded UTS nodes. The bag's control words
+//! — a lock and the current size — live in the owner's pinned segment, so a
+//! thief can steal **half the bag** entirely one-sidedly:
+//!
+//! 1. `CAS` the bag lock (failure = failed steal attempt),
+//! 2. `GET` the size (empty → release, failed attempt),
+//! 3. take `⌈size/2⌉` of the *oldest* tasks (steal-half, Hendler & Shavit),
+//!    `PUT` the new size, release the lock, and transfer
+//!    `k · TASK_BYTES` of payload.
+//!
+//! The victim is never interrupted — the property the paper credits for
+//! SAWS's scalability. Termination uses the one-sided Mattern token: the
+//! holder writes the token record into its successor's segment; idle
+//! workers poll their own slot at local cost.
+
+use dcs_apps::uts::UtsSpec;
+use dcs_sim::{
+    Actor, Engine, GlobalAddr, Machine, MachineConfig, MachineProfile, SimRng, Step, VTime,
+    WorkerId,
+};
+
+use crate::termination::{accumulate, Detector, Token};
+use crate::{expand_node, BotReport, Counters, NodeTask, TASK_BYTES};
+
+/// How much of a victim's bag a successful steal takes.
+///
+/// Dinan et al. and SAWS both argue for steal-half on UTS-like workloads;
+/// [`run_uts_with`] lets the `ablate_stealhalf` bench quantify that design
+/// choice on this fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StealAmount {
+    /// Take ⌊size/2⌋ tasks (requires size ≥ 2).
+    Half,
+    /// Take exactly one task (requires size ≥ 2 so the owner keeps one).
+    One,
+}
+
+/// Segment layout (word indices).
+const W_LOCK: u32 = 0;
+const W_SIZE: u32 = 1;
+const W_TOK_ROUND: u32 = 2;
+const W_TOK_CREATED: u32 = 3;
+const W_TOK_CONSUMED: u32 = 4;
+const RESERVED: u32 = 5 * 8;
+
+/// Shared state of a one-sided BoT run.
+pub struct BotWorld {
+    pub m: Machine,
+    pub bags: Vec<Vec<NodeTask>>,
+    pub counters: Vec<Counters>,
+    pub token_rounds: u64,
+}
+
+enum BState {
+    Work,
+    Idle,
+    /// Holding `victim`'s bag lock from the previous step.
+    StealTake { victim: WorkerId },
+}
+
+struct BotWorker {
+    me: WorkerId,
+    n: usize,
+    spec: UtsSpec,
+    amount: StealAmount,
+    scale: f64,
+    rng: SimRng,
+    state: BState,
+    /// Initiator only (worker 0).
+    detector: Detector,
+    token_outstanding: bool,
+    /// Last token round this worker forwarded (non-initiators).
+    forwarded_round: u64,
+    steals_ok: u64,
+    steals_failed: u64,
+    halted: bool,
+}
+
+fn word(me: WorkerId, w: u32) -> GlobalAddr {
+    GlobalAddr::new(me, w * 8)
+}
+
+impl BotWorker {
+    fn read_token(m: &mut Machine, me: WorkerId) -> (Token, VTime) {
+        let (round, c) = m.get_u64(me, word(me, W_TOK_ROUND));
+        let (created, _) = m.get_u64(me, word(me, W_TOK_CREATED));
+        let (consumed, _) = m.get_u64(me, word(me, W_TOK_CONSUMED));
+        (
+            Token {
+                round,
+                created,
+                consumed,
+            },
+            c,
+        )
+    }
+
+    /// Write the token into `to`'s slot: a 24-byte one-sided put.
+    fn put_token(m: &mut Machine, me: WorkerId, to: WorkerId, tok: Token) -> VTime {
+        let cost = m.put_u64(me, word(to, W_TOK_ROUND), tok.round);
+        m.put_u64_nb(me, word(to, W_TOK_CREATED), tok.created);
+        m.put_u64_nb(me, word(to, W_TOK_CONSUMED), tok.consumed);
+        cost
+    }
+
+    /// Termination check + token duties performed while idle. Returns the
+    /// cost, and sets the machine's done flag when detection fires.
+    fn token_duty(&mut self, now: VTime, w: &mut BotWorld) -> VTime {
+        let _ = now;
+        let me = self.me;
+        let cnt = w.counters[me];
+        if self.n == 1 {
+            // Degenerate ring: run the detector directly.
+            let done = self.detector.round_done(cnt.created, cnt.consumed);
+            w.token_rounds = self.detector.rounds;
+            if done {
+                w.m.set_done();
+            }
+            return w.m.local_op(me);
+        }
+        if self.me == 0 {
+            let (tok, cost) = Self::read_token(&mut w.m, me);
+            if self.token_outstanding && tok.round == self.detector.rounds + 1 {
+                // Round completed.
+                self.token_outstanding = false;
+                let done = self.detector.round_done(tok.created, tok.consumed);
+                w.token_rounds = self.detector.rounds;
+                if done {
+                    // Final collective reduction of the per-worker counts
+                    // (log₂ P message steps), then raise the flag.
+                    let hops = (self.n as f64).log2().ceil() as u64;
+                    let reduce =
+                        VTime::ns(hops * (w.m.lat().message + w.m.lat().msg_handler));
+                    w.m.set_done();
+                    return cost + reduce;
+                }
+            }
+            if !self.token_outstanding {
+                let tok = self.detector.new_round(cnt.created, cnt.consumed);
+                self.token_outstanding = true;
+                return cost + Self::put_token(&mut w.m, me, 1, tok);
+            }
+            cost
+        } else {
+            let (tok, cost) = Self::read_token(&mut w.m, me);
+            if tok.round > self.forwarded_round {
+                self.forwarded_round = tok.round;
+                let next = (me + 1) % self.n;
+                let out = accumulate(tok, cnt.created, cnt.consumed);
+                return cost + Self::put_token(&mut w.m, me, next, out);
+            }
+            cost
+        }
+    }
+
+    fn step_work(&mut self, w: &mut BotWorld) -> Step {
+        let me = self.me;
+        // Respect a thief holding our bag lock.
+        let (lock, _) = w.m.get_u64(me, word(me, W_LOCK));
+        if lock != 0 {
+            return Step::Yield(w.m.local_op(me));
+        }
+        let Some(task) = w.bags[me].pop() else {
+            self.state = BState::Idle;
+            return Step::Yield(w.m.local_op(me));
+        };
+        let (n_children, cost) = expand_node(&self.spec, task, &mut w.bags[me], self.scale);
+        let cnt = &mut w.counters[me];
+        cnt.consumed += 1;
+        cnt.created += n_children as u64;
+        cnt.nodes += 1;
+        // Owner-side size update (local put).
+        let size = w.bags[me].len() as u64;
+        let c2 = w.m.put_u64(me, word(me, W_SIZE), size);
+        Step::Yield(cost + c2)
+    }
+
+    fn step_idle(&mut self, now: VTime, w: &mut BotWorld) -> Step {
+        let me = self.me;
+        if w.m.is_done() {
+            assert!(w.bags[me].is_empty(), "terminated with work in the bag");
+            self.halted = true;
+            return Step::Halt;
+        }
+        if !w.bags[me].is_empty() {
+            self.state = BState::Work;
+            return Step::Yield(w.m.local_op(me));
+        }
+        let mut cost = self.token_duty(now, w);
+        if self.n >= 2 {
+            let victim = self.rng.victim(self.n, me);
+            let (old, c) = w.m.cas_u64(me, word(victim, W_LOCK), 0, me as u64 + 1);
+            cost += c;
+            if old == 0 {
+                self.state = BState::StealTake { victim };
+            } else {
+                self.steals_failed += 1;
+            }
+        }
+        Step::Yield(cost)
+    }
+
+    fn step_steal(&mut self, w: &mut BotWorld, victim: WorkerId) -> Step {
+        let me = self.me;
+        self.state = BState::Idle;
+        let (size, mut cost) = w.m.get_u64(me, word(victim, W_SIZE));
+        if size < 2 {
+            // Steal-half leaves half behind: a lone task stays with its
+            // owner. Taking the last task would allow a two-worker
+            // ping-pong where each side steals it back while the other is
+            // lock-blocked, so the task is never executed.
+            cost += w.m.put_u64_nb(me, word(victim, W_LOCK), 0);
+            self.steals_failed += 1;
+            return Step::Yield(cost);
+        }
+        let k = match self.amount {
+            StealAmount::Half => (size / 2) as usize,
+            StealAmount::One => 1,
+        };
+        // Steal the *oldest* half: they root the largest subtrees.
+        let stolen: Vec<NodeTask> = w.bags[victim].drain(..k).collect();
+        cost += w.m.put_u64(me, word(victim, W_SIZE), (size as usize - k) as u64);
+        cost += w.m.put_u64_nb(me, word(victim, W_LOCK), 0);
+        cost += w.m.get_bulk(me, victim, k * TASK_BYTES);
+        w.bags[me].extend(stolen);
+        w.m.put_u64_nb(me, word(me, W_SIZE), w.bags[me].len() as u64);
+        self.steals_ok += 1;
+        self.state = BState::Work;
+        Step::Yield(cost)
+    }
+}
+
+impl Actor<BotWorld> for BotWorker {
+    fn step(&mut self, me: WorkerId, now: VTime, w: &mut BotWorld) -> Step {
+        debug_assert_eq!(me, self.me);
+        if self.halted {
+            return Step::Halt;
+        }
+        match self.state {
+            BState::Work => self.step_work(w),
+            BState::Idle => self.step_idle(now, w),
+            BState::StealTake { victim } => self.step_steal(w, victim),
+        }
+    }
+}
+
+/// Run UTS under the one-sided BoT runtime with steal-half (the
+/// SAWS/Scioto configuration).
+pub fn run_uts(spec: &UtsSpec, workers: usize, profile: MachineProfile, seed: u64) -> BotReport {
+    run_uts_with(spec, workers, profile, seed, StealAmount::Half)
+}
+
+/// Run UTS with an explicit steal amount (ablation entry point).
+pub fn run_uts_with(
+    spec: &UtsSpec,
+    workers: usize,
+    profile: MachineProfile,
+    seed: u64,
+    amount: StealAmount,
+) -> BotReport {
+    let scale = profile.compute_scale;
+    let m = Machine::new(
+        MachineConfig::new(workers, profile)
+            .with_seg_bytes(1 << 16)
+            .with_reserved(RESERVED),
+    );
+    let mut world = BotWorld {
+        m,
+        bags: (0..workers).map(|_| Vec::new()).collect(),
+        counters: vec![Counters::default(); workers],
+        token_rounds: 0,
+    };
+    world.bags[0].push((spec.root(), 0));
+    world.counters[0].created = 1;
+    world.m.put_u64(0, word(0, W_SIZE), 1);
+
+    let actors: Vec<BotWorker> = (0..workers)
+        .map(|me| BotWorker {
+            me,
+            n: workers,
+            spec: spec.clone(),
+            amount,
+            scale,
+            rng: SimRng::for_worker(seed, me),
+            state: if me == 0 { BState::Work } else { BState::Idle },
+            detector: Detector::default(),
+            token_outstanding: false,
+            forwarded_round: 0,
+            steals_ok: 0,
+            steals_failed: 0,
+            halted: false,
+        })
+        .collect();
+
+    let mut engine = Engine::new(world, actors);
+    let report = engine.run();
+    let (world, actors) = engine.into_parts();
+
+    let created: u64 = world.counters.iter().map(|c| c.created).sum();
+    let consumed: u64 = world.counters.iter().map(|c| c.consumed).sum();
+    assert_eq!(created, consumed, "termination fired with outstanding work");
+
+    BotReport {
+        elapsed: report.end_time,
+        nodes: world.counters.iter().map(|c| c.nodes).sum(),
+        steals_ok: actors.iter().map(|a| a.steals_ok).sum(),
+        steals_failed: actors.iter().map(|a| a.steals_failed).sum(),
+        messages: 0,
+        token_rounds: world.token_rounds,
+        fabric: world.m.stats_total(),
+        steps: report.steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_apps::uts::{presets, serial_count};
+    use dcs_sim::profiles;
+
+    #[test]
+    fn counts_match_serial_various_workers() {
+        let spec = presets::tiny();
+        let expected = serial_count(&spec).nodes;
+        for workers in [1, 2, 4, 8] {
+            let r = run_uts(&spec, workers, profiles::test_profile(), 42);
+            assert_eq!(r.nodes, expected, "P={workers}");
+        }
+    }
+
+    #[test]
+    fn steals_happen_and_are_bulk() {
+        let spec = presets::tiny();
+        let r = run_uts(&spec, 4, profiles::test_profile(), 1);
+        assert!(r.steals_ok > 0);
+        // Steal-half moves many tasks per steal: far fewer steals than nodes.
+        assert!(r.steals_ok * 20 < r.nodes, "{} steals", r.steals_ok);
+        assert_eq!(r.messages, 0, "one-sided runtime sends no messages");
+    }
+
+    #[test]
+    fn termination_needs_at_least_two_rounds() {
+        let spec = presets::tiny();
+        let r = run_uts(&spec, 2, profiles::test_profile(), 3);
+        assert!(r.token_rounds >= 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let spec = presets::tiny();
+        let a = run_uts(&spec, 4, profiles::test_profile(), 9);
+        let b = run_uts(&spec, 4, profiles::test_profile(), 9);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.steals_ok, b.steals_ok);
+    }
+
+    #[test]
+    fn scaling_reduces_elapsed() {
+        let spec = presets::small();
+        let t1 = run_uts(&spec, 1, profiles::itoa(), 5).elapsed;
+        let t8 = run_uts(&spec, 8, profiles::itoa(), 5).elapsed;
+        let speedup = t1.as_ns() as f64 / t8.as_ns() as f64;
+        assert!(speedup > 4.0, "speedup {speedup} too low");
+    }
+}
+
+#[cfg(test)]
+mod steal_amount_tests {
+    use super::*;
+    use dcs_apps::uts::{presets, serial_count};
+    use dcs_sim::profiles;
+
+    #[test]
+    fn steal_one_and_steal_half_agree_on_counts() {
+        // Note: on UTS a single stolen node roots a whole subtree, so
+        // steal-one is less pathological here than on flat bags; the
+        // quantitative comparison lives in the ablate_stealhalf bench.
+        let spec = presets::tiny();
+        let expected = serial_count(&spec).nodes;
+        for amount in [StealAmount::Half, StealAmount::One] {
+            for p in [2usize, 4, 8] {
+                let r = run_uts_with(&spec, p, profiles::itoa(), 3, amount);
+                assert_eq!(r.nodes, expected, "{amount:?} P={p}");
+            }
+        }
+    }
+}

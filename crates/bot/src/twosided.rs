@@ -1,0 +1,427 @@
+//! Two-sided (message-based) bag-of-tasks work stealing.
+//!
+//! Models the Charm++/ParSSSE and X10/GLB comparators of Fig. 8. A steal is
+//! a *request/reply* exchange: the thief sends a `Request`, the victim must
+//! poll its mailbox between tasks, handle the message (receiver CPU cost),
+//! and reply with half its bag or a denial. Two variants share the actor:
+//!
+//! * [`Variant::Random`] — Charm++-style: idle workers keep issuing
+//!   requests to uniformly random victims.
+//! * [`Variant::Lifeline`] — X10/GLB-style: after `w` failed random
+//!   attempts the thief registers on its hypercube *lifeline* neighbours and
+//!   goes quiescent; victims push half their surplus to an armed lifeline
+//!   as they generate work (Saraswat et al.).
+//!
+//! Termination is the Mattern token circulating as a ring message.
+
+use std::collections::VecDeque;
+
+use dcs_apps::uts::UtsSpec;
+use dcs_sim::{
+    Actor, Engine, Machine, MachineConfig, MachineProfile, Mailbox, SimRng, Step, VTime, WorkerId,
+};
+
+use crate::termination::{accumulate, Detector, Token};
+use crate::{expand_node, BotReport, Counters, NodeTask, TASK_BYTES};
+
+/// Which two-sided strategy to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Random request/reply stealing (Charm++-like).
+    Random,
+    /// Random attempts, then hypercube lifelines (X10/GLB-like).
+    Lifeline,
+}
+
+/// Messages exchanged between workers.
+#[derive(Debug)]
+pub enum Msg {
+    Request,
+    Grant(Vec<NodeTask>),
+    Deny,
+    /// Arm a lifeline from the sender to the receiver.
+    Lifeline,
+    /// Work pushed down an armed lifeline.
+    Push(Vec<NodeTask>),
+    Token(Token),
+}
+
+/// Shared state of a two-sided BoT run.
+pub struct TwoWorld {
+    pub m: Machine,
+    pub bags: Vec<Vec<NodeTask>>,
+    pub counters: Vec<Counters>,
+    pub mailbox: Mailbox<Msg>,
+    pub token_rounds: u64,
+}
+
+/// Random-attempt budget before falling back to lifelines.
+const RANDOM_ATTEMPTS: u32 = 2;
+/// Minimum bag size before a victim grants/pushes half.
+const SURPLUS: usize = 2;
+
+struct TwoWorker {
+    me: WorkerId,
+    n: usize,
+    variant: Variant,
+    spec: UtsSpec,
+    scale: f64,
+    rng: SimRng,
+    /// Outstanding steal request, if any.
+    pending: Option<WorkerId>,
+    fails: u32,
+    /// Lifelines registered *on this worker* (armed, FIFO for fairness).
+    armed_on_me: VecDeque<WorkerId>,
+    /// Which of my lifeline neighbours I currently have armed.
+    my_armed: Vec<WorkerId>,
+    /// Token held while busy.
+    held_token: Option<Token>,
+    detector: Detector,
+    token_outstanding: bool,
+    steals_ok: u64,
+    steals_failed: u64,
+    halted: bool,
+}
+
+impl TwoWorker {
+    fn lifeline_neighbours(&self) -> Vec<WorkerId> {
+        let mut out = Vec::new();
+        let mut bit = 1;
+        while bit < self.n {
+            let nb = self.me ^ bit;
+            if nb < self.n {
+                out.push(nb);
+            }
+            bit <<= 1;
+        }
+        out
+    }
+
+    fn send(&self, w: &mut TwoWorld, now: VTime, to: WorkerId, msg: Msg) -> VTime {
+        let cost = w.m.message_sent(self.me);
+        let deliver = now + cost + VTime::ns(w.m.lat().message);
+        w.mailbox.send(self.me, to, deliver, msg);
+        cost
+    }
+
+    fn send_tasks(&self, w: &mut TwoWorld, now: VTime, to: WorkerId, msg: Msg, k: usize) -> VTime {
+        let cost = w.m.message_sent(self.me) + w.m.lat().payload(k * TASK_BYTES);
+        let deliver = now + cost + VTime::ns(w.m.lat().message);
+        w.mailbox.send(self.me, to, deliver, msg);
+        cost
+    }
+
+    /// Forward (or hold) a token per Mattern's ring.
+    fn on_token(&mut self, w: &mut TwoWorld, now: VTime, tok: Token) -> VTime {
+        if !w.bags[self.me].is_empty() {
+            self.held_token = Some(tok);
+            return VTime::ZERO;
+        }
+        self.forward_token(w, now, tok)
+    }
+
+    fn forward_token(&mut self, w: &mut TwoWorld, now: VTime, tok: Token) -> VTime {
+        let cnt = w.counters[self.me];
+        if self.me == 0 {
+            // Round completed.
+            self.token_outstanding = false;
+            let done = self.detector.round_done(tok.created, tok.consumed);
+            w.token_rounds = self.detector.rounds;
+            if done {
+                let hops = (self.n as f64).log2().ceil() as u64;
+                let reduce = VTime::ns(hops * (w.m.lat().message + w.m.lat().msg_handler));
+                w.m.set_done();
+                return reduce;
+            }
+            VTime::ZERO
+        } else {
+            let out = accumulate(tok, cnt.created, cnt.consumed);
+            self.send(w, now, (self.me + 1) % self.n, Msg::Token(out))
+        }
+    }
+
+    /// Handle one incoming message; returns its cost, and whether the worker
+    /// acquired work.
+    fn handle(&mut self, w: &mut TwoWorld, now: VTime, from: WorkerId, msg: Msg) -> (VTime, bool) {
+        let me = self.me;
+        let mut cost = w.m.message_handled(me);
+        let mut got_work = false;
+        match msg {
+            Msg::Request => {
+                if w.bags[me].len() >= SURPLUS {
+                    let k = w.bags[me].len() / 2;
+                    let tasks: Vec<NodeTask> = w.bags[me].drain(..k).collect();
+                    cost += self.send_tasks(w, now, from, Msg::Grant(tasks), k);
+                } else {
+                    cost += self.send(w, now, from, Msg::Deny);
+                }
+            }
+            Msg::Grant(tasks) => {
+                debug_assert_eq!(self.pending, Some(from));
+                self.pending = None;
+                self.fails = 0;
+                self.steals_ok += 1;
+                cost += w.m.lat().payload(tasks.len() * TASK_BYTES);
+                w.bags[me].extend(tasks);
+                got_work = true;
+            }
+            Msg::Deny => {
+                debug_assert_eq!(self.pending, Some(from));
+                self.pending = None;
+                self.fails += 1;
+                self.steals_failed += 1;
+            }
+            Msg::Lifeline => {
+                if !self.armed_on_me.contains(&from) {
+                    self.armed_on_me.push_back(from);
+                }
+            }
+            Msg::Push(tasks) => {
+                self.my_armed.retain(|&v| v != from);
+                cost += w.m.lat().payload(tasks.len() * TASK_BYTES);
+                w.bags[me].extend(tasks);
+                self.steals_ok += 1;
+                got_work = true;
+            }
+            Msg::Token(tok) => {
+                cost += self.on_token(w, now, tok);
+            }
+        }
+        (cost, got_work)
+    }
+
+    fn poll_one(&mut self, w: &mut TwoWorld, now: VTime) -> (VTime, bool) {
+        let mut cost = w.m.local_op(self.me);
+        let mut got = false;
+        if let Some((from, msg)) = w.mailbox.recv(self.me, now) {
+            let (c, g) = self.handle(w, now, from, msg);
+            cost += c;
+            got = g;
+        }
+        (cost, got)
+    }
+
+    fn step_work(&mut self, w: &mut TwoWorld, now: VTime) -> Step {
+        let me = self.me;
+        // Poll between tasks — the receiver-side interruption two-sided
+        // stealing imposes.
+        let (mut cost, _) = self.poll_one(w, now);
+        let Some(task) = w.bags[me].pop() else {
+            // Release a held token before going idle.
+            if let Some(tok) = self.held_token.take() {
+                cost += self.forward_token(w, now, tok);
+            }
+            return Step::Yield(cost + w.m.local_op(me));
+        };
+        let (n_children, c2) = expand_node(&self.spec, task, &mut w.bags[me], self.scale);
+        cost += c2;
+        let cnt = &mut w.counters[me];
+        cnt.consumed += 1;
+        cnt.created += n_children as u64;
+        cnt.nodes += 1;
+        // Lifeline distribution: feed one armed lifeline from surplus.
+        if self.variant == Variant::Lifeline && w.bags[me].len() > SURPLUS {
+            if let Some(dst) = self.armed_on_me.pop_front() {
+                let k = w.bags[me].len() / 2;
+                let tasks: Vec<NodeTask> = w.bags[me].drain(..k).collect();
+                cost += self.send_tasks(w, now, dst, Msg::Push(tasks), k);
+            }
+        }
+        Step::Yield(cost)
+    }
+
+    fn step_idle(&mut self, w: &mut TwoWorld, now: VTime) -> Step {
+        let me = self.me;
+        if w.m.is_done() {
+            assert!(w.bags[me].is_empty(), "terminated with work in the bag");
+            self.halted = true;
+            return Step::Halt;
+        }
+        let (mut cost, _) = self.poll_one(w, now);
+        if !w.bags[me].is_empty() {
+            return Step::Yield(cost);
+        }
+        // Release a token held since the busy phase.
+        if let Some(tok) = self.held_token.take() {
+            cost += self.forward_token(w, now, tok);
+        }
+        // Initiator token duty.
+        if me == 0 && !self.token_outstanding {
+            let cnt = w.counters[0];
+            if self.n == 1 {
+                let done = self.detector.round_done(cnt.created, cnt.consumed);
+                w.token_rounds = self.detector.rounds;
+                if done {
+                    w.m.set_done();
+                }
+                return Step::Yield(cost + w.m.local_op(me));
+            }
+            let tok = self.detector.new_round(cnt.created, cnt.consumed);
+            self.token_outstanding = true;
+            cost += self.send(w, now, 1, Msg::Token(tok));
+        }
+        if self.n == 1 {
+            return Step::Yield(cost);
+        }
+        if self.pending.is_some() {
+            // Waiting for a reply; just keep polling.
+            return Step::Yield(cost);
+        }
+        match self.variant {
+            Variant::Random => {
+                let victim = self.rng.victim(self.n, me);
+                cost += self.send(w, now, victim, Msg::Request);
+                self.pending = Some(victim);
+            }
+            Variant::Lifeline => {
+                if self.fails < RANDOM_ATTEMPTS {
+                    let victim = self.rng.victim(self.n, me);
+                    cost += self.send(w, now, victim, Msg::Request);
+                    self.pending = Some(victim);
+                } else {
+                    // Arm any un-armed lifelines, then wait passively.
+                    for nb in self.lifeline_neighbours() {
+                        if !self.my_armed.contains(&nb) {
+                            self.my_armed.push(nb);
+                            cost += self.send(w, now, nb, Msg::Lifeline);
+                        }
+                    }
+                }
+            }
+        }
+        Step::Yield(cost)
+    }
+}
+
+impl Actor<TwoWorld> for TwoWorker {
+    fn step(&mut self, me: WorkerId, now: VTime, w: &mut TwoWorld) -> Step {
+        debug_assert_eq!(me, self.me);
+        if self.halted {
+            return Step::Halt;
+        }
+        if w.bags[me].is_empty() {
+            self.step_idle(w, now)
+        } else {
+            self.step_work(w, now)
+        }
+    }
+}
+
+/// Run UTS under a two-sided BoT runtime.
+pub fn run_uts(
+    spec: &UtsSpec,
+    workers: usize,
+    profile: MachineProfile,
+    variant: Variant,
+    seed: u64,
+) -> BotReport {
+    let scale = profile.compute_scale;
+    let m = Machine::new(MachineConfig::new(workers, profile).with_seg_bytes(1 << 12));
+    let mut world = TwoWorld {
+        m,
+        bags: (0..workers).map(|_| Vec::new()).collect(),
+        counters: vec![Counters::default(); workers],
+        mailbox: Mailbox::new(workers),
+        token_rounds: 0,
+    };
+    world.bags[0].push((spec.root(), 0));
+    world.counters[0].created = 1;
+
+    let actors: Vec<TwoWorker> = (0..workers)
+        .map(|me| TwoWorker {
+            me,
+            n: workers,
+            variant,
+            spec: spec.clone(),
+            scale,
+            rng: SimRng::for_worker(seed, me),
+            pending: None,
+            fails: 0,
+            armed_on_me: VecDeque::new(),
+            my_armed: Vec::new(),
+            held_token: None,
+            detector: Detector::default(),
+            token_outstanding: false,
+            steals_ok: 0,
+            steals_failed: 0,
+            halted: false,
+        })
+        .collect();
+
+    let mut engine = Engine::new(world, actors);
+    let report = engine.run();
+    let (world, actors) = engine.into_parts();
+
+    let created: u64 = world.counters.iter().map(|c| c.created).sum();
+    let consumed: u64 = world.counters.iter().map(|c| c.consumed).sum();
+    assert_eq!(created, consumed, "termination fired with outstanding work");
+
+    BotReport {
+        elapsed: report.end_time,
+        nodes: world.counters.iter().map(|c| c.nodes).sum(),
+        steals_ok: actors.iter().map(|a| a.steals_ok).sum(),
+        steals_failed: actors.iter().map(|a| a.steals_failed).sum(),
+        messages: world.m.stats_total().messages_handled,
+        token_rounds: world.token_rounds,
+        fabric: world.m.stats_total(),
+        steps: report.steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_apps::uts::{presets, serial_count};
+    use dcs_sim::profiles;
+
+    #[test]
+    fn random_counts_match_serial() {
+        let spec = presets::tiny();
+        let expected = serial_count(&spec).nodes;
+        for workers in [1, 2, 4, 8] {
+            let r = run_uts(&spec, workers, profiles::test_profile(), Variant::Random, 11);
+            assert_eq!(r.nodes, expected, "P={workers}");
+        }
+    }
+
+    #[test]
+    fn lifeline_counts_match_serial() {
+        let spec = presets::tiny();
+        let expected = serial_count(&spec).nodes;
+        for workers in [1, 2, 4, 8] {
+            let r = run_uts(&spec, workers, profiles::test_profile(), Variant::Lifeline, 13);
+            assert_eq!(r.nodes, expected, "P={workers}");
+        }
+    }
+
+    #[test]
+    fn two_sided_runtimes_send_messages() {
+        let spec = presets::tiny();
+        let r = run_uts(&spec, 4, profiles::test_profile(), Variant::Random, 17);
+        assert!(r.messages > 0);
+        assert!(r.steals_ok > 0);
+    }
+
+    #[test]
+    fn lifeline_cuts_failed_attempts_versus_random() {
+        let spec = presets::small();
+        let rnd = run_uts(&spec, 8, profiles::itoa(), Variant::Random, 23);
+        let ll = run_uts(&spec, 8, profiles::itoa(), Variant::Lifeline, 23);
+        assert_eq!(rnd.nodes, ll.nodes);
+        assert!(
+            ll.steals_failed < rnd.steals_failed,
+            "lifelines should reduce failed requests: {} vs {}",
+            ll.steals_failed,
+            rnd.steals_failed
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let spec = presets::tiny();
+        let a = run_uts(&spec, 4, profiles::test_profile(), Variant::Lifeline, 29);
+        let b = run_uts(&spec, 4, profiles::test_profile(), Variant::Lifeline, 29);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.messages, b.messages);
+    }
+}

@@ -1,0 +1,572 @@
+//! Argument parsing and run orchestration for the `dcs` command-line tool.
+//!
+//! Hand-rolled flag parsing (the workspace's dependency policy keeps the
+//! simulator core dependency-free); the grammar is small and fully covered
+//! by unit tests.
+//!
+//! ```text
+//! dcs run --bench uts --policy cont-greedy --workers 64 --machine itoa
+//! dcs sweep --bench recpfor --n 1024 --workers 1,2,4,8,16
+//! dcs info
+//! ```
+
+use std::fmt::Write as _;
+
+use dcs_apps::{lcs, matmul, msort, nqueens, pfor, uts};
+use dcs_core::prelude::*;
+use dcs_sim::Topology;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    Run(RunArgs),
+    Sweep(SweepArgs),
+    Info,
+    Help,
+}
+
+/// Which benchmark program to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bench {
+    Fib,
+    Pfor,
+    Recpfor,
+    Uts,
+    Lcs,
+    Nqueens,
+    Msort,
+    Matmul,
+    BotUts,
+}
+
+impl Bench {
+    fn parse(s: &str) -> Result<Bench, String> {
+        Ok(match s {
+            "fib" => Bench::Fib,
+            "pfor" => Bench::Pfor,
+            "recpfor" => Bench::Recpfor,
+            "uts" => Bench::Uts,
+            "lcs" => Bench::Lcs,
+            "nqueens" => Bench::Nqueens,
+            "msort" => Bench::Msort,
+            "matmul" => Bench::Matmul,
+            "bot-uts" => Bench::BotUts,
+            other => {
+                return Err(format!(
+                    "unknown bench '{other}' (fib|pfor|recpfor|uts|lcs|nqueens|msort|matmul|bot-uts)"
+                ))
+            }
+        })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    pub bench: Bench,
+    pub policy: Policy,
+    pub workers: usize,
+    pub machine: MachineProfile,
+    pub n: u64,
+    pub seed: u64,
+    pub free: FreeStrategy,
+    pub scheme: AddressScheme,
+    pub victim: VictimPolicy,
+    pub node_size: Option<usize>,
+    /// Write a Chrome trace of the run to this path.
+    pub trace_out: Option<String>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    pub base: RunArgs,
+    pub worker_list: Vec<usize>,
+}
+
+fn parse_policy(s: &str) -> Result<Policy, String> {
+    Ok(match s {
+        "cont-greedy" | "greedy" => Policy::ContGreedy,
+        "cont-stalling" | "stalling" => Policy::ContStalling,
+        "child-full" => Policy::ChildFull,
+        "child-rtc" => Policy::ChildRtc,
+        other => {
+            return Err(format!(
+                "unknown policy '{other}' (cont-greedy|cont-stalling|child-full|child-rtc)"
+            ))
+        }
+    })
+}
+
+fn parse_victim(s: &str) -> Result<VictimPolicy, String> {
+    if s == "uniform" {
+        return Ok(VictimPolicy::Uniform);
+    }
+    if let Some(p) = s.strip_prefix("locality:") {
+        let p: f64 = p.parse().map_err(|_| format!("bad locality prob '{s}'"))?;
+        return Ok(VictimPolicy::Locality { p_local: p });
+    }
+    if let Some(k) = s.strip_prefix("hier:") {
+        let k: u32 = k.parse().map_err(|_| format!("bad hier tries '{s}'"))?;
+        return Ok(VictimPolicy::Hierarchical { local_tries: k });
+    }
+    Err(format!(
+        "unknown victim policy '{s}' (uniform|locality:<p>|hier:<tries>)"
+    ))
+}
+
+impl RunArgs {
+    fn defaults() -> RunArgs {
+        RunArgs {
+            bench: Bench::Uts,
+            policy: Policy::ContGreedy,
+            workers: 16,
+            machine: profiles::itoa(),
+            n: 0, // bench-specific default
+            seed: 0x5EED,
+            free: FreeStrategy::LocalCollection,
+            scheme: AddressScheme::Uni,
+            victim: VictimPolicy::Uniform,
+            node_size: None,
+            trace_out: None,
+        }
+    }
+}
+
+/// Parse a full argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "info" => Ok(Command::Info),
+        "run" => Ok(Command::Run(parse_run(rest)?)),
+        "sweep" => {
+            let (base, workers) = parse_run_with_list(rest)?;
+            Ok(Command::Sweep(SweepArgs {
+                base,
+                worker_list: workers,
+            }))
+        }
+        other => Err(format!("unknown command '{other}' (run|sweep|info|help)")),
+    }
+}
+
+fn parse_run(args: &[String]) -> Result<RunArgs, String> {
+    let (run, list) = parse_run_with_list(args)?;
+    if list.len() > 1 {
+        return Err("multiple --workers values only make sense with `sweep`".into());
+    }
+    Ok(run)
+}
+
+fn parse_run_with_list(args: &[String]) -> Result<(RunArgs, Vec<usize>), String> {
+    let mut out = RunArgs::defaults();
+    let mut worker_list = vec![out.workers];
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--bench" => out.bench = Bench::parse(val()?)?,
+            "--policy" => out.policy = parse_policy(val()?)?,
+            "--workers" | "-p" => {
+                let v = val()?;
+                worker_list = v
+                    .split(',')
+                    .map(|x| x.parse::<usize>().map_err(|_| format!("bad workers '{v}'")))
+                    .collect::<Result<_, _>>()?;
+                if worker_list.is_empty() {
+                    return Err("empty worker list".into());
+                }
+                out.workers = worker_list[0];
+            }
+            "--machine" => {
+                let v = val()?;
+                out.machine =
+                    profiles::by_name(v).ok_or_else(|| format!("unknown machine '{v}' (itoa|wisteria|test)"))?;
+            }
+            "--n" => out.n = val()?.parse().map_err(|_| "bad --n".to_string())?,
+            "--seed" => out.seed = val()?.parse().map_err(|_| "bad --seed".to_string())?,
+            "--free" => {
+                out.free = match val()?.as_str() {
+                    "lock-queue" => FreeStrategy::LockQueue,
+                    "local-collection" => FreeStrategy::LocalCollection,
+                    other => return Err(format!("unknown free strategy '{other}'")),
+                }
+            }
+            "--scheme" => {
+                out.scheme = match val()?.as_str() {
+                    "uni" => AddressScheme::Uni,
+                    "iso" => AddressScheme::Iso,
+                    other => return Err(format!("unknown address scheme '{other}'")),
+                }
+            }
+            "--victim" => out.victim = parse_victim(val()?)?,
+            "--node-size" => {
+                out.node_size = Some(val()?.parse().map_err(|_| "bad --node-size".to_string())?)
+            }
+            "--trace" => out.trace_out = Some(val()?.clone()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok((out, worker_list))
+}
+
+/// Default problem size per benchmark when `--n` is absent.
+pub fn default_n(bench: Bench) -> u64 {
+    match bench {
+        Bench::Fib => 20,
+        Bench::Pfor => 1 << 12,
+        Bench::Recpfor => 1 << 9,
+        Bench::Uts | Bench::BotUts => 15, // gen_mx
+        Bench::Lcs => 1 << 12,
+        Bench::Nqueens => 9,
+        Bench::Msort => 1 << 14,
+        Bench::Matmul => 128,
+    }
+}
+
+fn fib_task(arg: Value, _ctx: &mut TaskCtx) -> Effect {
+    let n = arg.as_u64();
+    if n < 2 {
+        return Effect::ret(n);
+    }
+    Effect::fork(
+        fib_task,
+        n - 1,
+        frame(move |h, _| {
+            let h = h.as_handle();
+            Effect::call(
+                fib_task,
+                n - 2,
+                frame(move |b, _| {
+                    let b = b.as_u64();
+                    Effect::join(h, frame(move |a, _| Effect::ret(a.as_u64() + b)))
+                }),
+            )
+        }),
+    )
+}
+
+/// Execute a `run` command, returning the rendered report.
+pub fn execute_run(a: &RunArgs) -> String {
+    let n = if a.n == 0 { default_n(a.bench) } else { a.n };
+    let mut cfg = RunConfig::new(a.workers, a.policy)
+        .with_profile(a.machine.clone())
+        .with_free_strategy(a.free)
+        .with_address_scheme(a.scheme)
+        .with_victim(a.victim)
+        .with_seed(a.seed)
+        .with_seg_bytes(64 << 20);
+    if a.trace_out.is_some() {
+        cfg = cfg.with_trace(TraceLevel::Series);
+    }
+    if let Some(node_size) = a.node_size {
+        cfg = cfg.with_topology(Topology::Hierarchical {
+            node_size,
+            intra_factor: 0.3,
+        });
+    }
+
+    if a.bench == Bench::BotUts {
+        let spec = uts::UtsSpec::new(4.0, n as u32, uts::Shape::Linear, 19);
+        let r = dcs_bot::onesided::run_uts(&spec, a.workers, a.machine.clone(), a.seed);
+        let mut s = String::new();
+        let _ = writeln!(s, "bench:      bot-uts (one-sided steal-half, gen_mx = {n})");
+        let _ = writeln!(s, "nodes:      {}", r.nodes);
+        let _ = writeln!(s, "elapsed:    {}", r.elapsed);
+        let _ = writeln!(s, "throughput: {:.2} Mnodes/s", r.throughput() / 1e6);
+        let _ = writeln!(s, "steals:     {} ok, {} failed", r.steals_ok, r.steals_failed);
+        let _ = writeln!(s, "token rounds: {}", r.token_rounds);
+        return s;
+    }
+
+    let program = match a.bench {
+        Bench::Fib => Program::new(fib_task, n),
+        Bench::Pfor => pfor::pfor_program(pfor::PforParams::paper(n)),
+        Bench::Recpfor => pfor::recpfor_program(pfor::PforParams::paper(n)),
+        Bench::Uts => uts::program(uts::UtsSpec::new(4.0, n as u32, uts::Shape::Linear, 19)),
+        Bench::Lcs => lcs::program(lcs::LcsParams::random(n, 256.min(n), a.seed)),
+        Bench::Nqueens => nqueens::program(nqueens::NqParams::new(n as u32)),
+        Bench::Msort => msort::program(msort::SortParams::random(n as usize, 64, a.seed)),
+        Bench::Matmul => {
+            matmul::program(matmul::MatParams::random(n as usize, 16.min(n as usize), a.seed))
+        }
+        Bench::BotUts => unreachable!("handled above"),
+    };
+    let report = run(cfg, program);
+    let mut rendered = render_report(a, n, &report);
+    if let Some(d) = report.stats.delay_report(report.elapsed, a.workers) {
+        let _ = writeln!(
+            rendered,
+            "delay:      {} scheduler-caused of {} idle ({:.1}% of idleness)",
+            d.scheduler_delay,
+            d.idle,
+            100.0 * d.blame_fraction
+        );
+    }
+    if let Some(path) = &a.trace_out {
+        let json = dcs_core::chrome_trace(&report.stats, &format!("{:?}", a.bench))
+            .expect("series trace was enabled");
+        match std::fs::write(path, json) {
+            Ok(()) => {
+                let _ = writeln!(rendered, "trace:      {path} (chrome://tracing / perfetto)");
+            }
+            Err(e) => {
+                let _ = writeln!(rendered, "trace:      FAILED to write {path}: {e}");
+            }
+        }
+    }
+    rendered
+}
+
+fn render_report(a: &RunArgs, n: u64, r: &RunReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "bench:      {:?} (n = {n}), {} under {}",
+        a.bench,
+        a.policy.label(),
+        a.machine.name
+    );
+    let _ = writeln!(s, "result:     {}", r.result.summary());
+    let _ = writeln!(s, "elapsed:    {}", r.elapsed);
+    let _ = writeln!(s, "threads:    {}", r.threads);
+    let _ = writeln!(
+        s,
+        "steals:     {} ok ({} B avg, {} avg latency), {} failed",
+        r.stats.steals_ok,
+        r.stats.avg_stolen_bytes(),
+        r.stats.avg_steal_latency(),
+        r.stats.steals_failed
+    );
+    let _ = writeln!(
+        s,
+        "joins:      {} fast, {} outstanding ({} avg)",
+        r.stats.joins_fast,
+        r.stats.outstanding_joins,
+        r.stats.avg_outstanding_time()
+    );
+    let _ = writeln!(
+        s,
+        "fabric:     {} remote ops, {} KiB moved",
+        r.fabric.remote_total(),
+        (r.fabric.bytes_got + r.fabric.bytes_put) / 1024
+    );
+    let _ = writeln!(
+        s,
+        "busy:       {:.1}% of {} workers",
+        100.0 * r.busy_total.as_ns() as f64 / (r.elapsed.as_ns() as f64 * a.workers as f64),
+        a.workers
+    );
+    s
+}
+
+/// Execute a `sweep` command.
+pub fn execute_sweep(a: &SweepArgs) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:>8} {:>14} {:>10} {:>12} {:>10}",
+        "workers", "elapsed", "steals", "steal lat", "speedup"
+    );
+    let mut base: Option<f64> = None;
+    for &p in &a.worker_list {
+        let mut args = a.base.clone();
+        args.workers = p;
+        let n = if args.n == 0 { default_n(args.bench) } else { args.n };
+        let cfg = RunConfig::new(p, args.policy)
+            .with_profile(args.machine.clone())
+            .with_seed(args.seed)
+            .with_seg_bytes(64 << 20);
+        let program = match args.bench {
+            Bench::Fib => Program::new(fib_task, n),
+            Bench::Pfor => pfor::pfor_program(pfor::PforParams::paper(n)),
+            Bench::Recpfor => pfor::recpfor_program(pfor::PforParams::paper(n)),
+            Bench::Uts => uts::program(uts::UtsSpec::new(4.0, n as u32, uts::Shape::Linear, 19)),
+            Bench::Lcs => lcs::program(lcs::LcsParams::random(n, 256.min(n), args.seed)),
+            Bench::Nqueens => nqueens::program(nqueens::NqParams::new(n as u32)),
+            Bench::Msort => {
+                msort::program(msort::SortParams::random(n as usize, 64, args.seed))
+            }
+            Bench::Matmul => {
+                matmul::program(matmul::MatParams::random(n as usize, 16.min(n as usize), args.seed))
+            }
+            Bench::BotUts => {
+                let spec = uts::UtsSpec::new(4.0, n as u32, uts::Shape::Linear, 19);
+                let r = dcs_bot::onesided::run_uts(&spec, p, args.machine.clone(), args.seed);
+                let t = r.elapsed.as_ns() as f64;
+                let speedup = *base.get_or_insert(t) / t;
+                let _ = writeln!(
+                    s,
+                    "{:>8} {:>14} {:>10} {:>12} {:>9.2}x",
+                    p,
+                    r.elapsed.to_string(),
+                    r.steals_ok,
+                    "-",
+                    speedup
+                );
+                continue;
+            }
+        };
+        let r = run(cfg, program);
+        let t = r.elapsed.as_ns() as f64;
+        let speedup = *base.get_or_insert(t) / t;
+        let _ = writeln!(
+            s,
+            "{:>8} {:>14} {:>10} {:>12} {:>9.2}x",
+            p,
+            r.elapsed.to_string(),
+            r.stats.steals_ok,
+            r.stats.avg_steal_latency().to_string(),
+            speedup
+        );
+    }
+    s
+}
+
+/// The machine/configuration summary for `dcs info`.
+pub fn info() -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "dcs — distributed continuation stealing (CLUSTER 2022 reproduction)\n");
+    let _ = writeln!(s, "machine profiles:");
+    for p in [profiles::itoa(), profiles::wisteria()] {
+        let l = &p.latency;
+        let _ = writeln!(
+            s,
+            "  {:<12} get {:>7}  amo {:>7}  compute x{:.2}",
+            p.name,
+            l.get_small().to_string(),
+            l.amo().to_string(),
+            p.compute_scale
+        );
+    }
+    let _ = writeln!(s, "\npolicies: cont-greedy cont-stalling child-full child-rtc");
+    let _ = writeln!(s, "benches:  fib pfor recpfor uts lcs bot-uts");
+    let _ = writeln!(s, "see `dcs help` for flags");
+    s
+}
+
+pub const HELP: &str = "dcs — distributed continuation stealing simulator
+
+USAGE:
+    dcs run   [flags]      run one benchmark configuration
+    dcs sweep [flags]      sweep --workers a,b,c,...
+    dcs info               show machine profiles and options
+    dcs help               this text
+
+FLAGS (run & sweep):
+    --bench <fib|pfor|recpfor|uts|lcs|nqueens|msort|matmul|bot-uts> [uts]
+    --policy <cont-greedy|cont-stalling|child-full|child-rtc>       [cont-greedy]
+    --workers, -p <n[,n...]>                      worker count(s)    [16]
+    --machine <itoa|wisteria|test>                latency profile    [itoa]
+    --n <num>          problem size (bench-specific; uts: gen_mx)
+    --seed <num>       run seed                                      [0x5EED]
+    --free <lock-queue|local-collection>          remote freeing     [local-collection]
+    --scheme <uni|iso>                            stack addressing   [uni]
+    --victim <uniform|locality:<p>|hier:<k>>      victim selection   [uniform]
+    --node-size <n>    hierarchical topology with n workers per node
+    --trace <file>     write a Chrome trace (chrome://tracing, perfetto) [off]
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_run_defaults() {
+        let cmd = parse(&argv("run")).unwrap();
+        let Command::Run(a) = cmd else { panic!() };
+        assert_eq!(a.bench, Bench::Uts);
+        assert_eq!(a.policy, Policy::ContGreedy);
+        assert_eq!(a.workers, 16);
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let cmd = parse(&argv(
+            "run --bench lcs --policy child-full --workers 8 --machine wisteria \
+             --n 1024 --seed 7 --free lock-queue --scheme iso --victim locality:0.8 --node-size 4",
+        ))
+        .unwrap();
+        let Command::Run(a) = cmd else { panic!() };
+        assert_eq!(a.bench, Bench::Lcs);
+        assert_eq!(a.policy, Policy::ChildFull);
+        assert_eq!(a.workers, 8);
+        assert_eq!(a.machine.name, "Wisteria-O");
+        assert_eq!(a.n, 1024);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.free, FreeStrategy::LockQueue);
+        assert_eq!(a.scheme, AddressScheme::Iso);
+        assert_eq!(a.victim, VictimPolicy::Locality { p_local: 0.8 });
+        assert_eq!(a.node_size, Some(4));
+    }
+
+    #[test]
+    fn parses_sweep_worker_list() {
+        let cmd = parse(&argv("sweep --bench fib --workers 1,2,4")).unwrap();
+        let Command::Sweep(a) = cmd else { panic!() };
+        assert_eq!(a.worker_list, vec![1, 2, 4]);
+        assert_eq!(a.base.bench, Bench::Fib);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&argv("run --bench nope")).is_err());
+        assert!(parse(&argv("run --policy nope")).is_err());
+        assert!(parse(&argv("run --workers x")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("run --workers 1,2")).is_err(), "list needs sweep");
+        assert!(parse(&argv("run --victim locality:x")).is_err());
+        assert!(parse(&argv("run --n")).is_err(), "missing value");
+    }
+
+    #[test]
+    fn help_and_info_paths() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("info")).unwrap(), Command::Info);
+        assert!(info().contains("ITO-A"));
+        assert!(HELP.contains("--bench"));
+    }
+
+    #[test]
+    fn execute_run_small_fib() {
+        let mut a = RunArgs::defaults();
+        a.bench = Bench::Fib;
+        a.n = 10;
+        a.workers = 2;
+        a.machine = profiles::test_profile();
+        let out = execute_run(&a);
+        assert!(out.contains("U64(55)"), "{out}");
+    }
+
+    #[test]
+    fn execute_bot_uts() {
+        let mut a = RunArgs::defaults();
+        a.bench = Bench::BotUts;
+        a.n = 8; // gen_mx
+        a.workers = 2;
+        a.machine = profiles::test_profile();
+        let out = execute_run(&a);
+        assert!(out.contains("nodes:"), "{out}");
+    }
+
+    #[test]
+    fn execute_sweep_speedup_column() {
+        let mut base = RunArgs::defaults();
+        base.bench = Bench::Fib;
+        base.n = 12;
+        base.machine = profiles::test_profile();
+        let out = execute_sweep(&SweepArgs {
+            base,
+            worker_list: vec![1, 2],
+        });
+        assert!(out.contains("1.00x"), "{out}");
+    }
+}

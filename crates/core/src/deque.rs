@@ -1,0 +1,361 @@
+//! The per-worker task deque with a one-sided steal protocol.
+//!
+//! Control words and the entry ring live in the owner's pinned segment
+//! (offsets from [`SegLayout`]); the Rust payload objects live in the
+//! owner's [`crate::world::WorkerShared::items`] slab and are referenced by
+//! slab key from the ring. Owner operations (push/pop/peek) work on the
+//! *bottom* end at local cost; thieves operate on the *top* (oldest) end so
+//! the task with the most expected work is stolen (§II).
+//!
+//! The steal protocol mirrors MassiveThreads/DM's lock-based RDMA deque:
+//!
+//! 1. `CAS` the lock word (one atomic round trip). Failure — somebody else
+//!    holds it — is a failed steal attempt.
+//! 2. `GET` the `[top, bottom]` words (adjacent; one round trip). Empty →
+//!    release and report a failed steal.
+//! 3. `GET` the ring entry, then `PUT` `[lock := 0, top := top+1]` (the two
+//!    words are adjacent, one round trip releases and advances atomically
+//!    from the victim's point of view).
+//! 4. Transfer the payload (stack or descriptor bytes) — charged by the
+//!    scheduler, which also records steal statistics.
+//!
+//! The thief holds the lock **across simulator steps** (between
+//! [`thief_lock`] and [`thief_take`]), so a victim touching its own deque in
+//! that window observes the lock and must retry — the owner-side functions
+//! return [`Busy`] and the caller yields a local-op's worth of time, exactly
+//! the brief victim stall a real lock-based RDMA deque causes.
+
+use dcs_sim::{GlobalAddr, Machine, VTime, WorkerId};
+
+use crate::layout::{SegLayout, DQ_BOTTOM, DQ_LOCK, DQ_TOP};
+use crate::util::Slab;
+use crate::world::QueueItem;
+
+/// The deque is momentarily locked by a thief; retry next step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Busy;
+
+#[inline]
+fn word(lay: &SegLayout, me: WorkerId, w: u32) -> GlobalAddr {
+    GlobalAddr::new(me, lay.dq_word(w))
+}
+
+/// Owner-side lock check shared by all local operations.
+fn owner_check_lock(m: &mut Machine, lay: &SegLayout, me: WorkerId) -> Result<(), Busy> {
+    let (lock, _) = m.get_u64(me, word(lay, me, DQ_LOCK));
+    if lock != 0 {
+        Err(Busy)
+    } else {
+        Ok(())
+    }
+}
+
+/// Push an item at the bottom (local end). Returns the charged cost.
+pub fn owner_push(
+    m: &mut Machine,
+    items: &mut Slab<QueueItem>,
+    lay: &SegLayout,
+    me: WorkerId,
+    item: QueueItem,
+) -> Result<VTime, Busy> {
+    owner_check_lock(m, lay, me)?;
+    // One O(1) local operation covers the lock check, bounds, ring write
+    // and bottom update (all cache-resident for the owner).
+    let cost = m.local_op(me);
+    let top = m.read_own(me, word(lay, me, DQ_TOP));
+    let bottom = m.read_own(me, word(lay, me, DQ_BOTTOM));
+    assert!(
+        bottom - top < lay.deque_cap as u64,
+        "deque overflow (cap {}): nesting deeper than configured",
+        lay.deque_cap
+    );
+    let size = item.wire_size();
+    let key = items.insert(item);
+    let slot = GlobalAddr::new(me, lay.dq_slot(bottom));
+    m.write_own(me, slot, key as u64 + 1);
+    m.write_own(me, slot.field(1), size as u64);
+    m.write_own(me, word(lay, me, DQ_BOTTOM), bottom + 1);
+    Ok(cost)
+}
+
+/// Pop the bottom item, if any.
+pub fn owner_pop(
+    m: &mut Machine,
+    items: &mut Slab<QueueItem>,
+    lay: &SegLayout,
+    me: WorkerId,
+) -> Result<(Option<QueueItem>, VTime), Busy> {
+    owner_check_lock(m, lay, me)?;
+    let cost = m.local_op(me);
+    let top = m.read_own(me, word(lay, me, DQ_TOP));
+    let bottom = m.read_own(me, word(lay, me, DQ_BOTTOM));
+    if top == bottom {
+        return Ok((None, cost));
+    }
+    let slot = GlobalAddr::new(me, lay.dq_slot(bottom - 1));
+    let keyp1 = m.read_own(me, slot);
+    debug_assert_ne!(keyp1, 0, "ring slot referenced by bounds must be live");
+    let item = items.take((keyp1 - 1) as u32);
+    m.write_own(me, word(lay, me, DQ_BOTTOM), bottom - 1);
+    m.write_own(me, slot, 0);
+    Ok((Some(item), cost))
+}
+
+/// Fig.-4 DIE fast-path test: is the bottom item this dying thread's parent
+/// continuation (a `Cont` whose `spawned_child` equals `e`)? If so, pop it.
+/// The check-and-pop is one owner-local step, mirroring the work-first pop.
+pub fn owner_pop_parent(
+    m: &mut Machine,
+    items: &mut Slab<QueueItem>,
+    lay: &SegLayout,
+    me: WorkerId,
+    e: GlobalAddr,
+) -> Result<(Option<QueueItem>, VTime), Busy> {
+    owner_check_lock(m, lay, me)?;
+    let cost = m.local_op(me);
+    let top = m.read_own(me, word(lay, me, DQ_TOP));
+    let bottom = m.read_own(me, word(lay, me, DQ_BOTTOM));
+    if top == bottom {
+        return Ok((None, cost));
+    }
+    let slot = GlobalAddr::new(me, lay.dq_slot(bottom - 1));
+    let keyp1 = m.read_own(me, slot);
+    let key = (keyp1 - 1) as u32;
+    let is_parent = matches!(
+        items.get(key),
+        Some(QueueItem::Cont { spawned_child, .. }) if *spawned_child == e
+    );
+    if !is_parent {
+        return Ok((None, cost));
+    }
+    let item = items.take(key);
+    m.write_own(me, word(lay, me, DQ_BOTTOM), bottom - 1);
+    m.write_own(me, slot, 0);
+    Ok((Some(item), cost))
+}
+
+/// Number of queued items, from the owner's perspective (test/debug aid;
+/// does not charge time).
+pub fn owner_len(m: &mut Machine, lay: &SegLayout, me: WorkerId) -> u64 {
+    let (top, _) = m.get_u64(me, word(lay, me, DQ_TOP));
+    let (bottom, _) = m.get_u64(me, word(lay, me, DQ_BOTTOM));
+    bottom - top
+}
+
+/// Step 1 of a steal: try to lock `victim`'s deque. Returns whether the lock
+/// was acquired plus the atomic's cost.
+pub fn thief_lock(
+    m: &mut Machine,
+    lay: &SegLayout,
+    me: WorkerId,
+    victim: WorkerId,
+) -> (bool, VTime) {
+    let (old, cost) = m.cas_u64(me, word(lay, victim, DQ_LOCK), 0, me as u64 + 1);
+    (old == 0, cost)
+}
+
+/// Steps 2–3 of a steal (requires the lock): read bounds, take the oldest
+/// item, advance `top` and release. Returns the stolen item with its wire
+/// size, or `None` if the deque was empty (released either way). The payload
+/// transfer (step 4) is charged by the caller.
+pub fn thief_take(
+    m: &mut Machine,
+    victim_items: &mut Slab<QueueItem>,
+    lay: &SegLayout,
+    me: WorkerId,
+    victim: WorkerId,
+) -> (Option<(QueueItem, usize)>, VTime) {
+    debug_assert_ne!(me, victim, "stealing from self");
+    // One get covers the adjacent [top, bottom] words.
+    let (top, mut cost) = m.get_u64(me, word(lay, victim, DQ_TOP));
+    let (bottom, _) = m.get_u64(me, word(lay, victim, DQ_BOTTOM));
+    if top == bottom {
+        // Empty: release the lock (non-blocking put suffices).
+        cost += m.put_u64_nb(me, word(lay, victim, DQ_LOCK), 0);
+        return (None, cost);
+    }
+    let slot = GlobalAddr::new(victim, lay.dq_slot(top));
+    let (keyp1, c_entry) = m.get_u64(me, slot);
+    let (size, _) = m.get_u64(me, slot.field(1));
+    cost += c_entry;
+    debug_assert_ne!(keyp1, 0, "stolen ring slot must be live");
+    let item = victim_items.take((keyp1 - 1) as u32);
+    m.put_u64_nb(me, slot, 0);
+    // Release + advance: [lock, top] are adjacent words — one put does both.
+    let c_rel = m.put_u64(me, word(lay, victim, DQ_LOCK), 0);
+    m.put_u64_nb(me, word(lay, victim, DQ_TOP), top + 1);
+    cost += c_rel;
+    (Some((item, size as usize)), cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Effect, VThread};
+    use crate::policy::{Policy, RunConfig};
+    use crate::value::{ThreadHandle, Value};
+    use dcs_sim::{profiles, MachineConfig, VTime};
+
+    fn setup() -> (Machine, Slab<QueueItem>, SegLayout) {
+        let cfg = RunConfig::new(2, Policy::ContGreedy);
+        let lay = SegLayout::new(&cfg);
+        let m = Machine::new(
+            MachineConfig::new(2, profiles::test_profile())
+                .with_seg_bytes(cfg.seg_bytes)
+                .with_reserved(lay.reserved),
+        );
+        (m, Slab::new(), lay)
+    }
+
+    fn body(_: Value, _: &mut crate::frame::TaskCtx) -> Effect {
+        Effect::ret(0u64)
+    }
+
+    fn child_item(tag: u64) -> QueueItem {
+        QueueItem::Child {
+            f: body,
+            arg: Value::U64(tag),
+            handle: ThreadHandle::single(GlobalAddr::new(0, 8 * (tag as u32 + 1))),
+        }
+    }
+
+    fn cont_item(tid: u64, spawned: GlobalAddr) -> QueueItem {
+        QueueItem::Cont {
+            th: VThread::new(tid, body, Value::Unit, ThreadHandle::single(GlobalAddr::NULL)),
+            spawned_child: spawned,
+            since: VTime::ZERO,
+        }
+    }
+
+    fn tag_of(item: &QueueItem) -> u64 {
+        match item {
+            QueueItem::Child { arg, .. } => arg.as_u64(),
+            QueueItem::Cont { th, .. } => th.tid,
+        }
+    }
+
+    #[test]
+    fn push_pop_is_lifo() {
+        let (mut m, mut items, lay) = setup();
+        for i in 0..3 {
+            owner_push(&mut m, &mut items, &lay, 0, child_item(i)).unwrap();
+        }
+        assert_eq!(owner_len(&mut m, &lay, 0), 3);
+        for i in (0..3).rev() {
+            let (it, _) = owner_pop(&mut m, &mut items, &lay, 0).unwrap();
+            assert_eq!(tag_of(&it.unwrap()), i);
+        }
+        let (none, _) = owner_pop(&mut m, &mut items, &lay, 0).unwrap();
+        assert!(none.is_none());
+        assert!(items.is_empty());
+    }
+
+    #[test]
+    fn steal_takes_oldest_fifo() {
+        let (mut m, mut items, lay) = setup();
+        for i in 0..3 {
+            owner_push(&mut m, &mut items, &lay, 0, child_item(i)).unwrap();
+        }
+        let (locked, _) = thief_lock(&mut m, &lay, 1, 0);
+        assert!(locked);
+        let (got, _) = thief_take(&mut m, &mut items, &lay, 1, 0);
+        let (item, size) = got.unwrap();
+        assert_eq!(tag_of(&item), 0, "steals take the oldest task");
+        assert_eq!(size, item.wire_size());
+        // Owner still pops LIFO from the other end.
+        let (it, _) = owner_pop(&mut m, &mut items, &lay, 0).unwrap();
+        assert_eq!(tag_of(&it.unwrap()), 2);
+        assert_eq!(owner_len(&mut m, &lay, 0), 1);
+    }
+
+    #[test]
+    fn owner_blocked_while_thief_holds_lock() {
+        let (mut m, mut items, lay) = setup();
+        owner_push(&mut m, &mut items, &lay, 0, child_item(7)).unwrap();
+        let (locked, _) = thief_lock(&mut m, &lay, 1, 0);
+        assert!(locked);
+        // Victim's own operations observe the lock and must retry.
+        assert_eq!(
+            owner_pop(&mut m, &mut items, &lay, 0).unwrap_err(),
+            Busy
+        );
+        assert_eq!(
+            owner_push(&mut m, &mut items, &lay, 0, child_item(8)).unwrap_err(),
+            Busy
+        );
+        // A second thief fails the lock CAS (= failed steal attempt).
+        let (locked2, _) = thief_lock(&mut m, &lay, 1, 0);
+        assert!(!locked2);
+        // After the take releases, the owner proceeds.
+        let _ = thief_take(&mut m, &mut items, &lay, 1, 0);
+        assert!(owner_pop(&mut m, &mut items, &lay, 0).is_ok());
+    }
+
+    #[test]
+    fn steal_of_empty_deque_releases() {
+        let (mut m, mut items, lay) = setup();
+        let (locked, _) = thief_lock(&mut m, &lay, 1, 0);
+        assert!(locked);
+        let (got, _) = thief_take(&mut m, &mut items, &lay, 1, 0);
+        assert!(got.is_none());
+        // Lock released: owner can push again.
+        assert!(owner_push(&mut m, &mut items, &lay, 0, child_item(0)).is_ok());
+    }
+
+    #[test]
+    fn pop_parent_matches_only_spawned_child() {
+        let (mut m, mut items, lay) = setup();
+        let e1 = GlobalAddr::new(0, 0x100);
+        let e2 = GlobalAddr::new(0, 0x200);
+        owner_push(&mut m, &mut items, &lay, 0, cont_item(1, e1)).unwrap();
+        // Wrong entry: no pop.
+        let (none, _) = owner_pop_parent(&mut m, &mut items, &lay, 0, e2).unwrap();
+        assert!(none.is_none());
+        assert_eq!(owner_len(&mut m, &lay, 0), 1);
+        // Child descriptors never match.
+        owner_push(&mut m, &mut items, &lay, 0, child_item(9)).unwrap();
+        let (none, _) = owner_pop_parent(&mut m, &mut items, &lay, 0, e1).unwrap();
+        assert!(none.is_none());
+        let _ = owner_pop(&mut m, &mut items, &lay, 0).unwrap();
+        // Right entry at the bottom: popped.
+        let (some, _) = owner_pop_parent(&mut m, &mut items, &lay, 0, e1).unwrap();
+        assert_eq!(tag_of(&some.unwrap()), 1);
+        assert_eq!(owner_len(&mut m, &lay, 0), 0);
+    }
+
+    #[test]
+    fn ring_wraps_after_many_cycles() {
+        let (mut m, mut items, lay) = setup();
+        let cycles = lay.deque_cap as u64 * 2 + 3;
+        for i in 0..cycles {
+            owner_push(&mut m, &mut items, &lay, 0, child_item(i)).unwrap();
+            let (it, _) = owner_pop(&mut m, &mut items, &lay, 0).unwrap();
+            assert_eq!(tag_of(&it.unwrap()), i);
+        }
+        assert!(items.is_empty());
+    }
+
+    #[test]
+    fn steal_then_owner_drain_preserves_all_items() {
+        let (mut m, mut items, lay) = setup();
+        let n = 10;
+        for i in 0..n {
+            owner_push(&mut m, &mut items, &lay, 0, child_item(i)).unwrap();
+        }
+        let mut seen = vec![false; n as usize];
+        // Alternate steals and pops until drained.
+        loop {
+            let (locked, _) = thief_lock(&mut m, &lay, 1, 0);
+            assert!(locked);
+            if let (Some((item, _)), _) = thief_take(&mut m, &mut items, &lay, 1, 0) {
+                seen[tag_of(&item) as usize] = true;
+            } else {
+                break;
+            }
+            if let (Some(item), _) = owner_pop(&mut m, &mut items, &lay, 0).unwrap() {
+                seen[tag_of(&item) as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "no task lost or duplicated");
+    }
+}

@@ -1,0 +1,124 @@
+//! Static pinned-memory layout of each worker's segment.
+//!
+//! ```text
+//! +-----------------------------+ 0
+//! | deque: LOCK TOP BOTTOM      |
+//! | deque ring [cap × 2 words]  |
+//! +-----------------------------+ freeq_off
+//! | free queue: LOCK COUNT      |
+//! | free ring  [cap × 2 words]  |
+//! +-----------------------------+ reserved  (= heap start)
+//! | dynamically allocated       |
+//! | remote objects (entries,    |
+//! | saved contexts, free bits)  |
+//! +-----------------------------+ seg_bytes
+//! ```
+
+use dcs_sim::WORD;
+
+use crate::policy::RunConfig;
+
+/// Word indices of the deque control block (relative to `deque_off`).
+pub const DQ_LOCK: u32 = 0;
+pub const DQ_TOP: u32 = 1;
+pub const DQ_BOTTOM: u32 = 2;
+/// Words per deque ring entry: `[item_key + 1, wire_size]`.
+pub const DQ_ENTRY_WORDS: u32 = 2;
+
+/// Word indices of the lock-queue free buffer (relative to `freeq_off`).
+pub const FQ_LOCK: u32 = 0;
+pub const FQ_COUNT: u32 = 1;
+/// Words per free-queue entry: `[object address, object bytes]`.
+pub const FQ_ENTRY_WORDS: u32 = 2;
+
+/// Computed segment layout for a run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SegLayout {
+    pub deque_off: u32,
+    pub deque_cap: u32,
+    pub freeq_off: u32,
+    pub freeq_cap: u32,
+    /// First byte of the dynamic heap.
+    pub reserved: u32,
+}
+
+impl SegLayout {
+    pub fn new(cfg: &RunConfig) -> SegLayout {
+        let deque_off = 0;
+        let deque_bytes = (3 + cfg.deque_cap * DQ_ENTRY_WORDS) * WORD;
+        let freeq_off = deque_off + deque_bytes;
+        let freeq_bytes = (2 + cfg.freeq_cap * FQ_ENTRY_WORDS) * WORD;
+        let reserved = freeq_off + freeq_bytes;
+        assert!(
+            reserved < cfg.seg_bytes,
+            "segment too small for static layout: reserved={} seg={}",
+            reserved,
+            cfg.seg_bytes
+        );
+        SegLayout {
+            deque_off,
+            deque_cap: cfg.deque_cap,
+            freeq_off,
+            freeq_cap: cfg.freeq_cap,
+            reserved,
+        }
+    }
+
+    /// Byte offset of deque control word `w`.
+    #[inline]
+    pub fn dq_word(&self, w: u32) -> u32 {
+        self.deque_off + w * WORD
+    }
+
+    /// Byte offset of ring slot for logical index `idx` (monotonic; wraps).
+    #[inline]
+    pub fn dq_slot(&self, idx: u64) -> u32 {
+        let slot = (idx % self.deque_cap as u64) as u32;
+        self.deque_off + (3 + slot * DQ_ENTRY_WORDS) * WORD
+    }
+
+    #[inline]
+    pub fn fq_word(&self, w: u32) -> u32 {
+        self.freeq_off + w * WORD
+    }
+
+    #[inline]
+    pub fn fq_slot(&self, idx: u32) -> u32 {
+        debug_assert!(idx < self.freeq_cap);
+        self.freeq_off + (2 + idx * FQ_ENTRY_WORDS) * WORD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+
+    #[test]
+    fn layout_is_disjoint_and_within_segment() {
+        let cfg = RunConfig::new(2, Policy::ContGreedy);
+        let l = SegLayout::new(&cfg);
+        assert_eq!(l.deque_off, 0);
+        assert!(l.freeq_off >= (3 + cfg.deque_cap * 2) * WORD);
+        assert!(l.reserved > l.freeq_off);
+        assert!(l.reserved < cfg.seg_bytes);
+    }
+
+    #[test]
+    fn ring_slots_wrap() {
+        let cfg = RunConfig::new(2, Policy::ContGreedy);
+        let l = SegLayout::new(&cfg);
+        assert_eq!(l.dq_slot(0), l.dq_slot(cfg.deque_cap as u64));
+        assert_ne!(l.dq_slot(0), l.dq_slot(1));
+        // Consecutive slots are 2 words apart.
+        assert_eq!(l.dq_slot(1) - l.dq_slot(0), 2 * WORD);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment too small")]
+    fn oversized_layout_panics() {
+        let mut cfg = RunConfig::new(2, Policy::ContGreedy);
+        cfg.seg_bytes = 1 << 10;
+        let _ = SegLayout::new(&cfg);
+    }
+}

@@ -1,0 +1,311 @@
+//! Assembling and driving a complete run.
+//!
+//! [`run`] builds the simulated machine, places the root task on worker 0,
+//! drives the discrete-event engine to completion and returns a
+//! [`RunReport`] with the program result, the virtual execution time and all
+//! statistics — everything the benchmark binaries need to regenerate the
+//! paper's tables and figures.
+
+use std::sync::Arc;
+
+use dcs_sim::{Engine, FabricStats, Machine, MachineConfig, VTime};
+
+use crate::frame::{AppCtx, TaskFn};
+use crate::layout::SegLayout;
+use crate::policy::RunConfig;
+use crate::sched::Worker;
+use crate::stats::RunStats;
+use crate::value::Value;
+use crate::world::{RtShared, World};
+
+/// One-shot machine initializer run before any worker steps (global-array
+/// setup for PGAS programs).
+pub type InitFn = Box<dyn FnOnce(&mut Machine) + Send>;
+
+/// A program: root task + argument + application context shared by all
+/// tasks (inputs, workload parameters), plus an optional machine
+/// initializer for programs that use global (PGAS) memory.
+pub struct Program {
+    pub root: TaskFn,
+    pub arg: Value,
+    pub app: AppCtx,
+    /// Runs once after the machine is built and before any worker steps —
+    /// the place to allocate and fill global arrays (models the
+    /// collective setup phase of a PGAS program).
+    pub init: Option<InitFn>,
+}
+
+impl Program {
+    pub fn new(root: TaskFn, arg: impl Into<Value>) -> Program {
+        Program {
+            root,
+            arg: arg.into(),
+            app: Arc::new(()),
+            init: None,
+        }
+    }
+
+    pub fn with_app<T: Send + Sync + 'static>(mut self, app: T) -> Program {
+        self.app = Arc::new(app);
+        self
+    }
+
+    pub fn with_init(mut self, f: impl FnOnce(&mut Machine) + Send + 'static) -> Program {
+        self.init = Some(Box::new(f));
+        self
+    }
+}
+
+/// Everything a run produces.
+pub struct RunReport {
+    /// The root task's return value.
+    pub result: Value,
+    /// Virtual makespan (time the last worker halted).
+    pub elapsed: VTime,
+    /// Scheduler statistics (Table II metrics, Fig. 7 series).
+    pub stats: RunStats,
+    /// Fabric totals across all workers.
+    pub fabric: FabricStats,
+    /// Total host-side engine steps (simulation effort).
+    pub steps: u64,
+    /// Total threads spawned (root included).
+    pub threads: u64,
+    /// Sum of per-worker busy time; `busy_total / (P * elapsed)` is the
+    /// busy fraction.
+    pub busy_total: VTime,
+    /// Peak uni-address region usage across workers (bytes); zero when the
+    /// run used the iso-address scheme.
+    pub uni_peak: u64,
+    /// Peak iso-address pinned space (bytes); zero under uni-address.
+    pub iso_peak: u64,
+    /// Total uni-address migration conflicts across workers.
+    pub uni_conflicts: u64,
+    /// Peak evacuation-region bytes across workers.
+    pub evac_peak: u64,
+    /// Peak ChildFull stack count across workers.
+    pub full_stack_peak: u64,
+}
+
+impl RunReport {
+    /// Parallel efficiency against an externally computed ideal time
+    /// (`T1 / P`), as plotted in Fig. 6.
+    pub fn efficiency(&self, ideal: VTime) -> f64 {
+        ideal.as_ns() as f64 / self.elapsed.as_ns() as f64
+    }
+}
+
+/// Execute `program` under `cfg`, driving the simulation to completion.
+pub fn run(cfg: RunConfig, program: Program) -> RunReport {
+    run_full(cfg, program).0
+}
+
+/// Like [`run`], but also returns the final [`Machine`] so callers can
+/// inspect global (PGAS) memory after the program finishes.
+pub fn run_full(cfg: RunConfig, program: Program) -> (RunReport, Machine) {
+    assert!(cfg.workers >= 1, "need at least one worker");
+    let lay = SegLayout::new(&cfg);
+    let mut machine = Machine::new(
+        MachineConfig::new(cfg.workers, cfg.profile.clone())
+            .with_seg_bytes(cfg.seg_bytes)
+            .with_reserved(lay.reserved)
+            .with_topology(cfg.topology.clone()),
+    );
+    if let Some(init) = program.init {
+        init(&mut machine);
+    }
+    let max_steps = cfg.max_steps;
+    let strict = cfg.strict;
+    let seed = cfg.seed;
+    let workers = cfg.workers;
+    let rt = RtShared::new(cfg);
+    let mut world = World { m: machine, rt };
+
+    let actors: Vec<Worker> = (0..workers)
+        .map(|w| {
+            let root = if w == 0 {
+                Some((program.root, program.arg.clone()))
+            } else {
+                None
+            };
+            Worker::new(w, &mut world, lay, Arc::clone(&program.app), root, seed)
+        })
+        .collect();
+
+    let mut engine = Engine::new(world, actors).with_max_steps(max_steps);
+    let report = engine.run();
+    let (world, _actors) = engine.into_parts();
+    let World { m, rt } = world;
+
+    let result = rt.result.expect("run finished without a root result");
+    if strict {
+        assert!(
+            rt.meta.is_empty(),
+            "{} thread entries leaked",
+            rt.meta.len()
+        );
+        assert!(
+            rt.retvals.is_empty(),
+            "{} return values leaked",
+            rt.retvals.len()
+        );
+        assert_eq!(
+            rt.stats.threads_spawned, rt.stats.threads_died,
+            "thread spawn/death imbalance"
+        );
+        for (w, ws) in rt.per.iter().enumerate() {
+            assert_eq!(ws.uni.live(), 0, "worker {w} leaked uni-address slots");
+            assert_eq!(ws.evac.live_bytes(), 0, "worker {w} leaked evacuations");
+            assert_eq!(ws.full_stacks_live, 0, "worker {w} leaked full stacks");
+        }
+        assert_eq!(rt.iso.live(), 0, "iso-address slots leaked");
+    }
+
+    let uni_peak = rt.per.iter().map(|w| w.uni.stats().peak_bytes).max().unwrap_or(0);
+    let uni_conflicts = rt.per.iter().map(|w| w.uni.stats().conflicts).sum();
+    let evac_peak = rt.per.iter().map(|w| w.evac.peak_bytes()).max().unwrap_or(0);
+    let full_stack_peak = rt.per.iter().map(|w| w.full_stacks_peak).max().unwrap_or(0);
+    let iso_peak = rt.iso.peak_bytes();
+
+    let rep = RunReport {
+        result,
+        elapsed: report.end_time,
+        busy_total: rt.stats.busy_total,
+        threads: rt.stats.threads_spawned,
+        stats: rt.stats,
+        fabric: m.stats_total(),
+        steps: report.steps,
+        uni_peak,
+        iso_peak,
+        uni_conflicts,
+        evac_peak,
+        full_stack_peak,
+    };
+    (rep, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{frame, Effect, TaskCtx};
+    use crate::policy::{Policy, TraceLevel};
+    use dcs_sim::profiles;
+
+    /// fib(n) via naive fork-join — touches spawn, join, die on every path.
+    fn fib(arg: Value, _ctx: &mut TaskCtx) -> Effect {
+        let n = arg.as_u64();
+        if n < 2 {
+            return Effect::ret(n);
+        }
+        Effect::fork(
+            fib,
+            n - 1,
+            frame(move |h, _| {
+                let h = h.as_handle();
+                Effect::call(
+                    fib,
+                    n - 2,
+                    frame(move |b, _| {
+                        let b = b.as_u64();
+                        Effect::join(
+                            h,
+                            frame(move |a, _| Effect::ret(a.as_u64() + b)),
+                        )
+                    }),
+                )
+            }),
+        )
+    }
+
+    fn fib_serial(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib_serial(n - 1) + fib_serial(n - 2)
+        }
+    }
+
+    fn run_fib(policy: Policy, workers: usize, n: u64) -> RunReport {
+        let cfg = RunConfig::new(workers, policy)
+            .with_profile(profiles::test_profile())
+            .with_seg_bytes(64 << 20);
+        run(cfg, Program::new(fib, n))
+    }
+
+    #[test]
+    fn fib_single_worker_all_policies() {
+        for policy in Policy::ALL {
+            let r = run_fib(policy, 1, 10);
+            assert_eq!(r.result.as_u64(), fib_serial(10), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn fib_multi_worker_all_policies() {
+        for policy in Policy::ALL {
+            for workers in [2, 4, 7] {
+                let r = run_fib(policy, workers, 12);
+                assert_eq!(
+                    r.result.as_u64(),
+                    fib_serial(12),
+                    "{policy:?} workers={workers}"
+                );
+                assert!(r.threads > 100, "{policy:?} must spawn threads");
+            }
+        }
+    }
+
+    #[test]
+    fn steals_happen_under_contention() {
+        let r = run_fib(Policy::ContGreedy, 4, 14);
+        assert!(r.stats.steals_ok > 0, "expected successful steals");
+        assert!(
+            r.stats.avg_stolen_bytes() > 300,
+            "continuation steals move stacks, got {} B",
+            r.stats.avg_stolen_bytes()
+        );
+        let r = run_fib(Policy::ChildFull, 4, 14);
+        assert!(r.stats.steals_ok > 0);
+        assert!(
+            r.stats.avg_stolen_bytes() < 100,
+            "child steals move descriptors, got {} B",
+            r.stats.avg_stolen_bytes()
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_everything() {
+        let a = run_fib(Policy::ContGreedy, 3, 12);
+        let b = run_fib(Policy::ContGreedy, 3, 12);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.stats.steals_ok, b.stats.steals_ok);
+        assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = |s| {
+            RunConfig::new(4, Policy::ContGreedy)
+                .with_profile(profiles::test_profile())
+                .with_seed(s)
+                .with_seg_bytes(64 << 20)
+        };
+        let a = run(cfg(1), Program::new(fib, 13u64));
+        let b = run(cfg(2), Program::new(fib, 13u64));
+        assert_eq!(a.result, b.result, "result is schedule-independent");
+        // Timings almost surely differ with different victim choices.
+        assert_ne!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn series_trace_collects_busy_events() {
+        let cfg = RunConfig::new(2, Policy::ContGreedy)
+            .with_profile(profiles::test_profile())
+            .with_trace(TraceLevel::Series)
+            .with_seg_bytes(64 << 20);
+        let r = run(cfg, Program::new(fib, 10u64));
+        assert!(!r.stats.busy_events.is_empty());
+        let series = r.stats.busy_series(r.elapsed, 10);
+        assert_eq!(series.len(), 11);
+        assert_eq!(series.last().unwrap().1, 0, "all idle at the end");
+    }
+}

@@ -1,0 +1,275 @@
+//! The idle loop: termination, local pops, victim selection, the
+//! cross-step steal protocol, wait-queue/nest polling, finalization.
+
+use super::*;
+
+impl Worker {
+    // ------------------------------------------------------------------
+    // IDLE loop
+    // ------------------------------------------------------------------
+
+    /// Pick a steal victim per the configured policy. Node-restricted
+    /// choices fall back to uniform when the caller's node has no other
+    /// workers.
+    pub(crate) fn pick_victim(&mut self, world: &Machine) -> WorkerId {
+        let topo = world.topology();
+        let pick_local = |rng: &mut SimRng, me: usize, n: usize| -> Option<WorkerId> {
+            let size = topo.node_size()?;
+            let node = topo.node_of(me);
+            let lo = node * size;
+            let hi = ((node + 1) * size).min(n);
+            if hi - lo < 2 {
+                return None;
+            }
+            let mut v = lo + rng.below((hi - lo - 1) as u64) as usize;
+            if v >= me {
+                v += 1;
+            }
+            Some(v)
+        };
+        match self.victim_policy {
+            VictimPolicy::Uniform => self.rng.victim(self.n, self.me),
+            VictimPolicy::Locality { p_local } => {
+                if self.rng.unit_f64() < p_local {
+                    if let Some(v) = pick_local(&mut self.rng, self.me, self.n) {
+                        return v;
+                    }
+                }
+                self.rng.victim(self.n, self.me)
+            }
+            VictimPolicy::Hierarchical { local_tries } => {
+                if self.fail_streak < local_tries {
+                    if let Some(v) = pick_local(&mut self.rng, self.me, self.n) {
+                        return v;
+                    }
+                }
+                self.rng.victim(self.n, self.me)
+            }
+        }
+    }
+
+    pub(crate) fn step_idle(&mut self, now: VTime, world: &mut World) -> Step {
+        // Termination: the root has completed and published the flag.
+        if world.m.is_done() {
+            self.finalize(world, now);
+            return Step::Halt;
+        }
+        // 1. Local pop.
+        match owner_pop(
+            &mut world.m,
+            &mut world.rt.per[self.me].items,
+            &self.lay,
+            self.me,
+        ) {
+            Err(Busy) => Step::Yield(world.m.local_op(self.me)),
+            Ok((Some(item), cost)) => {
+                let c2 = self.adopt_item(now, world, item, None);
+                Step::Yield(cost + c2)
+            }
+            Ok((None, cost)) => {
+                // 2. Steal (if anybody to steal from).
+                if self.n >= 2 {
+                    let victim = self.pick_victim(&world.m);
+                    let (locked, c_lock) = thief_lock(&mut world.m, &self.lay, self.me, victim);
+                    if locked {
+                        self.state = WState::StealTake { victim, t0: now };
+                        return Step::Yield(cost + c_lock);
+                    }
+                    world.rt.stats.steal_failed();
+                    self.fail_streak += 1;
+                    let c_wait = self.poll_blocked(now, world);
+                    return Step::Yield(cost + c_lock + c_wait);
+                }
+                // Single worker: only blocked local work can make progress.
+                let c_wait = self.poll_blocked(now, world);
+                Step::Yield(cost + c_wait)
+            }
+        }
+    }
+
+    /// Re-poll blocked work after a failed steal attempt: stalling policies
+    /// round-robin the wait queue (Fig. 3); ChildRtc re-checks the join
+    /// buried at the top of the nest (the scheduler-in-a-loop of a
+    /// run-to-completion thread re-reads the flag between tasks).
+    pub(crate) fn poll_blocked(&mut self, now: VTime, world: &mut World) -> VTime {
+        if self.policy == Policy::ChildRtc {
+            return self.poll_nest_top(now, world);
+        }
+        self.poll_wait_queue(now, world)
+    }
+
+    /// ChildRtc: check whether the join buried directly below became ready.
+    pub(crate) fn poll_nest_top(&mut self, now: VTime, world: &mut World) -> VTime {
+        let Some(top) = self.nest.last() else {
+            return VTime::ZERO;
+        };
+        let h = top.handle;
+        let (flag, mut cost) = world.m.get_u64(self.me, h.entry.field(E_FLAG));
+        let done = if h.consumers == 1 {
+            flag != 0
+        } else {
+            flag & DONE_BIT != 0
+        };
+        if done {
+            let Nested { mut th, handle } = self.nest.pop().expect("checked non-empty");
+            self.close_suspension(world, &mut th, now);
+            let (v, c2) = self.join_complete_fast_value(world, handle);
+            cost += c2;
+            th.supply(v);
+            self.start_thread(world, now, th);
+        }
+        cost
+    }
+
+    /// Round-robin check of one wait-queue entry (stalling strategies; runs
+    /// after each failed steal attempt, Fig. 3).
+    pub(crate) fn poll_wait_queue(&mut self, now: VTime, world: &mut World) -> VTime {
+        let Some(Waiting { mut th, handle }) = self.wait_q.pop_front() else {
+            return VTime::ZERO;
+        };
+        // A NULL handle marks a cooperative yield: always ready.
+        if handle.entry.is_null() {
+            th.supply(Value::Unit);
+            let cost = world.m.ctx_switch(self.me);
+            self.start_thread(world, now, th);
+            return cost;
+        }
+        let (flag, mut cost) = world.m.get_u64(self.me, handle.entry.field(E_FLAG));
+        let done = if handle.consumers == 1 {
+            flag != 0
+        } else {
+            flag & DONE_BIT != 0
+        };
+        if done {
+            self.close_suspension(world, &mut th, now);
+            let (v, c2) = self.join_complete_fast_value(world, handle);
+            cost += c2;
+            if self.policy == Policy::ContStalling && self.scheme == AddressScheme::Uni {
+                if th.home.is_some() {
+                    world.rt.per[self.me]
+                        .evac
+                        .restore(th.stack_bytes() as u64);
+                }
+                self.claim_home(world, &mut th);
+            }
+            th.supply(v);
+            cost += world.m.ctx_switch(self.me);
+            self.start_thread(world, now, th);
+        } else {
+            self.wait_q.push_back(Waiting { th, handle });
+        }
+        cost
+    }
+
+    /// Begin running a deque item (locally popped or freshly stolen).
+    /// `steal` carries `(victim, t0, protocol_cost_so_far, size)` for stolen
+    /// items so the payload transfer and statistics are charged here.
+    pub(crate) fn adopt_item(
+        &mut self,
+        now: VTime,
+        world: &mut World,
+        item: QueueItem,
+        steal: Option<(WorkerId, VTime, VTime, usize)>,
+    ) -> VTime {
+        let mut cost = VTime::ZERO;
+        let mut copy_cost = VTime::ZERO;
+        if let Some((victim, _, _, size)) = steal {
+            copy_cost = world.m.get_bulk(self.me, victim, size);
+            cost += copy_cost;
+        }
+        match item {
+            QueueItem::Cont { mut th, .. } => {
+                if let Some((victim, _, _, _)) = steal {
+                    // Uni-address: the stack leaves the victim's region and
+                    // lands at the same virtual address here. Iso-address:
+                    // the globally unique range simply travels along.
+                    if self.scheme == AddressScheme::Uni {
+                        if let Some(home) = th.home {
+                            world.rt.per[victim].uni.release(home);
+                        }
+                        self.claim_home(world, &mut th);
+                    }
+                }
+                cost += world.m.ctx_restore(self.me);
+                self.start_thread(world, now, th);
+            }
+            QueueItem::Child { f, arg, handle } => {
+                let tid = world.rt.fresh_tid();
+                let th = VThread::new(tid, f, arg, handle);
+                if self.policy == Policy::ChildFull {
+                    // Full threads start on a fresh private stack.
+                    world.rt.per[self.me].note_full_stack_alloc();
+                    cost += world.m.ctx_switch(self.me);
+                } else if self.policy.is_cont() {
+                    // Continuation runs never create child descriptors.
+                    unreachable!("child descriptor under continuation stealing");
+                } else {
+                    // RtC threads run as a plain call on the worker stack.
+                    cost += world.m.ctx_restore(self.me);
+                }
+                self.start_thread(world, now, th);
+            }
+        }
+        if let Some((victim, t0, pre_cost, size)) = steal {
+            let latency = now.saturating_sub(t0) + pre_cost + copy_cost;
+            world.rt.stats.steal_ok(latency, copy_cost, size);
+            world.rt.stats.note_steal_event(self.me, victim, t0, t0 + latency);
+        }
+        cost
+    }
+
+    /// Complete a steal whose lock we won last step.
+    pub(crate) fn step_steal_take(&mut self, now: VTime, world: &mut World, victim: WorkerId, t0: VTime) -> Step {
+        let (got, cost) = {
+            let (_me_ws, victim_ws) = world.rt.two(self.me, victim);
+            thief_take(&mut world.m, &mut victim_ws.items, &self.lay, self.me, victim)
+        };
+        self.state = WState::Idle;
+        match got {
+            None => {
+                world.rt.stats.steal_failed();
+                self.fail_streak += 1;
+                let c_wait = self.poll_blocked(now, world);
+                Step::Yield(cost + c_wait)
+            }
+            Some((item, size)) => {
+                self.fail_streak = 0;
+                let c2 = self.adopt_item(now, world, item, Some((victim, t0, cost, size)));
+                Step::Yield(cost + c2)
+            }
+        }
+    }
+
+    /// End-of-run consistency checks.
+    pub(crate) fn finalize(&mut self, world: &mut World, now: VTime) {
+        self.set_busy(world, now, false);
+        self.halted = true;
+        if world.rt.cfg.strict {
+            assert!(self.cur.is_none(), "worker {} halted mid-thread", self.me);
+            assert!(
+                self.wait_q.is_empty(),
+                "worker {} halted with {} threads stuck in the wait queue",
+                self.me,
+                self.wait_q.len()
+            );
+            assert!(
+                self.nest.is_empty(),
+                "worker {} halted with buried joins",
+                self.me
+            );
+            let ws = &world.rt.per[self.me];
+            assert!(
+                ws.items.is_empty(),
+                "worker {} halted with {} unconsumed deque items",
+                self.me,
+                ws.items.len()
+            );
+            assert!(
+                ws.saved.is_empty(),
+                "worker {} halted with {} suspended threads",
+                self.me,
+                ws.saved.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! The work-stealing scheduler: one [`Worker`] actor per simulated process.
+//!
+//! A worker is a state machine driven by the discrete-event engine:
+//!
+//! * `WState::Run` — execute the current thread: advance it one effect and
+//!   apply that effect under the run's [`Policy`]. Effects that need the
+//!   local deque observe the deque lock; if a thief holds it the application
+//!   is retried next step (the effect is kept pending, no side effects leak).
+//! * `WState::Idle` — the scheduler loop: poll the termination flag, pop
+//!   local work, otherwise pick a uniformly random victim and start a steal.
+//!   After every *failed* steal attempt, stalling policies round-robin the
+//!   local wait queue (Fig. 3).
+//! * `WState::StealTake` — the thief holds the victim's deque lock from the
+//!   previous step and now reads bounds, takes the oldest task and transfers
+//!   its payload.
+//!
+//! DIE and JOIN follow the paper's pseudocode per policy:
+//!
+//! * **ContGreedy** — Fig. 4, including the work-first fast path (pop the
+//!   parent before racing), the fetch-and-add race, and migration of the
+//!   suspended joiner to the race loser; multi-consumer futures use the §V-D
+//!   extension (arrival-counting flag word with a DONE bit, per-consumer
+//!   ctxloc slots, a consumed counter so the last consumer frees the entry).
+//! * **ContStalling** — Fig. 3: DIE puts retval + flag and pops the local
+//!   queue; JOIN suspends into the local FIFO wait queue, re-polled after
+//!   each failed steal; suspended threads never migrate.
+//! * **ChildFull** — spawn pushes a 56-byte descriptor; tasks are tied, each
+//!   gets its own full stack and suspends to the wait queue at unresolved
+//!   joins.
+//! * **ChildRtc** — like ChildFull but a blocked join *nests* the scheduler
+//!   on the worker's single stack: the blocked task is buried until
+//!   everything above it completes (§IV-B).
+//!
+//! JOIN is split across two steps (flag read, then the suspend + race
+//! commit) so a producer's DIE can interleave in the window — the rare
+//! "joining thread lost the race" path of Fig. 4 lines 49–50 is reachable
+//! exactly as on real hardware.
+
+use std::collections::VecDeque;
+
+use dcs_sim::{Actor, GlobalAddr, Machine, SimRng, Step, VTime, WorkerId};
+
+use crate::deque::{
+    owner_pop, owner_pop_parent, owner_push, thief_lock, thief_take, Busy,
+};
+use crate::entry::{
+    alloc_entry, alloc_saved_ctx, free_entry, read_saved_ctx, DONE_BIT, EM_CONSUMED, EM_CTX0,
+    E_CTXLOC, E_FLAG, SAVED_CTX_BYTES,
+};
+use crate::frame::{AppCtx, Effect, Frame, Pending, RmaOp, TaskCtx, TaskFn, VThread};
+use crate::layout::SegLayout;
+use crate::policy::{AddressScheme, FreeStrategy, Policy, VictimPolicy};
+use crate::remote_free::free_robj;
+use crate::value::{ThreadHandle, Value};
+use crate::world::{QueueItem, StoredVal, World};
+
+/// A pending operation carried across steps.
+pub(crate) enum PendingOp {
+    /// An application-produced effect not yet applied.
+    Effect(Effect),
+    /// JOIN saw flag = 0 last step; commit the suspension / race this step.
+    JoinSlow {
+        handle: ThreadHandle,
+    },
+}
+
+/// Scheduler state.
+pub(crate) enum WState {
+    /// Executing the current thread.
+    Run,
+    /// Looking for work.
+    Idle,
+    /// Holding `victim`'s deque lock; complete the steal this step.
+    StealTake { victim: WorkerId, t0: VTime },
+}
+
+/// A thread suspended in the local wait queue (stalling strategies).
+pub(crate) struct Waiting {
+    th: VThread,
+    handle: ThreadHandle,
+}
+
+/// A thread buried under the nested scheduler (ChildRtc).
+pub(crate) struct Nested {
+    th: VThread,
+    handle: ThreadHandle,
+}
+
+/// One simulated worker process.
+pub struct Worker {
+    me: WorkerId,
+    n: usize,
+    policy: Policy,
+    strategy: FreeStrategy,
+    scheme: AddressScheme,
+    victim_policy: VictimPolicy,
+    /// Consecutive failed steal attempts (drives hierarchical escalation).
+    fail_streak: u32,
+    lay: SegLayout,
+    rng: SimRng,
+    app: AppCtx,
+    compute_scale: f64,
+    state: WState,
+    cur: Option<VThread>,
+    pending: Option<PendingOp>,
+    wait_q: VecDeque<Waiting>,
+    nest: Vec<Nested>,
+    busy: bool,
+    busy_since: VTime,
+    halted: bool,
+}
+
+impl Worker {
+    /// Create worker `me`. Worker 0 receives the root thread.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        me: WorkerId,
+        world: &mut World,
+        lay: SegLayout,
+        app: AppCtx,
+        root: Option<(TaskFn, Value)>,
+        seed: u64,
+    ) -> Worker {
+        let policy = world.rt.cfg.policy;
+        let strategy = world.rt.cfg.free_strategy;
+        let scheme = world.rt.cfg.address_scheme;
+        let victim_policy = world.rt.cfg.victim;
+        let compute_scale = world.rt.cfg.profile.compute_scale
+            * world.rt.cfg.perturb.get(me).copied().unwrap_or(1.0);
+        let n = world.rt.cfg.workers;
+        let cur = root.map(|(f, arg)| {
+            let tid = world.rt.fresh_tid();
+            let mut th = VThread::new(tid, f, arg, ThreadHandle::single(GlobalAddr::NULL));
+            if policy.is_cont() {
+                let slot = world.rt.cfg.stack_slot;
+                th.home = Some(match scheme {
+                    AddressScheme::Uni => world.rt.per[me].uni.place_child(None, slot),
+                    AddressScheme::Iso => world.rt.iso.alloc(slot),
+                });
+            } else if policy == Policy::ChildFull {
+                world.rt.per[me].note_full_stack_alloc();
+            }
+            th
+        });
+        let busy = cur.is_some();
+        if busy {
+            world.rt.stats.note_busy(VTime::ZERO);
+        }
+        Worker {
+            me,
+            n,
+            policy,
+            strategy,
+            lay,
+            rng: SimRng::for_worker(seed, me),
+            app,
+            compute_scale,
+            scheme,
+            victim_policy,
+            fail_streak: 0,
+            state: if busy { WState::Run } else { WState::Idle },
+            cur,
+            pending: None,
+            wait_q: VecDeque::new(),
+            nest: Vec::new(),
+            busy,
+            busy_since: VTime::ZERO,
+            halted: false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // busy/idle accounting
+    // ------------------------------------------------------------------
+
+    pub(crate) fn set_busy(&mut self, world: &mut World, now: VTime, busy: bool) {
+        if busy == self.busy {
+            return;
+        }
+        if busy {
+            self.busy_since = now;
+            world.rt.stats.note_busy(now);
+        } else {
+            world.rt.stats.add_busy(now.saturating_sub(self.busy_since));
+            world.rt.stats.note_busy_interval(self.me, self.busy_since, now);
+            world.rt.stats.note_idle(now);
+        }
+        self.busy = busy;
+    }
+
+    // ------------------------------------------------------------------
+    // small protocol helpers
+    // ------------------------------------------------------------------
+
+    /// Park a return value in entry `e` (pinned put + side table).
+    pub(crate) fn put_retval(&mut self, world: &mut World, e: ThreadHandle, v: Value) -> VTime {
+        let size = v.wire_size();
+        world
+            .rt
+            .retvals
+            .insert(e.entry.to_u64(), StoredVal { v, size: size as u32 });
+        world.m.put_bulk(self.me, e.entry.rank as usize, size)
+    }
+
+    /// Fetch a return value from entry `e`. Single-consumer entries hand the
+    /// value out once (removal); multi-consumer entries clone (the entry is
+    /// freed — and the table cleaned — by the last consumer).
+    pub(crate) fn get_retval(&mut self, world: &mut World, e: ThreadHandle) -> (Value, VTime) {
+        let key = e.entry.to_u64();
+        let (v, size) = if e.consumers == 1 {
+            let sv = world
+                .rt
+                .retvals
+                .remove(&key)
+                .expect("join completed but no return value parked");
+            (sv.v, sv.size)
+        } else {
+            let sv = world
+                .rt
+                .retvals
+                .get(&key)
+                .expect("future completed but no return value parked");
+            (sv.v.clone(), sv.size)
+        };
+        let cost = world
+            .m
+            .get_bulk(self.me, e.entry.rank as usize, size as usize);
+        (v, cost)
+    }
+
+    /// Free entry `e` from this worker (it owns the last consume).
+    pub(crate) fn free_entry_here(&mut self, world: &mut World, e: ThreadHandle) -> VTime {
+        world.rt.stats.note_entry_freed(e.entry.to_u64());
+        let owner = e.entry.rank as usize;
+        free_entry(
+            &mut world.m,
+            &mut world.rt.per[owner],
+            &self.lay,
+            self.strategy,
+            self.me,
+            e,
+            &mut world.rt.meta,
+            &mut world.rt.retvals,
+        )
+    }
+
+    /// Release the thread's execution resources at death.
+    pub(crate) fn retire_thread(&mut self, world: &mut World, th: &mut VThread) {
+        if let Some(home) = th.home.take() {
+            match self.scheme {
+                AddressScheme::Uni => world.rt.per[self.me].uni.release(home),
+                AddressScheme::Iso => world.rt.iso.free(home),
+            }
+        }
+        if self.policy == Policy::ChildFull {
+            world.rt.per[self.me].note_full_stack_free();
+        }
+    }
+
+    /// Close a suspended thread's outstanding-join record now (used by
+    /// resume paths that free the entry before `start_thread` runs — the
+    /// die-time record must still be present when the interval is computed).
+    pub(crate) fn close_suspension(&mut self, world: &mut World, th: &mut VThread, now: VTime) {
+        if let Some((suspended_at, entry)) = th.suspension.take() {
+            world.rt.stats.note_join_resumed(entry, suspended_at, now);
+        }
+    }
+
+    /// Begin running a thread on this worker; closes any outstanding-join
+    /// bookkeeping it carries.
+    pub(crate) fn start_thread(&mut self, world: &mut World, now: VTime, mut th: VThread) {
+        if let Some((suspended_at, entry)) = th.suspension.take() {
+            world.rt.stats.note_join_resumed(entry, suspended_at, now);
+        }
+        debug_assert!(self.cur.is_none());
+        self.cur = Some(th);
+        self.state = WState::Run;
+        self.set_busy(world, now, true);
+    }
+
+    /// Place a newly spawned thread's stack immediately above its parent's
+    /// (the uni-address rule). After migrations have re-homed stacks, the
+    /// slot above the parent can be occupied by an unrelated resident
+    /// continuation; the real system would relocate — the model falls back
+    /// to first-fit and counts the conflict, exactly like [`Self::claim_home`].
+    pub(crate) fn place_stack(
+        &mut self,
+        world: &mut World,
+        parent: Option<dcs_uniaddr::StackSlot>,
+        len: u64,
+    ) -> dcs_uniaddr::StackSlot {
+        if self.scheme == AddressScheme::Iso {
+            return world.rt.iso.alloc(len);
+        }
+        let uni = &mut world.rt.per[self.me].uni;
+        let base = parent.map_or(uni.base(), |p| p.end());
+        let want = dcs_uniaddr::StackSlot { base, len };
+        if uni.claim(want) {
+            want
+        } else {
+            uni.place_anywhere(len)
+        }
+    }
+
+    /// Claim a migrated thread's home range in this worker's uni-address
+    /// region, falling back to first-fit on conflict (counted).
+    pub(crate) fn claim_home(&mut self, world: &mut World, th: &mut VThread) {
+        if !self.policy.is_cont() || self.scheme == AddressScheme::Iso {
+            // Iso-address stacks keep their globally unique range wherever
+            // they go — migration never relocates.
+            return;
+        }
+        let slot_len = world.rt.cfg.stack_slot;
+        let uni = &mut world.rt.per[self.me].uni;
+        match th.home {
+            Some(home) if uni.claim(home) => {}
+            _ => {
+                th.home = Some(uni.place_anywhere(slot_len));
+            }
+        }
+    }
+
+    /// Run one application step of the current thread, producing an effect.
+    pub(crate) fn advance_cur(&mut self, world: &mut World) -> Effect {
+        let th = self.cur.as_mut().expect("advance without current thread");
+        let mut ctx = TaskCtx {
+            worker: self.me,
+            app: &self.app,
+            compute_scale: self.compute_scale,
+        };
+        let _ = &mut world.m; // world reserved for future instrumentation
+        th.advance(&mut ctx)
+    }
+
+}
+
+impl Actor<World> for Worker {
+    fn step(&mut self, me: WorkerId, now: VTime, world: &mut World) -> Step {
+        debug_assert_eq!(me, self.me);
+        if self.halted {
+            return Step::Halt;
+        }
+        match self.state {
+            WState::Run => self.step_run(now, world),
+            WState::Idle => self.step_idle(now, world),
+            WState::StealTake { victim, t0 } => self.step_steal_take(now, world, victim, t0),
+        }
+    }
+}
+
+
+mod die;
+mod effects;
+mod idle;
+mod join;

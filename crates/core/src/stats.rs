@@ -1,0 +1,424 @@
+//! Run statistics: the measurements behind Table II and Fig. 7.
+//!
+//! The scheduler reports fine-grained events here; aggregation happens at
+//! the end of a run. Two levels exist (see
+//! [`crate::policy::TraceLevel`]): aggregate counters are always on, the
+//! per-event series needed for the Fig. 7 time-series plot is opt-in.
+//!
+//! Metric definitions (matching §V-B):
+//!
+//! * **outstanding join** — a join that suspended its thread because the
+//!   joined thread had not completed (a consequence of a steal);
+//! * **outstanding join time** — from the moment the join's continuation
+//!   became resumable (both the joining and the joined thread reached the
+//!   synchronization point) until it was actually resumed;
+//! * **steal latency** — from the first lock attempt of a successful steal
+//!   until the stolen task is ready to run at the thief;
+//! * **task copy time** — the payload-transfer portion of a steal (stack or
+//!   descriptor bytes over the wire).
+
+use dcs_sim::VTime;
+
+use crate::util::U64Map;
+
+/// Aggregate counters for one run.
+#[derive(Debug, Default, Clone)]
+pub struct RunStats {
+    // -- steals ----------------------------------------------------------
+    pub steals_ok: u64,
+    pub steals_failed: u64,
+    steal_latency_sum: VTime,
+    copy_time_sum: VTime,
+    stolen_bytes_sum: u64,
+    // -- joins -----------------------------------------------------------
+    pub outstanding_joins: u64,
+    outstanding_time_sum: VTime,
+    /// Joins resolved on the fast path (no suspension).
+    pub joins_fast: u64,
+    /// Fig.-4 work-first fast path hits in DIE (parent popped, no atomic).
+    pub die_fast: u64,
+    /// DIE slow paths that won the race (went to the scheduler).
+    pub die_won: u64,
+    /// DIE slow paths that lost the race (migrated + resumed the joiner).
+    pub die_lost: u64,
+    // -- threads ---------------------------------------------------------
+    pub threads_spawned: u64,
+    pub threads_died: u64,
+    // -- busy time -------------------------------------------------------
+    pub busy_total: VTime,
+    // -- series (TraceLevel::Series) --------------------------------------
+    pub series: bool,
+    /// (time, +1/-1) transitions of the number of busy workers.
+    pub busy_events: Vec<(VTime, i32)>,
+    /// (ready_time, resumed_time) per outstanding join.
+    pub join_intervals: Vec<(VTime, VTime)>,
+    /// Per-worker busy intervals `(worker, start, end)` (trace export).
+    pub busy_intervals: Vec<(u32, VTime, VTime)>,
+    /// Successful steals `(thief, victim, start, end)` (trace export).
+    pub steal_events: Vec<(u32, u32, VTime, VTime)>,
+    // -- internal --------------------------------------------------------
+    /// Die time per live entry (when its flag became set), for computing
+    /// outstanding-join readiness. Removed when the entry is freed.
+    die_times: U64Map<VTime>,
+}
+
+impl RunStats {
+    pub fn new(series: bool) -> RunStats {
+        RunStats {
+            series,
+            ..RunStats::default()
+        }
+    }
+
+    // -- steal events ------------------------------------------------------
+
+    pub fn steal_failed(&mut self) {
+        self.steals_failed += 1;
+    }
+
+    pub fn steal_ok(&mut self, latency: VTime, copy_time: VTime, bytes: usize) {
+        self.steals_ok += 1;
+        self.steal_latency_sum += latency;
+        self.copy_time_sum += copy_time;
+        self.stolen_bytes_sum += bytes as u64;
+    }
+
+    /// Record a successful steal's endpoints for trace export.
+    pub fn note_steal_event(&mut self, thief: usize, victim: usize, start: VTime, end: VTime) {
+        if self.series {
+            self.steal_events
+                .push((thief as u32, victim as u32, start, end));
+        }
+    }
+
+    pub fn avg_steal_latency(&self) -> VTime {
+        match self.steals_ok {
+            0 => VTime::ZERO,
+            n => self.steal_latency_sum / n,
+        }
+    }
+
+    pub fn avg_copy_time(&self) -> VTime {
+        if self.steals_ok == 0 {
+            VTime::ZERO
+        } else {
+            self.copy_time_sum / self.steals_ok
+        }
+    }
+
+    pub fn avg_stolen_bytes(&self) -> u64 {
+        self.stolen_bytes_sum.checked_div(self.steals_ok).unwrap_or(0)
+    }
+
+    // -- join events -------------------------------------------------------
+
+    /// The joined thread completed: record when entry `e`'s flag was set.
+    pub fn note_die(&mut self, e: u64, now: VTime) {
+        self.threads_died += 1;
+        self.die_times.insert(e, now);
+    }
+
+    /// Entry freed: drop the die-time record.
+    pub fn note_entry_freed(&mut self, e: u64) {
+        self.die_times.remove(&e);
+    }
+
+    /// A join resolved without suspending.
+    pub fn note_join_fast(&mut self) {
+        self.joins_fast += 1;
+    }
+
+    /// A suspended join's continuation was resumed at `now`; it suspended at
+    /// `suspended_at` waiting on entry `e`. Computes the outstanding join
+    /// time as `now - max(die(e), suspended_at)`.
+    pub fn note_join_resumed(&mut self, e: u64, suspended_at: VTime, now: VTime) {
+        self.outstanding_joins += 1;
+        let die = self
+            .die_times
+            .get(&e)
+            .copied()
+            // The joined thread must have died for the joiner to resume; a
+            // missing record can only mean the entry address was never
+            // die-noted, which strict runs assert against.
+            .unwrap_or(suspended_at);
+        let ready = die.max(suspended_at);
+        self.outstanding_time_sum += now.saturating_sub(ready);
+        if self.series {
+            self.join_intervals.push((ready, now));
+        }
+    }
+
+    pub fn avg_outstanding_time(&self) -> VTime {
+        if self.outstanding_joins == 0 {
+            VTime::ZERO
+        } else {
+            self.outstanding_time_sum / self.outstanding_joins
+        }
+    }
+
+    // -- busy tracking -------------------------------------------------------
+
+    pub fn note_busy(&mut self, now: VTime) {
+        if self.series {
+            self.busy_events.push((now, 1));
+        }
+    }
+
+    pub fn note_idle(&mut self, now: VTime) {
+        if self.series {
+            self.busy_events.push((now, -1));
+        }
+    }
+
+    pub fn add_busy(&mut self, dur: VTime) {
+        self.busy_total += dur;
+    }
+
+    /// Record one worker's busy interval for trace export.
+    pub fn note_busy_interval(&mut self, worker: usize, start: VTime, end: VTime) {
+        if self.series {
+            self.busy_intervals.push((worker as u32, start, end));
+        }
+    }
+
+    // -- series post-processing ----------------------------------------------
+
+    /// Sample the number of busy workers at `buckets` evenly spaced points in
+    /// `[0, end]` (Fig. 7's filled area).
+    pub fn busy_series(&self, end: VTime, buckets: usize) -> Vec<(VTime, i64)> {
+        sample_counter(&self.busy_events, end, buckets)
+    }
+
+    /// Sample the number of ready-but-not-resumed outstanding joins
+    /// (Fig. 7's line plot).
+    pub fn ready_join_series(&self, end: VTime, buckets: usize) -> Vec<(VTime, i64)> {
+        let mut events: Vec<(VTime, i32)> = Vec::with_capacity(self.join_intervals.len() * 2);
+        for &(ready, resumed) in &self.join_intervals {
+            events.push((ready, 1));
+            events.push((resumed, -1));
+        }
+        events.sort();
+        sample_counter(&events, end, buckets)
+    }
+}
+
+/// DelaySpotter-style breakdown (Huynh & Taura, CLUSTER'17 — the paper's
+/// \[50\]): how much idle time is *scheduler-caused*, i.e. spent while ready
+/// work existed that no idle worker executed. A long outstanding-join time
+/// is harmless while every worker is busy; it is precisely the overlap of
+/// idleness with ready outstanding joins that indicts the scheduler (§V-B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayReport {
+    /// Σ over workers of busy time.
+    pub busy: VTime,
+    /// Σ over workers of idle time (P·elapsed − busy).
+    pub idle: VTime,
+    /// ∫ min(idle workers, ready outstanding joins) dt — idle capacity that
+    /// ready-but-unexecuted joins could have filled.
+    pub scheduler_delay: VTime,
+    /// `scheduler_delay / idle` (0 when never idle).
+    pub blame_fraction: f64,
+}
+
+impl RunStats {
+    /// Compute the delay breakdown from series-level traces.
+    ///
+    /// Returns `None` unless the run was traced at
+    /// [`crate::policy::TraceLevel::Series`].
+    pub fn delay_report(&self, elapsed: VTime, workers: usize) -> Option<DelayReport> {
+        if !self.series {
+            return None;
+        }
+        // Merge busy transitions and join-interval endpoints into one
+        // timeline, integrating min(idle, ready) over each segment.
+        #[derive(Clone, Copy)]
+        enum Ev {
+            Busy(i64),
+            Ready(i64),
+        }
+        let mut evs: Vec<(VTime, Ev)> =
+            Vec::with_capacity(self.busy_events.len() + 2 * self.join_intervals.len());
+        for &(t, d) in &self.busy_events {
+            evs.push((t, Ev::Busy(d as i64)));
+        }
+        for &(ready, resumed) in &self.join_intervals {
+            evs.push((ready, Ev::Ready(1)));
+            evs.push((resumed, Ev::Ready(-1)));
+        }
+        evs.sort_by_key(|&(t, _)| t);
+
+        let mut busy = 0i64;
+        let mut ready = 0i64;
+        let mut last = VTime::ZERO;
+        let mut sched_delay_ns = 0u128;
+        let mut busy_ns = 0u128;
+        for (t, ev) in evs {
+            let dt = t.saturating_sub(last).as_ns() as u128;
+            let idle = (workers as i64 - busy).max(0);
+            sched_delay_ns += dt * idle.min(ready.max(0)) as u128;
+            busy_ns += dt * busy.max(0) as u128;
+            last = t;
+            match ev {
+                Ev::Busy(d) => busy += d,
+                Ev::Ready(d) => ready += d,
+            }
+        }
+        // Tail to the end of the run.
+        let dt = elapsed.saturating_sub(last).as_ns() as u128;
+        busy_ns += dt * busy.max(0) as u128;
+
+        let total = elapsed.as_ns() as u128 * workers as u128;
+        let idle_ns = total.saturating_sub(busy_ns);
+        let blame = if idle_ns == 0 {
+            0.0
+        } else {
+            sched_delay_ns as f64 / idle_ns as f64
+        };
+        Some(DelayReport {
+            busy: VTime::ns(busy_ns as u64),
+            idle: VTime::ns(idle_ns as u64),
+            scheduler_delay: VTime::ns(sched_delay_ns as u64),
+            blame_fraction: blame,
+        })
+    }
+}
+
+/// Integrate +1/-1 events into bucketed counter samples.
+fn sample_counter(events: &[(VTime, i32)], end: VTime, buckets: usize) -> Vec<(VTime, i64)> {
+    assert!(buckets > 0);
+    let mut sorted: Vec<(VTime, i32)> = events.to_vec();
+    sorted.sort();
+    let mut out = Vec::with_capacity(buckets + 1);
+    let mut level = 0i64;
+    let mut idx = 0;
+    for b in 0..=buckets {
+        let t = VTime::ns((end.as_ns() as u128 * b as u128 / buckets as u128) as u64);
+        while idx < sorted.len() && sorted[idx].0 <= t {
+            level += sorted[idx].1 as i64;
+            idx += 1;
+        }
+        out.push((t, level));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steal_averages() {
+        let mut s = RunStats::new(false);
+        assert_eq!(s.avg_steal_latency(), VTime::ZERO);
+        s.steal_ok(VTime::us(30), VTime::us(6), 1800);
+        s.steal_ok(VTime::us(20), VTime::us(4), 200);
+        s.steal_failed();
+        assert_eq!(s.avg_steal_latency(), VTime::us(25));
+        assert_eq!(s.avg_copy_time(), VTime::us(5));
+        assert_eq!(s.avg_stolen_bytes(), 1000);
+        assert_eq!(s.steals_failed, 1);
+    }
+
+    #[test]
+    fn outstanding_join_time_uses_later_of_die_and_suspend() {
+        let mut s = RunStats::new(false);
+        // Suspend at 10, die at 50, resume at 80 → outstanding 30.
+        s.note_die(0xA0, VTime::ns(50));
+        s.note_join_resumed(0xA0, VTime::ns(10), VTime::ns(80));
+        assert_eq!(s.avg_outstanding_time(), VTime::ns(30));
+        // Die at 5 (before suspend at 10)... resume at 12 → outstanding 2.
+        s.note_die(0xB0, VTime::ns(5));
+        s.note_join_resumed(0xB0, VTime::ns(10), VTime::ns(12));
+        assert_eq!(s.outstanding_joins, 2);
+        assert_eq!(s.avg_outstanding_time(), VTime::ns(16)); // (30+2)/2
+    }
+
+    #[test]
+    fn series_collection_and_sampling() {
+        let mut s = RunStats::new(true);
+        s.note_busy(VTime::ns(0));
+        s.note_busy(VTime::ns(10));
+        s.note_idle(VTime::ns(50));
+        let series = s.busy_series(VTime::ns(100), 10);
+        assert_eq!(series.len(), 11);
+        assert_eq!(series[0].1, 1); // one busy at t=0
+        assert_eq!(series[2].1, 2); // two busy at t=20
+        assert_eq!(series[6].1, 1); // one went idle at 50
+        assert_eq!(series[10].1, 1);
+    }
+
+    #[test]
+    fn ready_join_series_counts_open_intervals() {
+        let mut s = RunStats::new(true);
+        s.note_die(1, VTime::ns(10));
+        s.note_join_resumed(1, VTime::ns(5), VTime::ns(30)); // ready 10..30
+        s.note_die(2, VTime::ns(15));
+        s.note_join_resumed(2, VTime::ns(20), VTime::ns(40)); // ready 20..40
+        let series = s.ready_join_series(VTime::ns(50), 50);
+        let at = |t: u64| series[t as usize].1; // bucket width 1 ns
+        assert_eq!(at(5), 0);
+        assert_eq!(at(12), 1);
+        assert_eq!(at(25), 2);
+        assert_eq!(at(35), 1);
+        assert_eq!(at(45), 0);
+    }
+
+    #[test]
+    fn series_disabled_skips_events() {
+        let mut s = RunStats::new(false);
+        s.note_busy(VTime::ns(1));
+        s.note_die(9, VTime::ns(2));
+        s.note_join_resumed(9, VTime::ns(1), VTime::ns(5));
+        assert!(s.busy_events.is_empty());
+        assert!(s.join_intervals.is_empty());
+        // But the aggregates still updated.
+        assert_eq!(s.outstanding_joins, 1);
+    }
+
+    #[test]
+    fn delay_report_integrates_idle_overlap() {
+        let mut s = RunStats::new(true);
+        // 2 workers, 100 ns run. Worker 0 busy the whole time; worker 1
+        // busy [0,40). A join is ready-but-unexecuted during [50, 90):
+        // worker 1 idles through all of it → 40 ns scheduler delay.
+        s.note_busy(VTime::ns(0)); // worker 0
+        s.note_busy(VTime::ns(0)); // worker 1
+        s.note_idle(VTime::ns(40)); // worker 1 goes idle
+        s.note_die(1, VTime::ns(50));
+        s.note_join_resumed(1, VTime::ns(10), VTime::ns(90));
+        let r = s.delay_report(VTime::ns(100), 2).unwrap();
+        assert_eq!(r.busy, VTime::ns(140)); // 100 + 40
+        assert_eq!(r.idle, VTime::ns(60)); // worker 1: 60 ns
+        assert_eq!(r.scheduler_delay, VTime::ns(40));
+        assert!((r.blame_fraction - 40.0 / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_report_zero_when_never_idle_with_ready_work() {
+        let mut s = RunStats::new(true);
+        s.note_busy(VTime::ns(0));
+        // Join ready while the only worker is busy: harmless (§V-B).
+        s.note_die(1, VTime::ns(10));
+        s.note_join_resumed(1, VTime::ns(5), VTime::ns(80));
+        s.note_idle(VTime::ns(90));
+        let r = s.delay_report(VTime::ns(100), 1).unwrap();
+        assert_eq!(r.scheduler_delay, VTime::ZERO);
+        assert_eq!(r.idle, VTime::ns(10));
+    }
+
+    #[test]
+    fn delay_report_requires_series() {
+        let s = RunStats::new(false);
+        assert!(s.delay_report(VTime::ns(1), 1).is_none());
+    }
+
+    #[test]
+    fn entry_free_clears_die_record() {
+        let mut s = RunStats::new(false);
+        s.note_die(7, VTime::ns(10));
+        s.note_entry_freed(7);
+        // A later suspension on a reused address must not see the stale die.
+        s.note_join_resumed(7, VTime::ns(100), VTime::ns(120));
+        assert_eq!(s.avg_outstanding_time(), VTime::ns(20));
+    }
+}

@@ -1,0 +1,257 @@
+//! Shared simulation state: the machine plus the runtime's side tables.
+//!
+//! Pinned memory (in `dcs-sim` segments) holds the *protocol words* — flags,
+//! counters, deque bounds, context locations — exactly as in the paper.
+//! The Rust objects those words refer to (boxed continuation stacks, task
+//! argument values) live in per-worker side tables here and are *moved*
+//! between workers when the corresponding bulk transfer is charged on the
+//! fabric. This keeps every protocol decision observable in pinned memory
+//! while avoiding byte-serialization of closures.
+
+use dcs_sim::{GlobalAddr, Machine, VTime};
+use dcs_uniaddr::{EvacRegion, IsoAlloc, UniRegion};
+
+use crate::frame::{TaskFn, VThread};
+use crate::policy::RunConfig;
+use crate::remote_free::RemoteRegistry;
+use crate::stats::RunStats;
+use crate::util::{Slab, U64Map};
+use crate::value::{ThreadHandle, Value};
+
+/// Base wire size of a child-stealing task descriptor: function pointer,
+/// thread-entry handle and queue-record header. With a typical 9-byte scalar
+/// argument this gives the paper's ~55-byte stolen tasks.
+pub const DESC_BASE: usize = 46;
+
+/// An item in a worker's stealable deque.
+pub enum QueueItem {
+    /// A continuation (whole suspended stack). `spawned_child` is the entry
+    /// of the child whose spawn pushed this continuation, or NULL for a
+    /// ready continuation re-enqueued by a future producer — the Fig.-4
+    /// work-first fast path must only fire when the popped item really is
+    /// the dying child's parent.
+    Cont {
+        th: VThread,
+        spawned_child: GlobalAddr,
+        /// When this continuation became stealable (profiling).
+        since: VTime,
+    },
+    /// A not-yet-started child task (child stealing).
+    Child {
+        f: TaskFn,
+        arg: Value,
+        handle: ThreadHandle,
+    },
+}
+
+impl std::fmt::Debug for QueueItem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueItem::Cont {
+                th, spawned_child, ..
+            } => write!(f, "Cont({th:?}, child={spawned_child:?})"),
+            QueueItem::Child { arg, handle, .. } => {
+                write!(f, "Child(arg={arg:?}, entry={:?})", handle.entry)
+            }
+        }
+    }
+}
+
+impl QueueItem {
+    /// Bytes moved if this item is stolen.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            QueueItem::Cont { th, .. } => th.stack_bytes(),
+            QueueItem::Child { arg, .. } => DESC_BASE + arg.wire_size(),
+        }
+    }
+}
+
+/// A thread's return value parked in its entry, plus its wire size (charged
+/// when a remote joiner fetches it).
+pub struct StoredVal {
+    pub v: Value,
+    pub size: u32,
+}
+
+/// Runtime metadata of a live thread entry (kept owner-side; freed with it).
+#[derive(Clone, Copy, Debug)]
+pub struct EntryMeta {
+    pub consumers: u32,
+    /// Pinned bytes occupied by the entry record.
+    pub bytes: u32,
+}
+
+/// Rust-side state of one worker that *other* workers may touch (through
+/// charged fabric operations): deque payloads and evacuated threads.
+pub struct WorkerShared {
+    /// Payload objects referenced by this worker's deque ring.
+    pub items: Slab<QueueItem>,
+    /// Threads suspended at greedy joins, parked in the evacuation region;
+    /// referenced from pinned saved-context records.
+    pub saved: Slab<VThread>,
+    /// Uni-address region occupancy.
+    pub uni: UniRegion,
+    /// Evacuation region accounting.
+    pub evac: EvacRegion,
+    /// Remote-object registry (local-collection strategy state).
+    pub robj: RemoteRegistry,
+    /// Live/peak count of full-thread stacks (ChildFull memory footprint).
+    pub full_stacks_live: u64,
+    pub full_stacks_peak: u64,
+}
+
+impl WorkerShared {
+    pub fn new(cfg: &RunConfig) -> WorkerShared {
+        WorkerShared {
+            items: Slab::new(),
+            saved: Slab::new(),
+            // Size the region for deep nesting: slots * generous depth.
+            uni: UniRegion::with_default_base(cfg.stack_slot * 4096),
+            evac: EvacRegion::new(),
+            robj: RemoteRegistry::new(cfg.collect_limit),
+            full_stacks_live: 0,
+            full_stacks_peak: 0,
+        }
+    }
+
+    pub fn note_full_stack_alloc(&mut self) {
+        self.full_stacks_live += 1;
+        self.full_stacks_peak = self.full_stacks_peak.max(self.full_stacks_live);
+    }
+
+    pub fn note_full_stack_free(&mut self) {
+        debug_assert!(self.full_stacks_live > 0);
+        self.full_stacks_live -= 1;
+    }
+}
+
+/// All runtime state shared across workers (next to the [`Machine`]).
+pub struct RtShared {
+    pub cfg: RunConfig,
+    /// Return values parked in thread entries, keyed by entry address.
+    pub retvals: U64Map<StoredVal>,
+    /// Live entry metadata, keyed by entry address.
+    pub meta: U64Map<EntryMeta>,
+    pub per: Vec<WorkerShared>,
+    pub stats: RunStats,
+    /// Global iso-address allocator (used instead of the per-worker
+    /// uni-address regions when the run selects [`crate::policy::AddressScheme::Iso`]).
+    pub iso: IsoAlloc,
+    /// Monotonic thread-id source.
+    pub next_tid: u64,
+    /// The root task's return value, set when it dies.
+    pub result: Option<Value>,
+}
+
+impl RtShared {
+    pub fn new(cfg: RunConfig) -> RtShared {
+        let per = (0..cfg.workers).map(|_| WorkerShared::new(&cfg)).collect();
+        let series = cfg.trace == crate::policy::TraceLevel::Series;
+        RtShared {
+            cfg,
+            retvals: U64Map::default(),
+            meta: U64Map::default(),
+            per,
+            stats: RunStats::new(series),
+            iso: IsoAlloc::new(),
+            next_tid: 0,
+            result: None,
+        }
+    }
+
+    pub fn fresh_tid(&mut self) -> u64 {
+        self.next_tid += 1;
+        self.stats.threads_spawned += 1;
+        self.next_tid
+    }
+
+    /// Split-borrow two distinct workers' shared state.
+    pub fn two(&mut self, a: usize, b: usize) -> (&mut WorkerShared, &mut WorkerShared) {
+        assert_ne!(a, b);
+        if a < b {
+            let (lo, hi) = self.per.split_at_mut(b);
+            (&mut lo[a], &mut hi[0])
+        } else {
+            let (lo, hi) = self.per.split_at_mut(a);
+            (&mut hi[0], &mut lo[b])
+        }
+    }
+}
+
+/// The engine world: machine + runtime shared state.
+pub struct World {
+    pub m: Machine,
+    pub rt: RtShared,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::ret_frame;
+    use crate::policy::Policy;
+
+    fn mk_rt() -> RtShared {
+        RtShared::new(RunConfig::new(4, Policy::ContGreedy))
+    }
+
+    #[test]
+    fn two_splits_correctly() {
+        let mut rt = mk_rt();
+        rt.per[1].full_stacks_live = 11;
+        rt.per[3].full_stacks_live = 33;
+        let (a, b) = rt.two(1, 3);
+        assert_eq!(a.full_stacks_live, 11);
+        assert_eq!(b.full_stacks_live, 33);
+        let (a, b) = rt.two(3, 1);
+        assert_eq!(a.full_stacks_live, 33);
+        assert_eq!(b.full_stacks_live, 11);
+    }
+
+    #[test]
+    #[should_panic]
+    fn two_same_index_panics() {
+        let mut rt = mk_rt();
+        let _ = rt.two(2, 2);
+    }
+
+    #[test]
+    fn fresh_tids_are_unique_and_counted() {
+        let mut rt = mk_rt();
+        let a = rt.fresh_tid();
+        let b = rt.fresh_tid();
+        assert_ne!(a, b);
+        assert_eq!(rt.stats.threads_spawned, 2);
+    }
+
+    #[test]
+    fn queue_item_sizes() {
+        let mut th = VThread::new(1, |_, _| crate::frame::Effect::ret(0u64), Value::Unit, ThreadHandle::single(GlobalAddr::NULL));
+        th.frames.push(ret_frame(0u64));
+        let stack = th.stack_bytes();
+        let cont = QueueItem::Cont {
+            th,
+            spawned_child: GlobalAddr::NULL,
+            since: VTime::ZERO,
+        };
+        assert_eq!(cont.wire_size(), stack);
+        let child = QueueItem::Child {
+            f: |_, _| crate::frame::Effect::ret(0u64),
+            arg: Value::U64(5),
+            handle: ThreadHandle::single(GlobalAddr::new(0, 8)),
+        };
+        // 46 + 9 = 55 bytes: the paper's descriptor size.
+        assert_eq!(child.wire_size(), 55);
+    }
+
+    #[test]
+    fn full_stack_accounting() {
+        let mut ws = WorkerShared::new(&RunConfig::new(1, Policy::ChildFull));
+        ws.note_full_stack_alloc();
+        ws.note_full_stack_alloc();
+        ws.note_full_stack_free();
+        ws.note_full_stack_alloc();
+        assert_eq!(ws.full_stacks_live, 2);
+        assert_eq!(ws.full_stacks_peak, 2);
+    }
+}

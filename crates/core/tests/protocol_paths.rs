@@ -1,0 +1,492 @@
+//! Scheduler protocol-path tests: drive the Fig. 3/4 DIE/JOIN machinery
+//! through each of its branches with purpose-built task graphs and timing.
+//!
+//! The simulator is deterministic, so a workload shaped to hit a race
+//! outcome hits it on every run — these tests pin the protocol behaviour,
+//! not just end results.
+
+use dcs_core::frame::frame;
+use dcs_core::prelude::*;
+
+/// Child that computes for `arg` microseconds, then returns 7.
+fn slow_child(arg: Value, _ctx: &mut TaskCtx) -> Effect {
+    Effect::compute(VTime::us(arg.as_u64()), frame(|_, _| Effect::ret(7u64)))
+}
+
+/// Root: fork a child of `child_us`, compute `parent_us` in the
+/// continuation, then join. On two workers the continuation is stolen, so
+/// the relative durations select the Fig. 4 race outcome.
+fn race_root(arg: Value, _ctx: &mut TaskCtx) -> Effect {
+    let (child_us, parent_us) = arg.into_pair();
+    let parent_us = parent_us.as_u64();
+    Effect::fork(
+        slow_child,
+        child_us,
+        frame(move |h, _| {
+            let h = h.as_handle();
+            Effect::compute(
+                VTime::us(parent_us),
+                frame(move |_, _| {
+                    Effect::join(h, frame(|v, _| Effect::ret(v.as_u64() + 1)))
+                }),
+            )
+        }),
+    )
+}
+
+fn run_race(child_us: u64, parent_us: u64) -> RunReport {
+    let cfg = RunConfig::new(2, Policy::ContGreedy)
+        .with_profile(profiles::itoa())
+        .with_seg_bytes(64 << 20);
+    run(
+        cfg,
+        Program::new(race_root, Value::pair(child_us.into(), parent_us.into())),
+    )
+}
+
+/// Long child, short continuation: the stolen continuation reaches the join
+/// first, suspends, and the dying child loses the race — it must migrate
+/// and resume the joiner (`die_lost`, the §III-A2 capability).
+#[test]
+fn greedy_die_lost_migrates_joiner() {
+    let r = run_race(2_000, 10);
+    assert_eq!(r.result.as_u64(), 8);
+    assert!(r.stats.steals_ok >= 1, "continuation must be stolen");
+    assert_eq!(r.stats.die_lost, 1, "child must lose the race");
+    assert_eq!(r.stats.outstanding_joins, 1);
+    // The outstanding join is resumed promptly (greedy): far below the
+    // stalling wait-queue round-trip scale.
+    assert!(r.stats.avg_outstanding_time() < VTime::us(100));
+}
+
+/// Short child, long continuation: the child dies while the continuation
+/// is still computing elsewhere — the producer wins the race (`die_won`)
+/// and the joiner completes on the fast path.
+#[test]
+fn greedy_die_won_lets_joiner_self_serve() {
+    let r = run_race(10, 2_000);
+    assert_eq!(r.result.as_u64(), 8);
+    assert!(r.stats.steals_ok >= 1);
+    assert_eq!(r.stats.die_won, 1);
+    assert_eq!(r.stats.die_lost, 0);
+    assert_eq!(r.stats.outstanding_joins, 0, "join never suspends");
+    assert_eq!(r.stats.joins_fast, 1);
+}
+
+/// Single worker: nothing is ever stolen, every join resolves through the
+/// work-first fast path without one atomic operation.
+#[test]
+fn greedy_fast_path_without_steals() {
+    let cfg = RunConfig::new(1, Policy::ContGreedy)
+        .with_profile(profiles::itoa())
+        .with_seg_bytes(64 << 20);
+    let r = run(
+        cfg,
+        Program::new(race_root, Value::pair(50u64.into(), 50u64.into())),
+    );
+    assert_eq!(r.result.as_u64(), 8);
+    assert_eq!(r.stats.die_fast, 1);
+    assert_eq!(r.stats.die_won + r.stats.die_lost, 0);
+    assert_eq!(r.fabric.remote_amos, 0, "fast path avoids atomics entirely");
+}
+
+/// Sweep the child/parent durations across the race window: every outcome
+/// class must appear somewhere, and every run must be correct.
+#[test]
+fn race_window_sweep_reaches_all_paths() {
+    let (mut fast, mut won, mut lost) = (0u64, 0u64, 0u64);
+    for child_us in [1u64, 5, 20, 35, 50, 100, 500] {
+        let r = run_race(child_us, 30);
+        assert_eq!(r.result.as_u64(), 8, "child_us={child_us}");
+        fast += r.stats.die_fast;
+        won += r.stats.die_won;
+        lost += r.stats.die_lost;
+    }
+    assert!(won > 0, "some child must win the race");
+    assert!(lost > 0, "some child must lose the race");
+    let _ = fast; // fast path needs an un-stolen parent; may or may not occur
+}
+
+/// A future with three consumers, all of which block before the producer
+/// finishes: the producer must resume one immediately and enqueue the rest
+/// as ready continuations (§V-D).
+#[test]
+fn multi_consumer_future_resumes_all_waiters() {
+    fn consumer(arg: Value, _ctx: &mut TaskCtx) -> Effect {
+        let h = arg.as_handle();
+        Effect::join(h, frame(|v, _| Effect::ret(v.as_u64() * 2)))
+    }
+
+    fn root(_arg: Value, _ctx: &mut TaskCtx) -> Effect {
+        // Producer runs 500 µs; consumers join it immediately.
+        Effect::fork_future(
+            slow_child,
+            500u64,
+            3,
+            frame(|h, _| {
+                let fut = h.as_handle();
+                Effect::fork(
+                    consumer,
+                    fut,
+                    frame(move |c1, _| {
+                        let c1 = c1.as_handle();
+                        Effect::fork(
+                            consumer,
+                            fut,
+                            frame(move |c2, _| {
+                                let c2 = c2.as_handle();
+                                Effect::call(
+                                    consumer,
+                                    fut,
+                                    frame(move |v3, _| {
+                                        let v3 = v3.as_u64();
+                                        Effect::join(
+                                            c1,
+                                            frame(move |v1, _| {
+                                                let v1 = v1.as_u64();
+                                                Effect::join(
+                                                    c2,
+                                                    frame(move |v2, _| {
+                                                        Effect::ret(v1 + v2.as_u64() + v3)
+                                                    }),
+                                                )
+                                            }),
+                                        )
+                                    }),
+                                )
+                            }),
+                        )
+                    }),
+                )
+            }),
+        )
+    }
+
+    for workers in [1usize, 2, 4] {
+        let cfg = RunConfig::new(workers, Policy::ContGreedy)
+            .with_profile(profiles::itoa())
+            .with_seg_bytes(64 << 20);
+        let r = run(cfg, Program::new(root, Value::Unit));
+        assert_eq!(r.result.as_u64(), 42, "P={workers}"); // 3 × (7×2)
+    }
+}
+
+/// Same future program under the stalling policy: waiters sit in wait
+/// queues instead of migrating, but the result is identical and the
+/// outstanding-join time is visibly worse than greedy's.
+#[test]
+fn multi_consumer_future_under_stalling() {
+    fn consumer(arg: Value, _ctx: &mut TaskCtx) -> Effect {
+        let h = arg.as_handle();
+        Effect::join(h, frame(|v, _| Effect::ret(v.as_u64() * 2)))
+    }
+    fn root(_arg: Value, _ctx: &mut TaskCtx) -> Effect {
+        Effect::fork_future(
+            slow_child,
+            500u64,
+            2,
+            frame(|h, _| {
+                let fut = h.as_handle();
+                Effect::fork(
+                    consumer,
+                    fut,
+                    frame(move |c1, _| {
+                        let c1 = c1.as_handle();
+                        Effect::call(
+                            consumer,
+                            fut,
+                            frame(move |v2, _| {
+                                let v2 = v2.as_u64();
+                                Effect::join(
+                                    c1,
+                                    frame(move |v1, _| Effect::ret(v1.as_u64() + v2)),
+                                )
+                            }),
+                        )
+                    }),
+                )
+            }),
+        )
+    }
+    for policy in [Policy::ContGreedy, Policy::ContStalling, Policy::ChildFull] {
+        for workers in [1usize, 3] {
+            let cfg = RunConfig::new(workers, policy)
+                .with_profile(profiles::itoa())
+                .with_seg_bytes(64 << 20);
+            let r = run(cfg, Program::new(root, Value::Unit));
+            assert_eq!(r.result.as_u64(), 28, "{policy:?} P={workers}");
+        }
+    }
+}
+
+/// ChildFull accounts full-thread stacks; ChildRtc never allocates any.
+#[test]
+fn full_stack_accounting_by_policy() {
+    let spec_run = |policy| {
+        run(
+            RunConfig::new(2, policy)
+                .with_profile(profiles::test_profile())
+                .with_seg_bytes(64 << 20),
+            Program::new(race_root, Value::pair(20u64.into(), 20u64.into())),
+        )
+    };
+    assert!(spec_run(Policy::ChildFull).full_stack_peak >= 1);
+    assert_eq!(spec_run(Policy::ChildRtc).full_stack_peak, 0);
+    assert_eq!(spec_run(Policy::ContGreedy).full_stack_peak, 0);
+}
+
+/// Evacuation-region accounting balances (peak observed, nothing leaked),
+/// and only policies that evacuate use it.
+#[test]
+fn evacuation_accounting() {
+    // Greedy with a guaranteed suspension evacuates exactly once.
+    let r = run_race(2_000, 10);
+    assert!(r.evac_peak > 0, "suspension must evacuate the stack");
+    // ChildFull never evacuates (full threads keep their stacks).
+    let r = run(
+        RunConfig::new(2, Policy::ChildFull)
+            .with_profile(profiles::itoa())
+            .with_seg_bytes(64 << 20),
+        Program::new(race_root, Value::pair(2_000u64.into(), 10u64.into())),
+    );
+    assert_eq!(r.evac_peak, 0);
+}
+
+/// Deep nesting: a 400-deep spawn chain exercises uni-address stacking far
+/// beyond typical depth and must not leak slots.
+#[test]
+fn deep_spawn_chain() {
+    fn chain(arg: Value, _ctx: &mut TaskCtx) -> Effect {
+        let n = arg.as_u64();
+        if n == 0 {
+            return Effect::ret(0u64);
+        }
+        Effect::fork(
+            chain,
+            n - 1,
+            frame(|h, _| {
+                Effect::join(h.as_handle(), frame(|v, _| Effect::ret(v.as_u64() + 1)))
+            }),
+        )
+    }
+    let mut cfg = RunConfig::new(3, Policy::ContGreedy)
+        .with_profile(profiles::test_profile())
+        .with_seg_bytes(64 << 20);
+    cfg.stack_slot = 4 << 10; // deep chain; smaller slots keep the region sane
+    let r = run(cfg, Program::new(chain, 400u64));
+    assert_eq!(r.result.as_u64(), 400);
+    assert!(r.uni_peak >= 4 * 1024 * 10, "nesting must stack up");
+}
+
+/// Cooperative yield: two interleaving loops must both complete; under
+/// continuation stealing a yielded continuation is stealable.
+#[test]
+fn yield_interleaves_and_completes() {
+    fn yielder(arg: Value, _ctx: &mut TaskCtx) -> Effect {
+        let n = arg.as_u64();
+        if n == 0 {
+            return Effect::ret(0u64);
+        }
+        Effect::yield_now(frame(move |_, _| {
+            Effect::call(yielder, n - 1, frame(|v, _| Effect::ret(v.as_u64() + 1)))
+        }))
+    }
+    fn root(_arg: Value, _ctx: &mut TaskCtx) -> Effect {
+        Effect::fork(
+            yielder,
+            10u64,
+            frame(|h, _| {
+                let h = h.as_handle();
+                Effect::call(
+                    yielder,
+                    10u64,
+                    frame(move |b, _| {
+                        let b = b.as_u64();
+                        Effect::join(h, frame(move |a, _| Effect::ret(a.as_u64() + b)))
+                    }),
+                )
+            }),
+        )
+    }
+    for policy in [Policy::ContGreedy, Policy::ContStalling, Policy::ChildFull] {
+        for workers in [1usize, 2, 4] {
+            let cfg = RunConfig::new(workers, policy)
+                .with_profile(profiles::test_profile())
+                .with_seg_bytes(64 << 20);
+            let r = run(cfg, Program::new(root, Value::Unit));
+            assert_eq!(r.result.as_u64(), 20, "{policy:?} P={workers}");
+        }
+    }
+}
+
+/// Yielded continuations are stealable under continuation stealing: with a
+/// long yield chain on worker 0 and an idle worker 1, steals must occur.
+#[test]
+fn yielded_continuations_are_stealable() {
+    fn spin(arg: Value, _ctx: &mut TaskCtx) -> Effect {
+        let n = arg.as_u64();
+        if n == 0 {
+            return Effect::ret(0u64);
+        }
+        Effect::compute(
+            VTime::us(20),
+            frame(move |_, _| {
+                Effect::yield_now(frame(move |_, _| {
+                    Effect::call(spin, n - 1, frame(|v, _| Effect::ret(v.as_u64())))
+                }))
+            }),
+        )
+    }
+    fn root(_arg: Value, _ctx: &mut TaskCtx) -> Effect {
+        // Two independent yield-loops; only yielding makes the second one
+        // stealable while the first runs.
+        Effect::fork(
+            spin,
+            50u64,
+            frame(|h, _| {
+                let h = h.as_handle();
+                Effect::call(
+                    spin,
+                    50u64,
+                    frame(move |_, _| Effect::join(h, frame(|_, _| Effect::ret(0u64)))),
+                )
+            }),
+        )
+    }
+    let cfg = RunConfig::new(2, Policy::ContGreedy)
+        .with_profile(profiles::itoa())
+        .with_seg_bytes(64 << 20);
+    let r = run(cfg, Program::new(root, Value::Unit));
+    assert_eq!(r.result.as_u64(), 0);
+    assert!(r.stats.steals_ok > 0, "yielded work must be stolen");
+}
+
+/// RtC threads cannot yield — the runtime rejects it loudly.
+#[test]
+#[should_panic(expected = "run-to-completion threads cannot yield")]
+fn rtc_yield_panics() {
+    fn bad(_arg: Value, _ctx: &mut TaskCtx) -> Effect {
+        Effect::yield_now(frame(|_, _| Effect::ret(0u64)))
+    }
+    let cfg = RunConfig::new(1, Policy::ChildRtc)
+        .with_profile(profiles::test_profile())
+        .with_seg_bytes(64 << 20);
+    let _ = run(cfg, Program::new(bad, Value::Unit));
+}
+
+/// The iso-address scheme runs every policy correctly; its pinned peak
+/// grows with concurrency while uni-address stays depth-bounded, and it
+/// never records migration conflicts or evacuations.
+#[test]
+fn iso_address_mode_works_and_costs_address_space() {
+    fn fib(arg: Value, _ctx: &mut TaskCtx) -> Effect {
+        let n = arg.as_u64();
+        if n < 2 {
+            return Effect::ret(n);
+        }
+        Effect::fork(
+            fib,
+            n - 1,
+            frame(move |h, _| {
+                let h = h.as_handle();
+                Effect::call(
+                    fib,
+                    n - 2,
+                    frame(move |b, _| {
+                        let b = b.as_u64();
+                        Effect::join(h, frame(move |a, _| Effect::ret(a.as_u64() + b)))
+                    }),
+                )
+            }),
+        )
+    }
+    let mk = |scheme| {
+        run(
+            RunConfig::new(4, Policy::ContGreedy)
+                .with_profile(profiles::itoa())
+                .with_address_scheme(scheme)
+                .with_seg_bytes(64 << 20),
+            Program::new(fib, 13u64),
+        )
+    };
+    let uni = mk(AddressScheme::Uni);
+    let iso = mk(AddressScheme::Iso);
+    assert_eq!(uni.result.as_u64(), 233);
+    assert_eq!(iso.result.as_u64(), 233);
+    assert_eq!(uni.iso_peak, 0);
+    assert_eq!(iso.uni_peak, 0);
+    assert!(iso.iso_peak > 0);
+    assert_eq!(iso.uni_conflicts, 0, "iso-address never conflicts");
+    assert_eq!(iso.evac_peak, 0, "iso-address never evacuates");
+    // Iso pins at least as much as uni's per-worker peak (globally unique
+    // ranges for every live thread vs. per-worker depth).
+    assert!(iso.iso_peak >= uni.uni_peak);
+}
+
+/// Iso-address under the stalling policy and with futures (LCS-like shape)
+/// stays leak-free through suspension-heavy schedules.
+#[test]
+fn iso_address_with_suspensions() {
+    let r = run(
+        RunConfig::new(3, Policy::ContStalling)
+            .with_profile(profiles::itoa())
+            .with_address_scheme(AddressScheme::Iso)
+            .with_seg_bytes(64 << 20),
+        Program::new(race_root, Value::pair(800u64.into(), 10u64.into())),
+    );
+    assert_eq!(r.result.as_u64(), 8);
+}
+
+/// Straggler injection: with one worker computing 8× slower, work stealing
+/// must rebalance — the makespan stays far below what the straggler would
+/// need for an equal share, and the healthy policies stay close to the
+/// homogeneous run.
+#[test]
+fn work_stealing_absorbs_a_straggler() {
+    fn leafy(arg: Value, _ctx: &mut TaskCtx) -> Effect {
+        let (lo, hi) = arg.into_pair();
+        let (lo, hi) = (lo.as_u64(), hi.as_u64());
+        if hi - lo == 1 {
+            return Effect::compute(VTime::us(20), frame(|_, _| Effect::ret(1u64)));
+        }
+        let mid = lo + (hi - lo) / 2;
+        Effect::fork(
+            leafy,
+            Value::pair(lo.into(), mid.into()),
+            frame(move |h, _| {
+                let h = h.as_handle();
+                Effect::call(
+                    leafy,
+                    Value::pair(mid.into(), hi.into()),
+                    frame(move |b, _| {
+                        let b = b.as_u64();
+                        Effect::join(h, frame(move |a, _| Effect::ret(a.as_u64() + b)))
+                    }),
+                )
+            }),
+        )
+    }
+    let n: u64 = 512;
+    let run_with = |straggle: bool| {
+        let mut cfg = RunConfig::new(8, Policy::ContGreedy)
+            .with_profile(profiles::itoa())
+            .with_seg_bytes(64 << 20);
+        if straggle {
+            cfg = cfg.with_straggler(3, 8.0);
+        }
+        run(cfg, Program::new(leafy, Value::pair(0u64.into(), n.into())))
+    };
+    let healthy = run_with(false);
+    let straggled = run_with(true);
+    assert_eq!(healthy.result.as_u64(), n);
+    assert_eq!(straggled.result.as_u64(), n);
+    let ratio = straggled.elapsed.as_ns() as f64 / healthy.elapsed.as_ns() as f64;
+    // Without rebalancing, the straggler's 1/8 share at 8× slowness would
+    // dominate: elapsed ≈ homogeneous × 8. Work stealing keeps it near 1.
+    assert!(
+        ratio < 2.0,
+        "stealing failed to absorb the straggler (ratio {ratio:.2})"
+    );
+    // And the straggler does measurably less work: others stole from it.
+    assert!(straggled.stats.steals_ok > 0);
+}

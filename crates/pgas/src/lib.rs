@@ -1,0 +1,288 @@
+//! # dcs-pgas — global-heap support for the dcs runtime
+//!
+//! The paper's programs exchange data only through task arguments and
+//! return values; §VII states that "efficient support for global heaps,
+//! such as Partitioned Global Address Space (PGAS) or Distributed Shared
+//! Memory (DSM), remains for future work". This crate provides that
+//! support on the simulated fabric:
+//!
+//! * [`GlobalVec`] — a distributed `u64` array living in the workers'
+//!   pinned segments, with [`Dist::Block`] or [`Dist::Cyclic`] layout,
+//! * element/block addressing that task code turns into
+//!   [`dcs_core::RmaOp`] effects (one-sided gets/puts/fetch-adds charged
+//!   by the fabric like every other verb),
+//! * owner-side bulk initialization and draining for program setup and
+//!   verification (used through [`dcs_core::Program::with_init`]).
+//!
+//! A `GlobalVec` is plain metadata (`Copy`-able into the application
+//! context and task arguments); the data lives in the machine.
+
+use dcs_core::RmaOp;
+use dcs_sim::{GlobalAddr, Machine, WorkerId, WORD};
+
+/// Distribution of elements over workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dist {
+    /// Contiguous blocks of `⌈len/P⌉` elements per worker — neighbours are
+    /// co-located (good for stencil/block algorithms).
+    Block,
+    /// Element `i` lives on worker `i mod P` — uniform load for skewed
+    /// access patterns.
+    Cyclic,
+}
+
+/// A distributed array of `u64` words in pinned memory.
+///
+/// Metadata only — cheap to copy into app contexts; all access goes through
+/// the owning [`Machine`] (setup/verification) or through [`RmaOp`] effects
+/// (task code).
+#[derive(Clone, Copy, Debug)]
+pub struct GlobalVec {
+    len: u64,
+    workers: u32,
+    dist: Dist,
+    /// Byte offset of the local block within each worker's segment (the
+    /// allocation is performed identically on every worker, so one offset
+    /// describes all of them).
+    off: u32,
+    /// Elements held per worker (block size).
+    per_worker: u64,
+}
+
+impl GlobalVec {
+    /// Allocate a `len`-element vector across all workers of `m`, zeroed.
+    ///
+    /// Must run before workers execute (use
+    /// [`dcs_core::Program::with_init`]); every worker contributes an equal
+    /// pinned block, mirroring a symmetric-heap `shmalloc`.
+    pub fn alloc(m: &mut Machine, len: u64, dist: Dist) -> GlobalVec {
+        let workers = m.workers();
+        let per_worker = len.div_ceil(workers as u64);
+        let bytes = (per_worker * WORD as u64) as u32;
+        let mut off = None;
+        for w in 0..workers {
+            let a = m.alloc(w, bytes);
+            match off {
+                None => off = Some(a.off),
+                Some(o) => assert_eq!(
+                    o, a.off,
+                    "symmetric allocation requires identical segment layouts"
+                ),
+            }
+        }
+        GlobalVec {
+            len,
+            workers: workers as u32,
+            dist,
+            off: off.expect("at least one worker"),
+            per_worker,
+        }
+    }
+
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn dist(&self) -> Dist {
+        self.dist
+    }
+
+    /// Owner and slot of element `i`.
+    #[inline]
+    fn place(&self, i: u64) -> (WorkerId, u64) {
+        debug_assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        match self.dist {
+            Dist::Block => (
+                (i / self.per_worker) as WorkerId,
+                i % self.per_worker,
+            ),
+            Dist::Cyclic => (
+                (i % self.workers as u64) as WorkerId,
+                i / self.workers as u64,
+            ),
+        }
+    }
+
+    /// Global address of element `i`.
+    pub fn addr(&self, i: u64) -> GlobalAddr {
+        let (w, slot) = self.place(i);
+        GlobalAddr::new(w, self.off + (slot * WORD as u64) as u32)
+    }
+
+    /// Worker owning element `i`.
+    pub fn owner(&self, i: u64) -> WorkerId {
+        self.place(i).0
+    }
+
+    /// Number of elements stored on worker `w`.
+    pub fn local_len(&self, w: WorkerId) -> u64 {
+        match self.dist {
+            Dist::Block => {
+                let start = (w as u64) * self.per_worker;
+                self.len.saturating_sub(start).min(self.per_worker)
+            }
+            Dist::Cyclic => {
+                let base = self.len / self.workers as u64;
+                let extra = ((w as u64) < self.len % self.workers as u64) as u64;
+                base + extra
+            }
+        }
+    }
+
+    /// `RmaOp` reading element `i`.
+    pub fn get(&self, i: u64) -> RmaOp {
+        RmaOp::GetWord(self.addr(i))
+    }
+
+    /// `RmaOp` writing element `i`.
+    pub fn put(&self, i: u64, v: u64) -> RmaOp {
+        RmaOp::PutWord(self.addr(i), v)
+    }
+
+    /// `RmaOp` atomically adding to element `i`.
+    pub fn fetch_add(&self, i: u64, add: u64) -> RmaOp {
+        RmaOp::FetchAdd(self.addr(i), add)
+    }
+
+    /// `RmaOp` reading the contiguous-on-owner range `[i, i+n)`. Only legal
+    /// for [`Dist::Block`] ranges that stay within one owner.
+    pub fn get_range(&self, i: u64, n: u64) -> RmaOp {
+        assert_eq!(self.dist, Dist::Block, "ranges need a block distribution");
+        assert!(n >= 1 && i + n <= self.len);
+        assert_eq!(
+            self.owner(i),
+            self.owner(i + n - 1),
+            "range [{i}, {}) spans owners",
+            i + n
+        );
+        RmaOp::GetBlock(self.addr(i), n as u32)
+    }
+
+    /// `RmaOp` writing the contiguous-on-owner range starting at `i`.
+    pub fn put_range(&self, i: u64, vals: std::sync::Arc<[u64]>) -> RmaOp {
+        assert_eq!(self.dist, Dist::Block, "ranges need a block distribution");
+        let n = vals.len() as u64;
+        assert!(n >= 1 && i + n <= self.len);
+        assert_eq!(self.owner(i), self.owner(i + n - 1));
+        RmaOp::PutBlock(self.addr(i), vals)
+    }
+
+    // ------------------------------------------------------------------
+    // Host-side (setup / verification) access — cost-free, for use before
+    // the simulation starts or after it finishes.
+    // ------------------------------------------------------------------
+
+    /// Fill the vector from a slice (setup phase).
+    pub fn fill(&self, m: &mut Machine, data: &[u64]) {
+        assert_eq!(data.len() as u64, self.len);
+        for (i, &v) in data.iter().enumerate() {
+            let a = self.addr(i as u64);
+            m.segment_mut(a.rank as usize).write(a.off, v);
+        }
+    }
+
+    /// Read the whole vector back (verification phase).
+    pub fn to_vec(&self, m: &Machine) -> Vec<u64> {
+        (0..self.len)
+            .map(|i| {
+                let a = self.addr(i);
+                m.segment(a.rank as usize).read(a.off)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcs_sim::{profiles, MachineConfig};
+
+    fn machine(workers: usize) -> Machine {
+        Machine::new(MachineConfig::new(workers, profiles::test_profile()).with_seg_bytes(1 << 20))
+    }
+
+    #[test]
+    fn block_layout_places_contiguously() {
+        let mut m = machine(4);
+        let v = GlobalVec::alloc(&mut m, 100, Dist::Block);
+        assert_eq!(v.owner(0), 0);
+        assert_eq!(v.owner(24), 0);
+        assert_eq!(v.owner(25), 1);
+        assert_eq!(v.owner(99), 3);
+        assert_eq!(v.local_len(0), 25);
+        assert_eq!(v.local_len(3), 25);
+        // Consecutive same-owner elements are word-adjacent.
+        assert_eq!(v.addr(1).off - v.addr(0).off, WORD);
+    }
+
+    #[test]
+    fn cyclic_layout_round_robins() {
+        let mut m = machine(4);
+        let v = GlobalVec::alloc(&mut m, 10, Dist::Cyclic);
+        assert_eq!(v.owner(0), 0);
+        assert_eq!(v.owner(1), 1);
+        assert_eq!(v.owner(5), 1);
+        assert_eq!(v.local_len(0), 3); // elements 0, 4, 8
+        assert_eq!(v.local_len(1), 3); // 1, 5, 9
+        assert_eq!(v.local_len(3), 2); // 3, 7
+    }
+
+    #[test]
+    fn fill_and_read_back() {
+        let mut m = machine(3);
+        for dist in [Dist::Block, Dist::Cyclic] {
+            let v = GlobalVec::alloc(&mut m, 17, dist);
+            let data: Vec<u64> = (0..17).map(|i| i * i).collect();
+            v.fill(&mut m, &data);
+            assert_eq!(v.to_vec(&m), data, "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn uneven_block_tail() {
+        let mut m = machine(4);
+        let v = GlobalVec::alloc(&mut m, 10, Dist::Block); // 3 per worker, tail 1
+        assert_eq!(v.local_len(0), 3);
+        assert_eq!(v.local_len(3), 1);
+        assert_eq!(v.owner(9), 3);
+        let data: Vec<u64> = (0..10).collect();
+        v.fill(&mut m, &data);
+        assert_eq!(v.to_vec(&m), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "spans owners")]
+    fn cross_owner_range_rejected() {
+        let mut m = machine(2);
+        let v = GlobalVec::alloc(&mut m, 8, Dist::Block); // 4 + 4
+        let _ = v.get_range(2, 4); // elements 2..6 span both workers
+    }
+
+    #[test]
+    fn rma_ops_target_right_addresses() {
+        let mut m = machine(2);
+        let v = GlobalVec::alloc(&mut m, 8, Dist::Block);
+        match v.get(5) {
+            RmaOp::GetWord(a) => assert_eq!(a, v.addr(5)),
+            other => panic!("{other:?}"),
+        }
+        match v.fetch_add(0, 3) {
+            RmaOp::FetchAdd(a, add) => {
+                assert_eq!(a, v.addr(0));
+                assert_eq!(add, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        match v.get_range(4, 4) {
+            RmaOp::GetBlock(a, n) => {
+                assert_eq!(a, v.addr(4));
+                assert_eq!(n, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! The discrete-event engine.
+//!
+//! Workers are [`Actor`]s. The engine repeatedly runs the actor whose virtual
+//! clock is smallest (ties broken by worker id, so execution is fully
+//! deterministic), passing it mutable access to the shared world `W` (the
+//! [`crate::Machine`] plus whatever runtime state sits next to it). Each call
+//! performs one slice of work and returns how much virtual time it consumed.
+//!
+//! This "sequentialized concurrency" style is the standard way simulators
+//! (SimGrid, gem5 event queues) model asynchronous agents on one host thread:
+//! because only the minimum-clock actor ever runs, no other actor can have an
+//! earlier pending action, so applying memory effects eagerly is safe.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::VTime;
+use crate::WorkerId;
+
+/// What an actor did in one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Advance this actor's clock by the given duration and reschedule it.
+    /// Zero durations are bumped to 1 ns to guarantee progress.
+    Yield(VTime),
+    /// The actor is finished and must not be scheduled again.
+    Halt,
+}
+
+/// A simulated worker process.
+pub trait Actor<W> {
+    /// Perform one slice of work. `now` is this actor's current virtual
+    /// clock; all fabric costs incurred must be reflected in the returned
+    /// [`Step::Yield`] duration.
+    fn step(&mut self, me: WorkerId, now: VTime, world: &mut W) -> Step;
+}
+
+/// Result of driving a simulation to completion.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineReport {
+    /// Virtual time at which the last actor halted.
+    pub end_time: VTime,
+    /// Total actor steps executed (a proxy for host-side simulation work).
+    pub steps: u64,
+}
+
+/// The event loop: a binary heap of `(clock, worker)` keys over the actors.
+pub struct Engine<W, A> {
+    pub world: W,
+    actors: Vec<A>,
+    heap: BinaryHeap<Reverse<(VTime, WorkerId)>>,
+    clocks: Vec<VTime>,
+    max_steps: u64,
+}
+
+impl<W, A: Actor<W>> Engine<W, A> {
+    pub fn new(world: W, actors: Vec<A>) -> Engine<W, A> {
+        let n = actors.len();
+        let mut heap = BinaryHeap::with_capacity(n);
+        for w in 0..n {
+            heap.push(Reverse((VTime::ZERO, w)));
+        }
+        Engine {
+            world,
+            actors,
+            heap,
+            clocks: vec![VTime::ZERO; n],
+            // Generous default: aborts runaway simulations (a scheduling
+            // deadlock would otherwise spin in idle loops forever).
+            max_steps: 20_000_000_000,
+        }
+    }
+
+    /// Override the runaway-step guard.
+    pub fn with_max_steps(mut self, max: u64) -> Self {
+        self.max_steps = max;
+        self
+    }
+
+    /// Drive all actors until every one has halted.
+    ///
+    /// Panics if `max_steps` is exceeded — in this codebase that always
+    /// indicates a scheduling bug (lost task, missed wakeup), so failing loud
+    /// beats hanging a benchmark run.
+    pub fn run(&mut self) -> EngineReport {
+        let mut steps = 0u64;
+        let mut end = VTime::ZERO;
+        while let Some(Reverse((t, w))) = self.heap.pop() {
+            steps += 1;
+            assert!(
+                steps <= self.max_steps,
+                "engine exceeded {} steps at t={} — scheduling deadlock?",
+                self.max_steps,
+                t
+            );
+            match self.actors[w].step(w, t, &mut self.world) {
+                Step::Yield(d) => {
+                    let d = d.max(VTime::ns(1));
+                    let nt = t + d;
+                    self.clocks[w] = nt;
+                    self.heap.push(Reverse((nt, w)));
+                }
+                Step::Halt => {
+                    self.clocks[w] = t;
+                    end = end.max(t);
+                }
+            }
+        }
+        EngineReport {
+            end_time: end,
+            steps,
+        }
+    }
+
+    /// Clock of worker `w` (final clock after `run`).
+    pub fn clock(&self, w: WorkerId) -> VTime {
+        self.clocks[w]
+    }
+
+    pub fn actors(&self) -> &[A] {
+        &self.actors
+    }
+
+    pub fn actors_mut(&mut self) -> &mut [A] {
+        &mut self.actors
+    }
+
+    /// Consume the engine, returning the world and actors for inspection.
+    pub fn into_parts(self) -> (W, Vec<A>) {
+        (self.world, self.actors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts down, yielding a fixed duration each step.
+    struct Countdown {
+        remaining: u32,
+        dur: VTime,
+        log: Vec<VTime>,
+    }
+
+    impl Actor<Vec<(WorkerId, VTime)>> for Countdown {
+        fn step(&mut self, me: WorkerId, now: VTime, world: &mut Vec<(WorkerId, VTime)>) -> Step {
+            if self.remaining == 0 {
+                return Step::Halt;
+            }
+            self.remaining -= 1;
+            self.log.push(now);
+            world.push((me, now));
+            Step::Yield(self.dur)
+        }
+    }
+
+    #[test]
+    fn runs_in_global_time_order() {
+        let actors = vec![
+            Countdown {
+                remaining: 3,
+                dur: VTime::ns(10),
+                log: vec![],
+            },
+            Countdown {
+                remaining: 3,
+                dur: VTime::ns(4),
+                log: vec![],
+            },
+        ];
+        let mut e = Engine::new(Vec::new(), actors);
+        let report = e.run();
+        // Interleaving: events must be globally sorted by time (ties by id).
+        let times: Vec<_> = e.world.iter().map(|&(w, t)| (t, w)).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+        // Worker 1 finishes its 3 steps at t=12, worker 0 at t=30.
+        assert_eq!(report.end_time, VTime::ns(30));
+        assert_eq!(report.steps, 3 + 3 + 2); // 3 yields each + 2 halt steps
+    }
+
+    #[test]
+    fn zero_yield_still_progresses() {
+        struct Zeros(u32);
+        impl Actor<()> for Zeros {
+            fn step(&mut self, _me: WorkerId, _now: VTime, _w: &mut ()) -> Step {
+                if self.0 == 0 {
+                    return Step::Halt;
+                }
+                self.0 -= 1;
+                Step::Yield(VTime::ZERO)
+            }
+        }
+        let mut e = Engine::new((), vec![Zeros(5)]);
+        let r = e.run();
+        assert_eq!(r.end_time, VTime::ns(5)); // each zero yield bumped to 1 ns
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling deadlock")]
+    fn runaway_guard_fires() {
+        struct Forever;
+        impl Actor<()> for Forever {
+            fn step(&mut self, _m: WorkerId, _n: VTime, _w: &mut ()) -> Step {
+                Step::Yield(VTime::ns(1))
+            }
+        }
+        let mut e = Engine::new((), vec![Forever]).with_max_steps(100);
+        e.run();
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mk = || {
+            let actors = (0..4)
+                .map(|i| Countdown {
+                    remaining: 10,
+                    dur: VTime::ns(3 + i),
+                    log: vec![],
+                })
+                .collect();
+            Engine::new(Vec::new(), actors)
+        };
+        let mut a = mk();
+        let mut b = mk();
+        a.run();
+        b.run();
+        assert_eq!(a.world, b.world);
+    }
+}

@@ -1,0 +1,48 @@
+//! # dcs-sim — a deterministic simulator of an RDMA-connected cluster
+//!
+//! This crate provides the machine substrate that the distributed
+//! continuation-stealing runtime (`dcs-core`) runs on. The paper evaluated on
+//! two real supercomputers (ITO-A: Xeon + InfiniBand EDR, Wisteria-O: A64FX +
+//! Tofu-D) with MPI-3 RMA as the one-sided communication layer. Reproducing
+//! that requires a cluster; instead we model the *performance-relevant*
+//! behaviour exactly:
+//!
+//! * every worker is a simulated **process** with its own pinned memory
+//!   [`Segment`] — a worker can touch remote memory *only* through one-sided
+//!   verbs ([`Machine::get_u64`], [`Machine::put_u64`],
+//!   [`Machine::fetch_add_u64`], [`Machine::cas_u64`], bulk
+//!   [`Machine::get_bulk`]/[`Machine::put_bulk`]),
+//! * each verb charges a calibrated latency ([`LatencyModel`], with presets for
+//!   both machines in [`profiles`]) to the issuing worker's **virtual clock**
+//!   and updates per-worker operation/byte counters ([`FabricStats`]),
+//! * a discrete-event [`Engine`] runs worker [`Actor`]s strictly in
+//!   smallest-virtual-clock-first order, which makes every simulation
+//!   **deterministic** given a seed.
+//!
+//! Atomicity model: the memory effect of a verb is applied at issue time and
+//! the round-trip latency is charged to the issuer. Races between workers
+//! therefore resolve within one latency window of real hardware — the same
+//! nondeterminism envelope physical RDMA has — while every individual
+//! operation stays linearizable.
+
+pub mod engine;
+pub mod latency;
+pub mod machine;
+pub mod mailbox;
+pub mod mem;
+pub mod rng;
+pub mod time;
+pub mod topology;
+
+pub use engine::{Actor, Engine, Step};
+pub use latency::{profiles, LatencyModel, MachineProfile};
+pub use machine::{FabricStats, Machine, MachineConfig};
+pub use mailbox::Mailbox;
+pub use mem::{GlobalAddr, SegAlloc, Segment, WORD};
+pub use rng::SimRng;
+pub use time::VTime;
+pub use topology::Topology;
+
+/// Identifier of a worker (= simulated process = node rank in the paper's
+/// one-worker-per-core deployment).
+pub type WorkerId = usize;

@@ -1,0 +1,424 @@
+//! The simulated machine: segments + one-sided fabric verbs + counters.
+//!
+//! [`Machine`] is the only way workers touch each other's memory. Every verb
+//! takes the issuing worker's id, applies the memory effect, bumps that
+//! worker's [`FabricStats`], and returns the [`VTime`] cost the caller must
+//! add to its virtual clock. Local accesses (to the issuer's own segment) are
+//! charged `local_op` instead of a network round trip, mirroring how the
+//! runtime in the paper distinguishes local deque operations from remote
+//! steals.
+
+use crate::latency::{LatencyModel, MachineProfile};
+use crate::mem::{GlobalAddr, Segment};
+use crate::time::VTime;
+use crate::topology::Topology;
+use crate::WorkerId;
+
+/// Machine construction parameters.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    pub workers: usize,
+    pub profile: MachineProfile,
+    /// Capacity of each worker's pinned segment, bytes.
+    pub seg_bytes: u32,
+    /// Bytes at the start of each segment reserved for statically placed
+    /// runtime structures (deque control words + ring buffer).
+    pub seg_reserved: u32,
+    /// Network topology (distance-scaled remote latencies).
+    pub topology: Topology,
+}
+
+impl MachineConfig {
+    pub fn new(workers: usize, profile: MachineProfile) -> MachineConfig {
+        MachineConfig {
+            workers,
+            profile,
+            seg_bytes: 8 << 20,
+            seg_reserved: 0,
+            topology: Topology::Flat,
+        }
+    }
+
+    pub fn with_reserved(mut self, bytes: u32) -> MachineConfig {
+        self.seg_reserved = bytes;
+        self
+    }
+
+    pub fn with_seg_bytes(mut self, bytes: u32) -> MachineConfig {
+        self.seg_bytes = bytes;
+        self
+    }
+
+    pub fn with_topology(mut self, t: Topology) -> MachineConfig {
+        self.topology = t;
+        self
+    }
+}
+
+/// Per-worker fabric operation counters (ops and bytes, split local/remote).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FabricStats {
+    pub remote_gets: u64,
+    pub remote_puts: u64,
+    pub remote_amos: u64,
+    pub local_ops: u64,
+    pub bytes_got: u64,
+    pub bytes_put: u64,
+    pub messages_sent: u64,
+    pub messages_handled: u64,
+}
+
+impl FabricStats {
+    pub fn remote_total(&self) -> u64 {
+        self.remote_gets + self.remote_puts + self.remote_amos
+    }
+
+    pub fn merge(&mut self, o: &FabricStats) {
+        self.remote_gets += o.remote_gets;
+        self.remote_puts += o.remote_puts;
+        self.remote_amos += o.remote_amos;
+        self.local_ops += o.local_ops;
+        self.bytes_got += o.bytes_got;
+        self.bytes_put += o.bytes_put;
+        self.messages_sent += o.messages_sent;
+        self.messages_handled += o.messages_handled;
+    }
+}
+
+/// The simulated cluster: one segment per worker plus the latency model.
+pub struct Machine {
+    pub cfg: MachineConfig,
+    segments: Vec<Segment>,
+    stats: Vec<FabricStats>,
+    /// Global termination flag. In a real deployment this is a tiny
+    /// RDMA-broadcast epoch counter; idle loops poll it at local cost.
+    done: bool,
+}
+
+impl Machine {
+    pub fn new(cfg: MachineConfig) -> Machine {
+        let segments = (0..cfg.workers)
+            .map(|_| Segment::new(cfg.seg_bytes, cfg.seg_reserved))
+            .collect();
+        let stats = vec![FabricStats::default(); cfg.workers];
+        Machine {
+            cfg,
+            segments,
+            stats,
+            done: false,
+        }
+    }
+
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.cfg.workers
+    }
+
+    #[inline]
+    pub fn lat(&self) -> &LatencyModel {
+        &self.cfg.profile.latency
+    }
+
+    #[inline]
+    pub fn profile(&self) -> &MachineProfile {
+        &self.cfg.profile
+    }
+
+    #[inline]
+    fn is_local(&self, me: WorkerId, addr: GlobalAddr) -> bool {
+        addr.rank as usize == me
+    }
+
+    /// Scale the network component of a remote cost by the topology
+    /// distance; the CPU-side injection part is distance-independent.
+    #[inline]
+    fn dist(&self, me: WorkerId, other: WorkerId, network_ns: u64) -> VTime {
+        let f = self.cfg.topology.factor(me, other);
+        VTime::ns(self.lat().injection + (network_ns as f64 * f).round() as u64)
+    }
+
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.cfg.topology
+    }
+
+    /// `get v ← L` of the paper's pseudocode: one-sided small read.
+    pub fn get_u64(&mut self, me: WorkerId, addr: GlobalAddr) -> (u64, VTime) {
+        let v = self.segments[addr.rank as usize].read(addr.off);
+        let cost = if self.is_local(me, addr) {
+            self.stats[me].local_ops += 1;
+            self.lat().local()
+        } else {
+            self.stats[me].remote_gets += 1;
+            self.stats[me].bytes_got += 8;
+            self.dist(me, addr.rank as usize, self.lat().rdma_get)
+        };
+        (v, cost)
+    }
+
+    /// `put L ← v`: one-sided small write; the issuer waits for completion.
+    pub fn put_u64(&mut self, me: WorkerId, addr: GlobalAddr, v: u64) -> VTime {
+        self.segments[addr.rank as usize].write(addr.off, v);
+        if self.is_local(me, addr) {
+            self.stats[me].local_ops += 1;
+            self.lat().local()
+        } else {
+            self.stats[me].remote_puts += 1;
+            self.stats[me].bytes_put += 8;
+            self.dist(me, addr.rank as usize, self.lat().rdma_put)
+        }
+    }
+
+    /// Non-blocking put: the issuer only pays the injection overhead.
+    /// Used by the local-collection free-bit scheme (§III-B), whose point is
+    /// that remote frees cost one *non-blocking* communication.
+    pub fn put_u64_nb(&mut self, me: WorkerId, addr: GlobalAddr, v: u64) -> VTime {
+        self.segments[addr.rank as usize].write(addr.off, v);
+        if self.is_local(me, addr) {
+            self.stats[me].local_ops += 1;
+            self.lat().local()
+        } else {
+            self.stats[me].remote_puts += 1;
+            self.stats[me].bytes_put += 8;
+            self.lat().put_nb()
+        }
+    }
+
+    /// `fetch_and_add(L, v)`: one-sided atomic.
+    pub fn fetch_add_u64(&mut self, me: WorkerId, addr: GlobalAddr, add: u64) -> (u64, VTime) {
+        let v = self.segments[addr.rank as usize].fetch_add(addr.off, add);
+        let cost = if self.is_local(me, addr) {
+            // Local atomics still cost a little more than plain accesses.
+            self.stats[me].local_ops += 1;
+            self.lat().local()
+        } else {
+            self.stats[me].remote_amos += 1;
+            self.dist(me, addr.rank as usize, self.lat().rdma_amo)
+        };
+        (v, cost)
+    }
+
+    /// One-sided compare-and-swap; returns the observed value.
+    pub fn cas_u64(
+        &mut self,
+        me: WorkerId,
+        addr: GlobalAddr,
+        expect: u64,
+        new: u64,
+    ) -> (u64, VTime) {
+        let v = self.segments[addr.rank as usize].cas(addr.off, expect, new);
+        let cost = if self.is_local(me, addr) {
+            self.stats[me].local_ops += 1;
+            self.lat().local()
+        } else {
+            self.stats[me].remote_amos += 1;
+            self.dist(me, addr.rank as usize, self.lat().rdma_amo)
+        };
+        (v, cost)
+    }
+
+    /// Account a bulk one-sided read of `len` bytes from `from`'s segment
+    /// (e.g. a migrated call stack). The payload itself travels through
+    /// runtime-owned side tables; this charges latency + bandwidth and counts
+    /// bytes.
+    pub fn get_bulk(&mut self, me: WorkerId, from: WorkerId, len: usize) -> VTime {
+        if from == me {
+            self.stats[me].local_ops += 1;
+            self.lat().local() + self.lat().payload(len) / 8
+        } else {
+            self.stats[me].remote_gets += 1;
+            self.stats[me].bytes_got += len as u64;
+            self.dist(me, from, self.lat().rdma_get) + self.lat().payload(len)
+        }
+    }
+
+    /// Account a bulk one-sided write of `len` bytes into `to`'s segment.
+    pub fn put_bulk(&mut self, me: WorkerId, to: WorkerId, len: usize) -> VTime {
+        if to == me {
+            self.stats[me].local_ops += 1;
+            self.lat().local() + self.lat().payload(len) / 8
+        } else {
+            self.stats[me].remote_puts += 1;
+            self.stats[me].bytes_put += len as u64;
+            self.dist(me, to, self.lat().rdma_put) + self.lat().payload(len)
+        }
+    }
+
+    /// Charge a purely local operation (deque push/pop, allocator, flag poll).
+    #[inline]
+    pub fn local_op(&mut self, me: WorkerId) -> VTime {
+        self.stats[me].local_ops += 1;
+        self.lat().local()
+    }
+
+    /// Owner-side word read, free of charge: used *inside* an operation that
+    /// already charged one `local_op` for its whole O(1) body (a real deque
+    /// pop is one cache-resident operation, not a charge per word).
+    #[inline]
+    pub fn read_own(&self, me: WorkerId, addr: GlobalAddr) -> u64 {
+        debug_assert_eq!(addr.rank as usize, me, "read_own must be owner-local");
+        self.segments[addr.rank as usize].read(addr.off)
+    }
+
+    /// Owner-side word write, free of charge (see [`Machine::read_own`]).
+    #[inline]
+    pub fn write_own(&mut self, me: WorkerId, addr: GlobalAddr, v: u64) {
+        debug_assert_eq!(addr.rank as usize, me, "write_own must be owner-local");
+        self.segments[addr.rank as usize].write(addr.off, v);
+    }
+
+    /// Charge a full user-level context switch (suspend/restore or fresh
+    /// full-thread stack).
+    #[inline]
+    pub fn ctx_switch(&mut self, _me: WorkerId) -> VTime {
+        self.lat().ctx_switch()
+    }
+
+    /// Charge a lightweight continuation restore (stack already resident).
+    #[inline]
+    pub fn ctx_restore(&mut self, _me: WorkerId) -> VTime {
+        self.lat().ctx_restore()
+    }
+
+    /// Count a two-sided message send (baselines only) and return its
+    /// injection cost; the delivery latency is applied by [`crate::Mailbox`].
+    #[inline]
+    pub fn message_sent(&mut self, me: WorkerId) -> VTime {
+        self.stats[me].messages_sent += 1;
+        VTime::ns(self.lat().injection)
+    }
+
+    /// Count the receiver-side handling cost of one two-sided message.
+    #[inline]
+    pub fn message_handled(&mut self, me: WorkerId) -> VTime {
+        self.stats[me].messages_handled += 1;
+        VTime::ns(self.lat().msg_handler)
+    }
+
+    /// Direct segment access for the *owner* (allocation, static layout).
+    pub fn segment_mut(&mut self, rank: WorkerId) -> &mut Segment {
+        &mut self.segments[rank]
+    }
+
+    pub fn segment(&self, rank: WorkerId) -> &Segment {
+        &self.segments[rank]
+    }
+
+    /// Allocate a zeroed record in `rank`'s segment (owner-side allocation;
+    /// thread entries are always allocated where the thread is spawned).
+    pub fn alloc(&mut self, rank: WorkerId, bytes: u32) -> GlobalAddr {
+        let off = self.segments[rank].alloc(bytes);
+        GlobalAddr::new(rank, off)
+    }
+
+    /// Free a record in its owner's segment. Only the owner calls this
+    /// directly; remote frees go through the `remote_free` protocols.
+    pub fn free(&mut self, addr: GlobalAddr, bytes: u32) {
+        self.segments[addr.rank as usize].free(addr.off, bytes);
+    }
+
+    pub fn stats(&self, w: WorkerId) -> &FabricStats {
+        &self.stats[w]
+    }
+
+    pub fn stats_total(&self) -> FabricStats {
+        let mut t = FabricStats::default();
+        for s in &self.stats {
+            t.merge(s);
+        }
+        t
+    }
+
+    /// Raise the global termination flag (root task finished).
+    pub fn set_done(&mut self) {
+        self.done = true;
+    }
+
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::profiles;
+
+    fn machine(n: usize) -> Machine {
+        Machine::new(MachineConfig::new(n, profiles::itoa()).with_seg_bytes(1 << 16))
+    }
+
+    #[test]
+    fn remote_ops_cost_more_than_local() {
+        let mut m = machine(2);
+        let a0 = m.alloc(0, 8);
+        let a1 = m.alloc(1, 8);
+        let local = m.put_u64(0, a0, 1);
+        let remote = m.put_u64(0, a1, 2);
+        assert!(remote > local * 10);
+        let (v, _) = m.get_u64(1, a1);
+        assert_eq!(v, 2);
+    }
+
+    #[test]
+    fn stats_count_ops_and_bytes() {
+        let mut m = machine(2);
+        let a1 = m.alloc(1, 16);
+        m.put_u64(0, a1, 5);
+        let _ = m.get_u64(0, a1);
+        let _ = m.fetch_add_u64(0, a1.field(1), 3);
+        let _ = m.get_bulk(0, 1, 1800);
+        let s = m.stats(0);
+        assert_eq!(s.remote_puts, 1);
+        assert_eq!(s.remote_gets, 2);
+        assert_eq!(s.remote_amos, 1);
+        assert_eq!(s.bytes_got, 8 + 1800);
+        assert_eq!(s.bytes_put, 8);
+        // Worker 1 did nothing.
+        assert_eq!(m.stats(1).remote_total(), 0);
+    }
+
+    #[test]
+    fn fetch_add_and_cas_apply_effects() {
+        let mut m = machine(2);
+        let a = m.alloc(1, 8);
+        let (old, _) = m.fetch_add_u64(0, a, 1);
+        assert_eq!(old, 0);
+        let (old, _) = m.fetch_add_u64(1, a, 1);
+        assert_eq!(old, 1);
+        let (seen, _) = m.cas_u64(0, a, 2, 100);
+        assert_eq!(seen, 2);
+        let (v, _) = m.get_u64(1, a);
+        assert_eq!(v, 100);
+    }
+
+    #[test]
+    fn nonblocking_put_is_cheaper() {
+        let mut m = machine(2);
+        let a1 = m.alloc(1, 8);
+        let blocking = m.put_u64(0, a1, 1);
+        let nb = m.put_u64_nb(0, a1, 2);
+        assert!(nb < blocking);
+        let (v, _) = m.get_u64(1, a1);
+        assert_eq!(v, 2, "non-blocking put still applies its effect");
+    }
+
+    #[test]
+    fn done_flag() {
+        let mut m = machine(1);
+        assert!(!m.is_done());
+        m.set_done();
+        assert!(m.is_done());
+    }
+
+    #[test]
+    fn bulk_costs_scale() {
+        let mut m = machine(2);
+        let small = m.get_bulk(0, 1, 56);
+        let big = m.get_bulk(0, 1, 1800);
+        assert!(big > small);
+        let local = m.get_bulk(0, 0, 1800);
+        assert!(local < small);
+    }
+}

@@ -1,0 +1,116 @@
+//! Two-sided (message-based) communication for the baseline runtimes.
+//!
+//! The paper attributes the poor scaling of Charm++ and X10/GLB on UTS to
+//! their *two-sided* steal protocols: a steal interrupts the victim, which
+//! must poll for and handle the request. [`Mailbox`] models exactly that: a
+//! per-worker delivery queue where a message becomes visible only after its
+//! delivery timestamp, and handling it costs receiver CPU time (charged by
+//! the caller via [`crate::Machine::message_handled`]).
+
+use std::collections::VecDeque;
+
+use crate::time::VTime;
+use crate::WorkerId;
+
+/// Per-worker in-order delivery queues for messages of type `M`.
+pub struct Mailbox<M> {
+    queues: Vec<VecDeque<(VTime, WorkerId, M)>>,
+}
+
+impl<M> Mailbox<M> {
+    pub fn new(workers: usize) -> Mailbox<M> {
+        Mailbox {
+            queues: (0..workers).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    /// Deposit a message for `to`, visible at `deliver_at`
+    /// (= sender clock + one-way message latency).
+    pub fn send(&mut self, from: WorkerId, to: WorkerId, deliver_at: VTime, msg: M) {
+        let q = &mut self.queues[to];
+        // Keep the queue sorted by delivery time. Messages from one sender
+        // are already in order; cross-sender interleavings need the insert
+        // scan, which is almost always O(1) from the back.
+        let pos = q
+            .iter()
+            .rposition(|&(t, _, _)| t <= deliver_at)
+            .map_or(0, |p| p + 1);
+        q.insert(pos, (deliver_at, from, msg));
+    }
+
+    /// Pop the next message already delivered by `now`, if any.
+    pub fn recv(&mut self, me: WorkerId, now: VTime) -> Option<(WorkerId, M)> {
+        let q = &mut self.queues[me];
+        if q.front().is_some_and(|&(t, _, _)| t <= now) {
+            let (_, from, msg) = q.pop_front().expect("checked front");
+            Some((from, msg))
+        } else {
+            None
+        }
+    }
+
+    /// Earliest pending delivery time for `me` (delivered or not).
+    pub fn next_delivery(&self, me: WorkerId) -> Option<VTime> {
+        self.queues[me].front().map(|&(t, _, _)| t)
+    }
+
+    /// Number of messages (delivered or in flight) queued for `me`.
+    pub fn pending(&self, me: WorkerId) -> usize {
+        self.queues[me].len()
+    }
+
+    /// True when no message is queued anywhere (used by termination checks in
+    /// tests).
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_respects_time() {
+        let mut mb: Mailbox<&str> = Mailbox::new(2);
+        mb.send(0, 1, VTime::ns(100), "hello");
+        assert_eq!(mb.recv(1, VTime::ns(50)), None);
+        assert_eq!(mb.recv(1, VTime::ns(100)), Some((0, "hello")));
+        assert_eq!(mb.recv(1, VTime::ns(200)), None);
+    }
+
+    #[test]
+    fn messages_sorted_by_delivery() {
+        let mut mb: Mailbox<u32> = Mailbox::new(2);
+        mb.send(0, 1, VTime::ns(300), 3);
+        mb.send(0, 1, VTime::ns(100), 1);
+        mb.send(0, 1, VTime::ns(200), 2);
+        let now = VTime::ns(1000);
+        assert_eq!(mb.recv(1, now), Some((0, 1)));
+        assert_eq!(mb.recv(1, now), Some((0, 2)));
+        assert_eq!(mb.recv(1, now), Some((0, 3)));
+    }
+
+    #[test]
+    fn ties_preserve_insertion_order() {
+        let mut mb: Mailbox<u32> = Mailbox::new(1);
+        mb.send(0, 0, VTime::ns(5), 1);
+        mb.send(0, 0, VTime::ns(5), 2);
+        let now = VTime::ns(5);
+        assert_eq!(mb.recv(0, now).unwrap().1, 1);
+        assert_eq!(mb.recv(0, now).unwrap().1, 2);
+    }
+
+    #[test]
+    fn bookkeeping() {
+        let mut mb: Mailbox<()> = Mailbox::new(2);
+        assert!(mb.is_empty());
+        mb.send(1, 0, VTime::ns(7), ());
+        assert_eq!(mb.pending(0), 1);
+        assert_eq!(mb.next_delivery(0), Some(VTime::ns(7)));
+        assert_eq!(mb.next_delivery(1), None);
+        assert!(!mb.is_empty());
+        mb.recv(0, VTime::ns(7));
+        assert!(mb.is_empty());
+    }
+}

@@ -1,0 +1,331 @@
+//! Simulated pinned memory segments and global addresses.
+//!
+//! Each worker owns one [`Segment`]: the RDMA-registered ("pinned") memory
+//! window that remote workers can read, write and atomically update through
+//! the fabric verbs in [`crate::machine::Machine`]. A [`GlobalAddr`] names a
+//! word in some worker's segment — it is the `Loc(T)` of the paper's
+//! pseudocode (Fig. 3/4): worker rank + virtual address.
+//!
+//! Memory is word-granular (`u64`): every object the protocols place in
+//! pinned memory (thread entries, deque control words, ring entries, saved
+//! context descriptors, free bits) is a small record of u64 fields. Bulk
+//! payloads (migrated call stacks, task arguments) are accounted by byte size
+//! on the fabric but their Rust-side representation travels through typed
+//! side tables owned by the runtime, so the segment itself never needs raw
+//! byte storage.
+//!
+//! The embedded allocator ([`SegAlloc`]) is a bump allocator with per-size
+//! free lists — the workload is a high rate of small fixed-size records
+//! (thread entries are allocated at every spawn), which is exactly what a
+//! segregated free list is good at, and it keeps allocation O(1) and
+//! deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Bytes per memory word.
+pub const WORD: u32 = 8;
+
+/// A global address: worker rank + byte offset within that worker's segment.
+///
+/// Packs to a single `u64` so that addresses themselves can be stored in
+/// pinned memory words (e.g. `ctxloc` in the greedy-join thread entry).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalAddr {
+    pub rank: u32,
+    /// Byte offset, always a multiple of [`WORD`].
+    pub off: u32,
+}
+
+impl GlobalAddr {
+    /// The null address (no valid segment offset); used as "absent" marker in
+    /// pinned-memory fields.
+    pub const NULL: GlobalAddr = GlobalAddr {
+        rank: u32::MAX,
+        off: u32::MAX,
+    };
+
+    #[inline]
+    pub fn new(rank: usize, off: u32) -> GlobalAddr {
+        debug_assert_eq!(off % WORD, 0, "unaligned global address");
+        GlobalAddr {
+            rank: rank as u32,
+            off,
+        }
+    }
+
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self == GlobalAddr::NULL
+    }
+
+    /// Address of the `i`-th word field of a record starting at `self`.
+    #[inline]
+    pub fn field(self, i: u32) -> GlobalAddr {
+        debug_assert!(!self.is_null());
+        GlobalAddr {
+            rank: self.rank,
+            off: self.off + i * WORD,
+        }
+    }
+
+    #[inline]
+    pub fn to_u64(self) -> u64 {
+        ((self.rank as u64) << 32) | self.off as u64
+    }
+
+    #[inline]
+    pub fn from_u64(v: u64) -> GlobalAddr {
+        GlobalAddr {
+            rank: (v >> 32) as u32,
+            off: v as u32,
+        }
+    }
+}
+
+impl fmt::Debug for GlobalAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "GlobalAddr(NULL)")
+        } else {
+            write!(f, "GlobalAddr({}:{:#x})", self.rank, self.off)
+        }
+    }
+}
+
+/// Allocation statistics for a segment.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SegStats {
+    pub live_bytes: u64,
+    pub peak_bytes: u64,
+    pub total_allocs: u64,
+    pub total_frees: u64,
+}
+
+/// Bump allocator with segregated free lists, embedded in each segment.
+#[derive(Debug)]
+pub struct SegAlloc {
+    /// Next unallocated byte offset.
+    bump: u32,
+    /// Segment capacity in bytes.
+    cap: u32,
+    /// Free lists keyed by block size in bytes.
+    free: BTreeMap<u32, Vec<u32>>,
+    stats: SegStats,
+}
+
+impl SegAlloc {
+    fn new(cap_bytes: u32, reserved: u32) -> SegAlloc {
+        SegAlloc {
+            bump: reserved,
+            cap: cap_bytes,
+            free: BTreeMap::new(),
+            stats: SegStats::default(),
+        }
+    }
+
+    /// Allocate `bytes` (rounded up to a word multiple). Returns the byte
+    /// offset. Panics if the segment is exhausted — segment sizing is a
+    /// configuration decision, running out is a setup bug, not a runtime
+    /// condition the protocols handle.
+    pub fn alloc(&mut self, bytes: u32) -> u32 {
+        let size = round_up(bytes);
+        let off = if let Some(list) = self.free.get_mut(&size) {
+            let off = list.pop().expect("empty free list present");
+            if list.is_empty() {
+                self.free.remove(&size);
+            }
+            off
+        } else {
+            let off = self.bump;
+            assert!(
+                off.checked_add(size).is_some_and(|end| end <= self.cap),
+                "segment exhausted: cap={} bump={} request={}",
+                self.cap,
+                self.bump,
+                size
+            );
+            self.bump += size;
+            off
+        };
+        self.stats.total_allocs += 1;
+        self.stats.live_bytes += size as u64;
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.live_bytes);
+        off
+    }
+
+    /// Return a block to its size-class free list.
+    pub fn free(&mut self, off: u32, bytes: u32) {
+        let size = round_up(bytes);
+        debug_assert!(off + size <= self.bump, "freeing unallocated block");
+        self.free.entry(size).or_default().push(off);
+        self.stats.total_frees += 1;
+        debug_assert!(
+            self.stats.live_bytes >= size as u64,
+            "free without matching alloc"
+        );
+        self.stats.live_bytes -= size as u64;
+    }
+
+    pub fn stats(&self) -> SegStats {
+        self.stats
+    }
+}
+
+#[inline]
+fn round_up(bytes: u32) -> u32 {
+    bytes.div_ceil(WORD) * WORD
+}
+
+/// One worker's pinned memory window.
+///
+/// The first `reserved` bytes are statically laid out by the runtime (deque
+/// control words + ring buffer); the rest is managed by the embedded
+/// allocator for dynamically created remote objects (thread entries, saved
+/// contexts).
+pub struct Segment {
+    words: Vec<u64>,
+    alloc: SegAlloc,
+}
+
+impl Segment {
+    pub fn new(cap_bytes: u32, reserved_bytes: u32) -> Segment {
+        assert_eq!(cap_bytes % WORD, 0);
+        let reserved = round_up(reserved_bytes);
+        assert!(reserved <= cap_bytes);
+        Segment {
+            words: vec![0; (cap_bytes / WORD) as usize],
+            alloc: SegAlloc::new(cap_bytes, reserved),
+        }
+    }
+
+    #[inline]
+    pub fn read(&self, off: u32) -> u64 {
+        debug_assert_eq!(off % WORD, 0);
+        self.words[(off / WORD) as usize]
+    }
+
+    #[inline]
+    pub fn write(&mut self, off: u32, v: u64) {
+        debug_assert_eq!(off % WORD, 0);
+        self.words[(off / WORD) as usize] = v;
+    }
+
+    #[inline]
+    pub fn fetch_add(&mut self, off: u32, add: u64) -> u64 {
+        let old = self.read(off);
+        self.write(off, old.wrapping_add(add));
+        old
+    }
+
+    /// Compare-and-swap; returns the observed value (swap happened iff it
+    /// equals `expect`).
+    #[inline]
+    pub fn cas(&mut self, off: u32, expect: u64, new: u64) -> u64 {
+        let old = self.read(off);
+        if old == expect {
+            self.write(off, new);
+        }
+        old
+    }
+
+    /// Allocate a record of `bytes` in this segment, zeroing its words.
+    pub fn alloc(&mut self, bytes: u32) -> u32 {
+        let off = self.alloc.alloc(bytes);
+        for i in 0..round_up(bytes) / WORD {
+            self.write(off + i * WORD, 0);
+        }
+        off
+    }
+
+    pub fn free(&mut self, off: u32, bytes: u32) {
+        self.alloc.free(off, bytes);
+    }
+
+    pub fn alloc_stats(&self) -> SegStats {
+        self.alloc.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_addr_roundtrip() {
+        let a = GlobalAddr::new(42, 0x1000);
+        assert_eq!(GlobalAddr::from_u64(a.to_u64()), a);
+        assert_eq!(a.field(3).off, 0x1000 + 24);
+        assert!(GlobalAddr::NULL.is_null());
+        assert!(!a.is_null());
+        // NULL survives the u64 roundtrip too.
+        assert!(GlobalAddr::from_u64(GlobalAddr::NULL.to_u64()).is_null());
+    }
+
+    #[test]
+    fn segment_read_write_atomic() {
+        let mut s = Segment::new(1024, 64);
+        s.write(0, 7);
+        assert_eq!(s.read(0), 7);
+        assert_eq!(s.fetch_add(0, 5), 7);
+        assert_eq!(s.read(0), 12);
+        assert_eq!(s.cas(0, 12, 99), 12);
+        assert_eq!(s.read(0), 99);
+        assert_eq!(s.cas(0, 12, 1), 99); // failed CAS leaves value
+        assert_eq!(s.read(0), 99);
+    }
+
+    #[test]
+    fn alloc_reuses_freed_blocks() {
+        let mut s = Segment::new(4096, 0);
+        let a = s.alloc(24);
+        let b = s.alloc(24);
+        assert_ne!(a, b);
+        s.free(a, 24);
+        let c = s.alloc(24);
+        assert_eq!(c, a, "freed block should be recycled");
+        let st = s.alloc_stats();
+        assert_eq!(st.total_allocs, 3);
+        assert_eq!(st.total_frees, 1);
+        assert_eq!(st.live_bytes, 48);
+    }
+
+    #[test]
+    fn alloc_zeroes_memory() {
+        let mut s = Segment::new(4096, 0);
+        let a = s.alloc(16);
+        s.write(a, u64::MAX);
+        s.write(a + 8, u64::MAX);
+        s.free(a, 16);
+        let b = s.alloc(16);
+        assert_eq!(b, a);
+        assert_eq!(s.read(b), 0);
+        assert_eq!(s.read(b + 8), 0);
+    }
+
+    #[test]
+    fn alloc_rounds_to_words() {
+        let mut s = Segment::new(4096, 0);
+        let a = s.alloc(1);
+        let b = s.alloc(1);
+        assert_eq!(b - a, WORD);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment exhausted")]
+    fn exhaustion_panics() {
+        let mut s = Segment::new(64, 0);
+        let _ = s.alloc(128);
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut s = Segment::new(4096, 0);
+        let a = s.alloc(100); // rounds to 104
+        s.free(a, 100);
+        let _ = s.alloc(8);
+        let st = s.alloc_stats();
+        assert_eq!(st.peak_bytes, 104);
+        assert_eq!(st.live_bytes, 8);
+    }
+}

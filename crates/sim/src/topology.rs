@@ -1,0 +1,180 @@
+//! Network topology models.
+//!
+//! The paper evaluates on flat random victim selection and notes
+//! (§VI) that topology-aware stealing "could be used in conjunction with
+//! RDMA-based work stealing; their benefits have not been well studied in
+//! the context of RDMA, which is our future interest". This module provides
+//! that study's substrate: a distance model that scales the *network* part
+//! of every remote verb by the position of the two endpoints.
+//!
+//! * [`Topology::Flat`] — uniform distance (the paper's setting).
+//! * [`Topology::Hierarchical`] — workers grouped into nodes of `node_size`
+//!   cores (ITO-A: 36); intra-node one-sided operations are substantially
+//!   faster than inter-node ones (shared-memory window vs. NIC round trip).
+//! * [`Topology::Mesh3d`] — a Tofu-D-like 3-D mesh of nodes with per-hop
+//!   latency, using the same close-to-cubic allocation the paper requested
+//!   on Wisteria-O ("we specified a 3D mesh topology as close to a cube as
+//!   possible").
+
+use crate::WorkerId;
+
+/// Distance model between workers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Topology {
+    /// Every remote pair is equidistant (factor 1.0).
+    Flat,
+    /// `node_size` workers per node; intra-node remote ops run at
+    /// `intra_factor` (< 1) of the base latency, inter-node at 1.0.
+    Hierarchical { node_size: usize, intra_factor: f64 },
+    /// Nodes of `node_size` workers arranged in an `x × y × z` mesh;
+    /// latency scales with Manhattan hop count: `1 + hop_factor·(hops − 1)`
+    /// for inter-node pairs, `intra_factor` within a node.
+    Mesh3d {
+        node_size: usize,
+        dims: (usize, usize, usize),
+        intra_factor: f64,
+        hop_factor: f64,
+    },
+}
+
+impl Topology {
+    /// A cube-ish mesh for `workers` total workers with `node_size` per
+    /// node (mirrors the paper's allocation request on Wisteria-O).
+    pub fn cubish_mesh(workers: usize, node_size: usize) -> Topology {
+        let nodes = workers.div_ceil(node_size).max(1);
+        let side = (nodes as f64).cbrt().ceil() as usize;
+        let x = side.max(1);
+        let y = ((nodes as f64 / x as f64).sqrt().ceil() as usize).max(1);
+        let z = nodes.div_ceil(x * y).max(1);
+        Topology::Mesh3d {
+            node_size,
+            dims: (x, y, z),
+            intra_factor: 0.3,
+            hop_factor: 0.08,
+        }
+    }
+
+    /// Node index of a worker.
+    pub fn node_of(&self, w: WorkerId) -> usize {
+        match *self {
+            Topology::Flat => 0,
+            Topology::Hierarchical { node_size, .. } | Topology::Mesh3d { node_size, .. } => {
+                w / node_size
+            }
+        }
+    }
+
+    /// Number of workers per node (1 for flat: every worker its own node
+    /// from a locality perspective is wrong — flat means no locality, so we
+    /// report the whole machine as one node).
+    pub fn node_size(&self) -> Option<usize> {
+        match *self {
+            Topology::Flat => None,
+            Topology::Hierarchical { node_size, .. } | Topology::Mesh3d { node_size, .. } => {
+                Some(node_size)
+            }
+        }
+    }
+
+    fn mesh_coords(idx: usize, dims: (usize, usize, usize)) -> (usize, usize, usize) {
+        let (x, y, _) = dims;
+        (idx % x, (idx / x) % y, idx / (x * y))
+    }
+
+    /// Latency scale factor for a remote operation from `a` to `b`.
+    /// Local (same-worker) operations never consult this.
+    pub fn factor(&self, a: WorkerId, b: WorkerId) -> f64 {
+        debug_assert_ne!(a, b, "factor is for remote pairs");
+        match *self {
+            Topology::Flat => 1.0,
+            Topology::Hierarchical {
+                node_size,
+                intra_factor,
+            } => {
+                if a / node_size == b / node_size {
+                    intra_factor
+                } else {
+                    1.0
+                }
+            }
+            Topology::Mesh3d {
+                node_size,
+                dims,
+                intra_factor,
+                hop_factor,
+            } => {
+                let (na, nb) = (a / node_size, b / node_size);
+                if na == nb {
+                    return intra_factor;
+                }
+                let ca = Self::mesh_coords(na, dims);
+                let cb = Self::mesh_coords(nb, dims);
+                let hops = ca.0.abs_diff(cb.0) + ca.1.abs_diff(cb.1) + ca.2.abs_diff(cb.2);
+                1.0 + hop_factor * hops.saturating_sub(1) as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_is_uniform() {
+        let t = Topology::Flat;
+        assert_eq!(t.factor(0, 5), 1.0);
+        assert_eq!(t.factor(7, 1), 1.0);
+        assert_eq!(t.node_size(), None);
+    }
+
+    #[test]
+    fn hierarchical_discounts_intra_node() {
+        let t = Topology::Hierarchical {
+            node_size: 4,
+            intra_factor: 0.3,
+        };
+        assert_eq!(t.factor(0, 3), 0.3); // same node (0..4)
+        assert_eq!(t.factor(0, 4), 1.0); // next node
+        assert_eq!(t.node_of(5), 1);
+        assert_eq!(t.node_size(), Some(4));
+    }
+
+    #[test]
+    fn mesh_distance_grows_with_hops() {
+        let t = Topology::Mesh3d {
+            node_size: 2,
+            dims: (3, 3, 3),
+            intra_factor: 0.3,
+            hop_factor: 0.1,
+        };
+        // Workers 0,1 on node 0 at (0,0,0); workers 4,5 on node 2 at (2,0,0).
+        assert_eq!(t.factor(0, 1), 0.3);
+        // node 1 at (1,0,0): 1 hop → factor 1.0.
+        assert_eq!(t.factor(0, 2), 1.0);
+        // node 2 at (2,0,0): 2 hops → 1.1.
+        assert!((t.factor(0, 4) - 1.1).abs() < 1e-9);
+        // Far corner node 26 at (2,2,2): 6 hops → 1.5.
+        assert!((t.factor(0, 53) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cubish_mesh_covers_all_nodes() {
+        let t = Topology::cubish_mesh(1024, 48);
+        if let Topology::Mesh3d { dims: (x, y, z), node_size, .. } = t {
+            assert!(x * y * z * node_size >= 1024);
+            // Close to a cube: no dimension dominates wildly.
+            assert!(x.max(y).max(z) <= 3 * x.min(y).min(z).max(1));
+        } else {
+            panic!("expected mesh");
+        }
+    }
+
+    #[test]
+    fn factor_is_symmetric() {
+        let t = Topology::cubish_mesh(256, 8);
+        for (a, b) in [(0usize, 255usize), (3, 77), (12, 200)] {
+            assert!((t.factor(a, b) - t.factor(b, a)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! # dcs-uniaddr — the uni-address thread-stack address-space model
+//!
+//! The paper's continuation stealing rests on the *uni-address scheme*
+//! (Akiyama & Taura, HPDC'15): every worker reserves a *uni-address region*
+//! at the **same virtual address**, thread stacks of running threads live in
+//! that region (a child's stack placed immediately on top of its parent's),
+//! and suspended threads are *evacuated* to an arbitrary-address evacuation
+//! region. Stealing a continuation copies the stack to the same virtual
+//! address on the thief, so pointers into the stack stay valid; resuming a
+//! suspended thread brings its stack back to the address it was first
+//! allocated at.
+//!
+//! In this reproduction, thread "stacks" are position-independent frame
+//! vectors (see `dcs-core`), so the *correctness* burden of the scheme
+//! disappears — but its *resource behaviour* is what the paper argues about
+//! (address-space consumption, pinning, placement discipline, migration
+//! constraints), and that is modelled faithfully here:
+//!
+//! * [`UniRegion`] tracks slot occupancy of the uni-address region per
+//!   worker, enforces the child-on-top-of-parent placement rule, detects
+//!   conflicts when a migrated thread's home range is occupied on the
+//!   destination worker, and records the high-water mark (= pinned address
+//!   space a real deployment would consume).
+//! * [`EvacRegion`] models the evacuation region for suspended threads.
+//! * [`IsoAlloc`] implements the older *iso-address* alternative (globally
+//!   unique stack addresses, PM2/Charm++ style) so the address-space
+//!   consumption of both schemes can be compared (`ablate_uniaddr` bench).
+
+use std::collections::BTreeMap;
+
+/// A virtual-address range claimed for one thread's stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StackSlot {
+    /// Base virtual address (simulated; bytes).
+    pub base: u64,
+    /// Slot length in bytes (the reserved max stack size).
+    pub len: u64,
+}
+
+impl StackSlot {
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.base + self.len
+    }
+}
+
+/// Occupancy statistics for one worker's uni-address region.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UniStats {
+    /// High-water mark of occupied address space above the region base.
+    pub peak_bytes: u64,
+    /// Number of times a migrated thread's home range was already occupied
+    /// at its destination (the scheme's rare conflict case; the simulator
+    /// falls back to running from the evacuation region and counts it).
+    pub conflicts: u64,
+    pub placements: u64,
+    pub releases: u64,
+}
+
+/// One worker's uni-address region: an interval set of occupied stack slots.
+///
+/// All workers share the same `base`, which is the whole point of the scheme
+/// — a stolen stack lands at the identical virtual address on the thief.
+#[derive(Debug)]
+pub struct UniRegion {
+    base: u64,
+    size: u64,
+    /// Occupied slots: start → end (byte addresses).
+    occupied: BTreeMap<u64, u64>,
+    stats: UniStats,
+}
+
+impl UniRegion {
+    /// The virtual base address every worker maps the region at. The value
+    /// itself is arbitrary; sharing it across workers is what matters.
+    pub const DEFAULT_BASE: u64 = 0x7000_0000_0000;
+
+    pub fn new(base: u64, size: u64) -> UniRegion {
+        UniRegion {
+            base,
+            size,
+            occupied: BTreeMap::new(),
+            stats: UniStats::default(),
+        }
+    }
+
+    pub fn with_default_base(size: u64) -> UniRegion {
+        UniRegion::new(Self::DEFAULT_BASE, size)
+    }
+
+    #[inline]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    fn overlaps(&self, base: u64, len: u64) -> bool {
+        let end = base + len;
+        // A conflicting interval either starts inside [base, end) or starts
+        // before `base` and extends past it.
+        if self.occupied.range(base..end).next().is_some() {
+            return true;
+        }
+        if let Some((_, &prev_end)) = self.occupied.range(..base).next_back() {
+            if prev_end > base {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn note_peak(&mut self) {
+        if let Some((_, &end)) = self.occupied.iter().next_back() {
+            self.stats.peak_bytes = self.stats.peak_bytes.max(end - self.base);
+        }
+    }
+
+    /// Place a fresh stack for a newly spawned thread.
+    ///
+    /// Per the scheme, the child's stack goes immediately above the parent's
+    /// (`parent = Some(slot)`); a root thread (or the first thread a worker
+    /// runs) starts at the region base.
+    ///
+    /// Panics if the placement overlaps an occupied slot — that would mean
+    /// the runtime violated the stack discipline, which is a bug, not a
+    /// recoverable condition.
+    pub fn place_child(&mut self, parent: Option<StackSlot>, len: u64) -> StackSlot {
+        let base = parent.map_or(self.base, |p| p.end());
+        assert!(
+            base + len <= self.base + self.size,
+            "uni-address region overflow: depth exceeded region size"
+        );
+        assert!(
+            !self.overlaps(base, len),
+            "uni-address invariant violated: child slot {base:#x}+{len:#x} occupied"
+        );
+        self.occupied.insert(base, base + len);
+        self.stats.placements += 1;
+        self.note_peak();
+        StackSlot { base, len }
+    }
+
+    /// Claim a specific range for a thread arriving by migration (steal or
+    /// greedy-join resume). Returns `false` — and counts a conflict — when
+    /// the home range is occupied here; the caller then runs the thread from
+    /// the evacuation region (position independence makes that legal in the
+    /// simulator; the real system avoids this case by construction and we
+    /// assert in tests that it stays rare).
+    pub fn claim(&mut self, slot: StackSlot) -> bool {
+        if slot.base < self.base
+            || slot.end() > self.base + self.size
+            || self.overlaps(slot.base, slot.len)
+        {
+            self.stats.conflicts += 1;
+            return false;
+        }
+        self.occupied.insert(slot.base, slot.end());
+        self.stats.placements += 1;
+        self.note_peak();
+        true
+    }
+
+    /// Release a slot (thread died, was suspended-and-evacuated, or its
+    /// continuation was stolen away).
+    pub fn release(&mut self, slot: StackSlot) {
+        let removed = self.occupied.remove(&slot.base);
+        assert_eq!(
+            removed,
+            Some(slot.end()),
+            "releasing a slot that is not occupied: {slot:?}"
+        );
+        self.stats.releases += 1;
+    }
+
+    /// First-fit placement at any free range — the conflict fallback. When a
+    /// migrated thread's home range is taken (`claim` returned `false`), the
+    /// real system would have to relocate someone; position independence lets
+    /// the simulator instead re-home the thread to any free range, charging
+    /// nothing extra but keeping occupancy accounting exact.
+    pub fn place_anywhere(&mut self, len: u64) -> StackSlot {
+        let mut candidate = self.base;
+        for (&start, &end) in self.occupied.iter() {
+            if candidate + len <= start {
+                break;
+            }
+            candidate = candidate.max(end);
+        }
+        assert!(
+            candidate + len <= self.base + self.size,
+            "uni-address region exhausted in place_anywhere"
+        );
+        self.occupied.insert(candidate, candidate + len);
+        self.stats.placements += 1;
+        self.note_peak();
+        StackSlot {
+            base: candidate,
+            len,
+        }
+    }
+
+    /// True when the given slot is currently occupied exactly as described.
+    pub fn is_occupied(&self, slot: StackSlot) -> bool {
+        self.occupied.get(&slot.base) == Some(&slot.end())
+    }
+
+    /// Number of live slots.
+    pub fn live(&self) -> usize {
+        self.occupied.len()
+    }
+
+    pub fn stats(&self) -> UniStats {
+        self.stats
+    }
+}
+
+/// Evacuation-region accounting: suspended threads' stacks parked at
+/// arbitrary addresses. Only sizes matter (the region is not shared-address),
+/// so this tracks live/peak bytes and counts evacuations.
+#[derive(Debug, Default)]
+pub struct EvacRegion {
+    live_bytes: u64,
+    peak_bytes: u64,
+    evacuations: u64,
+    restores: u64,
+}
+
+impl EvacRegion {
+    pub fn new() -> EvacRegion {
+        EvacRegion::default()
+    }
+
+    /// Park `bytes` of stack in the evacuation region.
+    pub fn evacuate(&mut self, bytes: u64) {
+        self.live_bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
+        self.evacuations += 1;
+    }
+
+    /// Remove a previously evacuated stack (resume or remote migration).
+    pub fn restore(&mut self, bytes: u64) {
+        assert!(self.live_bytes >= bytes, "restore without evacuate");
+        self.live_bytes -= bytes;
+        self.restores += 1;
+    }
+
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    pub fn evacuations(&self) -> u64 {
+        self.evacuations
+    }
+
+    pub fn restores(&self) -> u64 {
+        self.restores
+    }
+}
+
+/// The iso-address alternative (PM2 / Charm++ / Adaptive MPI): every thread
+/// stack gets a *globally unique* virtual address so migration never needs
+/// evacuation — at the price of address space (and, with RDMA, pinned
+/// memory) proportional to the **total number of live threads in the whole
+/// job**, not per-worker depth.
+///
+/// Shared by all workers of a run (the global uniqueness is the point).
+#[derive(Debug)]
+pub struct IsoAlloc {
+    next: u64,
+    base: u64,
+    live: BTreeMap<u64, u64>,
+    /// Freed slots available for reuse, keyed by length (uniqueness only
+    /// matters while a stack is live; real iso-address systems recycle).
+    free: BTreeMap<u64, Vec<u64>>,
+    peak_bytes: u64,
+}
+
+impl Default for IsoAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IsoAlloc {
+    pub fn new() -> IsoAlloc {
+        IsoAlloc {
+            next: UniRegion::DEFAULT_BASE,
+            base: UniRegion::DEFAULT_BASE,
+            live: BTreeMap::new(),
+            free: BTreeMap::new(),
+            peak_bytes: 0,
+        }
+    }
+
+    /// Allocate a globally-unique slot, reusing freed ranges when possible.
+    /// The high-water mark (`peak_bytes`) is the address space the job must
+    /// keep registered — it grows with the maximum number of *live* threads
+    /// across all workers, which is the §II-D scalability problem.
+    pub fn alloc(&mut self, len: u64) -> StackSlot {
+        let base = if let Some(list) = self.free.get_mut(&len) {
+            let base = list.pop().expect("empty free list present");
+            if list.is_empty() {
+                self.free.remove(&len);
+            }
+            base
+        } else {
+            let base = self.next;
+            self.next += len;
+            self.peak_bytes = self.peak_bytes.max(self.next - self.base);
+            base
+        };
+        self.live.insert(base, base + len);
+        StackSlot { base, len }
+    }
+
+    pub fn free(&mut self, slot: StackSlot) {
+        let removed = self.live.remove(&slot.base);
+        assert_eq!(removed, Some(slot.end()), "iso free of unallocated slot");
+        self.free.entry(slot.len).or_default().push(slot.base);
+    }
+
+    /// Total reserved (pinned) address space so far.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    pub fn live(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SLOT: u64 = 16 << 10;
+
+    #[test]
+    fn child_stacks_nest_upwards() {
+        let mut r = UniRegion::with_default_base(1 << 20);
+        let a = r.place_child(None, SLOT);
+        let b = r.place_child(Some(a), SLOT);
+        let c = r.place_child(Some(b), SLOT);
+        assert_eq!(a.base, UniRegion::DEFAULT_BASE);
+        assert_eq!(b.base, a.end());
+        assert_eq!(c.base, b.end());
+        assert_eq!(r.live(), 3);
+        assert_eq!(r.stats().peak_bytes, 3 * SLOT);
+    }
+
+    #[test]
+    fn release_and_reuse_keeps_peak_bounded() {
+        let mut r = UniRegion::with_default_base(1 << 20);
+        for _ in 0..100 {
+            let a = r.place_child(None, SLOT);
+            let b = r.place_child(Some(a), SLOT);
+            r.release(b);
+            r.release(a);
+        }
+        // Uni-address reuses addresses: peak stays at max simultaneous depth.
+        assert_eq!(r.stats().peak_bytes, 2 * SLOT);
+        assert_eq!(r.live(), 0);
+    }
+
+    #[test]
+    fn claim_succeeds_when_free_conflicts_when_occupied() {
+        let mut thief = UniRegion::with_default_base(1 << 20);
+        let slot = StackSlot {
+            base: UniRegion::DEFAULT_BASE + SLOT,
+            len: SLOT,
+        };
+        assert!(thief.claim(slot), "free range must be claimable");
+        assert!(thief.is_occupied(slot));
+        // A second thread with the same home range cannot land here.
+        assert!(!thief.claim(slot));
+        assert_eq!(thief.stats().conflicts, 1);
+    }
+
+    #[test]
+    fn overlap_detection_covers_partial_overlaps() {
+        let mut r = UniRegion::new(0x1000, 1 << 20);
+        let a = r.place_child(None, 0x100);
+        // Starts before, extends into.
+        assert!(!r.claim(StackSlot {
+            base: 0x1000 - 0x80,
+            len: 0x100
+        }));
+        // Entirely inside.
+        assert!(!r.claim(StackSlot {
+            base: a.base + 8,
+            len: 8
+        }));
+        // Adjacent above is fine.
+        assert!(r.claim(StackSlot {
+            base: a.end(),
+            len: 0x100
+        }));
+    }
+
+    #[test]
+    #[should_panic(expected = "not occupied")]
+    fn double_release_panics() {
+        let mut r = UniRegion::with_default_base(1 << 20);
+        let a = r.place_child(None, SLOT);
+        r.release(a);
+        r.release(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "region overflow")]
+    fn region_overflow_panics() {
+        let mut r = UniRegion::with_default_base(SLOT);
+        let a = r.place_child(None, SLOT);
+        let _ = r.place_child(Some(a), SLOT);
+    }
+
+    #[test]
+    fn evacuation_accounting() {
+        let mut e = EvacRegion::new();
+        e.evacuate(1000);
+        e.evacuate(500);
+        assert_eq!(e.live_bytes(), 1500);
+        e.restore(1000);
+        assert_eq!(e.live_bytes(), 500);
+        assert_eq!(e.peak_bytes(), 1500);
+        assert_eq!(e.evacuations(), 2);
+        assert_eq!(e.restores(), 1);
+    }
+
+    #[test]
+    fn iso_address_consumption_grows_with_live_threads() {
+        // The motivating contrast from §II-D: iso-address peak grows with
+        // the number of simultaneously live threads across the whole job;
+        // uni-address peak is bounded by per-worker live depth.
+        let mut iso = IsoAlloc::new();
+        let mut uni = UniRegion::with_default_base(1 << 30);
+        // 1000 threads live at once.
+        let islots: Vec<_> = (0..1000).map(|_| iso.alloc(SLOT)).collect();
+        assert_eq!(iso.peak_bytes(), 1000 * SLOT);
+        for s in islots {
+            iso.free(s);
+        }
+        // Freed slots are reused — the peak does not keep growing.
+        let again: Vec<_> = (0..1000).map(|_| iso.alloc(SLOT)).collect();
+        assert_eq!(iso.peak_bytes(), 1000 * SLOT);
+        for s in again {
+            iso.free(s);
+        }
+        assert_eq!(iso.live(), 0);
+        // Meanwhile uni-address handles the same churn in one slot.
+        for _ in 0..2000 {
+            let u = uni.place_child(None, SLOT);
+            uni.release(u);
+        }
+        assert_eq!(uni.stats().peak_bytes, SLOT);
+    }
+
+    #[test]
+    fn place_anywhere_finds_gaps() {
+        let mut r = UniRegion::new(0x0, 0x1000);
+        let a = r.place_child(None, 0x100); // [0, 0x100)
+        let b = r.claim(StackSlot {
+            base: 0x200,
+            len: 0x100,
+        }); // [0x200, 0x300)
+        assert!(b);
+        // First fit: the gap [0x100, 0x200) holds a 0x100 slot.
+        let g = r.place_anywhere(0x100);
+        assert_eq!(g.base, 0x100);
+        // A bigger request skips the gap and lands after 0x300.
+        let big = r.place_anywhere(0x200);
+        assert_eq!(big.base, 0x300);
+        r.release(a);
+        // Freed head range is reused.
+        let h = r.place_anywhere(0x80);
+        assert_eq!(h.base, 0x0);
+    }
+
+    #[test]
+    fn claim_outside_region_is_conflict() {
+        let mut r = UniRegion::new(0x1000, 0x1000);
+        assert!(!r.claim(StackSlot {
+            base: 0x100,
+            len: 0x100
+        }));
+        assert!(!r.claim(StackSlot {
+            base: 0x1f00,
+            len: 0x200
+        }));
+        assert_eq!(r.stats().conflicts, 2);
+    }
+}

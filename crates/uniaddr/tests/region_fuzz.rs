@@ -1,0 +1,139 @@
+//! Property tests for the uni-address interval allocator: every sequence of
+//! placements, claims and releases must agree with a naive interval-set
+//! model, and the iso-address allocator must never double-hand-out a range.
+
+use proptest::prelude::*;
+
+use dcs_uniaddr::{IsoAlloc, StackSlot, UniRegion};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Place a child on top of the live slot with this (mod) index.
+    PlaceChild(u8),
+    /// Claim an arbitrary aligned range.
+    Claim { base_kb: u16, len_kb: u8 },
+    /// Release the live slot with this (mod) index.
+    Release(u8),
+    /// First-fit place of this many KiB.
+    Anywhere(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u8..8).prop_map(Op::PlaceChild),
+        2 => (0u16..64, 1u8..8).prop_map(|(base_kb, len_kb)| Op::Claim { base_kb, len_kb }),
+        3 => (0u8..8).prop_map(Op::Release),
+        2 => (1u8..8).prop_map(Op::Anywhere),
+    ]
+}
+
+fn overlaps(a: StackSlot, b: StackSlot) -> bool {
+    a.base < b.end() && b.base < a.end()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn uni_region_matches_interval_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        const BASE: u64 = 0x1000;
+        const SIZE: u64 = 64 << 10;
+        let mut r = UniRegion::new(BASE, SIZE);
+        let mut model: Vec<StackSlot> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::PlaceChild(i) => {
+                    let parent = if model.is_empty() {
+                        None
+                    } else {
+                        Some(model[i as usize % model.len()])
+                    };
+                    let base = parent.map_or(BASE, |p| p.end());
+                    let len = 1 << 10;
+                    let fits = base + len <= BASE + SIZE;
+                    let free = model.iter().all(|&s| !overlaps(StackSlot { base, len }, s));
+                    if fits && free {
+                        let got = r.place_child(parent, len);
+                        prop_assert_eq!(got.base, base);
+                        model.push(got);
+                    }
+                    // Occupied/overflow placements would panic by contract;
+                    // the model skips them (the scheduler pre-checks via
+                    // claim).
+                }
+                Op::Claim { base_kb, len_kb } => {
+                    let slot = StackSlot {
+                        base: BASE + (base_kb as u64) * 1024,
+                        len: (len_kb as u64) * 1024,
+                    };
+                    let legal = slot.end() <= BASE + SIZE
+                        && model.iter().all(|&s| !overlaps(slot, s));
+                    let got = r.claim(slot);
+                    prop_assert_eq!(got, legal, "claim disagreed with model for {:?}", slot);
+                    if got {
+                        model.push(slot);
+                    }
+                }
+                Op::Release(i) => {
+                    if !model.is_empty() {
+                        let idx = i as usize % model.len();
+                        let slot = model.swap_remove(idx);
+                        r.release(slot);
+                    }
+                }
+                Op::Anywhere(kb) => {
+                    let len = (kb as u64) * 1024;
+                    // Only legal when some gap fits; compute from the model.
+                    let mut slots = model.clone();
+                    slots.sort_by_key(|s| s.base);
+                    let mut candidate = BASE;
+                    for s in &slots {
+                        if candidate + len <= s.base {
+                            break;
+                        }
+                        candidate = candidate.max(s.end());
+                    }
+                    if candidate + len <= BASE + SIZE {
+                        let got = r.place_anywhere(len);
+                        prop_assert_eq!(got.base, candidate, "first-fit disagreed");
+                        model.push(got);
+                    }
+                }
+            }
+            prop_assert_eq!(r.live(), model.len());
+        }
+
+        // Release everything: region must end empty.
+        for slot in model.drain(..) {
+            r.release(slot);
+        }
+        prop_assert_eq!(r.live(), 0);
+    }
+
+    #[test]
+    fn iso_alloc_never_overlaps_live_ranges(
+        ops in proptest::collection::vec((proptest::bool::ANY, 1u8..5), 1..80)
+    ) {
+        let mut iso = IsoAlloc::new();
+        let mut live: Vec<StackSlot> = Vec::new();
+        for (alloc, kb) in ops {
+            if alloc || live.is_empty() {
+                let slot = iso.alloc((kb as u64) * 1024);
+                for &s in &live {
+                    prop_assert!(!overlaps(slot, s), "{slot:?} overlaps {s:?}");
+                }
+                live.push(slot);
+            } else {
+                let slot = live.swap_remove(0);
+                iso.free(slot);
+            }
+            prop_assert_eq!(iso.live(), live.len());
+        }
+        // Peak only counts the bump frontier, never shrinks below live max.
+        let max_end = live.iter().map(|s| s.end()).max().unwrap_or(0);
+        if max_end > 0 {
+            prop_assert!(iso.peak_bytes() >= max_end - dcs_uniaddr::UniRegion::DEFAULT_BASE);
+        }
+    }
+}

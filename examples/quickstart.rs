@@ -1,0 +1,91 @@
+//! Quickstart: write a fork-join program, run it under every scheduling
+//! policy, and read the report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The program is a parallel pairwise sum over an implicit array — the
+//! "hello world" of fork-join runtimes. Task code is continuation-passing:
+//! a task is a plain `fn(Value, &mut TaskCtx) -> Effect`, and the rest of a
+//! task after a spawn/join/compute is a closure boxed with `frame` (that
+//! closure *is* the migratable stack frame).
+
+use dcs::prelude::*;
+
+/// Sum the range `[lo, hi)` of `f(i) = i²` by binary fork-join, computing
+/// 1 µs of virtual work per leaf.
+fn sum_squares(arg: Value, _ctx: &mut TaskCtx) -> Effect {
+    let (lo, hi) = arg.into_pair();
+    let (lo, hi) = (lo.as_u64(), hi.as_u64());
+    if hi - lo == 1 {
+        // Leaf: charge 1 µs of compute, then return i².
+        return Effect::compute(
+            VTime::us(1),
+            frame(move |_, _| Effect::ret(lo * lo)),
+        );
+    }
+    let mid = lo + (hi - lo) / 2;
+    // spawn left half…
+    Effect::fork(
+        sum_squares,
+        Value::pair(lo.into(), mid.into()),
+        frame(move |handle, _| {
+            let handle = handle.as_handle();
+            // …run the right half ourselves (ordinary call)…
+            Effect::call(
+                sum_squares,
+                Value::pair(mid.into(), hi.into()),
+                frame(move |right, _| {
+                    let right = right.as_u64();
+                    // …then join the spawned half and combine.
+                    Effect::join(
+                        handle,
+                        frame(move |left, _| Effect::ret(left.as_u64() + right)),
+                    )
+                }),
+            )
+        }),
+    )
+}
+
+fn main() {
+    const N: u64 = 4096;
+    let expected: u64 = (0..N).map(|i| i * i).sum();
+
+    println!("parallel sum of squares, N = {N}, 16 simulated workers\n");
+    println!(
+        "{:<26} {:>12} {:>10} {:>10} {:>12}",
+        "policy", "elapsed", "steals", "avg stolen", "efficiency"
+    );
+
+    // T1 = N leaves × 1 µs; ideal time on P workers is T1/P.
+    let ideal = VTime::us(N) / 16;
+
+    for policy in [
+        Policy::ContGreedy,
+        Policy::ContStalling,
+        Policy::ChildFull,
+        Policy::ChildRtc,
+    ] {
+        let cfg = RunConfig::new(16, policy);
+        let report = run(
+            cfg,
+            Program::new(sum_squares, Value::pair(0u64.into(), N.into())),
+        );
+        assert_eq!(report.result.as_u64(), expected);
+        println!(
+            "{:<26} {:>12} {:>10} {:>8} B {:>11.1}%",
+            policy.label(),
+            report.elapsed.to_string(),
+            report.stats.steals_ok,
+            report.stats.avg_stolen_bytes(),
+            100.0 * report.efficiency(ideal),
+        );
+    }
+
+    println!("\nresult = {expected} (verified under every policy)");
+    println!("note: continuation steals move whole stacks (~1–2 kB);");
+    println!("child steals move 55-byte descriptors — yet the join behaviour");
+    println!("decides overall performance (see the fig6/table2 benches).");
+}

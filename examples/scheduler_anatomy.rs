@@ -1,0 +1,70 @@
+//! Scheduler anatomy: one workload, four policies, full instrumentation.
+//!
+//! ```text
+//! cargo run --release --example scheduler_anatomy
+//! ```
+//!
+//! Runs RecPFor (the paper's complicated-join benchmark) under all four
+//! scheduling policies with series-level tracing and prints, per policy:
+//! the Table-II style counters, the DelaySpotter-style breakdown of idle
+//! time (how much of it is the *scheduler's fault* — idle workers
+//! coexisting with ready-but-unexecuted joins), and a Chrome trace file
+//! you can open in chrome://tracing or https://ui.perfetto.dev.
+
+use dcs::apps::pfor::{recpfor_program, PforParams};
+use dcs::core::chrome_trace;
+use dcs::prelude::*;
+
+fn main() {
+    let workers = 32;
+    let params = PforParams {
+        n: 1 << 9,
+        k: 3,
+        m: VTime::us(10),
+    };
+    let t1 = params.recpfor_t1(1.0);
+    println!(
+        "RecPFor N=2^9 (T1 = {t1}), {workers} workers, ITO-A profile\n"
+    );
+    println!(
+        "{:<24} {:>10} {:>9} {:>10} {:>12} {:>14}",
+        "policy", "elapsed", "#steals", "#outjoin", "avg oj time", "sched-delay"
+    );
+
+    for policy in Policy::ALL {
+        let cfg = RunConfig::new(workers, policy)
+            .with_trace(TraceLevel::Series)
+            .with_seg_bytes(64 << 20);
+        let r = run(cfg, recpfor_program(params));
+        let delay = r
+            .stats
+            .delay_report(r.elapsed, workers)
+            .expect("series tracing enabled");
+        println!(
+            "{:<24} {:>10} {:>9} {:>10} {:>12} {:>10} ({:>4.1}%)",
+            policy.label(),
+            r.elapsed.to_string(),
+            r.stats.steals_ok,
+            r.stats.outstanding_joins,
+            r.stats.avg_outstanding_time().to_string(),
+            delay.scheduler_delay.to_string(),
+            100.0 * delay.blame_fraction,
+        );
+        let path = format!(
+            "/tmp/dcs_anatomy_{}.json",
+            policy.label().replace([' ', '.', '(', ')'], "_")
+        );
+        if let Some(json) = chrome_trace(&r.stats, policy.label()) {
+            if std::fs::write(&path, json).is_ok() {
+                println!("{:<24} trace: {path}", "");
+            }
+        }
+    }
+
+    println!("\nhow to read this:");
+    println!("- outstanding joins: suspensions caused by steals (Table II);");
+    println!("- sched-delay: idle time that ready joins could have filled");
+    println!("  (Huynh & Taura's DelaySpotter metric, the paper's [50]);");
+    println!("- greedy join keeps the blame fraction in single digits, the");
+    println!("  stalling/tied policies push it toward 'most of the idleness'.");
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure. Outputs land in results/*.csv and
+# results/*.txt. Full run takes tens of minutes on one core; set DCS_QUICK=1
+# for a minutes-long smoke pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p dcs-bench
+
+mkdir -p results
+for bin in fig6 table2 fig7 fig8 fig9 table3 fig12 ablate_free ablate_join ablate_uniaddr ablate_topology ablate_stealhalf; do
+    echo "=== running $bin ==="
+    start=$(date +%s)
+    ./target/release/$bin 2>&1 | tee "results/$bin.txt"
+    echo "($(( $(date +%s) - start )) s host time for $bin)"
+done
+echo "All experiments complete; see results/."

@@ -1,0 +1,93 @@
+//! Exhaustive configuration matrix: every combination of policy ×
+//! free-strategy × address-scheme × victim-policy must produce correct
+//! results on a workload that exercises spawns, joins, computes and steals.
+//!
+//! 4 × 2 × 2 × 3 = 48 configurations per machine profile. The point is not
+//! depth (other tests cover each dimension deeply) but the *cross products*
+//! — e.g. iso-address under the lock-queue free strategy with hierarchical
+//! victim selection is a path no other test walks.
+
+use dcs::apps::uts;
+use dcs::prelude::*;
+use dcs::sim::Topology;
+
+#[test]
+fn all_48_configurations_are_correct() {
+    let spec = uts::UtsSpec::new(3.0, 6, uts::Shape::Linear, 5);
+    let expected = uts::serial_count(&spec).nodes;
+    let mut ran = 0;
+    for policy in Policy::ALL {
+        for free in [FreeStrategy::LocalCollection, FreeStrategy::LockQueue] {
+            for scheme in [AddressScheme::Uni, AddressScheme::Iso] {
+                for victim in [
+                    VictimPolicy::Uniform,
+                    VictimPolicy::Locality { p_local: 0.7 },
+                    VictimPolicy::Hierarchical { local_tries: 1 },
+                ] {
+                    let cfg = RunConfig::new(6, policy)
+                        .with_profile(profiles::test_profile())
+                        .with_free_strategy(free)
+                        .with_address_scheme(scheme)
+                        .with_victim(victim)
+                        .with_topology(Topology::Hierarchical {
+                            node_size: 3,
+                            intra_factor: 0.5,
+                        })
+                        .with_seg_bytes(64 << 20);
+                    let r = run(cfg, uts::program(spec.clone()));
+                    assert_eq!(
+                        r.result.as_u64(),
+                        expected,
+                        "{policy:?}/{free:?}/{scheme:?}/{victim:?}"
+                    );
+                    ran += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(ran, 48);
+}
+
+/// The same matrix restricted to the future-heavy LCS (no RtC — buried
+/// joins cannot express the wavefront safely at arbitrary schedules).
+#[test]
+fn lcs_matrix_over_memory_configurations() {
+    use dcs::apps::lcs::{self, LcsParams};
+    let params = LcsParams::random_alpha(32, 8, 9, 4);
+    let expected = lcs::lcs_reference(&params.a, &params.b) as u64;
+    for policy in [Policy::ContGreedy, Policy::ContStalling, Policy::ChildFull] {
+        for free in [FreeStrategy::LocalCollection, FreeStrategy::LockQueue] {
+            for scheme in [AddressScheme::Uni, AddressScheme::Iso] {
+                let cfg = RunConfig::new(5, policy)
+                    .with_profile(profiles::test_profile())
+                    .with_free_strategy(free)
+                    .with_address_scheme(scheme)
+                    .with_seg_bytes(64 << 20);
+                let r = run(cfg, lcs::program(params.clone()));
+                assert_eq!(
+                    r.result.as_u64(),
+                    expected,
+                    "{policy:?}/{free:?}/{scheme:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Stragglers combined with topology-aware stealing still rebalance.
+#[test]
+fn straggler_with_locality_policy() {
+    let spec = uts::UtsSpec::new(3.0, 7, uts::Shape::Linear, 5);
+    let expected = uts::serial_count(&spec).nodes;
+    let cfg = RunConfig::new(8, Policy::ContGreedy)
+        .with_topology(Topology::Hierarchical {
+            node_size: 4,
+            intra_factor: 0.3,
+        })
+        .with_victim(VictimPolicy::Locality { p_local: 0.8 })
+        .with_straggler(2, 6.0)
+        .with_seg_bytes(64 << 20);
+    let r = run(cfg, uts::program(spec));
+    assert_eq!(r.result.as_u64(), expected);
+    assert!(r.stats.steals_ok > 0);
+}

@@ -1,0 +1,219 @@
+//! Cross-crate integration: the same workloads through every runtime and
+//! policy must agree on results, and the paper's headline qualitative
+//! claims must hold on small instances.
+
+use dcs::apps::lcs::{self, LcsParams};
+use dcs::apps::pfor::{pfor_program, recpfor_program, PforParams};
+use dcs::apps::uts;
+use dcs::bot;
+use dcs::prelude::*;
+
+/// Every runtime (4 fork-join policies + 3 BoT styles) counts the same UTS
+/// tree identically.
+#[test]
+fn uts_seven_runtimes_agree() {
+    let spec = uts::presets::tiny();
+    let expected = uts::serial_count(&spec).nodes;
+    let profile = profiles::test_profile;
+
+    for policy in Policy::ALL {
+        let r = run(
+            RunConfig::new(5, policy)
+                .with_profile(profile())
+                .with_seg_bytes(64 << 20),
+            uts::program(spec.clone()),
+        );
+        assert_eq!(r.result.as_u64(), expected, "{policy:?}");
+    }
+    let os = bot::onesided::run_uts(&spec, 5, profile(), 7);
+    assert_eq!(os.nodes, expected);
+    for variant in [
+        bot::twosided::Variant::Random,
+        bot::twosided::Variant::Lifeline,
+    ] {
+        let r = bot::twosided::run_uts(&spec, 5, profile(), variant, 7);
+        assert_eq!(r.nodes, expected, "{variant:?}");
+    }
+}
+
+/// LCS agrees with the reference DP under all policies that support the
+/// workload, across worker counts and under both machine profiles.
+#[test]
+fn lcs_policies_and_profiles_agree() {
+    let params = LcsParams::random_alpha(64, 16, 3, 4);
+    let expected = lcs::lcs_reference(&params.a, &params.b) as u64;
+    for policy in [Policy::ContGreedy, Policy::ContStalling, Policy::ChildFull] {
+        for profile in [profiles::test_profile(), profiles::itoa()] {
+            let r = run(
+                RunConfig::new(6, policy)
+                    .with_profile(profile)
+                    .with_seg_bytes(64 << 20),
+                lcs::program(params.clone()),
+            );
+            assert_eq!(r.result.as_u64(), expected, "{policy:?}");
+        }
+    }
+}
+
+/// §V-B: continuation stealing beats child stealing on RecPFor (the
+/// complicated-join benchmark); the gap is small on PFor.
+#[test]
+fn recpfor_prefers_continuation_stealing() {
+    let params = PforParams {
+        n: 1 << 7,
+        k: 3,
+        m: VTime::us(10),
+    };
+    let elapsed = |policy| {
+        run(
+            RunConfig::new(16, policy)
+                .with_profile(profiles::itoa())
+                .with_seg_bytes(64 << 20),
+            recpfor_program(params),
+        )
+        .elapsed
+    };
+    let greedy = elapsed(Policy::ContGreedy);
+    let full = elapsed(Policy::ChildFull);
+    assert!(
+        greedy < full,
+        "greedy {} should beat child-full {} on RecPFor",
+        greedy,
+        full
+    );
+}
+
+/// §V-A: local collection never loses to the lock-queue baseline on the
+/// join-heavy benchmark.
+#[test]
+fn local_collection_beats_lock_queue() {
+    let params = PforParams {
+        n: 1 << 7,
+        k: 3,
+        m: VTime::us(10),
+    };
+    let elapsed = |strategy| {
+        run(
+            RunConfig::new(16, Policy::ContStalling)
+                .with_profile(profiles::itoa())
+                .with_free_strategy(strategy)
+                .with_seg_bytes(64 << 20),
+            recpfor_program(params),
+        )
+        .elapsed
+    };
+    let lq = elapsed(FreeStrategy::LockQueue);
+    let lc = elapsed(FreeStrategy::LocalCollection);
+    assert!(
+        lc <= lq,
+        "local collection {} should not lose to lock queue {}",
+        lc,
+        lq
+    );
+}
+
+/// Table II shape: child stealing produces far more outstanding joins than
+/// continuation stealing on RecPFor, and steals far smaller tasks.
+#[test]
+fn outstanding_join_and_task_size_shape() {
+    let params = PforParams {
+        n: 1 << 7,
+        k: 3,
+        m: VTime::us(10),
+    };
+    let stats = |policy| {
+        run(
+            RunConfig::new(16, policy)
+                .with_profile(profiles::itoa())
+                .with_seg_bytes(64 << 20),
+            recpfor_program(params),
+        )
+        .stats
+    };
+    let greedy = stats(Policy::ContGreedy);
+    let full = stats(Policy::ChildFull);
+    assert!(
+        full.outstanding_joins > greedy.outstanding_joins * 4,
+        "child-full {} vs greedy {} outstanding joins",
+        full.outstanding_joins,
+        greedy.outstanding_joins
+    );
+    assert!(greedy.avg_stolen_bytes() > 4 * full.avg_stolen_bytes());
+    // Greedy resumes ready joins promptly.
+    assert!(greedy.avg_outstanding_time() < full.avg_outstanding_time());
+}
+
+/// The steal-latency overhead of continuation stealing stays modest
+/// (paper: < 20%) despite moving whole stacks.
+#[test]
+fn steal_latency_overhead_is_modest() {
+    let params = PforParams::paper(1 << 9);
+    let lat = |policy| {
+        let s = run(
+            RunConfig::new(16, policy)
+                .with_profile(profiles::itoa())
+                .with_seg_bytes(64 << 20),
+            pfor_program(params),
+        )
+        .stats;
+        assert!(s.steals_ok > 0);
+        s.avg_steal_latency()
+    };
+    let cont = lat(Policy::ContGreedy).as_ns() as f64;
+    let child = lat(Policy::ChildFull).as_ns() as f64;
+    let overhead = cont / child - 1.0;
+    assert!(
+        (-0.05..0.30).contains(&overhead),
+        "cont-steal latency overhead {overhead:.2} out of band"
+    );
+}
+
+/// PFor elapsed time respects the work law `T_P ≥ T1/P` on every policy
+/// and machine profile.
+#[test]
+fn work_law_holds() {
+    let params = PforParams::paper(1 << 8);
+    for policy in Policy::ALL {
+        for profile in [profiles::itoa(), profiles::wisteria()] {
+            let workers = 8;
+            let scale = profile.compute_scale;
+            let r = run(
+                RunConfig::new(workers, policy)
+                    .with_profile(profile)
+                    .with_seg_bytes(64 << 20),
+                pfor_program(params),
+            );
+            let bound = params.pfor_t1(scale) / workers as u64;
+            assert!(
+                r.elapsed >= bound,
+                "{policy:?}: T_P {} < T1/P {}",
+                r.elapsed,
+                bound
+            );
+        }
+    }
+}
+
+/// Determinism across the whole stack: bit-identical reports for equal
+/// seeds, different schedules for different seeds.
+#[test]
+fn end_to_end_determinism() {
+    let spec = uts::presets::tiny();
+    let mk = |seed| {
+        run(
+            RunConfig::new(4, Policy::ContGreedy)
+                .with_profile(profiles::itoa())
+                .with_seed(seed)
+                .with_seg_bytes(64 << 20),
+            uts::program(spec.clone()),
+        )
+    };
+    let a = mk(1);
+    let b = mk(1);
+    let c = mk(2);
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.stats.steals_ok, b.stats.steals_ok);
+    assert_eq!(a.fabric.remote_total(), b.fabric.remote_total());
+    assert_eq!(a.result, c.result, "result is schedule-independent");
+    assert_ne!(a.steps, c.steps, "different seed, different schedule");
+}

@@ -1,0 +1,84 @@
+//! Golden regression tests: exact deterministic outputs for fixed seeds.
+//!
+//! The simulator's promise is that a run is a pure function of its
+//! configuration. These tests pin that function's value for a handful of
+//! configurations, so any *unintentional* change to protocol costs, RNG
+//! streams, or scheduling order fails loudly. When a change is intentional
+//! (e.g. recalibrating a latency), regenerate the constants and say so in
+//! the commit message — that is the point of the test.
+
+use dcs::apps::{lcs, lcs::LcsParams, pfor, pfor::PforParams, uts};
+use dcs::prelude::*;
+
+fn uts_run(policy: Policy) -> RunReport {
+    run(
+        RunConfig::new(4, policy)
+            .with_seed(7)
+            .with_seg_bytes(64 << 20),
+        uts::program(uts::presets::tiny()),
+    )
+}
+
+#[test]
+fn golden_uts_cont_greedy() {
+    let r = uts_run(Policy::ContGreedy);
+    assert_eq!(r.result.as_u64(), 3028);
+    assert_eq!(r.elapsed, VTime::ns(667_253));
+    assert_eq!(r.stats.steals_ok, 13);
+    assert_eq!(r.stats.steals_failed, 80);
+    assert_eq!(r.steps, 24_885);
+}
+
+#[test]
+fn golden_uts_cont_stalling() {
+    let r = uts_run(Policy::ContStalling);
+    assert_eq!(r.elapsed, VTime::ns(679_137));
+    assert_eq!(r.stats.steals_ok, 13);
+    assert_eq!(r.steps, 25_976);
+}
+
+#[test]
+fn golden_uts_child_full() {
+    let r = uts_run(Policy::ChildFull);
+    assert_eq!(r.elapsed, VTime::ns(4_327_916));
+    assert_eq!(r.stats.steals_ok, 15);
+    assert_eq!(r.stats.steals_failed, 1_306);
+}
+
+#[test]
+fn golden_uts_child_rtc() {
+    let r = uts_run(Policy::ChildRtc);
+    assert_eq!(r.elapsed, VTime::ns(509_100));
+    assert_eq!(r.stats.steals_ok, 16);
+}
+
+#[test]
+fn golden_recpfor_greedy() {
+    let r = run(
+        RunConfig::new(8, Policy::ContGreedy)
+            .with_seed(7)
+            .with_seg_bytes(64 << 20),
+        pfor::recpfor_program(PforParams {
+            n: 64,
+            k: 2,
+            m: VTime::us(5),
+        }),
+    );
+    assert_eq!(r.elapsed, VTime::ns(1_812_926));
+    assert_eq!(r.stats.steals_ok, 85);
+    assert_eq!(r.stats.outstanding_joins, 5);
+}
+
+#[test]
+fn golden_lcs_futures() {
+    let params = LcsParams::random_alpha(64, 16, 3, 4);
+    let r = run(
+        RunConfig::new(6, Policy::ContGreedy)
+            .with_seed(7)
+            .with_seg_bytes(64 << 20),
+        lcs::program(params),
+    );
+    assert_eq!(r.result.as_u64(), 35);
+    assert_eq!(r.elapsed, VTime::ns(140_040));
+    assert_eq!(r.stats.steals_ok, 2);
+}

@@ -1,0 +1,174 @@
+//! Property-based tests over the whole stack (proptest).
+//!
+//! Strategy: generate random workload shapes, worker counts, policies and
+//! seeds; assert the invariants the runtime must keep regardless of
+//! schedule — result correctness, conservation of threads/entries (enforced
+//! internally by strict mode), the work law, and determinism.
+
+use proptest::prelude::*;
+
+use dcs::apps::lcs::{self, LcsParams};
+use dcs::apps::uts::{serial_count, Shape, UtsSpec};
+use dcs::bot;
+use dcs::prelude::*;
+
+fn any_policy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::ContGreedy),
+        Just(Policy::ContStalling),
+        Just(Policy::ChildFull),
+        Just(Policy::ChildRtc),
+    ]
+}
+
+/// Random fork-join reduction: sum of i² over a random-size range, random
+/// branching in the task tree via an uneven split.
+fn sum_task(arg: Value, _ctx: &mut TaskCtx) -> Effect {
+    let (lo, hi) = arg.into_pair();
+    let (lo, hi) = (lo.as_u64(), hi.as_u64());
+    if hi - lo <= 1 {
+        return Effect::ret(lo * lo);
+    }
+    // Uneven split (1/3 : 2/3) exercises imbalanced schedules.
+    let mid = lo + 1 + (hi - lo - 1) / 3;
+    Effect::fork(
+        sum_task,
+        Value::pair(lo.into(), mid.into()),
+        frame(move |h, _| {
+            let h = h.as_handle();
+            Effect::call(
+                sum_task,
+                Value::pair(mid.into(), hi.into()),
+                frame(move |r, _| {
+                    let r = r.as_u64();
+                    Effect::join(h, frame(move |l, _| Effect::ret(l.as_u64() + r)))
+                }),
+            )
+        }),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fork-join reduction is correct for every (policy, P, size, seed).
+    #[test]
+    fn forkjoin_reduction_correct(
+        policy in any_policy(),
+        workers in 1usize..9,
+        n in 2u64..400,
+        seed in 0u64..1000,
+    ) {
+        let cfg = RunConfig::new(workers, policy)
+            .with_profile(profiles::test_profile())
+            .with_seed(seed)
+            .with_seg_bytes(64 << 20);
+        let r = run(cfg, Program::new(sum_task, Value::pair(0u64.into(), n.into())));
+        let expected: u64 = (0..n).map(|i| i * i).sum();
+        prop_assert_eq!(r.result.as_u64(), expected);
+        // Strict mode already asserted no leaks; double-check the counters.
+        prop_assert_eq!(r.stats.threads_spawned, r.stats.threads_died);
+    }
+
+    /// Random UTS trees: fork-join count equals serial count; the one-sided
+    /// BoT agrees too.
+    #[test]
+    fn uts_counts_agree(
+        b0 in 2u32..6,
+        gen_mx in 2u32..7,
+        tree_seed in 0u64..500,
+        workers in 1usize..7,
+        fixed in proptest::bool::ANY,
+    ) {
+        let shape = if fixed { Shape::Fixed } else { Shape::Linear };
+        let spec = UtsSpec::new(b0 as f64, gen_mx, shape, tree_seed);
+        let expected = serial_count(&spec).nodes;
+        let r = run(
+            RunConfig::new(workers, Policy::ContGreedy)
+                .with_profile(profiles::test_profile())
+                .with_seg_bytes(64 << 20),
+            dcs::apps::uts::program(spec.clone()),
+        );
+        prop_assert_eq!(r.result.as_u64(), expected);
+        let os = bot::onesided::run_uts(&spec, workers, profiles::test_profile(), tree_seed);
+        prop_assert_eq!(os.nodes, expected);
+    }
+
+    /// LCS through the future machinery equals the reference DP for random
+    /// sizes, block sizes, alphabets and schedules.
+    #[test]
+    fn lcs_matches_reference(
+        n_log in 3u32..7,
+        c_log in 2u32..5,
+        alphabet in 2u8..8,
+        workers in 1usize..7,
+        seed in 0u64..500,
+        policy in prop_oneof![
+            Just(Policy::ContGreedy),
+            Just(Policy::ContStalling),
+            Just(Policy::ChildFull),
+        ],
+    ) {
+        let n = 1u64 << n_log;
+        let c = (1u64 << c_log).min(n);
+        let params = LcsParams::random_alpha(n, c, seed, alphabet);
+        let expected = lcs::lcs_reference(&params.a, &params.b) as u64;
+        let r = run(
+            RunConfig::new(workers, policy)
+                .with_profile(profiles::test_profile())
+                .with_seed(seed)
+                .with_seg_bytes(64 << 20),
+            lcs::program(params),
+        );
+        prop_assert_eq!(r.result.as_u64(), expected);
+    }
+
+    /// The work law T_P ≥ T1/P and the busy-time identity
+    /// Σ busy ≤ P × elapsed hold for every schedule.
+    #[test]
+    fn time_accounting_sane(
+        policy in any_policy(),
+        workers in 1usize..9,
+        seed in 0u64..100,
+    ) {
+        let params = dcs::apps::pfor::PforParams { n: 64, k: 2, m: VTime::us(5) };
+        let r = run(
+            RunConfig::new(workers, policy)
+                .with_profile(profiles::itoa())
+                .with_seed(seed)
+                .with_seg_bytes(64 << 20),
+            dcs::apps::pfor::pfor_program(params),
+        );
+        let t1 = params.pfor_t1(1.0);
+        prop_assert!(r.elapsed >= t1 / workers as u64);
+        prop_assert!(r.busy_total.as_ns() <= r.elapsed.as_ns() * workers as u64);
+        // Busy time must at least cover the pure compute work.
+        prop_assert!(r.busy_total >= t1);
+    }
+
+    /// Determinism: identical configuration ⇒ identical simulation.
+    #[test]
+    fn determinism(
+        policy in any_policy(),
+        workers in 2usize..8,
+        seed in 0u64..100,
+    ) {
+        let mk = || {
+            let spec = UtsSpec::new(3.0, 4, Shape::Linear, 11);
+            run(
+                RunConfig::new(workers, policy)
+                    .with_profile(profiles::itoa())
+                    .with_seed(seed)
+                    .with_seg_bytes(64 << 20),
+                dcs::apps::uts::program(spec),
+            )
+        };
+        let a = mk();
+        let b = mk();
+        prop_assert_eq!(a.elapsed, b.elapsed);
+        prop_assert_eq!(a.steps, b.steps);
+        prop_assert_eq!(a.stats.steals_ok, b.stats.steals_ok);
+        prop_assert_eq!(a.stats.steals_failed, b.stats.steals_failed);
+        prop_assert_eq!(a.fabric.bytes_got, b.fabric.bytes_got);
+    }
+}
