@@ -1,0 +1,162 @@
+//! Ablation — resilience of the four runtimes under deterministic fault
+//! injection.
+//!
+//! Sweeps a transient-fault rate (verb failures, message drops, message
+//! duplications) across the three fork-join policies and the one-sided
+//! bag-of-tasks runtime, then adds a "hostile" scenario with a degraded
+//! NIC window and a crash-stop window on top. Every configuration must
+//! produce the exact serial UTS node count — faults may only cost time —
+//! and the run reports what the resilience machinery did: verb retries,
+//! verb timeouts, and (fork-join) blacklist-driven victim re-draws.
+
+use dcs_apps::uts::{self, presets};
+use dcs_bench::{mnodes, quick, workers_default, Csv};
+use dcs_bot::onesided;
+use dcs_core::prelude::*;
+use dcs_sim::{CrashWindow, DegradeWindow, VTime};
+
+const FAULT_SEED: u64 = 0xAB1A7E;
+
+/// The hostile scenario: transient faults plus a mid-run degraded NIC and a
+/// crash-stop window.
+fn hostile(p: usize) -> FaultPlan {
+    FaultPlan::transient(0.02, FAULT_SEED)
+        .with_degrade(DegradeWindow {
+            worker: 1 % p,
+            from: VTime::us(50),
+            until: VTime::ms(2),
+            factor: 8.0,
+        })
+        .with_crash(CrashWindow {
+            worker: if p > 2 { 2 } else { 0 },
+            from: VTime::us(80),
+            until: VTime::ms(1),
+        })
+}
+
+fn main() {
+    let spec = if quick() { presets::tiny() } else { presets::small() };
+    let p = workers_default(if quick() { 8 } else { 32 });
+    let info = uts::serial_count(&spec);
+    let profile = profiles::itoa();
+    let rates: &[f64] = if quick() {
+        &[0.0, 0.05]
+    } else {
+        &[0.0, 0.01, 0.02, 0.05, 0.1]
+    };
+    let policies = [Policy::ContGreedy, Policy::ContStalling, Policy::ChildFull];
+
+    let mut csv = Csv::create(
+        "ablate_faults",
+        "runtime,fault_p,scenario,p,elapsed_ns,throughput_mnodes_s,retries,timeouts,blacklist_skips,slowdown",
+    );
+
+    println!(
+        "=== fault-injection ablation (UTS {} nodes, P = {p}, {}) ===\n",
+        info.nodes, profile.name
+    );
+    println!(
+        "{:<14} {:>8} {:>12} {:>10} {:>9} {:>9} {:>10} {:>9}",
+        "runtime", "fault_p", "elapsed", "thr(Mn/s)", "retries", "timeouts", "bl-skips", "slowdown"
+    );
+
+    let mut scenarios: Vec<(String, FaultPlan)> = rates
+        .iter()
+        .map(|&r| {
+            (
+                format!("transient {r}"),
+                if r == 0.0 {
+                    FaultPlan::none()
+                } else {
+                    FaultPlan::transient(r, FAULT_SEED)
+                },
+            )
+        })
+        .collect();
+    scenarios.push(("hostile".to_string(), hostile(p)));
+
+    for policy in policies {
+        let mut baseline: Option<f64> = None;
+        for (name, plan) in &scenarios {
+            let cfg = RunConfig::new(p, policy)
+                .with_profile(profile.clone())
+                .with_seg_bytes(64 << 20)
+                .with_fault_plan(plan.clone());
+            let r = run(cfg, uts::program(spec.clone()));
+            assert_eq!(r.result.as_u64(), info.nodes, "{policy:?} under {name}");
+            if let Some(wd) = &r.watchdog {
+                assert!(wd.is_clean(), "{policy:?} under {name}: {wd}");
+            }
+            let t = r.elapsed.as_ns() as f64;
+            let slowdown = t / *baseline.get_or_insert(t);
+            let tp = mnodes(info.nodes, r.elapsed);
+            println!(
+                "{:<14} {:>8} {:>12} {:>10.2} {:>9} {:>9} {:>10} {:>8.2}x",
+                policy.label(),
+                name.trim_start_matches("transient "),
+                r.elapsed.to_string(),
+                tp,
+                r.fabric.retries,
+                r.fabric.timeouts,
+                r.stats.blacklist_skips,
+                slowdown
+            );
+            csv.row(&[
+                &policy.label(),
+                &format!("{}", plan.verb_fail_p),
+                name,
+                &p,
+                &r.elapsed.as_ns(),
+                &format!("{tp:.3}"),
+                &r.fabric.retries,
+                &r.fabric.timeouts,
+                &r.stats.blacklist_skips,
+                &format!("{slowdown:.3}"),
+            ]);
+        }
+    }
+
+    let mut baseline: Option<f64> = None;
+    for (name, plan) in &scenarios {
+        let r = onesided::run_uts_faulty(
+            &spec,
+            p,
+            profile.clone(),
+            1,
+            onesided::StealAmount::Half,
+            plan.clone(),
+        );
+        assert_eq!(r.nodes, info.nodes, "one-sided BoT under {name}");
+        let t = r.elapsed.as_ns() as f64;
+        let slowdown = t / *baseline.get_or_insert(t);
+        let tp = mnodes(r.nodes, r.elapsed);
+        println!(
+            "{:<14} {:>8} {:>12} {:>10.2} {:>9} {:>9} {:>10} {:>8.2}x",
+            "bot-onesided",
+            name.trim_start_matches("transient "),
+            r.elapsed.to_string(),
+            tp,
+            r.fabric.retries,
+            r.fabric.timeouts,
+            "-",
+            slowdown
+        );
+        csv.row(&[
+            &"bot-onesided",
+            &format!("{}", plan.verb_fail_p),
+            name,
+            &p,
+            &r.elapsed.as_ns(),
+            &format!("{tp:.3}"),
+            &r.fabric.retries,
+            &r.fabric.timeouts,
+            &0,
+            &format!("{slowdown:.3}"),
+        ]);
+    }
+
+    println!("\nCSV written to {}", csv.path());
+    println!("Expected shape: identical node counts everywhere; elapsed grows");
+    println!("smoothly with the fault rate (retry/backoff absorbs transients);");
+    println!("the hostile scenario costs roughly the crash window, not a hang.");
+}

@@ -17,8 +17,8 @@
 
 use dcs_apps::uts::UtsSpec;
 use dcs_sim::{
-    Actor, Engine, GlobalAddr, Machine, MachineConfig, MachineProfile, SimRng, Step, VTime,
-    WorkerId,
+    Actor, Engine, FaultPlan, GlobalAddr, Machine, MachineConfig, MachineProfile, SimRng, Step,
+    VTime, WorkerId,
 };
 
 use crate::termination::{accumulate, Detector, Token};
@@ -238,6 +238,13 @@ impl Actor<BotWorld> for BotWorker {
         if self.halted {
             return Step::Halt;
         }
+        w.m.begin_step(me, now);
+        if let Some(until) = w.m.crashed_until(me, now) {
+            // Crash-stop window: freeze in place until it ends. A thief
+            // frozen mid-steal keeps the victim's bag lock — the victim
+            // spins on it exactly as it would on a real hung peer.
+            return Step::Yield(until.saturating_sub(now).max(VTime::ns(1)));
+        }
         match self.state {
             BState::Work => self.step_work(w),
             BState::Idle => self.step_idle(now, w),
@@ -260,11 +267,26 @@ pub fn run_uts_with(
     seed: u64,
     amount: StealAmount,
 ) -> BotReport {
+    run_uts_faulty(spec, workers, profile, seed, amount, FaultPlan::none())
+}
+
+/// [`run_uts_with`] under a fault plan. One-sided verbs already retry
+/// inside the fabric (time is charged, semantics preserved), so the
+/// runtime only needs to survive crash-stop freezes.
+pub fn run_uts_faulty(
+    spec: &UtsSpec,
+    workers: usize,
+    profile: MachineProfile,
+    seed: u64,
+    amount: StealAmount,
+    plan: FaultPlan,
+) -> BotReport {
     let scale = profile.compute_scale;
     let m = Machine::new(
         MachineConfig::new(workers, profile)
             .with_seg_bytes(1 << 16)
-            .with_reserved(RESERVED),
+            .with_reserved(RESERVED)
+            .with_faults(plan),
     );
     let mut world = BotWorld {
         m,
@@ -354,6 +376,49 @@ mod tests {
         let b = run_uts(&spec, 4, profiles::test_profile(), 9);
         assert_eq!(a.elapsed, b.elapsed);
         assert_eq!(a.steals_ok, b.steals_ok);
+    }
+
+    #[test]
+    fn counts_survive_transient_faults() {
+        let spec = presets::tiny();
+        let expected = serial_count(&spec).nodes;
+        for workers in [2, 4, 8] {
+            let plan = FaultPlan::transient(0.05, 77);
+            let r = run_uts_faulty(&spec, workers, profiles::test_profile(), 19, StealAmount::Half, plan);
+            assert_eq!(r.nodes, expected, "P={workers}");
+            assert!(r.fabric.retries > 0, "faults should force verb retries");
+        }
+    }
+
+    #[test]
+    fn counts_survive_crash_window() {
+        use dcs_sim::CrashWindow;
+        let spec = presets::tiny();
+        let expected = serial_count(&spec).nodes;
+        let plan = FaultPlan::none().with_crash(CrashWindow {
+            worker: 2,
+            from: VTime::us(3),
+            until: VTime::us(400),
+        });
+        let r = run_uts_faulty(&spec, 4, profiles::test_profile(), 21, StealAmount::Half, plan);
+        assert_eq!(r.nodes, expected);
+    }
+
+    #[test]
+    fn no_fault_plan_is_identical_to_plain_run() {
+        let spec = presets::tiny();
+        let plain = run_uts(&spec, 4, profiles::test_profile(), 9);
+        let none = run_uts_faulty(
+            &spec,
+            4,
+            profiles::test_profile(),
+            9,
+            StealAmount::Half,
+            FaultPlan::none(),
+        );
+        assert_eq!(plain.elapsed, none.elapsed);
+        assert_eq!(plain.steps, none.steps);
+        assert_eq!(plain.steals_ok, none.steals_ok);
     }
 
     #[test]

@@ -13,12 +13,31 @@
 //!   as they generate work (Saraswat et al.).
 //!
 //! Termination is the Mattern token circulating as a ring message.
+//!
+//! ## Fault tolerance
+//!
+//! Under an active [`FaultPlan`] the fabric may drop or duplicate
+//! messages. The protocol stays correct by construction:
+//!
+//! * task-carrying messages (`Grant`, `Push`) travel on a *reliable* channel
+//!   (the NIC retransmits until delivery, possibly delivering twice); each
+//!   carries a per-sender sequence number and receivers drop duplicates, so
+//!   every task moves exactly once;
+//! * control messages (`Request`, `Deny`, `Lifeline`) are droppable: a thief
+//!   whose request or reply is lost times out, counts a failed steal and
+//!   retries; lifelines are re-armed after a timeout (arming is idempotent);
+//! * the termination token is droppable but *retransmitted idempotently*:
+//!   the initiator re-seeds a silent round after a timeout, and every worker
+//!   caches the exact token it forwarded for the current round — a duplicate
+//!   or retransmitted token triggers a verbatim re-send, so the wave always
+//!   reaches the break and never double-counts.
 
 use std::collections::VecDeque;
 
 use dcs_apps::uts::UtsSpec;
 use dcs_sim::{
-    Actor, Engine, Machine, MachineConfig, MachineProfile, Mailbox, SimRng, Step, VTime, WorkerId,
+    Actor, Engine, FaultPlan, Machine, MachineConfig, MachineProfile, Mailbox, SimRng, Step,
+    VTime, WorkerId,
 };
 
 use crate::termination::{accumulate, Detector, Token};
@@ -33,16 +52,17 @@ pub enum Variant {
     Lifeline,
 }
 
-/// Messages exchanged between workers.
-#[derive(Debug)]
+/// Messages exchanged between workers. Task-carrying messages carry a
+/// per-sender sequence number so receivers can drop fabric duplicates.
+#[derive(Clone, Debug)]
 pub enum Msg {
     Request,
-    Grant(Vec<NodeTask>),
+    Grant(u64, Vec<NodeTask>),
     Deny,
     /// Arm a lifeline from the sender to the receiver.
     Lifeline,
     /// Work pushed down an armed lifeline.
-    Push(Vec<NodeTask>),
+    Push(u64, Vec<NodeTask>),
     Token(Token),
 }
 
@@ -67,17 +87,34 @@ struct TwoWorker {
     spec: UtsSpec,
     scale: f64,
     rng: SimRng,
-    /// Outstanding steal request, if any.
-    pending: Option<WorkerId>,
+    /// Outstanding steal request: `(victim, sent_at)` — the timestamp drives
+    /// the reply timeout under fault injection.
+    pending: Option<(WorkerId, VTime)>,
     fails: u32,
     /// Lifelines registered *on this worker* (armed, FIFO for fairness).
     armed_on_me: VecDeque<WorkerId>,
     /// Which of my lifeline neighbours I currently have armed.
     my_armed: Vec<WorkerId>,
+    /// When the lifelines were (last) armed, for fault re-arming.
+    armed_at: VTime,
     /// Token held while busy.
     held_token: Option<Token>,
     detector: Detector,
     token_outstanding: bool,
+    /// Initiator: when the current round's token was (re)sent.
+    round_sent: VTime,
+    /// Highest token round this worker forwarded (non-initiators).
+    forwarded_round: u64,
+    /// The exact token sent for the current round (seed for the initiator,
+    /// accumulated token otherwise): re-sent verbatim on duplicates and
+    /// retransmissions so the wave is idempotent.
+    sent_cache: Option<Token>,
+    /// Next sequence number for task-carrying sends.
+    send_seq: u64,
+    /// Highest task-message sequence accepted per sender (dup filter).
+    seen_seq: Vec<u64>,
+    /// Reply/retransmit timeout (fault runs only).
+    rto: VTime,
     steals_ok: u64,
     steals_failed: u64,
     halted: bool,
@@ -97,22 +134,48 @@ impl TwoWorker {
         out
     }
 
-    fn send(&self, w: &mut TwoWorld, now: VTime, to: WorkerId, msg: Msg) -> VTime {
+    /// Send `msg`; `droppable` selects the channel class. Task-carrying
+    /// messages go on the reliable channel (`droppable = false`: the fabric
+    /// may duplicate but never lose them); control traffic is droppable.
+    fn send(&mut self, w: &mut TwoWorld, now: VTime, to: WorkerId, msg: Msg, droppable: bool) -> VTime {
         let cost = w.m.message_sent(self.me);
         let deliver = now + cost + VTime::ns(w.m.lat().message);
-        w.mailbox.send(self.me, to, deliver, msg);
+        let redeliver = deliver + VTime::ns(w.m.lat().message);
+        let fate = w.m.msg_fate(self.me, droppable);
+        w.mailbox.send_with_fate(self.me, to, deliver, redeliver, fate, msg);
         cost
     }
 
-    fn send_tasks(&self, w: &mut TwoWorld, now: VTime, to: WorkerId, msg: Msg, k: usize) -> VTime {
+    fn send_tasks(&mut self, w: &mut TwoWorld, now: VTime, to: WorkerId, msg: Msg, k: usize) -> VTime {
         let cost = w.m.message_sent(self.me) + w.m.lat().payload(k * TASK_BYTES);
         let deliver = now + cost + VTime::ns(w.m.lat().message);
-        w.mailbox.send(self.me, to, deliver, msg);
+        let redeliver = deliver + VTime::ns(w.m.lat().message);
+        let fate = w.m.msg_fate(self.me, false);
+        w.mailbox.send_with_fate(self.me, to, deliver, redeliver, fate, msg);
         cost
     }
 
-    /// Forward (or hold) a token per Mattern's ring.
+    /// Forward (or hold) a token per Mattern's ring, dropping stale rounds
+    /// and answering duplicates with the cached out-token.
     fn on_token(&mut self, w: &mut TwoWorld, now: VTime, tok: Token) -> VTime {
+        if self.me != 0 {
+            if tok.round <= self.forwarded_round {
+                // Duplicate (or initiator retransmission) of a round this
+                // worker already served: re-send the cached out-token
+                // verbatim so the wave survives a downstream drop.
+                if let Some(out) = self.sent_cache {
+                    return self.send(w, now, (self.me + 1) % self.n, Msg::Token(out), true);
+                }
+                return VTime::ZERO;
+            }
+            if self.held_token.is_some_and(|h| h.round >= tok.round) {
+                return VTime::ZERO; // duplicate of the token being held
+            }
+        } else if !self.token_outstanding || tok.round != self.detector.rounds + 1 {
+            // Initiator: only the return of the outstanding round counts;
+            // stale rounds and duplicates are dropped.
+            return VTime::ZERO;
+        }
         if !w.bags[self.me].is_empty() {
             self.held_token = Some(tok);
             return VTime::ZERO;
@@ -125,6 +188,7 @@ impl TwoWorker {
         if self.me == 0 {
             // Round completed.
             self.token_outstanding = false;
+            self.sent_cache = None;
             let done = self.detector.round_done(tok.created, tok.consumed);
             w.token_rounds = self.detector.rounds;
             if done {
@@ -136,7 +200,9 @@ impl TwoWorker {
             VTime::ZERO
         } else {
             let out = accumulate(tok, cnt.created, cnt.consumed);
-            self.send(w, now, (self.me + 1) % self.n, Msg::Token(out))
+            self.forwarded_round = tok.round;
+            self.sent_cache = Some(out);
+            self.send(w, now, (self.me + 1) % self.n, Msg::Token(out), true)
         }
     }
 
@@ -151,37 +217,53 @@ impl TwoWorker {
                 if w.bags[me].len() >= SURPLUS {
                     let k = w.bags[me].len() / 2;
                     let tasks: Vec<NodeTask> = w.bags[me].drain(..k).collect();
-                    cost += self.send_tasks(w, now, from, Msg::Grant(tasks), k);
+                    self.send_seq += 1;
+                    let seq = self.send_seq;
+                    cost += self.send_tasks(w, now, from, Msg::Grant(seq, tasks), k);
                 } else {
-                    cost += self.send(w, now, from, Msg::Deny);
+                    cost += self.send(w, now, from, Msg::Deny, true);
                 }
             }
-            Msg::Grant(tasks) => {
-                debug_assert_eq!(self.pending, Some(from));
-                self.pending = None;
-                self.fails = 0;
-                self.steals_ok += 1;
-                cost += w.m.lat().payload(tasks.len() * TASK_BYTES);
-                w.bags[me].extend(tasks);
-                got_work = true;
+            Msg::Grant(seq, tasks) => {
+                if seq > self.seen_seq[from] {
+                    self.seen_seq[from] = seq;
+                    // A grant may land after the reply timeout already gave
+                    // up on this victim: the tasks are still welcome, only
+                    // the matching pending slot (if any) is cleared.
+                    if matches!(self.pending, Some((v, _)) if v == from) {
+                        self.pending = None;
+                    }
+                    self.fails = 0;
+                    self.steals_ok += 1;
+                    cost += w.m.lat().payload(tasks.len() * TASK_BYTES);
+                    w.bags[me].extend(tasks);
+                    got_work = true;
+                }
+                // else: fabric duplicate of a grant already banked — drop.
             }
             Msg::Deny => {
-                debug_assert_eq!(self.pending, Some(from));
-                self.pending = None;
-                self.fails += 1;
-                self.steals_failed += 1;
+                // Stale denies (after a timeout) and duplicates are ignored.
+                if matches!(self.pending, Some((v, _)) if v == from) {
+                    self.pending = None;
+                    self.fails += 1;
+                    self.steals_failed += 1;
+                }
             }
             Msg::Lifeline => {
                 if !self.armed_on_me.contains(&from) {
                     self.armed_on_me.push_back(from);
                 }
             }
-            Msg::Push(tasks) => {
+            Msg::Push(seq, tasks) => {
                 self.my_armed.retain(|&v| v != from);
-                cost += w.m.lat().payload(tasks.len() * TASK_BYTES);
-                w.bags[me].extend(tasks);
-                self.steals_ok += 1;
-                got_work = true;
+                if seq > self.seen_seq[from] {
+                    self.seen_seq[from] = seq;
+                    cost += w.m.lat().payload(tasks.len() * TASK_BYTES);
+                    w.bags[me].extend(tasks);
+                    self.steals_ok += 1;
+                    got_work = true;
+                }
+                // else: fabric duplicate of a push already banked — drop.
             }
             Msg::Token(tok) => {
                 cost += self.on_token(w, now, tok);
@@ -224,7 +306,9 @@ impl TwoWorker {
             if let Some(dst) = self.armed_on_me.pop_front() {
                 let k = w.bags[me].len() / 2;
                 let tasks: Vec<NodeTask> = w.bags[me].drain(..k).collect();
-                cost += self.send_tasks(w, now, dst, Msg::Push(tasks), k);
+                self.send_seq += 1;
+                let seq = self.send_seq;
+                cost += self.send_tasks(w, now, dst, Msg::Push(seq, tasks), k);
             }
         }
         Step::Yield(cost)
@@ -246,45 +330,79 @@ impl TwoWorker {
             cost += self.forward_token(w, now, tok);
         }
         // Initiator token duty.
-        if me == 0 && !self.token_outstanding {
-            let cnt = w.counters[0];
-            if self.n == 1 {
-                let done = self.detector.round_done(cnt.created, cnt.consumed);
-                w.token_rounds = self.detector.rounds;
-                if done {
-                    w.m.set_done();
+        if me == 0 {
+            if !self.token_outstanding {
+                let cnt = w.counters[0];
+                if self.n == 1 {
+                    let done = self.detector.round_done(cnt.created, cnt.consumed);
+                    w.token_rounds = self.detector.rounds;
+                    if done {
+                        w.m.set_done();
+                    }
+                    return Step::Yield(cost + w.m.local_op(me));
                 }
-                return Step::Yield(cost + w.m.local_op(me));
+                let tok = self.detector.new_round(cnt.created, cnt.consumed);
+                self.token_outstanding = true;
+                self.round_sent = now;
+                self.sent_cache = Some(tok);
+                cost += self.send(w, now, 1, Msg::Token(tok), true);
+            } else if w.m.faults_active() && now.saturating_sub(self.round_sent) > self.rto {
+                // The wave went silent: the token (or a forward of it) was
+                // probably dropped. Re-seed the round verbatim — every hop
+                // is idempotent, so a late original cannot double-count.
+                if let Some(tok) = self.sent_cache {
+                    self.round_sent = now;
+                    cost += self.send(w, now, 1, Msg::Token(tok), true);
+                }
             }
-            let tok = self.detector.new_round(cnt.created, cnt.consumed);
-            self.token_outstanding = true;
-            cost += self.send(w, now, 1, Msg::Token(tok));
         }
         if self.n == 1 {
             return Step::Yield(cost);
         }
-        if self.pending.is_some() {
-            // Waiting for a reply; just keep polling.
-            return Step::Yield(cost);
+        if let Some((_, at)) = self.pending {
+            if w.m.faults_active() && now.saturating_sub(at) > self.rto {
+                // Request or reply lost in the fabric: give up on this
+                // victim, count the failure, and try elsewhere.
+                self.pending = None;
+                self.fails += 1;
+                self.steals_failed += 1;
+            } else {
+                // Waiting for a reply; just keep polling.
+                return Step::Yield(cost);
+            }
         }
         match self.variant {
             Variant::Random => {
                 let victim = self.rng.victim(self.n, me);
-                cost += self.send(w, now, victim, Msg::Request);
-                self.pending = Some(victim);
+                cost += self.send(w, now, victim, Msg::Request, true);
+                self.pending = Some((victim, now));
             }
             Variant::Lifeline => {
                 if self.fails < RANDOM_ATTEMPTS {
                     let victim = self.rng.victim(self.n, me);
-                    cost += self.send(w, now, victim, Msg::Request);
-                    self.pending = Some(victim);
+                    cost += self.send(w, now, victim, Msg::Request, true);
+                    self.pending = Some((victim, now));
                 } else {
+                    if w.m.faults_active()
+                        && !self.my_armed.is_empty()
+                        && now.saturating_sub(self.armed_at) > self.rto
+                    {
+                        // Arm messages may have been dropped: forget the old
+                        // registrations and re-arm (arming is idempotent on
+                        // the victim side).
+                        self.my_armed.clear();
+                    }
                     // Arm any un-armed lifelines, then wait passively.
+                    let mut armed_any = false;
                     for nb in self.lifeline_neighbours() {
                         if !self.my_armed.contains(&nb) {
                             self.my_armed.push(nb);
-                            cost += self.send(w, now, nb, Msg::Lifeline);
+                            cost += self.send(w, now, nb, Msg::Lifeline, true);
+                            armed_any = true;
                         }
+                    }
+                    if armed_any {
+                        self.armed_at = now;
                     }
                 }
             }
@@ -298,6 +416,11 @@ impl Actor<TwoWorld> for TwoWorker {
         debug_assert_eq!(me, self.me);
         if self.halted {
             return Step::Halt;
+        }
+        w.m.begin_step(me, now);
+        if let Some(until) = w.m.crashed_until(me, now) {
+            // Crash-stop window: freeze (mail piles up) until it ends.
+            return Step::Yield(until.saturating_sub(now).max(VTime::ns(1)));
         }
         if w.bags[me].is_empty() {
             self.step_idle(w, now)
@@ -315,8 +438,29 @@ pub fn run_uts(
     variant: Variant,
     seed: u64,
 ) -> BotReport {
+    run_uts_faulty(spec, workers, profile, variant, seed, FaultPlan::none())
+}
+
+/// [`run_uts`] under a fault plan: the fabric may fail verbs, drop or
+/// duplicate messages, degrade NICs and crash-stop workers, and the
+/// protocol must still produce the exact serial node count.
+pub fn run_uts_faulty(
+    spec: &UtsSpec,
+    workers: usize,
+    profile: MachineProfile,
+    variant: Variant,
+    seed: u64,
+    plan: FaultPlan,
+) -> BotReport {
     let scale = profile.compute_scale;
-    let m = Machine::new(MachineConfig::new(workers, profile).with_seg_bytes(1 << 12));
+    let m = Machine::new(
+        MachineConfig::new(workers, profile)
+            .with_seg_bytes(1 << 12)
+            .with_faults(plan),
+    );
+    // Reply/retransmit timeout: generously above a round trip, so healthy
+    // exchanges never trip it even under degraded-NIC scaling.
+    let rto = VTime::ns((m.lat().message + m.lat().msg_handler) * 64);
     let mut world = TwoWorld {
         m,
         bags: (0..workers).map(|_| Vec::new()).collect(),
@@ -339,9 +483,16 @@ pub fn run_uts(
             fails: 0,
             armed_on_me: VecDeque::new(),
             my_armed: Vec::new(),
+            armed_at: VTime::ZERO,
             held_token: None,
             detector: Detector::default(),
             token_outstanding: false,
+            round_sent: VTime::ZERO,
+            forwarded_round: 0,
+            sent_cache: None,
+            send_seq: 0,
+            seen_seq: vec![0; workers],
+            rto,
             steals_ok: 0,
             steals_failed: 0,
             halted: false,
@@ -423,5 +574,58 @@ mod tests {
         let b = run_uts(&spec, 4, profiles::test_profile(), Variant::Lifeline, 29);
         assert_eq!(a.elapsed, b.elapsed);
         assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn counts_survive_transient_faults_drops_and_dups() {
+        let spec = presets::tiny();
+        let expected = serial_count(&spec).nodes;
+        for variant in [Variant::Random, Variant::Lifeline] {
+            for workers in [2, 4, 8] {
+                let plan = FaultPlan::transient(0.05, 91);
+                let r = run_uts_faulty(&spec, workers, profiles::test_profile(), variant, 31, plan);
+                assert_eq!(r.nodes, expected, "{variant:?} P={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn counts_survive_crash_window() {
+        use dcs_sim::CrashWindow;
+        let spec = presets::tiny();
+        let expected = serial_count(&spec).nodes;
+        let plan = FaultPlan::none().with_crash(CrashWindow {
+            worker: 1,
+            from: VTime::us(2),
+            until: VTime::us(300),
+        });
+        for variant in [Variant::Random, Variant::Lifeline] {
+            let r = run_uts_faulty(&spec, 4, profiles::test_profile(), variant, 37, plan.clone());
+            assert_eq!(r.nodes, expected, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_and_no_fault_plan_is_identical() {
+        let spec = presets::tiny();
+        let plan = FaultPlan::transient(0.08, 5);
+        let a = run_uts_faulty(&spec, 4, profiles::test_profile(), Variant::Random, 41, plan.clone());
+        let b = run_uts_faulty(&spec, 4, profiles::test_profile(), Variant::Random, 41, plan);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.steals_failed, b.steals_failed);
+        // The empty plan is bit-identical to the plain entry point.
+        let plain = run_uts(&spec, 4, profiles::test_profile(), Variant::Random, 41);
+        let none = run_uts_faulty(
+            &spec,
+            4,
+            profiles::test_profile(),
+            Variant::Random,
+            41,
+            FaultPlan::none(),
+        );
+        assert_eq!(plain.elapsed, none.elapsed);
+        assert_eq!(plain.steps, none.steps);
+        assert_eq!(plain.messages, none.messages);
     }
 }

@@ -14,7 +14,7 @@ use std::fmt::Write as _;
 
 use dcs_apps::{lcs, matmul, msort, nqueens, pfor, uts};
 use dcs_core::prelude::*;
-use dcs_sim::Topology;
+use dcs_sim::{FaultPlan, Topology};
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +74,8 @@ pub struct RunArgs {
     pub node_size: Option<usize>,
     /// Write a Chrome trace of the run to this path.
     pub trace_out: Option<String>,
+    /// Deterministic fault-injection plan (see `FaultPlan::parse`).
+    pub fault: FaultPlan,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -127,6 +129,7 @@ impl RunArgs {
             victim: VictimPolicy::Uniform,
             node_size: None,
             trace_out: None,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -162,6 +165,7 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
 fn parse_run_with_list(args: &[String]) -> Result<(RunArgs, Vec<usize>), String> {
     let mut out = RunArgs::defaults();
     let mut worker_list = vec![out.workers];
+    let mut fault_seed: Option<u64> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut val = || -> Result<&String, String> {
@@ -207,8 +211,16 @@ fn parse_run_with_list(args: &[String]) -> Result<(RunArgs, Vec<usize>), String>
                 out.node_size = Some(val()?.parse().map_err(|_| "bad --node-size".to_string())?)
             }
             "--trace" => out.trace_out = Some(val()?.clone()),
+            "--fault-plan" => out.fault = FaultPlan::parse(val()?)?,
+            "--fault-seed" => {
+                fault_seed =
+                    Some(val()?.parse().map_err(|_| "bad --fault-seed".to_string())?)
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
+    }
+    if let Some(s) = fault_seed {
+        out.fault = out.fault.clone().with_seed(s);
     }
     Ok((out, worker_list))
 }
@@ -258,7 +270,8 @@ pub fn execute_run(a: &RunArgs) -> String {
         .with_address_scheme(a.scheme)
         .with_victim(a.victim)
         .with_seed(a.seed)
-        .with_seg_bytes(64 << 20);
+        .with_seg_bytes(64 << 20)
+        .with_fault_plan(a.fault.clone());
     if a.trace_out.is_some() {
         cfg = cfg.with_trace(TraceLevel::Series);
     }
@@ -271,7 +284,14 @@ pub fn execute_run(a: &RunArgs) -> String {
 
     if a.bench == Bench::BotUts {
         let spec = uts::UtsSpec::new(4.0, n as u32, uts::Shape::Linear, 19);
-        let r = dcs_bot::onesided::run_uts(&spec, a.workers, a.machine.clone(), a.seed);
+        let r = dcs_bot::onesided::run_uts_faulty(
+            &spec,
+            a.workers,
+            a.machine.clone(),
+            a.seed,
+            dcs_bot::onesided::StealAmount::Half,
+            a.fault.clone(),
+        );
         let mut s = String::new();
         let _ = writeln!(s, "bench:      bot-uts (one-sided steal-half, gen_mx = {n})");
         let _ = writeln!(s, "nodes:      {}", r.nodes);
@@ -279,6 +299,13 @@ pub fn execute_run(a: &RunArgs) -> String {
         let _ = writeln!(s, "throughput: {:.2} Mnodes/s", r.throughput() / 1e6);
         let _ = writeln!(s, "steals:     {} ok, {} failed", r.steals_ok, r.steals_failed);
         let _ = writeln!(s, "token rounds: {}", r.token_rounds);
+        if a.fault.is_active() {
+            let _ = writeln!(
+                s,
+                "faults:     {} verb retries, {} timeouts",
+                r.fabric.retries, r.fabric.timeouts
+            );
+        }
         return s;
     }
 
@@ -360,6 +387,16 @@ fn render_report(a: &RunArgs, n: u64, r: &RunReport) -> String {
         100.0 * r.busy_total.as_ns() as f64 / (r.elapsed.as_ns() as f64 * a.workers as f64),
         a.workers
     );
+    if a.fault.is_active() {
+        let _ = writeln!(
+            s,
+            "faults:     {} verb retries, {} timeouts, {} blacklist skips",
+            r.fabric.retries, r.fabric.timeouts, r.stats.blacklist_skips
+        );
+        if let Some(wd) = &r.watchdog {
+            let _ = writeln!(s, "watchdog:   {wd}");
+        }
+    }
     s
 }
 
@@ -379,7 +416,8 @@ pub fn execute_sweep(a: &SweepArgs) -> String {
         let cfg = RunConfig::new(p, args.policy)
             .with_profile(args.machine.clone())
             .with_seed(args.seed)
-            .with_seg_bytes(64 << 20);
+            .with_seg_bytes(64 << 20)
+            .with_fault_plan(args.fault.clone());
         let program = match args.bench {
             Bench::Fib => Program::new(fib_task, n),
             Bench::Pfor => pfor::pfor_program(pfor::PforParams::paper(n)),
@@ -468,6 +506,16 @@ FLAGS (run & sweep):
     --victim <uniform|locality:<p>|hier:<k>>      victim selection   [uniform]
     --node-size <n>    hierarchical topology with n workers per node
     --trace <file>     write a Chrome trace (chrome://tracing, perfetto) [off]
+    --fault-plan <spec>  deterministic fault injection                   [off]
+                       comma-separated clauses:
+                         verb=P             transient verb-failure probability
+                         drop=P             control-message drop probability
+                         dup=P              message duplication probability
+                         degrade=W@A..B*F   worker W's NIC F x slower in [A, B)
+                         crash=W@A..B       worker W unresponsive in [A, B)
+                       times take ns/us/ms/s suffixes, e.g.
+                       --fault-plan verb=0.01,drop=0.02,crash=1@1ms..3ms
+    --fault-seed <n>   seed of the fault RNG streams                     [0]
 ";
 
 #[cfg(test)]
@@ -533,6 +581,39 @@ mod tests {
         assert_eq!(parse(&argv("info")).unwrap(), Command::Info);
         assert!(info().contains("ITO-A"));
         assert!(HELP.contains("--bench"));
+    }
+
+    #[test]
+    fn parses_fault_plan_and_seed() {
+        let cmd = parse(&argv(
+            "run --bench fib --fault-plan verb=0.01,drop=0.02,crash=1@1ms..3ms --fault-seed 99",
+        ))
+        .unwrap();
+        let Command::Run(a) = cmd else { panic!() };
+        assert!(a.fault.is_active());
+        assert_eq!(a.fault.verb_fail_p, 0.01);
+        assert_eq!(a.fault.msg_drop_p, 0.02);
+        assert_eq!(a.fault.crash.len(), 1);
+        assert_eq!(a.fault.seed, 99);
+        // Seed before plan must survive too.
+        let cmd = parse(&argv("run --fault-seed 7 --fault-plan verb=0.5")).unwrap();
+        let Command::Run(a) = cmd else { panic!() };
+        assert_eq!(a.fault.seed, 7);
+        assert!(parse(&argv("run --fault-plan nonsense")).is_err());
+    }
+
+    #[test]
+    fn execute_run_with_faults_reports_fault_lines() {
+        let mut a = RunArgs::defaults();
+        a.bench = Bench::Fib;
+        a.n = 10;
+        a.workers = 2;
+        a.machine = profiles::test_profile();
+        a.fault = FaultPlan::transient(0.02, 3);
+        let out = execute_run(&a);
+        assert!(out.contains("U64(55)"), "{out}");
+        assert!(out.contains("faults:"), "{out}");
+        assert!(out.contains("watchdog:"), "{out}");
     }
 
     #[test]

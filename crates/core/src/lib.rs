@@ -61,20 +61,23 @@ pub mod stats;
 pub mod trace;
 pub mod util;
 pub mod value;
+pub mod watchdog;
 pub mod world;
 
 pub use frame::{frame, ret_frame, AppCtx, Effect, Frame, HostWork, RmaOp, TaskCtx, TaskFn, VThread};
-pub use policy::{AddressScheme, FreeStrategy, Policy, RunConfig, TraceLevel, VictimPolicy};
+pub use policy::{AddressScheme, FreeStrategy, Policy, RunConfig, SlowdownWindow, TraceLevel, VictimPolicy};
 pub use runner::{run, run_full, Program, RunReport};
 pub use stats::{DelayReport, RunStats};
 pub use trace::chrome_trace;
 pub use value::{ThreadHandle, Value};
+pub use watchdog::{Violation, Watchdog, WatchdogReport};
 
 /// Convenient glob import for writing programs and harnesses.
 pub mod prelude {
     pub use crate::frame::{frame, ret_frame, Effect, RmaOp, TaskCtx, TaskFn};
-    pub use crate::policy::{AddressScheme, FreeStrategy, Policy, RunConfig, TraceLevel, VictimPolicy};
+    pub use crate::policy::{AddressScheme, FreeStrategy, Policy, RunConfig, SlowdownWindow, TraceLevel, VictimPolicy};
     pub use crate::runner::{run, run_full, Program, RunReport};
     pub use crate::value::{ThreadHandle, Value};
-    pub use dcs_sim::{profiles, MachineProfile, Topology, VTime};
+    pub use crate::watchdog::{Violation, WatchdogReport};
+    pub use dcs_sim::{profiles, FaultPlan, MachineProfile, Topology, VTime};
 }

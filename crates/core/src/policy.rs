@@ -1,6 +1,17 @@
 //! Scheduling-policy and run configuration.
 
-use dcs_sim::{profiles, MachineProfile, Topology};
+use dcs_sim::{profiles, FaultPlan, MachineProfile, Topology, VTime};
+
+/// A time-varying compute slowdown: worker `worker` computes `factor`×
+/// slower during `[from, until)` (a straggler, thermal throttling, an OS
+/// noise burst). Overlapping windows compound multiplicatively.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SlowdownWindow {
+    pub worker: usize,
+    pub from: VTime,
+    pub until: VTime,
+    pub factor: f64,
+}
 
 /// Which stealing/threading strategy a run uses — the four configurations
 /// compared throughout the paper's evaluation (§IV, Table II).
@@ -141,9 +152,25 @@ pub struct RunConfig {
     pub topology: Topology,
     /// Victim-selection policy for steals.
     pub victim: VictimPolicy,
-    /// Per-worker compute-speed multipliers (straggler/fault injection):
-    /// worker `w` runs compute `perturb[w]`× slower. Empty = homogeneous.
+    /// Whole-run per-worker compute-speed multipliers: worker `w` runs
+    /// compute `perturb[w]`× slower for the entire run. Empty =
+    /// homogeneous. For *time-varying* degradation use [`RunConfig::slowdowns`]
+    /// (which [`RunConfig::with_straggler`] now builds on); both compose
+    /// multiplicatively with the profile's base compute scale.
     pub perturb: Vec<f64>,
+    /// Time-windowed compute slowdowns (see [`SlowdownWindow`]); built by
+    /// [`RunConfig::with_slowdown`] / [`RunConfig::with_straggler`].
+    pub slowdowns: Vec<SlowdownWindow>,
+    /// Fabric fault-injection plan (verb failures, message drop/dup,
+    /// degraded-NIC and crash windows). [`FaultPlan::none()`] keeps the
+    /// fault layer completely out of the run.
+    pub fault: FaultPlan,
+    /// Run the invariant watchdog (lost/duplicated tasks, double frees,
+    /// no-progress stalls). Forced on whenever `fault` is active.
+    pub watchdog: bool,
+    /// Watchdog: longest tolerated gap between global progress events
+    /// (spawn/death/successful steal) before a stall is reported.
+    pub stall_limit: VTime,
     pub seed: u64,
     pub trace: TraceLevel,
     /// Ring capacity of each worker's deque (entries).
@@ -176,6 +203,10 @@ impl RunConfig {
             topology: Topology::Flat,
             victim: VictimPolicy::Uniform,
             perturb: Vec::new(),
+            slowdowns: Vec::new(),
+            fault: FaultPlan::none(),
+            watchdog: false,
+            stall_limit: VTime::secs(2),
             seed: 0x5EED,
             trace: TraceLevel::Counters,
             deque_cap: 1 << 13,
@@ -214,14 +245,41 @@ impl RunConfig {
         self
     }
 
-    /// Inject a straggler: worker `w` computes `factor`× slower.
-    pub fn with_straggler(mut self, w: usize, factor: f64) -> Self {
-        assert!(factor >= 1.0 && w < self.workers);
-        if self.perturb.is_empty() {
-            self.perturb = vec![1.0; self.workers];
-        }
-        self.perturb[w] = factor;
+    /// Inject a straggler: worker `w` computes `factor`× slower for the
+    /// whole run. Thin wrapper over [`RunConfig::with_slowdown`] with the
+    /// window `[0, ∞)`.
+    pub fn with_straggler(self, w: usize, factor: f64) -> Self {
+        self.with_slowdown(w, factor, VTime::ZERO, VTime::MAX)
+    }
+
+    /// Inject a time-varying slowdown: worker `w` computes `factor`× slower
+    /// during `[from, until)`.
+    pub fn with_slowdown(mut self, w: usize, factor: f64, from: VTime, until: VTime) -> Self {
+        assert!(factor >= 1.0 && w < self.workers && from < until);
+        self.slowdowns.push(SlowdownWindow {
+            worker: w,
+            from,
+            until,
+            factor,
+        });
         self
+    }
+
+    /// Load a fabric fault-injection plan (implies the watchdog).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
+        self
+    }
+
+    /// Enable or disable the invariant watchdog explicitly.
+    pub fn with_watchdog(mut self, on: bool) -> Self {
+        self.watchdog = on;
+        self
+    }
+
+    /// True when the run should carry a live watchdog.
+    pub fn watchdog_enabled(&self) -> bool {
+        self.watchdog || self.fault.is_active()
     }
 
     pub fn with_seed(mut self, seed: u64) -> Self {

@@ -16,6 +16,7 @@ use crate::policy::RunConfig;
 use crate::sched::Worker;
 use crate::stats::RunStats;
 use crate::value::Value;
+use crate::watchdog::WatchdogReport;
 use crate::world::{RtShared, World};
 
 /// One-shot machine initializer run before any worker steps (global-array
@@ -84,6 +85,9 @@ pub struct RunReport {
     pub evac_peak: u64,
     /// Peak ChildFull stack count across workers.
     pub full_stack_peak: u64,
+    /// Invariant-watchdog findings; `None` when the run carried no watchdog
+    /// (the default for fault-free runs).
+    pub watchdog: Option<WatchdogReport>,
 }
 
 impl RunReport {
@@ -108,7 +112,8 @@ pub fn run_full(cfg: RunConfig, program: Program) -> (RunReport, Machine) {
         MachineConfig::new(cfg.workers, cfg.profile.clone())
             .with_seg_bytes(cfg.seg_bytes)
             .with_reserved(lay.reserved)
-            .with_topology(cfg.topology.clone()),
+            .with_topology(cfg.topology.clone())
+            .with_faults(cfg.fault.clone()),
     );
     if let Some(init) = program.init {
         init(&mut machine);
@@ -134,8 +139,14 @@ pub fn run_full(cfg: RunConfig, program: Program) -> (RunReport, Machine) {
     let mut engine = Engine::new(world, actors).with_max_steps(max_steps);
     let report = engine.run();
     let (world, _actors) = engine.into_parts();
-    let World { m, rt } = world;
+    let World { m, mut rt } = world;
 
+    let watchdog = rt.watch_finish();
+    if let Some(wd) = &watchdog {
+        if strict && !wd.is_clean() {
+            panic!("invariant watchdog tripped:\n{wd}");
+        }
+    }
     let result = rt.result.expect("run finished without a root result");
     if strict {
         assert!(
@@ -179,6 +190,7 @@ pub fn run_full(cfg: RunConfig, program: Program) -> (RunReport, Machine) {
         uni_conflicts,
         evac_peak,
         full_stack_peak,
+        watchdog,
     };
     (rep, m)
 }
@@ -294,6 +306,120 @@ mod tests {
         assert_eq!(a.result, b.result, "result is schedule-independent");
         // Timings almost surely differ with different victim choices.
         assert_ne!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn fib_correct_under_transient_faults_all_policies() {
+        use dcs_sim::FaultPlan;
+        for policy in Policy::ALL {
+            let cfg = RunConfig::new(4, policy)
+                .with_profile(profiles::test_profile())
+                .with_seg_bytes(64 << 20)
+                .with_fault_plan(FaultPlan::transient(0.02, 7));
+            let r = run(cfg, Program::new(fib, 12u64));
+            assert_eq!(r.result.as_u64(), fib_serial(12), "{policy:?}");
+            assert!(r.fabric.retries > 0, "{policy:?}: fault plan must bite");
+            let wd = r.watchdog.expect("fault runs carry a watchdog");
+            assert!(wd.is_clean(), "{policy:?}: {wd}");
+        }
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        use dcs_sim::FaultPlan;
+        let mk = || {
+            RunConfig::new(3, Policy::ContGreedy)
+                .with_profile(profiles::test_profile())
+                .with_seg_bytes(64 << 20)
+                .with_fault_plan(FaultPlan::transient(0.05, 42))
+        };
+        let a = run(mk(), Program::new(fib, 12u64));
+        let b = run(mk(), Program::new(fib, 12u64));
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.fabric.retries, b.fabric.retries);
+        assert_eq!(a.stats.blacklist_skips, b.stats.blacklist_skips);
+    }
+
+    #[test]
+    fn crash_window_delays_but_completes() {
+        use dcs_sim::{CrashWindow, FaultPlan, VTime};
+        let crash = CrashWindow {
+            worker: 1,
+            from: VTime::us(5),
+            until: VTime::us(500),
+        };
+        let cfg = |plan: FaultPlan| {
+            RunConfig::new(4, Policy::ContGreedy)
+                .with_profile(profiles::test_profile())
+                .with_seg_bytes(64 << 20)
+                .with_fault_plan(plan)
+        };
+        let healthy = run(cfg(FaultPlan::none()), Program::new(fib, 12u64));
+        let crashed = run(
+            cfg(FaultPlan::none().with_crash(crash)),
+            Program::new(fib, 12u64),
+        );
+        assert_eq!(crashed.result.as_u64(), fib_serial(12));
+        assert!(
+            crashed.elapsed >= healthy.elapsed,
+            "losing a worker cannot speed the run up"
+        );
+        assert!(crashed.watchdog.expect("watchdog on").is_clean());
+    }
+
+    /// Binary fork-join over `n` leaves, each burning 50 µs of scaled
+    /// compute — the workload that makes compute-slowdown windows visible.
+    fn leaves(arg: Value, ctx: &mut TaskCtx) -> Effect {
+        let n = arg.as_u64();
+        if n == 1 {
+            return Effect::compute(
+                ctx.scaled(dcs_sim::VTime::us(50)),
+                frame(|_, _| Effect::ret(1u64)),
+            );
+        }
+        let half = n / 2;
+        Effect::fork(
+            leaves,
+            half,
+            frame(move |h, _| {
+                let h = h.as_handle();
+                Effect::call(
+                    leaves,
+                    n - half,
+                    frame(move |b, _| {
+                        let b = b.as_u64();
+                        Effect::join(h, frame(move |a, _| Effect::ret(a.as_u64() + b)))
+                    }),
+                )
+            }),
+        )
+    }
+
+    #[test]
+    fn slowdown_window_slows_only_while_open() {
+        use dcs_sim::VTime;
+        let base = RunConfig::new(2, Policy::ContGreedy)
+            .with_profile(profiles::test_profile())
+            .with_seg_bytes(64 << 20);
+        let healthy = run(base.clone(), Program::new(leaves, 16u64));
+        assert_eq!(healthy.result.as_u64(), 16);
+        // A 100× slowdown of worker 0 covering the whole run must hurt; the
+        // same window closed before the run starts must change nothing.
+        let slowed = run(
+            base.clone().with_slowdown(0, 100.0, VTime::ZERO, VTime::MAX),
+            Program::new(leaves, 16u64),
+        );
+        assert!(slowed.elapsed > healthy.elapsed);
+        let noop = run(
+            base.clone()
+                .with_slowdown(0, 100.0, VTime::MAX - VTime::ns(1), VTime::MAX),
+            Program::new(leaves, 16u64),
+        );
+        assert_eq!(noop.elapsed, healthy.elapsed, "closed window must be free");
+        // And the legacy wrapper is exactly the whole-run window.
+        let wrapped = run(base.with_straggler(0, 100.0), Program::new(leaves, 16u64));
+        assert_eq!(wrapped.elapsed, slowed.elapsed);
     }
 
     #[test]

@@ -16,6 +16,7 @@ impl Worker {
         if e.entry.is_null() {
             let mut th = self.cur.take().expect("checked");
             self.retire_thread(world, &mut th);
+            world.rt.watch_death(th.tid, now);
             world.rt.result = Some(v);
             world.rt.stats.threads_died += 1;
             world.m.set_done();
@@ -54,6 +55,7 @@ impl Worker {
         world.rt.stats.note_die(e.entry.to_u64(), now);
         let mut th = self.cur.take().expect("die without thread");
         self.retire_thread(world, &mut th);
+        world.rt.watch_death(th.tid, now);
 
         let parent = match popped {
             Some(QueueItem::Cont { th: parent, .. }) => Some(parent),
@@ -291,6 +293,7 @@ impl Worker {
         world.rt.stats.note_die(e.entry.to_u64(), now);
         let mut th = self.cur.take().expect("die without thread");
         self.retire_thread(world, &mut th);
+        world.rt.watch_death(th.tid, now);
         match popped {
             Some(QueueItem::Cont { th: next, .. }) => {
                 cost += world.m.ctx_restore(self.me);
@@ -324,6 +327,7 @@ impl Worker {
         world.rt.stats.note_die(e.entry.to_u64(), now);
         let mut th = self.cur.take().expect("die without thread");
         self.retire_thread(world, &mut th);
+        world.rt.watch_death(th.tid, now);
 
         if self.policy == Policy::ChildRtc {
             if let Some(top) = self.nest.last() {

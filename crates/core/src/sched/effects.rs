@@ -10,7 +10,7 @@ impl Worker {
 
     pub(crate) fn step_run(&mut self, now: VTime, world: &mut World) -> Step {
         if self.pending.is_none() {
-            let eff = self.advance_cur(world);
+            let eff = self.advance_cur(now, world);
             self.pending = Some(PendingOp::Effect(eff));
         }
         match self.apply_pending(now, world) {
@@ -109,7 +109,7 @@ impl Worker {
                         let mut ctx = TaskCtx {
                             worker: self.me,
                             app: &self.app,
-                            compute_scale: self.compute_scale,
+                            compute_scale: self.compute_scale_at(now),
                         };
                         w(&mut ctx)
                     }

@@ -5,6 +5,65 @@ use super::*;
 
 impl Worker {
     // ------------------------------------------------------------------
+    // victim blacklisting (fault-injection resilience)
+    // ------------------------------------------------------------------
+
+    /// Decay half-life of a victim's misbehaviour score.
+    const BL_HALF_LIFE: VTime = VTime::us(200);
+    /// Decayed score above which a victim is skipped.
+    const BL_THRESHOLD: f64 = 3.0;
+
+    fn bl_decayed(score: f64, at: VTime, now: VTime) -> f64 {
+        let dt = now.saturating_sub(at).as_ns() as f64;
+        score * 0.5f64.powf(dt / Self::BL_HALF_LIFE.as_ns() as f64)
+    }
+
+    /// Attribute `faults` transient fabric faults observed while stealing
+    /// from `victim`. Allocates the blacklist on first use, so fault-free
+    /// runs never touch it (and stay bit-identical).
+    pub(crate) fn note_victim_faults(&mut self, victim: WorkerId, faults: u64, now: VTime) {
+        if faults == 0 {
+            return;
+        }
+        let n = self.n;
+        let bl = self.blacklist.get_or_insert_with(|| {
+            Box::new(Blacklist {
+                score: vec![0.0; n],
+                at: vec![VTime::ZERO; n],
+            })
+        });
+        bl.score[victim] =
+            Self::bl_decayed(bl.score[victim], bl.at[victim], now) + faults as f64;
+        bl.at[victim] = now;
+    }
+
+    /// Is `victim` currently blacklisted?
+    pub(crate) fn victim_blocked(&self, victim: WorkerId, now: VTime) -> bool {
+        match &self.blacklist {
+            Some(bl) => {
+                Self::bl_decayed(bl.score[victim], bl.at[victim], now) > Self::BL_THRESHOLD
+            }
+            None => false,
+        }
+    }
+
+    /// Pick a victim, redrawing (bounded) past blacklisted choices. With no
+    /// blacklist allocated this is exactly one [`Self::pick_victim`] draw.
+    pub(crate) fn select_victim(&mut self, now: VTime, world: &mut World) -> WorkerId {
+        let mut victim = self.pick_victim(&world.m);
+        if self.blacklist.is_some() {
+            for _ in 0..3 {
+                if !self.victim_blocked(victim, now) {
+                    break;
+                }
+                world.rt.stats.blacklist_skips += 1;
+                victim = self.pick_victim(&world.m);
+            }
+        }
+        victim
+    }
+
+    // ------------------------------------------------------------------
     // IDLE loop
     // ------------------------------------------------------------------
 
@@ -54,6 +113,7 @@ impl Worker {
             self.finalize(world, now);
             return Step::Halt;
         }
+        world.rt.watch_stall(now);
         // 1. Local pop.
         match owner_pop(
             &mut world.m,
@@ -69,8 +129,13 @@ impl Worker {
             Ok((None, cost)) => {
                 // 2. Steal (if anybody to steal from).
                 if self.n >= 2 {
-                    let victim = self.pick_victim(&world.m);
+                    let victim = self.select_victim(now, world);
+                    // Drop fault counts accrued before this attempt so the
+                    // post-lock drain attributes only this victim's faults.
+                    let _ = world.m.take_faults(self.me);
                     let (locked, c_lock) = thief_lock(&mut world.m, &self.lay, self.me, victim);
+                    let faults = world.m.take_faults(self.me);
+                    self.note_victim_faults(victim, faults, now);
                     if locked {
                         self.state = WState::StealTake { victim, t0: now };
                         return Step::Yield(cost + c_lock);
@@ -214,6 +279,7 @@ impl Worker {
             let latency = now.saturating_sub(t0) + pre_cost + copy_cost;
             world.rt.stats.steal_ok(latency, copy_cost, size);
             world.rt.stats.note_steal_event(self.me, victim, t0, t0 + latency);
+            world.rt.watch_progress(now);
         }
         cost
     }
@@ -224,6 +290,8 @@ impl Worker {
             let (_me_ws, victim_ws) = world.rt.two(self.me, victim);
             thief_take(&mut world.m, &mut victim_ws.items, &self.lay, self.me, victim)
         };
+        let faults = world.m.take_faults(self.me);
+        self.note_victim_faults(victim, faults, now);
         self.state = WState::Idle;
         match got {
             None => {

@@ -86,6 +86,17 @@ pub(crate) struct Nested {
     handle: ThreadHandle,
 }
 
+/// Per-victim misbehaviour scores with exponential decay (fault-injection
+/// resilience): every transient fabric fault observed while talking to a
+/// victim bumps its score; a victim whose decayed score exceeds
+/// [`Worker::BL_THRESHOLD`] is skipped during victim selection until the
+/// score decays back below it.
+pub(crate) struct Blacklist {
+    score: Vec<f64>,
+    /// Timestamp of each score's last update (decay reference point).
+    at: Vec<VTime>,
+}
+
 /// One simulated worker process.
 pub struct Worker {
     me: WorkerId,
@@ -99,7 +110,13 @@ pub struct Worker {
     lay: SegLayout,
     rng: SimRng,
     app: AppCtx,
-    compute_scale: f64,
+    /// Whole-run compute slowdown (profile scale × perturb).
+    base_scale: f64,
+    /// Time-windowed slowdowns affecting this worker: `(from, until, factor)`.
+    slow_windows: Vec<(VTime, VTime, f64)>,
+    /// Per-victim misbehaviour scores (allocated lazily on the first
+    /// observed fabric fault, so healthy runs never touch it).
+    blacklist: Option<Box<Blacklist>>,
     state: WState,
     cur: Option<VThread>,
     pending: Option<PendingOp>,
@@ -125,8 +142,16 @@ impl Worker {
         let strategy = world.rt.cfg.free_strategy;
         let scheme = world.rt.cfg.address_scheme;
         let victim_policy = world.rt.cfg.victim;
-        let compute_scale = world.rt.cfg.profile.compute_scale
+        let base_scale = world.rt.cfg.profile.compute_scale
             * world.rt.cfg.perturb.get(me).copied().unwrap_or(1.0);
+        let slow_windows: Vec<(VTime, VTime, f64)> = world
+            .rt
+            .cfg
+            .slowdowns
+            .iter()
+            .filter(|s| s.worker == me)
+            .map(|s| (s.from, s.until, s.factor))
+            .collect();
         let n = world.rt.cfg.workers;
         let cur = root.map(|(f, arg)| {
             let tid = world.rt.fresh_tid();
@@ -154,7 +179,9 @@ impl Worker {
             lay,
             rng: SimRng::for_worker(seed, me),
             app,
-            compute_scale,
+            base_scale,
+            slow_windows,
+            blacklist: None,
             scheme,
             victim_policy,
             fail_streak: 0,
@@ -230,6 +257,11 @@ impl Worker {
 
     /// Free entry `e` from this worker (it owns the last consume).
     pub(crate) fn free_entry_here(&mut self, world: &mut World, e: ThreadHandle) -> VTime {
+        if !world.rt.watch_check_free(e.entry.to_u64()) {
+            // Double free (watchdog violation recorded): refuse to corrupt
+            // the entry allocator; the aborted attempt costs one local op.
+            return world.m.local_op(self.me);
+        }
         world.rt.stats.note_entry_freed(e.entry.to_u64());
         let owner = e.entry.rank as usize;
         free_entry(
@@ -320,13 +352,26 @@ impl Worker {
         }
     }
 
+    /// Effective compute slowdown at virtual time `now`: the whole-run base
+    /// scale compounded with every slowdown window covering `now`.
+    pub(crate) fn compute_scale_at(&self, now: VTime) -> f64 {
+        let mut s = self.base_scale;
+        for &(from, until, f) in &self.slow_windows {
+            if from <= now && now < until {
+                s *= f;
+            }
+        }
+        s
+    }
+
     /// Run one application step of the current thread, producing an effect.
-    pub(crate) fn advance_cur(&mut self, world: &mut World) -> Effect {
+    pub(crate) fn advance_cur(&mut self, now: VTime, world: &mut World) -> Effect {
+        let scale = self.compute_scale_at(now);
         let th = self.cur.as_mut().expect("advance without current thread");
         let mut ctx = TaskCtx {
             worker: self.me,
             app: &self.app,
-            compute_scale: self.compute_scale,
+            compute_scale: scale,
         };
         let _ = &mut world.m; // world reserved for future instrumentation
         th.advance(&mut ctx)
@@ -339,6 +384,14 @@ impl Actor<World> for Worker {
         debug_assert_eq!(me, self.me);
         if self.halted {
             return Step::Halt;
+        }
+        // Anchor the fault layer's retry clock to this step, then freeze if
+        // this worker sits inside a crash-stop window: it makes no progress
+        // (and issues no verbs) until the window ends.
+        world.m.begin_step(me, now);
+        if let Some(until) = world.m.crashed_until(me, now) {
+            world.rt.watch_crash_sleep(until);
+            return Step::Yield(until.saturating_sub(now).max(VTime::ns(1)));
         }
         match self.state {
             WState::Run => self.step_run(now, world),

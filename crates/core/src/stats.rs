@@ -27,6 +27,9 @@ pub struct RunStats {
     // -- steals ----------------------------------------------------------
     pub steals_ok: u64,
     pub steals_failed: u64,
+    /// Victim draws redrawn because the first choice was blacklisted
+    /// (fault-injection resilience; always 0 in healthy runs).
+    pub blacklist_skips: u64,
     steal_latency_sum: VTime,
     copy_time_sum: VTime,
     stolen_bytes_sum: u64,

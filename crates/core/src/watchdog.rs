@@ -1,0 +1,278 @@
+//! Runtime invariant watchdog.
+//!
+//! Fault injection (see [`dcs_sim::FaultPlan`]) makes the fabric lie:
+//! verbs time out, messages drop or arrive twice, workers freeze. The
+//! runtime's resilience claim is that none of that may ever corrupt the
+//! *computation* — every spawned task runs exactly once, every thread entry
+//! is freed exactly once, and the run keeps making progress. The watchdog
+//! checks those invariants live, from inside the run, and turns violations
+//! into a structured [`WatchdogReport`] instead of a silent wrong answer.
+//!
+//! The checks are observational: a healthy run behaves bit-identically with
+//! the watchdog on or off (it only reads event streams the scheduler already
+//! produces, and never charges virtual time).
+
+use std::collections::HashSet;
+use std::fmt;
+
+use dcs_sim::VTime;
+
+/// One detected invariant violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Threads were spawned that never died: work was lost in flight.
+    TaskLost { live: Vec<u64> },
+    /// A thread id died twice (or died without ever being spawned): a task
+    /// was duplicated, e.g. by a retransmitted grant materializing twice.
+    TaskDuplicated { tid: u64 },
+    /// A thread entry was freed twice.
+    DoubleFree { entry: u64 },
+    /// No global progress event (task death or successful steal) for longer
+    /// than the configured stall limit while workers were still running.
+    Stall { at: VTime, idle_for: VTime },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::TaskLost { live } => {
+                write!(f, "task-lost: {} thread(s) spawned but never died", live.len())?;
+                if let Some(t) = live.first() {
+                    write!(f, " (first tid {t})")?;
+                }
+                Ok(())
+            }
+            Violation::TaskDuplicated { tid } => {
+                write!(f, "task-duplicated: tid {tid} died more than once")
+            }
+            Violation::DoubleFree { entry } => {
+                write!(f, "double-free: entry {entry:#x} freed twice")
+            }
+            Violation::Stall { at, idle_for } => {
+                write!(f, "stall: no progress for {idle_for} (detected at {at})")
+            }
+        }
+    }
+}
+
+/// End-of-run summary of everything the watchdog saw.
+#[derive(Clone, Debug, Default)]
+pub struct WatchdogReport {
+    pub violations: Vec<Violation>,
+    /// Tasks spawned / died while the watchdog was watching.
+    pub spawned: u64,
+    pub died: u64,
+    /// Longest observed gap between consecutive progress events.
+    pub max_gap: VTime,
+}
+
+impl WatchdogReport {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for WatchdogReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            write!(
+                f,
+                "watchdog: clean ({} spawned, {} died, max progress gap {})",
+                self.spawned, self.died, self.max_gap
+            )
+        } else {
+            writeln!(f, "watchdog: {} violation(s):", self.violations.len())?;
+            for v in &self.violations {
+                writeln!(f, "  - {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Cap on recorded violations: enough to diagnose, bounded under a
+/// pathological run.
+const MAX_VIOLATIONS: usize = 64;
+
+/// Live invariant tracker. Created once per run (when enabled) and fed by
+/// cheap hooks in the scheduler; see [`crate::world::RtShared`].
+#[derive(Debug)]
+pub struct Watchdog {
+    stall_limit: VTime,
+    /// Virtual time of the last global progress event.
+    last_progress: VTime,
+    /// Crash-stop windows legitimately pause progress until this time; the
+    /// stall clock must not count frozen workers as a hang.
+    pause_until: VTime,
+    /// A stall is reported at most once per silent period.
+    stall_reported: bool,
+    live: HashSet<u64>,
+    spawned: u64,
+    died: u64,
+    max_gap: VTime,
+    violations: Vec<Violation>,
+}
+
+impl Watchdog {
+    pub fn new(stall_limit: VTime) -> Watchdog {
+        Watchdog {
+            stall_limit,
+            last_progress: VTime::ZERO,
+            pause_until: VTime::ZERO,
+            stall_reported: false,
+            live: HashSet::new(),
+            spawned: 0,
+            died: 0,
+            max_gap: VTime::ZERO,
+            violations: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, v: Violation) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(v);
+        }
+    }
+
+    /// A task (thread) came into existence.
+    pub fn spawn(&mut self, tid: u64) {
+        self.spawned += 1;
+        self.live.insert(tid);
+    }
+
+    /// A task completed at `now`. Dying twice means the task was duplicated
+    /// somewhere between spawn and death.
+    pub fn death(&mut self, tid: u64, now: VTime) {
+        self.died += 1;
+        if !self.live.remove(&tid) {
+            self.record(Violation::TaskDuplicated { tid });
+        }
+        self.progress(now);
+    }
+
+    /// Any global progress event (death, successful steal): reset the stall
+    /// clock.
+    pub fn progress(&mut self, now: VTime) {
+        let since = self.last_progress.max(self.pause_until);
+        self.max_gap = self.max_gap.max(now.saturating_sub(since));
+        self.last_progress = self.last_progress.max(now);
+        self.stall_reported = false;
+    }
+
+    /// A worker legitimately sleeps through a crash window ending at
+    /// `until`: silence up to there is not a stall.
+    pub fn crash_sleep(&mut self, until: VTime) {
+        self.pause_until = self.pause_until.max(until);
+    }
+
+    /// An entry free about to happen; `present` says whether the entry's
+    /// metadata still exists. Returns true when the free may proceed.
+    pub fn check_free(&mut self, entry: u64, present: bool) -> bool {
+        if !present {
+            self.record(Violation::DoubleFree { entry });
+        }
+        present
+    }
+
+    /// Idle-loop poll: has the run gone silent for longer than the limit?
+    pub fn check_stall(&mut self, now: VTime) {
+        if self.stall_reported {
+            return;
+        }
+        let since = self.last_progress.max(self.pause_until);
+        let gap = now.saturating_sub(since);
+        self.max_gap = self.max_gap.max(gap);
+        if gap > self.stall_limit {
+            self.stall_reported = true;
+            self.record(Violation::Stall { at: now, idle_for: gap });
+        }
+    }
+
+    /// Close out the run: any still-live tid is a lost task.
+    pub fn finish(mut self) -> WatchdogReport {
+        if !self.live.is_empty() {
+            let mut live: Vec<u64> = self.live.iter().copied().collect();
+            live.sort_unstable();
+            live.truncate(16);
+            self.record(Violation::TaskLost { live });
+        }
+        WatchdogReport {
+            violations: self.violations,
+            spawned: self.spawned,
+            died: self.died,
+            max_gap: self.max_gap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_run_reports_clean() {
+        let mut w = Watchdog::new(VTime::ms(1));
+        w.spawn(1);
+        w.spawn(2);
+        w.death(2, VTime::us(10));
+        w.death(1, VTime::us(20));
+        let r = w.finish();
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.spawned, 2);
+        assert_eq!(r.died, 2);
+        assert_eq!(r.max_gap, VTime::us(10));
+    }
+
+    #[test]
+    fn lost_task_detected_at_finish() {
+        let mut w = Watchdog::new(VTime::ms(1));
+        w.spawn(7);
+        let r = w.finish();
+        assert_eq!(r.violations, vec![Violation::TaskLost { live: vec![7] }]);
+    }
+
+    #[test]
+    fn duplicate_death_detected() {
+        let mut w = Watchdog::new(VTime::ms(1));
+        w.spawn(3);
+        w.death(3, VTime::us(1));
+        w.death(3, VTime::us(2));
+        let r = w.finish();
+        assert_eq!(r.violations, vec![Violation::TaskDuplicated { tid: 3 }]);
+    }
+
+    #[test]
+    fn double_free_detected_and_blocked() {
+        let mut w = Watchdog::new(VTime::ms(1));
+        assert!(w.check_free(0xBEEF, true));
+        assert!(!w.check_free(0xBEEF, false));
+        let r = w.finish();
+        assert_eq!(r.violations, vec![Violation::DoubleFree { entry: 0xBEEF }]);
+    }
+
+    #[test]
+    fn stall_detected_once_and_reset_by_progress() {
+        let mut w = Watchdog::new(VTime::us(100));
+        w.progress(VTime::us(10));
+        w.check_stall(VTime::us(50)); // within limit
+        w.check_stall(VTime::us(200)); // 190us silent > 100us
+        w.check_stall(VTime::us(300)); // still the same silent period
+        w.progress(VTime::us(310));
+        w.check_stall(VTime::us(350)); // fresh period, within limit
+        let r = w.finish();
+        assert_eq!(r.violations.len(), 1);
+        assert!(matches!(r.violations[0], Violation::Stall { .. }));
+        // Longest silent period: progress at 10us, next progress at 310us.
+        assert_eq!(r.max_gap, VTime::us(300));
+    }
+
+    #[test]
+    fn crash_sleep_pauses_the_stall_clock() {
+        let mut w = Watchdog::new(VTime::us(100));
+        w.progress(VTime::us(10));
+        w.crash_sleep(VTime::ms(1)); // frozen until 1ms
+        w.check_stall(VTime::us(900)); // silence excused by the crash window
+        let r = w.finish();
+        assert!(r.is_clean(), "{r}");
+    }
+}

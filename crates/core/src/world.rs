@@ -17,6 +17,7 @@ use crate::remote_free::RemoteRegistry;
 use crate::stats::RunStats;
 use crate::util::{Slab, U64Map};
 use crate::value::{ThreadHandle, Value};
+use crate::watchdog::{Watchdog, WatchdogReport};
 
 /// Base wire size of a child-stealing task descriptor: function pointer,
 /// thread-entry handle and queue-record header. With a typical 9-byte scalar
@@ -142,12 +143,18 @@ pub struct RtShared {
     pub next_tid: u64,
     /// The root task's return value, set when it dies.
     pub result: Option<Value>,
+    /// Invariant watchdog; allocated only when the run asks for it (or runs
+    /// with active fault injection), so healthy runs pay nothing.
+    pub watch: Option<Box<Watchdog>>,
 }
 
 impl RtShared {
     pub fn new(cfg: RunConfig) -> RtShared {
         let per = (0..cfg.workers).map(|_| WorkerShared::new(&cfg)).collect();
         let series = cfg.trace == crate::policy::TraceLevel::Series;
+        let watch = cfg
+            .watchdog_enabled()
+            .then(|| Box::new(Watchdog::new(cfg.stall_limit)));
         RtShared {
             cfg,
             retvals: U64Map::default(),
@@ -157,13 +164,63 @@ impl RtShared {
             iso: IsoAlloc::new(),
             next_tid: 0,
             result: None,
+            watch,
         }
     }
 
     pub fn fresh_tid(&mut self) -> u64 {
         self.next_tid += 1;
         self.stats.threads_spawned += 1;
+        if let Some(w) = &mut self.watch {
+            w.spawn(self.next_tid);
+        }
         self.next_tid
+    }
+
+    // -- watchdog hooks (all no-ops when the watchdog is off) --------------
+
+    /// A thread completed at `now`.
+    pub fn watch_death(&mut self, tid: u64, now: VTime) {
+        if let Some(w) = &mut self.watch {
+            w.death(tid, now);
+        }
+    }
+
+    /// A non-death progress event (e.g. a successful steal).
+    pub fn watch_progress(&mut self, now: VTime) {
+        if let Some(w) = &mut self.watch {
+            w.progress(now);
+        }
+    }
+
+    /// A worker sleeps through a crash-stop window ending at `until`.
+    pub fn watch_crash_sleep(&mut self, until: VTime) {
+        if let Some(w) = &mut self.watch {
+            w.crash_sleep(until);
+        }
+    }
+
+    /// Idle-loop stall poll.
+    pub fn watch_stall(&mut self, now: VTime) {
+        if let Some(w) = &mut self.watch {
+            w.check_stall(now);
+        }
+    }
+
+    /// Gate an entry free: records a double free (and vetoes the free) when
+    /// the entry's metadata is already gone. Without a watchdog the free
+    /// proceeds unconditionally (strict runs catch corruption via asserts).
+    pub fn watch_check_free(&mut self, entry: u64) -> bool {
+        let present = self.meta.contains_key(&entry);
+        match &mut self.watch {
+            Some(w) => w.check_free(entry, present),
+            None => true,
+        }
+    }
+
+    /// Detach and close the watchdog (end of run).
+    pub fn watch_finish(&mut self) -> Option<WatchdogReport> {
+        self.watch.take().map(|w| w.finish())
     }
 
     /// Split-borrow two distinct workers' shared state.

@@ -1,0 +1,530 @@
+//! Deterministic fault injection for the simulated fabric.
+//!
+//! Real RDMA clusters see transient verb timeouts, lost and duplicated
+//! messages, degraded NICs, and nodes that stop responding for a while. The
+//! runtimes must stay *correct* under all of that and degrade gracefully in
+//! *throughput*. This module injects exactly those faults, deterministically:
+//! a [`FaultPlan`] carries its own seed, every worker draws from its own
+//! fault stream (independent of the scheduler's victim-selection streams),
+//! and all fault overheads are charged to virtual time, so a `(plan, seed)`
+//! pair always reproduces the same run.
+//!
+//! Zero-cost when disabled: [`Machine`](crate::Machine) holds
+//! `Option<FaultState>`; with [`FaultPlan::none()`] no RNG is ever drawn and
+//! no cost is altered, so runs are bit-identical to a build without the
+//! fault layer.
+//!
+//! Fault semantics:
+//!
+//! * **Transient verb failure** (`verb_fail_p`): each remote verb attempt
+//!   independently fails with this probability. The issuer detects the
+//!   failure after a timeout (a multiple of the verb's nominal latency),
+//!   backs off exponentially with jitter, and re-issues. Verbs never give
+//!   up — the memory effect is applied exactly once — so protocols stay
+//!   correct by construction while retries show up in time and counters.
+//! * **Crash-stop windows** (`crash`): worker `w` is unresponsive during
+//!   `[from, until)`. Its own steps freeze (consumers poll
+//!   [`Machine::crashed_until`](crate::Machine::crashed_until)) and verbs
+//!   targeting it time out until the issuer's retry clock passes the window
+//!   end. State is preserved — this models a hung process, not data loss.
+//! * **Degraded-NIC windows** (`degrade`): the network component of any verb
+//!   touching worker `w` during `[from, until)` is scaled by `factor`.
+//! * **Message drop / duplication** (`msg_drop_p` / `msg_dup_p`): two-sided
+//!   control messages are lost or delivered twice. Callers declare whether a
+//!   message is droppable — task-carrying messages model a reliable bulk
+//!   channel and are only ever duplicated, never dropped, so no work is
+//!   destroyed by the network itself.
+
+use crate::rng::SimRng;
+use crate::time::VTime;
+use crate::WorkerId;
+
+/// A failed verb attempt is detected after this multiple of the verb's
+/// nominal (possibly degraded) latency — models a completion-queue timeout.
+pub const TIMEOUT_FACTOR: u64 = 8;
+/// Exponential backoff doubles up to this many times (then stays capped).
+pub const BACKOFF_CAP_EXP: u32 = 6;
+
+/// A per-worker time window during which remote operations touching the
+/// worker run `factor`× slower (degraded NIC / congested link).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegradeWindow {
+    pub worker: WorkerId,
+    pub from: VTime,
+    pub until: VTime,
+    pub factor: f64,
+}
+
+/// A per-worker time window during which the worker is unresponsive
+/// (crash-stop that recovers at `until`; state is preserved).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashWindow {
+    pub worker: WorkerId,
+    pub from: VTime,
+    pub until: VTime,
+}
+
+/// Declarative description of every fault the fabric will inject.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Per-attempt probability that a remote verb fails and must be retried.
+    pub verb_fail_p: f64,
+    /// Probability that a droppable (control) message is lost.
+    pub msg_drop_p: f64,
+    /// Probability that a message is delivered twice.
+    pub msg_dup_p: f64,
+    pub degrade: Vec<DegradeWindow>,
+    pub crash: Vec<CrashWindow>,
+    /// Seed of the fault RNG streams (independent of the run seed).
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: the fault layer is compiled out of the run entirely.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            verb_fail_p: 0.0,
+            msg_drop_p: 0.0,
+            msg_dup_p: 0.0,
+            degrade: Vec::new(),
+            crash: Vec::new(),
+            seed: 0,
+        }
+    }
+
+    /// Uniform transient-fault plan: verb failures at `p`, message drops at
+    /// `p`, duplications at `p/2`. The shape used by the `ablate_faults`
+    /// sweep.
+    pub fn transient(p: f64, seed: u64) -> FaultPlan {
+        FaultPlan {
+            verb_fail_p: p,
+            msg_drop_p: p,
+            msg_dup_p: p / 2.0,
+            degrade: Vec::new(),
+            crash: Vec::new(),
+            seed,
+        }
+    }
+
+    /// True when any fault can ever fire; `false` guarantees the plan costs
+    /// nothing at runtime.
+    pub fn is_active(&self) -> bool {
+        self.verb_fail_p > 0.0
+            || self.msg_drop_p > 0.0
+            || self.msg_dup_p > 0.0
+            || !self.degrade.is_empty()
+            || !self.crash.is_empty()
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> FaultPlan {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_degrade(mut self, w: DegradeWindow) -> FaultPlan {
+        self.degrade.push(w);
+        self
+    }
+
+    pub fn with_crash(mut self, w: CrashWindow) -> FaultPlan {
+        self.crash.push(w);
+        self
+    }
+
+    /// Parse the CLI spec grammar, a comma-separated list of clauses:
+    ///
+    /// ```text
+    /// verb=P              transient verb failure probability
+    /// drop=P              control-message drop probability
+    /// dup=P               message duplication probability
+    /// degrade=W@A..B*F    worker W's NIC runs F× slower in [A, B)
+    /// crash=W@A..B        worker W is unresponsive in [A, B)
+    /// ```
+    ///
+    /// Times accept `ns`/`us`/`ms`/`s` suffixes (default ns):
+    /// `verb=0.01,drop=0.02,degrade=3@2ms..9ms*4,crash=1@1ms..3ms`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        for clause in spec.split(',').filter(|c| !c.is_empty()) {
+            let (key, val) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause `{clause}` is not key=value"))?;
+            match key {
+                "verb" => plan.verb_fail_p = parse_prob(val)?,
+                "drop" => plan.msg_drop_p = parse_prob(val)?,
+                "dup" => plan.msg_dup_p = parse_prob(val)?,
+                "degrade" => {
+                    let (worker, rest) = parse_worker_at(val)?;
+                    let (range, factor) = rest
+                        .split_once('*')
+                        .ok_or_else(|| format!("degrade `{val}` missing `*factor`"))?;
+                    let (from, until) = parse_range(range)?;
+                    let factor: f64 = factor
+                        .parse()
+                        .map_err(|_| format!("bad degrade factor `{factor}`"))?;
+                    if factor < 1.0 {
+                        return Err(format!("degrade factor {factor} must be ≥ 1"));
+                    }
+                    plan.degrade.push(DegradeWindow {
+                        worker,
+                        from,
+                        until,
+                        factor,
+                    });
+                }
+                "crash" => {
+                    let (worker, range) = parse_worker_at(val)?;
+                    let (from, until) = parse_range(range)?;
+                    plan.crash.push(CrashWindow {
+                        worker,
+                        from,
+                        until,
+                    });
+                }
+                _ => return Err(format!("unknown fault clause `{key}`")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_prob(s: &str) -> Result<f64, String> {
+    let p: f64 = s.parse().map_err(|_| format!("bad probability `{s}`"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("probability {p} outside [0, 1]"));
+    }
+    Ok(p)
+}
+
+fn parse_worker_at(s: &str) -> Result<(WorkerId, &str), String> {
+    let (w, rest) = s
+        .split_once('@')
+        .ok_or_else(|| format!("window `{s}` missing `worker@`"))?;
+    let worker: WorkerId = w.parse().map_err(|_| format!("bad worker id `{w}`"))?;
+    Ok((worker, rest))
+}
+
+fn parse_range(s: &str) -> Result<(VTime, VTime), String> {
+    let (a, b) = s
+        .split_once("..")
+        .ok_or_else(|| format!("window `{s}` missing `start..end`"))?;
+    let from = parse_vtime(a)?;
+    let until = parse_vtime(b)?;
+    if until <= from {
+        return Err(format!("window `{s}` is empty or inverted"));
+    }
+    Ok((from, until))
+}
+
+/// Parse `123`, `5us`, `2ms`, `1s` (bare numbers are nanoseconds).
+pub fn parse_vtime(s: &str) -> Result<VTime, String> {
+    let (num, mult) = if let Some(n) = s.strip_suffix("ns") {
+        (n, 1u64)
+    } else if let Some(n) = s.strip_suffix("us") {
+        (n, 1_000)
+    } else if let Some(n) = s.strip_suffix("ms") {
+        (n, 1_000_000)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1_000_000_000)
+    } else {
+        (s, 1)
+    };
+    let v: u64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad time `{s}` (expect e.g. 500us, 2ms)"))?;
+    Ok(VTime::ns(v * mult))
+}
+
+/// What the fabric does with one two-sided message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgFate {
+    /// Delivered once, normally.
+    Deliver,
+    /// Lost in flight; the sender still paid the injection cost.
+    Drop,
+    /// Delivered twice (the duplicate arrives one extra latency later).
+    Duplicate,
+}
+
+/// Live fault-injection state inside [`Machine`](crate::Machine). Exists only
+/// when the plan is active.
+pub struct FaultState {
+    plan: FaultPlan,
+    /// Per-worker fault streams, independent of scheduler RNG.
+    rng: Vec<SimRng>,
+    /// Virtual clock of each worker at the top of its current step; verbs
+    /// evaluate time windows at `step_now + accumulated retry cost`.
+    step_now: Vec<VTime>,
+    /// Failed attempts since last [`take_faults`](FaultState::take_faults)
+    /// poll, per worker — feeds the schedulers' victim blacklists.
+    recent: Vec<u64>,
+}
+
+impl FaultState {
+    pub fn new(plan: FaultPlan, workers: usize) -> FaultState {
+        let rng = (0..workers)
+            // Decorrelate from scheduler streams (different domain constant).
+            .map(|w| SimRng::for_worker(plan.seed ^ 0xFA01_7A11_u64, w))
+            .collect();
+        FaultState {
+            plan,
+            rng,
+            step_now: vec![VTime::ZERO; workers],
+            recent: vec![0; workers],
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    #[inline]
+    pub fn begin_step(&mut self, me: WorkerId, now: VTime) {
+        self.step_now[me] = now;
+    }
+
+    pub fn take_faults(&mut self, me: WorkerId) -> u64 {
+        std::mem::take(&mut self.recent[me])
+    }
+
+    /// End of a crash window covering `worker` at `at`, if any.
+    pub fn crashed_until(&self, worker: WorkerId, at: VTime) -> Option<VTime> {
+        self.plan
+            .crash
+            .iter()
+            .filter(|c| c.worker == worker && c.from <= at && at < c.until)
+            .map(|c| c.until)
+            .max()
+    }
+
+    /// Largest degrade factor covering either endpoint at `at` (1.0 = none).
+    fn degrade_factor(&self, a: WorkerId, b: WorkerId, at: VTime) -> f64 {
+        self.plan
+            .degrade
+            .iter()
+            .filter(|d| (d.worker == a || d.worker == b) && d.from <= at && at < d.until)
+            .map(|d| d.factor)
+            .fold(1.0, f64::max)
+    }
+
+    /// Charge one remote verb issued by `me` against `peer` with nominal
+    /// cost `base`: retries through transient failures and crash windows
+    /// until the attempt lands, returning the total elapsed cost. Bumps
+    /// `retries`/`timeouts` counters through the returned struct.
+    pub fn charge_verb(
+        &mut self,
+        me: WorkerId,
+        peer: WorkerId,
+        base: VTime,
+        retries: &mut u64,
+        timeouts: &mut u64,
+    ) -> VTime {
+        let mut acc = VTime::ZERO;
+        let mut attempt: u32 = 0;
+        loop {
+            let at = self.step_now[me] + acc;
+            let factor = self.degrade_factor(me, peer, at);
+            let scaled = if factor > 1.0 { base.scale(factor) } else { base };
+            // An unresponsive peer looks exactly like a lost completion: the
+            // issuer times out and retries; the accumulated backoff is what
+            // eventually carries the retry clock past the window end.
+            let crashed = self.crashed_until(peer, at).is_some();
+            let transient = !crashed
+                && self.plan.verb_fail_p > 0.0
+                && self.rng[me].unit_f64() < self.plan.verb_fail_p;
+            if !crashed && !transient {
+                return acc + scaled;
+            }
+            if crashed {
+                *timeouts += 1;
+            } else {
+                *retries += 1;
+            }
+            self.recent[me] += 1;
+            acc += scaled * TIMEOUT_FACTOR + self.backoff(me, scaled, attempt);
+            attempt += 1;
+        }
+    }
+
+    /// Exponential backoff with jitter: `scaled × 2^min(attempt, cap)` plus
+    /// a uniform jitter in `[0, backoff/2)` to break retry synchronization.
+    fn backoff(&mut self, me: WorkerId, scaled: VTime, attempt: u32) -> VTime {
+        let exp = attempt.min(BACKOFF_CAP_EXP);
+        let b = scaled * (1u64 << exp);
+        let jitter = if b > VTime::ZERO {
+            VTime::ns(self.rng[me].below(b.as_ns() / 2 + 1))
+        } else {
+            VTime::ZERO
+        };
+        b + jitter
+    }
+
+    /// Decide the fate of one two-sided message sent by `me`. Task-carrying
+    /// messages pass `droppable = false` (reliable channel: duplication
+    /// possible, loss not).
+    pub fn msg_fate(&mut self, me: WorkerId, droppable: bool) -> MsgFate {
+        if droppable && self.plan.msg_drop_p > 0.0 && self.rng[me].unit_f64() < self.plan.msg_drop_p
+        {
+            return MsgFate::Drop;
+        }
+        if self.plan.msg_dup_p > 0.0 && self.rng[me].unit_f64() < self.plan.msg_dup_p {
+            return MsgFate::Duplicate;
+        }
+        MsgFate::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive_and_default() {
+        assert!(!FaultPlan::none().is_active());
+        assert_eq!(FaultPlan::default(), FaultPlan::none());
+        assert!(FaultPlan::transient(0.01, 1).is_active());
+        assert!(!FaultPlan::transient(0.0, 1).is_active());
+    }
+
+    #[test]
+    fn parse_full_spec() {
+        let p = FaultPlan::parse("verb=0.01,drop=0.02,dup=0.005,degrade=3@2ms..9ms*4,crash=1@1ms..3ms")
+            .unwrap();
+        assert_eq!(p.verb_fail_p, 0.01);
+        assert_eq!(p.msg_drop_p, 0.02);
+        assert_eq!(p.msg_dup_p, 0.005);
+        assert_eq!(
+            p.degrade,
+            vec![DegradeWindow {
+                worker: 3,
+                from: VTime::ms(2),
+                until: VTime::ms(9),
+                factor: 4.0
+            }]
+        );
+        assert_eq!(
+            p.crash,
+            vec![CrashWindow {
+                worker: 1,
+                from: VTime::ms(1),
+                until: VTime::ms(3)
+            }]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("verb=1.5").is_err());
+        assert!(FaultPlan::parse("nope=1").is_err());
+        assert!(FaultPlan::parse("crash=1@5ms..2ms").is_err());
+        assert!(FaultPlan::parse("degrade=0@1ms..2ms").is_err()); // missing factor
+        assert!(FaultPlan::parse("crash=x@1ms..2ms").is_err());
+        assert!(FaultPlan::parse("").map(|p| !p.is_active()).unwrap());
+    }
+
+    #[test]
+    fn parse_vtime_units() {
+        assert_eq!(parse_vtime("123").unwrap(), VTime::ns(123));
+        assert_eq!(parse_vtime("5us").unwrap(), VTime::us(5));
+        assert_eq!(parse_vtime("2ms").unwrap(), VTime::ms(2));
+        assert_eq!(parse_vtime("1s").unwrap(), VTime::secs(1));
+        assert!(parse_vtime("1.5ms").is_err());
+    }
+
+    #[test]
+    fn charge_verb_clean_is_base() {
+        let mut fs = FaultState::new(FaultPlan::none().with_seed(1), 2);
+        let (mut r, mut t) = (0, 0);
+        let c = fs.charge_verb(0, 1, VTime::us(2), &mut r, &mut t);
+        assert_eq!(c, VTime::us(2));
+        assert_eq!((r, t), (0, 0));
+    }
+
+    #[test]
+    fn transient_failures_retry_and_count() {
+        let mut plan = FaultPlan::none();
+        plan.verb_fail_p = 0.5;
+        plan.seed = 42;
+        let mut fs = FaultState::new(plan, 2);
+        let (mut r, mut t) = (0, 0);
+        let mut total = VTime::ZERO;
+        for _ in 0..200 {
+            total += fs.charge_verb(0, 1, VTime::us(2), &mut r, &mut t);
+        }
+        assert!(r > 50, "p=0.5 over 200 verbs must retry many times, got {r}");
+        assert_eq!(t, 0);
+        assert!(total > VTime::us(2) * 200);
+        assert_eq!(fs.take_faults(0), r);
+        assert_eq!(fs.take_faults(0), 0, "take_faults clears");
+    }
+
+    #[test]
+    fn crash_window_times_out_until_recovery() {
+        let plan = FaultPlan::none().with_crash(CrashWindow {
+            worker: 1,
+            from: VTime::ZERO,
+            until: VTime::ms(1),
+        });
+        let mut fs = FaultState::new(plan, 2);
+        fs.begin_step(0, VTime::ZERO);
+        let (mut r, mut t) = (0, 0);
+        let c = fs.charge_verb(0, 1, VTime::us(2), &mut r, &mut t);
+        // The verb can only land once the retry clock passes the window end.
+        assert!(c >= VTime::ms(1));
+        assert!(t >= 1);
+        assert_eq!(r, 0);
+        // After recovery the same verb is clean again.
+        fs.begin_step(0, VTime::ms(2));
+        let c2 = fs.charge_verb(0, 1, VTime::us(2), &mut r, &mut t);
+        assert_eq!(c2, VTime::us(2));
+    }
+
+    #[test]
+    fn degrade_window_scales_cost() {
+        let plan = FaultPlan::none().with_degrade(DegradeWindow {
+            worker: 1,
+            from: VTime::ZERO,
+            until: VTime::ms(1),
+            factor: 4.0,
+        });
+        let mut fs = FaultState::new(plan, 2);
+        fs.begin_step(0, VTime::ZERO);
+        let (mut r, mut t) = (0, 0);
+        assert_eq!(
+            fs.charge_verb(0, 1, VTime::us(2), &mut r, &mut t),
+            VTime::us(8)
+        );
+        // Outside the window: nominal. Untouched pair: nominal.
+        fs.begin_step(0, VTime::ms(5));
+        assert_eq!(
+            fs.charge_verb(0, 1, VTime::us(2), &mut r, &mut t),
+            VTime::us(2)
+        );
+        assert_eq!((r, t), (0, 0), "degradation slows but never fails verbs");
+    }
+
+    #[test]
+    fn msg_fates_deterministic_and_distributed() {
+        let mut plan = FaultPlan::none();
+        plan.msg_drop_p = 0.3;
+        plan.msg_dup_p = 0.3;
+        plan.seed = 7;
+        let mut a = FaultState::new(plan.clone(), 1);
+        let mut b = FaultState::new(plan, 1);
+        let fates_a: Vec<_> = (0..100).map(|_| a.msg_fate(0, true)).collect();
+        let fates_b: Vec<_> = (0..100).map(|_| b.msg_fate(0, true)).collect();
+        assert_eq!(fates_a, fates_b);
+        assert!(fates_a.contains(&MsgFate::Drop));
+        assert!(fates_a.contains(&MsgFate::Duplicate));
+        assert!(fates_a.contains(&MsgFate::Deliver));
+        // Non-droppable messages are never dropped.
+        assert!((0..200).all(|_| a.msg_fate(0, false) != MsgFate::Drop));
+    }
+}

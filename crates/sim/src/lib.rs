@@ -26,6 +26,7 @@
 //! operation stays linearizable.
 
 pub mod engine;
+pub mod fault;
 pub mod latency;
 pub mod machine;
 pub mod mailbox;
@@ -35,6 +36,7 @@ pub mod time;
 pub mod topology;
 
 pub use engine::{Actor, Engine, Step};
+pub use fault::{CrashWindow, DegradeWindow, FaultPlan, MsgFate};
 pub use latency::{profiles, LatencyModel, MachineProfile};
 pub use machine::{FabricStats, Machine, MachineConfig};
 pub use mailbox::Mailbox;

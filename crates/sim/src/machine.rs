@@ -8,6 +8,7 @@
 //! runtime in the paper distinguishes local deque operations from remote
 //! steals.
 
+use crate::fault::{FaultPlan, FaultState, MsgFate};
 use crate::latency::{LatencyModel, MachineProfile};
 use crate::mem::{GlobalAddr, Segment};
 use crate::time::VTime;
@@ -26,6 +27,9 @@ pub struct MachineConfig {
     pub seg_reserved: u32,
     /// Network topology (distance-scaled remote latencies).
     pub topology: Topology,
+    /// Fault-injection plan; [`FaultPlan::none()`] disables the layer
+    /// entirely (no RNG draws, no cost changes).
+    pub faults: FaultPlan,
 }
 
 impl MachineConfig {
@@ -36,6 +40,7 @@ impl MachineConfig {
             seg_bytes: 8 << 20,
             seg_reserved: 0,
             topology: Topology::Flat,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -53,6 +58,11 @@ impl MachineConfig {
         self.topology = t;
         self
     }
+
+    pub fn with_faults(mut self, plan: FaultPlan) -> MachineConfig {
+        self.faults = plan;
+        self
+    }
 }
 
 /// Per-worker fabric operation counters (ops and bytes, split local/remote).
@@ -66,6 +76,10 @@ pub struct FabricStats {
     pub bytes_put: u64,
     pub messages_sent: u64,
     pub messages_handled: u64,
+    /// Remote verb attempts re-issued after a transient failure.
+    pub retries: u64,
+    /// Remote verb attempts that timed out against an unresponsive peer.
+    pub timeouts: u64,
 }
 
 impl FabricStats {
@@ -74,14 +88,30 @@ impl FabricStats {
     }
 
     pub fn merge(&mut self, o: &FabricStats) {
-        self.remote_gets += o.remote_gets;
-        self.remote_puts += o.remote_puts;
-        self.remote_amos += o.remote_amos;
-        self.local_ops += o.local_ops;
-        self.bytes_got += o.bytes_got;
-        self.bytes_put += o.bytes_put;
-        self.messages_sent += o.messages_sent;
-        self.messages_handled += o.messages_handled;
+        // Destructured so adding a field without summing it here is a
+        // compile error, not a silently wrong merge.
+        let FabricStats {
+            remote_gets,
+            remote_puts,
+            remote_amos,
+            local_ops,
+            bytes_got,
+            bytes_put,
+            messages_sent,
+            messages_handled,
+            retries,
+            timeouts,
+        } = *o;
+        self.remote_gets += remote_gets;
+        self.remote_puts += remote_puts;
+        self.remote_amos += remote_amos;
+        self.local_ops += local_ops;
+        self.bytes_got += bytes_got;
+        self.bytes_put += bytes_put;
+        self.messages_sent += messages_sent;
+        self.messages_handled += messages_handled;
+        self.retries += retries;
+        self.timeouts += timeouts;
     }
 }
 
@@ -90,6 +120,9 @@ pub struct Machine {
     pub cfg: MachineConfig,
     segments: Vec<Segment>,
     stats: Vec<FabricStats>,
+    /// Fault-injection state; `None` when the plan is inactive, which makes
+    /// the fault layer literally free (one branch per verb).
+    faults: Option<Box<FaultState>>,
     /// Global termination flag. In a real deployment this is a tiny
     /// RDMA-broadcast epoch counter; idle loops poll it at local cost.
     done: bool,
@@ -101,10 +134,15 @@ impl Machine {
             .map(|_| Segment::new(cfg.seg_bytes, cfg.seg_reserved))
             .collect();
         let stats = vec![FabricStats::default(); cfg.workers];
+        let faults = cfg
+            .faults
+            .is_active()
+            .then(|| Box::new(FaultState::new(cfg.faults.clone(), cfg.workers)));
         Machine {
             cfg,
             segments,
             stats,
+            faults,
             done: false,
         }
     }
@@ -142,6 +180,65 @@ impl Machine {
         &self.cfg.topology
     }
 
+    /// Run a remote verb's nominal cost through the fault layer: retries,
+    /// backoff, crash-window timeouts, and degraded-NIC scaling. Identity
+    /// when faults are disabled.
+    #[inline]
+    fn fault_cost(&mut self, me: WorkerId, peer: WorkerId, base: VTime) -> VTime {
+        match self.faults.as_mut() {
+            None => base,
+            Some(fs) => {
+                let s = &mut self.stats[me];
+                fs.charge_verb(me, peer, base, &mut s.retries, &mut s.timeouts)
+            }
+        }
+    }
+
+    /// Record the issuing worker's clock at the top of its step so fault
+    /// windows (crash, degraded NIC) are evaluated against the right virtual
+    /// instant. No-op when faults are disabled.
+    #[inline]
+    pub fn begin_step(&mut self, me: WorkerId, now: VTime) {
+        if let Some(fs) = self.faults.as_mut() {
+            fs.begin_step(me, now);
+        }
+    }
+
+    /// True when a fault plan is loaded.
+    #[inline]
+    pub fn faults_active(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The loaded fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| f.plan())
+    }
+
+    /// Failed verb attempts by `me` since the last poll (feeds victim
+    /// blacklists); always 0 when faults are disabled.
+    pub fn take_faults(&mut self, me: WorkerId) -> u64 {
+        self.faults.as_mut().map_or(0, |fs| fs.take_faults(me))
+    }
+
+    /// End of a crash window covering `worker` at `now`, if it is currently
+    /// crash-stopped. Actors poll this for *themselves* at the top of a step
+    /// and sleep until recovery.
+    pub fn crashed_until(&self, worker: WorkerId, now: VTime) -> Option<VTime> {
+        self.faults
+            .as_ref()
+            .and_then(|fs| fs.crashed_until(worker, now))
+    }
+
+    /// Decide the fabric fate of one two-sided message sent by `me`.
+    /// Task-carrying messages must pass `droppable = false` (reliable
+    /// channel: never dropped, possibly duplicated).
+    pub fn msg_fate(&mut self, me: WorkerId, droppable: bool) -> MsgFate {
+        self.faults
+            .as_mut()
+            .map_or(MsgFate::Deliver, |fs| fs.msg_fate(me, droppable))
+    }
+
     /// `get v ← L` of the paper's pseudocode: one-sided small read.
     pub fn get_u64(&mut self, me: WorkerId, addr: GlobalAddr) -> (u64, VTime) {
         let v = self.segments[addr.rank as usize].read(addr.off);
@@ -151,7 +248,8 @@ impl Machine {
         } else {
             self.stats[me].remote_gets += 1;
             self.stats[me].bytes_got += 8;
-            self.dist(me, addr.rank as usize, self.lat().rdma_get)
+            let base = self.dist(me, addr.rank as usize, self.lat().rdma_get);
+            self.fault_cost(me, addr.rank as usize, base)
         };
         (v, cost)
     }
@@ -165,7 +263,8 @@ impl Machine {
         } else {
             self.stats[me].remote_puts += 1;
             self.stats[me].bytes_put += 8;
-            self.dist(me, addr.rank as usize, self.lat().rdma_put)
+            let base = self.dist(me, addr.rank as usize, self.lat().rdma_put);
+            self.fault_cost(me, addr.rank as usize, base)
         }
     }
 
@@ -180,7 +279,11 @@ impl Machine {
         } else {
             self.stats[me].remote_puts += 1;
             self.stats[me].bytes_put += 8;
-            self.lat().put_nb()
+            // Non-blocking puts still go through the reliable retransmitting
+            // channel: a lost free-bit would leak memory forever, so the NIC
+            // retries; the issuer is charged the (rare) extra injections.
+            let base = self.lat().put_nb();
+            self.fault_cost(me, addr.rank as usize, base)
         }
     }
 
@@ -193,7 +296,8 @@ impl Machine {
             self.lat().local()
         } else {
             self.stats[me].remote_amos += 1;
-            self.dist(me, addr.rank as usize, self.lat().rdma_amo)
+            let base = self.dist(me, addr.rank as usize, self.lat().rdma_amo);
+            self.fault_cost(me, addr.rank as usize, base)
         };
         (v, cost)
     }
@@ -212,7 +316,8 @@ impl Machine {
             self.lat().local()
         } else {
             self.stats[me].remote_amos += 1;
-            self.dist(me, addr.rank as usize, self.lat().rdma_amo)
+            let base = self.dist(me, addr.rank as usize, self.lat().rdma_amo);
+            self.fault_cost(me, addr.rank as usize, base)
         };
         (v, cost)
     }
@@ -228,7 +333,8 @@ impl Machine {
         } else {
             self.stats[me].remote_gets += 1;
             self.stats[me].bytes_got += len as u64;
-            self.dist(me, from, self.lat().rdma_get) + self.lat().payload(len)
+            let base = self.dist(me, from, self.lat().rdma_get) + self.lat().payload(len);
+            self.fault_cost(me, from, base)
         }
     }
 
@@ -240,7 +346,8 @@ impl Machine {
         } else {
             self.stats[me].remote_puts += 1;
             self.stats[me].bytes_put += len as u64;
-            self.dist(me, to, self.lat().rdma_put) + self.lat().payload(len)
+            let base = self.dist(me, to, self.lat().rdma_put) + self.lat().payload(len);
+            self.fault_cost(me, to, base)
         }
     }
 
@@ -347,6 +454,48 @@ mod tests {
 
     fn machine(n: usize) -> Machine {
         Machine::new(MachineConfig::new(n, profiles::itoa()).with_seg_bytes(1 << 16))
+    }
+
+    #[test]
+    fn fabric_stats_merge_sums_every_field() {
+        // Exhaustive literals: adding a FabricStats field breaks this test
+        // at compile time until the merge (and this check) cover it.
+        let mut a = FabricStats {
+            remote_gets: 1,
+            remote_puts: 2,
+            remote_amos: 3,
+            local_ops: 4,
+            bytes_got: 5,
+            bytes_put: 6,
+            messages_sent: 7,
+            messages_handled: 8,
+            retries: 9,
+            timeouts: 10,
+        };
+        let b = FabricStats {
+            remote_gets: 100,
+            remote_puts: 200,
+            remote_amos: 300,
+            local_ops: 400,
+            bytes_got: 500,
+            bytes_put: 600,
+            messages_sent: 700,
+            messages_handled: 800,
+            retries: 900,
+            timeouts: 1000,
+        };
+        a.merge(&b);
+        assert_eq!(a.remote_gets, 101);
+        assert_eq!(a.remote_puts, 202);
+        assert_eq!(a.remote_amos, 303);
+        assert_eq!(a.local_ops, 404);
+        assert_eq!(a.bytes_got, 505);
+        assert_eq!(a.bytes_put, 606);
+        assert_eq!(a.messages_sent, 707);
+        assert_eq!(a.messages_handled, 808);
+        assert_eq!(a.retries, 909);
+        assert_eq!(a.timeouts, 1010);
+        assert_eq!(a.remote_total(), 101 + 202 + 303);
     }
 
     #[test]

@@ -66,6 +66,32 @@ impl<M> Mailbox<M> {
     }
 }
 
+impl<M: Clone> Mailbox<M> {
+    /// Deposit a message subject to a fabric-decided [`MsgFate`]: deliver
+    /// once, drop it (the sender already paid the injection cost), or
+    /// deliver twice with the duplicate arriving at `redeliver_at` (models a
+    /// spurious NIC-level retransmit).
+    pub fn send_with_fate(
+        &mut self,
+        from: WorkerId,
+        to: WorkerId,
+        deliver_at: VTime,
+        redeliver_at: VTime,
+        fate: crate::fault::MsgFate,
+        msg: M,
+    ) {
+        use crate::fault::MsgFate;
+        match fate {
+            MsgFate::Drop => {}
+            MsgFate::Deliver => self.send(from, to, deliver_at, msg),
+            MsgFate::Duplicate => {
+                self.send(from, to, deliver_at, msg.clone());
+                self.send(from, to, redeliver_at.max(deliver_at), msg);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +125,22 @@ mod tests {
         let now = VTime::ns(5);
         assert_eq!(mb.recv(0, now).unwrap().1, 1);
         assert_eq!(mb.recv(0, now).unwrap().1, 2);
+    }
+
+    #[test]
+    fn fates_drop_deliver_duplicate() {
+        use crate::fault::MsgFate;
+        let mut mb: Mailbox<u32> = Mailbox::new(2);
+        mb.send_with_fate(0, 1, VTime::ns(10), VTime::ns(20), MsgFate::Drop, 1);
+        assert!(mb.is_empty());
+        mb.send_with_fate(0, 1, VTime::ns(10), VTime::ns(20), MsgFate::Deliver, 2);
+        assert_eq!(mb.pending(1), 1);
+        mb.send_with_fate(0, 1, VTime::ns(30), VTime::ns(40), MsgFate::Duplicate, 3);
+        assert_eq!(mb.pending(1), 3);
+        let now = VTime::ns(100);
+        assert_eq!(mb.recv(1, now), Some((0, 2)));
+        assert_eq!(mb.recv(1, now), Some((0, 3)));
+        assert_eq!(mb.recv(1, now), Some((0, 3)), "duplicate arrives later");
     }
 
     #[test]

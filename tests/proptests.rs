@@ -146,6 +146,84 @@ proptest! {
         prop_assert!(r.busy_total >= t1);
     }
 
+    /// Under randomized transient-fault schedules (verb failures, message
+    /// drops and duplications) every runtime still terminates and produces
+    /// the exact serial UTS node count — faults may only cost time.
+    #[test]
+    fn uts_counts_survive_random_faults(
+        b0 in 2u32..5,
+        gen_mx in 2u32..6,
+        tree_seed in 0u64..200,
+        workers in 2usize..7,
+        policy in any_policy(),
+        fault_permille in 5u64..120,
+        fault_seed in 0u64..1000,
+    ) {
+        let spec = UtsSpec::new(b0 as f64, gen_mx, Shape::Linear, tree_seed);
+        let expected = serial_count(&spec).nodes;
+        let plan = FaultPlan::transient(fault_permille as f64 / 1000.0, fault_seed);
+        let r = run(
+            RunConfig::new(workers, policy)
+                .with_profile(profiles::test_profile())
+                .with_seg_bytes(64 << 20)
+                .with_fault_plan(plan.clone()),
+            dcs::apps::uts::program(spec.clone()),
+        );
+        prop_assert_eq!(r.result.as_u64(), expected);
+        if let Some(wd) = &r.watchdog {
+            prop_assert!(wd.is_clean(), "watchdog: {}", wd);
+        }
+        let os = bot::onesided::run_uts_faulty(
+            &spec,
+            workers,
+            profiles::test_profile(),
+            tree_seed,
+            bot::onesided::StealAmount::Half,
+            plan.clone(),
+        );
+        prop_assert_eq!(os.nodes, expected);
+        let ts = bot::twosided::run_uts_faulty(
+            &spec,
+            workers,
+            profiles::test_profile(),
+            bot::twosided::Variant::Lifeline,
+            tree_seed,
+            plan,
+        );
+        prop_assert_eq!(ts.nodes, expected);
+    }
+
+    /// LCS through the future machinery still equals the reference DP when
+    /// the fabric injects transient faults.
+    #[test]
+    fn lcs_matches_reference_under_faults(
+        n_log in 3u32..6,
+        workers in 2usize..7,
+        seed in 0u64..200,
+        fault_permille in 5u64..100,
+        policy in prop_oneof![
+            Just(Policy::ContGreedy),
+            Just(Policy::ContStalling),
+            Just(Policy::ChildFull),
+        ],
+    ) {
+        let n = 1u64 << n_log;
+        let params = LcsParams::random_alpha(n, 4.min(n), seed, 4);
+        let expected = lcs::lcs_reference(&params.a, &params.b) as u64;
+        let r = run(
+            RunConfig::new(workers, policy)
+                .with_profile(profiles::test_profile())
+                .with_seed(seed)
+                .with_seg_bytes(64 << 20)
+                .with_fault_plan(FaultPlan::transient(
+                    fault_permille as f64 / 1000.0,
+                    seed ^ 0xF00D,
+                )),
+            lcs::program(params),
+        );
+        prop_assert_eq!(r.result.as_u64(), expected);
+    }
+
     /// Determinism: identical configuration ⇒ identical simulation.
     #[test]
     fn determinism(
