@@ -10,7 +10,7 @@
 //! verb timeouts, and (fork-join) blacklist-driven victim re-draws.
 
 use dcs_apps::uts::{self, presets};
-use dcs_bench::{mnodes, quick, workers_default, Csv};
+use dcs_bench::{mnodes, quick, sweep, workers_default, Csv};
 use dcs_bot::onesided;
 use dcs_core::prelude::*;
 use dcs_sim::{CrashWindow, DegradeWindow, VTime};
@@ -35,6 +35,7 @@ fn hostile(p: usize) -> FaultPlan {
 }
 
 fn main() {
+    let jobs = sweep::jobs_or_exit();
     let spec = if quick() { presets::tiny() } else { presets::small() };
     let p = workers_default(if quick() { 8 } else { 32 });
     let info = uts::serial_count(&spec);
@@ -75,30 +76,73 @@ fn main() {
         .collect();
     scenarios.push(("hostile".to_string(), hostile(p)));
 
+    // One cell per (runtime, scenario); `None` is the one-sided BoT runtime.
+    // Each job returns (elapsed, retries, timeouts, blacklist skips); the
+    // correctness asserts run inside the job, the slowdown baselines (first
+    // scenario per runtime) are computed at render time.
+    let mut cells: Vec<(Option<Policy>, usize)> = Vec::new();
+    for policy in policies {
+        for (si, _) in scenarios.iter().enumerate() {
+            cells.push((Some(policy), si));
+        }
+    }
+    for (si, _) in scenarios.iter().enumerate() {
+        cells.push((None, si));
+    }
+    let results: Vec<(VTime, u64, u64, u64)> =
+        sweep::run_matrix(&cells, jobs, |_, &(policy, si)| {
+            let (name, plan) = &scenarios[si];
+            match policy {
+                Some(policy) => {
+                    let cfg = RunConfig::new(p, policy)
+                        .with_profile(profile.clone())
+                        .with_seg_bytes(64 << 20)
+                        .with_fault_plan(plan.clone());
+                    let r = run(cfg, uts::program(spec.clone()));
+                    assert_eq!(r.result.as_u64(), info.nodes, "{policy:?} under {name}");
+                    if let Some(wd) = &r.watchdog {
+                        assert!(wd.is_clean(), "{policy:?} under {name}: {wd}");
+                    }
+                    (
+                        r.elapsed,
+                        r.fabric.retries,
+                        r.fabric.timeouts,
+                        r.stats.blacklist_skips,
+                    )
+                }
+                None => {
+                    let r = onesided::run_uts_faulty(
+                        &spec,
+                        p,
+                        profile.clone(),
+                        1,
+                        onesided::StealAmount::Half,
+                        plan.clone(),
+                    );
+                    assert_eq!(r.nodes, info.nodes, "one-sided BoT under {name}");
+                    (r.elapsed, r.fabric.retries, r.fabric.timeouts, 0)
+                }
+            }
+        });
+
+    let mut next = 0usize;
     for policy in policies {
         let mut baseline: Option<f64> = None;
         for (name, plan) in &scenarios {
-            let cfg = RunConfig::new(p, policy)
-                .with_profile(profile.clone())
-                .with_seg_bytes(64 << 20)
-                .with_fault_plan(plan.clone());
-            let r = run(cfg, uts::program(spec.clone()));
-            assert_eq!(r.result.as_u64(), info.nodes, "{policy:?} under {name}");
-            if let Some(wd) = &r.watchdog {
-                assert!(wd.is_clean(), "{policy:?} under {name}: {wd}");
-            }
-            let t = r.elapsed.as_ns() as f64;
+            let (elapsed, retries, timeouts, bl_skips) = results[next];
+            next += 1;
+            let t = elapsed.as_ns() as f64;
             let slowdown = t / *baseline.get_or_insert(t);
-            let tp = mnodes(info.nodes, r.elapsed);
+            let tp = mnodes(info.nodes, elapsed);
             println!(
                 "{:<14} {:>8} {:>12} {:>10.2} {:>9} {:>9} {:>10} {:>8.2}x",
                 policy.label(),
                 name.trim_start_matches("transient "),
-                r.elapsed.to_string(),
+                elapsed.to_string(),
                 tp,
-                r.fabric.retries,
-                r.fabric.timeouts,
-                r.stats.blacklist_skips,
+                retries,
+                timeouts,
+                bl_skips,
                 slowdown
             );
             csv.row(&[
@@ -106,11 +150,11 @@ fn main() {
                 &format!("{}", plan.verb_fail_p),
                 name,
                 &p,
-                &r.elapsed.as_ns(),
+                &elapsed.as_ns(),
                 &format!("{tp:.3}"),
-                &r.fabric.retries,
-                &r.fabric.timeouts,
-                &r.stats.blacklist_skips,
+                &retries,
+                &timeouts,
+                &bl_skips,
                 &format!("{slowdown:.3}"),
             ]);
         }
@@ -118,26 +162,19 @@ fn main() {
 
     let mut baseline: Option<f64> = None;
     for (name, plan) in &scenarios {
-        let r = onesided::run_uts_faulty(
-            &spec,
-            p,
-            profile.clone(),
-            1,
-            onesided::StealAmount::Half,
-            plan.clone(),
-        );
-        assert_eq!(r.nodes, info.nodes, "one-sided BoT under {name}");
-        let t = r.elapsed.as_ns() as f64;
+        let (elapsed, retries, timeouts, _) = results[next];
+        next += 1;
+        let t = elapsed.as_ns() as f64;
         let slowdown = t / *baseline.get_or_insert(t);
-        let tp = mnodes(r.nodes, r.elapsed);
+        let tp = mnodes(info.nodes, elapsed);
         println!(
             "{:<14} {:>8} {:>12} {:>10.2} {:>9} {:>9} {:>10} {:>8.2}x",
             "bot-onesided",
             name.trim_start_matches("transient "),
-            r.elapsed.to_string(),
+            elapsed.to_string(),
             tp,
-            r.fabric.retries,
-            r.fabric.timeouts,
+            retries,
+            timeouts,
             "-",
             slowdown
         );
@@ -146,14 +183,15 @@ fn main() {
             &format!("{}", plan.verb_fail_p),
             name,
             &p,
-            &r.elapsed.as_ns(),
+            &elapsed.as_ns(),
             &format!("{tp:.3}"),
-            &r.fabric.retries,
-            &r.fabric.timeouts,
+            &retries,
+            &timeouts,
             &0,
             &format!("{slowdown:.3}"),
         ]);
     }
+    assert_eq!(next, results.len(), "render walked the whole matrix");
 
     println!("\nCSV written to {}", csv.path());
     println!("Expected shape: identical node counts everywhere; elapsed grows");

@@ -7,10 +7,11 @@
 //! non-blocking put.
 
 use dcs_apps::pfor::{recpfor_program, PforParams};
-use dcs_bench::{quick, workers_default, Csv};
+use dcs_bench::{quick, sweep, workers_default, Csv};
 use dcs_core::prelude::*;
 
 fn main() {
+    let jobs = sweep::jobs_or_exit();
     let workers = workers_default(64);
     let n = if quick() { 1 << 8 } else { 1 << 11 };
     let params = PforParams::paper(n);
@@ -27,11 +28,14 @@ fn main() {
         "{:<18} {:>10} {:>12} {:>12} {:>12} {:>14}",
         "strategy", "time", "remote amo", "remote put", "remote get", "amo/thread"
     );
-    for strategy in [FreeStrategy::LockQueue, FreeStrategy::LocalCollection] {
+    let strategies = [FreeStrategy::LockQueue, FreeStrategy::LocalCollection];
+    let reports = sweep::run_matrix(&strategies, jobs, |_, &strategy| {
         let cfg = RunConfig::new(workers, Policy::ContStalling)
             .with_free_strategy(strategy)
             .with_seg_bytes(64 << 20);
-        let r = run(cfg, recpfor_program(params));
+        run(cfg, recpfor_program(params))
+    });
+    for (strategy, r) in strategies.iter().zip(&reports) {
         let f = &r.fabric;
         let apt = f.remote_amos as f64 / r.threads as f64;
         println!(

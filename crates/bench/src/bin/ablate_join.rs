@@ -14,10 +14,11 @@
 use dcs_apps::lcs::{self, LcsParams};
 use dcs_apps::pfor::{recpfor_program, PforParams};
 use dcs_apps::uts::{self, presets};
-use dcs_bench::{quick, workers_default, Csv};
+use dcs_bench::{quick, sweep, workers_default, Csv};
 use dcs_core::prelude::*;
 
 fn main() {
+    let jobs = sweep::jobs_or_exit();
     let workers = workers_default(32);
     let mut csv = Csv::create(
         "ablate_join",
@@ -30,32 +31,27 @@ fn main() {
         "bench", "threads", "die fast", "die won", "die lost", "join fast", "outstanding", "fast %"
     );
 
-    let runs: Vec<(&str, RunReport)> = vec![
-        ("RecPFor", {
-            let n = if quick() { 1 << 7 } else { 1 << 10 };
-            run(
-                RunConfig::new(workers, Policy::ContGreedy).with_seg_bytes(64 << 20),
-                recpfor_program(PforParams::paper(n)),
-            )
-        }),
-        ("UTS", {
-            let spec = if quick() { presets::tiny() } else { presets::small() };
-            run(
-                RunConfig::new(workers, Policy::ContGreedy).with_seg_bytes(64 << 20),
-                uts::program(spec),
-            )
-        }),
-        ("LCS", {
-            let n = if quick() { 1 << 10 } else { 1 << 13 };
-            let params = LcsParams::random(n, 256.min(n), 7);
-            run(
-                RunConfig::new(workers, Policy::ContGreedy).with_seg_bytes(64 << 20),
-                lcs::program(params),
-            )
-        }),
-    ];
+    let benches = ["RecPFor", "UTS", "LCS"];
+    let reports = sweep::run_matrix(&benches, jobs, |_, &name| {
+        let cfg = RunConfig::new(workers, Policy::ContGreedy).with_seg_bytes(64 << 20);
+        let program = match name {
+            "RecPFor" => {
+                let n = if quick() { 1 << 7 } else { 1 << 10 };
+                recpfor_program(PforParams::paper(n))
+            }
+            "UTS" => {
+                let spec = if quick() { presets::tiny() } else { presets::small() };
+                uts::program(spec)
+            }
+            _ => {
+                let n = if quick() { 1 << 10 } else { 1 << 13 };
+                lcs::program(LcsParams::random(n, 256.min(n), 7))
+            }
+        };
+        run(cfg, program)
+    });
 
-    for (name, r) in &runs {
+    for (name, r) in benches.iter().zip(&reports) {
         let s = &r.stats;
         let denom = (s.die_fast + s.die_won + s.die_lost).max(1);
         let fast_pct = 100.0 * s.die_fast as f64 / denom as f64;

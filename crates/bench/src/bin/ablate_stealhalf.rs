@@ -8,11 +8,12 @@
 //! irregular subtree sizes while steal-one keeps going back to the well.
 
 use dcs_apps::uts::{self, presets};
-use dcs_bench::{mnodes, quick, Csv};
+use dcs_bench::{mnodes, quick, sweep, Csv};
 use dcs_bot::onesided::{run_uts_with, StealAmount};
 use dcs_sim::profiles;
 
 fn main() {
+    let jobs = sweep::jobs_or_exit();
     let spec = if quick() { presets::tiny() } else { presets::medium() };
     let info = uts::serial_count(&spec);
     let ps: &[usize] = if quick() { &[4, 8] } else { &[16, 64, 256] };
@@ -29,10 +30,23 @@ fn main() {
         "{:>5} {:<12} {:>14} {:>10} {:>10}",
         "P", "amount", "throughput", "#steal", "#failed"
     );
+    let mut cells: Vec<(usize, StealAmount)> = Vec::new();
     for &p in ps {
         for amount in [StealAmount::Half, StealAmount::One] {
-            let r = run_uts_with(&spec, p, profiles::itoa(), 5, amount);
-            assert_eq!(r.nodes, info.nodes);
+            cells.push((p, amount));
+        }
+    }
+    let reports = sweep::run_matrix(&cells, jobs, |_, &(p, amount)| {
+        let r = run_uts_with(&spec, p, profiles::itoa(), 5, amount);
+        assert_eq!(r.nodes, info.nodes);
+        r
+    });
+
+    let mut next = 0usize;
+    for &p in ps {
+        for amount in [StealAmount::Half, StealAmount::One] {
+            let r = &reports[next];
+            next += 1;
             let tp = mnodes(r.nodes, r.elapsed);
             println!(
                 "{:>5} {:<12} {:>11.2} Mn {:>10} {:>10}",
@@ -51,5 +65,6 @@ fn main() {
             ]);
         }
     }
+    assert_eq!(next, reports.len(), "render walked the whole matrix");
     println!("\nCSV written to {}", csv.path());
 }

@@ -9,10 +9,11 @@
 //! local-steal fraction's effect.
 
 use dcs_apps::uts::{self, presets};
-use dcs_bench::{mnodes, quick, Csv};
+use dcs_bench::{mnodes, quick, sweep, Csv};
 use dcs_core::prelude::*;
 
 fn main() {
+    let jobs = sweep::jobs_or_exit();
     let spec = if quick() { presets::tiny() } else { presets::medium() };
     let info = uts::serial_count(&spec);
     let workers: usize = if quick() { 16 } else { 256 };
@@ -47,14 +48,27 @@ fn main() {
         "{:<8} {:<14} {:>14} {:>14} {:>10} {:>10}",
         "topology", "victim", "throughput", "steal lat", "#steal", "#failed"
     );
-    for (tname, topo) in &topologies {
+    let mut cells: Vec<(usize, VictimPolicy)> = Vec::new();
+    for (ti, _) in topologies.iter().enumerate() {
         for v in victims {
-            let cfg = RunConfig::new(workers, Policy::ContGreedy)
-                .with_topology(topo.clone())
-                .with_victim(v)
-                .with_seg_bytes(64 << 20);
-            let r = run(cfg, uts::program(spec.clone()));
-            assert_eq!(r.result.as_u64(), info.nodes);
+            cells.push((ti, v));
+        }
+    }
+    let reports = sweep::run_matrix(&cells, jobs, |_, &(ti, v)| {
+        let cfg = RunConfig::new(workers, Policy::ContGreedy)
+            .with_topology(topologies[ti].1.clone())
+            .with_victim(v)
+            .with_seg_bytes(64 << 20);
+        let r = run(cfg, uts::program(spec.clone()));
+        assert_eq!(r.result.as_u64(), info.nodes);
+        r
+    });
+
+    let mut next = 0usize;
+    for (tname, _) in &topologies {
+        for v in victims {
+            let r = &reports[next];
+            next += 1;
             let tp = mnodes(info.nodes, r.elapsed);
             println!(
                 "{:<8} {:<14} {:>11.2} Mn {:>12.1}us {:>10} {:>10}",
@@ -75,6 +89,7 @@ fn main() {
             ]);
         }
     }
+    assert_eq!(next, reports.len(), "render walked the whole matrix");
     println!("\nCSV written to {}", csv.path());
     println!("Expected: on flat machines the policies tie (locality can only");
     println!("hurt victim coverage); on hierarchical/mesh machines locality-");

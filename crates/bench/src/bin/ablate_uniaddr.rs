@@ -16,10 +16,27 @@
 use dcs_apps::lcs::{self, LcsParams};
 use dcs_apps::pfor::{recpfor_program, PforParams};
 use dcs_apps::uts::{self, presets};
-use dcs_bench::{quick, workers_default, Csv};
+use dcs_bench::{quick, sweep, workers_default, Csv};
 use dcs_core::prelude::*;
 
+/// Programs are built by name inside each job — closures returning
+/// `Program` are not `Sync`, an index is.
+fn mk_program(name: &str) -> Program {
+    match name {
+        "RecPFor" => {
+            let n = if quick() { 1u64 << 7 } else { 1 << 10 };
+            recpfor_program(PforParams::paper(n))
+        }
+        "UTS" => uts::program(if quick() { presets::tiny() } else { presets::small() }),
+        _ => {
+            let n = if quick() { 1u64 << 10 } else { 1 << 12 };
+            lcs::program(LcsParams::random(n, 256.min(n), 7))
+        }
+    }
+}
+
 fn main() {
+    let jobs = sweep::jobs_or_exit();
     let workers = workers_default(32);
     let mut csv = Csv::create(
         "ablate_uniaddr",
@@ -32,30 +49,26 @@ fn main() {
         "bench", "scheme", "threads", "pinned peak", "evac peak", "conflicts", "time"
     );
 
-    type MkProgram = Box<dyn Fn() -> Program>;
-    let programs: Vec<(&str, MkProgram)> = vec![
-        ("RecPFor", {
-            let n = if quick() { 1u64 << 7 } else { 1 << 10 };
-            Box::new(move || recpfor_program(PforParams::paper(n)))
-        }),
-        ("UTS", {
-            Box::new(move || {
-                uts::program(if quick() { presets::tiny() } else { presets::small() })
-            })
-        }),
-        ("LCS", {
-            let n = if quick() { 1u64 << 10 } else { 1 << 12 };
-            Box::new(move || lcs::program(LcsParams::random(n, 256.min(n), 7)))
-        }),
-    ];
+    let benches = ["RecPFor", "UTS", "LCS"];
+    let mut cells: Vec<(&str, AddressScheme)> = Vec::new();
+    for name in benches {
+        for scheme in [AddressScheme::Uni, AddressScheme::Iso] {
+            cells.push((name, scheme));
+        }
+    }
+    let reports = sweep::run_matrix(&cells, jobs, |_, &(name, scheme)| {
+        let cfg = RunConfig::new(workers, Policy::ContGreedy)
+            .with_address_scheme(scheme)
+            .with_seg_bytes(64 << 20);
+        dcs_core::run(cfg, mk_program(name))
+    });
 
-    for (name, mk) in &programs {
+    let mut next = 0usize;
+    for name in benches {
         let mut baseline = None;
         for scheme in [AddressScheme::Uni, AddressScheme::Iso] {
-            let cfg = RunConfig::new(workers, Policy::ContGreedy)
-                .with_address_scheme(scheme)
-                .with_seg_bytes(64 << 20);
-            let r = dcs_core::run(cfg, mk());
+            let r = &reports[next];
+            next += 1;
             let pinned = match scheme {
                 AddressScheme::Uni => r.uni_peak,
                 AddressScheme::Iso => r.iso_peak,
@@ -71,7 +84,7 @@ fn main() {
                 r.elapsed.to_string()
             );
             csv.row(&[
-                name,
+                &name,
                 &scheme.label(),
                 &r.threads,
                 &pinned,
@@ -93,6 +106,7 @@ fn main() {
             }
         }
     }
+    assert_eq!(next, reports.len(), "render walked the whole matrix");
     println!("\nCSV written to {}", csv.path());
     println!("Uni-address pinning is bounded by nesting depth × slot per worker;");
     println!("iso-address pins a globally unique slot per live thread. With RDMA,");

@@ -8,10 +8,11 @@
 //! unnecessarily blocked by the scheduler".
 
 use dcs_apps::lcs::{self, LcsParams};
-use dcs_bench::{quick, Csv};
+use dcs_bench::{quick, sweep, Csv};
 use dcs_core::prelude::*;
 
 fn main() {
+    let jobs = sweep::jobs_or_exit();
     let sizes: &[u64] = if quick() {
         &[1 << 10]
     } else {
@@ -27,13 +28,38 @@ fn main() {
     let scale = profile.compute_scale;
     let mut csv = Csv::create("fig12", "n,p,t_ms,lower_ms,upper_ms,in_bounds");
 
+    // Inputs + reference answer shared per N; the (N, P) grid of
+    // simulations fans out across jobs.
+    let inputs: Vec<(LcsParams, u64)> = sizes
+        .iter()
+        .map(|&n| {
+            let params = LcsParams::random(n, c.min(n), 7);
+            let expected = lcs::lcs_reference(&params.a, &params.b) as u64;
+            (params, expected)
+        })
+        .collect();
+    let mut cells: Vec<(usize, usize)> = Vec::new();
+    for (ni, _) in sizes.iter().enumerate() {
+        for &p in ps {
+            cells.push((ni, p));
+        }
+    }
+    let elapsed: Vec<VTime> = sweep::run_matrix(&cells, jobs, |_, &(ni, p)| {
+        let (params, expected) = &inputs[ni];
+        let cfg = RunConfig::new(p, Policy::ContGreedy)
+            .with_profile(profile.clone())
+            .with_seg_bytes(64 << 20);
+        let r = run(cfg, lcs::program(params.clone()));
+        assert_eq!(r.result.as_u64(), *expected);
+        r.elapsed
+    });
+
     println!("=== Fig. 12: LCS bounds check on {} (C = {c}) ===", profile.name);
     let mut inside = 0usize;
     let mut total = 0usize;
-    for &n in sizes {
-        let c_eff = c.min(n);
-        let params = LcsParams::random(n, c_eff, 7);
-        let expected = lcs::lcs_reference(&params.a, &params.b) as u64;
+    let mut next = 0usize;
+    for (ni, &n) in sizes.iter().enumerate() {
+        let params = &inputs[ni].0;
         let t1 = params.t1(scale);
         let tinf = params.t_inf(scale);
         println!(
@@ -47,36 +73,34 @@ fn main() {
             "P", "lower", "measured", "upper", "inside"
         );
         for &p in ps {
-            let cfg = RunConfig::new(p, Policy::ContGreedy)
-                .with_profile(profile.clone())
-                .with_seg_bytes(64 << 20);
-            let r = run(cfg, lcs::program(params.clone()));
-            assert_eq!(r.result.as_u64(), expected);
+            let r_elapsed = elapsed[next];
+            next += 1;
             let lower = (t1 / p as u64).max(tinf);
             let upper = t1 / p as u64 + tinf;
             // The theorem assumes zero runtime overhead; allow the paper's
             // observed slack above the ideal upper bound.
-            let ok = r.elapsed >= lower && r.elapsed.as_ns() as f64 <= upper.as_ns() as f64 * 1.25;
+            let ok = r_elapsed >= lower && r_elapsed.as_ns() as f64 <= upper.as_ns() as f64 * 1.25;
             inside += ok as usize;
             total += 1;
             println!(
                 "{:>6} {:>12} {:>12} {:>12} {:>8}",
                 p,
                 lower.to_string(),
-                r.elapsed.to_string(),
+                r_elapsed.to_string(),
                 upper.to_string(),
                 if ok { "yes" } else { "NO" }
             );
             csv.row(&[
                 &n,
                 &p,
-                &format!("{:.3}", r.elapsed.as_ms_f64()),
+                &format!("{:.3}", r_elapsed.as_ms_f64()),
                 &format!("{:.3}", lower.as_ms_f64()),
                 &format!("{:.3}", upper.as_ms_f64()),
                 &ok,
             ]);
         }
     }
+    assert_eq!(next, elapsed.len(), "render walked the whole matrix");
     println!(
         "\n{} / {} points within the greedy-scheduling band (paper: \"most\")",
         inside, total

@@ -22,7 +22,7 @@
 //! on Wisteria-O) while PFor shows little difference.
 
 use dcs_apps::pfor::{pfor_program, recpfor_program, PforParams};
-use dcs_bench::{mean_f64, quick, reps_default, workers_default, Csv};
+use dcs_bench::{mean_f64, quick, reps_default, sweep, workers_default, Csv};
 use dcs_core::prelude::*;
 use dcs_sim::MachineProfile;
 
@@ -85,7 +85,17 @@ fn run_one(
     (report.elapsed, t1)
 }
 
+/// One simulation of the matrix: (machine, bench, N, config, seed rep).
+struct Cell {
+    machine: usize,
+    bench: &'static str,
+    n: u64,
+    cfg: usize,
+    rep: usize,
+}
+
 fn main() {
+    let jobs = sweep::jobs_or_exit();
     let workers = workers_default(64);
     let reps = reps_default(3);
     let mut csv = Csv::create(
@@ -105,6 +115,35 @@ fn main() {
         &[1 << 7, 1 << 8, 1 << 9, 1 << 10, 1 << 11, 1 << 12]
     };
 
+    // Flatten the whole matrix (in render order), fan the runs out across
+    // host threads, then render strictly sequentially from the results.
+    let mut cells: Vec<Cell> = Vec::new();
+    for (mi, _) in machines.iter().enumerate() {
+        for (bench, sizes) in [("PFor", pfor_sizes), ("RecPFor", recpfor_sizes)] {
+            for &n in sizes {
+                for (ci, _) in CONFIGS.iter().enumerate() {
+                    for rep in 0..reps {
+                        cells.push(Cell { machine: mi, bench, n, cfg: ci, rep });
+                    }
+                }
+            }
+        }
+    }
+    let effs: Vec<f64> = sweep::run_matrix(&cells, jobs, |_, c| {
+        let profile = &machines[c.machine];
+        let params = PforParams::paper(c.n);
+        let (elapsed, t1) = run_one(
+            c.bench,
+            params,
+            &CONFIGS[c.cfg],
+            profile,
+            workers,
+            0x5EED + c.rep as u64,
+        );
+        (t1 / workers as u64).as_ns() as f64 / elapsed.as_ns() as f64
+    });
+
+    let mut next = 0usize;
     for profile in &machines {
         for (bench, sizes) in [("PFor", pfor_sizes), ("RecPFor", recpfor_sizes)] {
             println!(
@@ -125,14 +164,8 @@ fn main() {
                 let ideal = t1 / workers as u64;
                 print!("{:>12} {:>10}", n, ideal.to_string());
                 for c in &CONFIGS {
-                    let effs: Vec<f64> = (0..reps)
-                        .map(|r| {
-                            let (elapsed, t1) =
-                                run_one(bench, params, c, profile, workers, 0x5EED + r as u64);
-                            (t1 / workers as u64).as_ns() as f64 / elapsed.as_ns() as f64
-                        })
-                        .collect();
-                    let eff = mean_f64(&effs);
+                    let eff = mean_f64(&effs[next..next + reps]);
+                    next += reps;
                     print!(" {:>10.1}%", eff * 100.0);
                     csv.row(&[
                         &profile.name,
@@ -147,6 +180,7 @@ fn main() {
             }
         }
     }
+    assert_eq!(next, effs.len(), "render walked the whole matrix");
     println!("\nCSV written to {}", csv.path());
     println!("Paper shape: +localcol ≥ baseline (up to ~40% on PFor);");
     println!("greedy helps RecPFor only; child-rtc collapses on RecPFor.");

@@ -9,21 +9,26 @@
 //! ready joins sit unexecuted (a non-greedy schedule).
 
 use dcs_apps::pfor::{recpfor_program, PforParams};
-use dcs_bench::{quick, workers_default, Csv};
+use dcs_bench::{quick, sweep, workers_default, Csv};
 use dcs_core::prelude::*;
 
 fn main() {
+    let jobs = sweep::jobs_or_exit();
     let workers = workers_default(64);
     let n = if quick() { 1 << 8 } else { 1 << 12 };
     let buckets = 60;
     let mut csv = Csv::create("fig7", "strategy,t_ms,busy_workers,ready_joins");
 
-    for policy in [Policy::ContGreedy, Policy::ChildFull] {
+    let policies = [Policy::ContGreedy, Policy::ChildFull];
+    let reports = sweep::run_matrix(&policies, jobs, |_, &policy| {
         let params = PforParams::paper(n);
         let cfg = RunConfig::new(workers, policy)
             .with_trace(TraceLevel::Series)
             .with_seg_bytes(64 << 20);
-        let r = run(cfg, recpfor_program(params));
+        run(cfg, recpfor_program(params))
+    });
+
+    for (policy, r) in policies.iter().zip(&reports) {
         let busy = r.stats.busy_series(r.elapsed, buckets);
         let joins = r.stats.ready_join_series(r.elapsed, buckets);
 

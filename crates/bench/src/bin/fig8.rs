@@ -13,11 +13,21 @@
 //! correctness check the tree's determinism provides.
 
 use dcs_apps::uts::{self, presets, serial_vtime};
-use dcs_bench::{mnodes, quick, Csv};
+use dcs_bench::{mnodes, quick, sweep, Csv};
 use dcs_bot::{onesided, twosided};
 use dcs_core::prelude::*;
 
+/// The four runtimes raced per (tree, P) point.
+#[derive(Clone, Copy)]
+enum Runtime {
+    ContSteal,
+    BotOnesided,
+    BotTwosided,
+    BotLifeline,
+}
+
 fn main() {
+    let jobs = sweep::jobs_or_exit();
     let trees = if quick() {
         vec![("tiny", presets::tiny())]
     } else {
@@ -39,8 +49,56 @@ fn main() {
     let profile = profiles::itoa();
     let mut csv = Csv::create("fig8", "tree,nodes,runtime,p,throughput_mnodes_s");
 
-    for (name, spec) in &trees {
-        let info = uts::serial_count(spec);
+    // Per-tree serial info (cheap, host-side), then one sweep cell per
+    // (tree, P, runtime) — the expensive simulations — fanned across jobs.
+    let infos: Vec<_> = trees.iter().map(|(_, spec)| uts::serial_count(spec)).collect();
+    let mut cells: Vec<(usize, usize, Runtime)> = Vec::new();
+    for (ti, _) in trees.iter().enumerate() {
+        for &p in ps {
+            cells.push((ti, p, Runtime::ContSteal));
+            cells.push((ti, p, Runtime::BotOnesided));
+            if p <= two_sided_cap {
+                cells.push((ti, p, Runtime::BotTwosided));
+                cells.push((ti, p, Runtime::BotLifeline));
+            }
+        }
+    }
+    let tps: Vec<f64> = sweep::run_matrix(&cells, jobs, |_, &(ti, p, rt)| {
+        let spec = &trees[ti].1;
+        let nodes = infos[ti].nodes;
+        match rt {
+            Runtime::ContSteal => {
+                let fj = run(
+                    RunConfig::new(p, Policy::ContGreedy)
+                        .with_profile(profile.clone())
+                        .with_seg_bytes(64 << 20),
+                    uts::program(spec.clone()),
+                );
+                assert_eq!(fj.result.as_u64(), nodes, "fork-join count");
+                mnodes(nodes, fj.elapsed)
+            }
+            Runtime::BotOnesided => {
+                let os = onesided::run_uts(spec, p, profile.clone(), 1);
+                assert_eq!(os.nodes, nodes, "one-sided BoT count");
+                mnodes(os.nodes, os.elapsed)
+            }
+            Runtime::BotTwosided => {
+                let ts = twosided::run_uts(spec, p, profile.clone(), twosided::Variant::Random, 1);
+                assert_eq!(ts.nodes, nodes, "two-sided BoT count");
+                mnodes(ts.nodes, ts.elapsed)
+            }
+            Runtime::BotLifeline => {
+                let ll =
+                    twosided::run_uts(spec, p, profile.clone(), twosided::Variant::Lifeline, 1);
+                assert_eq!(ll.nodes, nodes, "lifeline BoT count");
+                mnodes(ll.nodes, ll.elapsed)
+            }
+        }
+    });
+
+    let mut next = 0usize;
+    for (ti, (name, spec)) in trees.iter().enumerate() {
+        let info = &infos[ti];
         let t_serial = serial_vtime(spec, profile.compute_scale);
         println!(
             "\n=== Fig. 8: UTS {name} ({} nodes, depth {}) on {} ===",
@@ -56,30 +114,13 @@ fn main() {
             "P", "cont-steal", "bot-1sided", "bot-2sided", "bot-lifeline", "ideal"
         );
         for &p in ps {
-            let fj = run(
-                RunConfig::new(p, Policy::ContGreedy)
-                    .with_profile(profile.clone())
-                    .with_seg_bytes(64 << 20),
-                uts::program((*spec).clone()),
-            );
-            assert_eq!(fj.result.as_u64(), info.nodes, "fork-join count");
-            let fj_tp = mnodes(info.nodes, fj.elapsed);
-
-            let os = onesided::run_uts(spec, p, profile.clone(), 1);
-            assert_eq!(os.nodes, info.nodes, "one-sided BoT count");
-            let os_tp = mnodes(os.nodes, os.elapsed);
-
+            let fj_tp = tps[next];
+            let os_tp = tps[next + 1];
+            next += 2;
             let (ts_tp, ll_tp) = if p <= two_sided_cap {
-                let ts =
-                    twosided::run_uts(spec, p, profile.clone(), twosided::Variant::Random, 1);
-                assert_eq!(ts.nodes, info.nodes, "two-sided BoT count");
-                let ll =
-                    twosided::run_uts(spec, p, profile.clone(), twosided::Variant::Lifeline, 1);
-                assert_eq!(ll.nodes, info.nodes, "lifeline BoT count");
-                (
-                    Some(mnodes(ts.nodes, ts.elapsed)),
-                    Some(mnodes(ll.nodes, ll.elapsed)),
-                )
+                let pair = (Some(tps[next]), Some(tps[next + 1]));
+                next += 2;
+                pair
             } else {
                 (None, None)
             };

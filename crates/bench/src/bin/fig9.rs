@@ -8,10 +8,11 @@
 //! peel off as per-worker work shrinks toward the steal latency.
 
 use dcs_apps::uts::{self, presets, serial_vtime};
-use dcs_bench::{mnodes, quick, Csv};
+use dcs_bench::{mnodes, quick, sweep, Csv};
 use dcs_core::prelude::*;
 
 fn main() {
+    let jobs = sweep::jobs_or_exit();
     // (tree, P values): bigger trees carry the top of the sweep so the
     // per-worker work stays meaningful, mirroring the paper's weak-ish
     // scaling across tree sizes.
@@ -30,8 +31,31 @@ fn main() {
     let profile = profiles::wisteria();
     let mut csv = Csv::create("fig9", "tree,nodes,p,throughput_mnodes_s,efficiency");
 
-    for (name, spec, ps) in &trees {
-        let info = uts::serial_count(spec);
+    // One cell per run: the paper-style P=1 self-baseline first, then the
+    // sweep points; every cell is an independent simulation.
+    let infos: Vec<_> = trees.iter().map(|(_, spec, _)| uts::serial_count(spec)).collect();
+    let mut cells: Vec<(usize, usize)> = Vec::new();
+    for (ti, (_, _, ps)) in trees.iter().enumerate() {
+        cells.push((ti, 1)); // the efficiency baseline
+        for &p in ps.iter() {
+            cells.push((ti, p));
+        }
+    }
+    let elapsed: Vec<VTime> = sweep::run_matrix(&cells, jobs, |_, &(ti, p)| {
+        let r = run(
+            RunConfig::new(p, Policy::ContGreedy)
+                .with_profile(profile.clone())
+                .with_seg_bytes(64 << 20),
+            uts::program(trees[ti].1.clone()),
+        );
+        assert_eq!(r.result.as_u64(), infos[ti].nodes);
+        r.elapsed
+    });
+
+    let mut next = 0usize;
+    for (ti, (name, _, ps)) in trees.iter().enumerate() {
+        let info = &infos[ti];
+        let spec = &trees[ti].1;
         let t_serial = serial_vtime(spec, profile.compute_scale);
         let serial_tp = mnodes(info.nodes, t_serial);
         println!(
@@ -41,33 +65,23 @@ fn main() {
         // The paper computes parallel efficiency against the *single-core
         // execution time of the runtime itself* ("96.4% parallel efficiency
         // calculated with a single-core execution time"), not serial DFS.
-        let single = run(
-            RunConfig::new(1, Policy::ContGreedy)
-                .with_profile(profile.clone())
-                .with_seg_bytes(64 << 20),
-            uts::program((*spec).clone()),
-        );
-        assert_eq!(single.result.as_u64(), info.nodes);
-        let single_tp = mnodes(info.nodes, single.elapsed);
+        let single_elapsed = elapsed[next];
+        next += 1;
+        let single_tp = mnodes(info.nodes, single_elapsed);
         println!(
             "serial DFS: {} ({serial_tp:.2} Mn/s); runtime at P=1: {} ({single_tp:.2} Mn/s)",
-            t_serial, single.elapsed
+            t_serial, single_elapsed
         );
         println!("{:>6} {:>14} {:>12}", "P", "throughput", "efficiency");
         for &p in ps.iter() {
-            let r = run(
-                RunConfig::new(p, Policy::ContGreedy)
-                    .with_profile(profile.clone())
-                    .with_seg_bytes(64 << 20),
-                uts::program((*spec).clone()),
-            );
-            assert_eq!(r.result.as_u64(), info.nodes);
-            let tp = mnodes(info.nodes, r.elapsed);
+            let tp = mnodes(info.nodes, elapsed[next]);
+            next += 1;
             let eff = tp / (single_tp * p as f64);
             println!("{:>6} {:>11.2} Mn {:>11.1}%", p, tp, eff * 100.0);
             csv.row(&[name, &info.nodes, &p, &format!("{tp:.3}"), &format!("{eff:.4}")]);
         }
     }
+    assert_eq!(next, elapsed.len(), "render walked the whole matrix");
     println!("\nCSV written to {}", csv.path());
     println!("Paper: 96.4% parallel efficiency at the top of the sweep for the");
     println!("largest tree — the headline scaling claim.");

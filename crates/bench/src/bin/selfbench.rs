@@ -1,0 +1,157 @@
+//! Self-benchmark of the simulator host performance (not a paper figure).
+//!
+//! Measures, on a fixed workload set:
+//!
+//! * **actor steps/sec** — how fast the discrete-event engine grinds through
+//!   scheduler steps on this host (exercises the event-queue fast path and
+//!   the segment pool), and
+//! * **runs/sec, sequential vs `--jobs N`** — the wall-clock effect of the
+//!   host-parallel sweep harness, together with a check that both passes
+//!   produced identical simulation results.
+//!
+//! Results land in `BENCH_simperf.json` (hand-rolled JSON; the workspace is
+//! dependency-free) so CI can archive host-throughput history. All numbers
+//! are *host* measurements — virtual-time results are asserted equal across
+//! passes, never affected.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dcs_apps::lcs::{self, LcsParams};
+use dcs_apps::pfor::{recpfor_program, PforParams};
+use dcs_apps::uts::{self, presets};
+use dcs_bench::{quick, sweep};
+use dcs_core::prelude::*;
+
+/// The fixed workload set: name + config + program constructor by index.
+const WORKLOADS: [&str; 3] = ["uts", "recpfor", "lcs"];
+
+fn build(name: &str, seed: u64) -> (RunConfig, Program) {
+    let workers = 32;
+    let cfg = RunConfig::new(workers, Policy::ContGreedy)
+        .with_seed(seed)
+        .with_seg_bytes(64 << 20);
+    let program = match name {
+        "uts" => uts::program(if quick() { presets::tiny() } else { presets::small() }),
+        "recpfor" => {
+            let n = if quick() { 1 << 7 } else { 1 << 10 };
+            recpfor_program(PforParams::paper(n))
+        }
+        _ => {
+            let n = if quick() { 1 << 9 } else { 1 << 12 };
+            lcs::program(LcsParams::random(n, 256.min(n), 7))
+        }
+    };
+    (cfg, program)
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(!s.contains(['"', '\\']), "workload names are plain");
+    s
+}
+
+fn main() {
+    let jobs = sweep::jobs_or_exit();
+    let host_cores = sweep::available_jobs();
+    let reps = if quick() { 2 } else { 4 };
+
+    println!("=== selfbench: simulator host throughput ===");
+    println!("host cores: {host_cores}; sweep pass uses --jobs {jobs}\n");
+
+    // Phase 1: single-run engine throughput (actor steps per host second).
+    println!(
+        "{:<10} {:>12} {:>10} {:>14} {:>12}",
+        "workload", "steps", "host ms", "steps/s", "vtime"
+    );
+    let mut singles = Vec::new();
+    for name in WORKLOADS {
+        let (cfg, program) = build(name, 0x5EED);
+        let t0 = Instant::now();
+        let r = run(cfg, program);
+        let host = t0.elapsed();
+        let host_ms = host.as_secs_f64() * 1e3;
+        let sps = r.steps as f64 / host.as_secs_f64().max(1e-9);
+        println!(
+            "{:<10} {:>12} {:>10.1} {:>14.0} {:>12}",
+            name,
+            r.steps,
+            host_ms,
+            sps,
+            r.elapsed.to_string()
+        );
+        singles.push((name, r.steps, host_ms, sps));
+    }
+
+    // Phase 2: the sweep harness, sequential vs parallel, same cell matrix.
+    // Each pass returns the virtual results so we can assert the fan-out
+    // changed nothing.
+    let mut cells: Vec<(usize, u64)> = Vec::new();
+    for (wi, _) in WORKLOADS.iter().enumerate() {
+        for rep in 0..reps {
+            cells.push((wi, 0x5EED + rep as u64));
+        }
+    }
+    let pass = |jobs: usize| {
+        let t0 = Instant::now();
+        let results: Vec<(VTime, u64)> = sweep::run_matrix(&cells, jobs, |_, &(wi, seed)| {
+            let (cfg, program) = build(WORKLOADS[wi], seed);
+            let r = run(cfg, program);
+            (r.elapsed, r.steps)
+        });
+        (t0.elapsed().as_secs_f64(), results)
+    };
+    let (seq_s, seq_results) = pass(1);
+    let (par_s, par_results) = pass(jobs);
+    let identical = seq_results == par_results;
+    assert!(
+        identical,
+        "parallel sweep changed simulation results — determinism bug"
+    );
+    let runs = cells.len();
+    let speedup = seq_s / par_s.max(1e-9);
+    println!("\nsweep pass: {runs} runs");
+    println!(
+        "  sequential (--jobs 1): {:>8.2} s  ({:.2} runs/s)",
+        seq_s,
+        runs as f64 / seq_s.max(1e-9)
+    );
+    println!(
+        "  parallel   (--jobs {jobs}): {:>8.2} s  ({:.2} runs/s)",
+        par_s,
+        runs as f64 / par_s.max(1e-9)
+    );
+    println!("  speedup: {speedup:.2}x; virtual results identical: {identical}");
+    if jobs == 1 {
+        println!("  (both passes sequential — pass --jobs N or set DCS_JOBS to fan out)");
+    }
+
+    // Hand-rolled JSON report.
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(j, "  \"jobs\": {jobs},");
+    let _ = writeln!(j, "  \"quick\": {},", quick());
+    j.push_str("  \"single_runs\": [\n");
+    for (i, (name, steps, host_ms, sps)) in singles.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"workload\": \"{}\", \"steps\": {}, \"host_ms\": {:.3}, \"steps_per_sec\": {:.0}}}{}",
+            json_escape_free(name),
+            steps,
+            host_ms,
+            sps,
+            if i + 1 < singles.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"sweep\": {\n");
+    let _ = writeln!(j, "    \"runs\": {runs},");
+    let _ = writeln!(j, "    \"seq_s\": {seq_s:.3},");
+    let _ = writeln!(j, "    \"par_s\": {par_s:.3},");
+    let _ = writeln!(j, "    \"speedup\": {speedup:.3},");
+    let _ = writeln!(j, "    \"identical_output\": {identical}");
+    j.push_str("  }\n");
+    j.push_str("}\n");
+    std::fs::write("BENCH_simperf.json", &j).expect("write BENCH_simperf.json");
+    println!("\nJSON written to BENCH_simperf.json");
+}

@@ -13,10 +13,11 @@
 //! join time in the microsecond range.
 
 use dcs_apps::pfor::{pfor_program, recpfor_program, PforParams};
-use dcs_bench::{quick, workers_default, Csv};
+use dcs_bench::{quick, sweep, workers_default, Csv};
 use dcs_core::prelude::*;
 
 fn main() {
+    let jobs = sweep::jobs_or_exit();
     let workers = workers_default(64);
     let (pfor_n, recpfor_n): (u64, u64) = if quick() {
         (1 << 12, 1 << 8)
@@ -28,7 +29,29 @@ fn main() {
         "machine,bench,strategy,exec_ms,outstanding_joins,avg_outstanding_us,steals_ok,avg_steal_latency_us,steals_failed,avg_stolen_bytes,avg_copy_us",
     );
 
-    for profile in [profiles::itoa(), profiles::wisteria()] {
+    let machines = [profiles::itoa(), profiles::wisteria()];
+    let mut cells: Vec<(usize, &'static str, u64, Policy)> = Vec::new();
+    for (mi, _) in machines.iter().enumerate() {
+        for (bench, n) in [("PFor", pfor_n), ("RecPFor", recpfor_n)] {
+            for policy in Policy::ALL {
+                cells.push((mi, bench, n, policy));
+            }
+        }
+    }
+    let reports = sweep::run_matrix(&cells, jobs, |_, &(mi, bench, n, policy)| {
+        let params = PforParams::paper(n);
+        let cfg = RunConfig::new(workers, policy)
+            .with_profile(machines[mi].clone())
+            .with_seg_bytes(64 << 20);
+        let program = match bench {
+            "PFor" => pfor_program(params),
+            _ => recpfor_program(params),
+        };
+        run(cfg, program)
+    });
+
+    let mut next = 0usize;
+    for profile in &machines {
         for (bench, n) in [("PFor", pfor_n), ("RecPFor", recpfor_n)] {
             println!(
                 "\n=== Table II: {bench} N=2^{} on {} (P = {workers}) ===",
@@ -48,15 +71,8 @@ fn main() {
                 "copy"
             );
             for policy in Policy::ALL {
-                let params = PforParams::paper(n);
-                let cfg = RunConfig::new(workers, policy)
-                    .with_profile(profile.clone())
-                    .with_seg_bytes(64 << 20);
-                let program = match bench {
-                    "PFor" => pfor_program(params),
-                    _ => recpfor_program(params),
-                };
-                let r = run(cfg, program);
+                let r = &reports[next];
+                next += 1;
                 let s = &r.stats;
                 println!(
                     "{:<24} {:>9} {:>10} {:>9}us {:>9} {:>7}us {:>9} {:>7}B {:>6}us",

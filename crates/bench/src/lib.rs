@@ -27,6 +27,8 @@ use std::path::Path;
 
 use dcs_sim::VTime;
 
+pub mod sweep;
+
 /// True when the harness should shrink workloads (CI / smoke runs).
 pub fn quick() -> bool {
     std::env::var("DCS_QUICK").is_ok_and(|v| v != "0")
@@ -79,17 +81,22 @@ impl Csv {
     }
 
     pub fn row(&mut self, fields: &[&dyn Display]) {
-        let line = fields
-            .iter()
-            .map(|f| f.to_string())
-            .collect::<Vec<_>>()
-            .join(",");
-        writeln!(self.file, "{line}").expect("write row");
+        writeln!(self.file, "{}", csv_line(fields)).expect("write row");
     }
 
     pub fn path(&self) -> &str {
         &self.path
     }
+}
+
+/// Render one CSV row (no trailing newline). Shared by [`Csv`] and the
+/// sweep-determinism tests, which compare rendered rows across job counts.
+pub fn csv_line(fields: &[&dyn Display]) -> String {
+    fields
+        .iter()
+        .map(|f| f.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 /// Format a throughput in Mnodes/s.

@@ -1,0 +1,189 @@
+//! Host-parallel experiment sweeps.
+//!
+//! Every bench binary walks a configuration matrix and runs one simulation
+//! per cell. Each simulation is single-threaded and a **pure function of its
+//! configuration** (no global state, own RNG streams, virtual time), so
+//! independent cells can run on different OS threads without changing any
+//! result — the only observable difference is host wall-clock time.
+//!
+//! [`run_matrix`] is the one fan-out primitive: it executes `f` over every
+//! config on a dependency-free scoped thread pool and reassembles the
+//! results **in matrix order**. Callers therefore keep their rendering
+//! (stdout tables, CSV rows) strictly sequential *after* the fan-out, which
+//! makes the output byte-identical to a `--jobs 1` run — the property pinned
+//! by `tests/sweep_determinism.rs`.
+//!
+//! Job-count selection: `--jobs N` on any bench binary (or `DCS_JOBS=N` in
+//! the environment, for `run_all_experiments.sh`); absent means all
+//! available cores. `--jobs 0` is rejected loudly rather than silently
+//! meaning "sequential" or "all cores".
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use when the user did not say: all available
+/// cores (1 if the count cannot be determined).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parse a `--jobs` value. Zero is a configuration error, not a mode.
+pub fn parse_jobs(v: &str) -> Result<usize, String> {
+    let n: usize = v
+        .parse()
+        .map_err(|_| format!("bad --jobs value '{v}' (expected a positive integer)"))?;
+    if n == 0 {
+        return Err("--jobs must be >= 1 (0 jobs cannot run anything; use 1 for sequential)"
+            .to_string());
+    }
+    Ok(n)
+}
+
+/// Resolve the job count for a bench binary from an argument vector plus the
+/// `DCS_JOBS` environment variable (flag wins). Absent everywhere = all
+/// cores.
+pub fn jobs_from(args: &[String], env_jobs: Option<&str>) -> Result<usize, String> {
+    let mut jobs: Option<usize> = match env_jobs {
+        Some(v) => Some(parse_jobs(v).map_err(|e| format!("DCS_JOBS: {e}"))?),
+        None => None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--jobs" | "-j" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--jobs needs a value".to_string())?;
+                jobs = Some(parse_jobs(v)?);
+            }
+            other => return Err(format!("unknown flag '{other}' (bench bins take --jobs N)")),
+        }
+    }
+    Ok(jobs.unwrap_or_else(available_jobs))
+}
+
+/// Job count for a bench `main`: parses `std::env::args` and `DCS_JOBS`,
+/// exiting with a parse error on bad input.
+pub fn jobs_or_exit() -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let env = std::env::var("DCS_JOBS").ok();
+    match jobs_from(&args, env.as_deref()) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Run `f` over every config, fanning the calls across up to `jobs` OS
+/// threads, and return the results **in the order of `configs`**.
+///
+/// `f` receives `(index, &config)`. With `jobs = 1` (or a single config) no
+/// thread is ever spawned — the calls run in order on the caller's thread,
+/// which keeps stack traces and panic behaviour identical to the historical
+/// sequential bins. With `jobs > 1` the cells are claimed from a shared
+/// atomic cursor (dynamic scheduling: cheap cells do not hold up expensive
+/// ones) and a panic in any cell propagates after the scope joins.
+pub fn run_matrix<C, R, F>(configs: &[C], jobs: usize, f: F) -> Vec<R>
+where
+    C: Sync,
+    R: Send,
+    F: Fn(usize, &C) -> R + Sync,
+{
+    assert!(jobs >= 1, "run_matrix needs at least one job");
+    if jobs == 1 || configs.len() <= 1 {
+        return configs.iter().enumerate().map(|(i, c)| f(i, c)).collect();
+    }
+    let threads = jobs.min(configs.len());
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(configs.len());
+    slots.resize_with(configs.len(), || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut mine: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= configs.len() {
+                        break;
+                    }
+                    mine.push((i, f(i, &configs[i])));
+                }
+                mine
+            }));
+        }
+        for h in handles {
+            // A panicked cell re-raises here, after every thread joined.
+            for (i, r) in h.join().expect("sweep worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every cell claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_order_is_preserved() {
+        let configs: Vec<u64> = (0..97).collect();
+        let seq = run_matrix(&configs, 1, |i, &c| (i as u64) * 1000 + c * c);
+        for jobs in [2, 3, 8] {
+            let par = run_matrix(&configs, jobs, |i, &c| (i as u64) * 1000 + c * c);
+            assert_eq!(seq, par, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_matrices() {
+        let none: Vec<u32> = vec![];
+        assert!(run_matrix(&none, 4, |_, &c| c).is_empty());
+        assert_eq!(run_matrix(&[7u32], 4, |_, &c| c + 1), vec![8]);
+    }
+
+    #[test]
+    fn jobs_parsing() {
+        assert_eq!(parse_jobs("3"), Ok(3));
+        assert!(parse_jobs("0").unwrap_err().contains(">= 1"));
+        assert!(parse_jobs("x").unwrap_err().contains("bad --jobs"));
+
+        let argv = |s: &str| -> Vec<String> {
+            s.split_whitespace().map(|x| x.to_string()).collect()
+        };
+        assert_eq!(jobs_from(&argv("--jobs 5"), None), Ok(5));
+        assert_eq!(jobs_from(&argv("-j 2"), None), Ok(2));
+        assert_eq!(jobs_from(&argv(""), Some("7")), Ok(7));
+        // The flag wins over the environment.
+        assert_eq!(jobs_from(&argv("--jobs 4"), Some("7")), Ok(4));
+        assert_eq!(jobs_from(&argv(""), None), Ok(available_jobs()));
+        assert!(jobs_from(&argv("--jobs"), None).is_err(), "missing value");
+        assert!(jobs_from(&argv("--jobs 0"), None).is_err(), "zero rejected");
+        assert!(jobs_from(&argv("--frobnicate 1"), None).is_err());
+        assert!(jobs_from(&argv(""), Some("0")).unwrap_err().contains("DCS_JOBS"));
+    }
+
+    #[test]
+    fn panics_propagate_after_join() {
+        let configs: Vec<u32> = (0..16).collect();
+        let res = std::panic::catch_unwind(|| {
+            run_matrix(&configs, 4, |_, &c| {
+                if c == 9 {
+                    panic!("cell 9 exploded");
+                }
+                c
+            })
+        });
+        assert!(res.is_err());
+    }
+}

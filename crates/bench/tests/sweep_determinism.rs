@@ -1,0 +1,108 @@
+//! Golden parallel-equals-sequential test for the sweep harness.
+//!
+//! Runs a small fig6-style experiment matrix — (bench, N, config, seed) over
+//! real simulations — once with `jobs = 1` and once with `jobs = 4`, renders
+//! both to full CSV strings through the same `csv_line` path the bench bins
+//! use, and requires the two documents to be **byte-identical**. This is the
+//! contract that makes `--jobs` safe to default on: host parallelism may
+//! only change wall-clock time, never a single output byte.
+
+use dcs_apps::pfor::{pfor_program, recpfor_program, PforParams};
+use dcs_bench::{csv_line, sweep};
+use dcs_core::prelude::*;
+
+struct Config {
+    name: &'static str,
+    policy: Policy,
+    free: FreeStrategy,
+}
+
+const CONFIGS: [Config; 3] = [
+    Config {
+        name: "baseline",
+        policy: Policy::ContStalling,
+        free: FreeStrategy::LockQueue,
+    },
+    Config {
+        name: "greedy",
+        policy: Policy::ContGreedy,
+        free: FreeStrategy::LocalCollection,
+    },
+    Config {
+        name: "child-full",
+        policy: Policy::ChildFull,
+        free: FreeStrategy::LocalCollection,
+    },
+];
+
+/// The miniature fig6 matrix: bench × N × config × seed, in render order.
+fn cells() -> Vec<(&'static str, u64, usize, u64)> {
+    let mut out = Vec::new();
+    for (bench, sizes) in [("PFor", [1u64 << 8, 1 << 9]), ("RecPFor", [1 << 5, 1 << 6])] {
+        for n in sizes {
+            for (ci, _) in CONFIGS.iter().enumerate() {
+                for seed in [0x5EED, 0x5EEE] {
+                    out.push((bench, n, ci, seed));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Render the whole experiment to one CSV document at the given job count.
+fn render(jobs: usize) -> String {
+    let workers = 16;
+    let cells = cells();
+    let reports = sweep::run_matrix(&cells, jobs, |_, &(bench, n, ci, seed)| {
+        let cfg = RunConfig::new(workers, CONFIGS[ci].policy)
+            .with_free_strategy(CONFIGS[ci].free)
+            .with_seed(seed)
+            .with_seg_bytes(16 << 20);
+        let params = PforParams::paper(n);
+        let program = match bench {
+            "PFor" => pfor_program(params),
+            _ => recpfor_program(params),
+        };
+        run(cfg, program)
+    });
+
+    let mut doc = String::from("bench,n,config,seed,elapsed_ns,steals_ok,outstanding,threads\n");
+    for (&(bench, n, ci, seed), r) in cells.iter().zip(&reports) {
+        doc.push_str(&csv_line(&[
+            &bench,
+            &n,
+            &CONFIGS[ci].name,
+            &seed,
+            &r.elapsed.as_ns(),
+            &r.stats.steals_ok,
+            &r.stats.outstanding_joins,
+            &r.threads,
+        ]));
+        doc.push('\n');
+    }
+    doc
+}
+
+#[test]
+fn parallel_sweep_output_is_byte_identical_to_sequential() {
+    let seq = render(1);
+    let par = render(4);
+    assert!(
+        seq == par,
+        "jobs=4 changed the CSV document:\n--- jobs=1 ---\n{seq}\n--- jobs=4 ---\n{par}"
+    );
+    // And the document is not trivially empty.
+    assert_eq!(seq.lines().count(), 1 + cells().len());
+    assert!(seq.lines().nth(1).unwrap().starts_with("PFor,256,baseline,"));
+}
+
+/// Oversubscription (more jobs than cells) and a second identical pass (pool
+/// reuse in a warm process) must also reproduce the document.
+#[test]
+fn oversubscribed_and_warm_passes_agree() {
+    let first = render(32);
+    let second = render(32);
+    assert_eq!(first, render(1));
+    assert_eq!(first, second, "warm segment pool changed results");
+}

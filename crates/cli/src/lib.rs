@@ -82,6 +82,9 @@ pub struct RunArgs {
 pub struct SweepArgs {
     pub base: RunArgs,
     pub worker_list: Vec<usize>,
+    /// Host threads the sweep points fan out across (`--jobs`); the output
+    /// is identical for any value — see `dcs_bench::sweep`.
+    pub jobs: usize,
 }
 
 fn parse_policy(s: &str) -> Result<Policy, String> {
@@ -144,10 +147,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "info" => Ok(Command::Info),
         "run" => Ok(Command::Run(parse_run(rest)?)),
         "sweep" => {
-            let (base, workers) = parse_run_with_list(rest)?;
+            let (base, workers, jobs) = parse_run_with_list(rest)?;
+            let jobs = match jobs {
+                Some(v) => dcs_bench::sweep::parse_jobs(&v)?,
+                None => dcs_bench::sweep::available_jobs(),
+            };
             Ok(Command::Sweep(SweepArgs {
                 base,
                 worker_list: workers,
+                jobs,
             }))
         }
         other => Err(format!("unknown command '{other}' (run|sweep|info|help)")),
@@ -155,17 +163,21 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
 }
 
 fn parse_run(args: &[String]) -> Result<RunArgs, String> {
-    let (run, list) = parse_run_with_list(args)?;
+    let (run, list, jobs) = parse_run_with_list(args)?;
     if list.len() > 1 {
         return Err("multiple --workers values only make sense with `sweep`".into());
+    }
+    if jobs.is_some() {
+        return Err("--jobs only makes sense with `sweep` (a single run is one job)".into());
     }
     Ok(run)
 }
 
-fn parse_run_with_list(args: &[String]) -> Result<(RunArgs, Vec<usize>), String> {
+fn parse_run_with_list(args: &[String]) -> Result<(RunArgs, Vec<usize>, Option<String>), String> {
     let mut out = RunArgs::defaults();
     let mut worker_list = vec![out.workers];
     let mut fault_seed: Option<u64> = None;
+    let mut jobs: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut val = || -> Result<&String, String> {
@@ -210,6 +222,7 @@ fn parse_run_with_list(args: &[String]) -> Result<(RunArgs, Vec<usize>), String>
             "--node-size" => {
                 out.node_size = Some(val()?.parse().map_err(|_| "bad --node-size".to_string())?)
             }
+            "--jobs" | "-j" => jobs = Some(val()?.clone()),
             "--trace" => out.trace_out = Some(val()?.clone()),
             "--fault-plan" => out.fault = FaultPlan::parse(val()?)?,
             "--fault-seed" => {
@@ -222,7 +235,7 @@ fn parse_run_with_list(args: &[String]) -> Result<(RunArgs, Vec<usize>), String>
     if let Some(s) = fault_seed {
         out.fault = out.fault.clone().with_seed(s);
     }
-    Ok((out, worker_list))
+    Ok((out, worker_list, jobs))
 }
 
 /// Default problem size per benchmark when `--n` is absent.
@@ -400,8 +413,47 @@ fn render_report(a: &RunArgs, n: u64, r: &RunReport) -> String {
     s
 }
 
-/// Execute a `sweep` command.
+/// Execute a `sweep` command. The per-P simulations fan out across
+/// `a.jobs` host threads; rows are rendered strictly in `worker_list`
+/// order, so the output is independent of `jobs`.
 pub fn execute_sweep(a: &SweepArgs) -> String {
+    // (elapsed, steals_ok, avg steal latency; None for the BoT runtime).
+    let rows: Vec<(VTime, u64, Option<VTime>)> =
+        dcs_bench::sweep::run_matrix(&a.worker_list, a.jobs, |_, &p| {
+            let args = a.base.clone();
+            let n = if args.n == 0 { default_n(args.bench) } else { args.n };
+            let cfg = RunConfig::new(p, args.policy)
+                .with_profile(args.machine.clone())
+                .with_seed(args.seed)
+                .with_seg_bytes(64 << 20)
+                .with_fault_plan(args.fault.clone());
+            let program = match args.bench {
+                Bench::Fib => Program::new(fib_task, n),
+                Bench::Pfor => pfor::pfor_program(pfor::PforParams::paper(n)),
+                Bench::Recpfor => pfor::recpfor_program(pfor::PforParams::paper(n)),
+                Bench::Uts => {
+                    uts::program(uts::UtsSpec::new(4.0, n as u32, uts::Shape::Linear, 19))
+                }
+                Bench::Lcs => lcs::program(lcs::LcsParams::random(n, 256.min(n), args.seed)),
+                Bench::Nqueens => nqueens::program(nqueens::NqParams::new(n as u32)),
+                Bench::Msort => {
+                    msort::program(msort::SortParams::random(n as usize, 64, args.seed))
+                }
+                Bench::Matmul => matmul::program(matmul::MatParams::random(
+                    n as usize,
+                    16.min(n as usize),
+                    args.seed,
+                )),
+                Bench::BotUts => {
+                    let spec = uts::UtsSpec::new(4.0, n as u32, uts::Shape::Linear, 19);
+                    let r = dcs_bot::onesided::run_uts(&spec, p, args.machine.clone(), args.seed);
+                    return (r.elapsed, r.steals_ok, None);
+                }
+            };
+            let r = run(cfg, program);
+            (r.elapsed, r.stats.steals_ok, Some(r.stats.avg_steal_latency()))
+        });
+
     let mut s = String::new();
     let _ = writeln!(
         s,
@@ -409,55 +461,16 @@ pub fn execute_sweep(a: &SweepArgs) -> String {
         "workers", "elapsed", "steals", "steal lat", "speedup"
     );
     let mut base: Option<f64> = None;
-    for &p in &a.worker_list {
-        let mut args = a.base.clone();
-        args.workers = p;
-        let n = if args.n == 0 { default_n(args.bench) } else { args.n };
-        let cfg = RunConfig::new(p, args.policy)
-            .with_profile(args.machine.clone())
-            .with_seed(args.seed)
-            .with_seg_bytes(64 << 20)
-            .with_fault_plan(args.fault.clone());
-        let program = match args.bench {
-            Bench::Fib => Program::new(fib_task, n),
-            Bench::Pfor => pfor::pfor_program(pfor::PforParams::paper(n)),
-            Bench::Recpfor => pfor::recpfor_program(pfor::PforParams::paper(n)),
-            Bench::Uts => uts::program(uts::UtsSpec::new(4.0, n as u32, uts::Shape::Linear, 19)),
-            Bench::Lcs => lcs::program(lcs::LcsParams::random(n, 256.min(n), args.seed)),
-            Bench::Nqueens => nqueens::program(nqueens::NqParams::new(n as u32)),
-            Bench::Msort => {
-                msort::program(msort::SortParams::random(n as usize, 64, args.seed))
-            }
-            Bench::Matmul => {
-                matmul::program(matmul::MatParams::random(n as usize, 16.min(n as usize), args.seed))
-            }
-            Bench::BotUts => {
-                let spec = uts::UtsSpec::new(4.0, n as u32, uts::Shape::Linear, 19);
-                let r = dcs_bot::onesided::run_uts(&spec, p, args.machine.clone(), args.seed);
-                let t = r.elapsed.as_ns() as f64;
-                let speedup = *base.get_or_insert(t) / t;
-                let _ = writeln!(
-                    s,
-                    "{:>8} {:>14} {:>10} {:>12} {:>9.2}x",
-                    p,
-                    r.elapsed.to_string(),
-                    r.steals_ok,
-                    "-",
-                    speedup
-                );
-                continue;
-            }
-        };
-        let r = run(cfg, program);
-        let t = r.elapsed.as_ns() as f64;
+    for (&p, &(elapsed, steals_ok, lat)) in a.worker_list.iter().zip(&rows) {
+        let t = elapsed.as_ns() as f64;
         let speedup = *base.get_or_insert(t) / t;
         let _ = writeln!(
             s,
             "{:>8} {:>14} {:>10} {:>12} {:>9.2}x",
             p,
-            r.elapsed.to_string(),
-            r.stats.steals_ok,
-            r.stats.avg_steal_latency().to_string(),
+            elapsed.to_string(),
+            steals_ok,
+            lat.map_or_else(|| "-".to_string(), |l| l.to_string()),
             speedup
         );
     }
@@ -498,6 +511,8 @@ FLAGS (run & sweep):
     --bench <fib|pfor|recpfor|uts|lcs|nqueens|msort|matmul|bot-uts> [uts]
     --policy <cont-greedy|cont-stalling|child-full|child-rtc>       [cont-greedy]
     --workers, -p <n[,n...]>                      worker count(s)    [16]
+    --jobs, -j <n>     host threads for sweep points (sweep only;
+                       output is identical for any value)             [host cores]
     --machine <itoa|wisteria|test>                latency profile    [itoa]
     --n <num>          problem size (bench-specific; uts: gen_mx)
     --seed <num>       run seed                                      [0x5EED]
@@ -561,6 +576,34 @@ mod tests {
         let Command::Sweep(a) = cmd else { panic!() };
         assert_eq!(a.worker_list, vec![1, 2, 4]);
         assert_eq!(a.base.bench, Bench::Fib);
+    }
+
+    #[test]
+    fn parses_jobs_flag() {
+        let cmd = parse(&argv("sweep --bench fib --workers 1,2 --jobs 3")).unwrap();
+        let Command::Sweep(a) = cmd else { panic!() };
+        assert_eq!(a.jobs, 3);
+        // Short form.
+        let cmd = parse(&argv("sweep --bench fib -j 2")).unwrap();
+        let Command::Sweep(a) = cmd else { panic!() };
+        assert_eq!(a.jobs, 2);
+        // Absent: defaults to the host's available cores (>= 1 always).
+        let cmd = parse(&argv("sweep --bench fib --workers 1,2")).unwrap();
+        let Command::Sweep(a) = cmd else { panic!() };
+        assert_eq!(a.jobs, dcs_bench::sweep::available_jobs());
+        assert!(a.jobs >= 1);
+    }
+
+    #[test]
+    fn rejects_bad_jobs() {
+        // Zero jobs cannot make progress — rejected with a specific message.
+        let err = parse(&argv("sweep --bench fib --jobs 0")).unwrap_err();
+        assert!(err.contains(">= 1"), "{err}");
+        assert!(parse(&argv("sweep --jobs x")).is_err());
+        assert!(parse(&argv("sweep --jobs")).is_err(), "missing value");
+        // `run` is a single simulation; --jobs belongs to sweep.
+        let err = parse(&argv("run --bench fib --jobs 2")).unwrap_err();
+        assert!(err.contains("sweep"), "{err}");
     }
 
     #[test]
@@ -647,7 +690,22 @@ mod tests {
         let out = execute_sweep(&SweepArgs {
             base,
             worker_list: vec![1, 2],
+            jobs: 1,
         });
         assert!(out.contains("1.00x"), "{out}");
+    }
+
+    #[test]
+    fn sweep_output_is_independent_of_jobs() {
+        let mut base = RunArgs::defaults();
+        base.bench = Bench::Fib;
+        base.n = 12;
+        base.machine = profiles::test_profile();
+        let mk = |jobs| SweepArgs {
+            base: base.clone(),
+            worker_list: vec![1, 2, 4],
+            jobs,
+        };
+        assert_eq!(execute_sweep(&mk(1)), execute_sweep(&mk(4)));
     }
 }

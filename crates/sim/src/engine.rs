@@ -82,27 +82,48 @@ impl<W, A: Actor<W>> Engine<W, A> {
     /// Panics if `max_steps` is exceeded — in this codebase that always
     /// indicates a scheduling bug (lost task, missed wakeup), so failing loud
     /// beats hanging a benchmark run.
+    ///
+    /// Hot path: after a `Yield`, the engine *peeks* the heap instead of
+    /// re-inserting unconditionally. If the stepping actor's new key
+    /// `(clock, id)` is still below the heap minimum it simply keeps
+    /// running — the pop it just avoided would have returned exactly that
+    /// key (keys are unique per worker, so the comparison is never a tie).
+    /// This skips the push/pop pair for the common case of one worker
+    /// burning through local work while the rest idle ahead in time, and
+    /// by construction executes the identical `(time, worker)` sequence as
+    /// the plain heap loop (pinned by `tests/engine_equiv.rs`).
     pub fn run(&mut self) -> EngineReport {
         let mut steps = 0u64;
         let mut end = VTime::ZERO;
-        while let Some(Reverse((t, w))) = self.heap.pop() {
-            steps += 1;
-            assert!(
-                steps <= self.max_steps,
-                "engine exceeded {} steps at t={} — scheduling deadlock?",
-                self.max_steps,
-                t
-            );
-            match self.actors[w].step(w, t, &mut self.world) {
-                Step::Yield(d) => {
-                    let d = d.max(VTime::ns(1));
-                    let nt = t + d;
-                    self.clocks[w] = nt;
-                    self.heap.push(Reverse((nt, w)));
-                }
-                Step::Halt => {
-                    self.clocks[w] = t;
-                    end = end.max(t);
+        while let Some(Reverse((mut t, w))) = self.heap.pop() {
+            loop {
+                steps += 1;
+                assert!(
+                    steps <= self.max_steps,
+                    "engine exceeded {} steps at t={} — scheduling deadlock?",
+                    self.max_steps,
+                    t
+                );
+                match self.actors[w].step(w, t, &mut self.world) {
+                    Step::Yield(d) => {
+                        let d = d.max(VTime::ns(1));
+                        let nt = t + d;
+                        self.clocks[w] = nt;
+                        match self.heap.peek() {
+                            Some(&Reverse(min)) if min < (nt, w) => {
+                                self.heap.push(Reverse((nt, w)));
+                                break;
+                            }
+                            // Still the global minimum (or the last actor
+                            // standing): keep stepping without heap churn.
+                            _ => t = nt,
+                        }
+                    }
+                    Step::Halt => {
+                        self.clocks[w] = t;
+                        end = end.max(t);
+                        break;
+                    }
                 }
             }
         }
@@ -208,6 +229,49 @@ mod tests {
         }
         let mut e = Engine::new((), vec![Forever]).with_max_steps(100);
         e.run();
+    }
+
+    /// `end_time` is the maximum over *Halt* times: a straggler that keeps
+    /// yielding long after everyone else halted must still set the end time,
+    /// and an actor halting early must not clamp it.
+    #[test]
+    fn end_time_is_max_halt_time() {
+        // Worker 0 halts immediately at t=0; worker 1 yields 7×9 ns and
+        // halts at t=63. The report must say 63, not 0.
+        let actors = vec![
+            Countdown {
+                remaining: 0,
+                dur: VTime::ns(1),
+                log: vec![],
+            },
+            Countdown {
+                remaining: 7,
+                dur: VTime::ns(9),
+                log: vec![],
+            },
+        ];
+        let mut e = Engine::new(Vec::new(), actors);
+        let r = e.run();
+        assert_eq!(r.end_time, VTime::ns(63));
+        assert_eq!(e.clock(0), VTime::ZERO);
+        assert_eq!(e.clock(1), VTime::ns(63));
+    }
+
+    /// Two actors halting at the same instant (a simultaneous shutdown, the
+    /// common end of a barrier-style run) must report that instant once.
+    #[test]
+    fn end_time_with_simultaneous_halts() {
+        let actors: Vec<Countdown> = (0..3)
+            .map(|_| Countdown {
+                remaining: 4,
+                dur: VTime::ns(5),
+                log: vec![],
+            })
+            .collect();
+        let mut e = Engine::new(Vec::new(), actors);
+        let r = e.run();
+        assert_eq!(r.end_time, VTime::ns(20));
+        assert_eq!(r.steps, 3 * 4 + 3); // 4 yields + 1 halt step each
     }
 
     #[test]

@@ -20,7 +20,10 @@ pub struct Mailbox<M> {
 impl<M> Mailbox<M> {
     pub fn new(workers: usize) -> Mailbox<M> {
         Mailbox {
-            queues: (0..workers).map(|_| VecDeque::new()).collect(),
+            // Pre-sized so the first bursts of steal traffic don't grow the
+            // ring; a VecDeque never shrinks, so after warm-up the queue is
+            // allocation-free regardless.
+            queues: (0..workers).map(|_| VecDeque::with_capacity(32)).collect(),
         }
     }
 

@@ -20,7 +20,8 @@
 //! segregated free list is good at, and it keeps allocation O(1) and
 //! deterministic.
 
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// Bytes per memory word.
@@ -177,6 +178,51 @@ fn round_up(bytes: u32) -> u32 {
     bytes.div_ceil(WORD) * WORD
 }
 
+/// Per-thread recycling pool for segment backing buffers.
+///
+/// Segments are typically sized at tens of MiB and a sweep executes many
+/// thousands of runs, each creating one segment per simulated worker — the
+/// dominant host-side allocation of the whole harness. Instead of returning
+/// each buffer to the OS on drop (and re-faulting every touched page on the
+/// next run), dropped buffers have their *dirty prefix* zeroed and are kept
+/// for reuse.
+///
+/// Invariant: every pooled buffer is all-zero, so a recycled buffer is
+/// indistinguishable from a freshly calloc'd one — pooling cannot change
+/// any simulation result. The dirty prefix is exactly `[0, alloc.bump)`:
+/// the allocator only hands out offsets below its bump pointer and the
+/// statically reserved region sits below the initial bump, so no write can
+/// land past it.
+///
+/// The pool is thread-local (a run lives entirely on one host thread, see
+/// `dcs-bench`'s sweep harness) and bounded per size class.
+const POOL_PER_CLASS: usize = 256;
+
+thread_local! {
+    static SEG_POOL: RefCell<HashMap<usize, Vec<Vec<u64>>>> = RefCell::new(HashMap::new());
+}
+
+fn pool_take(words: usize) -> Vec<u64> {
+    SEG_POOL
+        .with(|p| p.borrow_mut().get_mut(&words).and_then(Vec::pop))
+        .unwrap_or_else(|| vec![0; words])
+}
+
+fn pool_put(mut buf: Vec<u64>, dirty_words: usize) {
+    if buf.is_empty() {
+        return; // moved-out segment (or zero-capacity): nothing to keep
+    }
+    let dirty = dirty_words.min(buf.len());
+    buf[..dirty].fill(0);
+    SEG_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        let class = pool.entry(buf.len()).or_default();
+        if class.len() < POOL_PER_CLASS {
+            class.push(buf);
+        }
+    });
+}
+
 /// One worker's pinned memory window.
 ///
 /// The first `reserved` bytes are statically laid out by the runtime (deque
@@ -194,7 +240,7 @@ impl Segment {
         let reserved = round_up(reserved_bytes);
         assert!(reserved <= cap_bytes);
         Segment {
-            words: vec![0; (cap_bytes / WORD) as usize],
+            words: pool_take((cap_bytes / WORD) as usize),
             alloc: SegAlloc::new(cap_bytes, reserved),
         }
     }
@@ -244,6 +290,14 @@ impl Segment {
 
     pub fn alloc_stats(&self) -> SegStats {
         self.alloc.stats()
+    }
+}
+
+impl Drop for Segment {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.words);
+        // Everything ever written sits below the allocator bump pointer.
+        pool_put(buf, (self.alloc.bump / WORD) as usize);
     }
 }
 
@@ -316,6 +370,33 @@ mod tests {
     fn exhaustion_panics() {
         let mut s = Segment::new(64, 0);
         let _ = s.alloc(128);
+    }
+
+    /// A dropped segment's buffer comes back through the thread-local pool
+    /// with every previously dirtied word zeroed — a recycled segment must
+    /// be indistinguishable from a fresh one.
+    #[test]
+    fn recycled_segment_is_all_zero() {
+        // An odd capacity no other test uses, so this class is ours alone.
+        let cap = 81 * 1024 * 8;
+        let mut dirtied = Vec::new();
+        {
+            let mut s = Segment::new(cap, 128);
+            s.write(0, u64::MAX); // reserved region
+            for _ in 0..100 {
+                let off = s.alloc(56);
+                s.write(off, 0xDEAD_BEEF);
+                s.write(off + 48, 0xF00D);
+                dirtied.push(off);
+            }
+        } // drop → pooled
+        let s = Segment::new(cap, 128);
+        assert_eq!(s.read(0), 0);
+        for off in dirtied {
+            for i in 0..7 {
+                assert_eq!(s.read(off + i * WORD), 0, "stale word at {off}+{i}");
+            }
+        }
     }
 
     #[test]

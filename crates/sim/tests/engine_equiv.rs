@@ -1,0 +1,137 @@
+//! Property test: the engine's peek-compare fast path is unobservable.
+//!
+//! The production [`Engine`] skips the heap push/pop when the stepping actor
+//! remains the global minimum after a `Yield`. This test drives the same
+//! randomized actor schedules through the production engine *and* through a
+//! plain reference loop that always goes through the `BinaryHeap`, and
+//! requires identical `(time, worker)` step sequences, end times, step
+//! counts and final clocks — including the tricky schedules: zero-duration
+//! yields (bumped to 1 ns), duplicate durations producing simultaneous
+//! halts, actors with no yields at all, and a single actor running alone
+//! (the all-fast-path extreme).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dcs_sim::{Actor, Engine, Step, VTime, WorkerId};
+use proptest::prelude::*;
+
+/// Trace of every step the engine performed, in execution order.
+type Trace = Vec<(VTime, WorkerId)>;
+
+/// An actor that follows a fixed yield script, then halts.
+#[derive(Clone)]
+struct Scripted {
+    yields: Vec<u64>,
+    next: usize,
+}
+
+impl Scripted {
+    fn new(yields: Vec<u64>) -> Scripted {
+        Scripted { yields, next: 0 }
+    }
+}
+
+impl Actor<Trace> for Scripted {
+    fn step(&mut self, me: WorkerId, now: VTime, world: &mut Trace) -> Step {
+        world.push((now, me));
+        match self.yields.get(self.next) {
+            Some(&d) => {
+                self.next += 1;
+                Step::Yield(VTime::ns(d))
+            }
+            None => Step::Halt,
+        }
+    }
+}
+
+/// The pre-fast-path event loop: unconditional pop/push on every step. This
+/// is the semantics the production engine must reproduce exactly.
+fn reference_run(mut actors: Vec<Scripted>) -> (Trace, VTime, u64, Vec<VTime>) {
+    let n = actors.len();
+    let mut heap: BinaryHeap<Reverse<(VTime, WorkerId)>> = BinaryHeap::new();
+    for w in 0..n {
+        heap.push(Reverse((VTime::ZERO, w)));
+    }
+    let mut trace = Trace::new();
+    let mut clocks = vec![VTime::ZERO; n];
+    let mut steps = 0u64;
+    let mut end = VTime::ZERO;
+    while let Some(Reverse((t, w))) = heap.pop() {
+        steps += 1;
+        match actors[w].step(w, t, &mut trace) {
+            Step::Yield(d) => {
+                let nt = t + d.max(VTime::ns(1));
+                clocks[w] = nt;
+                heap.push(Reverse((nt, w)));
+            }
+            Step::Halt => {
+                clocks[w] = t;
+                end = end.max(t);
+            }
+        }
+    }
+    (trace, end, steps, clocks)
+}
+
+fn fast_run(actors: Vec<Scripted>) -> (Trace, VTime, u64, Vec<VTime>) {
+    let n = actors.len();
+    let mut e = Engine::new(Trace::new(), actors);
+    let r = e.run();
+    let clocks = (0..n).map(|w| e.clock(w)).collect();
+    let (trace, _) = e.into_parts();
+    (trace, r.end_time, r.steps, clocks)
+}
+
+fn assert_equivalent(scripts: Vec<Vec<u64>>) {
+    let actors: Vec<Scripted> = scripts.iter().cloned().map(Scripted::new).collect();
+    let (rt, rend, rsteps, rclocks) = reference_run(actors.clone());
+    let (ft, fend, fsteps, fclocks) = fast_run(actors);
+    assert_eq!(rt, ft, "step sequences diverged for scripts {scripts:?}");
+    assert_eq!(rend, fend, "end_time diverged for scripts {scripts:?}");
+    assert_eq!(rsteps, fsteps, "step counts diverged for scripts {scripts:?}");
+    assert_eq!(rclocks, fclocks, "final clocks diverged for scripts {scripts:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Random fleets of 1–6 actors, each with 0–12 yields drawn from a
+    /// small range so that collisions (equal wakeup times) are frequent.
+    #[test]
+    fn fast_path_is_unobservable(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(0u64..6, 0..12),
+            1..6,
+        )
+    ) {
+        assert_equivalent(scripts);
+    }
+
+    /// Long single-actor runs: the fast path never touches the heap after
+    /// the first pop, the purest exercise of the peek-skip.
+    #[test]
+    fn single_actor_all_fast_path(script in proptest::collection::vec(0u64..50, 0..64)) {
+        assert_equivalent(vec![script]);
+    }
+}
+
+#[test]
+fn zero_yield_actors_halt_in_id_order() {
+    // Three actors that never yield: three Halt steps at t=0, ids 0,1,2.
+    assert_equivalent(vec![vec![], vec![], vec![]]);
+    let actors = vec![Scripted::new(vec![]); 3];
+    let (trace, end, steps, _) = fast_run(actors);
+    assert_eq!(trace, vec![(VTime::ZERO, 0), (VTime::ZERO, 1), (VTime::ZERO, 2)]);
+    assert_eq!(end, VTime::ZERO);
+    assert_eq!(steps, 3);
+}
+
+#[test]
+fn simultaneous_halts_match_reference() {
+    // Identical scripts → every wakeup and the final halts are ties; order
+    // must be by worker id at each instant, same as the reference.
+    assert_equivalent(vec![vec![5, 5, 5]; 4]);
+    // Mixed: one straggler outlives simultaneous early halts.
+    assert_equivalent(vec![vec![], vec![2, 2], vec![1, 1, 1, 1, 1, 1, 1]]);
+}

@@ -2,8 +2,30 @@
 # Regenerate every table and figure. Outputs land in results/*.csv and
 # results/*.txt. Full run takes tens of minutes on one core; set DCS_QUICK=1
 # for a minutes-long smoke pass.
+#
+# Each bin fans its independent simulations across host threads. Pass
+# --jobs N (or set DCS_JOBS) to pin the thread count; the default is the
+# host's available cores. Output is byte-identical for any value.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+JOBS_ARGS=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --jobs|-j)
+            JOBS_ARGS=(--jobs "$2")
+            shift 2
+            ;;
+        --jobs=*)
+            JOBS_ARGS=(--jobs "${1#--jobs=}")
+            shift
+            ;;
+        *)
+            echo "usage: $0 [--jobs N]" >&2
+            exit 2
+            ;;
+    esac
+done
 
 cargo build --release -p dcs-bench
 
@@ -11,7 +33,7 @@ mkdir -p results
 for bin in fig6 table2 fig7 fig8 fig9 table3 fig12 ablate_free ablate_join ablate_uniaddr ablate_topology ablate_stealhalf ablate_faults; do
     echo "=== running $bin ==="
     start=$(date +%s)
-    ./target/release/$bin 2>&1 | tee "results/$bin.txt"
+    ./target/release/$bin "${JOBS_ARGS[@]}" 2>&1 | tee "results/$bin.txt"
     echo "($(( $(date +%s) - start )) s host time for $bin)"
 done
 echo "All experiments complete; see results/."

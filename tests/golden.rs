@@ -52,6 +52,63 @@ fn golden_uts_child_rtc() {
     assert_eq!(r.stats.steals_ok, 16);
 }
 
+/// 16-worker UTS on the ITO-A latency profile — one golden per policy.
+/// Wider than the 4-worker pins above, so steal traffic (and therefore the
+/// victim-RNG stream and the engine's fast-path/heap interleaving) is
+/// exercised much harder; these pin the exact event order at a scale where
+/// a subtle ordering bug would actually show.
+fn uts16_itoa(policy: Policy) -> RunReport {
+    run(
+        RunConfig::new(16, policy)
+            .with_profile(profiles::itoa())
+            .with_seed(7)
+            .with_seg_bytes(64 << 20),
+        uts::program(uts::presets::tiny()),
+    )
+}
+
+#[test]
+fn golden_uts16_itoa_cont_greedy() {
+    let r = uts16_itoa(Policy::ContGreedy);
+    assert_eq!(r.result.as_u64(), 3028);
+    assert_eq!(r.elapsed, VTime::ns(601_308));
+    assert_eq!(r.stats.steals_ok, 32);
+    assert_eq!(r.stats.steals_failed, 532);
+    assert_eq!(r.stats.outstanding_joins, 8);
+    assert_eq!(r.steps, 82_685);
+    assert_eq!(r.threads, 1674);
+}
+
+#[test]
+fn golden_uts16_itoa_cont_stalling() {
+    let r = uts16_itoa(Policy::ContStalling);
+    assert_eq!(r.result.as_u64(), 3028);
+    assert_eq!(r.elapsed, VTime::ns(609_913));
+    assert_eq!(r.stats.steals_ok, 29);
+    assert_eq!(r.stats.steals_failed, 570);
+    assert_eq!(r.steps, 83_125);
+}
+
+#[test]
+fn golden_uts16_itoa_child_full() {
+    let r = uts16_itoa(Policy::ChildFull);
+    assert_eq!(r.result.as_u64(), 3028);
+    assert_eq!(r.elapsed, VTime::ns(2_339_226));
+    assert_eq!(r.stats.steals_ok, 53);
+    assert_eq!(r.stats.steals_failed, 2_922);
+    assert_eq!(r.stats.outstanding_joins, 769);
+    assert_eq!(r.steps, 383_082);
+}
+
+#[test]
+fn golden_uts16_itoa_child_rtc() {
+    let r = uts16_itoa(Policy::ChildRtc);
+    assert_eq!(r.result.as_u64(), 3028);
+    assert_eq!(r.elapsed, VTime::ns(451_170));
+    assert_eq!(r.stats.steals_ok, 34);
+    assert_eq!(r.steps, 80_298);
+}
+
 #[test]
 fn golden_recpfor_greedy() {
     let r = run(
