@@ -17,8 +17,8 @@
 
 use dcs_apps::uts::UtsSpec;
 use dcs_sim::{
-    Actor, Engine, FaultPlan, GlobalAddr, Machine, MachineConfig, MachineProfile, SimRng, Step,
-    VTime, WorkerId,
+    Actor, Engine, FaultPlan, GlobalAddr, Machine, MachineConfig, MachineProfile, ScheduleHook,
+    SimRng, Step, VTime, WorkerId,
 };
 
 use crate::termination::{accumulate, Detector, Token};
@@ -180,7 +180,10 @@ impl BotWorker {
     fn step_idle(&mut self, now: VTime, w: &mut BotWorld) -> Step {
         let me = self.me;
         if w.m.is_done() {
-            assert!(w.bags[me].is_empty(), "terminated with work in the bag");
+            // Terminating with work in the bag is a detector bug; it is left
+            // observable (not asserted) so schedule exploration can report
+            // it: plain runs catch it via the post-run created == consumed
+            // assert, hooked runs via `BotCheckOutcome::bags_nonempty`.
             self.halted = true;
             return Step::Halt;
         }
@@ -281,6 +284,91 @@ pub fn run_uts_faulty(
     amount: StealAmount,
     plan: FaultPlan,
 ) -> BotReport {
+    let mut engine = build_uts(spec, workers, profile, seed, amount, plan);
+    let report = engine.run();
+    let (world, actors) = engine.into_parts();
+
+    let created: u64 = world.counters.iter().map(|c| c.created).sum();
+    let consumed: u64 = world.counters.iter().map(|c| c.consumed).sum();
+    assert_eq!(created, consumed, "termination fired with outstanding work");
+
+    BotReport {
+        elapsed: report.end_time,
+        nodes: world.counters.iter().map(|c| c.nodes).sum(),
+        steals_ok: actors.iter().map(|a| a.steals_ok).sum(),
+        steals_failed: actors.iter().map(|a| a.steals_failed).sum(),
+        messages: 0,
+        token_rounds: world.token_rounds,
+        fabric: world.m.stats_total(),
+        steps: report.steps,
+    }
+}
+
+/// What a schedule-explored BoT run actually did — raw observations for
+/// `dcs-check`'s termination oracle, with no asserts of its own (the checker
+/// turns mismatches into reported violations instead of panics).
+#[derive(Clone, Debug)]
+pub struct BotCheckOutcome {
+    /// UTS nodes expanded across all workers.
+    pub nodes: u64,
+    /// Global created / consumed task counts at the moment every worker
+    /// halted — termination *safety* is `created == consumed`.
+    pub created: u64,
+    pub consumed: u64,
+    /// Workers whose bag still held tasks when the run ended (must be
+    /// empty: terminating with resident work loses it).
+    pub bags_nonempty: Vec<WorkerId>,
+    /// Token rounds the detector ran.
+    pub token_rounds: u64,
+    /// Engine steps taken — bounded, so an exploration that livelocks is
+    /// caught by the engine's step ceiling rather than hanging the checker.
+    pub steps: u64,
+}
+
+/// Run UTS with the engine's step order chosen by `hook` (fault-free), and
+/// return raw observations instead of an asserted [`BotReport`].
+pub fn run_uts_hooked<H: ScheduleHook + ?Sized>(
+    spec: &UtsSpec,
+    workers: usize,
+    profile: MachineProfile,
+    seed: u64,
+    hook: &mut H,
+) -> BotCheckOutcome {
+    let mut engine = build_uts(
+        spec,
+        workers,
+        profile,
+        seed,
+        StealAmount::Half,
+        FaultPlan::none(),
+    );
+    let report = engine.run_with_hook(hook);
+    let (world, _actors) = engine.into_parts();
+    BotCheckOutcome {
+        nodes: world.counters.iter().map(|c| c.nodes).sum(),
+        created: world.counters.iter().map(|c| c.created).sum(),
+        consumed: world.counters.iter().map(|c| c.consumed).sum(),
+        bags_nonempty: world
+            .bags
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(w, _)| w)
+            .collect(),
+        token_rounds: world.token_rounds,
+        steps: report.steps,
+    }
+}
+
+/// Assemble the machine, seeded world and worker actors of a UTS run.
+fn build_uts(
+    spec: &UtsSpec,
+    workers: usize,
+    profile: MachineProfile,
+    seed: u64,
+    amount: StealAmount,
+    plan: FaultPlan,
+) -> Engine<BotWorld, BotWorker> {
     let scale = profile.compute_scale;
     let m = Machine::new(
         MachineConfig::new(workers, profile)
@@ -316,24 +404,7 @@ pub fn run_uts_faulty(
         })
         .collect();
 
-    let mut engine = Engine::new(world, actors);
-    let report = engine.run();
-    let (world, actors) = engine.into_parts();
-
-    let created: u64 = world.counters.iter().map(|c| c.created).sum();
-    let consumed: u64 = world.counters.iter().map(|c| c.consumed).sum();
-    assert_eq!(created, consumed, "termination fired with outstanding work");
-
-    BotReport {
-        elapsed: report.end_time,
-        nodes: world.counters.iter().map(|c| c.nodes).sum(),
-        steals_ok: actors.iter().map(|a| a.steals_ok).sum(),
-        steals_failed: actors.iter().map(|a| a.steals_failed).sum(),
-        messages: 0,
-        token_rounds: world.token_rounds,
-        fabric: world.m.stats_total(),
-        steps: report.steps,
-    }
+    Engine::new(world, actors)
 }
 
 #[cfg(test)]

@@ -1,0 +1,277 @@
+//! Schedule exploration: exhaustive delay-bounded search, PCT sampling, and
+//! greedy reproducer minimization.
+//!
+//! Exploration treats a scenario as a deterministic function from a choice
+//! vector to a [`RunRecord`]. A choice vector is interpreted by
+//! [`crate::hook::ControllerHook`]: entry `i` picks which eligible actor
+//! steps at decision `i` (0 = the engine's native min-clock order), so the
+//! all-zero vector is the unperturbed run and every non-zero entry is one
+//! *delay* of the actor the engine would have run.
+
+/// What one explored run did.
+#[derive(Clone, Debug, Default)]
+pub struct RunRecord {
+    /// Eligible-actor count at each decision (branching factor).
+    pub eligible: Vec<u32>,
+    /// Clamped choice actually made at each decision.
+    pub taken: Vec<u32>,
+    /// Oracle violations (empty = clean run). Panics inside the scenario
+    /// are converted to a `panic: ...` entry by the scenario wrapper.
+    pub violations: Vec<String>,
+}
+
+impl RunRecord {
+    pub fn failed(&self) -> bool {
+        !self.violations.is_empty()
+    }
+}
+
+/// A failing schedule found during exploration.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Choice vector that provoked the failure (not yet minimized).
+    pub choices: Vec<u32>,
+    pub violations: Vec<String>,
+}
+
+/// Exploration summary.
+#[derive(Clone, Debug)]
+pub struct ExploreOutcome {
+    /// Schedules actually run.
+    pub schedules: u64,
+    /// True when the delay-bounded space was fully enumerated within the
+    /// budget (exhaustive mode) or all seeds ran (PCT mode).
+    pub complete: bool,
+    pub findings: Vec<Finding>,
+}
+
+/// Cap on findings kept per exploration: enough to diagnose, and stopping
+/// early keeps a badly broken scenario from burning the whole budget.
+const MAX_FINDINGS: usize = 8;
+
+/// Exhaustively enumerate all schedules with at most `delays` non-default
+/// decisions (delay-bounded systematic testing, à la CHESS). `run` must be
+/// deterministic in its choice vector. Stops early after [`MAX_FINDINGS`]
+/// failures or `budget` runs (reported via `complete`).
+pub fn explore_exhaustive(
+    run: &dyn Fn(&[u32]) -> RunRecord,
+    delays: usize,
+    budget: u64,
+) -> ExploreOutcome {
+    let mut schedules = 0u64;
+    let mut findings = Vec::new();
+    let mut complete = true;
+    // DFS over deviation prefixes: each stack entry is (choice prefix,
+    // delays already spent, first position new deviations may be placed at).
+    let mut stack: Vec<(Vec<u32>, usize, usize)> = vec![(Vec::new(), 0, 0)];
+    while let Some((prefix, spent, from)) = stack.pop() {
+        if schedules >= budget {
+            complete = false;
+            break;
+        }
+        schedules += 1;
+        let rec = run(&prefix);
+        if rec.failed() {
+            findings.push(Finding {
+                choices: prefix.clone(),
+                violations: rec.violations.clone(),
+            });
+            if findings.len() >= MAX_FINDINGS {
+                complete = false;
+                break;
+            }
+        }
+        if spent >= delays {
+            continue;
+        }
+        // Branch: at every decision at or past `from`, try each non-default
+        // alternative. `rec.taken` extends `prefix` with the defaults this
+        // run actually took, so child prefixes replay identically up to the
+        // deviation point.
+        for i in from..rec.eligible.len() {
+            let base: Vec<u32> = if i < prefix.len() {
+                prefix[..i].to_vec()
+            } else {
+                let mut b = prefix.clone();
+                b.extend_from_slice(&rec.taken[prefix.len()..i]);
+                b
+            };
+            for alt in 1..rec.eligible[i] {
+                if i < prefix.len() && prefix[i] == alt {
+                    continue; // that's this very prefix
+                }
+                let mut child = base.clone();
+                child.push(alt);
+                stack.push((child, spent + 1, i + 1));
+            }
+        }
+    }
+    ExploreOutcome {
+        schedules,
+        complete,
+        findings,
+    }
+}
+
+/// Sample `seeds` PCT schedules (see [`crate::hook::PctHook`]); `run_seed`
+/// maps a seed to the record of that randomized run. Failing seeds are
+/// reported with their *recorded* decision vector, so they replay through
+/// [`crate::hook::ControllerHook`] without the randomness.
+pub fn explore_pct(run_seed: &dyn Fn(u64) -> RunRecord, seeds: u64) -> ExploreOutcome {
+    let mut findings = Vec::new();
+    let mut schedules = 0u64;
+    let mut complete = true;
+    for seed in 0..seeds {
+        schedules += 1;
+        let rec = run_seed(seed);
+        if rec.failed() {
+            // Trailing 0s are the native order the replay hook defaults to
+            // anyway — trimming them keeps long-run reproducers readable.
+            let mut choices = rec.taken.clone();
+            while choices.last() == Some(&0) {
+                choices.pop();
+            }
+            findings.push(Finding {
+                choices,
+                violations: rec.violations.clone(),
+            });
+            if findings.len() >= MAX_FINDINGS {
+                complete = false;
+                break;
+            }
+        }
+    }
+    ExploreOutcome {
+        schedules,
+        complete,
+        findings,
+    }
+}
+
+/// Greedily shrink a failing choice vector: zero out one deviation at a
+/// time (left to right, to fixpoint), re-running after each candidate to
+/// confirm the failure survives, then drop the trailing defaults (a missing
+/// choice and a 0 choice are the same schedule). The result is the schedule
+/// with the fewest deviations this greedy walk can reach — small enough to
+/// read, exact enough to replay.
+pub fn minimize(run: &dyn Fn(&[u32]) -> RunRecord, failing: &[u32]) -> Vec<u32> {
+    debug_assert!(run(failing).failed(), "minimize needs a failing schedule");
+    let mut cur = failing.to_vec();
+    loop {
+        let mut changed = false;
+        for i in 0..cur.len() {
+            if cur[i] == 0 {
+                continue;
+            }
+            let mut cand = cur.clone();
+            cand[i] = 0;
+            if run(&cand).failed() {
+                cur = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    while cur.last() == Some(&0) {
+        cur.pop();
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic scenario: `decisions` scheduling points, 2 eligible actors
+    /// at each; fails iff the choice at `bug_at` deviates (models a
+    /// depth-1 interleaving bug).
+    fn toy(decisions: usize, bug_at: usize) -> impl Fn(&[u32]) -> RunRecord {
+        move |choices: &[u32]| {
+            let taken: Vec<u32> = (0..decisions)
+                .map(|i| choices.get(i).copied().unwrap_or(0).min(1))
+                .collect();
+            let violations = if taken[bug_at] == 1 {
+                vec!["boom".to_string()]
+            } else {
+                vec![]
+            };
+            RunRecord {
+                eligible: vec![2; decisions],
+                taken,
+                violations,
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_visits_the_whole_delay1_space() {
+        let run = toy(6, 4);
+        let out = explore_exhaustive(&run, 1, 10_000);
+        assert!(out.complete);
+        // Delay bound 1 over 6 binary decisions: 1 default + 6 deviations.
+        assert_eq!(out.schedules, 7);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].choices, vec![0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn exhaustive_finds_depth2_bugs_only_at_delay2() {
+        // Fails only when decisions 1 AND 3 both deviate.
+        let run = |choices: &[u32]| {
+            let taken: Vec<u32> = (0..5)
+                .map(|i| choices.get(i).copied().unwrap_or(0).min(1))
+                .collect();
+            let violations = if taken[1] == 1 && taken[3] == 1 {
+                vec!["depth-2".to_string()]
+            } else {
+                vec![]
+            };
+            RunRecord {
+                eligible: vec![2; 5],
+                taken,
+                violations,
+            }
+        };
+        assert!(explore_exhaustive(&run, 1, 10_000).findings.is_empty());
+        let out = explore_exhaustive(&run, 2, 10_000);
+        assert!(out.complete);
+        assert_eq!(out.findings.len(), 1);
+    }
+
+    #[test]
+    fn budget_truncation_is_reported() {
+        let run = toy(10, 9);
+        let out = explore_exhaustive(&run, 2, 5);
+        assert!(!out.complete);
+        assert_eq!(out.schedules, 5);
+    }
+
+    #[test]
+    fn minimize_shrinks_to_the_essential_deviation() {
+        let run = toy(8, 3);
+        let noisy = vec![1, 0, 1, 1, 0, 1, 1, 0];
+        assert!(run(&noisy).failed());
+        assert_eq!(minimize(&run, &noisy), vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn pct_records_are_replayable_findings() {
+        // Seed is "the schedule": fail on even seeds.
+        let run_seed = |seed: u64| RunRecord {
+            eligible: vec![2; 3],
+            taken: vec![seed as u32 % 2; 3],
+            violations: if (seed & 1) == 0 {
+                vec!["even".into()]
+            } else {
+                vec![]
+            },
+        };
+        let out = explore_pct(&run_seed, 5);
+        assert_eq!(out.schedules, 5);
+        assert_eq!(out.findings.len(), 3);
+        // All-default decisions trim to the empty (native) schedule.
+        assert_eq!(out.findings[0].choices, Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,36 @@
+//! `dcs-check`: a schedule-exploration concurrency checker for the
+//! one-sided protocols.
+//!
+//! The deterministic engine makes every run a function of its schedule; the
+//! [`dcs_sim::ScheduleHook`] seam makes the schedule an input. This crate
+//! closes the loop: it enumerates (or samples) schedules, drives the *real*
+//! `dcs-core`/`dcs-bot` protocol code under each one, and checks protocol
+//! oracles after every run:
+//!
+//! 1. **Deque linearizability** — every pushed item is popped or stolen
+//!    exactly once, the owner sees LIFO order, thieves see FIFO-from-top,
+//!    and nobody observes a dead ring slot.
+//! 2. **Memory safety** — no double frees and no leaks at end of run (the
+//!    invariant watchdog's `DoubleFree`/`Leak` violations).
+//! 3. **Join-race outcomes** — programs return the right value under every
+//!    explored interleaving of the DIE fast path vs. steals.
+//! 4. **Termination** — the BoT token detector only fires when
+//!    `created == consumed` and no bag still holds work.
+//!
+//! Exploration is exhaustive delay-bounded DFS ([`explore::explore_exhaustive`])
+//! for small configurations and PCT-style randomized priority sampling
+//! ([`hook::PctHook`]) for larger ones. Failing schedules are greedily
+//! minimized ([`explore::minimize`]) and serialized as replayable
+//! [`schedule::Schedule`] files (`dcs check --schedule <file>`).
+//!
+//! See `docs/PROTOCOLS.md` ("Schedule exploration") for the full story.
+
+pub mod explore;
+pub mod hook;
+pub mod scenarios;
+pub mod schedule;
+
+pub use explore::{explore_exhaustive, explore_pct, minimize, ExploreOutcome, Finding, RunRecord};
+pub use hook::{ControllerHook, PctHook};
+pub use scenarios::{by_name, catalog, Scenario};
+pub use schedule::Schedule;

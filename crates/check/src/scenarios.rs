@@ -1,0 +1,599 @@
+//! Checkable scenarios: small, oracle-bearing workloads the explorer drives.
+//!
+//! Each [`Scenario`] is a deterministic function from a [`dcs_sim::ScheduleHook`]
+//! to a list of oracle violations (empty = clean). Three families:
+//!
+//! * **Raw deque protocols** (`deque-steal`, `broken-release`): an owner and
+//!   thieves drive [`dcs_core::deque`] verbs directly against a simulated
+//!   machine, with a shadow deque as the linearizability oracle — every
+//!   pushed item is popped (LIFO, by the owner) or stolen (FIFO-from-top, by
+//!   a thief) *exactly once*, and nobody observes a dead ring slot.
+//!   `broken-release` recomposes the steal with the lock released *before*
+//!   the top advance — the historical ordering this PR fixed — and exists to
+//!   prove the checker catches that bug (`expect_violation`).
+//! * **Full runtime** (`single-steal:*`, `fork-join`): real programs through
+//!   [`dcs_core::run_hooked`] under every Policy × FreeStrategy, with the
+//!   result value and the invariant watchdog (protocol + leak oracles) as
+//!   the spec.
+//! * **Termination** (`bot-term`): the BoT one-sided runtime on a micro UTS
+//!   tree; oracles are termination safety (created == consumed, no resident
+//!   work lost) and the serial node count.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use dcs_core::deque::{
+    owner_pop, owner_push, thief_advance_top, thief_lock, thief_release_lock, thief_take,
+    thief_take_no_release, DequeError,
+};
+use dcs_core::frame::{frame, Effect, TaskCtx};
+use dcs_core::layout::SegLayout;
+use dcs_core::util::Slab;
+use dcs_core::value::{ThreadHandle, Value};
+use dcs_core::world::QueueItem;
+use dcs_core::{run_hooked, FreeStrategy, Policy, Program, RunConfig};
+use dcs_sim::{
+    profiles, Actor, Engine, GlobalAddr, Machine, MachineConfig, ScheduleHook, Step, VTime,
+    WorkerId,
+};
+
+use crate::explore::RunRecord;
+use crate::hook::{ControllerHook, PctHook};
+
+/// One run of a scenario under a schedule controller, yielding oracle
+/// violations (empty = clean).
+type ScenarioRunner = Box<dyn Fn(&mut dyn ScheduleHook) -> Vec<String> + Send + Sync>;
+
+/// A named, explorable workload with built-in oracles.
+pub struct Scenario {
+    pub name: String,
+    pub workers: usize,
+    /// True for self-test scenarios that deliberately break a protocol:
+    /// exploration is expected to find at least one violation (and the
+    /// checker fails if it does NOT).
+    pub expect_violation: bool,
+    runner: ScenarioRunner,
+}
+
+impl Scenario {
+    /// Drive one run under `hook`, returning oracle violations.
+    pub fn run_hooked(&self, hook: &mut dyn ScheduleHook) -> Vec<String> {
+        (self.runner)(hook)
+    }
+
+    /// Replay a choice vector (missing entries = native order). Panics in
+    /// the scenario are caught and reported as a violation, so a protocol
+    /// assert firing under a hostile schedule is a finding, not a crash.
+    pub fn run_choices(&self, choices: &[u32]) -> RunRecord {
+        let mut hook = ControllerHook::new(choices);
+        let caught = catch_unwind(AssertUnwindSafe(|| (self.runner)(&mut hook)));
+        let violations = match caught {
+            Ok(v) => v,
+            Err(p) => vec![format!("panic: {}", panic_message(p.as_ref()))],
+        };
+        RunRecord {
+            eligible: std::mem::take(&mut hook.eligible),
+            taken: std::mem::take(&mut hook.taken),
+            violations,
+        }
+    }
+
+    /// One randomized PCT run (see [`PctHook`]); the returned record's
+    /// `taken` vector replays the run exactly through [`Self::run_choices`].
+    pub fn run_pct(&self, seed: u64, depth: usize, horizon: u64) -> RunRecord {
+        let mut hook = PctHook::new(self.workers, seed, depth, horizon);
+        let caught = catch_unwind(AssertUnwindSafe(|| (self.runner)(&mut hook)));
+        let violations = match caught {
+            Ok(v) => v,
+            Err(p) => vec![format!("panic: {}", panic_message(p.as_ref()))],
+        };
+        RunRecord {
+            eligible: Vec::new(),
+            taken: std::mem::take(&mut hook.taken),
+            violations,
+        }
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Raw deque scenarios
+// ---------------------------------------------------------------------------
+
+/// Which steal composition the thief runs.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ReleaseOrder {
+    /// The shipped protocol: top advances no later than the lock release.
+    Fixed,
+    /// The historical bug, recomposed from the seam functions: entry taken,
+    /// lock released, and only then — one engine step later — the top
+    /// advanced. Between those steps the owner can observe the dead slot.
+    Broken,
+}
+
+struct DqWorld {
+    m: Machine,
+    items: Slab<QueueItem>,
+    lay: SegLayout,
+    /// Linearizability oracle: tags in deque order (front = top = oldest).
+    /// Thieves must take from the front, the owner pops from the back.
+    shadow: VecDeque<u64>,
+    violations: Vec<String>,
+}
+
+fn dq_body(_: Value, _: &mut TaskCtx) -> Effect {
+    Effect::ret(0u64)
+}
+
+fn dq_item(tag: u64) -> QueueItem {
+    QueueItem::Child {
+        f: dq_body,
+        arg: Value::U64(tag),
+        handle: ThreadHandle::single(GlobalAddr::new(0, 8 * (tag as u32 + 1))),
+    }
+}
+
+fn dq_tag(item: &QueueItem) -> u64 {
+    match item {
+        QueueItem::Child { arg, .. } => arg.as_u64(),
+        QueueItem::Cont { th, .. } => th.tid,
+    }
+}
+
+enum DqActor {
+    Owner { to_push: u64, pushed: u64 },
+    Thief { state: ThiefState, order: ReleaseOrder },
+}
+
+enum ThiefState {
+    Locking { attempts: u32 },
+    Take,
+    /// Broken order only: lock already released, top advance still pending.
+    Advance { new_top: u64 },
+    Done,
+}
+
+impl Actor<DqWorld> for DqActor {
+    fn step(&mut self, me: WorkerId, _now: VTime, w: &mut DqWorld) -> Step {
+        match self {
+            DqActor::Owner { to_push, pushed } => {
+                if *pushed < *to_push {
+                    let tag = *pushed;
+                    return match owner_push(&mut w.m, &mut w.items, &w.lay, me, dq_item(tag)) {
+                        Ok(cost) => {
+                            *pushed += 1;
+                            w.shadow.push_back(tag);
+                            Step::Yield(cost)
+                        }
+                        Err(DequeError::Busy) => Step::Yield(w.m.local_op(me)),
+                        Err(DequeError::Dead(d)) => {
+                            w.violations
+                                .push(format!("owner_push observed dead slot: {d:?}"));
+                            Step::Halt
+                        }
+                    };
+                }
+                // Drain phase: pop until the shadow confirms nothing is left.
+                match owner_pop(&mut w.m, &mut w.items, &w.lay, me) {
+                    Ok((Some(item), cost)) => {
+                        let tag = dq_tag(&item);
+                        match w.shadow.pop_back() {
+                            Some(expect) if expect == tag => {}
+                            other => w.violations.push(format!(
+                                "owner_pop LIFO violated: got tag {tag}, shadow back was {other:?}"
+                            )),
+                        }
+                        Step::Yield(cost)
+                    }
+                    Ok((None, cost)) => {
+                        if w.shadow.is_empty() {
+                            Step::Halt
+                        } else {
+                            // Items outstanding but the deque reads empty:
+                            // either a thief is mid-steal (keep waiting) or
+                            // an item was lost. The end-of-run leak oracle
+                            // distinguishes the two.
+                            Step::Yield(cost)
+                        }
+                    }
+                    Err(DequeError::Busy) => Step::Yield(w.m.local_op(me)),
+                    Err(DequeError::Dead(d)) => {
+                        w.violations.push(format!(
+                            "deque-protocol: owner_pop observed a dead ring slot at index {} (steal advanced the lock before the top)",
+                            d.index
+                        ));
+                        Step::Halt
+                    }
+                }
+            }
+            DqActor::Thief { state, order } => match state {
+                ThiefState::Locking { attempts } => {
+                    let (locked, cost) = thief_lock(&mut w.m, &w.lay, me, 0);
+                    if locked {
+                        *state = ThiefState::Take;
+                    } else {
+                        *attempts += 1;
+                        if *attempts >= 16 {
+                            return Step::Halt; // give up: a failed steal
+                        }
+                    }
+                    Step::Yield(cost)
+                }
+                ThiefState::Take => match order {
+                    ReleaseOrder::Fixed => {
+                        match thief_take(&mut w.m, &mut w.items, &w.lay, me, 0) {
+                            Ok((Some((item, _size)), cost)) => {
+                                check_fifo(w, &item);
+                                *state = ThiefState::Done;
+                                Step::Yield(cost)
+                            }
+                            Ok((None, cost)) => {
+                                if !w.shadow.is_empty() {
+                                    w.violations.push(format!(
+                                        "steal missed items: deque read empty with {} outstanding",
+                                        w.shadow.len()
+                                    ));
+                                }
+                                *state = ThiefState::Done;
+                                Step::Yield(cost)
+                            }
+                            Err(d) => {
+                                w.violations
+                                    .push(format!("thief_take observed dead slot: {d:?}"));
+                                Step::Halt
+                            }
+                        }
+                    }
+                    ReleaseOrder::Broken => {
+                        match thief_take_no_release(&mut w.m, &mut w.items, &w.lay, me, 0) {
+                            Ok((Some((item, _size, top)), cost)) => {
+                                check_fifo(w, &item);
+                                // BUG (deliberate): release the lock now,
+                                // advance the top only next step.
+                                let cost = cost + thief_release_lock(&mut w.m, &w.lay, me, 0);
+                                *state = ThiefState::Advance { new_top: top + 1 };
+                                Step::Yield(cost)
+                            }
+                            Ok((None, cost)) => {
+                                let cost = cost + thief_release_lock(&mut w.m, &w.lay, me, 0);
+                                *state = ThiefState::Done;
+                                Step::Yield(cost)
+                            }
+                            Err(d) => {
+                                w.violations
+                                    .push(format!("thief_take observed dead slot: {d:?}"));
+                                Step::Halt
+                            }
+                        }
+                    }
+                },
+                ThiefState::Advance { new_top } => {
+                    thief_advance_top(&mut w.m, &w.lay, me, 0, *new_top);
+                    *state = ThiefState::Done;
+                    Step::Yield(w.m.local_op(me))
+                }
+                ThiefState::Done => Step::Halt,
+            },
+        }
+    }
+}
+
+fn check_fifo(w: &mut DqWorld, item: &QueueItem) {
+    let tag = dq_tag(item);
+    match w.shadow.pop_front() {
+        Some(expect) if expect == tag => {}
+        other => w.violations.push(format!(
+            "steal FIFO violated: got tag {tag}, shadow front was {other:?}"
+        )),
+    }
+}
+
+/// Build a raw-deque scenario: worker 0 owns the deque and pushes `n_items`;
+/// workers `1..workers` each attempt one steal with the given composition.
+fn deque_scenario(name: &str, workers: usize, n_items: u64, order: ReleaseOrder) -> Scenario {
+    assert!(workers >= 2);
+    let expect_violation = order == ReleaseOrder::Broken;
+    let name_owned = name.to_string();
+    let runner = move |hook: &mut dyn ScheduleHook| -> Vec<String> {
+        let cfg = RunConfig::new(workers, Policy::ContGreedy);
+        let lay = SegLayout::new(&cfg);
+        let m = Machine::new(
+            MachineConfig::new(workers, profiles::test_profile())
+                .with_seg_bytes(cfg.seg_bytes)
+                .with_reserved(lay.reserved),
+        );
+        let world = DqWorld {
+            m,
+            items: Slab::new(),
+            lay,
+            shadow: VecDeque::new(),
+            violations: Vec::new(),
+        };
+        let mut actors = vec![DqActor::Owner {
+            to_push: n_items,
+            pushed: 0,
+        }];
+        for _ in 1..workers {
+            actors.push(DqActor::Thief {
+                state: ThiefState::Locking { attempts: 0 },
+                order,
+            });
+        }
+        let mut engine = Engine::new(world, actors).with_max_steps(100_000);
+        engine.run_with_hook(hook);
+        let w = &mut engine.world;
+        if !w.shadow.is_empty() {
+            w.violations
+                .push(format!("leak: {} pushed items never consumed", w.shadow.len()));
+        }
+        if !w.items.is_empty() {
+            w.violations
+                .push("leak: queue-item slab not empty at end of run".to_string());
+        }
+        std::mem::take(&mut w.violations)
+    };
+    Scenario {
+        name: name_owned,
+        workers,
+        expect_violation,
+        runner: Box::new(runner),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Full-runtime scenarios
+// ---------------------------------------------------------------------------
+
+fn leaf(arg: Value, _ctx: &mut TaskCtx) -> Effect {
+    Effect::ret(arg.as_u64() * 2)
+}
+
+/// Root forks one leaf and joins it: the smallest program whose every run
+/// exercises push, pop-parent (the Fig. 4 DIE fast path) and — under a
+/// hostile schedule — a steal racing that fast path on a one-item deque.
+fn single_steal_root(_arg: Value, _ctx: &mut TaskCtx) -> Effect {
+    Effect::fork(
+        leaf,
+        7u64,
+        frame(|h, _| {
+            let h = h.as_handle();
+            Effect::join(h, frame(|v, _| Effect::ret(v.as_u64() + 1)))
+        }),
+    )
+}
+
+fn fib(arg: Value, _ctx: &mut TaskCtx) -> Effect {
+    let n = arg.as_u64();
+    if n < 2 {
+        return Effect::ret(n);
+    }
+    Effect::fork(
+        fib,
+        n - 1,
+        frame(move |h, _| {
+            let h = h.as_handle();
+            Effect::call(
+                fib,
+                n - 2,
+                frame(move |b, _| {
+                    let b = b.as_u64();
+                    Effect::join(h, frame(move |a, _| Effect::ret(a.as_u64() + b)))
+                }),
+            )
+        }),
+    )
+}
+
+fn policy_slug(p: Policy) -> &'static str {
+    match p {
+        Policy::ContGreedy => "greedy",
+        Policy::ContStalling => "stalling",
+        Policy::ChildFull => "child-full",
+        Policy::ChildRtc => "child-rtc",
+    }
+}
+
+fn strategy_slug(s: FreeStrategy) -> &'static str {
+    match s {
+        FreeStrategy::LockQueue => "lockq",
+        FreeStrategy::LocalCollection => "localc",
+    }
+}
+
+/// What a full-runtime scenario executes and expects back.
+#[derive(Clone, Copy)]
+struct ProgSpec {
+    root: dcs_core::TaskFn,
+    arg: u64,
+    expected: u64,
+}
+
+/// A full-runtime scenario: run the program under the policy/strategy pair
+/// with the watchdog on (non-strict, so leaks and protocol violations are
+/// reported instead of panicking) and check the result value.
+fn runtime_scenario(
+    name: String,
+    workers: usize,
+    seed: u64,
+    policy: Policy,
+    strategy: FreeStrategy,
+    spec: ProgSpec,
+) -> Scenario {
+    let runner = move |hook: &mut dyn ScheduleHook| -> Vec<String> {
+        let cfg = RunConfig::new(workers, policy)
+            .with_profile(profiles::test_profile())
+            .with_free_strategy(strategy)
+            .with_watchdog(true)
+            .with_strict(false)
+            .with_seed(seed);
+        let report = run_hooked(cfg, Program::new(spec.root, spec.arg), hook);
+        let mut violations = Vec::new();
+        if report.result.as_u64() != spec.expected {
+            violations.push(format!(
+                "wrong result: got {}, expected {}",
+                report.result.as_u64(),
+                spec.expected
+            ));
+        }
+        match &report.watchdog {
+            Some(wd) => violations.extend(wd.violations.iter().map(|v| v.to_string())),
+            None => violations.push("watchdog missing from report".to_string()),
+        }
+        violations
+    };
+    Scenario {
+        name,
+        workers,
+        expect_violation: false,
+        runner: Box::new(runner),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Termination scenario
+// ---------------------------------------------------------------------------
+
+/// Micro UTS tree for the BoT termination oracle: small enough for
+/// exploration, deep enough that the token circulates while steals and
+/// re-activations are still in flight.
+fn bot_term_scenario(workers: usize, seed: u64) -> Scenario {
+    use dcs_apps::uts::{serial_count, Shape, UtsSpec};
+    let runner = move |hook: &mut dyn ScheduleHook| -> Vec<String> {
+        let spec = UtsSpec::new(2.0, 3, Shape::Fixed, 5);
+        let truth = serial_count(&spec).nodes;
+        let out = dcs_bot::onesided::run_uts_hooked(
+            &spec,
+            workers,
+            profiles::test_profile(),
+            seed,
+            hook,
+        );
+        let mut violations = Vec::new();
+        if out.created != out.consumed {
+            violations.push(format!(
+                "termination unsafe: created {} != consumed {}",
+                out.created, out.consumed
+            ));
+        }
+        if !out.bags_nonempty.is_empty() {
+            violations.push(format!(
+                "terminated with resident work in bags of workers {:?}",
+                out.bags_nonempty
+            ));
+        }
+        if out.nodes != truth {
+            violations.push(format!(
+                "wrong node count: got {}, serial truth {truth}",
+                out.nodes
+            ));
+        }
+        violations
+    };
+    Scenario {
+        name: "bot-term".to_string(),
+        workers,
+        expect_violation: false,
+        runner: Box::new(runner),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+/// All checkable scenarios at the given scale. `single-steal:*` covers every
+/// Policy × FreeStrategy pair; `broken-release` is the self-test that must
+/// fail under exploration.
+pub fn catalog(workers: usize, seed: u64) -> Vec<Scenario> {
+    let workers = workers.max(2);
+    let mut v = vec![
+        deque_scenario("deque-steal", workers, 2, ReleaseOrder::Fixed),
+        deque_scenario("broken-release", 2, 1, ReleaseOrder::Broken),
+    ];
+    for policy in Policy::ALL {
+        for strategy in [FreeStrategy::LockQueue, FreeStrategy::LocalCollection] {
+            v.push(runtime_scenario(
+                format!("single-steal:{}:{}", policy_slug(policy), strategy_slug(strategy)),
+                workers,
+                seed,
+                policy,
+                strategy,
+                ProgSpec {
+                    root: single_steal_root,
+                    arg: 0,
+                    expected: 15,
+                },
+            ));
+        }
+    }
+    v.push(runtime_scenario(
+        "fork-join".to_string(),
+        workers,
+        seed,
+        Policy::ContGreedy,
+        FreeStrategy::LocalCollection,
+        ProgSpec {
+            root: fib,
+            arg: 8,
+            expected: 21,
+        },
+    ));
+    v.push(bot_term_scenario(workers, seed));
+    v
+}
+
+/// Look up one scenario by name (as printed by the catalog).
+pub fn by_name(name: &str, workers: usize, seed: u64) -> Option<Scenario> {
+    catalog(workers, seed).into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_schedule_is_clean_for_correct_scenarios() {
+        for s in catalog(2, 1) {
+            let rec = s.run_choices(&[]);
+            if !s.expect_violation {
+                assert!(
+                    rec.violations.is_empty(),
+                    "{} violated under the native schedule: {:?}",
+                    s.name,
+                    rec.violations
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_runs_are_deterministic() {
+        let s = by_name("deque-steal", 2, 1).unwrap();
+        let a = s.run_choices(&[0, 1, 0, 2]);
+        let b = s.run_choices(&[0, 1, 0, 2]);
+        assert_eq!(a.taken, b.taken);
+        assert_eq!(a.eligible, b.eligible);
+        assert_eq!(a.violations, b.violations);
+    }
+
+    #[test]
+    fn catalog_names_are_unique_and_resolvable() {
+        let cat = catalog(3, 0);
+        for s in &cat {
+            assert!(by_name(&s.name, 3, 0).is_some(), "{} not resolvable", s.name);
+        }
+        let mut names: Vec<&str> = cat.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), cat.len());
+    }
+}

@@ -1,0 +1,140 @@
+//! Replayable schedule files.
+//!
+//! A schedule is the checker's reproducer: the scenario name, its
+//! configuration, and the choice vector the [`crate::hook::ControllerHook`]
+//! feeds to the engine (one entry per scheduling decision; missing entries
+//! default to 0 = the engine's native min-clock order). The text format is
+//! line-oriented so a failing schedule survives a CI artifact upload and a
+//! paste into a bug report:
+//!
+//! ```text
+//! # dcs-check schedule
+//! scenario=deque-steal
+//! workers=2
+//! seed=1
+//! choices=0,0,1,0,2
+//! ```
+
+use std::fmt;
+
+/// A serialized (replayable) schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    pub scenario: String,
+    pub workers: usize,
+    pub seed: u64,
+    /// Index-into-eligible choice per scheduling decision (0 = default
+    /// order; out-of-range values are clamped by the hook).
+    pub choices: Vec<u32>,
+}
+
+impl Schedule {
+    /// Parse the text format written by [`fmt::Display`]. Unknown keys and
+    /// `#` comments are ignored so the format can grow.
+    pub fn parse(text: &str) -> Result<Schedule, String> {
+        let mut scenario: Option<String> = None;
+        let mut workers: Option<usize> = None;
+        let mut seed: Option<u64> = None;
+        let mut choices: Vec<u32> = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, val) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected key=value, got {line:?}", ln + 1))?;
+            match key.trim() {
+                "scenario" => scenario = Some(val.trim().to_string()),
+                "workers" => {
+                    workers = Some(
+                        val.trim()
+                            .parse()
+                            .map_err(|e| format!("line {}: bad workers: {e}", ln + 1))?,
+                    )
+                }
+                "seed" => {
+                    seed = Some(
+                        val.trim()
+                            .parse()
+                            .map_err(|e| format!("line {}: bad seed: {e}", ln + 1))?,
+                    )
+                }
+                "choices" => {
+                    let val = val.trim();
+                    if !val.is_empty() {
+                        for c in val.split(',') {
+                            choices.push(
+                                c.trim()
+                                    .parse()
+                                    .map_err(|e| format!("line {}: bad choice {c:?}: {e}", ln + 1))?,
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(Schedule {
+            scenario: scenario.ok_or("missing scenario=")?,
+            workers: workers.ok_or("missing workers=")?,
+            seed: seed.ok_or("missing seed=")?,
+            choices,
+        })
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# dcs-check schedule (replay with: dcs check --schedule <file>)")?;
+        writeln!(f, "scenario={}", self.scenario)?;
+        writeln!(f, "workers={}", self.workers)?;
+        writeln!(f, "seed={}", self.seed)?;
+        let choices: Vec<String> = self.choices.iter().map(|c| c.to_string()).collect();
+        writeln!(f, "choices={}", choices.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let s = Schedule {
+            scenario: "deque-steal".into(),
+            workers: 2,
+            seed: 42,
+            choices: vec![0, 0, 1, 0, 2],
+        };
+        let text = s.to_string();
+        assert_eq!(Schedule::parse(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn empty_choices_roundtrip() {
+        let s = Schedule {
+            scenario: "x".into(),
+            workers: 8,
+            seed: 0,
+            choices: vec![],
+        };
+        assert_eq!(Schedule::parse(&s.to_string()).unwrap(), s);
+    }
+
+    #[test]
+    fn comments_and_unknown_keys_ignored() {
+        let text = "# hi\nscenario=a\nworkers=3\nseed=7\nfuture-key=zzz\nchoices=1\n";
+        let s = Schedule::parse(text).unwrap();
+        assert_eq!(s.scenario, "a");
+        assert_eq!(s.workers, 3);
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.choices, vec![1]);
+    }
+
+    #[test]
+    fn missing_fields_error() {
+        assert!(Schedule::parse("workers=2\nseed=0\n").is_err());
+        assert!(Schedule::parse("scenario=a\nworkers=x\nseed=0").is_err());
+    }
+}

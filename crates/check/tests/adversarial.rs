@@ -1,0 +1,150 @@
+//! Adversarial interleaving tests: the checker explores schedules against
+//! the real protocol code and (a) proves the shipped protocols hold under
+//! every delay-bounded interleaving of the small configurations, and
+//! (b) proves the checker would have caught the historical steal-ordering
+//! bug — with a minimized, serialized, replayable reproducer.
+
+use dcs_check::{by_name, explore_exhaustive, explore_pct, minimize, Schedule};
+
+/// The self-test: recompose `thief_take` with the lock released *before*
+/// the top advance (the pre-fix ordering) and the checker must catch the
+/// owner observing a dead ring slot — then minimize the failing schedule,
+/// serialize it, parse it back, and reproduce the failure from the file.
+#[test]
+fn broken_release_is_caught_minimized_and_replayable() {
+    let s = by_name("broken-release", 2, 1).expect("scenario exists");
+    assert!(s.expect_violation);
+    let run = |choices: &[u32]| s.run_choices(choices);
+
+    let out = explore_exhaustive(&run, 2, 5_000);
+    assert!(
+        !out.findings.is_empty(),
+        "exploration must flush out the wrong release order"
+    );
+    let finding = &out.findings[0];
+    assert!(
+        finding.violations.iter().any(|v| v.contains("dead ring slot")),
+        "the violation is the dead-slot window: {:?}",
+        finding.violations
+    );
+
+    // Minimize, serialize, re-parse, replay.
+    let min = minimize(&run, &finding.choices);
+    assert!(min.len() <= finding.choices.len());
+    let sched = Schedule {
+        scenario: s.name.clone(),
+        workers: s.workers,
+        seed: 1,
+        choices: min,
+    };
+    let text = sched.to_string();
+    let parsed = Schedule::parse(&text).expect("own output parses");
+    assert_eq!(parsed, sched);
+
+    let replayed = by_name(&parsed.scenario, parsed.workers, parsed.seed)
+        .expect("serialized scenario resolves");
+    let rec = replayed.run_choices(&parsed.choices);
+    assert!(
+        rec.violations.iter().any(|v| v.contains("dead ring slot")),
+        "replaying the minimized schedule reproduces the bug: {:?}",
+        rec.violations
+    );
+}
+
+/// The shipped steal composition (top advanced no later than the lock
+/// release) survives *every* schedule with up to 3 delays: no dead slots,
+/// exact-once delivery, LIFO for the owner, FIFO-from-top for the thief.
+#[test]
+fn fixed_steal_survives_exhaustive_exploration() {
+    let s = by_name("deque-steal", 2, 1).unwrap();
+    let out = explore_exhaustive(&|c| s.run_choices(c), 3, 50_000);
+    assert!(out.complete, "delay-3 space must fit the budget");
+    assert!(
+        out.findings.is_empty(),
+        "correct protocol has no failing schedule: {:?}",
+        out.findings
+    );
+    assert!(out.schedules > 50, "exploration actually branched");
+}
+
+/// Fig. 4 DIE fast path vs. steal on a one-item deque: the root forks a
+/// single child and immediately tries to pop it back (owner_pop_parent)
+/// while the other worker steals. Exhaustively explored (delay bound 2)
+/// under every Policy × FreeStrategy pair — the join must resolve to the
+/// right value with no protocol violations or leaks on every schedule.
+#[test]
+fn single_steal_one_item_race_all_policies_and_strategies() {
+    for policy in ["greedy", "stalling", "child-full", "child-rtc"] {
+        for strategy in ["lockq", "localc"] {
+            let name = format!("single-steal:{policy}:{strategy}");
+            let s = by_name(&name, 2, 1).expect("catalog covers all pairs");
+            let out = explore_exhaustive(&|c| s.run_choices(c), 2, 20_000);
+            assert!(out.complete, "{name}: delay-2 space must fit the budget");
+            assert!(
+                out.findings.is_empty(),
+                "{name} violated under schedule {:?}: {:?}",
+                out.findings[0].choices,
+                out.findings[0].violations
+            );
+        }
+    }
+}
+
+/// Termination-layer sweep: the Mattern-style token detector on a micro UTS
+/// tree, under exhaustive delay-2 exploration and a PCT sample. Termination
+/// must stay safe (created == consumed, no resident work) and exact
+/// (serial node count) on every explored schedule — this pins the analysis
+/// that the token protocol's per-step atomicity and forwarded-round dedup
+/// close the classic late-steal race.
+#[test]
+fn bot_termination_survives_exploration() {
+    let s = by_name("bot-term", 2, 1).unwrap();
+    let out = explore_exhaustive(&|c| s.run_choices(c), 2, 10_000);
+    assert!(out.complete);
+    assert!(
+        out.findings.is_empty(),
+        "termination violated: {:?}",
+        out.findings
+    );
+
+    let s3 = by_name("bot-term", 3, 1).unwrap();
+    let out = explore_pct(&|seed| s3.run_pct(seed, 3, 256), 50);
+    assert!(
+        out.findings.is_empty(),
+        "termination violated under PCT: {:?}",
+        out.findings
+    );
+}
+
+/// The checked-in regression schedule (found and minimized by the checker)
+/// still reproduces the wrong-release-order bug from its serialized form —
+/// the end-to-end path a CI artifact takes back to a developer's machine.
+#[test]
+fn checked_in_regression_schedule_reproduces() {
+    let text = include_str!("schedules/broken-release.schedule");
+    let sched = Schedule::parse(text).expect("regression schedule parses");
+    assert_eq!(sched.scenario, "broken-release");
+    let s = by_name(&sched.scenario, sched.workers, sched.seed).unwrap();
+    let rec = s.run_choices(&sched.choices);
+    assert!(
+        rec.violations.iter().any(|v| v.contains("dead ring slot")),
+        "regression schedule no longer reproduces: {:?}",
+        rec.violations
+    );
+}
+
+/// PCT runs replay exactly: the recorded decision vector of a randomized
+/// run, fed back through the deterministic controller, reproduces the same
+/// outcome. This is what makes CI's randomized findings actionable.
+#[test]
+fn pct_runs_replay_deterministically() {
+    let s = by_name("deque-steal", 3, 1).unwrap();
+    for seed in 0..10 {
+        let pct = s.run_pct(seed, 3, 64);
+        let replay = s.run_choices(&pct.taken);
+        assert_eq!(
+            pct.violations, replay.violations,
+            "seed {seed}: replay diverged"
+        );
+    }
+}

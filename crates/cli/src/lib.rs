@@ -21,8 +21,51 @@ use dcs_sim::{FaultPlan, Topology};
 pub enum Command {
     Run(RunArgs),
     Sweep(SweepArgs),
+    Check(CheckArgs),
     Info,
     Help,
+}
+
+/// How `dcs check` explores schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckMode {
+    /// Exhaustive for small worker counts, PCT sampling otherwise.
+    Auto,
+    Exhaustive,
+    /// Randomized PCT sampling with this many seeds.
+    Pct(u64),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckArgs {
+    /// Scenario name, or "all" for the whole catalog.
+    pub scenario: String,
+    pub workers: usize,
+    pub mode: CheckMode,
+    /// Delay bound for exhaustive exploration.
+    pub delays: usize,
+    /// Max schedules per scenario in exhaustive mode.
+    pub budget: u64,
+    pub seed: u64,
+    /// Replay a serialized failing schedule instead of exploring.
+    pub schedule: Option<String>,
+    /// Directory minimized failing schedules are written to.
+    pub out: Option<String>,
+}
+
+impl CheckArgs {
+    fn defaults() -> CheckArgs {
+        CheckArgs {
+            scenario: "all".to_string(),
+            workers: 2,
+            mode: CheckMode::Auto,
+            delays: 2,
+            budget: 50_000,
+            seed: 1,
+            schedule: None,
+            out: None,
+        }
+    }
 }
 
 /// Which benchmark program to build.
@@ -146,6 +189,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "info" => Ok(Command::Info),
         "run" => Ok(Command::Run(parse_run(rest)?)),
+        "check" => Ok(Command::Check(parse_check(rest)?)),
         "sweep" => {
             let (base, workers, jobs) = parse_run_with_list(rest)?;
             let jobs = match jobs {
@@ -158,7 +202,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 jobs,
             }))
         }
-        other => Err(format!("unknown command '{other}' (run|sweep|info|help)")),
+        other => Err(format!("unknown command '{other}' (run|sweep|check|info|help)")),
     }
 }
 
@@ -477,6 +521,182 @@ pub fn execute_sweep(a: &SweepArgs) -> String {
     s
 }
 
+fn parse_check(args: &[String]) -> Result<CheckArgs, String> {
+    let mut out = CheckArgs::defaults();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--scenario" => out.scenario = val()?.clone(),
+            "--workers" | "-p" => {
+                out.workers = val()?.parse().map_err(|_| "bad --workers".to_string())?;
+                if out.workers < 2 {
+                    return Err("check needs at least 2 workers (someone has to steal)".into());
+                }
+            }
+            "--exhaustive" => out.mode = CheckMode::Exhaustive,
+            "--pct-seeds" => {
+                out.mode =
+                    CheckMode::Pct(val()?.parse().map_err(|_| "bad --pct-seeds".to_string())?)
+            }
+            "--delays" => out.delays = val()?.parse().map_err(|_| "bad --delays".to_string())?,
+            "--budget" => out.budget = val()?.parse().map_err(|_| "bad --budget".to_string())?,
+            "--seed" => out.seed = val()?.parse().map_err(|_| "bad --seed".to_string())?,
+            "--schedule" => out.schedule = Some(val()?.clone()),
+            "--out" => out.out = Some(val()?.clone()),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(out)
+}
+
+/// Expected decision-count scale handed to the PCT hook (change points are
+/// drawn from this window; past it the hook reverts to the fair native
+/// order so every sampled run terminates).
+const PCT_HORIZON: u64 = 1024;
+
+/// Execute a `check` command. Returns the rendered report and whether the
+/// check passed: every correct scenario explored clean, and every
+/// `expect_violation` self-test scenario actually caught its planted bug
+/// (a checker that can't see the bug it was built for is itself broken).
+pub fn execute_check(a: &CheckArgs) -> (String, bool) {
+    let mut s = String::new();
+
+    // Replay mode: reproduce one serialized schedule, no exploration.
+    if let Some(path) = &a.schedule {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => return (format!("error: cannot read {path}: {e}\n"), false),
+        };
+        let sched = match dcs_check::Schedule::parse(&text) {
+            Ok(x) => x,
+            Err(e) => return (format!("error: bad schedule file {path}: {e}\n"), false),
+        };
+        let Some(sc) = dcs_check::by_name(&sched.scenario, sched.workers, a.seed) else {
+            return (format!("error: unknown scenario '{}'\n", sched.scenario), false);
+        };
+        let rec = sc.run_choices(&sched.choices);
+        let _ = writeln!(
+            s,
+            "replay {}: {} decisions, {} violation(s)",
+            sched.scenario,
+            rec.taken.len(),
+            rec.violations.len()
+        );
+        for v in &rec.violations {
+            let _ = writeln!(s, "  violation: {v}");
+        }
+        return (s, rec.violations.is_empty());
+    }
+
+    let scenarios = if a.scenario == "all" {
+        dcs_check::catalog(a.workers, a.seed)
+    } else {
+        match dcs_check::by_name(&a.scenario, a.workers, a.seed) {
+            Some(sc) => vec![sc],
+            None => {
+                let names: Vec<String> = dcs_check::catalog(a.workers, a.seed)
+                    .into_iter()
+                    .map(|sc| sc.name)
+                    .collect();
+                return (
+                    format!(
+                        "error: unknown scenario '{}' (available: {})\n",
+                        a.scenario,
+                        names.join(", ")
+                    ),
+                    false,
+                );
+            }
+        }
+    };
+
+    let mode = match a.mode {
+        CheckMode::Auto if a.workers <= 3 => CheckMode::Exhaustive,
+        CheckMode::Auto => CheckMode::Pct(500),
+        m => m,
+    };
+    let mut all_ok = true;
+    for sc in &scenarios {
+        // Self-test scenarios are tiny by construction: explore them
+        // exhaustively even in PCT mode, so "does the checker still catch
+        // the planted bug?" never depends on sampling luck.
+        let out = match mode {
+            _ if sc.expect_violation => {
+                dcs_check::explore_exhaustive(&|c| sc.run_choices(c), a.delays.max(2), a.budget)
+            }
+            CheckMode::Exhaustive => {
+                dcs_check::explore_exhaustive(&|c| sc.run_choices(c), a.delays, a.budget)
+            }
+            CheckMode::Pct(seeds) => {
+                dcs_check::explore_pct(&|seed| sc.run_pct(seed, 3, PCT_HORIZON), seeds)
+            }
+            CheckMode::Auto => unreachable!("resolved above"),
+        };
+        let caught = !out.findings.is_empty();
+        let ok = caught == sc.expect_violation;
+        all_ok &= ok;
+        let verdict = match (ok, sc.expect_violation) {
+            (true, false) => "ok",
+            (true, true) => "ok (self-test: planted bug caught)",
+            (false, false) => "FAIL",
+            (false, true) => "FAIL (self-test: planted bug NOT caught)",
+        };
+        let _ = writeln!(
+            s,
+            "{:<28} {:>7} schedules{} — {}",
+            sc.name,
+            out.schedules,
+            if out.complete { "" } else { " (budget hit)" },
+            verdict
+        );
+        if caught {
+            // Minimize the first finding and serialize it for replay.
+            let f = &out.findings[0];
+            let min = if sc.expect_violation {
+                f.choices.clone() // self-test: no need to shrink
+            } else {
+                dcs_check::minimize(&|c| sc.run_choices(c), &f.choices)
+            };
+            for v in &f.violations {
+                let _ = writeln!(s, "  violation: {v}");
+            }
+            let sched = dcs_check::Schedule {
+                scenario: sc.name.clone(),
+                workers: sc.workers,
+                seed: a.seed,
+                choices: min,
+            };
+            if !sc.expect_violation {
+                if let Some(dir) = &a.out {
+                    let file = format!("{dir}/{}.schedule", sc.name.replace(':', "-"));
+                    match std::fs::create_dir_all(dir)
+                        .and_then(|()| std::fs::write(&file, sched.to_string()))
+                    {
+                        Ok(()) => {
+                            let _ = writeln!(s, "  minimized schedule written to {file}");
+                        }
+                        Err(e) => {
+                            let _ = writeln!(s, "  error writing {file}: {e}");
+                        }
+                    }
+                } else {
+                    let _ = write!(s, "  minimized reproducer:\n{sched}");
+                }
+            }
+        }
+    }
+    let _ = writeln!(
+        s,
+        "{}: {} scenario(s) checked",
+        if all_ok { "PASS" } else { "FAIL" },
+        scenarios.len()
+    );
+    (s, all_ok)
+}
+
 /// The machine/configuration summary for `dcs info`.
 pub fn info() -> String {
     let mut s = String::new();
@@ -504,6 +724,7 @@ pub const HELP: &str = "dcs — distributed continuation stealing simulator
 USAGE:
     dcs run   [flags]      run one benchmark configuration
     dcs sweep [flags]      sweep --workers a,b,c,...
+    dcs check [flags]      explore schedules against the protocol oracles
     dcs info               show machine profiles and options
     dcs help               this text
 
@@ -531,6 +752,19 @@ FLAGS (run & sweep):
                        times take ns/us/ms/s suffixes, e.g.
                        --fault-plan verb=0.01,drop=0.02,crash=1@1ms..3ms
     --fault-seed <n>   seed of the fault RNG streams                     [0]
+
+FLAGS (check):
+    --scenario <name|all>  scenario to explore (see dcs-check catalog)   [all]
+    --workers, -p <n>      worker count (>= 2)                           [2]
+    --exhaustive           exhaustive delay-bounded exploration
+    --pct-seeds <n>        randomized PCT sampling with n seeds
+                           (default: exhaustive when workers <= 3, else 500 seeds)
+    --delays <n>           delay bound for exhaustive mode               [2]
+    --budget <n>           max schedules per scenario (exhaustive)       [50000]
+    --seed <n>             scenario seed                                 [1]
+    --schedule <file>      replay a serialized failing schedule
+    --out <dir>            write minimized failing schedules here
+                           (exit code is non-zero on any violation)
 ";
 
 #[cfg(test)]
@@ -624,6 +858,79 @@ mod tests {
         assert_eq!(parse(&argv("info")).unwrap(), Command::Info);
         assert!(info().contains("ITO-A"));
         assert!(HELP.contains("--bench"));
+    }
+
+    #[test]
+    fn parses_check_flags() {
+        let cmd = parse(&argv(
+            "check --scenario deque-steal --workers 3 --exhaustive --delays 3 --budget 999 --seed 4 --out /tmp/x",
+        ))
+        .unwrap();
+        let Command::Check(a) = cmd else { panic!() };
+        assert_eq!(a.scenario, "deque-steal");
+        assert_eq!(a.workers, 3);
+        assert_eq!(a.mode, CheckMode::Exhaustive);
+        assert_eq!(a.delays, 3);
+        assert_eq!(a.budget, 999);
+        assert_eq!(a.seed, 4);
+        assert_eq!(a.out.as_deref(), Some("/tmp/x"));
+
+        let cmd = parse(&argv("check --workers 8 --pct-seeds 100")).unwrap();
+        let Command::Check(a) = cmd else { panic!() };
+        assert_eq!(a.mode, CheckMode::Pct(100));
+        assert_eq!(a.scenario, "all");
+
+        assert!(parse(&argv("check --workers 1")).is_err(), "needs a thief");
+        assert!(parse(&argv("check --budget x")).is_err());
+        assert!(HELP.contains("--pct-seeds"));
+    }
+
+    #[test]
+    fn execute_check_single_scenario_passes() {
+        let a = CheckArgs {
+            scenario: "deque-steal".into(),
+            mode: CheckMode::Exhaustive,
+            delays: 2,
+            ..CheckArgs::defaults()
+        };
+        let (report, ok) = execute_check(&a);
+        assert!(ok, "{report}");
+        assert!(report.contains("deque-steal"));
+        assert!(report.contains("PASS"));
+    }
+
+    #[test]
+    fn execute_check_self_test_catches_planted_bug() {
+        let a = CheckArgs {
+            scenario: "broken-release".into(),
+            mode: CheckMode::Exhaustive,
+            ..CheckArgs::defaults()
+        };
+        let (report, ok) = execute_check(&a);
+        assert!(ok, "{report}");
+        assert!(report.contains("planted bug caught"), "{report}");
+    }
+
+    #[test]
+    fn execute_check_replays_schedule_file() {
+        let dir = std::env::temp_dir().join("dcs-check-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("native.schedule");
+        let sched = dcs_check::Schedule {
+            scenario: "deque-steal".into(),
+            workers: 2,
+            seed: 1,
+            choices: vec![0, 1],
+        };
+        std::fs::write(&path, sched.to_string()).unwrap();
+        let a = CheckArgs {
+            schedule: Some(path.to_string_lossy().into_owned()),
+            ..CheckArgs::defaults()
+        };
+        let (report, ok) = execute_check(&a);
+        assert!(ok, "{report}");
+        assert!(report.contains("replay deque-steal"), "{report}");
+        assert!(parse(&argv("check --schedule")).is_err(), "missing value");
     }
 
     #[test]

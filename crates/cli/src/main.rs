@@ -21,6 +21,15 @@ fn main() -> ExitCode {
             print!("{}", dcs_cli::execute_sweep(&a));
             ExitCode::SUCCESS
         }
+        Ok(dcs_cli::Command::Check(a)) => {
+            let (report, ok) = dcs_cli::execute_check(&a);
+            print!("{report}");
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}\n");
             eprint!("{}", dcs_cli::HELP);

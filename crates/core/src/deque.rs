@@ -13,17 +13,29 @@
 //!    holds it — is a failed steal attempt.
 //! 2. `GET` the `[top, bottom]` words (adjacent; one round trip). Empty →
 //!    release and report a failed steal.
-//! 3. `GET` the ring entry, then `PUT` `[lock := 0, top := top+1]` (the two
-//!    words are adjacent, one round trip releases and advances atomically
-//!    from the victim's point of view).
+//! 3. `GET` the ring entry, then `PUT` `[top := top+1, lock := 0]` (the two
+//!    words are adjacent, one round trip advances and releases atomically
+//!    from the victim's point of view — and the *order* puts the bound
+//!    advance no later than the lock release, so no lock acquirer can ever
+//!    observe stale bounds; see `docs/PROTOCOLS.md`).
 //! 4. Transfer the payload (stack or descriptor bytes) — charged by the
 //!    scheduler, which also records steal statistics.
 //!
 //! The thief holds the lock **across simulator steps** (between
 //! [`thief_lock`] and [`thief_take`]), so a victim touching its own deque in
 //! that window observes the lock and must retry — the owner-side functions
-//! return [`Busy`] and the caller yields a local-op's worth of time, exactly
-//! the brief victim stall a real lock-based RDMA deque causes.
+//! return [`DequeError::Busy`] and the caller yields a local-op's worth of
+//! time, exactly the brief victim stall a real lock-based RDMA deque causes.
+//!
+//! ## Typed protocol violations
+//!
+//! Every slot decode (`key + 1` read from the ring) is guarded in release
+//! builds: a zero word — or a stale key whose payload is gone — under a
+//! reordered or fault-duplicated put surfaces as a [`DeadSlot`] error that
+//! the scheduler reports as a deque-protocol violation, instead of
+//! underflowing `keyp1 - 1` to `u64::MAX` and panicking deep inside
+//! [`Slab::take`]. `dcs-check` relies on these typed errors as its deque
+//! oracle.
 
 use dcs_sim::{GlobalAddr, Machine, VTime, WorkerId};
 
@@ -31,9 +43,36 @@ use crate::layout::{SegLayout, DQ_BOTTOM, DQ_LOCK, DQ_TOP};
 use crate::util::Slab;
 use crate::world::QueueItem;
 
-/// The deque is momentarily locked by a thief; retry next step.
+/// The deque is momentarily locked by a thief; retry next step. Kept as a
+/// standalone token: the scheduler uses it as its cross-module
+/// "side-effect-free retry" signal beyond deque operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Busy;
+
+/// A ring slot referenced by the deque bounds decoded to a dead payload
+/// key — a deque-protocol violation (the invariant "every index in
+/// `[top, bottom)` holds a live `key + 1`" broke). State is left untouched:
+/// the bounds still reference the corpse, so the caller must report the
+/// violation and degrade (or abort), not retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadSlot {
+    /// The operation that observed the dead slot.
+    pub op: &'static str,
+    /// Logical ring index whose slot was dead.
+    pub index: u64,
+    /// Fabric cost incurred before the violation was detected (the caller
+    /// still owes this virtual time).
+    pub cost: VTime,
+}
+
+/// Why a deque operation did not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DequeError {
+    /// Locked by a thief; retry next step (no side effects happened).
+    Busy,
+    /// Protocol violation: a bounds-referenced slot is dead.
+    Dead(DeadSlot),
+}
 
 #[inline]
 fn word(lay: &SegLayout, me: WorkerId, w: u32) -> GlobalAddr {
@@ -41,10 +80,10 @@ fn word(lay: &SegLayout, me: WorkerId, w: u32) -> GlobalAddr {
 }
 
 /// Owner-side lock check shared by all local operations.
-fn owner_check_lock(m: &mut Machine, lay: &SegLayout, me: WorkerId) -> Result<(), Busy> {
+fn owner_check_lock(m: &mut Machine, lay: &SegLayout, me: WorkerId) -> Result<(), DequeError> {
     let (lock, _) = m.get_u64(me, word(lay, me, DQ_LOCK));
     if lock != 0 {
-        Err(Busy)
+        Err(DequeError::Busy)
     } else {
         Ok(())
     }
@@ -57,7 +96,7 @@ pub fn owner_push(
     lay: &SegLayout,
     me: WorkerId,
     item: QueueItem,
-) -> Result<VTime, Busy> {
+) -> Result<VTime, DequeError> {
     owner_check_lock(m, lay, me)?;
     // One O(1) local operation covers the lock check, bounds, ring write
     // and bottom update (all cache-resident for the owner).
@@ -84,7 +123,7 @@ pub fn owner_pop(
     items: &mut Slab<QueueItem>,
     lay: &SegLayout,
     me: WorkerId,
-) -> Result<(Option<QueueItem>, VTime), Busy> {
+) -> Result<(Option<QueueItem>, VTime), DequeError> {
     owner_check_lock(m, lay, me)?;
     let cost = m.local_op(me);
     let top = m.read_own(me, word(lay, me, DQ_TOP));
@@ -94,8 +133,19 @@ pub fn owner_pop(
     }
     let slot = GlobalAddr::new(me, lay.dq_slot(bottom - 1));
     let keyp1 = m.read_own(me, slot);
-    debug_assert_ne!(keyp1, 0, "ring slot referenced by bounds must be live");
-    let item = items.take((keyp1 - 1) as u32);
+    let dead = |cost| {
+        Err(DequeError::Dead(DeadSlot {
+            op: "owner_pop",
+            index: bottom - 1,
+            cost,
+        }))
+    };
+    if keyp1 == 0 {
+        return dead(cost);
+    }
+    let Some(item) = items.try_take((keyp1 - 1) as u32) else {
+        return dead(cost);
+    };
     m.write_own(me, word(lay, me, DQ_BOTTOM), bottom - 1);
     m.write_own(me, slot, 0);
     Ok((Some(item), cost))
@@ -110,7 +160,7 @@ pub fn owner_pop_parent(
     lay: &SegLayout,
     me: WorkerId,
     e: GlobalAddr,
-) -> Result<(Option<QueueItem>, VTime), Busy> {
+) -> Result<(Option<QueueItem>, VTime), DequeError> {
     owner_check_lock(m, lay, me)?;
     let cost = m.local_op(me);
     let top = m.read_own(me, word(lay, me, DQ_TOP));
@@ -120,7 +170,17 @@ pub fn owner_pop_parent(
     }
     let slot = GlobalAddr::new(me, lay.dq_slot(bottom - 1));
     let keyp1 = m.read_own(me, slot);
+    if keyp1 == 0 {
+        return Err(DequeError::Dead(DeadSlot {
+            op: "owner_pop_parent",
+            index: bottom - 1,
+            cost,
+        }));
+    }
     let key = (keyp1 - 1) as u32;
+    // A stale non-zero key (payload already gone) cannot be this thread's
+    // parent; treat it as a non-match here and let the eventual `owner_pop`
+    // of the same slot surface the violation.
     let is_parent = matches!(
         items.get(key),
         Some(QueueItem::Cont { spawned_child, .. }) if *spawned_child == e
@@ -158,34 +218,108 @@ pub fn thief_lock(
 /// item, advance `top` and release. Returns the stolen item with its wire
 /// size, or `None` if the deque was empty (released either way). The payload
 /// transfer (step 4) is charged by the caller.
+///
+/// A dead slot at `top` returns [`DeadSlot`] — the lock is still released
+/// (so the victim is not wedged by the thief's failure) but `top` is *not*
+/// advanced: the bounds keep pointing at the corpse for the oracle to see.
 pub fn thief_take(
     m: &mut Machine,
     victim_items: &mut Slab<QueueItem>,
     lay: &SegLayout,
     me: WorkerId,
     victim: WorkerId,
-) -> (Option<(QueueItem, usize)>, VTime) {
+) -> Result<(Option<(QueueItem, usize)>, VTime), DeadSlot> {
+    match thief_take_no_release(m, victim_items, lay, me, victim) {
+        Ok((None, mut cost)) => {
+            // Empty: release the lock (non-blocking put suffices).
+            cost += m.put_u64_nb(me, word(lay, victim, DQ_LOCK), 0);
+            Ok((None, cost))
+        }
+        Ok((Some((item, size, top)), mut cost)) => {
+            // Advance + release: [top, lock adjacency aside] the advance is
+            // issued *before* the lock release, so by verb issue order no
+            // later lock acquirer can observe stale bounds. Only the
+            // blocking release round trip is charged — the advance rides in
+            // the same message window ([top, lock] are adjacent words).
+            thief_advance_top(m, lay, me, victim, top + 1);
+            cost += thief_release_lock(m, lay, me, victim);
+            Ok((Some((item, size)), cost))
+        }
+        Err(mut d) => {
+            // Release so the victim can still make progress, but leave the
+            // bounds untouched.
+            d.cost += thief_release_lock(m, lay, me, victim);
+            Err(d)
+        }
+    }
+}
+
+/// A stolen entry as seen mid-protocol: the item, its wire size, and the
+/// `top` index it was taken from.
+pub type StolenEntry = (QueueItem, usize, u64);
+
+/// Checker seam: steps 2–3 of a steal **without** the bounds advance or the
+/// lock release. On success returns the item, its wire size, and the `top`
+/// index it was taken from; the caller must then call [`thief_advance_top`]
+/// and [`thief_release_lock`] itself. `dcs-check` uses this to recompose the
+/// release sequence in the *wrong* order across separate engine steps and
+/// prove the schedule explorer catches the resulting dead-slot window.
+pub fn thief_take_no_release(
+    m: &mut Machine,
+    victim_items: &mut Slab<QueueItem>,
+    lay: &SegLayout,
+    me: WorkerId,
+    victim: WorkerId,
+) -> Result<(Option<StolenEntry>, VTime), DeadSlot> {
     debug_assert_ne!(me, victim, "stealing from self");
     // One get covers the adjacent [top, bottom] words.
     let (top, mut cost) = m.get_u64(me, word(lay, victim, DQ_TOP));
     let (bottom, _) = m.get_u64(me, word(lay, victim, DQ_BOTTOM));
     if top == bottom {
-        // Empty: release the lock (non-blocking put suffices).
-        cost += m.put_u64_nb(me, word(lay, victim, DQ_LOCK), 0);
-        return (None, cost);
+        return Ok((None, cost));
     }
     let slot = GlobalAddr::new(victim, lay.dq_slot(top));
     let (keyp1, c_entry) = m.get_u64(me, slot);
     let (size, _) = m.get_u64(me, slot.field(1));
     cost += c_entry;
-    debug_assert_ne!(keyp1, 0, "stolen ring slot must be live");
-    let item = victim_items.take((keyp1 - 1) as u32);
+    let dead = |cost| {
+        Err(DeadSlot {
+            op: "thief_take",
+            index: top,
+            cost,
+        })
+    };
+    if keyp1 == 0 {
+        return dead(cost);
+    }
+    let Some(item) = victim_items.try_take((keyp1 - 1) as u32) else {
+        return dead(cost);
+    };
     m.put_u64_nb(me, slot, 0);
-    // Release + advance: [lock, top] are adjacent words — one put does both.
-    let c_rel = m.put_u64(me, word(lay, victim, DQ_LOCK), 0);
-    m.put_u64_nb(me, word(lay, victim, DQ_TOP), top + 1);
-    cost += c_rel;
-    (Some((item, size as usize)), cost)
+    Ok((Some((item, size as usize, top)), cost))
+}
+
+/// Checker seam: advance the victim's `top` to `new_top` (non-blocking put;
+/// the cost rides in the release's message window and is not charged).
+pub fn thief_advance_top(
+    m: &mut Machine,
+    lay: &SegLayout,
+    me: WorkerId,
+    victim: WorkerId,
+    new_top: u64,
+) {
+    m.put_u64_nb(me, word(lay, victim, DQ_TOP), new_top);
+}
+
+/// Checker seam: release the victim's deque lock (blocking put; returns its
+/// round-trip cost).
+pub fn thief_release_lock(
+    m: &mut Machine,
+    lay: &SegLayout,
+    me: WorkerId,
+    victim: WorkerId,
+) -> VTime {
+    m.put_u64(me, word(lay, victim, DQ_LOCK), 0)
 }
 
 #[cfg(test)]
@@ -258,7 +392,7 @@ mod tests {
         }
         let (locked, _) = thief_lock(&mut m, &lay, 1, 0);
         assert!(locked);
-        let (got, _) = thief_take(&mut m, &mut items, &lay, 1, 0);
+        let (got, _) = thief_take(&mut m, &mut items, &lay, 1, 0).unwrap();
         let (item, size) = got.unwrap();
         assert_eq!(tag_of(&item), 0, "steals take the oldest task");
         assert_eq!(size, item.wire_size());
@@ -277,17 +411,17 @@ mod tests {
         // Victim's own operations observe the lock and must retry.
         assert_eq!(
             owner_pop(&mut m, &mut items, &lay, 0).unwrap_err(),
-            Busy
+            DequeError::Busy
         );
         assert_eq!(
             owner_push(&mut m, &mut items, &lay, 0, child_item(8)).unwrap_err(),
-            Busy
+            DequeError::Busy
         );
         // A second thief fails the lock CAS (= failed steal attempt).
         let (locked2, _) = thief_lock(&mut m, &lay, 1, 0);
         assert!(!locked2);
         // After the take releases, the owner proceeds.
-        let _ = thief_take(&mut m, &mut items, &lay, 1, 0);
+        let _ = thief_take(&mut m, &mut items, &lay, 1, 0).unwrap();
         assert!(owner_pop(&mut m, &mut items, &lay, 0).is_ok());
     }
 
@@ -296,7 +430,7 @@ mod tests {
         let (mut m, mut items, lay) = setup();
         let (locked, _) = thief_lock(&mut m, &lay, 1, 0);
         assert!(locked);
-        let (got, _) = thief_take(&mut m, &mut items, &lay, 1, 0);
+        let (got, _) = thief_take(&mut m, &mut items, &lay, 1, 0).unwrap();
         assert!(got.is_none());
         // Lock released: owner can push again.
         assert!(owner_push(&mut m, &mut items, &lay, 0, child_item(0)).is_ok());
@@ -336,6 +470,87 @@ mod tests {
     }
 
     #[test]
+    fn dead_slot_is_a_typed_error_not_a_panic() {
+        let (mut m, mut items, lay) = setup();
+        owner_push(&mut m, &mut items, &lay, 0, child_item(3)).unwrap();
+        // Corrupt the ring: zero the slot while the bounds still cover it.
+        let slot = GlobalAddr::new(0, lay.dq_slot(0));
+        m.write_own(0, slot, 0);
+        assert!(matches!(
+            owner_pop(&mut m, &mut items, &lay, 0).unwrap_err(),
+            DequeError::Dead(DeadSlot {
+                op: "owner_pop",
+                index: 0,
+                ..
+            })
+        ));
+        let DequeError::Dead(d) =
+            owner_pop_parent(&mut m, &mut items, &lay, 0, GlobalAddr::NULL).unwrap_err()
+        else {
+            panic!("expected dead slot");
+        };
+        assert_eq!((d.op, d.index), ("owner_pop_parent", 0));
+        let (locked, _) = thief_lock(&mut m, &lay, 1, 0);
+        assert!(locked);
+        let d = thief_take(&mut m, &mut items, &lay, 1, 0).unwrap_err();
+        assert_eq!((d.op, d.index), ("thief_take", 0));
+        // The failed thief still released the lock, and left `top` pointing
+        // at the corpse.
+        assert_eq!(m.get_u64(1, word(&lay, 0, DQ_LOCK)).0, 0);
+        assert_eq!(m.get_u64(1, word(&lay, 0, DQ_TOP)).0, 0);
+        // A stale non-zero key (payload gone from the slab) is a dead slot
+        // too, instead of a panic inside `Slab::take`.
+        m.write_own(0, slot, 77 + 1);
+        assert!(matches!(
+            owner_pop(&mut m, &mut items, &lay, 0),
+            Err(DequeError::Dead(_))
+        ));
+    }
+
+    #[test]
+    fn thief_take_advances_top_no_later_than_release() {
+        let (mut m, mut items, lay) = setup();
+        owner_push(&mut m, &mut items, &lay, 0, child_item(1)).unwrap();
+        let (locked, _) = thief_lock(&mut m, &lay, 1, 0);
+        assert!(locked);
+        let (got, _) = thief_take(&mut m, &mut items, &lay, 1, 0).unwrap();
+        assert!(got.is_some());
+        // Post-state: bounds advanced AND lock released — never the lock
+        // free while `top` still covers the emptied slot.
+        assert_eq!(m.get_u64(1, word(&lay, 0, DQ_TOP)).0, 1);
+        assert_eq!(m.get_u64(1, word(&lay, 0, DQ_LOCK)).0, 0);
+        let (none, _) = owner_pop(&mut m, &mut items, &lay, 0).unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn wrong_release_order_exposes_dead_slot_window() {
+        // Recompose the steal with the lock released *before* the bounds
+        // advance — the historical ordering. An owner pop landing in that
+        // window sees lock-free bounds covering a zeroed slot: exactly the
+        // dead-slot window `dcs-check` must flush out.
+        let (mut m, mut items, lay) = setup();
+        owner_push(&mut m, &mut items, &lay, 0, child_item(5)).unwrap();
+        let (locked, _) = thief_lock(&mut m, &lay, 1, 0);
+        assert!(locked);
+        let (got, _) = thief_take_no_release(&mut m, &mut items, &lay, 1, 0).unwrap();
+        let (_, _, top) = got.unwrap();
+        thief_release_lock(&mut m, &lay, 1, 0);
+        assert!(matches!(
+            owner_pop(&mut m, &mut items, &lay, 0),
+            Err(DequeError::Dead(DeadSlot {
+                op: "owner_pop",
+                index: 0,
+                ..
+            }))
+        ));
+        // Once top advances the deque is consistent (empty) again.
+        thief_advance_top(&mut m, &lay, 1, 0, top + 1);
+        let (none, _) = owner_pop(&mut m, &mut items, &lay, 0).unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
     fn steal_then_owner_drain_preserves_all_items() {
         let (mut m, mut items, lay) = setup();
         let n = 10;
@@ -347,7 +562,7 @@ mod tests {
         loop {
             let (locked, _) = thief_lock(&mut m, &lay, 1, 0);
             assert!(locked);
-            if let (Some((item, _)), _) = thief_take(&mut m, &mut items, &lay, 1, 0) {
+            if let (Some((item, _)), _) = thief_take(&mut m, &mut items, &lay, 1, 0).unwrap() {
                 seen[tag_of(&item) as usize] = true;
             } else {
                 break;

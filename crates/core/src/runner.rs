@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use dcs_sim::{Engine, FabricStats, Machine, MachineConfig, VTime};
+use dcs_sim::{Engine, FabricStats, Machine, MachineConfig, ScheduleHook, VTime};
 
 use crate::frame::{AppCtx, TaskFn};
 use crate::layout::SegLayout;
@@ -16,7 +16,7 @@ use crate::policy::RunConfig;
 use crate::sched::Worker;
 use crate::stats::RunStats;
 use crate::value::Value;
-use crate::watchdog::WatchdogReport;
+use crate::watchdog::{Violation, WatchdogReport};
 use crate::world::{RtShared, World};
 
 /// One-shot machine initializer run before any worker steps (global-array
@@ -106,6 +106,25 @@ pub fn run(cfg: RunConfig, program: Program) -> RunReport {
 /// Like [`run`], but also returns the final [`Machine`] so callers can
 /// inspect global (PGAS) memory after the program finishes.
 pub fn run_full(cfg: RunConfig, program: Program) -> (RunReport, Machine) {
+    run_inner(cfg, program, |e| e.run())
+}
+
+/// Like [`run`], but the engine's actor-step order is chosen by `hook`
+/// (see [`ScheduleHook`]) — the seam `dcs-check` drives interleaving
+/// exploration through.
+pub fn run_hooked<H: ScheduleHook + ?Sized>(
+    cfg: RunConfig,
+    program: Program,
+    hook: &mut H,
+) -> RunReport {
+    run_inner(cfg, program, |e| e.run_with_hook(hook)).0
+}
+
+fn run_inner(
+    cfg: RunConfig,
+    program: Program,
+    drive: impl FnOnce(&mut Engine<World, Worker>) -> dcs_sim::engine::EngineReport,
+) -> (RunReport, Machine) {
     assert!(cfg.workers >= 1, "need at least one worker");
     let lay = SegLayout::new(&cfg);
     let mut machine = Machine::new(
@@ -137,16 +156,11 @@ pub fn run_full(cfg: RunConfig, program: Program) -> (RunReport, Machine) {
         .collect();
 
     let mut engine = Engine::new(world, actors).with_max_steps(max_steps);
-    let report = engine.run();
+    let report = drive(&mut engine);
     let (world, _actors) = engine.into_parts();
     let World { m, mut rt } = world;
 
-    let watchdog = rt.watch_finish();
-    if let Some(wd) = &watchdog {
-        if strict && !wd.is_clean() {
-            panic!("invariant watchdog tripped:\n{wd}");
-        }
-    }
+    let mut watchdog = rt.watch_finish();
     let result = rt.result.expect("run finished without a root result");
     if strict {
         assert!(
@@ -169,6 +183,36 @@ pub fn run_full(cfg: RunConfig, program: Program) -> (RunReport, Machine) {
             assert_eq!(ws.full_stacks_live, 0, "worker {w} leaked full stacks");
         }
         assert_eq!(rt.iso.live(), 0, "iso-address slots leaked");
+    } else if let Some(wd) = &mut watchdog {
+        // Non-strict with a watchdog (the dcs-check configuration): route
+        // the same end-of-run accounting into the report as violations
+        // instead of panicking, so an exploring checker sees them as oracle
+        // findings.
+        let mut leak = |what: &'static str, count: u64| {
+            if count > 0 {
+                wd.violations.push(Violation::Leak { what, count });
+            }
+        };
+        leak("thread entries", rt.meta.len() as u64);
+        leak("return values", rt.retvals.len() as u64);
+        leak(
+            "uni-address slots",
+            rt.per.iter().map(|ws| ws.uni.live() as u64).sum(),
+        );
+        leak(
+            "evacuated bytes",
+            rt.per.iter().map(|ws| ws.evac.live_bytes()).sum(),
+        );
+        leak(
+            "full stacks",
+            rt.per.iter().map(|ws| ws.full_stacks_live).sum(),
+        );
+        leak("iso-address slots", rt.iso.live() as u64);
+    }
+    if let Some(wd) = &watchdog {
+        if strict && !wd.is_clean() {
+            panic!("invariant watchdog tripped:\n{wd}");
+        }
     }
 
     let uni_peak = rt.per.iter().map(|w| w.uni.stats().peak_bytes).max().unwrap_or(0);

@@ -43,13 +43,22 @@ impl Worker {
         // Work-first fast path: try to pop the parent before racing. This
         // observes the deque lock, so Busy can propagate before any side
         // effect.
-        let (popped, mut cost) = owner_pop_parent(
+        let (popped, mut cost) = match owner_pop_parent(
             &mut world.m,
             &mut world.rt.per[self.me].items,
             &self.lay,
             self.me,
             e.entry,
-        )?;
+        ) {
+            Ok(x) => x,
+            Err(DequeError::Busy) => return Err(Busy),
+            Err(DequeError::Dead(d)) => {
+                // Degrade: no parent found; the slow-path race still decides
+                // the join correctly.
+                self.deque_violation(world, self.me, &d);
+                (None, d.cost)
+            }
+        };
 
         cost += self.put_retval(world, e, v.clone());
         world.rt.stats.note_die(e.entry.to_u64(), now);
@@ -279,12 +288,20 @@ impl Worker {
     ) -> Result<VTime, Busy> {
         // Lock probe first (owner_pop below must not fail after side
         // effects).
-        let (popped, mut cost) = owner_pop(
+        let (popped, mut cost) = match owner_pop(
             &mut world.m,
             &mut world.rt.per[self.me].items,
             &self.lay,
             self.me,
-        )?;
+        ) {
+            Ok(x) => x,
+            Err(DequeError::Busy) => return Err(Busy),
+            Err(DequeError::Dead(d)) => {
+                // Degrade: treat as an empty pop and return to the scheduler.
+                self.deque_violation(world, self.me, &d);
+                (None, d.cost)
+            }
+        };
         cost += self.put_retval(world, e, v);
         let flag_val = if e.consumers == 1 { 1 } else { DONE_BIT };
         cost += world

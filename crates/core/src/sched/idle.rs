@@ -121,7 +121,11 @@ impl Worker {
             &self.lay,
             self.me,
         ) {
-            Err(Busy) => Step::Yield(world.m.local_op(self.me)),
+            Err(DequeError::Busy) => Step::Yield(world.m.local_op(self.me)),
+            Err(DequeError::Dead(d)) => {
+                self.deque_violation(world, self.me, &d);
+                Step::Yield(d.cost)
+            }
             Ok((Some(item), cost)) => {
                 let c2 = self.adopt_item(now, world, item, None);
                 Step::Yield(cost + c2)
@@ -286,9 +290,17 @@ impl Worker {
 
     /// Complete a steal whose lock we won last step.
     pub(crate) fn step_steal_take(&mut self, now: VTime, world: &mut World, victim: WorkerId, t0: VTime) -> Step {
-        let (got, cost) = {
+        let took = {
             let (_me_ws, victim_ws) = world.rt.two(self.me, victim);
             thief_take(&mut world.m, &mut victim_ws.items, &self.lay, self.me, victim)
+        };
+        let (got, cost) = match took {
+            Ok(x) => x,
+            Err(d) => {
+                // The victim's deque (not ours) held the corpse.
+                self.deque_violation(world, victim, &d);
+                (None, d.cost)
+            }
         };
         let faults = world.m.take_faults(self.me);
         self.note_victim_faults(victim, faults, now);

@@ -41,7 +41,7 @@ use std::collections::VecDeque;
 use dcs_sim::{Actor, GlobalAddr, Machine, SimRng, Step, VTime, WorkerId};
 
 use crate::deque::{
-    owner_pop, owner_pop_parent, owner_push, thief_lock, thief_take, Busy,
+    owner_pop, owner_pop_parent, owner_push, thief_lock, thief_take, Busy, DeadSlot, DequeError,
 };
 use crate::entry::{
     alloc_entry, alloc_saved_ctx, free_entry, read_saved_ctx, DONE_BIT, EM_CONSUMED, EM_CTX0,
@@ -362,6 +362,21 @@ impl Worker {
             }
         }
         s
+    }
+
+    /// Surface a deque-protocol violation carried by a typed error. `owner`
+    /// is the worker whose deque held the dead slot (the victim, for thief
+    /// ops). With a watchdog attached the violation is recorded and the
+    /// caller degrades (the op reports "nothing found"); without one a
+    /// corrupted deque cannot be trusted to finish the run, so fail loudly —
+    /// as a protocol error, not the `u64::MAX` slab underflow this replaces.
+    pub(crate) fn deque_violation(&self, world: &mut World, owner: WorkerId, d: &DeadSlot) {
+        if !world.rt.watch_deque_protocol(d.op, owner, d.index) {
+            panic!(
+                "deque protocol violation: {} observed a dead ring slot at index {} of worker {}'s deque",
+                d.op, d.index, owner
+            );
+        }
     }
 
     /// Run one application step of the current thread, producing an effect.

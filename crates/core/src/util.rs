@@ -84,6 +84,17 @@ impl<T> Slab<T> {
         v
     }
 
+    /// Remove and return the value at `key`, or `None` when the slot is
+    /// empty or out of range. The deque protocol uses this to turn a stale
+    /// slab key decoded from pinned memory into a typed protocol violation
+    /// instead of the [`Slab::take`] panic.
+    pub fn try_take(&mut self, key: u32) -> Option<T> {
+        let v = self.items.get_mut(key as usize)?.take()?;
+        self.free.push(key);
+        self.len -= 1;
+        Some(v)
+    }
+
     pub fn get(&self, key: u32) -> Option<&T> {
         self.items.get(key as usize).and_then(|s| s.as_ref())
     }
@@ -133,6 +144,19 @@ mod tests {
         let a = s.insert(1);
         s.take(a);
         s.take(a);
+    }
+
+    #[test]
+    fn slab_try_take_tolerates_dead_keys() {
+        let mut s = Slab::new();
+        let a = s.insert(5);
+        assert_eq!(s.try_take(a), Some(5));
+        assert_eq!(s.try_take(a), None, "already empty");
+        assert_eq!(s.try_take(999), None, "out of range");
+        // The freed slot is still reusable after a failed try_take.
+        let b = s.insert(6);
+        assert_eq!(b, a);
+        assert_eq!(s.len(), 1);
     }
 
     #[test]

@@ -30,6 +30,18 @@ pub enum Violation {
     /// No global progress event (task death or successful steal) for longer
     /// than the configured stall limit while workers were still running.
     Stall { at: VTime, idle_for: VTime },
+    /// A deque operation observed a dead ring slot — a bounds-referenced
+    /// slot whose payload key is gone (see [`crate::deque::DeadSlot`]).
+    /// `owner` is the worker whose deque was corrupted, not necessarily the
+    /// worker that tripped over it.
+    DequeProtocol {
+        op: &'static str,
+        owner: usize,
+        index: u64,
+    },
+    /// A runtime resource survived to the end of the run (routed here from
+    /// the end-of-run accounting when strict mode is off).
+    Leak { what: &'static str, count: u64 },
 }
 
 impl fmt::Display for Violation {
@@ -50,6 +62,15 @@ impl fmt::Display for Violation {
             }
             Violation::Stall { at, idle_for } => {
                 write!(f, "stall: no progress for {idle_for} (detected at {at})")
+            }
+            Violation::DequeProtocol { op, owner, index } => {
+                write!(
+                    f,
+                    "deque-protocol: {op} observed a dead ring slot at index {index} of worker {owner}'s deque"
+                )
+            }
+            Violation::Leak { what, count } => {
+                write!(f, "leak: {count} {what} still live at end of run")
             }
         }
     }
@@ -165,6 +186,11 @@ impl Watchdog {
         self.pause_until = self.pause_until.max(until);
     }
 
+    /// A deque operation surfaced a typed protocol error (dead ring slot).
+    pub fn deque_protocol(&mut self, op: &'static str, owner: usize, index: u64) {
+        self.record(Violation::DequeProtocol { op, owner, index });
+    }
+
     /// An entry free about to happen; `present` says whether the entry's
     /// metadata still exists. Returns true when the free may proceed.
     pub fn check_free(&mut self, entry: u64, present: bool) -> bool {
@@ -248,6 +274,22 @@ mod tests {
         assert!(!w.check_free(0xBEEF, false));
         let r = w.finish();
         assert_eq!(r.violations, vec![Violation::DoubleFree { entry: 0xBEEF }]);
+    }
+
+    #[test]
+    fn deque_protocol_violation_recorded() {
+        let mut w = Watchdog::new(VTime::ms(1));
+        w.deque_protocol("thief_take", 3, 17);
+        let r = w.finish();
+        assert_eq!(
+            r.violations,
+            vec![Violation::DequeProtocol {
+                op: "thief_take",
+                owner: 3,
+                index: 17
+            }]
+        );
+        assert!(format!("{}", r.violations[0]).contains("worker 3"));
     }
 
     #[test]

@@ -207,6 +207,20 @@ impl RtShared {
         }
     }
 
+    /// A deque operation surfaced a typed protocol error (dead ring slot on
+    /// worker `owner`'s deque). Returns true when a watchdog recorded it —
+    /// the scheduler then degrades gracefully; false means no watchdog is
+    /// attached and the caller should fail loudly.
+    pub fn watch_deque_protocol(&mut self, op: &'static str, owner: usize, index: u64) -> bool {
+        match &mut self.watch {
+            Some(w) => {
+                w.deque_protocol(op, owner, index);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Gate an entry free: records a double free (and vetoes the free) when
     /// the entry's metadata is already gone. Without a watchdog the free
     /// proceeds unconditionally (strict runs catch corruption via asserts).

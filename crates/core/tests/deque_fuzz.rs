@@ -12,7 +12,7 @@
 
 use proptest::prelude::*;
 
-use dcs_core::deque::{owner_pop, owner_push, thief_lock, thief_take, Busy};
+use dcs_core::deque::{owner_pop, owner_push, thief_lock, thief_take, DequeError};
 use dcs_core::frame::Effect;
 use dcs_core::layout::SegLayout;
 use dcs_core::policy::{Policy, RunConfig};
@@ -84,7 +84,10 @@ proptest! {
                             resident.push(next_tag);
                             next_tag += 1;
                         }
-                        Err(Busy) => prop_assert!(lock_holder.is_some(), "spurious Busy"),
+                        Err(DequeError::Busy) => {
+                            prop_assert!(lock_holder.is_some(), "spurious Busy")
+                        }
+                        Err(e) => prop_assert!(false, "unexpected deque error: {e:?}"),
                     }
                 }
                 Op::Pop => {
@@ -102,7 +105,8 @@ proptest! {
                                 None => prop_assert!(resident.is_empty(), "pop missed a task"),
                             }
                         }
-                        Err(Busy) => prop_assert!(lock_holder.is_some()),
+                        Err(DequeError::Busy) => prop_assert!(lock_holder.is_some()),
+                        Err(e) => prop_assert!(false, "unexpected deque error: {e:?}"),
                     }
                 }
                 Op::Lock(t) => {
@@ -118,8 +122,10 @@ proptest! {
                     if lock_holder != Some(t) {
                         continue; // this thief does not hold the lock
                     }
-                    let (got, _) = thief_take(&mut m, &mut items, &lay, 1 + t as usize, 0);
+                    let take = thief_take(&mut m, &mut items, &lay, 1 + t as usize, 0);
                     lock_holder = None;
+                    prop_assert!(take.is_ok(), "dead slot under a healthy schedule");
+                    let (got, _) = take.unwrap();
                     match got {
                         Some((it, size)) => {
                             prop_assert!(!resident.is_empty());
@@ -138,7 +144,7 @@ proptest! {
 
         // Drain: everything still resident must come back out exactly once.
         if lock_holder.is_some() {
-            let (_, _) = thief_take(&mut m, &mut items, &lay, 1, 0);
+            let _ = thief_take(&mut m, &mut items, &lay, 1, 0).unwrap();
             if let Some(expect) = (!resident.is_empty()).then(|| resident.remove(0)) {
                 seen[expect as usize] = true;
             }

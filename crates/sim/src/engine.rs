@@ -44,6 +44,35 @@ pub struct EngineReport {
     pub steps: u64,
 }
 
+/// A schedule controller for [`Engine::run_with_hook`].
+///
+/// At every scheduling decision the controller sees the full runnable set,
+/// sorted ascending by `(clock, worker)`, and picks which actor steps next
+/// by index. Returning 0 at every decision reproduces [`Engine::run`]'s
+/// order exactly (pinned by a unit test below); any other index runs an
+/// actor whose virtual clock is *ahead* of the minimum, which reorders the
+/// actors' memory effects relative to each other without perturbing any
+/// actor's own virtual-time accounting — exactly the nondeterminism
+/// envelope a real fabric has, where one node's verb can land before or
+/// after another node's within a latency window.
+///
+/// This is the seam `dcs-check` explores interleavings through: an
+/// out-of-range index is clamped to the last eligible entry, so a recorded
+/// choice sequence stays replayable even when the runnable set is smaller
+/// on replay.
+pub trait ScheduleHook {
+    /// Pick the index (into `eligible`) of the actor to step next.
+    /// `eligible` is non-empty and sorted ascending by `(clock, worker)`.
+    fn choose(&mut self, eligible: &[(VTime, WorkerId)]) -> usize;
+}
+
+/// The default schedule: always the minimum-key actor (index 0).
+impl ScheduleHook for () {
+    fn choose(&mut self, _eligible: &[(VTime, WorkerId)]) -> usize {
+        0
+    }
+}
+
 /// The event loop: a binary heap of `(clock, worker)` keys over the actors.
 pub struct Engine<W, A> {
     pub world: W,
@@ -124,6 +153,51 @@ impl<W, A: Actor<W>> Engine<W, A> {
                         end = end.max(t);
                         break;
                     }
+                }
+            }
+        }
+        EngineReport {
+            end_time: end,
+            steps,
+        }
+    }
+
+    /// Drive all actors to completion under an external schedule
+    /// controller (see [`ScheduleHook`]). The runnable set is kept as a
+    /// sorted vector instead of the heap — exploration runs are small and
+    /// clarity beats the heap's fast path here. Choosing index 0 at every
+    /// decision executes the identical `(time, worker)` sequence as
+    /// [`Engine::run`].
+    pub fn run_with_hook<H: ScheduleHook + ?Sized>(&mut self, hook: &mut H) -> EngineReport {
+        let mut runnable: Vec<(VTime, WorkerId)> = Vec::with_capacity(self.actors.len());
+        while let Some(Reverse(k)) = self.heap.pop() {
+            runnable.push(k);
+        }
+        runnable.sort_unstable();
+        let mut steps = 0u64;
+        let mut end = VTime::ZERO;
+        while !runnable.is_empty() {
+            let idx = hook.choose(&runnable).min(runnable.len() - 1);
+            let (t, w) = runnable.remove(idx);
+            steps += 1;
+            assert!(
+                steps <= self.max_steps,
+                "engine exceeded {} steps at t={} — scheduling deadlock?",
+                self.max_steps,
+                t
+            );
+            match self.actors[w].step(w, t, &mut self.world) {
+                Step::Yield(d) => {
+                    let nt = t + d.max(VTime::ns(1));
+                    self.clocks[w] = nt;
+                    let pos = runnable
+                        .binary_search(&(nt, w))
+                        .expect_err("(clock, worker) keys are unique");
+                    runnable.insert(pos, (nt, w));
+                }
+                Step::Halt => {
+                    self.clocks[w] = t;
+                    end = end.max(t);
                 }
             }
         }
@@ -272,6 +346,89 @@ mod tests {
         let r = e.run();
         assert_eq!(r.end_time, VTime::ns(20));
         assert_eq!(r.steps, 3 * 4 + 3); // 4 yields + 1 halt step each
+    }
+
+    /// An always-index-0 hook must execute the identical `(time, worker)`
+    /// sequence — and produce the identical report — as the plain `run()`.
+    #[test]
+    fn hook_index_zero_matches_default_run() {
+        let mk = || {
+            let actors: Vec<Countdown> = (0..4)
+                .map(|i| Countdown {
+                    remaining: 6,
+                    dur: VTime::ns(3 + 2 * i),
+                    log: vec![],
+                })
+                .collect();
+            Engine::new(Vec::new(), actors)
+        };
+        let mut plain = mk();
+        let rp = plain.run();
+        let mut hooked = mk();
+        let rh = hooked.run_with_hook(&mut ());
+        assert_eq!(plain.world, hooked.world, "step order must be identical");
+        assert_eq!(rp.end_time, rh.end_time);
+        assert_eq!(rp.steps, rh.steps);
+        for w in 0..4 {
+            assert_eq!(plain.clock(w), hooked.clock(w));
+        }
+    }
+
+    /// A hook that delays the minimum actor still drives every actor to
+    /// completion, with per-actor clocks unperturbed — only the *global*
+    /// interleaving of events changes.
+    #[test]
+    fn hook_reordering_preserves_per_actor_time() {
+        struct LastFirst;
+        impl ScheduleHook for LastFirst {
+            fn choose(&mut self, eligible: &[(VTime, WorkerId)]) -> usize {
+                eligible.len() - 1
+            }
+        }
+        let mk = || {
+            let actors: Vec<Countdown> = (0..3)
+                .map(|i| Countdown {
+                    remaining: 4,
+                    dur: VTime::ns(5 + i),
+                    log: vec![],
+                })
+                .collect();
+            Engine::new(Vec::new(), actors)
+        };
+        let mut plain = mk();
+        plain.run();
+        let mut hooked = mk();
+        let r = hooked.run_with_hook(&mut LastFirst);
+        // Same multiset of events, same final clocks, different order.
+        let mut a = plain.world.clone();
+        let mut b = hooked.world.clone();
+        assert_ne!(a, b, "reordering must be observable");
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "per-actor event sets must be untouched");
+        for w in 0..3 {
+            assert_eq!(plain.clock(w), hooked.clock(w));
+        }
+        assert_eq!(r.end_time, VTime::ns(4 * 7));
+    }
+
+    /// Out-of-range hook choices are clamped, not trusted.
+    #[test]
+    fn hook_choice_is_clamped() {
+        struct Wild;
+        impl ScheduleHook for Wild {
+            fn choose(&mut self, _eligible: &[(VTime, WorkerId)]) -> usize {
+                usize::MAX
+            }
+        }
+        let actors = vec![Countdown {
+            remaining: 3,
+            dur: VTime::ns(2),
+            log: vec![],
+        }];
+        let mut e = Engine::new(Vec::new(), actors);
+        let r = e.run_with_hook(&mut Wild);
+        assert_eq!(r.end_time, VTime::ns(6));
     }
 
     #[test]

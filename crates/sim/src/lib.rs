@@ -35,7 +35,7 @@ pub mod rng;
 pub mod time;
 pub mod topology;
 
-pub use engine::{Actor, Engine, Step};
+pub use engine::{Actor, Engine, ScheduleHook, Step};
 pub use fault::{CrashWindow, DegradeWindow, FaultPlan, MsgFate};
 pub use latency::{profiles, LatencyModel, MachineProfile};
 pub use machine::{FabricStats, Machine, MachineConfig};
