@@ -1,6 +1,6 @@
 //! One-sided (SAWS/Scioto-style) bag-of-tasks work stealing.
 //!
-//! Each worker keeps a bag of unexpanded UTS nodes. The bag's control words
+//! Each worker keeps a bag of unexpanded tasks. The bag's control words
 //! — a lock and the current size — live in the owner's pinned segment, so a
 //! thief can steal **half the bag** entirely one-sidedly:
 //!
@@ -14,6 +14,38 @@
 //! SAWS's scalability. Termination uses the one-sided Mattern token: the
 //! holder writes the token record into its successor's segment; idle
 //! workers poll their own slot at local cost.
+//!
+//! ## Fail-stop recovery (recovery-armed fault plans)
+//!
+//! With `kill=W@T` entries (or `recover=on`) in the fault plan, the runtime
+//! switches to the crash-tolerant protocol documented in
+//! `docs/PROTOCOLS.md`:
+//!
+//! * **Transfer-counted steals.** The take step bumps `victim.consumed`
+//!   and `thief.created` by the batch size (one extra one-sided AMO folded
+//!   into the size update), so `created − consumed == bag size` holds *per
+//!   worker* — a dead worker's counters and bag vanish together without
+//!   unbalancing the live sums.
+//! * **Steal lineage.** The thief appends a small fixed-size descriptor
+//!   (thief id, batch size, region offset) to the victim's journal word,
+//!   which shares the victim's 64-byte control line with the size word —
+//!   the descriptor rides the size put the thief already pays, before the
+//!   lock release becomes visible. The task payload itself is *not*
+//!   re-written: the batch bytes are already resident in the victim's
+//!   bag region, which the victim copies aside (a local, amortized cost)
+//!   before recycling any slot a live descriptor still references. When
+//!   the victim's lease registry confirms the thief dead, the victim
+//!   re-injects the batch. The head-node collector dedups re-executed
+//!   observations by task id. Together with the lease mirror being a
+//!   local read, arming therefore charges **zero extra virtual time**
+//!   until a death is actually confirmed.
+//! * **Termination with holes.** Token rounds are tagged by their
+//!   initiator (lowest non-confirmed-dead worker) and stamped with their
+//!   start time; forwarders skip confirmed-dead successors and stall on
+//!   unconfirmed ones, and the initiator only fires a balanced double
+//!   round whose start postdates every death confirmation it knows of —
+//!   so a round can never complete "around" a death before every giver
+//!   has replayed its lineage to the dead worker.
 
 use dcs_apps::uts::UtsSpec;
 use dcs_sim::{
@@ -21,8 +53,8 @@ use dcs_sim::{
     SimRng, Step, VTime, WorkerId,
 };
 
-use crate::termination::{accumulate, Detector, Token};
-use crate::{expand_node, BotReport, Counters, NodeTask, TASK_BYTES};
+use crate::termination::{accumulate, round_initiator, tag_round, Detector, Token};
+use crate::{BotReport, Counters, PforBag, Recovery, Task, Workload, TASK_BYTES};
 
 /// How much of a victim's bag a successful steal takes.
 ///
@@ -43,13 +75,22 @@ const W_SIZE: u32 = 1;
 const W_TOK_ROUND: u32 = 2;
 const W_TOK_CREATED: u32 = 3;
 const W_TOK_CONSUMED: u32 = 4;
-const RESERVED: u32 = 5 * 8;
+/// Round start stamp — written and read only by recovery-armed runs, so
+/// unarmed runs stay bit-identical to the pre-recovery protocol.
+const W_TOK_START: u32 = 5;
+/// Lineage journal tail — written and read only by recovery-armed runs.
+/// The descriptor ({thief, batch size, region offset} packed into the
+/// journal) is the whole per-steal recovery write: the payload is never
+/// re-written (see the module doc).
+const W_JRNL: u32 = 6;
+const RESERVED: u32 = 7 * 8;
 
 /// Shared state of a one-sided BoT run.
 pub struct BotWorld {
     pub m: Machine,
-    pub bags: Vec<Vec<NodeTask>>,
+    pub bags: Vec<Vec<Task>>,
     pub counters: Vec<Counters>,
+    pub recovery: Recovery,
     pub token_rounds: u64,
 }
 
@@ -63,16 +104,19 @@ enum BState {
 struct BotWorker {
     me: WorkerId,
     n: usize,
-    spec: UtsSpec,
+    work: Workload,
     amount: StealAmount,
+    armed: bool,
     scale: f64,
     rng: SimRng,
     state: BState,
-    /// Initiator only (worker 0).
+    /// Detector state; used while this worker believes it is the initiator.
     detector: Detector,
     token_outstanding: bool,
     /// Last token round this worker forwarded (non-initiators).
     forwarded_round: u64,
+    /// Peers this worker has confirmed dead via the lease registry.
+    dead: Vec<bool>,
     steals_ok: u64,
     steals_failed: u64,
     halted: bool,
@@ -83,30 +127,97 @@ fn word(me: WorkerId, w: u32) -> GlobalAddr {
 }
 
 impl BotWorker {
-    fn read_token(m: &mut Machine, me: WorkerId) -> (Token, VTime) {
+    fn read_token(m: &mut Machine, me: WorkerId, armed: bool) -> (Token, VTime) {
         let (round, c) = m.get_u64(me, word(me, W_TOK_ROUND));
         let (created, _) = m.get_u64(me, word(me, W_TOK_CREATED));
         let (consumed, _) = m.get_u64(me, word(me, W_TOK_CONSUMED));
+        let start_ns = if armed {
+            m.get_u64(me, word(me, W_TOK_START)).0
+        } else {
+            0
+        };
         (
             Token {
                 round,
                 created,
                 consumed,
+                start_ns,
+                ..Token::default()
             },
             c,
         )
     }
 
-    /// Write the token into `to`'s slot: a 24-byte one-sided put.
-    fn put_token(m: &mut Machine, me: WorkerId, to: WorkerId, tok: Token) -> VTime {
+    /// Write the token into `to`'s slot: a 24-byte one-sided put (32 bytes
+    /// with the recovery-mode start stamp).
+    fn put_token(m: &mut Machine, me: WorkerId, to: WorkerId, tok: Token, armed: bool) -> VTime {
         let cost = m.put_u64(me, word(to, W_TOK_ROUND), tok.round);
         m.put_u64_nb(me, word(to, W_TOK_CREATED), tok.created);
         m.put_u64_nb(me, word(to, W_TOK_CONSUMED), tok.consumed);
+        if armed {
+            m.put_u64_nb(me, word(to, W_TOK_START), tok.start_ns);
+        }
         cost
     }
 
-    /// Termination check + token duties performed while idle. Returns the
-    /// cost, and sets the machine's done flag when detection fires.
+    /// The lowest worker this one has not confirmed dead — every live
+    /// worker converges on the same answer because confirmation is sound.
+    fn initiator(&self) -> WorkerId {
+        (0..self.n).find(|&p| !self.dead[p]).expect("self is never confirmed dead")
+    }
+
+    /// Next ring successor not confirmed dead; `None` when every other
+    /// worker is.
+    fn succ_live(&self) -> Option<WorkerId> {
+        (1..self.n)
+            .map(|d| (self.me + d) % self.n)
+            .find(|&p| !self.dead[p])
+    }
+
+    /// Mark `d` confirmed dead: replay my lineage batches to it and adopt
+    /// the root if I am now responsible for it.
+    fn confirm(&mut self, d: WorkerId, w: &mut BotWorld) -> VTime {
+        if d == self.me || self.dead[d] {
+            return VTime::ZERO;
+        }
+        self.dead[d] = true;
+        if self.token_outstanding {
+            // The outstanding round's token may have died in the dead
+            // worker's slot. Abandon the round — burning its sequence
+            // number, since forwarders already recorded it — and re-seed.
+            self.detector.rounds += 1;
+            self.token_outstanding = false;
+        }
+        let me = self.me;
+        let mut k = w.recovery.replay_batches(me, d, &mut w.bags[me]);
+        if w.recovery.maybe_adopt_root(me, &self.dead, &mut w.bags[me]) {
+            k += 1;
+        }
+        if k > 0 {
+            w.counters[me].created += k;
+            // Publish the new size so thieves can see the replayed work.
+            return w.m.put_u64(me, word(me, W_SIZE), w.bags[me].len() as u64);
+        }
+        w.m.local_op(me)
+    }
+
+    /// Read the locally mirrored heartbeat/lease registry and confirm every
+    /// peer whose lease has expired. The scan itself is step bookkeeping
+    /// over a local mirror (like the `self.dead` checks) and charges
+    /// nothing; only an actual confirmation costs time.
+    fn scan_confirm(&mut self, now: VTime, w: &mut BotWorld) -> VTime {
+        let mut cost = VTime::ZERO;
+        for p in 0..self.n {
+            if p != self.me && !self.dead[p] && w.m.confirmed_dead(p, now) {
+                cost += self.confirm(p, w);
+            }
+        }
+        cost
+    }
+
+    /// Termination check + token duties performed while idle (fault-free
+    /// protocol). Returns the cost, and sets the machine's done flag when
+    /// detection fires.
     fn token_duty(&mut self, now: VTime, w: &mut BotWorld) -> VTime {
         let _ = now;
         let me = self.me;
@@ -121,7 +232,7 @@ impl BotWorker {
             return w.m.local_op(me);
         }
         if self.me == 0 {
-            let (tok, cost) = Self::read_token(&mut w.m, me);
+            let (tok, cost) = Self::read_token(&mut w.m, me, false);
             if self.token_outstanding && tok.round == self.detector.rounds + 1 {
                 // Round completed.
                 self.token_outstanding = false;
@@ -140,37 +251,129 @@ impl BotWorker {
             if !self.token_outstanding {
                 let tok = self.detector.new_round(cnt.created, cnt.consumed);
                 self.token_outstanding = true;
-                return cost + Self::put_token(&mut w.m, me, 1, tok);
+                return cost + Self::put_token(&mut w.m, me, 1, tok, false);
             }
             cost
         } else {
-            let (tok, cost) = Self::read_token(&mut w.m, me);
+            let (tok, cost) = Self::read_token(&mut w.m, me, false);
             if tok.round > self.forwarded_round {
                 self.forwarded_round = tok.round;
                 let next = (me + 1) % self.n;
                 let out = accumulate(tok, cnt.created, cnt.consumed);
-                return cost + Self::put_token(&mut w.m, me, next, out);
+                return cost + Self::put_token(&mut w.m, me, next, out, false);
             }
             cost
         }
     }
 
-    fn step_work(&mut self, w: &mut BotWorld) -> Step {
+    /// Crash-tolerant token duty: the ring skips confirmed-dead workers,
+    /// the initiator role falls to the lowest live worker, and a round may
+    /// only fire if it started after every known death confirmation.
+    fn token_duty_armed(&mut self, now: VTime, w: &mut BotWorld) -> VTime {
+        let me = self.me;
+        let mut cost = self.scan_confirm(now, w);
+        if !w.bags[me].is_empty() {
+            // A confirmation just replayed work into my bag: go run it
+            // before doing token duty (the caller re-checks state).
+            return cost;
+        }
+        let cnt = w.counters[me];
+        let Some(succ) = self.succ_live() else {
+            // Every other worker is confirmed dead. Transfer-counted steals
+            // make my own balance equivalent to my bag being empty.
+            let done = self.detector.round_done(cnt.created, cnt.consumed);
+            w.token_rounds = w.token_rounds.max(self.detector.rounds);
+            if done {
+                w.m.set_done();
+            }
+            return cost + w.m.local_op(me);
+        };
+        let (tok, c) = Self::read_token(&mut w.m, me, true);
+        cost += c;
+        if me == self.initiator() {
+            if self.token_outstanding && tok.round == tag_round(me, self.detector.rounds + 1) {
+                self.token_outstanding = false;
+                // Stability: fire only if every death I know of was already
+                // confirmable when this round started — otherwise some
+                // worker folded its counters before replaying its lineage
+                // to the newly dead peer.
+                let start = VTime::ns(tok.start_ns);
+                let stable =
+                    (0..self.n).all(|d| !self.dead[d] || w.m.confirmed_dead(d, start));
+                let done = self.detector.round_done(tok.created, tok.consumed) && stable;
+                w.token_rounds = w.token_rounds.max(self.detector.rounds);
+                if done {
+                    let hops = (self.n as f64).log2().ceil() as u64;
+                    let reduce =
+                        VTime::ns(hops * (w.m.lat().message + w.m.lat().msg_handler));
+                    w.m.set_done();
+                    return cost + reduce;
+                }
+            }
+            if !self.token_outstanding {
+                if let Some(fail) = w.m.dead_guard(me, succ, now) {
+                    // Successor died inside its lease window: the put fails
+                    // fast; retry once the lease confirms the hole.
+                    return cost + fail;
+                }
+                let tok = self.detector.new_round_tagged(
+                    me,
+                    now.as_ns(),
+                    cnt.created,
+                    cnt.consumed,
+                    0,
+                    0,
+                );
+                self.token_outstanding = true;
+                return cost + Self::put_token(&mut w.m, me, succ, tok, true);
+            }
+            cost
+        } else {
+            // Forward fresh rounds, ignoring any seeded by an initiator I
+            // already know to be dead (its tag can never grow again).
+            if tok.round > self.forwarded_round && !self.dead[round_initiator(tok.round)] {
+                if let Some(fail) = w.m.dead_guard(me, succ, now) {
+                    return cost + fail; // hole not confirmed yet: hold the token
+                }
+                let out = accumulate(tok, cnt.created, cnt.consumed);
+                self.forwarded_round = tok.round;
+                return cost + Self::put_token(&mut w.m, me, succ, out, true);
+            }
+            cost
+        }
+    }
+
+    fn step_work(&mut self, now: VTime, w: &mut BotWorld) -> Step {
         let me = self.me;
         // Respect a thief holding our bag lock.
         let (lock, _) = w.m.get_u64(me, word(me, W_LOCK));
         if lock != 0 {
+            if self.armed {
+                let holder = (lock - 1) as usize;
+                if self.dead[holder] || w.m.confirmed_dead(holder, now) {
+                    // The take is a single atomic step, so a thief that died
+                    // holding our lock transferred nothing: break the lock.
+                    let mut cost = self.confirm(holder, w);
+                    cost += w.m.put_u64(me, word(me, W_LOCK), 0);
+                    return Step::Yield(cost);
+                }
+            }
             return Step::Yield(w.m.local_op(me));
         }
         let Some(task) = w.bags[me].pop() else {
             self.state = BState::Idle;
             return Step::Yield(w.m.local_op(me));
         };
-        let (n_children, cost) = expand_node(&self.spec, task, &mut w.bags[me], self.scale);
+        let (n_children, obs, cost) = self.work.execute(task, &mut w.bags[me], self.scale);
         let cnt = &mut w.counters[me];
         cnt.consumed += 1;
         cnt.created += n_children as u64;
-        cnt.nodes += 1;
+        if let Some((id, delta)) = obs {
+            cnt.nodes += delta;
+            if self.armed {
+                w.recovery.collector.observe(id, delta);
+            }
+        }
         // Owner-side size update (local put).
         let size = w.bags[me].len() as u64;
         let c2 = w.m.put_u64(me, word(me, W_SIZE), size);
@@ -191,23 +394,52 @@ impl BotWorker {
             self.state = BState::Work;
             return Step::Yield(w.m.local_op(me));
         }
-        let mut cost = self.token_duty(now, w);
+        let mut cost = if self.armed {
+            self.token_duty_armed(now, w)
+        } else {
+            self.token_duty(now, w)
+        };
+        if !w.bags[me].is_empty() {
+            // Lineage replay refilled the bag mid-duty.
+            self.state = BState::Work;
+            return Step::Yield(cost);
+        }
         if self.n >= 2 {
             let victim = self.rng.victim(self.n, me);
-            let (old, c) = w.m.cas_u64(me, word(victim, W_LOCK), 0, me as u64 + 1);
-            cost += c;
-            if old == 0 {
-                self.state = BState::StealTake { victim };
-            } else {
-                self.steals_failed += 1;
+            let mut attempt = true;
+            if self.armed {
+                if self.dead[victim] {
+                    self.steals_failed += 1;
+                    attempt = false;
+                } else if let Some(fail) = w.m.dead_guard(me, victim, now) {
+                    cost += fail;
+                    self.steals_failed += 1;
+                    attempt = false;
+                }
+            }
+            if attempt {
+                let (old, c) = w.m.cas_u64(me, word(victim, W_LOCK), 0, me as u64 + 1);
+                cost += c;
+                if old == 0 {
+                    self.state = BState::StealTake { victim };
+                } else {
+                    self.steals_failed += 1;
+                }
             }
         }
         Step::Yield(cost)
     }
 
-    fn step_steal(&mut self, w: &mut BotWorld, victim: WorkerId) -> Step {
+    fn step_steal(&mut self, now: VTime, w: &mut BotWorld, victim: WorkerId) -> Step {
         let me = self.me;
         self.state = BState::Idle;
+        if self.armed {
+            if let Some(fail) = w.m.dead_guard(me, victim, now) {
+                // Victim died between lock and take; its lock dies with it.
+                self.steals_failed += 1;
+                return Step::Yield(fail);
+            }
+        }
         let (size, mut cost) = w.m.get_u64(me, word(victim, W_SIZE));
         if size < 2 {
             // Steal-half leaves half behind: a lone task stays with its
@@ -223,8 +455,21 @@ impl BotWorker {
             StealAmount::One => 1,
         };
         // Steal the *oldest* half: they root the largest subtrees.
-        let stolen: Vec<NodeTask> = w.bags[victim].drain(..k).collect();
+        let stolen: Vec<Task> = w.bags[victim].drain(..k).collect();
         cost += w.m.put_u64(me, word(victim, W_SIZE), (size as usize - k) as u64);
+        if self.armed {
+            // Steal lineage: the descriptor shares the victim's 64-byte
+            // control line with W_SIZE, so it rides the size put charged
+            // above — same single-packet idiom as the token's trailing
+            // words in `put_token` — and the payload is not re-written
+            // (the batch bytes are already resident in the victim's bag
+            // region; see the module doc). The transfer is counted on
+            // both sides so per-worker balance mirrors bag contents.
+            w.recovery.record_batch(victim, me, &stolen);
+            let _ = w.m.put_u64_nb(me, word(victim, W_JRNL), me as u64);
+            w.counters[victim].consumed += k as u64;
+            w.counters[me].created += k as u64;
+        }
         cost += w.m.put_u64_nb(me, word(victim, W_LOCK), 0);
         cost += w.m.get_bulk(me, victim, k * TASK_BYTES);
         w.bags[me].extend(stolen);
@@ -242,6 +487,15 @@ impl Actor<BotWorld> for BotWorker {
             return Step::Halt;
         }
         w.m.begin_step(me, now);
+        if self.armed && w.m.is_dead(me, now) {
+            // Fail-stop: this worker is gone. Its resident tasks are lost
+            // with it (survivors re-inject them from lineage records), and
+            // any lock it holds is broken by the owner after the lease.
+            w.recovery.lost_tasks += w.bags[me].len() as u64;
+            w.bags[me].clear();
+            self.halted = true;
+            return Step::Halt;
+        }
         if let Some(until) = w.m.crashed_until(me, now) {
             // Crash-stop window: freeze in place until it ends. A thief
             // frozen mid-steal keeps the victim's bag lock — the victim
@@ -249,9 +503,9 @@ impl Actor<BotWorld> for BotWorker {
             return Step::Yield(until.saturating_sub(now).max(VTime::ns(1)));
         }
         match self.state {
-            BState::Work => self.step_work(w),
+            BState::Work => self.step_work(now, w),
             BState::Idle => self.step_idle(now, w),
-            BState::StealTake { victim } => self.step_steal(w, victim),
+            BState::StealTake { victim } => self.step_steal(now, w, victim),
         }
     }
 }
@@ -274,8 +528,9 @@ pub fn run_uts_with(
 }
 
 /// [`run_uts_with`] under a fault plan. One-sided verbs already retry
-/// inside the fabric (time is charged, semantics preserved), so the
-/// runtime only needs to survive crash-stop freezes.
+/// inside the fabric (time is charged, semantics preserved); crash-stop
+/// freezes need no protocol support, and `kill` entries arm the fail-stop
+/// recovery protocol.
 pub fn run_uts_faulty(
     spec: &UtsSpec,
     workers: usize,
@@ -284,21 +539,69 @@ pub fn run_uts_faulty(
     amount: StealAmount,
     plan: FaultPlan,
 ) -> BotReport {
-    let mut engine = build_uts(spec, workers, profile, seed, amount, plan);
+    run_workload_faulty(&Workload::Uts(spec.clone()), workers, profile, seed, amount, plan)
+}
+
+/// Run PFor as a bag of ranges under the one-sided runtime.
+pub fn run_pfor_faulty(
+    p: PforBag,
+    workers: usize,
+    profile: MachineProfile,
+    seed: u64,
+    plan: FaultPlan,
+) -> BotReport {
+    run_workload_faulty(
+        &Workload::Pfor(p),
+        workers,
+        profile,
+        seed,
+        StealAmount::Half,
+        plan,
+    )
+}
+
+/// Run any bag workload under a fault plan.
+pub fn run_workload_faulty(
+    work: &Workload,
+    workers: usize,
+    profile: MachineProfile,
+    seed: u64,
+    amount: StealAmount,
+    plan: FaultPlan,
+) -> BotReport {
+    let armed = plan.recovery_armed();
+    let mut engine = build(work, workers, profile, seed, amount, plan);
     let report = engine.run();
     let (world, actors) = engine.into_parts();
+    let end = report.end_time;
 
-    let created: u64 = world.counters.iter().map(|c| c.created).sum();
-    let consumed: u64 = world.counters.iter().map(|c| c.consumed).sum();
+    let live = |p: &usize| !world.m.is_dead(*p, end);
+    let created: u64 = (0..workers).filter(live).map(|p| world.counters[p].created).sum();
+    let consumed: u64 = (0..workers).filter(live).map(|p| world.counters[p].consumed).sum();
     assert_eq!(created, consumed, "termination fired with outstanding work");
+    if armed {
+        for p in (0..workers).filter(live) {
+            assert!(world.bags[p].is_empty(), "live worker {p} terminated with work");
+        }
+    }
 
+    let dead_workers = (0..workers).filter(|p| !live(p)).count() as u64;
     BotReport {
-        elapsed: report.end_time,
-        nodes: world.counters.iter().map(|c| c.nodes).sum(),
+        elapsed: end,
+        nodes: if armed {
+            world.recovery.collector.unique
+        } else {
+            world.counters.iter().map(|c| c.nodes).sum()
+        },
+        checksum: world.recovery.collector.checksum,
         steals_ok: actors.iter().map(|a| a.steals_ok).sum(),
         steals_failed: actors.iter().map(|a| a.steals_failed).sum(),
         messages: 0,
         token_rounds: world.token_rounds,
+        dead_workers,
+        lost_tasks: world.recovery.lost_tasks,
+        reexec_tasks: world.recovery.reexec_tasks,
+        dup_results: world.recovery.collector.dups,
         fabric: world.m.stats_total(),
         steps: report.steps,
     }
@@ -309,15 +612,21 @@ pub fn run_uts_faulty(
 /// turns mismatches into reported violations instead of panics).
 #[derive(Clone, Debug)]
 pub struct BotCheckOutcome {
-    /// UTS nodes expanded across all workers.
+    /// UTS nodes expanded across all workers (raw, duplicates included).
     pub nodes: u64,
-    /// Global created / consumed task counts at the moment every worker
-    /// halted — termination *safety* is `created == consumed`.
+    /// Head-node deduplicated result (equals `nodes` when fault-free).
+    pub unique: u64,
+    /// Order-independent checksum of first-seen task ids.
+    pub checksum: u64,
+    /// Global created / consumed task counts over workers still alive when
+    /// the run ended — termination *safety* is `created == consumed`.
     pub created: u64,
     pub consumed: u64,
-    /// Workers whose bag still held tasks when the run ended (must be
+    /// Live workers whose bag still held tasks when the run ended (must be
     /// empty: terminating with resident work loses it).
     pub bags_nonempty: Vec<WorkerId>,
+    /// Workers killed by the fault plan before the run ended.
+    pub dead_workers: Vec<WorkerId>,
     /// Token rounds the detector ran.
     pub token_rounds: u64,
     /// Engine steps taken — bounded, so an exploration that livelocks is
@@ -334,35 +643,59 @@ pub fn run_uts_hooked<H: ScheduleHook + ?Sized>(
     seed: u64,
     hook: &mut H,
 ) -> BotCheckOutcome {
-    let mut engine = build_uts(
-        spec,
+    run_uts_hooked_faulty(spec, workers, profile, seed, hook, FaultPlan::none())
+}
+
+/// [`run_uts_hooked`] under a fault plan — the entry point of the
+/// crash-schedule oracle, which explores kill interleavings.
+pub fn run_uts_hooked_faulty<H: ScheduleHook + ?Sized>(
+    spec: &UtsSpec,
+    workers: usize,
+    profile: MachineProfile,
+    seed: u64,
+    hook: &mut H,
+    plan: FaultPlan,
+) -> BotCheckOutcome {
+    let armed = plan.recovery_armed();
+    let mut engine = build(
+        &Workload::Uts(spec.clone()),
         workers,
         profile,
         seed,
         StealAmount::Half,
-        FaultPlan::none(),
+        plan,
     );
     let report = engine.run_with_hook(hook);
     let (world, _actors) = engine.into_parts();
+    let end = report.end_time;
+    let live = |p: &usize| !world.m.is_dead(*p, end);
+    let raw_nodes: u64 = world.counters.iter().map(|c| c.nodes).sum();
     BotCheckOutcome {
-        nodes: world.counters.iter().map(|c| c.nodes).sum(),
-        created: world.counters.iter().map(|c| c.created).sum(),
-        consumed: world.counters.iter().map(|c| c.consumed).sum(),
+        nodes: raw_nodes,
+        unique: if armed {
+            world.recovery.collector.unique
+        } else {
+            raw_nodes
+        },
+        checksum: world.recovery.collector.checksum,
+        created: (0..workers).filter(live).map(|p| world.counters[p].created).sum(),
+        consumed: (0..workers).filter(live).map(|p| world.counters[p].consumed).sum(),
         bags_nonempty: world
             .bags
             .iter()
             .enumerate()
-            .filter(|(_, b)| !b.is_empty())
-            .map(|(w, _)| w)
+            .filter(|(p, b)| !b.is_empty() && live(p))
+            .map(|(p, _)| p)
             .collect(),
+        dead_workers: (0..workers).filter(|p| !live(p)).collect(),
         token_rounds: world.token_rounds,
         steps: report.steps,
     }
 }
 
-/// Assemble the machine, seeded world and worker actors of a UTS run.
-fn build_uts(
-    spec: &UtsSpec,
+/// Assemble the machine, seeded world and worker actors of a bag run.
+fn build(
+    work: &Workload,
     workers: usize,
     profile: MachineProfile,
     seed: u64,
@@ -370,19 +703,22 @@ fn build_uts(
     plan: FaultPlan,
 ) -> Engine<BotWorld, BotWorker> {
     let scale = profile.compute_scale;
+    let armed = plan.recovery_armed();
     let m = Machine::new(
         MachineConfig::new(workers, profile)
             .with_seg_bytes(1 << 16)
             .with_reserved(RESERVED)
             .with_faults(plan),
     );
+    let root = work.root_task();
     let mut world = BotWorld {
         m,
         bags: (0..workers).map(|_| Vec::new()).collect(),
         counters: vec![Counters::default(); workers],
+        recovery: Recovery::new(workers, root),
         token_rounds: 0,
     };
-    world.bags[0].push((spec.root(), 0));
+    world.bags[0].push(root);
     world.counters[0].created = 1;
     world.m.put_u64(0, word(0, W_SIZE), 1);
 
@@ -390,14 +726,16 @@ fn build_uts(
         .map(|me| BotWorker {
             me,
             n: workers,
-            spec: spec.clone(),
+            work: work.clone(),
             amount,
+            armed,
             scale,
             rng: SimRng::for_worker(seed, me),
             state: if me == 0 { BState::Work } else { BState::Idle },
             detector: Detector::default(),
             token_outstanding: false,
             forwarded_round: 0,
+            dead: vec![false; workers],
             steals_ok: 0,
             steals_failed: 0,
             halted: false,
@@ -500,6 +838,15 @@ mod tests {
         let speedup = t1.as_ns() as f64 / t8.as_ns() as f64;
         assert!(speedup > 4.0, "speedup {speedup} too low");
     }
+
+    #[test]
+    fn pfor_counts_match_various_workers() {
+        let p = PforBag { n: 256, grain: 8, m: VTime::us(2) };
+        for workers in [1, 2, 4, 8] {
+            let r = run_pfor_faulty(p, workers, profiles::test_profile(), 7, FaultPlan::none());
+            assert_eq!(r.nodes, 256, "P={workers}");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -521,5 +868,96 @@ mod steal_amount_tests {
                 assert_eq!(r.nodes, expected, "{amount:?} P={p}");
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+    use dcs_apps::uts::{presets, serial_count};
+    use dcs_sim::profiles;
+
+    #[test]
+    fn survives_single_kill_with_exact_result() {
+        let spec = presets::tiny();
+        let expected = serial_count(&spec).nodes;
+        for at_us in [5u64, 50, 100] {
+            let plan = FaultPlan::none().with_kill(2, VTime::us(at_us));
+            let r = run_uts_faulty(&spec, 4, profiles::test_profile(), 19, StealAmount::Half, plan);
+            assert_eq!(r.nodes, expected, "kill at {at_us}us");
+            assert_eq!(r.dead_workers, 1);
+        }
+    }
+
+    #[test]
+    fn survives_killing_worker_zero() {
+        // Worker 0 starts with the root and is the termination initiator:
+        // both roles must migrate to the lowest live worker.
+        let spec = presets::tiny();
+        let expected = serial_count(&spec).nodes;
+        for at_us in [3u64, 40] {
+            let plan = FaultPlan::none().with_kill(0, VTime::us(at_us));
+            let r = run_uts_faulty(&spec, 4, profiles::test_profile(), 23, StealAmount::Half, plan);
+            assert_eq!(r.nodes, expected, "kill 0 at {at_us}us");
+        }
+    }
+
+    #[test]
+    fn survives_half_the_workers_dying() {
+        let spec = presets::tiny();
+        let expected = serial_count(&spec).nodes;
+        let plan = FaultPlan::none()
+            .with_kill(1, VTime::us(10))
+            .with_kill(3, VTime::us(60))
+            .with_kill(5, VTime::us(25))
+            .with_kill(7, VTime::us(120));
+        let r = run_uts_faulty(&spec, 8, profiles::test_profile(), 29, StealAmount::Half, plan);
+        assert_eq!(r.nodes, expected);
+        assert_eq!(r.dead_workers, 4);
+    }
+
+    #[test]
+    fn killed_runs_are_deterministic() {
+        let spec = presets::tiny();
+        let plan = FaultPlan::none()
+            .with_kill(1, VTime::us(15))
+            .with_kill(2, VTime::us(80));
+        let a = run_uts_faulty(&spec, 4, profiles::test_profile(), 31, StealAmount::Half, plan.clone());
+        let b = run_uts_faulty(&spec, 4, profiles::test_profile(), 31, StealAmount::Half, plan);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.reexec_tasks, b.reexec_tasks);
+    }
+
+    #[test]
+    fn armed_without_kills_matches_fault_free_result() {
+        let spec = presets::tiny();
+        let expected = serial_count(&spec).nodes;
+        let plain = run_uts(&spec, 4, profiles::test_profile(), 9);
+        let armed = run_uts_faulty(
+            &spec,
+            4,
+            profiles::test_profile(),
+            9,
+            StealAmount::Half,
+            FaultPlan::none().with_recovery(),
+        );
+        assert_eq!(armed.nodes, expected);
+        assert_eq!(armed.dup_results, 0, "no kills → nothing re-executed");
+        assert_eq!(armed.lost_tasks, 0);
+        // Lineage tracking overhead must stay within the 2% budget.
+        let ratio = armed.elapsed.as_ns() as f64 / plain.elapsed.as_ns() as f64;
+        assert!(ratio <= 1.02, "armed overhead ratio {ratio}");
+    }
+
+    #[test]
+    fn pfor_survives_kills() {
+        let p = PforBag { n: 512, grain: 8, m: VTime::us(2) };
+        let plan = FaultPlan::none()
+            .with_kill(2, VTime::us(40))
+            .with_kill(3, VTime::us(90));
+        let r = run_pfor_faulty(p, 8, profiles::test_profile(), 11, plan);
+        assert_eq!(r.nodes, 512);
     }
 }

@@ -11,22 +11,70 @@
 //! The token is represented here as a small record that each transport
 //! (one-sided puts into the successor's segment, or ring messages) carries
 //! verbatim; the accounting logic is shared and unit-tested on its own.
+//!
+//! **Fail-stop extension.** Under a recovery-armed fault plan the ring can
+//! have holes: confirmed-dead workers are skipped, and when the initiator
+//! itself dies the lowest live worker takes over. Two token fields support
+//! this:
+//!
+//! * `round` is *tagged* with the initiator's id in its high bits
+//!   ([`tag_round`]), so a stale token from a dead ex-initiator is ignored
+//!   (tags only grow: a successor initiator has a higher id, hence a higher
+//!   tag, than every round the dead one ever started).
+//! * `start_ns` stamps the round's start; a worker may only forward the
+//!   token once every not-confirmed-dead peer has published a heartbeat
+//!   *after* that instant (the attest rule). A death before the round can
+//!   therefore never hide inside a completed round: the round blocks until
+//!   the death is confirmed — and recovery re-injects the lost work,
+//!   unbalancing the sums — or the peer proves it is alive.
+//!
+//! The two-sided runtime additionally folds `sent`/`recv` task-transfer
+//! counters ([`Detector::round_done4`]): with in-flight grants, balanced
+//! created/consumed sums alone would miss tasks living inside the channel.
 
 /// Token contents while circulating.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Token {
     /// Round number (monotone; doubles as the "new token arrived" signal).
+    /// In recovery mode the high bits carry the initiator id ([`tag_round`]).
     pub round: u64,
     /// Sum of `created` counters accumulated this round.
     pub created: u64,
     /// Sum of `consumed` counters accumulated this round.
     pub consumed: u64,
+    /// Sum of tasks handed to live peers (two-sided recovery mode).
+    pub sent: u64,
+    /// Sum of tasks received from live peers (two-sided recovery mode).
+    pub recv: u64,
+    /// Virtual time (ns) the round started at the initiator (attest rule).
+    pub start_ns: u64,
+}
+
+/// Bits of `Token::round` holding the round sequence number; the initiator
+/// id lives above them.
+pub const ROUND_TAG_SHIFT: u32 = 48;
+
+/// Tag a round sequence number with its initiator's id.
+pub fn tag_round(initiator: usize, seq: u64) -> u64 {
+    debug_assert!(seq < 1 << ROUND_TAG_SHIFT);
+    ((initiator as u64) << ROUND_TAG_SHIFT) | seq
+}
+
+/// The initiator id carried by a tagged round.
+pub fn round_initiator(round: u64) -> usize {
+    (round >> ROUND_TAG_SHIFT) as usize
+}
+
+/// The sequence number carried by a tagged round.
+pub fn round_seq(round: u64) -> u64 {
+    round & ((1 << ROUND_TAG_SHIFT) - 1)
 }
 
 /// Initiator-side state: remembers the previous round's sums.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Detector {
     prev: Option<(u64, u64)>,
+    prev4: Option<(u64, u64, u64, u64)>,
     pub rounds: u64,
 }
 
@@ -40,6 +88,19 @@ impl Detector {
         done
     }
 
+    /// Four-counter round completion (two-sided recovery mode): fires only
+    /// when bags are globally empty (`created + recv == consumed + sent`),
+    /// nothing is in flight (`sent == recv`), and the previous round saw
+    /// the identical four sums.
+    pub fn round_done4(&mut self, created: u64, consumed: u64, sent: u64, recv: u64) -> bool {
+        self.rounds += 1;
+        let snap = (created, consumed, sent, recv);
+        let done =
+            created + recv == consumed + sent && sent == recv && self.prev4 == Some(snap);
+        self.prev4 = Some(snap);
+        done
+    }
+
     /// Start a new round: the initiator seeds the token with its own
     /// counters.
     pub fn new_round(&self, my_created: u64, my_consumed: u64) -> Token {
@@ -47,6 +108,29 @@ impl Detector {
             round: self.rounds + 1,
             created: my_created,
             consumed: my_consumed,
+            ..Token::default()
+        }
+    }
+
+    /// Start a new recovery-mode round: tagged with the initiator id,
+    /// stamped with the start time, seeding all four counters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_round_tagged(
+        &self,
+        initiator: usize,
+        start_ns: u64,
+        my_created: u64,
+        my_consumed: u64,
+        my_sent: u64,
+        my_recv: u64,
+    ) -> Token {
+        Token {
+            round: tag_round(initiator, self.rounds + 1),
+            created: my_created,
+            consumed: my_consumed,
+            sent: my_sent,
+            recv: my_recv,
+            start_ns,
         }
     }
 }
@@ -54,9 +138,20 @@ impl Detector {
 /// A non-initiator worker folds its counters into a passing token.
 pub fn accumulate(tok: Token, my_created: u64, my_consumed: u64) -> Token {
     Token {
-        round: tok.round,
         created: tok.created + my_created,
         consumed: tok.consumed + my_consumed,
+        ..tok
+    }
+}
+
+/// Four-counter fold (two-sided recovery mode).
+pub fn accumulate4(tok: Token, c: u64, k: u64, s: u64, r: u64) -> Token {
+    Token {
+        created: tok.created + c,
+        consumed: tok.consumed + k,
+        sent: tok.sent + s,
+        recv: tok.recv + r,
+        ..tok
     }
 }
 
@@ -96,7 +191,7 @@ mod tests {
         let t0 = d.new_round(5, 3);
         assert_eq!(t0.round, 1);
         let t1 = accumulate(t0, 2, 4);
-        assert_eq!(t1, Token { round: 1, created: 7, consumed: 7 });
+        assert_eq!(t1, Token { round: 1, created: 7, consumed: 7, ..Token::default() });
     }
 
     /// Simulated ring: N workers with fixed counter snapshots; verify the

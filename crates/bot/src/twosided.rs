@@ -31,6 +31,20 @@
 //!   caches the exact token it forwarded for the current round — a duplicate
 //!   or retransmitted token triggers a verbatim re-send, so the wave always
 //!   reaches the break and never double-counts.
+//!
+//! ## Fail-stop recovery (recovery-armed fault plans)
+//!
+//! `kill=W@T` entries arm the crash-tolerant protocol (see
+//! `docs/PROTOCOLS.md`). On top of the lineage/replay machinery shared with
+//! the one-sided runtime, two-sided stealing adds **in-flight tasks**: a
+//! granted batch lives in the channel, in neither bag. The termination fold
+//! therefore carries four counters (`created`, `consumed`, `sent`, `recv`)
+//! and fires only when the live sums balance *and* `sent == recv`. When a
+//! worker confirms a peer dead it (a) replays every batch it granted or
+//! pushed to it, (b) relabels tasks it had received from it as locally
+//! created, and (c) excludes its channel with the dead peer from the
+//! `sent`/`recv` folds — messages from a confirmed-dead sender are fenced
+//! off (rejected) so those adjustments stay final.
 
 use std::collections::VecDeque;
 
@@ -40,8 +54,8 @@ use dcs_sim::{
     VTime, WorkerId,
 };
 
-use crate::termination::{accumulate, Detector, Token};
-use crate::{expand_node, BotReport, Counters, NodeTask, TASK_BYTES};
+use crate::termination::{accumulate, accumulate4, round_initiator, tag_round, Detector, Token};
+use crate::{BotReport, Counters, PforBag, Recovery, Task, Workload, TASK_BYTES};
 
 /// Which two-sided strategy to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,21 +71,22 @@ pub enum Variant {
 #[derive(Clone, Debug)]
 pub enum Msg {
     Request,
-    Grant(u64, Vec<NodeTask>),
+    Grant(u64, Vec<Task>),
     Deny,
     /// Arm a lifeline from the sender to the receiver.
     Lifeline,
     /// Work pushed down an armed lifeline.
-    Push(u64, Vec<NodeTask>),
+    Push(u64, Vec<Task>),
     Token(Token),
 }
 
 /// Shared state of a two-sided BoT run.
 pub struct TwoWorld {
     pub m: Machine,
-    pub bags: Vec<Vec<NodeTask>>,
+    pub bags: Vec<Vec<Task>>,
     pub counters: Vec<Counters>,
     pub mailbox: Mailbox<Msg>,
+    pub recovery: Recovery,
     pub token_rounds: u64,
 }
 
@@ -84,7 +99,8 @@ struct TwoWorker {
     me: WorkerId,
     n: usize,
     variant: Variant,
-    spec: UtsSpec,
+    work: Workload,
+    armed: bool,
     scale: f64,
     rng: SimRng,
     /// Outstanding steal request: `(victim, sent_at)` — the timestamp drives
@@ -113,6 +129,15 @@ struct TwoWorker {
     send_seq: u64,
     /// Highest task-message sequence accepted per sender (dup filter).
     seen_seq: Vec<u64>,
+    /// Peers this worker has confirmed dead via the lease registry.
+    dead: Vec<bool>,
+    /// Tasks sent to / received from each peer (recovery bookkeeping).
+    sent_to: Vec<u64>,
+    recv_from: Vec<u64>,
+    /// Totals excluded from the `sent`/`recv` folds: channel traffic with
+    /// peers now confirmed dead.
+    sent_dead: u64,
+    recv_dead: u64,
     /// Reply/retransmit timeout (fault runs only).
     rto: VTime,
     steals_ok: u64,
@@ -132,6 +157,76 @@ impl TwoWorker {
             bit <<= 1;
         }
         out
+    }
+
+    /// The lowest worker this one has not confirmed dead.
+    fn initiator(&self) -> WorkerId {
+        (0..self.n).find(|&p| !self.dead[p]).expect("self is never confirmed dead")
+    }
+
+    /// Next ring successor not confirmed dead.
+    fn succ_live(&self) -> Option<WorkerId> {
+        (1..self.n)
+            .map(|d| (self.me + d) % self.n)
+            .find(|&p| !self.dead[p])
+    }
+
+    /// `sent`/`recv` fold values excluding channels with confirmed-dead
+    /// peers.
+    fn sent_recv_live(&self, w: &TwoWorld) -> (u64, u64) {
+        let c = w.counters[self.me];
+        (c.sent - self.sent_dead, c.recv - self.recv_dead)
+    }
+
+    /// Mark `d` confirmed dead: replay granted batches, re-label tasks
+    /// received from it, fence its channel out of the folds, and drop any
+    /// protocol state pointing at it.
+    fn confirm(&mut self, d: WorkerId, w: &mut TwoWorld) {
+        if d == self.me || self.dead[d] {
+            return;
+        }
+        self.dead[d] = true;
+        let me = self.me;
+        // Re-inject the batches granted to the dead peer. No `created`
+        // adjustment: excluding the channel via `sent_dead` below already
+        // puts those tasks back on this worker's books — the re-injection
+        // is the physical side of that same correction.
+        w.recovery.replay_batches(me, d, &mut w.bags[me]);
+        let mut add = 0;
+        if w.recovery.maybe_adopt_root(me, &self.dead, &mut w.bags[me]) {
+            add += 1;
+        }
+        // Tasks received from the dead peer are re-labelled as locally
+        // created: with its channel fenced off the transfer never happened
+        // as far as the folds are concerned.
+        add += self.recv_from[d];
+        self.sent_dead += self.sent_to[d];
+        self.recv_dead += self.recv_from[d];
+        w.counters[me].created += add;
+        // Drop protocol state aimed at the dead peer.
+        if matches!(self.pending, Some((v, _)) if v == d) {
+            self.pending = None;
+            self.fails += 1;
+            self.steals_failed += 1;
+        }
+        self.armed_on_me.retain(|&p| p != d);
+        self.my_armed.retain(|&p| p != d);
+        if self.token_outstanding {
+            // An outstanding round may have died with the peer: abandon it
+            // (burning its sequence number) and re-seed.
+            self.detector.rounds += 1;
+            self.token_outstanding = false;
+            self.sent_cache = None;
+        }
+    }
+
+    /// Confirm every peer whose lease has expired.
+    fn scan_confirm(&mut self, now: VTime, w: &mut TwoWorld) {
+        for p in 0..self.n {
+            if p != self.me && !self.dead[p] && w.m.confirmed_dead(p, now) {
+                self.confirm(p, w);
+            }
+        }
     }
 
     /// Send `msg`; `droppable` selects the channel class. Task-carrying
@@ -155,9 +250,42 @@ impl TwoWorker {
         cost
     }
 
+    /// Grant or push `k` tasks to `to`, with recovery bookkeeping: the
+    /// batch is recorded as lineage before it leaves, and the transfer is
+    /// counted on the sender side.
+    fn give_tasks(&mut self, w: &mut TwoWorld, now: VTime, to: WorkerId, push: bool) -> VTime {
+        let me = self.me;
+        let k = w.bags[me].len() / 2;
+        let tasks: Vec<Task> = w.bags[me].drain(..k).collect();
+        if self.armed {
+            w.recovery.record_batch(me, to, &tasks);
+            w.counters[me].sent += k as u64;
+            self.sent_to[to] += k as u64;
+        }
+        self.send_seq += 1;
+        let seq = self.send_seq;
+        let msg = if push { Msg::Push(seq, tasks) } else { Msg::Grant(seq, tasks) };
+        self.send_tasks(w, now, to, msg, k)
+    }
+
+    /// Accept a task batch from `from` (recovery bookkeeping).
+    fn accept_tasks(&mut self, w: &mut TwoWorld, from: WorkerId, tasks: Vec<Task>) -> VTime {
+        let me = self.me;
+        let cost = w.m.lat().payload(tasks.len() * TASK_BYTES);
+        if self.armed {
+            w.counters[me].recv += tasks.len() as u64;
+            self.recv_from[from] += tasks.len() as u64;
+        }
+        w.bags[me].extend(tasks);
+        cost
+    }
+
     /// Forward (or hold) a token per Mattern's ring, dropping stale rounds
     /// and answering duplicates with the cached out-token.
     fn on_token(&mut self, w: &mut TwoWorld, now: VTime, tok: Token) -> VTime {
+        if self.armed {
+            return self.on_token_armed(w, now, tok);
+        }
         if self.me != 0 {
             if tok.round <= self.forwarded_round {
                 // Duplicate (or initiator retransmission) of a round this
@@ -183,7 +311,47 @@ impl TwoWorker {
         self.forward_token(w, now, tok)
     }
 
+    fn on_token_armed(&mut self, w: &mut TwoWorld, now: VTime, tok: Token) -> VTime {
+        // Rounds seeded by an initiator known to be dead can never fire.
+        if self.dead[round_initiator(tok.round)] {
+            return VTime::ZERO;
+        }
+        if self.me == self.initiator() {
+            if !self.token_outstanding
+                || tok.round != tag_round(self.me, self.detector.rounds + 1)
+            {
+                return VTime::ZERO;
+            }
+        } else {
+            if tok.round <= self.forwarded_round {
+                if let (Some(out), Some(succ)) = (self.sent_cache, self.succ_live()) {
+                    return self.send(w, now, succ, Msg::Token(out), true);
+                }
+                return VTime::ZERO;
+            }
+            if self.held_token.is_some_and(|h| h.round >= tok.round) {
+                return VTime::ZERO;
+            }
+        }
+        if !w.bags[self.me].is_empty() {
+            self.held_token = Some(tok);
+            return VTime::ZERO;
+        }
+        self.forward_token(w, now, tok)
+    }
+
     fn forward_token(&mut self, w: &mut TwoWorld, now: VTime, tok: Token) -> VTime {
+        if self.armed {
+            // Confirm every expired lease before folding, so lineage
+            // replays land in the counters this fold reports.
+            self.scan_confirm(now, w);
+            if !w.bags[self.me].is_empty() {
+                // A replay refilled the bag: hold the token until done.
+                self.held_token = Some(tok);
+                return VTime::ZERO;
+            }
+            return self.forward_token_armed(w, now, tok);
+        }
         let cnt = w.counters[self.me];
         if self.me == 0 {
             // Round completed.
@@ -206,20 +374,61 @@ impl TwoWorker {
         }
     }
 
+    fn forward_token_armed(&mut self, w: &mut TwoWorld, now: VTime, tok: Token) -> VTime {
+        let me = self.me;
+        let cnt = w.counters[me];
+        let (s_live, r_live) = self.sent_recv_live(w);
+        if me == self.initiator() {
+            if tok.round != tag_round(me, self.detector.rounds + 1) {
+                return VTime::ZERO; // confirmed a death since accepting
+            }
+            self.token_outstanding = false;
+            self.sent_cache = None;
+            // Stability: fire only if every known death was confirmable
+            // before the round started (see onesided.rs for the argument).
+            let start = VTime::ns(tok.start_ns);
+            let stable = (0..self.n).all(|d| !self.dead[d] || w.m.confirmed_dead(d, start));
+            let done = self
+                .detector
+                .round_done4(tok.created, tok.consumed, tok.sent, tok.recv)
+                && stable;
+            w.token_rounds = w.token_rounds.max(self.detector.rounds);
+            if done {
+                let hops = (self.n as f64).log2().ceil() as u64;
+                let reduce = VTime::ns(hops * (w.m.lat().message + w.m.lat().msg_handler));
+                w.m.set_done();
+                return reduce;
+            }
+            VTime::ZERO
+        } else {
+            let Some(succ) = self.succ_live() else {
+                return VTime::ZERO; // everyone else died: initiator duty next idle step
+            };
+            let out = accumulate4(tok, cnt.created, cnt.consumed, s_live, r_live);
+            self.forwarded_round = tok.round;
+            self.sent_cache = Some(out);
+            self.send(w, now, succ, Msg::Token(out), true)
+        }
+    }
+
     /// Handle one incoming message; returns its cost, and whether the worker
     /// acquired work.
     fn handle(&mut self, w: &mut TwoWorld, now: VTime, from: WorkerId, msg: Msg) -> (VTime, bool) {
         let me = self.me;
         let mut cost = w.m.message_handled(me);
         let mut got_work = false;
+        if self.armed && self.dead[from] && !matches!(msg, Msg::Token(_)) {
+            // Epoch fencing: traffic from a confirmed-dead sender is
+            // rejected — its batches were already replayed and its channel
+            // excluded from the folds, so accepting now would double-count.
+            return (cost, false);
+        }
         match msg {
             Msg::Request => {
                 if w.bags[me].len() >= SURPLUS {
                     let k = w.bags[me].len() / 2;
-                    let tasks: Vec<NodeTask> = w.bags[me].drain(..k).collect();
-                    self.send_seq += 1;
-                    let seq = self.send_seq;
-                    cost += self.send_tasks(w, now, from, Msg::Grant(seq, tasks), k);
+                    cost += self.give_tasks(w, now, from, false);
+                    debug_assert!(k >= 1);
                 } else {
                     cost += self.send(w, now, from, Msg::Deny, true);
                 }
@@ -235,8 +444,7 @@ impl TwoWorker {
                     }
                     self.fails = 0;
                     self.steals_ok += 1;
-                    cost += w.m.lat().payload(tasks.len() * TASK_BYTES);
-                    w.bags[me].extend(tasks);
+                    cost += self.accept_tasks(w, from, tasks);
                     got_work = true;
                 }
                 // else: fabric duplicate of a grant already banked — drop.
@@ -258,8 +466,7 @@ impl TwoWorker {
                 self.my_armed.retain(|&v| v != from);
                 if seq > self.seen_seq[from] {
                     self.seen_seq[from] = seq;
-                    cost += w.m.lat().payload(tasks.len() * TASK_BYTES);
-                    w.bags[me].extend(tasks);
+                    cost += self.accept_tasks(w, from, tasks);
                     self.steals_ok += 1;
                     got_work = true;
                 }
@@ -295,20 +502,21 @@ impl TwoWorker {
             }
             return Step::Yield(cost + w.m.local_op(me));
         };
-        let (n_children, c2) = expand_node(&self.spec, task, &mut w.bags[me], self.scale);
+        let (n_children, obs, c2) = self.work.execute(task, &mut w.bags[me], self.scale);
         cost += c2;
         let cnt = &mut w.counters[me];
         cnt.consumed += 1;
         cnt.created += n_children as u64;
-        cnt.nodes += 1;
+        if let Some((id, delta)) = obs {
+            cnt.nodes += delta;
+            if self.armed {
+                w.recovery.collector.observe(id, delta);
+            }
+        }
         // Lifeline distribution: feed one armed lifeline from surplus.
         if self.variant == Variant::Lifeline && w.bags[me].len() > SURPLUS {
             if let Some(dst) = self.armed_on_me.pop_front() {
-                let k = w.bags[me].len() / 2;
-                let tasks: Vec<NodeTask> = w.bags[me].drain(..k).collect();
-                self.send_seq += 1;
-                let seq = self.send_seq;
-                cost += self.send_tasks(w, now, dst, Msg::Push(seq, tasks), k);
+                cost += self.give_tasks(w, now, dst, true);
             }
         }
         Step::Yield(cost)
@@ -322,6 +530,9 @@ impl TwoWorker {
             return Step::Halt;
         }
         let (mut cost, _) = self.poll_one(w, now);
+        if self.armed {
+            self.scan_confirm(now, w);
+        }
         if !w.bags[me].is_empty() {
             return Step::Yield(cost);
         }
@@ -330,29 +541,57 @@ impl TwoWorker {
             cost += self.forward_token(w, now, tok);
         }
         // Initiator token duty.
-        if me == 0 {
+        let init = if self.armed { self.initiator() } else { 0 };
+        if me == init {
             if !self.token_outstanding {
-                let cnt = w.counters[0];
-                if self.n == 1 {
-                    let done = self.detector.round_done(cnt.created, cnt.consumed);
-                    w.token_rounds = self.detector.rounds;
+                let cnt = w.counters[me];
+                let succ = if self.armed {
+                    self.succ_live()
+                } else if self.n > 1 {
+                    Some((me + 1) % self.n)
+                } else {
+                    None
+                };
+                let Some(succ) = succ else {
+                    // Degenerate ring (single worker, or every peer dead).
+                    let done = if self.armed {
+                        let (s, r) = self.sent_recv_live(w);
+                        self.detector.round_done4(cnt.created, cnt.consumed, s, r)
+                    } else {
+                        self.detector.round_done(cnt.created, cnt.consumed)
+                    };
+                    w.token_rounds = w.token_rounds.max(self.detector.rounds);
                     if done {
                         w.m.set_done();
                     }
                     return Step::Yield(cost + w.m.local_op(me));
-                }
-                let tok = self.detector.new_round(cnt.created, cnt.consumed);
+                };
+                let tok = if self.armed {
+                    let (s, r) = self.sent_recv_live(w);
+                    self.detector
+                        .new_round_tagged(me, now.as_ns(), cnt.created, cnt.consumed, s, r)
+                } else {
+                    self.detector.new_round(cnt.created, cnt.consumed)
+                };
                 self.token_outstanding = true;
                 self.round_sent = now;
                 self.sent_cache = Some(tok);
-                cost += self.send(w, now, 1, Msg::Token(tok), true);
+                cost += self.send(w, now, succ, Msg::Token(tok), true);
             } else if w.m.faults_active() && now.saturating_sub(self.round_sent) > self.rto {
                 // The wave went silent: the token (or a forward of it) was
-                // probably dropped. Re-seed the round verbatim — every hop
-                // is idempotent, so a late original cannot double-count.
+                // probably dropped or died with a worker. Re-seed the round
+                // verbatim — every hop is idempotent, so a late original
+                // cannot double-count.
                 if let Some(tok) = self.sent_cache {
-                    self.round_sent = now;
-                    cost += self.send(w, now, 1, Msg::Token(tok), true);
+                    let succ = if self.armed {
+                        self.succ_live()
+                    } else {
+                        Some((me + 1) % self.n)
+                    };
+                    if let Some(succ) = succ {
+                        self.round_sent = now;
+                        cost += self.send(w, now, succ, Msg::Token(tok), true);
+                    }
                 }
             }
         }
@@ -374,14 +613,22 @@ impl TwoWorker {
         match self.variant {
             Variant::Random => {
                 let victim = self.rng.victim(self.n, me);
-                cost += self.send(w, now, victim, Msg::Request, true);
-                self.pending = Some((victim, now));
+                if self.armed && self.dead[victim] {
+                    self.steals_failed += 1;
+                } else {
+                    cost += self.send(w, now, victim, Msg::Request, true);
+                    self.pending = Some((victim, now));
+                }
             }
             Variant::Lifeline => {
                 if self.fails < RANDOM_ATTEMPTS {
                     let victim = self.rng.victim(self.n, me);
-                    cost += self.send(w, now, victim, Msg::Request, true);
-                    self.pending = Some((victim, now));
+                    if self.armed && self.dead[victim] {
+                        self.steals_failed += 1;
+                    } else {
+                        cost += self.send(w, now, victim, Msg::Request, true);
+                        self.pending = Some((victim, now));
+                    }
                 } else {
                     if w.m.faults_active()
                         && !self.my_armed.is_empty()
@@ -395,6 +642,9 @@ impl TwoWorker {
                     // Arm any un-armed lifelines, then wait passively.
                     let mut armed_any = false;
                     for nb in self.lifeline_neighbours() {
+                        if self.armed && self.dead[nb] {
+                            continue;
+                        }
                         if !self.my_armed.contains(&nb) {
                             self.my_armed.push(nb);
                             cost += self.send(w, now, nb, Msg::Lifeline, true);
@@ -418,6 +668,15 @@ impl Actor<TwoWorld> for TwoWorker {
             return Step::Halt;
         }
         w.m.begin_step(me, now);
+        if self.armed && w.m.is_dead(me, now) {
+            // Fail-stop: resident tasks are lost with the worker; givers
+            // replay them from lineage once the lease expires. Queued mail
+            // is never polled again.
+            w.recovery.lost_tasks += w.bags[me].len() as u64;
+            w.bags[me].clear();
+            self.halted = true;
+            return Step::Halt;
+        }
         if let Some(until) = w.m.crashed_until(me, now) {
             // Crash-stop window: freeze (mail piles up) until it ends.
             return Step::Yield(until.saturating_sub(now).max(VTime::ns(1)));
@@ -442,8 +701,9 @@ pub fn run_uts(
 }
 
 /// [`run_uts`] under a fault plan: the fabric may fail verbs, drop or
-/// duplicate messages, degrade NICs and crash-stop workers, and the
-/// protocol must still produce the exact serial node count.
+/// duplicate messages, degrade NICs, crash-stop workers and permanently
+/// kill them, and the protocol must still produce the exact serial node
+/// count.
 pub fn run_uts_faulty(
     spec: &UtsSpec,
     workers: usize,
@@ -452,6 +712,31 @@ pub fn run_uts_faulty(
     seed: u64,
     plan: FaultPlan,
 ) -> BotReport {
+    run_workload_faulty(&Workload::Uts(spec.clone()), workers, profile, variant, seed, plan)
+}
+
+/// Run PFor as a bag of ranges under a two-sided runtime.
+pub fn run_pfor_faulty(
+    p: PforBag,
+    workers: usize,
+    profile: MachineProfile,
+    variant: Variant,
+    seed: u64,
+    plan: FaultPlan,
+) -> BotReport {
+    run_workload_faulty(&Workload::Pfor(p), workers, profile, variant, seed, plan)
+}
+
+/// Run any bag workload under a fault plan.
+pub fn run_workload_faulty(
+    work: &Workload,
+    workers: usize,
+    profile: MachineProfile,
+    variant: Variant,
+    seed: u64,
+    plan: FaultPlan,
+) -> BotReport {
+    let armed = plan.recovery_armed();
     let scale = profile.compute_scale;
     let m = Machine::new(
         MachineConfig::new(workers, profile)
@@ -461,14 +746,16 @@ pub fn run_uts_faulty(
     // Reply/retransmit timeout: generously above a round trip, so healthy
     // exchanges never trip it even under degraded-NIC scaling.
     let rto = VTime::ns((m.lat().message + m.lat().msg_handler) * 64);
+    let root = work.root_task();
     let mut world = TwoWorld {
         m,
         bags: (0..workers).map(|_| Vec::new()).collect(),
         counters: vec![Counters::default(); workers],
         mailbox: Mailbox::new(workers),
+        recovery: Recovery::new(workers, root),
         token_rounds: 0,
     };
-    world.bags[0].push((spec.root(), 0));
+    world.bags[0].push(root);
     world.counters[0].created = 1;
 
     let actors: Vec<TwoWorker> = (0..workers)
@@ -476,7 +763,8 @@ pub fn run_uts_faulty(
             me,
             n: workers,
             variant,
-            spec: spec.clone(),
+            work: work.clone(),
+            armed,
             scale,
             rng: SimRng::for_worker(seed, me),
             pending: None,
@@ -492,6 +780,11 @@ pub fn run_uts_faulty(
             sent_cache: None,
             send_seq: 0,
             seen_seq: vec![0; workers],
+            dead: vec![false; workers],
+            sent_to: vec![0; workers],
+            recv_from: vec![0; workers],
+            sent_dead: 0,
+            recv_dead: 0,
             rto,
             steals_ok: 0,
             steals_failed: 0,
@@ -502,18 +795,35 @@ pub fn run_uts_faulty(
     let mut engine = Engine::new(world, actors);
     let report = engine.run();
     let (world, actors) = engine.into_parts();
+    let end = report.end_time;
 
-    let created: u64 = world.counters.iter().map(|c| c.created).sum();
-    let consumed: u64 = world.counters.iter().map(|c| c.consumed).sum();
+    let live = |p: &usize| !world.m.is_dead(*p, end);
+    let created: u64 = (0..workers).filter(live).map(|p| world.counters[p].created).sum();
+    let consumed: u64 = (0..workers).filter(live).map(|p| world.counters[p].consumed).sum();
     assert_eq!(created, consumed, "termination fired with outstanding work");
+    if armed {
+        for p in (0..workers).filter(live) {
+            assert!(world.bags[p].is_empty(), "live worker {p} terminated with work");
+        }
+    }
 
+    let dead_workers = (0..workers).filter(|p| !live(p)).count() as u64;
     BotReport {
-        elapsed: report.end_time,
-        nodes: world.counters.iter().map(|c| c.nodes).sum(),
+        elapsed: end,
+        nodes: if armed {
+            world.recovery.collector.unique
+        } else {
+            world.counters.iter().map(|c| c.nodes).sum()
+        },
+        checksum: world.recovery.collector.checksum,
         steals_ok: actors.iter().map(|a| a.steals_ok).sum(),
         steals_failed: actors.iter().map(|a| a.steals_failed).sum(),
         messages: world.m.stats_total().messages_handled,
         token_rounds: world.token_rounds,
+        dead_workers,
+        lost_tasks: world.recovery.lost_tasks,
+        reexec_tasks: world.recovery.reexec_tasks,
+        dup_results: world.recovery.collector.dups,
         fabric: world.m.stats_total(),
         steps: report.steps,
     }
@@ -627,5 +937,74 @@ mod tests {
         assert_eq!(plain.elapsed, none.elapsed);
         assert_eq!(plain.steps, none.steps);
         assert_eq!(plain.messages, none.messages);
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+    use dcs_apps::uts::{presets, serial_count};
+    use dcs_sim::profiles;
+
+    #[test]
+    fn survives_single_kill_with_exact_result() {
+        let spec = presets::tiny();
+        let expected = serial_count(&spec).nodes;
+        for variant in [Variant::Random, Variant::Lifeline] {
+            for at_us in [5u64, 60, 120] {
+                let plan = FaultPlan::none().with_kill(2, VTime::us(at_us));
+                let r = run_uts_faulty(&spec, 4, profiles::test_profile(), variant, 43, plan);
+                assert_eq!(r.nodes, expected, "{variant:?} kill at {at_us}us");
+                assert_eq!(r.dead_workers, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn survives_killing_worker_zero() {
+        let spec = presets::tiny();
+        let expected = serial_count(&spec).nodes;
+        for variant in [Variant::Random, Variant::Lifeline] {
+            let plan = FaultPlan::none().with_kill(0, VTime::us(30));
+            let r = run_uts_faulty(&spec, 4, profiles::test_profile(), variant, 47, plan);
+            assert_eq!(r.nodes, expected, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn survives_half_the_workers_dying() {
+        let spec = presets::tiny();
+        let expected = serial_count(&spec).nodes;
+        let plan = FaultPlan::none()
+            .with_kill(2, VTime::us(10))
+            .with_kill(5, VTime::us(25))
+            .with_kill(6, VTime::us(40))
+            .with_kill(1, VTime::us(55));
+        for variant in [Variant::Random, Variant::Lifeline] {
+            let r = run_uts_faulty(&spec, 8, profiles::test_profile(), variant, 53, plan.clone());
+            assert_eq!(r.nodes, expected, "{variant:?}");
+            assert_eq!(r.dead_workers, 4);
+        }
+    }
+
+    #[test]
+    fn killed_runs_are_deterministic() {
+        let spec = presets::tiny();
+        let plan = FaultPlan::none().with_kill(3, VTime::us(45));
+        let a = run_uts_faulty(&spec, 4, profiles::test_profile(), Variant::Lifeline, 59, plan.clone());
+        let b = run_uts_faulty(&spec, 4, profiles::test_profile(), Variant::Lifeline, 59, plan);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.checksum, b.checksum);
+    }
+
+    #[test]
+    fn pfor_survives_kills() {
+        let p = PforBag { n: 512, grain: 8, m: VTime::us(2) };
+        let plan = FaultPlan::none().with_kill(1, VTime::us(50));
+        for variant in [Variant::Random, Variant::Lifeline] {
+            let r = run_pfor_faulty(p, 4, profiles::test_profile(), variant, 61, plan.clone());
+            assert_eq!(r.nodes, 512, "{variant:?}");
+        }
     }
 }

@@ -459,6 +459,120 @@ fn runtime_scenario(
 }
 
 // ---------------------------------------------------------------------------
+// Fail-stop crash scenarios
+// ---------------------------------------------------------------------------
+
+/// Crash-recovery oracle: a ChildRtc run that loses a (non-zero) worker
+/// mid-run must still produce the exact fault-free answer under EVERY
+/// schedule — steal-lineage replay plus completion-marking dedup means
+/// at-least-once execution with exactly-once effects. Leak violations are
+/// expected (entries on the dead segment can never be freed) and filtered;
+/// anything else the watchdog reports is a finding.
+fn crash_recovery_scenario(workers: usize, seed: u64) -> Scenario {
+    use dcs_core::RunOutcome;
+    let runner = move |hook: &mut dyn ScheduleHook| -> Vec<String> {
+        let mut plan = dcs_sim::FaultPlan::none().with_kill(workers - 1, VTime::ns(100));
+        plan.lease = VTime::us(5); // keep death confirmation inside the run
+        let cfg = RunConfig::new(workers, Policy::ChildRtc)
+            .with_profile(profiles::test_profile())
+            .with_watchdog(true)
+            .with_strict(false)
+            .with_seed(seed)
+            .with_fault_plan(plan);
+        let report = run_hooked(cfg, Program::new(fib, 9u64), hook);
+        let mut violations = Vec::new();
+        if !matches!(report.outcome, RunOutcome::Complete) {
+            violations.push(format!(
+                "recoverable kill aborted the run: {:?}",
+                report.outcome
+            ));
+        } else if report.result.as_u64() != 34 {
+            violations.push(format!(
+                "wrong result after recovery: got {}, expected 34 (workers_lost={}, replayed={})",
+                report.result.as_u64(),
+                report.stats.workers_lost,
+                report.stats.tasks_replayed
+            ));
+        }
+        if let Some(wd) = &report.watchdog {
+            violations.extend(
+                wd.violations
+                    .iter()
+                    .filter(|v| !matches!(v, dcs_core::watchdog::Violation::Leak { .. }))
+                    .map(|v| v.to_string()),
+            );
+        }
+        violations
+    };
+    Scenario {
+        name: "crash-recovery".to_string(),
+        workers,
+        expect_violation: false,
+        runner: Box::new(runner),
+    }
+}
+
+/// Crash-abort oracle: continuation stealing cannot replay a lost stack, so
+/// a kill that fires mid-run must end in a typed `Unrecoverable` outcome
+/// naming the lost worker — never a silent wrong answer or a wedged run
+/// (a wedge surfaces as a missing root result, which panics and is caught).
+fn crash_abort_scenario(workers: usize, seed: u64) -> Scenario {
+    use dcs_core::RunOutcome;
+    let runner = move |hook: &mut dyn ScheduleHook| -> Vec<String> {
+        let mut plan = dcs_sim::FaultPlan::none().with_kill(workers - 1, VTime::ns(100));
+        plan.lease = VTime::us(5);
+        let cfg = RunConfig::new(workers, Policy::ContGreedy)
+            .with_profile(profiles::test_profile())
+            .with_watchdog(true)
+            .with_strict(false)
+            .with_seed(seed)
+            .with_fault_plan(plan);
+        let report = run_hooked(cfg, Program::new(fib, 9u64), hook);
+        let mut violations = Vec::new();
+        match (&report.outcome, report.stats.workers_lost) {
+            // The schedule let the run finish before the kill landed: the
+            // answer must simply be right.
+            (RunOutcome::Complete, 0) => {
+                if report.result.as_u64() != 34 {
+                    violations.push(format!(
+                        "wrong result: got {}, expected 34",
+                        report.result.as_u64()
+                    ));
+                }
+            }
+            (RunOutcome::Complete, _) => violations.push(
+                "continuation-stealing run completed despite losing a worker's stacks"
+                    .to_string(),
+            ),
+            (RunOutcome::Unrecoverable { worker, .. }, _) => {
+                if *worker != workers - 1 {
+                    violations.push(format!(
+                        "abort blamed worker {worker}, killed {}",
+                        workers - 1
+                    ));
+                }
+                let named = report.watchdog.as_ref().is_some_and(|wd| {
+                    wd.violations.iter().any(|v| {
+                        matches!(v, dcs_core::watchdog::Violation::WorkerLost { .. })
+                    })
+                });
+                if !named {
+                    violations
+                        .push("abort did not record a worker-lost diagnostic".to_string());
+                }
+            }
+        }
+        violations
+    };
+    Scenario {
+        name: "crash-abort".to_string(),
+        workers,
+        expect_violation: false,
+        runner: Box::new(runner),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Termination scenario
 // ---------------------------------------------------------------------------
 
@@ -548,6 +662,8 @@ pub fn catalog(workers: usize, seed: u64) -> Vec<Scenario> {
         },
     ));
     v.push(bot_term_scenario(workers, seed));
+    v.push(crash_recovery_scenario(workers, seed));
+    v.push(crash_abort_scenario(workers, seed));
     v
 }
 
@@ -597,3 +713,4 @@ mod tests {
         assert_eq!(names.len(), cat.len());
     }
 }
+

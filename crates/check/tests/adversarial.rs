@@ -148,3 +148,33 @@ fn pct_runs_replay_deterministically() {
         );
     }
 }
+
+/// Fail-stop crash oracles under exploration. `crash-recovery` loses a
+/// ChildRtc worker mid-run on every schedule and must still produce the
+/// exact fault-free answer (steal-lineage replay + completion dedup);
+/// `crash-abort` loses a continuation-stealing worker and must end in a
+/// typed unrecoverable diagnostic, never a wedge or a wrong answer.
+/// Exhaustive at delay bound 1 on 2 workers, PCT-sampled at 3; CI runs the
+/// wider PCT sweep at 8 workers through the `dcs check` binary.
+#[test]
+fn crash_oracles_survive_exploration() {
+    for name in ["crash-recovery", "crash-abort"] {
+        let s = by_name(name, 2, 1).expect("scenario exists");
+        let out = explore_exhaustive(&|c| s.run_choices(c), 1, 6_000);
+        assert!(out.complete, "{name}: delay-1 space must fit the budget");
+        assert!(
+            out.findings.is_empty(),
+            "{name} violated under schedule {:?}: {:?}",
+            out.findings[0].choices,
+            out.findings[0].violations
+        );
+
+        let s3 = by_name(name, 3, 1).unwrap();
+        let out = explore_pct(&|seed| s3.run_pct(seed, 3, 512), 40);
+        assert!(
+            out.findings.is_empty(),
+            "{name} violated under PCT: {:?}",
+            out.findings
+        );
+    }
+}

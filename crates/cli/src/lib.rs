@@ -363,6 +363,13 @@ pub fn execute_run(a: &RunArgs) -> String {
                 r.fabric.retries, r.fabric.timeouts
             );
         }
+        if a.fault.recovery_armed() {
+            let _ = writeln!(
+                s,
+                "recovery:   {} dead workers, {} tasks lost, {} re-executed, {} duplicate results absorbed",
+                r.dead_workers, r.lost_tasks, r.reexec_tasks, r.dup_results
+            );
+        }
         return s;
     }
 
@@ -414,7 +421,18 @@ fn render_report(a: &RunArgs, n: u64, r: &RunReport) -> String {
         a.policy.label(),
         a.machine.name
     );
-    let _ = writeln!(s, "result:     {}", r.result.summary());
+    match &r.outcome {
+        dcs_core::RunOutcome::Complete => {
+            let _ = writeln!(s, "result:     {}", r.result.summary());
+        }
+        dcs_core::RunOutcome::Unrecoverable { worker, frames } => {
+            let _ = writeln!(
+                s,
+                "result:     UNRECOVERABLE — worker {worker} fail-stopped holding {} live frame(s)",
+                frames.len()
+            );
+        }
+    }
     let _ = writeln!(s, "elapsed:    {}", r.elapsed);
     let _ = writeln!(s, "threads:    {}", r.threads);
     let _ = writeln!(
@@ -450,6 +468,13 @@ fn render_report(a: &RunArgs, n: u64, r: &RunReport) -> String {
             "faults:     {} verb retries, {} timeouts, {} blacklist skips",
             r.fabric.retries, r.fabric.timeouts, r.stats.blacklist_skips
         );
+        if a.fault.recovery_armed() {
+            let _ = writeln!(
+                s,
+                "recovery:   {} workers lost, {} tasks lost, {} replayed",
+                r.stats.workers_lost, r.stats.tasks_lost, r.stats.tasks_replayed
+            );
+        }
         if let Some(wd) = &r.watchdog {
             let _ = writeln!(s, "watchdog:   {wd}");
         }
@@ -749,8 +774,13 @@ FLAGS (run & sweep):
                          dup=P              message duplication probability
                          degrade=W@A..B*F   worker W's NIC F x slower in [A, B)
                          crash=W@A..B       worker W unresponsive in [A, B)
+                         kill=W@T           worker W fail-stops permanently at T
+                         recover=on         arm recovery without scheduling a kill
+                         hb=T               heartbeat period of the lease registry
+                         lease=T            silence beyond T confirms death
                        times take ns/us/ms/s suffixes, e.g.
                        --fault-plan verb=0.01,drop=0.02,crash=1@1ms..3ms
+                       or --fault-plan kill=2@4ms,lease=100us
     --fault-seed <n>   seed of the fault RNG streams                     [0]
 
 FLAGS (check):

@@ -308,6 +308,11 @@ pub struct VThread {
     /// address). Cleared — and turned into an outstanding-join statistic —
     /// when the thread actually resumes.
     pub suspension: Option<(VTime, u64)>,
+    /// Fail-stop lineage back-pointer (kill plans + ChildRtc only): the
+    /// `(worker, index)` of this thread's record in the shared steal
+    /// lineage, marked done when the thread dies. `None` for threads that
+    /// were never stolen and in every run without a kill plan.
+    pub replay_rec: Option<(usize, usize)>,
 }
 
 impl VThread {
@@ -320,6 +325,7 @@ impl VThread {
             tid,
             own,
             suspension: None,
+            replay_rec: None,
         }
     }
 

@@ -66,7 +66,7 @@ pub mod world;
 
 pub use frame::{frame, ret_frame, AppCtx, Effect, Frame, HostWork, RmaOp, TaskCtx, TaskFn, VThread};
 pub use policy::{AddressScheme, FreeStrategy, Policy, RunConfig, SlowdownWindow, TraceLevel, VictimPolicy};
-pub use runner::{run, run_full, run_hooked, Program, RunReport};
+pub use runner::{run, run_full, run_hooked, Program, RunOutcome, RunReport};
 pub use stats::{DelayReport, RunStats};
 pub use trace::chrome_trace;
 pub use value::{ThreadHandle, Value};
@@ -76,7 +76,7 @@ pub use watchdog::{Violation, Watchdog, WatchdogReport};
 pub mod prelude {
     pub use crate::frame::{frame, ret_frame, Effect, RmaOp, TaskCtx, TaskFn};
     pub use crate::policy::{AddressScheme, FreeStrategy, Policy, RunConfig, SlowdownWindow, TraceLevel, VictimPolicy};
-    pub use crate::runner::{run, run_full, run_hooked, Program, RunReport};
+    pub use crate::runner::{run, run_full, run_hooked, Program, RunOutcome, RunReport};
     pub use crate::value::{ThreadHandle, Value};
     pub use crate::watchdog::{Violation, WatchdogReport};
     pub use dcs_sim::{profiles, FaultPlan, MachineProfile, Topology, VTime};

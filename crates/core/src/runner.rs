@@ -57,9 +57,30 @@ impl Program {
     }
 }
 
+/// How a run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The root task completed and published its result.
+    Complete,
+    /// A fail-stop kill destroyed state the configured policy cannot
+    /// re-execute (a continuation stack, or the root holder itself): the
+    /// run aborted with a diagnostic instead of hanging. `frames` are the
+    /// thread ids lost with `worker`.
+    Unrecoverable { worker: usize, frames: Vec<u64> },
+}
+
+impl RunOutcome {
+    pub fn is_complete(&self) -> bool {
+        matches!(self, RunOutcome::Complete)
+    }
+}
+
 /// Everything a run produces.
 pub struct RunReport {
-    /// The root task's return value.
+    /// How the run ended; `result` is meaningful only when `Complete`.
+    pub outcome: RunOutcome,
+    /// The root task's return value ([`Value::Unit`] on an unrecoverable
+    /// abort).
     pub result: Value,
     /// Virtual makespan (time the last worker halted).
     pub elapsed: VTime,
@@ -121,11 +142,16 @@ pub fn run_hooked<H: ScheduleHook + ?Sized>(
 }
 
 fn run_inner(
-    cfg: RunConfig,
+    mut cfg: RunConfig,
     program: Program,
     drive: impl FnOnce(&mut Engine<World, Worker>) -> dcs_sim::engine::EngineReport,
 ) -> (RunReport, Machine) {
     assert!(cfg.workers >= 1, "need at least one worker");
+    // Fail-stop kills make leaks unavoidable (entries on a dead worker's
+    // segment can never be freed) and recovery re-executes work, so the
+    // strict end-of-run asserts do not apply: correctness is judged on the
+    // result and the watchdog instead.
+    cfg.strict = cfg.strict && cfg.fault.kill.is_empty();
     let lay = SegLayout::new(&cfg);
     let mut machine = Machine::new(
         MachineConfig::new(cfg.workers, cfg.profile.clone())
@@ -161,7 +187,20 @@ fn run_inner(
     let World { m, mut rt } = world;
 
     let mut watchdog = rt.watch_finish();
-    let result = rt.result.expect("run finished without a root result");
+    let outcome = match rt.unrecoverable.take() {
+        Some((worker, frames)) => RunOutcome::Unrecoverable { worker, frames },
+        None => RunOutcome::Complete,
+    };
+    let result = match rt.result.take() {
+        Some(v) => v,
+        None => {
+            assert!(
+                !outcome.is_complete(),
+                "run finished without a root result"
+            );
+            Value::Unit
+        }
+    };
     if strict {
         assert!(
             rt.meta.is_empty(),
@@ -222,6 +261,7 @@ fn run_inner(
     let iso_peak = rt.iso.peak_bytes();
 
     let rep = RunReport {
+        outcome,
         result,
         elapsed: report.end_time,
         busy_total: rt.stats.busy_total,
@@ -464,6 +504,124 @@ mod tests {
         // And the legacy wrapper is exactly the whole-run window.
         let wrapped = run(base.with_straggler(0, 100.0), Program::new(leaves, 16u64));
         assert_eq!(wrapped.elapsed, slowed.elapsed);
+    }
+
+    /// Shared config for fail-stop tests: 4 workers, child run-to-completion.
+    fn kill_cfg(policy: Policy, plan: dcs_sim::FaultPlan) -> RunConfig {
+        RunConfig::new(4, policy)
+            .with_profile(profiles::test_profile())
+            .with_seg_bytes(64 << 20)
+            .with_fault_plan(plan)
+    }
+
+    #[test]
+    fn child_rtc_recovers_from_fail_stop_kill() {
+        use dcs_sim::FaultPlan;
+        let healthy = run_fib(Policy::ChildRtc, 4, 14);
+        let want = fib_serial(14);
+        // Kill worker 2 at several points across the healthy run's span so
+        // we exercise early (little stolen yet), mid, and late kills.
+        let mut replayed_somewhere = false;
+        for frac in [4u64, 2, 1] {
+            let t = healthy.elapsed / (frac + 1) * frac / 2;
+            let r = run(
+                kill_cfg(Policy::ChildRtc, FaultPlan::none().with_kill(2, t)),
+                Program::new(fib, 14u64),
+            );
+            assert_eq!(r.outcome, RunOutcome::Complete, "kill at {t}");
+            assert_eq!(r.result.as_u64(), want, "kill at {t}");
+            assert_eq!(r.stats.workers_lost, 1, "kill at {t}");
+            replayed_somewhere |= r.stats.tasks_replayed > 0;
+            assert!(
+                r.elapsed >= healthy.elapsed,
+                "losing a worker cannot speed the run up (kill at {t})"
+            );
+        }
+        assert!(replayed_somewhere, "at least one kill must force re-execution");
+    }
+
+    #[test]
+    fn child_rtc_recovers_from_half_the_machine_dying() {
+        use dcs_sim::FaultPlan;
+        let healthy = run_fib(Policy::ChildRtc, 4, 14);
+        let t = healthy.elapsed / 3;
+        // W/2 = 2 victims, staggered so the second dies while recovery of
+        // the first may still be in flight (cascading loss).
+        let plan = FaultPlan::none()
+            .with_kill(2, t)
+            .with_kill(3, t + healthy.elapsed / 5);
+        let r = run(kill_cfg(Policy::ChildRtc, plan), Program::new(fib, 14u64));
+        assert_eq!(r.outcome, RunOutcome::Complete);
+        assert_eq!(r.result.as_u64(), fib_serial(14));
+        assert_eq!(r.stats.workers_lost, 2);
+    }
+
+    #[test]
+    fn continuation_policies_abort_instead_of_hanging_on_kill() {
+        use dcs_sim::FaultPlan;
+        for policy in [Policy::ContGreedy, Policy::ContStalling, Policy::ChildFull] {
+            // Calibrate the kill to land mid-run for this policy.
+            let healthy = run_fib(policy, 4, 14);
+            let plan = FaultPlan::none().with_kill(1, healthy.elapsed / 3);
+            let r = run(kill_cfg(policy, plan), Program::new(fib, 14u64));
+            match &r.outcome {
+                RunOutcome::Unrecoverable { worker, .. } => assert_eq!(*worker, 1),
+                other => panic!("{policy:?}: expected Unrecoverable, got {other:?}"),
+            }
+            let wd = r.watchdog.expect("fault runs carry a watchdog");
+            assert!(
+                wd.violations
+                    .iter()
+                    .any(|v| matches!(v, crate::watchdog::Violation::WorkerLost { .. })),
+                "{policy:?}: abort must name the lost worker"
+            );
+        }
+    }
+
+    #[test]
+    fn killing_worker_zero_is_unrecoverable_even_for_child_rtc() {
+        use dcs_sim::FaultPlan;
+        let healthy = run_fib(Policy::ChildRtc, 4, 14);
+        let plan = FaultPlan::none().with_kill(0, healthy.elapsed / 3);
+        let r = run(kill_cfg(Policy::ChildRtc, plan), Program::new(fib, 14u64));
+        match &r.outcome {
+            RunOutcome::Unrecoverable { worker, .. } => assert_eq!(*worker, 0),
+            other => panic!("expected Unrecoverable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn killed_runs_are_deterministic() {
+        use dcs_sim::FaultPlan;
+        let healthy = run_fib(Policy::ChildRtc, 4, 13);
+        let mk = || {
+            kill_cfg(
+                Policy::ChildRtc,
+                FaultPlan::none().with_kill(2, healthy.elapsed / 3),
+            )
+        };
+        let a = run(mk(), Program::new(fib, 13u64));
+        let b = run(mk(), Program::new(fib, 13u64));
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.stats.tasks_replayed, b.stats.tasks_replayed);
+    }
+
+    #[test]
+    fn healthy_runs_are_bit_identical_with_recovery_compiled_in() {
+        // The whole fail-stop path is gated on a non-empty kill plan; a
+        // plan-free run must not pay for it (satellite: <= 2% overhead is
+        // measured by the ablate_recovery bench; identity is checked here).
+        let a = run_fib(Policy::ChildRtc, 4, 13);
+        let b = run(
+            kill_cfg(Policy::ChildRtc, dcs_sim::FaultPlan::none()),
+            Program::new(fib, 13u64),
+        );
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.stats.tasks_replayed, 0);
+        assert_eq!(a.stats.workers_lost, 0);
     }
 
     #[test]

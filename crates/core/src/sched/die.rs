@@ -336,13 +336,31 @@ impl Worker {
         e: ThreadHandle,
         v: Value,
     ) -> Result<VTime, Busy> {
-        let mut cost = self.put_retval(world, e, v);
-        let flag_val = if e.consumers == 1 { 1 } else { DONE_BIT };
-        cost += world
-            .m
-            .put_u64(self.me, e.entry.field(E_FLAG), flag_val);
+        let dead_parent = self
+            .kills
+            .then(|| world.m.dead_guard(self.me, e.entry.rank as usize, now))
+            .flatten();
+        let mut cost;
+        if let Some(c_dead) = dead_parent {
+            // Orphaned completion: the entry lives on a killed worker's
+            // segment, so the retval/flag puts fail fast at one RTT and are
+            // dropped. Nobody can ever join this entry — the parent died
+            // with it, and the subtree replay that re-creates the parent
+            // re-creates this task against a fresh entry.
+            cost = c_dead;
+        } else {
+            cost = self.put_retval(world, e, v);
+            let flag_val = if e.consumers == 1 { 1 } else { DONE_BIT };
+            cost += world
+                .m
+                .put_u64(self.me, e.entry.field(E_FLAG), flag_val);
+        }
         world.rt.stats.note_die(e.entry.to_u64(), now);
         let mut th = self.cur.take().expect("die without thread");
+        if let Some((w, i)) = th.replay_rec {
+            // Completion reached the lineage: this record must never replay.
+            world.rt.lineage[w][i].done = true;
+        }
         self.retire_thread(world, &mut th);
         world.rt.watch_death(th.tid, now);
 

@@ -15,7 +15,12 @@ impl Worker {
         }
         match self.apply_pending(now, world) {
             Ok(cost) => Step::Yield(cost),
-            Err(Busy) => Step::Yield(world.m.local_op(self.me)),
+            Err(Busy) => {
+                // A dead thief can hold our deque lock forever; break it
+                // once the death is lease-confirmed so the retry converges.
+                self.break_dead_lock(now, world);
+                Step::Yield(world.m.local_op(self.me))
+            }
         }
     }
 

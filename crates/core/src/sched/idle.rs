@@ -14,6 +14,11 @@ impl Worker {
     const BL_THRESHOLD: f64 = 3.0;
 
     fn bl_decayed(score: f64, at: VTime, now: VTime) -> f64 {
+        if score.is_infinite() {
+            // Permanent entry (confirmed-dead victim): decay never clears
+            // it, and `inf * 0` below would turn it into NaN.
+            return score;
+        }
         let dt = now.saturating_sub(at).as_ns() as f64;
         score * 0.5f64.powf(dt / Self::BL_HALF_LIFE.as_ns() as f64)
     }
@@ -34,6 +39,20 @@ impl Worker {
         });
         bl.score[victim] =
             Self::bl_decayed(bl.score[victim], bl.at[victim], now) + faults as f64;
+        bl.at[victim] = now;
+    }
+
+    /// Blacklist `victim` permanently: a confirmed-dead worker never comes
+    /// back, so its score is pinned at infinity (immune to decay).
+    pub(crate) fn blacklist_forever(&mut self, victim: WorkerId, now: VTime) {
+        let n = self.n;
+        let bl = self.blacklist.get_or_insert_with(|| {
+            Box::new(Blacklist {
+                score: vec![0.0; n],
+                at: vec![VTime::ZERO; n],
+            })
+        });
+        bl.score[victim] = f64::INFINITY;
         bl.at[victim] = now;
     }
 
@@ -107,6 +126,76 @@ impl Worker {
         }
     }
 
+    // ------------------------------------------------------------------
+    // fail-stop recovery (kill plans only)
+    // ------------------------------------------------------------------
+
+    /// Lease-registry scan: confirm newly-expired peers, blacklist them
+    /// forever, and — first confirmer only — move their unfinished lineage
+    /// records into the shared replay pool.
+    pub(crate) fn fail_stop_scan(&mut self, now: VTime, world: &mut World) {
+        for d in 0..self.n {
+            if d == self.me || self.dead[d] || !world.m.confirmed_dead(d, now) {
+                continue;
+            }
+            self.dead[d] = true;
+            self.blacklist_forever(d, now);
+            if self.policy != Policy::ChildRtc || d == 0 {
+                // Unrecoverable configurations abort from the dead worker's
+                // own step; nothing to enumerate here.
+                continue;
+            }
+            if !world.rt.lineage_drained[d] {
+                world.rt.lineage_drained[d] = true;
+                for i in 0..world.rt.lineage[d].len() {
+                    if !world.rt.lineage[d][i].done {
+                        world.rt.replay_pool.push_back((d, i));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-adopt one lost task from the replay pool. The record is
+    /// superseded (marked done) and re-recorded under this worker, so a
+    /// second kill hitting the replayer is itself recoverable. Returns
+    /// `None` when nothing (relevant) is pooled.
+    pub(crate) fn try_replay(&mut self, now: VTime, world: &mut World) -> Option<Step> {
+        loop {
+            let (w, i) = world.rt.replay_pool.pop_front()?;
+            let rec = &world.rt.lineage[w][i];
+            if rec.done {
+                // Completed before the kill: the entry flag is already
+                // visible to the waiting parent — replaying would run the
+                // task's effect twice.
+                continue;
+            }
+            if world.m.is_dead(rec.handle.entry.rank as usize, now) {
+                // The waiting parent died too; the ancestor subtree that
+                // re-creates it (and this task) replays from its own
+                // record instead.
+                continue;
+            }
+            let (f, arg, handle) = (rec.f, rec.arg.clone(), rec.handle);
+            world.rt.lineage[w][i].done = true;
+            let idx = world.rt.lineage[self.me].len();
+            world.rt.lineage[self.me].push(StolenChild {
+                f,
+                arg: arg.clone(),
+                handle,
+                done: false,
+            });
+            let tid = world.rt.fresh_tid();
+            let mut th = VThread::new(tid, f, arg, handle);
+            th.replay_rec = Some((self.me, idx));
+            world.rt.stats.tasks_replayed += 1;
+            let cost = world.m.ctx_restore(self.me);
+            self.start_thread(world, now, th);
+            world.rt.watch_progress(now);
+            return Some(Step::Yield(cost));
+        }
+    }
+
     pub(crate) fn step_idle(&mut self, now: VTime, world: &mut World) -> Step {
         // Termination: the root has completed and published the flag.
         if world.m.is_done() {
@@ -114,6 +203,14 @@ impl Worker {
             return Step::Halt;
         }
         world.rt.watch_stall(now);
+        if self.kills {
+            self.fail_stop_scan(now, world);
+            if self.policy == Policy::ChildRtc {
+                if let Some(step) = self.try_replay(now, world) {
+                    return step;
+                }
+            }
+        }
         // 1. Local pop.
         match owner_pop(
             &mut world.m,
@@ -121,7 +218,10 @@ impl Worker {
             &self.lay,
             self.me,
         ) {
-            Err(DequeError::Busy) => Step::Yield(world.m.local_op(self.me)),
+            Err(DequeError::Busy) => {
+                self.break_dead_lock(now, world);
+                Step::Yield(world.m.local_op(self.me))
+            }
             Err(DequeError::Dead(d)) => {
                 self.deque_violation(world, self.me, &d);
                 Step::Yield(d.cost)
@@ -134,6 +234,19 @@ impl Worker {
                 // 2. Steal (if anybody to steal from).
                 if self.n >= 2 {
                     let victim = self.select_victim(now, world);
+                    if self.kills {
+                        if let Some(c_dead) = world.m.dead_guard(self.me, victim, now) {
+                            // Fail-fast verb against a dead victim: one RTT,
+                            // a failed steal, and a blacklist bump so the
+                            // selector stops drawing it even before the
+                            // lease confirms the death.
+                            self.note_victim_faults(victim, 1, now);
+                            world.rt.stats.steal_failed();
+                            self.fail_streak += 1;
+                            let c_wait = self.poll_blocked(now, world);
+                            return Step::Yield(cost + c_dead + c_wait);
+                        }
+                    }
                     // Drop fault counts accrued before this attempt so the
                     // post-lock drain attributes only this victim's faults.
                     let _ = world.m.take_faults(self.me);
@@ -290,6 +403,19 @@ impl Worker {
 
     /// Complete a steal whose lock we won last step.
     pub(crate) fn step_steal_take(&mut self, now: VTime, world: &mut World, victim: WorkerId, t0: VTime) -> Step {
+        if self.kills {
+            if let Some(c_dead) = world.m.dead_guard(self.me, victim, now) {
+                // The victim died between our lock and this take: its
+                // segment is gone, so abandon the steal (the lock word dies
+                // with the victim).
+                self.state = WState::Idle;
+                self.note_victim_faults(victim, 1, now);
+                world.rt.stats.steal_failed();
+                self.fail_streak += 1;
+                let c_wait = self.poll_blocked(now, world);
+                return Step::Yield(c_dead + c_wait);
+            }
+        }
         let took = {
             let (_me_ws, victim_ws) = world.rt.two(self.me, victim);
             thief_take(&mut world.m, &mut victim_ws.items, &self.lay, self.me, victim)
@@ -314,7 +440,29 @@ impl Worker {
             }
             Some((item, size)) => {
                 self.fail_streak = 0;
+                // Record the steal lineage before the descriptor crosses
+                // the wire, keyed by us (the executor): if we die before
+                // the entry flag is set, our death's confirmer re-adopts
+                // the task from this record.
+                let rec = match (&item, self.kills && self.policy == Policy::ChildRtc) {
+                    (QueueItem::Child { f, arg, handle }, true) => {
+                        let idx = world.rt.lineage[self.me].len();
+                        world.rt.lineage[self.me].push(StolenChild {
+                            f: *f,
+                            arg: arg.clone(),
+                            handle: *handle,
+                            done: false,
+                        });
+                        Some((self.me, idx))
+                    }
+                    _ => None,
+                };
                 let c2 = self.adopt_item(now, world, item, Some((victim, t0, cost, size)));
+                if rec.is_some() {
+                    if let Some(th) = self.cur.as_mut() {
+                        th.replay_rec = rec;
+                    }
+                }
                 Step::Yield(cost + c2)
             }
         }
@@ -351,5 +499,23 @@ impl Worker {
                 ws.saved.len()
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permanent_blacklist_entries_never_decay() {
+        // A confirmed-dead victim's score is pinned at infinity; the decay
+        // path must short-circuit (inf * 0 would be NaN, and NaN compares
+        // false against the threshold — silently un-blacklisting the dead).
+        let s = Worker::bl_decayed(f64::INFINITY, VTime::ZERO, VTime::ms(10));
+        assert!(s.is_infinite());
+        assert!(s > Worker::BL_THRESHOLD);
+        // Finite scores still decay towards zero.
+        let s = Worker::bl_decayed(8.0, VTime::ZERO, VTime::us(400));
+        assert!((s - 2.0).abs() < 1e-9, "two half-lives: 8 -> 2, got {s}");
     }
 }

@@ -48,11 +48,11 @@ use crate::entry::{
     E_CTXLOC, E_FLAG, SAVED_CTX_BYTES,
 };
 use crate::frame::{AppCtx, Effect, Frame, Pending, RmaOp, TaskCtx, TaskFn, VThread};
-use crate::layout::SegLayout;
+use crate::layout::{SegLayout, DQ_LOCK};
 use crate::policy::{AddressScheme, FreeStrategy, Policy, VictimPolicy};
 use crate::remote_free::free_robj;
 use crate::value::{ThreadHandle, Value};
-use crate::world::{QueueItem, StoredVal, World};
+use crate::world::{QueueItem, StolenChild, StoredVal, World};
 
 /// A pending operation carried across steps.
 pub(crate) enum PendingOp {
@@ -125,6 +125,12 @@ pub struct Worker {
     busy: bool,
     busy_since: VTime,
     halted: bool,
+    /// The fault plan schedules at least one fail-stop kill: gate for every
+    /// recovery code path, so kill-free runs stay bit-identical.
+    kills: bool,
+    /// Peers this worker has confirmed dead (lease expiry); empty without a
+    /// kill plan.
+    dead: Vec<bool>,
 }
 
 impl Worker {
@@ -171,6 +177,10 @@ impl Worker {
         if busy {
             world.rt.stats.note_busy(VTime::ZERO);
         }
+        // Armed either by a scheduled kill or explicitly (`recover=on`) —
+        // the latter exists so `ablate_recovery` can price the lineage
+        // machinery with no kill actually firing.
+        let kills = world.rt.cfg.fault.recovery_armed();
         Worker {
             me,
             n,
@@ -193,6 +203,8 @@ impl Worker {
             busy,
             busy_since: VTime::ZERO,
             halted: false,
+            kills,
+            dead: if kills { vec![false; n] } else { Vec::new() },
         }
     }
 
@@ -379,6 +391,55 @@ impl Worker {
         }
     }
 
+    /// This worker's scheduled fail-stop kill instant has arrived: collect
+    /// every frame that dies with it, report the loss, and halt forever.
+    /// Only [`Policy::ChildRtc`] away from worker 0 is recoverable — child
+    /// descriptors are replayable pure data and the steal lineage covers
+    /// everything in flight; a lost continuation stack (or the root holder)
+    /// cannot be reconstructed, so those runs abort with a typed outcome.
+    fn step_killed(&mut self, now: VTime, world: &mut World) -> Step {
+        let mut tids: Vec<u64> = Vec::new();
+        if let Some(th) = &self.cur {
+            tids.push(th.tid);
+        }
+        tids.extend(self.wait_q.iter().map(|w| w.th.tid));
+        tids.extend(self.nest.iter().map(|x| x.th.tid));
+        for (_, item) in world.rt.per[self.me].items.iter() {
+            if let QueueItem::Cont { th, .. } = item {
+                tids.push(th.tid);
+            }
+        }
+        tids.extend(world.rt.per[self.me].saved.iter().map(|(_, th)| th.tid));
+        let recoverable = self.policy == Policy::ChildRtc && self.me != 0;
+        world.rt.note_worker_lost(self.me, tids, recoverable);
+        if !recoverable {
+            world.m.set_done();
+        }
+        self.set_busy(world, now, false);
+        self.halted = true;
+        Step::Halt
+    }
+
+    /// Fail-stop lock-break: a thief that died between acquiring this
+    /// worker's deque lock and its take step left the lock set forever —
+    /// and can never have taken anything (the take is a single atomic
+    /// step), so once the holder's death is lease-confirmed the owner may
+    /// clear the word without losing an item.
+    pub(crate) fn break_dead_lock(&mut self, now: VTime, world: &mut World) {
+        if !self.kills {
+            return;
+        }
+        let addr = GlobalAddr::new(self.me, self.lay.dq_word(DQ_LOCK));
+        let holder = world.m.read_own(self.me, addr);
+        if holder == 0 {
+            return;
+        }
+        let thief = (holder - 1) as usize;
+        if world.m.confirmed_dead(thief, now) {
+            world.m.write_own(self.me, addr, 0);
+        }
+    }
+
     /// Run one application step of the current thread, producing an effect.
     pub(crate) fn advance_cur(&mut self, now: VTime, world: &mut World) -> Effect {
         let scale = self.compute_scale_at(now);
@@ -404,6 +465,19 @@ impl Actor<World> for Worker {
         // this worker sits inside a crash-stop window: it makes no progress
         // (and issues no verbs) until the window ends.
         world.m.begin_step(me, now);
+        if self.kills {
+            if world.m.is_dead(me, now) {
+                return self.step_killed(now, world);
+            }
+            if world.rt.unrecoverable.is_some() {
+                // A fail-stop abort is latched: stop even mid-task (frames
+                // dropped here are already part of the recorded loss — the
+                // run has no result to protect).
+                self.set_busy(world, now, false);
+                self.halted = true;
+                return Step::Halt;
+            }
+        }
         if let Some(until) = world.m.crashed_until(me, now) {
             world.rt.watch_crash_sleep(until);
             return Step::Yield(until.saturating_sub(now).max(VTime::ns(1)));

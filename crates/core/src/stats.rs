@@ -47,6 +47,13 @@ pub struct RunStats {
     // -- threads ---------------------------------------------------------
     pub threads_spawned: u64,
     pub threads_died: u64,
+    // -- fail-stop recovery (always 0 without a kill plan) -----------------
+    /// Workers lost to fail-stop kills.
+    pub workers_lost: u64,
+    /// Live frames that died with killed workers.
+    pub tasks_lost: u64,
+    /// Lineage records re-adopted by survivors.
+    pub tasks_replayed: u64,
     // -- busy time -------------------------------------------------------
     pub busy_total: VTime,
     // -- series (TraceLevel::Series) --------------------------------------

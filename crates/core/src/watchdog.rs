@@ -42,6 +42,11 @@ pub enum Violation {
     /// A runtime resource survived to the end of the run (routed here from
     /// the end-of-run accounting when strict mode is off).
     Leak { what: &'static str, count: u64 },
+    /// A fail-stop kill took a worker down while it held live frames, and
+    /// the run's policy cannot re-execute them (continuation stealing has no
+    /// replayable descriptor; losing worker 0 loses the root). `frames`
+    /// names the lost thread ids (truncated).
+    WorkerLost { worker: usize, frames: Vec<u64> },
 }
 
 impl fmt::Display for Violation {
@@ -71,6 +76,17 @@ impl fmt::Display for Violation {
             }
             Violation::Leak { what, count } => {
                 write!(f, "leak: {count} {what} still live at end of run")
+            }
+            Violation::WorkerLost { worker, frames } => {
+                write!(
+                    f,
+                    "worker-lost: worker {worker} died holding {} live frame(s)",
+                    frames.len()
+                )?;
+                if let Some(t) = frames.first() {
+                    write!(f, " (first tid {t})")?;
+                }
+                Ok(())
             }
         }
     }
@@ -191,6 +207,23 @@ impl Watchdog {
         self.record(Violation::DequeProtocol { op, owner, index });
     }
 
+    /// Worker `worker` suffered a fail-stop kill while holding `tids` live
+    /// frames. Under a recoverable configuration the lost work is
+    /// re-executed under fresh thread ids, so the originals are retired
+    /// here without tripping the end-of-run lost-task check; an
+    /// unrecoverable loss is recorded as a violation.
+    pub fn worker_lost(&mut self, worker: usize, tids: &[u64], recoverable: bool) {
+        for t in tids {
+            self.live.remove(t);
+        }
+        if !recoverable {
+            let mut frames = tids.to_vec();
+            frames.sort_unstable();
+            frames.truncate(16);
+            self.record(Violation::WorkerLost { worker, frames });
+        }
+    }
+
     /// An entry free about to happen; `present` says whether the entry's
     /// metadata still exists. Returns true when the free may proceed.
     pub fn check_free(&mut self, entry: u64, present: bool) -> bool {
@@ -290,6 +323,29 @@ mod tests {
             }]
         );
         assert!(format!("{}", r.violations[0]).contains("worker 3"));
+    }
+
+    #[test]
+    fn recoverable_worker_loss_retires_frames_silently() {
+        let mut w = Watchdog::new(VTime::ms(1));
+        w.spawn(1);
+        w.spawn(2);
+        w.worker_lost(3, &[1, 2], true);
+        let r = w.finish();
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn unrecoverable_worker_loss_is_a_violation() {
+        let mut w = Watchdog::new(VTime::ms(1));
+        w.spawn(9);
+        w.worker_lost(0, &[9], false);
+        let r = w.finish();
+        assert_eq!(
+            r.violations,
+            vec![Violation::WorkerLost { worker: 0, frames: vec![9] }]
+        );
+        assert!(format!("{}", r.violations[0]).contains("worker 0"));
     }
 
     #[test]

@@ -68,6 +68,20 @@ impl QueueItem {
     }
 }
 
+/// Lineage record of one child descriptor stolen (or re-adopted after a
+/// kill) under a fail-stop fault plan with [`crate::policy::Policy::ChildRtc`].
+/// Because a child descriptor is pure data — function pointer, argument,
+/// entry handle — the victim-side record is everything a survivor needs to
+/// re-execute the task if its executor dies before setting the entry flag.
+/// `done` flips when the executing thread dies (the entry flag became
+/// visible) or when a survivor supersedes the record by re-adopting it.
+pub struct StolenChild {
+    pub f: TaskFn,
+    pub arg: Value,
+    pub handle: ThreadHandle,
+    pub done: bool,
+}
+
 /// A thread's return value parked in its entry, plus its wire size (charged
 /// when a remote joiner fetches it).
 pub struct StoredVal {
@@ -146,6 +160,20 @@ pub struct RtShared {
     /// Invariant watchdog; allocated only when the run asks for it (or runs
     /// with active fault injection), so healthy runs pay nothing.
     pub watch: Option<Box<Watchdog>>,
+    /// Fail-stop steal lineage (kill plans + ChildRtc only): `lineage[w]`
+    /// holds every child descriptor worker `w` adopted via a steal or a
+    /// replay, so survivors can re-execute the subset `w` never completed.
+    /// Records are marked `done` rather than removed; empty in healthy runs.
+    pub lineage: Vec<Vec<StolenChild>>,
+    /// Per-worker flag: `lineage[w]` was already drained by the first
+    /// worker to confirm `w`'s death (exactly-once replay hand-off).
+    pub lineage_drained: Vec<bool>,
+    /// Replay pool: `(worker, index)` references into `lineage` enqueued by
+    /// death confirmers and drained by any idle survivor.
+    pub replay_pool: std::collections::VecDeque<(usize, usize)>,
+    /// Set when a fail-stop loss cannot be recovered: `(worker, lost frame
+    /// tids)`. Aborts the run with a typed outcome instead of a hang.
+    pub unrecoverable: Option<(usize, Vec<u64>)>,
 }
 
 impl RtShared {
@@ -155,6 +183,7 @@ impl RtShared {
         let watch = cfg
             .watchdog_enabled()
             .then(|| Box::new(Watchdog::new(cfg.stall_limit)));
+        let workers = cfg.workers;
         RtShared {
             cfg,
             retvals: U64Map::default(),
@@ -165,6 +194,10 @@ impl RtShared {
             next_tid: 0,
             result: None,
             watch,
+            lineage: (0..workers).map(|_| Vec::new()).collect(),
+            lineage_drained: vec![false; workers],
+            replay_pool: std::collections::VecDeque::new(),
+            unrecoverable: None,
         }
     }
 
@@ -235,6 +268,21 @@ impl RtShared {
     /// Detach and close the watchdog (end of run).
     pub fn watch_finish(&mut self) -> Option<WatchdogReport> {
         self.watch.take().map(|w| w.finish())
+    }
+
+    /// A fail-stop kill took `worker` down while it held `tids` live
+    /// frames. Recoverable losses only retire the frames (replay re-creates
+    /// the work under fresh tids); an unrecoverable loss latches the typed
+    /// abort for the runner.
+    pub fn note_worker_lost(&mut self, worker: usize, tids: Vec<u64>, recoverable: bool) {
+        self.stats.workers_lost += 1;
+        self.stats.tasks_lost += tids.len() as u64;
+        if let Some(w) = &mut self.watch {
+            w.worker_lost(worker, &tids, recoverable);
+        }
+        if !recoverable && self.unrecoverable.is_none() {
+            self.unrecoverable = Some((worker, tids));
+        }
     }
 
     /// Split-borrow two distinct workers' shared state.

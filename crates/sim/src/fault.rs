@@ -34,6 +34,26 @@
 //!   message is droppable — task-carrying messages model a reliable bulk
 //!   channel and are only ever duplicated, never dropped, so no work is
 //!   destroyed by the network itself.
+//! * **Fail-stop kills** (`kill`): worker `w` dies permanently at time `T`.
+//!   Unlike a crash-stop window the state is *lost*: verbs targeting the
+//!   dead worker fail fast with a NIC unreachable error (see
+//!   [`Machine::dead_guard`](crate::Machine::dead_guard)), its memory
+//!   segment becomes unreadable, and anything it held (bag contents, deque
+//!   items, in-flight grants it had received) is gone. Survivors detect the
+//!   death either through such a verb error or through the heartbeat/lease
+//!   registry: every worker publishes a heartbeat every `hb_period` into a
+//!   well-known registry (modeled as a pure function of the kill schedule —
+//!   the beats stand for background NIC/progress-thread traffic), and a
+//!   worker whose lease (`lease` since its last beat) has expired is
+//!   *confirmed dead*. Confirmation is sound: a live worker's beats never
+//!   stop, so only genuinely dead workers are ever confirmed.
+//!
+//! `recover=on` arms the recovery machinery (lineage tracking, heartbeat
+//! reads, transfer-counted termination) without scheduling any kill — the
+//! configuration used to measure the overhead of being *prepared* to lose a
+//! worker (`ablate_recovery`).
+
+use std::fmt;
 
 use crate::rng::SimRng;
 use crate::time::VTime;
@@ -44,6 +64,11 @@ use crate::WorkerId;
 pub const TIMEOUT_FACTOR: u64 = 8;
 /// Exponential backoff doubles up to this many times (then stays capped).
 pub const BACKOFF_CAP_EXP: u32 = 6;
+/// Default heartbeat period of the one-sided lease registry.
+pub const HB_PERIOD_DEFAULT: VTime = VTime::us(25);
+/// Default lease: a worker silent for this long since its last heartbeat is
+/// confirmed dead (8 missed beats at the default period).
+pub const LEASE_DEFAULT: VTime = VTime::us(200);
 
 /// A per-worker time window during which remote operations touching the
 /// worker run `factor`× slower (degraded NIC / congested link).
@@ -64,6 +89,14 @@ pub struct CrashWindow {
     pub until: VTime,
 }
 
+/// Permanent fail-stop: `worker` dies at `at` and never returns; its state
+/// (memory segment, held tasks) is lost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KillEvent {
+    pub worker: WorkerId,
+    pub at: VTime,
+}
+
 /// Declarative description of every fault the fabric will inject.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultPlan {
@@ -75,6 +108,15 @@ pub struct FaultPlan {
     pub msg_dup_p: f64,
     pub degrade: Vec<DegradeWindow>,
     pub crash: Vec<CrashWindow>,
+    /// Permanent fail-stop kills.
+    pub kill: Vec<KillEvent>,
+    /// Arm the recovery machinery (lineage tracking, heartbeat/lease reads,
+    /// transfer-counted termination) even when `kill` is empty.
+    pub recover: bool,
+    /// Heartbeat period of the lease registry.
+    pub hb_period: VTime,
+    /// Lease: silence beyond this since the last heartbeat confirms death.
+    pub lease: VTime,
     /// Seed of the fault RNG streams (independent of the run seed).
     pub seed: u64,
 }
@@ -94,6 +136,10 @@ impl FaultPlan {
             msg_dup_p: 0.0,
             degrade: Vec::new(),
             crash: Vec::new(),
+            kill: Vec::new(),
+            recover: false,
+            hb_period: HB_PERIOD_DEFAULT,
+            lease: LEASE_DEFAULT,
             seed: 0,
         }
     }
@@ -106,20 +152,36 @@ impl FaultPlan {
             verb_fail_p: p,
             msg_drop_p: p,
             msg_dup_p: p / 2.0,
-            degrade: Vec::new(),
-            crash: Vec::new(),
-            seed,
+            ..FaultPlan::none()
         }
+        .with_seed(seed)
     }
 
-    /// True when any fault can ever fire; `false` guarantees the plan costs
-    /// nothing at runtime.
+    /// True when any fault can ever fire (or recovery is armed); `false`
+    /// guarantees the plan costs nothing at runtime.
     pub fn is_active(&self) -> bool {
         self.verb_fail_p > 0.0
             || self.msg_drop_p > 0.0
             || self.msg_dup_p > 0.0
             || !self.degrade.is_empty()
             || !self.crash.is_empty()
+            || self.recovery_armed()
+    }
+
+    /// True when the recovery machinery (lineage, leases, transfer-counted
+    /// termination) must run: either a kill is scheduled or the plan asks
+    /// for it explicitly.
+    pub fn recovery_armed(&self) -> bool {
+        self.recover || !self.kill.is_empty()
+    }
+
+    /// First kill time of `worker`, if any.
+    pub fn killed_at(&self, worker: WorkerId) -> Option<VTime> {
+        self.kill
+            .iter()
+            .filter(|k| k.worker == worker)
+            .map(|k| k.at)
+            .min()
     }
 
     pub fn with_seed(mut self, seed: u64) -> FaultPlan {
@@ -137,6 +199,16 @@ impl FaultPlan {
         self
     }
 
+    pub fn with_kill(mut self, worker: WorkerId, at: VTime) -> FaultPlan {
+        self.kill.push(KillEvent { worker, at });
+        self
+    }
+
+    pub fn with_recovery(mut self) -> FaultPlan {
+        self.recover = true;
+        self
+    }
+
     /// Parse the CLI spec grammar, a comma-separated list of clauses:
     ///
     /// ```text
@@ -145,10 +217,14 @@ impl FaultPlan {
     /// dup=P               message duplication probability
     /// degrade=W@A..B*F    worker W's NIC runs F× slower in [A, B)
     /// crash=W@A..B        worker W is unresponsive in [A, B)
+    /// kill=W@T            worker W fail-stops permanently at T
+    /// recover=on          arm recovery machinery without scheduling a kill
+    /// hb=T                heartbeat period of the lease registry
+    /// lease=T             lease timeout confirming a silent worker dead
     /// ```
     ///
     /// Times accept `ns`/`us`/`ms`/`s` suffixes (default ns):
-    /// `verb=0.01,drop=0.02,degrade=3@2ms..9ms*4,crash=1@1ms..3ms`.
+    /// `verb=0.01,drop=0.02,degrade=3@2ms..9ms*4,crash=1@1ms..3ms,kill=2@4ms`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::none();
         for clause in spec.split(',').filter(|c| !c.is_empty()) {
@@ -187,10 +263,82 @@ impl FaultPlan {
                         until,
                     });
                 }
+                "kill" => {
+                    let (worker, at) = parse_worker_at(val)?;
+                    plan.kill.push(KillEvent {
+                        worker,
+                        at: parse_vtime(at)?,
+                    });
+                }
+                "recover" => {
+                    plan.recover = match val {
+                        "on" | "true" | "1" => true,
+                        "off" | "false" | "0" => false,
+                        _ => return Err(format!("recover wants on/off, got `{val}`")),
+                    };
+                }
+                "hb" => plan.hb_period = parse_vtime(val)?,
+                "lease" => plan.lease = parse_vtime(val)?,
                 _ => return Err(format!("unknown fault clause `{key}`")),
             }
         }
         Ok(plan)
+    }
+}
+
+/// Emits the exact grammar [`FaultPlan::parse`] accepts, one clause per
+/// non-default field, so `parse(format(p)) == p` for every plan whose times
+/// are whole nanoseconds (all constructible ones are). Times print as raw
+/// `{}ns`, probabilities and factors via `{}` (Rust's shortest round-trip
+/// float repr) — both re-parse to the identical value.
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut sep = "";
+        let mut clause = |f: &mut fmt::Formatter<'_>, args: fmt::Arguments<'_>| {
+            let r = write!(f, "{sep}{args}");
+            sep = ",";
+            r
+        };
+        if self.verb_fail_p > 0.0 {
+            clause(f, format_args!("verb={}", self.verb_fail_p))?;
+        }
+        if self.msg_drop_p > 0.0 {
+            clause(f, format_args!("drop={}", self.msg_drop_p))?;
+        }
+        if self.msg_dup_p > 0.0 {
+            clause(f, format_args!("dup={}", self.msg_dup_p))?;
+        }
+        for d in &self.degrade {
+            clause(
+                f,
+                format_args!(
+                    "degrade={}@{}ns..{}ns*{}",
+                    d.worker,
+                    d.from.as_ns(),
+                    d.until.as_ns(),
+                    d.factor
+                ),
+            )?;
+        }
+        for c in &self.crash {
+            clause(
+                f,
+                format_args!("crash={}@{}ns..{}ns", c.worker, c.from.as_ns(), c.until.as_ns()),
+            )?;
+        }
+        for k in &self.kill {
+            clause(f, format_args!("kill={}@{}ns", k.worker, k.at.as_ns()))?;
+        }
+        if self.recover {
+            clause(f, format_args!("recover=on"))?;
+        }
+        if self.hb_period != HB_PERIOD_DEFAULT {
+            clause(f, format_args!("hb={}ns", self.hb_period.as_ns()))?;
+        }
+        if self.lease != LEASE_DEFAULT {
+            clause(f, format_args!("lease={}ns", self.lease.as_ns()))?;
+        }
+        Ok(())
     }
 }
 
@@ -265,6 +413,8 @@ pub struct FaultState {
     /// Failed attempts since last [`take_faults`](FaultState::take_faults)
     /// poll, per worker — feeds the schedulers' victim blacklists.
     recent: Vec<u64>,
+    /// First kill time per worker (precomputed from the plan).
+    kill_at: Vec<Option<VTime>>,
 }
 
 impl FaultState {
@@ -273,11 +423,13 @@ impl FaultState {
             // Decorrelate from scheduler streams (different domain constant).
             .map(|w| SimRng::for_worker(plan.seed ^ 0xFA01_7A11_u64, w))
             .collect();
+        let kill_at = (0..workers).map(|w| plan.killed_at(w)).collect();
         FaultState {
             plan,
             rng,
             step_now: vec![VTime::ZERO; workers],
             recent: vec![0; workers],
+            kill_at,
         }
     }
 
@@ -292,6 +444,50 @@ impl FaultState {
 
     pub fn take_faults(&mut self, me: WorkerId) -> u64 {
         std::mem::take(&mut self.recent[me])
+    }
+
+    /// Kill time of `worker`, if the plan fail-stops it at all.
+    #[inline]
+    pub fn killed_at(&self, worker: WorkerId) -> Option<VTime> {
+        self.kill_at[worker]
+    }
+
+    /// Is `worker` fail-stopped at time `at`? This is ground truth (the
+    /// NIC's view): verbs against a dead peer fail fast from the kill
+    /// instant on, before any lease expires.
+    #[inline]
+    pub fn is_dead(&self, worker: WorkerId, at: VTime) -> bool {
+        matches!(self.kill_at[worker], Some(t) if at >= t)
+    }
+
+    /// Has `worker`'s lease expired at `at`? The heartbeat registry is a
+    /// deterministic pure function of the kill schedule: `worker` beats
+    /// every `hb_period` until it dies, so a live worker is never confirmed
+    /// (soundness), and a dead one is confirmed once `lease` has elapsed
+    /// since its kill.
+    #[inline]
+    pub fn confirmed_dead(&self, worker: WorkerId, at: VTime) -> bool {
+        matches!(self.kill_at[worker], Some(t) if at >= t + self.plan.lease)
+    }
+
+    /// Has a heartbeat from `worker` been published strictly after `since`
+    /// and become visible by `at`? Beats are emitted at multiples of
+    /// `hb_period` while the worker lives. Used by the termination wave's
+    /// attest rule: a token round may only complete once every
+    /// not-confirmed-dead peer has beaten *after* the round started.
+    pub fn fresh_since(&self, worker: WorkerId, since: VTime, at: VTime) -> bool {
+        let period = self.plan.hb_period.as_ns().max(1);
+        let alive_until = match self.kill_at[worker] {
+            Some(t) if t <= at => t,
+            _ => at,
+        };
+        // Latest beat emitted at or before `alive_until` (and strictly
+        // before the kill, if any).
+        let mut latest = alive_until.as_ns() / period * period;
+        if matches!(self.kill_at[worker], Some(t) if latest >= t.as_ns()) {
+            latest = latest.saturating_sub(period);
+        }
+        latest > since.as_ns()
     }
 
     /// End of a crash window covering `worker` at `at`, if any.
@@ -384,6 +580,7 @@ impl FaultState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn none_is_inactive_and_default() {
@@ -508,6 +705,106 @@ mod tests {
             VTime::us(2)
         );
         assert_eq!((r, t), (0, 0), "degradation slows but never fails verbs");
+    }
+
+    #[test]
+    fn parse_kill_and_recover() {
+        let p = FaultPlan::parse("kill=2@4ms,kill=0@1s,recover=on,hb=10us,lease=80us").unwrap();
+        assert_eq!(
+            p.kill,
+            vec![
+                KillEvent { worker: 2, at: VTime::ms(4) },
+                KillEvent { worker: 0, at: VTime::secs(1) },
+            ]
+        );
+        assert!(p.recover);
+        assert_eq!(p.hb_period, VTime::us(10));
+        assert_eq!(p.lease, VTime::us(80));
+        assert!(p.is_active());
+        assert!(p.recovery_armed());
+        assert_eq!(p.killed_at(2), Some(VTime::ms(4)));
+        assert_eq!(p.killed_at(1), None);
+        // recover=on alone arms the machinery.
+        let r = FaultPlan::parse("recover=on").unwrap();
+        assert!(r.recovery_armed() && r.is_active() && r.kill.is_empty());
+        assert!(FaultPlan::parse("kill=1@").is_err());
+        assert!(FaultPlan::parse("kill=@2ms").is_err());
+        assert!(FaultPlan::parse("recover=maybe").is_err());
+    }
+
+    #[test]
+    fn kill_death_and_lease_semantics() {
+        let plan = FaultPlan::none().with_kill(1, VTime::ms(1));
+        let lease = plan.lease;
+        let fs = FaultState::new(plan, 3);
+        assert!(!fs.is_dead(1, VTime::ms(1) - VTime::ns(1)));
+        assert!(fs.is_dead(1, VTime::ms(1)));
+        assert!(!fs.is_dead(0, VTime::secs(9)), "unkilled workers never die");
+        // Lease: confirmation lags death by exactly the lease.
+        assert!(!fs.confirmed_dead(1, VTime::ms(1)));
+        assert!(!fs.confirmed_dead(1, VTime::ms(1) + lease - VTime::ns(1)));
+        assert!(fs.confirmed_dead(1, VTime::ms(1) + lease));
+        assert!(!fs.confirmed_dead(0, VTime::secs(9)), "live workers are never confirmed");
+    }
+
+    #[test]
+    fn heartbeats_fresh_only_while_alive() {
+        let plan = FaultPlan::none().with_kill(1, VTime::us(60));
+        let period = plan.hb_period; // 25us
+        let fs = FaultState::new(plan, 2);
+        // Live worker 0: a beat lands strictly after `since` once a period
+        // boundary passes.
+        assert!(!fs.fresh_since(0, VTime::us(30), VTime::us(40)));
+        assert!(fs.fresh_since(0, VTime::us(30), period * 2));
+        // Worker 1 dies at 60us: its last beat is at 50us; nothing after.
+        assert!(fs.fresh_since(1, VTime::us(30), VTime::ms(5)));
+        assert!(!fs.fresh_since(1, VTime::us(50), VTime::ms(5)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn display_parse_round_trip(
+            verb_m in 0u64..3,
+            drop_m in 0u64..3,
+            dup_m in 0u64..3,
+            degrade in proptest::collection::vec((0usize..16, 0u64..1_000_000, 1u64..1_000_000), 0..3),
+            crash in proptest::collection::vec((0usize..16, 0u64..1_000_000, 1u64..1_000_000), 0..3),
+            kill in proptest::collection::vec((0usize..16, 0u64..5_000_000), 0..4),
+            recover in proptest::bool::ANY,
+            hb_us in 1u64..100,
+            lease_us in 1u64..1000,
+            default_registry in proptest::bool::ANY,
+        ) {
+            let mut p = FaultPlan::none();
+            p.verb_fail_p = verb_m as f64 * 0.005;
+            p.msg_drop_p = drop_m as f64 * 0.01;
+            p.msg_dup_p = dup_m as f64 * 0.0025;
+            for (w, from, len) in degrade {
+                p.degrade.push(DegradeWindow {
+                    worker: w,
+                    from: VTime::ns(from),
+                    until: VTime::ns(from + len),
+                    factor: 2.0,
+                });
+            }
+            for (w, from, len) in crash {
+                p.crash.push(CrashWindow { worker: w, from: VTime::ns(from), until: VTime::ns(from + len) });
+            }
+            for (w, at) in kill {
+                p.kill.push(KillEvent { worker: w, at: VTime::ns(at) });
+            }
+            p.recover = recover;
+            if !default_registry {
+                p.hb_period = VTime::us(hb_us);
+                p.lease = VTime::us(lease_us);
+            }
+            let printed = p.to_string();
+            let back = FaultPlan::parse(&printed)
+                .unwrap_or_else(|e| panic!("`{printed}` failed to re-parse: {e}"));
+            prop_assert_eq!(back, p, "round-trip through `{}`", printed);
+        }
     }
 
     #[test]

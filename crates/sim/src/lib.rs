@@ -36,7 +36,7 @@ pub mod time;
 pub mod topology;
 
 pub use engine::{Actor, Engine, ScheduleHook, Step};
-pub use fault::{CrashWindow, DegradeWindow, FaultPlan, MsgFate};
+pub use fault::{CrashWindow, DegradeWindow, FaultPlan, KillEvent, MsgFate};
 pub use latency::{profiles, LatencyModel, MachineProfile};
 pub use machine::{FabricStats, Machine, MachineConfig};
 pub use mailbox::Mailbox;

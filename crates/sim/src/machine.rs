@@ -80,6 +80,8 @@ pub struct FabricStats {
     pub retries: u64,
     /// Remote verb attempts that timed out against an unresponsive peer.
     pub timeouts: u64,
+    /// Remote verb attempts that failed fast against a fail-stopped peer.
+    pub dead_fails: u64,
 }
 
 impl FabricStats {
@@ -101,6 +103,7 @@ impl FabricStats {
             messages_handled,
             retries,
             timeouts,
+            dead_fails,
         } = *o;
         self.remote_gets += remote_gets;
         self.remote_puts += remote_puts;
@@ -112,6 +115,7 @@ impl FabricStats {
         self.messages_handled += messages_handled;
         self.retries += retries;
         self.timeouts += timeouts;
+        self.dead_fails += dead_fails;
     }
 }
 
@@ -237,6 +241,71 @@ impl Machine {
         self.faults
             .as_mut()
             .map_or(MsgFate::Deliver, |fs| fs.msg_fate(me, droppable))
+    }
+
+    // ------------------------------------------------------------------
+    // Fail-stop kills and the heartbeat/lease registry
+    // ------------------------------------------------------------------
+
+    /// True when the recovery machinery must run (a kill is scheduled or
+    /// `recover=on`).
+    #[inline]
+    pub fn recovery_armed(&self) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|fs| fs.plan().recovery_armed())
+    }
+
+    /// Kill time of `worker` under the loaded plan, if any.
+    pub fn killed_at(&self, worker: WorkerId) -> Option<VTime> {
+        self.faults.as_ref().and_then(|fs| fs.killed_at(worker))
+    }
+
+    /// Is `worker` fail-stopped at `now`? Ground truth (the NIC's view);
+    /// survivors learn it through [`Machine::dead_guard`] errors or the
+    /// lease registry.
+    #[inline]
+    pub fn is_dead(&self, worker: WorkerId, now: VTime) -> bool {
+        self.faults.as_ref().is_some_and(|fs| fs.is_dead(worker, now))
+    }
+
+    /// Has `worker`'s heartbeat lease expired at `now`? Sound: only
+    /// genuinely dead workers are ever confirmed (a live worker's beats
+    /// never stop). Reading the local lease-registry replica costs nothing
+    /// extra beyond the idle step that polls it.
+    #[inline]
+    pub fn confirmed_dead(&self, worker: WorkerId, now: VTime) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|fs| fs.confirmed_dead(worker, now))
+    }
+
+    /// Has `worker` published a heartbeat strictly after `since` that is
+    /// visible at `now`? (Termination attest rule.)
+    #[inline]
+    pub fn fresh_since(&self, worker: WorkerId, since: VTime, now: VTime) -> bool {
+        self.faults
+            .as_ref()
+            .is_none_or(|fs| fs.fresh_since(worker, since, now))
+    }
+
+    /// Guard a remote protocol operation by `me` against `peer` at `now`:
+    /// if the peer is fail-stopped the verb does not happen — the NIC
+    /// reports the peer unreachable after roughly one round trip, and the
+    /// returned cost is that error latency. `None` means the peer is up and
+    /// the caller proceeds with the real verbs.
+    ///
+    /// Granularity note: the guard is evaluated once at the top of a
+    /// protocol step; a peer whose kill instant falls inside the step is
+    /// treated as dying just after it (operations already in flight
+    /// linearize before the death).
+    pub fn dead_guard(&mut self, me: WorkerId, peer: WorkerId, now: VTime) -> Option<VTime> {
+        if me != peer && self.is_dead(peer, now) {
+            self.stats[me].dead_fails += 1;
+            Some(self.dist(me, peer, self.lat().rdma_get))
+        } else {
+            None
+        }
     }
 
     /// `get v ← L` of the paper's pseudocode: one-sided small read.
@@ -471,6 +540,7 @@ mod tests {
             messages_handled: 8,
             retries: 9,
             timeouts: 10,
+            dead_fails: 11,
         };
         let b = FabricStats {
             remote_gets: 100,
@@ -483,6 +553,7 @@ mod tests {
             messages_handled: 800,
             retries: 900,
             timeouts: 1000,
+            dead_fails: 1100,
         };
         a.merge(&b);
         assert_eq!(a.remote_gets, 101);
@@ -495,7 +566,39 @@ mod tests {
         assert_eq!(a.messages_handled, 808);
         assert_eq!(a.retries, 909);
         assert_eq!(a.timeouts, 1010);
+        assert_eq!(a.dead_fails, 1111);
         assert_eq!(a.remote_total(), 101 + 202 + 303);
+    }
+
+    #[test]
+    fn dead_guard_fails_fast_and_counts() {
+        use crate::fault::FaultPlan;
+        let mut m = Machine::new(
+            MachineConfig::new(3, profiles::itoa())
+                .with_seg_bytes(1 << 16)
+                .with_faults(FaultPlan::none().with_kill(1, VTime::us(50))),
+        );
+        assert!(m.recovery_armed());
+        assert_eq!(m.killed_at(1), Some(VTime::us(50)));
+        // Before the kill: no guard, peer reachable.
+        assert!(m.dead_guard(0, 1, VTime::us(10)).is_none());
+        assert!(!m.is_dead(1, VTime::us(10)));
+        // After: guard trips with a bounded (round-trip-ish) cost.
+        let c = m.dead_guard(0, 1, VTime::us(60)).expect("peer is dead");
+        assert!(c > VTime::ZERO && c < VTime::us(50), "fail-fast, not a retry storm: {c}");
+        assert_eq!(m.stats(0).dead_fails, 1);
+        // Self and live peers never trip.
+        assert!(m.dead_guard(1, 1, VTime::us(60)).is_none());
+        assert!(m.dead_guard(0, 2, VTime::us(60)).is_none());
+        // Lease confirmation trails ground truth.
+        assert!(!m.confirmed_dead(1, VTime::us(60)));
+        assert!(m.confirmed_dead(1, VTime::us(50) + m.fault_plan().unwrap().lease));
+    }
+
+    #[test]
+    fn fresh_since_without_faults_is_always_true() {
+        let m = machine(2);
+        assert!(m.fresh_since(1, VTime::ZERO, VTime::ns(1)));
     }
 
     #[test]
