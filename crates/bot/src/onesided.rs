@@ -49,8 +49,8 @@
 
 use dcs_apps::uts::UtsSpec;
 use dcs_sim::{
-    Actor, Engine, FaultPlan, GlobalAddr, Machine, MachineConfig, MachineProfile, ScheduleHook,
-    SimRng, Step, VTime, WorkerId,
+    Actor, Engine, FabricMode, FaultPlan, GlobalAddr, Machine, MachineConfig, MachineProfile,
+    ScheduleHook, SimRng, Step, VTime, WorkerId,
 };
 
 use crate::termination::{accumulate, round_initiator, tag_round, Detector, Token};
@@ -152,10 +152,10 @@ impl BotWorker {
     /// with the recovery-mode start stamp).
     fn put_token(m: &mut Machine, me: WorkerId, to: WorkerId, tok: Token, armed: bool) -> VTime {
         let cost = m.put_u64(me, word(to, W_TOK_ROUND), tok.round);
-        m.put_u64_nb(me, word(to, W_TOK_CREATED), tok.created);
-        m.put_u64_nb(me, word(to, W_TOK_CONSUMED), tok.consumed);
+        m.post_put_u64_unsignaled(me, word(to, W_TOK_CREATED), tok.created);
+        m.post_put_u64_unsignaled(me, word(to, W_TOK_CONSUMED), tok.consumed);
         if armed {
-            m.put_u64_nb(me, word(to, W_TOK_START), tok.start_ns);
+            m.post_put_u64_unsignaled(me, word(to, W_TOK_START), tok.start_ns);
         }
         cost
     }
@@ -446,7 +446,7 @@ impl BotWorker {
             // owner. Taking the last task would allow a two-worker
             // ping-pong where each side steals it back while the other is
             // lock-blocked, so the task is never executed.
-            cost += w.m.put_u64_nb(me, word(victim, W_LOCK), 0);
+            cost += w.m.post_put_u64_unsignaled(me, word(victim, W_LOCK), 0);
             self.steals_failed += 1;
             return Step::Yield(cost);
         }
@@ -456,24 +456,48 @@ impl BotWorker {
         };
         // Steal the *oldest* half: they root the largest subtrees.
         let stolen: Vec<Task> = w.bags[victim].drain(..k).collect();
-        cost += w.m.put_u64(me, word(victim, W_SIZE), (size as usize - k) as u64);
-        if self.armed {
-            // Steal lineage: the descriptor shares the victim's 64-byte
-            // control line with W_SIZE, so it rides the size put charged
-            // above — same single-packet idiom as the token's trailing
-            // words in `put_token` — and the payload is not re-written
-            // (the batch bytes are already resident in the victim's bag
-            // region; see the module doc). The transfer is counted on
-            // both sides so per-worker balance mirrors bag contents.
-            w.recovery.record_batch(victim, me, &stolen);
-            let _ = w.m.put_u64_nb(me, word(victim, W_JRNL), me as u64);
-            w.counters[victim].consumed += k as u64;
-            w.counters[me].created += k as u64;
+        if w.m.fabric() == FabricMode::Pipelined {
+            // Post the size word and the task-block payload together: the
+            // payload read races nothing (the batch slots are ours the
+            // moment the size shrinks, and the lock is still held when both
+            // verbs are posted), so the copy hides behind the size update's
+            // round trip instead of following it.
+            let at = now + cost;
+            let h_size =
+                w.m.post_put_u64(me, word(victim, W_SIZE), (size as usize - k) as u64, at);
+            let h_copy = w.m.post_get_bulk(me, victim, k * TASK_BYTES, at);
+            if self.armed {
+                // Steal lineage (see the Blocking arm below): the journal
+                // descriptor rides the posted size put.
+                w.recovery.record_batch(victim, me, &stolen);
+                let _ = w.m.post_put_u64_unsignaled(me, word(victim, W_JRNL), me as u64);
+                w.counters[victim].consumed += k as u64;
+                w.counters[me].created += k as u64;
+            }
+            cost += w.m.post_put_u64_unsignaled(me, word(victim, W_LOCK), 0);
+            let (_, f1) = w.m.wait(me, h_size);
+            let (_, f2) = w.m.wait(me, h_copy);
+            cost = cost.max(f1.max(f2).saturating_sub(now));
+        } else {
+            cost += w.m.put_u64(me, word(victim, W_SIZE), (size as usize - k) as u64);
+            if self.armed {
+                // Steal lineage: the descriptor shares the victim's 64-byte
+                // control line with W_SIZE, so it rides the size put charged
+                // above — same single-packet idiom as the token's trailing
+                // words in `put_token` — and the payload is not re-written
+                // (the batch bytes are already resident in the victim's bag
+                // region; see the module doc). The transfer is counted on
+                // both sides so per-worker balance mirrors bag contents.
+                w.recovery.record_batch(victim, me, &stolen);
+                let _ = w.m.post_put_u64_unsignaled(me, word(victim, W_JRNL), me as u64);
+                w.counters[victim].consumed += k as u64;
+                w.counters[me].created += k as u64;
+            }
+            cost += w.m.post_put_u64_unsignaled(me, word(victim, W_LOCK), 0);
+            cost += w.m.get_bulk(me, victim, k * TASK_BYTES);
         }
-        cost += w.m.put_u64_nb(me, word(victim, W_LOCK), 0);
-        cost += w.m.get_bulk(me, victim, k * TASK_BYTES);
         w.bags[me].extend(stolen);
-        w.m.put_u64_nb(me, word(me, W_SIZE), w.bags[me].len() as u64);
+        w.m.post_put_u64_unsignaled(me, word(me, W_SIZE), w.bags[me].len() as u64);
         self.steals_ok += 1;
         self.state = BState::Work;
         Step::Yield(cost)
@@ -560,6 +584,26 @@ pub fn run_pfor_faulty(
     )
 }
 
+/// [`run_uts`] with an explicit fabric mode (posted-verb ablation entry
+/// point; Blocking is the default everywhere else).
+pub fn run_uts_fabric(
+    spec: &UtsSpec,
+    workers: usize,
+    profile: MachineProfile,
+    seed: u64,
+    fabric: FabricMode,
+) -> BotReport {
+    run_workload_fabric(
+        &Workload::Uts(spec.clone()),
+        workers,
+        profile,
+        seed,
+        StealAmount::Half,
+        FaultPlan::none(),
+        fabric,
+    )
+}
+
 /// Run any bag workload under a fault plan.
 pub fn run_workload_faulty(
     work: &Workload,
@@ -569,8 +613,21 @@ pub fn run_workload_faulty(
     amount: StealAmount,
     plan: FaultPlan,
 ) -> BotReport {
+    run_workload_fabric(work, workers, profile, seed, amount, plan, FabricMode::Blocking)
+}
+
+/// [`run_workload_faulty`] with an explicit fabric mode.
+pub fn run_workload_fabric(
+    work: &Workload,
+    workers: usize,
+    profile: MachineProfile,
+    seed: u64,
+    amount: StealAmount,
+    plan: FaultPlan,
+    fabric: FabricMode,
+) -> BotReport {
     let armed = plan.recovery_armed();
-    let mut engine = build(work, workers, profile, seed, amount, plan);
+    let mut engine = build(work, workers, profile, seed, amount, plan, fabric);
     let report = engine.run();
     let (world, actors) = engine.into_parts();
     let end = report.end_time;
@@ -656,6 +713,21 @@ pub fn run_uts_hooked_faulty<H: ScheduleHook + ?Sized>(
     hook: &mut H,
     plan: FaultPlan,
 ) -> BotCheckOutcome {
+    run_uts_hooked_fabric(spec, workers, profile, seed, hook, plan, FabricMode::Blocking)
+}
+
+/// [`run_uts_hooked_faulty`] with an explicit fabric mode — lets the
+/// checker explore interleavings at the posted-verb protocol's extra
+/// yield points (between a steal's post and its completion).
+pub fn run_uts_hooked_fabric<H: ScheduleHook + ?Sized>(
+    spec: &UtsSpec,
+    workers: usize,
+    profile: MachineProfile,
+    seed: u64,
+    hook: &mut H,
+    plan: FaultPlan,
+    fabric: FabricMode,
+) -> BotCheckOutcome {
     let armed = plan.recovery_armed();
     let mut engine = build(
         &Workload::Uts(spec.clone()),
@@ -664,6 +736,7 @@ pub fn run_uts_hooked_faulty<H: ScheduleHook + ?Sized>(
         seed,
         StealAmount::Half,
         plan,
+        fabric,
     );
     let report = engine.run_with_hook(hook);
     let (world, _actors) = engine.into_parts();
@@ -701,6 +774,7 @@ fn build(
     seed: u64,
     amount: StealAmount,
     plan: FaultPlan,
+    fabric: FabricMode,
 ) -> Engine<BotWorld, BotWorker> {
     let scale = profile.compute_scale;
     let armed = plan.recovery_armed();
@@ -708,7 +782,8 @@ fn build(
         MachineConfig::new(workers, profile)
             .with_seg_bytes(1 << 16)
             .with_reserved(RESERVED)
-            .with_faults(plan),
+            .with_faults(plan)
+            .with_fabric(fabric),
     );
     let root = work.root_task();
     let mut world = BotWorld {
@@ -828,6 +903,39 @@ mod tests {
         assert_eq!(plain.elapsed, none.elapsed);
         assert_eq!(plain.steps, none.steps);
         assert_eq!(plain.steals_ok, none.steals_ok);
+    }
+
+    #[test]
+    fn pipelined_matches_counts_and_shortens_steals() {
+        let spec = presets::small();
+        let expected = serial_count(&spec).nodes;
+        let blk = run_uts_fabric(&spec, 8, profiles::itoa(), 5, FabricMode::Blocking);
+        let pip = run_uts_fabric(&spec, 8, profiles::itoa(), 5, FabricMode::Pipelined);
+        assert_eq!(blk.nodes, expected);
+        assert_eq!(pip.nodes, expected);
+        assert!(pip.steals_ok > 0);
+        assert!(
+            pip.fabric.max_inflight >= 2,
+            "steal-half must post size + payload together, got depth {}",
+            pip.fabric.max_inflight
+        );
+        assert_eq!(blk.fabric.max_inflight, 1, "blocking never overlaps");
+        assert!(
+            pip.elapsed < blk.elapsed,
+            "hiding the payload copy must shorten the run: {:?} vs {:?}",
+            pip.elapsed,
+            blk.elapsed
+        );
+    }
+
+    #[test]
+    fn pipelined_is_deterministic() {
+        let spec = presets::tiny();
+        let a = run_uts_fabric(&spec, 4, profiles::test_profile(), 9, FabricMode::Pipelined);
+        let b = run_uts_fabric(&spec, 4, profiles::test_profile(), 9, FabricMode::Pipelined);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.steals_ok, b.steals_ok);
+        assert_eq!(a.fabric, b.fabric);
     }
 
     #[test]

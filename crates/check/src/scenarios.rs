@@ -27,14 +27,14 @@ use dcs_core::deque::{
     thief_take_no_release, DequeError,
 };
 use dcs_core::frame::{frame, Effect, TaskCtx};
-use dcs_core::layout::SegLayout;
+use dcs_core::layout::{SegLayout, DQ_LOCK};
 use dcs_core::util::Slab;
 use dcs_core::value::{ThreadHandle, Value};
 use dcs_core::world::QueueItem;
 use dcs_core::{run_hooked, FreeStrategy, Policy, Program, RunConfig};
 use dcs_sim::{
-    profiles, Actor, Engine, GlobalAddr, Machine, MachineConfig, ScheduleHook, Step, VTime,
-    WorkerId,
+    profiles, Actor, Engine, FabricMode, GlobalAddr, Machine, MachineConfig, ScheduleHook, Step,
+    VTime, VerbHandle, WorkerId,
 };
 
 use crate::explore::RunRecord;
@@ -118,6 +118,13 @@ enum ReleaseOrder {
     /// lock released, and only then — one engine step later — the top
     /// advanced. Between those steps the owner can observe the dead slot.
     Broken,
+    /// The posted-verb composition the Pipelined fabric runs: take without
+    /// release, advance the top, then post the lock-release put and the
+    /// payload get together and reap them one engine step later. The window
+    /// between post and completion is a real interleaving point — the
+    /// overlap-race oracle checks the owner can race into it freely and
+    /// that no completion is left unreaped at the end.
+    Pipelined,
 }
 
 struct DqWorld {
@@ -159,11 +166,16 @@ enum ThiefState {
     Take,
     /// Broken order only: lock already released, top advance still pending.
     Advance { new_top: u64 },
+    /// Pipelined order only: release put + payload get posted, not reaped.
+    Reap {
+        h_release: VerbHandle,
+        h_copy: VerbHandle,
+    },
     Done,
 }
 
 impl Actor<DqWorld> for DqActor {
-    fn step(&mut self, me: WorkerId, _now: VTime, w: &mut DqWorld) -> Step {
+    fn step(&mut self, me: WorkerId, now: VTime, w: &mut DqWorld) -> Step {
         match self {
             DqActor::Owner { to_push, pushed } => {
                 if *pushed < *to_push {
@@ -275,11 +287,45 @@ impl Actor<DqWorld> for DqActor {
                             }
                         }
                     }
+                    ReleaseOrder::Pipelined => {
+                        match thief_take_no_release(&mut w.m, &mut w.items, &w.lay, me, 0) {
+                            Ok((Some((item, size, top)), cost)) => {
+                                check_fifo(w, &item);
+                                // The shipped pipelined composition: top is
+                                // advanced before the release is posted, so
+                                // the deque is consistent the instant the
+                                // release's (eager) effect lands.
+                                thief_advance_top(&mut w.m, &w.lay, me, 0, top + 1);
+                                let at = now + cost;
+                                let lock = GlobalAddr::new(0, w.lay.dq_word(DQ_LOCK));
+                                let h_release = w.m.post_put_u64(me, lock, 0, at);
+                                let h_copy = w.m.post_get_bulk(me, 0, size, at);
+                                *state = ThiefState::Reap { h_release, h_copy };
+                                Step::Yield(cost)
+                            }
+                            Ok((None, cost)) => {
+                                let cost = cost + thief_release_lock(&mut w.m, &w.lay, me, 0);
+                                *state = ThiefState::Done;
+                                Step::Yield(cost)
+                            }
+                            Err(d) => {
+                                w.violations
+                                    .push(format!("thief_take observed dead slot: {d:?}"));
+                                Step::Halt
+                            }
+                        }
+                    }
                 },
                 ThiefState::Advance { new_top } => {
                     thief_advance_top(&mut w.m, &w.lay, me, 0, *new_top);
                     *state = ThiefState::Done;
                     Step::Yield(w.m.local_op(me))
+                }
+                ThiefState::Reap { h_release, h_copy } => {
+                    let (_, f1) = w.m.wait(me, *h_release);
+                    let (_, f2) = w.m.wait(me, *h_copy);
+                    *state = ThiefState::Done;
+                    Step::Yield(f1.max(f2).saturating_sub(now))
                 }
                 ThiefState::Done => Step::Halt,
             },
@@ -302,6 +348,11 @@ fn check_fifo(w: &mut DqWorld, item: &QueueItem) {
 fn deque_scenario(name: &str, workers: usize, n_items: u64, order: ReleaseOrder) -> Scenario {
     assert!(workers >= 2);
     let expect_violation = order == ReleaseOrder::Broken;
+    let fabric = if order == ReleaseOrder::Pipelined {
+        FabricMode::Pipelined
+    } else {
+        FabricMode::Blocking
+    };
     let name_owned = name.to_string();
     let runner = move |hook: &mut dyn ScheduleHook| -> Vec<String> {
         let cfg = RunConfig::new(workers, Policy::ContGreedy);
@@ -309,7 +360,8 @@ fn deque_scenario(name: &str, workers: usize, n_items: u64, order: ReleaseOrder)
         let m = Machine::new(
             MachineConfig::new(workers, profiles::test_profile())
                 .with_seg_bytes(cfg.seg_bytes)
-                .with_reserved(lay.reserved),
+                .with_reserved(lay.reserved)
+                .with_fabric(fabric),
         );
         let world = DqWorld {
             m,
@@ -338,6 +390,14 @@ fn deque_scenario(name: &str, workers: usize, n_items: u64, order: ReleaseOrder)
         if !w.items.is_empty() {
             w.violations
                 .push("leak: queue-item slab not empty at end of run".to_string());
+        }
+        for p in 0..workers {
+            let depth = w.m.cq_depth(p);
+            if depth > 0 {
+                w.violations.push(format!(
+                    "overlap-race: worker {p} ended with {depth} posted verbs never reaped"
+                ));
+            }
         }
         std::mem::take(&mut w.violations)
     };
@@ -426,6 +486,7 @@ fn runtime_scenario(
     seed: u64,
     policy: Policy,
     strategy: FreeStrategy,
+    fabric: FabricMode,
     spec: ProgSpec,
 ) -> Scenario {
     let runner = move |hook: &mut dyn ScheduleHook| -> Vec<String> {
@@ -434,7 +495,8 @@ fn runtime_scenario(
             .with_free_strategy(strategy)
             .with_watchdog(true)
             .with_strict(false)
-            .with_seed(seed);
+            .with_seed(seed)
+            .with_fabric(fabric);
         let report = run_hooked(cfg, Program::new(spec.root, spec.arg), hook);
         let mut violations = Vec::new();
         if report.result.as_u64() != spec.expected {
@@ -579,17 +641,20 @@ fn crash_abort_scenario(workers: usize, seed: u64) -> Scenario {
 /// Micro UTS tree for the BoT termination oracle: small enough for
 /// exploration, deep enough that the token circulates while steals and
 /// re-activations are still in flight.
-fn bot_term_scenario(workers: usize, seed: u64) -> Scenario {
+fn bot_term_scenario(name: &str, workers: usize, seed: u64, fabric: FabricMode) -> Scenario {
     use dcs_apps::uts::{serial_count, Shape, UtsSpec};
+    let name_owned = name.to_string();
     let runner = move |hook: &mut dyn ScheduleHook| -> Vec<String> {
         let spec = UtsSpec::new(2.0, 3, Shape::Fixed, 5);
         let truth = serial_count(&spec).nodes;
-        let out = dcs_bot::onesided::run_uts_hooked(
+        let out = dcs_bot::onesided::run_uts_hooked_fabric(
             &spec,
             workers,
             profiles::test_profile(),
             seed,
             hook,
+            dcs_sim::FaultPlan::none(),
+            fabric,
         );
         let mut violations = Vec::new();
         if out.created != out.consumed {
@@ -613,7 +678,7 @@ fn bot_term_scenario(workers: usize, seed: u64) -> Scenario {
         violations
     };
     Scenario {
-        name: "bot-term".to_string(),
+        name: name_owned,
         workers,
         expect_violation: false,
         runner: Box::new(runner),
@@ -632,6 +697,7 @@ pub fn catalog(workers: usize, seed: u64) -> Vec<Scenario> {
     let mut v = vec![
         deque_scenario("deque-steal", workers, 2, ReleaseOrder::Fixed),
         deque_scenario("broken-release", 2, 1, ReleaseOrder::Broken),
+        deque_scenario("deque-steal-pipelined", workers, 2, ReleaseOrder::Pipelined),
     ];
     for policy in Policy::ALL {
         for strategy in [FreeStrategy::LockQueue, FreeStrategy::LocalCollection] {
@@ -641,6 +707,7 @@ pub fn catalog(workers: usize, seed: u64) -> Vec<Scenario> {
                 seed,
                 policy,
                 strategy,
+                FabricMode::Blocking,
                 ProgSpec {
                     root: single_steal_root,
                     arg: 0,
@@ -648,6 +715,22 @@ pub fn catalog(workers: usize, seed: u64) -> Vec<Scenario> {
                 },
             ));
         }
+        // The same join race with the posted-verb fabric: steals and retval
+        // publications now have a window between post and completion that
+        // the explorer can interleave into.
+        v.push(runtime_scenario(
+            format!("single-steal-pipelined:{}", policy_slug(policy)),
+            workers,
+            seed,
+            policy,
+            FreeStrategy::LocalCollection,
+            FabricMode::Pipelined,
+            ProgSpec {
+                root: single_steal_root,
+                arg: 0,
+                expected: 15,
+            },
+        ));
     }
     v.push(runtime_scenario(
         "fork-join".to_string(),
@@ -655,13 +738,33 @@ pub fn catalog(workers: usize, seed: u64) -> Vec<Scenario> {
         seed,
         Policy::ContGreedy,
         FreeStrategy::LocalCollection,
+        FabricMode::Blocking,
         ProgSpec {
             root: fib,
             arg: 8,
             expected: 21,
         },
     ));
-    v.push(bot_term_scenario(workers, seed));
+    v.push(runtime_scenario(
+        "fork-join-pipelined".to_string(),
+        workers,
+        seed,
+        Policy::ContGreedy,
+        FreeStrategy::LocalCollection,
+        FabricMode::Pipelined,
+        ProgSpec {
+            root: fib,
+            arg: 8,
+            expected: 21,
+        },
+    ));
+    v.push(bot_term_scenario("bot-term", workers, seed, FabricMode::Blocking));
+    v.push(bot_term_scenario(
+        "bot-term-pipelined",
+        workers,
+        seed,
+        FabricMode::Pipelined,
+    ));
     v.push(crash_recovery_scenario(workers, seed));
     v.push(crash_abort_scenario(workers, seed));
     v

@@ -116,6 +116,93 @@ fn bot_termination_survives_exploration() {
     );
 }
 
+/// The pipelined steal composition: the lock-release put and the payload
+/// get are posted together and reaped one engine step later, so the owner
+/// can interleave between post and completion. Exhaustive delay-3
+/// exploration must find no dead slots, no lost or duplicated items, and no
+/// unreaped completions (the overlap-race oracle) on ANY schedule.
+#[test]
+fn pipelined_steal_survives_exhaustive_exploration() {
+    let s = by_name("deque-steal-pipelined", 2, 1).unwrap();
+    let out = explore_exhaustive(&|c| s.run_choices(c), 3, 50_000);
+    assert!(out.complete, "delay-3 space must fit the budget");
+    assert!(
+        out.findings.is_empty(),
+        "pipelined steal has no failing schedule: {:?}",
+        out.findings
+    );
+    assert!(out.schedules > 50, "exploration actually branched");
+}
+
+/// The join race under the Pipelined fabric, every policy: retval puts
+/// overlap flag AMOs and steals split into post + reap steps, so the
+/// explorer interleaves at completion time too. The join must still resolve
+/// to the right value with no watchdog findings on every schedule.
+#[test]
+fn pipelined_single_steal_race_all_policies() {
+    for policy in ["greedy", "stalling", "child-full", "child-rtc"] {
+        let name = format!("single-steal-pipelined:{policy}");
+        let s = by_name(&name, 2, 1).expect("catalog covers all policies");
+        let out = explore_exhaustive(&|c| s.run_choices(c), 2, 20_000);
+        assert!(out.complete, "{name}: delay-2 space must fit the budget");
+        assert!(
+            out.findings.is_empty(),
+            "{name} violated under schedule {:?}: {:?}",
+            out.findings[0].choices,
+            out.findings[0].violations
+        );
+    }
+}
+
+/// BoT termination with the pipelined steal-half (size put ∥ payload get):
+/// the token detector must stay safe and exact on every explored schedule.
+#[test]
+fn pipelined_bot_termination_survives_exploration() {
+    let s = by_name("bot-term-pipelined", 2, 1).unwrap();
+    let out = explore_exhaustive(&|c| s.run_choices(c), 2, 10_000);
+    assert!(out.complete);
+    assert!(
+        out.findings.is_empty(),
+        "termination violated: {:?}",
+        out.findings
+    );
+}
+
+/// The checked-in pipelined overlap-window schedule: a recorded
+/// interleaving where the owner's pop lands inside a thief's post-to-reap
+/// window. Replaying it must stay clean — if a regression reopens the
+/// window (e.g. the top advance moves after the posts again), this fixture
+/// catches it without re-running exploration.
+#[test]
+fn checked_in_pipelined_overlap_schedule_stays_clean() {
+    let text = include_str!("schedules/deque-steal-pipelined.schedule");
+    let sched = Schedule::parse(text).expect("fixture parses");
+    assert_eq!(sched.scenario, "deque-steal-pipelined");
+    let s = by_name(&sched.scenario, sched.workers, sched.seed).unwrap();
+    let rec = s.run_choices(&sched.choices);
+    assert!(
+        rec.violations.is_empty(),
+        "overlap-window schedule regressed: {:?}",
+        rec.violations
+    );
+}
+
+/// The checked-in pipelined join-race schedule for the greedy policy (the
+/// Fig. 4 race with retval put ∥ flag FAA posted together).
+#[test]
+fn checked_in_pipelined_join_race_schedule_stays_clean() {
+    let text = include_str!("schedules/single-steal-pipelined-greedy.schedule");
+    let sched = Schedule::parse(text).expect("fixture parses");
+    assert_eq!(sched.scenario, "single-steal-pipelined:greedy");
+    let s = by_name(&sched.scenario, sched.workers, sched.seed).unwrap();
+    let rec = s.run_choices(&sched.choices);
+    assert!(
+        rec.violations.is_empty(),
+        "join-race schedule regressed: {:?}",
+        rec.violations
+    );
+}
+
 /// The checked-in regression schedule (found and minimized by the checker)
 /// still reproduces the wrong-release-order bug from its serialized form —
 /// the end-to-end path a CI artifact takes back to a developer's machine.

@@ -119,6 +119,8 @@ pub struct RunArgs {
     pub trace_out: Option<String>,
     /// Deterministic fault-injection plan (see `FaultPlan::parse`).
     pub fault: FaultPlan,
+    /// One-sided verb issue model (blocking, or posted with overlap).
+    pub fabric: FabricMode,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -176,8 +178,17 @@ impl RunArgs {
             node_size: None,
             trace_out: None,
             fault: FaultPlan::none(),
+            fabric: FabricMode::Blocking,
         }
     }
+}
+
+fn parse_fabric(s: &str) -> Result<FabricMode, String> {
+    Ok(match s {
+        "blocking" => FabricMode::Blocking,
+        "pipelined" => FabricMode::Pipelined,
+        other => return Err(format!("unknown fabric mode '{other}' (blocking|pipelined)")),
+    })
 }
 
 /// Parse a full argument vector (without the program name).
@@ -263,6 +274,7 @@ fn parse_run_with_list(args: &[String]) -> Result<(RunArgs, Vec<usize>, Option<S
                 }
             }
             "--victim" => out.victim = parse_victim(val()?)?,
+            "--fabric" => out.fabric = parse_fabric(val()?)?,
             "--node-size" => {
                 out.node_size = Some(val()?.parse().map_err(|_| "bad --node-size".to_string())?)
             }
@@ -328,7 +340,8 @@ pub fn execute_run(a: &RunArgs) -> String {
         .with_victim(a.victim)
         .with_seed(a.seed)
         .with_seg_bytes(64 << 20)
-        .with_fault_plan(a.fault.clone());
+        .with_fault_plan(a.fault.clone())
+        .with_fabric(a.fabric);
     if a.trace_out.is_some() {
         cfg = cfg.with_trace(TraceLevel::Series);
     }
@@ -341,13 +354,14 @@ pub fn execute_run(a: &RunArgs) -> String {
 
     if a.bench == Bench::BotUts {
         let spec = uts::UtsSpec::new(4.0, n as u32, uts::Shape::Linear, 19);
-        let r = dcs_bot::onesided::run_uts_faulty(
-            &spec,
+        let r = dcs_bot::onesided::run_workload_fabric(
+            &dcs_bot::Workload::Uts(spec),
             a.workers,
             a.machine.clone(),
             a.seed,
             dcs_bot::onesided::StealAmount::Half,
             a.fault.clone(),
+            a.fabric,
         );
         let mut s = String::new();
         let _ = writeln!(s, "bench:      bot-uts (one-sided steal-half, gen_mx = {n})");
@@ -356,6 +370,14 @@ pub fn execute_run(a: &RunArgs) -> String {
         let _ = writeln!(s, "throughput: {:.2} Mnodes/s", r.throughput() / 1e6);
         let _ = writeln!(s, "steals:     {} ok, {} failed", r.steals_ok, r.steals_failed);
         let _ = writeln!(s, "token rounds: {}", r.token_rounds);
+        let _ = writeln!(
+            s,
+            "fabric:     {} remote ops, {} KiB moved ({}, {} max in flight)",
+            r.fabric.remote_total(),
+            (r.fabric.bytes_got + r.fabric.bytes_put) / 1024,
+            a.fabric.label(),
+            r.fabric.max_inflight
+        );
         if a.fault.is_active() {
             let _ = writeln!(
                 s,
@@ -452,9 +474,11 @@ fn render_report(a: &RunArgs, n: u64, r: &RunReport) -> String {
     );
     let _ = writeln!(
         s,
-        "fabric:     {} remote ops, {} KiB moved",
+        "fabric:     {} remote ops, {} KiB moved ({}, {} max in flight)",
         r.fabric.remote_total(),
-        (r.fabric.bytes_got + r.fabric.bytes_put) / 1024
+        (r.fabric.bytes_got + r.fabric.bytes_put) / 1024,
+        a.fabric.label(),
+        r.fabric.max_inflight
     );
     let _ = writeln!(
         s,
@@ -495,7 +519,8 @@ pub fn execute_sweep(a: &SweepArgs) -> String {
                 .with_profile(args.machine.clone())
                 .with_seed(args.seed)
                 .with_seg_bytes(64 << 20)
-                .with_fault_plan(args.fault.clone());
+                .with_fault_plan(args.fault.clone())
+                .with_fabric(args.fabric);
             let program = match args.bench {
                 Bench::Fib => Program::new(fib_task, n),
                 Bench::Pfor => pfor::pfor_program(pfor::PforParams::paper(n)),
@@ -515,7 +540,13 @@ pub fn execute_sweep(a: &SweepArgs) -> String {
                 )),
                 Bench::BotUts => {
                     let spec = uts::UtsSpec::new(4.0, n as u32, uts::Shape::Linear, 19);
-                    let r = dcs_bot::onesided::run_uts(&spec, p, args.machine.clone(), args.seed);
+                    let r = dcs_bot::onesided::run_uts_fabric(
+                        &spec,
+                        p,
+                        args.machine.clone(),
+                        args.seed,
+                        args.fabric,
+                    );
                     return (r.elapsed, r.steals_ok, None);
                 }
             };
@@ -765,6 +796,11 @@ FLAGS (run & sweep):
     --free <lock-queue|local-collection>          remote freeing     [local-collection]
     --scheme <uni|iso>                            stack addressing   [uni]
     --victim <uniform|locality:<p>|hier:<k>>      victim selection   [uniform]
+    --fabric <blocking|pipelined>                 verb issue model   [blocking]
+                       blocking waits out every one-sided verb; pipelined
+                       posts independent verbs back-to-back and reaps
+                       completions (same memory semantics, shorter critical
+                       paths)
     --node-size <n>    hierarchical topology with n workers per node
     --trace <file>     write a Chrome trace (chrome://tracing, perfetto) [off]
     --fault-plan <spec>  deterministic fault injection                   [off]
@@ -812,13 +848,15 @@ mod tests {
         assert_eq!(a.bench, Bench::Uts);
         assert_eq!(a.policy, Policy::ContGreedy);
         assert_eq!(a.workers, 16);
+        assert_eq!(a.fabric, FabricMode::Blocking, "goldens depend on this default");
     }
 
     #[test]
     fn parses_full_flag_set() {
         let cmd = parse(&argv(
             "run --bench lcs --policy child-full --workers 8 --machine wisteria \
-             --n 1024 --seed 7 --free lock-queue --scheme iso --victim locality:0.8 --node-size 4",
+             --n 1024 --seed 7 --free lock-queue --scheme iso --victim locality:0.8 --node-size 4 \
+             --fabric pipelined",
         ))
         .unwrap();
         let Command::Run(a) = cmd else { panic!() };
@@ -832,6 +870,7 @@ mod tests {
         assert_eq!(a.scheme, AddressScheme::Iso);
         assert_eq!(a.victim, VictimPolicy::Locality { p_local: 0.8 });
         assert_eq!(a.node_size, Some(4));
+        assert_eq!(a.fabric, FabricMode::Pipelined);
     }
 
     #[test]
@@ -879,6 +918,8 @@ mod tests {
         assert!(parse(&argv("run --workers 1,2")).is_err(), "list needs sweep");
         assert!(parse(&argv("run --victim locality:x")).is_err());
         assert!(parse(&argv("run --n")).is_err(), "missing value");
+        assert!(parse(&argv("run --fabric nope")).is_err());
+        assert!(parse(&argv("run --fabric")).is_err(), "missing value");
     }
 
     #[test]
@@ -888,6 +929,7 @@ mod tests {
         assert_eq!(parse(&argv("info")).unwrap(), Command::Info);
         assert!(info().contains("ITO-A"));
         assert!(HELP.contains("--bench"));
+        assert!(HELP.contains("--fabric"));
     }
 
     #[test]
@@ -1016,6 +1058,12 @@ mod tests {
         a.machine = profiles::test_profile();
         let out = execute_run(&a);
         assert!(out.contains("nodes:"), "{out}");
+        // Same tree through the posted-verb fabric: identical result, and
+        // the report names the mode so runs are attributable from the log.
+        a.fabric = FabricMode::Pipelined;
+        let out = execute_run(&a);
+        assert!(out.contains("nodes:"), "{out}");
+        assert!(out.contains("pipelined"), "{out}");
     }
 
     #[test]

@@ -232,7 +232,7 @@ pub fn thief_take(
     match thief_take_no_release(m, victim_items, lay, me, victim) {
         Ok((None, mut cost)) => {
             // Empty: release the lock (non-blocking put suffices).
-            cost += m.put_u64_nb(me, word(lay, victim, DQ_LOCK), 0);
+            cost += m.post_put_u64_unsignaled(me, word(lay, victim, DQ_LOCK), 0);
             Ok((None, cost))
         }
         Ok((Some((item, size, top)), mut cost)) => {
@@ -295,7 +295,7 @@ pub fn thief_take_no_release(
     let Some(item) = victim_items.try_take((keyp1 - 1) as u32) else {
         return dead(cost);
     };
-    m.put_u64_nb(me, slot, 0);
+    m.post_put_u64_unsignaled(me, slot, 0);
     Ok((Some((item, size as usize, top)), cost))
 }
 
@@ -308,7 +308,7 @@ pub fn thief_advance_top(
     victim: WorkerId,
     new_top: u64,
 ) {
-    m.put_u64_nb(me, word(lay, victim, DQ_TOP), new_top);
+    m.post_put_u64_unsignaled(me, word(lay, victim, DQ_TOP), new_top);
 }
 
 /// Checker seam: release the victim's deque lock (blocking put; returns its

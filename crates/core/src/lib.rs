@@ -79,5 +79,5 @@ pub mod prelude {
     pub use crate::runner::{run, run_full, run_hooked, Program, RunOutcome, RunReport};
     pub use crate::value::{ThreadHandle, Value};
     pub use crate::watchdog::{Violation, WatchdogReport};
-    pub use dcs_sim::{profiles, FaultPlan, MachineProfile, Topology, VTime};
+    pub use dcs_sim::{profiles, FabricMode, FaultPlan, MachineProfile, Topology, VTime};
 }

@@ -1,6 +1,6 @@
 //! Scheduling-policy and run configuration.
 
-use dcs_sim::{profiles, FaultPlan, MachineProfile, Topology, VTime};
+use dcs_sim::{profiles, FabricMode, FaultPlan, MachineProfile, Topology, VTime};
 
 /// A time-varying compute slowdown: worker `worker` computes `factor`×
 /// slower during `[from, until)` (a straggler, thermal throttling, an OS
@@ -190,6 +190,11 @@ pub struct RunConfig {
     pub strict: bool,
     /// Engine runaway guard.
     pub max_steps: u64,
+    /// How protocol hot paths drive the fabric: [`FabricMode::Blocking`]
+    /// (default; one verb at a time, the pre-posted-API semantics every
+    /// golden is pinned to) or [`FabricMode::Pipelined`] (independent verbs
+    /// in a protocol step are posted concurrently and fenced).
+    pub fabric: FabricMode,
 }
 
 impl RunConfig {
@@ -217,7 +222,13 @@ impl RunConfig {
             seg_bytes: 32 << 20,
             strict: true,
             max_steps: 20_000_000_000,
+            fabric: FabricMode::Blocking,
         }
+    }
+
+    pub fn with_fabric(mut self, mode: FabricMode) -> Self {
+        self.fabric = mode;
+        self
     }
 
     pub fn with_profile(mut self, p: MachineProfile) -> Self {
@@ -328,11 +339,18 @@ mod tests {
             .with_profile(profiles::wisteria())
             .with_free_strategy(FreeStrategy::LockQueue)
             .with_seed(99)
-            .with_trace(TraceLevel::Series);
+            .with_trace(TraceLevel::Series)
+            .with_fabric(FabricMode::Pipelined);
         assert_eq!(cfg.workers, 8);
         assert_eq!(cfg.profile.name, "Wisteria-O");
         assert_eq!(cfg.free_strategy, FreeStrategy::LockQueue);
         assert_eq!(cfg.seed, 99);
         assert_eq!(cfg.trace, TraceLevel::Series);
+        assert_eq!(cfg.fabric, FabricMode::Pipelined);
+        assert_eq!(
+            RunConfig::new(1, Policy::ContGreedy).fabric,
+            FabricMode::Blocking,
+            "blocking stays the default so goldens remain valid"
+        );
     }
 }

@@ -21,7 +21,7 @@
 //! serializes through virtual time itself. (The deque lock, by contrast, is
 //! deliberately held across steps; see `deque.rs`.)
 
-use dcs_sim::{GlobalAddr, Machine, VTime, WorkerId, WORD};
+use dcs_sim::{FabricMode, GlobalAddr, Machine, VTime, WorkerId, WORD};
 
 use crate::layout::{SegLayout, FQ_COUNT, FQ_LOCK};
 use crate::policy::FreeStrategy;
@@ -169,7 +169,7 @@ pub fn free_robj(
                 // One non-blocking put of the free bit. The owner reclaims at
                 // its next sweep.
                 owner_ws.robj.remote_frees_sent += 1;
-                m.put_u64_nb(me, addr.field(free_bit_off(bytes) / WORD), 1)
+                m.post_put_u64_unsignaled(me, addr.field(free_bit_off(bytes) / WORD), 1)
             }
         }
         FreeStrategy::LockQueue => {
@@ -211,12 +211,27 @@ fn free_via_lock_queue(
         lay.freeq_cap
     );
     // 3. Insert the object location + size (one put; two words adjacent).
-    let slot = GlobalAddr::new(owner, lay.fq_slot(idx));
-    let c3a = m.put_u64(me, slot, addr.to_u64());
-    let c3b = m.put_u64_nb(me, slot.field(1), bytes as u64);
     // 4. Release the lock.
-    let c4 = m.put_u64(me, lock, 0);
-    c1 + c2 + c3a + c3b + c4
+    let slot = GlobalAddr::new(owner, lay.fq_slot(idx));
+    if m.fabric() == FabricMode::Pipelined {
+        // The insert and the unlock both target the owner's rank, so the
+        // same-QP in-order clamp guarantees the slot is visible before the
+        // next lock holder can acquire: post the whole tail and retire it
+        // under one wait — the baseline's four round trips become three.
+        // Posting at ZERO is sound because the tail is reaped before
+        // returning; only the relative finish times matter.
+        let h3 = m.post_put_u64(me, slot, addr.to_u64(), VTime::ZERO);
+        let c3b = m.post_put_u64_unsignaled(me, slot.field(1), bytes as u64);
+        let h4 = m.post_put_u64(me, lock, 0, VTime::ZERO);
+        let (_, f3) = m.wait(me, h3);
+        let (_, f4) = m.wait(me, h4);
+        c1 + c2 + c3b + f3.max(f4)
+    } else {
+        let c3a = m.put_u64(me, slot, addr.to_u64());
+        let c3b = m.post_put_u64_unsignaled(me, slot.field(1), bytes as u64);
+        let c4 = m.put_u64(me, lock, 0);
+        c1 + c2 + c3a + c3b + c4
+    }
 }
 
 /// Owner-side drain of the lock-queue buffer (runs at allocation time; all
@@ -254,22 +269,49 @@ fn maybe_sweep(m: &mut Machine, ws: &mut WorkerShared, me: WorkerId) -> VTime {
     }
     let mut cost = VTime::ZERO;
     let mut reclaimed_bytes = 0u64;
-    let mut i = 0;
-    while i < ws.robj.list.len() {
-        let (off, bytes) = ws.robj.list[i];
-        ws.robj.swept_items += 1;
-        cost += m.local_op(me);
-        let bit_addr = GlobalAddr::new(me, off + free_bit_off(bytes));
-        let (bit, c) = m.get_u64(me, bit_addr);
-        cost += c;
-        if bit != 0 {
-            ws.robj.unregister(off);
-            m.free(GlobalAddr::new(me, off), bytes + FREE_BIT_BYTES);
-            ws.robj.reclaimed += 1;
-            reclaimed_bytes += bytes as u64;
-            // swap_remove: recheck index i.
-        } else {
-            i += 1;
+    if m.fabric() == FabricMode::Pipelined {
+        // Batch the whole free-bit scan: post every bit read up front and
+        // reap them together — a software-pipelined sweep instead of one
+        // dependent read per registry slot. Values are reaped per handle
+        // (not fenced) because the reclaim decision needs each bit.
+        let snapshot: Vec<(u32, u32)> = ws.robj.list.clone();
+        let mut handles = Vec::with_capacity(snapshot.len());
+        for &(off, bytes) in &snapshot {
+            ws.robj.swept_items += 1;
+            cost += m.local_op(me);
+            let bit_addr = GlobalAddr::new(me, off + free_bit_off(bytes));
+            handles.push(m.post_get_u64(me, bit_addr, VTime::ZERO));
+        }
+        let mut tail = VTime::ZERO;
+        for (&(off, bytes), h) in snapshot.iter().zip(handles) {
+            let (bit, fin) = m.wait(me, h);
+            tail = tail.max(fin);
+            if bit != 0 {
+                ws.robj.unregister(off);
+                m.free(GlobalAddr::new(me, off), bytes + FREE_BIT_BYTES);
+                ws.robj.reclaimed += 1;
+                reclaimed_bytes += bytes as u64;
+            }
+        }
+        cost += tail;
+    } else {
+        let mut i = 0;
+        while i < ws.robj.list.len() {
+            let (off, bytes) = ws.robj.list[i];
+            ws.robj.swept_items += 1;
+            cost += m.local_op(me);
+            let bit_addr = GlobalAddr::new(me, off + free_bit_off(bytes));
+            let (bit, c) = m.get_u64(me, bit_addr);
+            cost += c;
+            if bit != 0 {
+                ws.robj.unregister(off);
+                m.free(GlobalAddr::new(me, off), bytes + FREE_BIT_BYTES);
+                ws.robj.reclaimed += 1;
+                reclaimed_bytes += bytes as u64;
+                // swap_remove: recheck index i.
+            } else {
+                i += 1;
+            }
         }
     }
     ws.robj.sweeps += 1;

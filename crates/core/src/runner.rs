@@ -158,7 +158,8 @@ fn run_inner(
             .with_seg_bytes(cfg.seg_bytes)
             .with_reserved(lay.reserved)
             .with_topology(cfg.topology.clone())
-            .with_faults(cfg.fault.clone()),
+            .with_faults(cfg.fault.clone())
+            .with_fabric(cfg.fabric),
     );
     if let Some(init) = program.init {
         init(&mut machine);
@@ -375,6 +376,114 @@ mod tests {
         assert_eq!(a.elapsed, b.elapsed);
         assert_eq!(a.stats.steals_ok, b.stats.steals_ok);
         assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn pipelined_fabric_is_correct_all_policies() {
+        use dcs_sim::FabricMode;
+        for policy in Policy::ALL {
+            for workers in [1, 4] {
+                let cfg = RunConfig::new(workers, policy)
+                    .with_profile(profiles::test_profile())
+                    .with_seg_bytes(64 << 20)
+                    .with_fabric(FabricMode::Pipelined);
+                let r = run(cfg, Program::new(fib, 12u64));
+                assert_eq!(
+                    r.result.as_u64(),
+                    fib_serial(12),
+                    "{policy:?} workers={workers}"
+                );
+                if let Some(wd) = r.watchdog {
+                    assert!(wd.is_clean(), "{policy:?}: {wd}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_fabric_overlaps_and_wins_on_real_latencies() {
+        use dcs_sim::FabricMode;
+        let cfg = |mode| {
+            RunConfig::new(4, Policy::ContGreedy)
+                .with_profile(profiles::itoa())
+                .with_seg_bytes(64 << 20)
+                .with_fabric(mode)
+        };
+        let blk = run(cfg(FabricMode::Blocking), Program::new(fib, 14u64));
+        let pip = run(cfg(FabricMode::Pipelined), Program::new(fib, 14u64));
+        assert_eq!(blk.result, pip.result);
+        assert!(pip.stats.steals_ok > 0, "need steals to exercise overlap");
+        // The thief posts the lock-release put and the stack copy get
+        // concurrently; retiring them under one wait must show up both in
+        // the queue depth and in virtual time.
+        assert!(
+            pip.fabric.max_inflight >= 2,
+            "pipelined steals must hold >1 verb in flight, got {}",
+            pip.fabric.max_inflight
+        );
+        assert_eq!(blk.fabric.max_inflight, 1, "blocking never overlaps");
+        assert_eq!(blk.fabric.cq_polls, 0, "blocking wrappers never poll");
+        assert!(
+            pip.stats.avg_steal_latency() < blk.stats.avg_steal_latency(),
+            "overlap must shorten steals: pipelined {:?} vs blocking {:?}",
+            pip.stats.avg_steal_latency(),
+            blk.stats.avg_steal_latency()
+        );
+    }
+
+    #[test]
+    fn pipelined_fabric_is_deterministic() {
+        use dcs_sim::FabricMode;
+        let go = || {
+            let cfg = RunConfig::new(4, Policy::ChildRtc)
+                .with_profile(profiles::test_profile())
+                .with_seg_bytes(64 << 20)
+                .with_fabric(FabricMode::Pipelined);
+            run(cfg, Program::new(fib, 13u64))
+        };
+        let (a, b) = (go(), go());
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.stats.steals_ok, b.stats.steals_ok);
+        assert_eq!(a.fabric, b.fabric);
+    }
+
+    #[test]
+    fn pipelined_fib_correct_under_transient_faults_all_policies() {
+        use dcs_sim::{FabricMode, FaultPlan};
+        for policy in Policy::ALL {
+            let cfg = RunConfig::new(4, policy)
+                .with_profile(profiles::test_profile())
+                .with_seg_bytes(64 << 20)
+                .with_fabric(FabricMode::Pipelined)
+                .with_fault_plan(FaultPlan::transient(0.02, 7));
+            let r = run(cfg, Program::new(fib, 12u64));
+            assert_eq!(r.result.as_u64(), fib_serial(12), "{policy:?}");
+            let wd = r.watchdog.expect("watchdog on by default");
+            assert!(wd.is_clean(), "{policy:?}: {wd}");
+        }
+    }
+
+    #[test]
+    fn pipelined_child_rtc_recovers_from_fail_stop_kill() {
+        use dcs_sim::{FabricMode, FaultPlan};
+        let healthy = run(
+            kill_cfg(Policy::ChildRtc, FaultPlan::none()).with_fabric(FabricMode::Pipelined),
+            Program::new(fib, 14u64),
+        );
+        let want = fib_serial(14);
+        // Same early/mid/late kill sweep as the blocking variant: a kill can
+        // land between a steal's post and its reap, which must not lose the
+        // in-flight child (the lineage record is written at post time).
+        for frac in [4u64, 2, 1] {
+            let t = healthy.elapsed / (frac + 1) * frac / 2;
+            let cfg = kill_cfg(Policy::ChildRtc, FaultPlan::none().with_kill(2, t))
+                .with_fabric(FabricMode::Pipelined);
+            let r = run(cfg, Program::new(fib, 14u64));
+            assert_eq!(r.outcome, RunOutcome::Complete, "kill at {t}");
+            assert_eq!(r.result.as_u64(), want, "kill at {t}");
+            assert_eq!(r.stats.workers_lost, 1, "kill at {t}");
+        }
     }
 
     #[test]

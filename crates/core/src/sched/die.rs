@@ -60,7 +60,6 @@ impl Worker {
             }
         };
 
-        cost += self.put_retval(world, e, v.clone());
         world.rt.stats.note_die(e.entry.to_u64(), now);
         let mut th = self.cur.take().expect("die without thread");
         self.retire_thread(world, &mut th);
@@ -80,7 +79,7 @@ impl Worker {
                     e.entry.rank as usize, self.me,
                     "work-first pop implies the entry is local"
                 );
-                cost += world.m.put_u64(self.me, e.entry.field(E_FLAG), 1);
+                cost += self.publish_retval_and_flag(world, e, v, 1, now + cost);
                 world.rt.stats.die_fast += 1;
                 // The parent's stack is directly below the dying child's in
                 // the uni-address region: resuming it "in the same way as an
@@ -92,7 +91,7 @@ impl Worker {
                 return Ok(cost);
             }
             // Slow path: race on the flag (Fig. 4 l. 33).
-            let (old, c) = world.m.fetch_add_u64(self.me, e.entry.field(E_FLAG), 1);
+            let (old, c) = self.publish_retval_and_faa(world, e, v.clone(), 1, now + cost);
             cost += c;
             if old == 0 {
                 // Won: the joiner has not suspended yet (or not arrived);
@@ -115,7 +114,7 @@ impl Worker {
             if parent.is_some() {
                 world.rt.stats.die_fast += 1;
             }
-            let c2 = self.die_multi(now, world, e, v, parent);
+            let c2 = self.die_multi(now, world, e, v, parent, now + cost);
             Ok(cost + c2)
         }
     }
@@ -177,9 +176,10 @@ impl Worker {
         self.free_entry_here(world, e)
     }
 
-    /// §V-D multi-consumer producer: publish DONE, resume one thread here
-    /// (the work-first popped parent when available, else the first waiter),
-    /// push the rest into the local deque as ready continuations.
+    /// §V-D multi-consumer producer: publish retval + DONE, resume one
+    /// thread here (the work-first popped parent when available, else the
+    /// first waiter), push the rest into the local deque as ready
+    /// continuations. `at` is the caller's absolute instant on entry.
     pub(crate) fn die_multi(
         &mut self,
         now: VTime,
@@ -187,13 +187,17 @@ impl Worker {
         e: ThreadHandle,
         v: Value,
         parent: Option<VThread>,
+        at: VTime,
     ) -> VTime {
-        let (old, mut cost) = world
-            .m
-            .fetch_add_u64(self.me, e.entry.field(E_FLAG), DONE_BIT);
+        let (old, mut cost) =
+            self.publish_retval_and_faa(world, e, v.clone(), DONE_BIT, at);
         let waiters = (old & (DONE_BIT - 1)) as u32;
         debug_assert!(waiters <= e.consumers);
         let mut resumed: Vec<VThread> = Vec::with_capacity(waiters as usize);
+        // Pipelined: the per-waiter stack copies are independent payloads
+        // from distinct saved contexts — collect them and post the whole
+        // sweep under one fence instead of paying each round trip serially.
+        let mut sweep: Vec<(usize, usize)> = Vec::new();
         if waiters > 0 {
             // One bulk get covers the ctxloc slot array.
             cost += world
@@ -208,7 +212,11 @@ impl Worker {
                 if self.scheme == AddressScheme::Uni && th.home.is_some() {
                     world.rt.per[saved.owner].evac.restore(saved.stack_bytes as u64);
                 }
-                cost += world.m.get_bulk(self.me, saved.owner, saved.stack_bytes);
+                if self.fabric == FabricMode::Pipelined {
+                    sweep.push((saved.owner, saved.stack_bytes));
+                } else {
+                    cost += world.m.get_bulk(self.me, saved.owner, saved.stack_bytes);
+                }
                 cost += free_robj(
                     &mut world.m,
                     &mut world.rt.per[saved.owner],
@@ -238,6 +246,17 @@ impl Worker {
             cost += c2;
             if c_old + waiters as u64 == e.consumers as u64 {
                 cost += self.free_entry_here(world, e);
+            }
+            if !sweep.is_empty() {
+                // Post the batched stack copies only after all blocking
+                // traffic to the saved owners (free_robj above) is done, so
+                // the in-order clamp never penalises a blocking wrapper.
+                let post_at = at + cost;
+                for &(owner, bytes) in &sweep {
+                    world.m.post_get_bulk(self.me, owner, bytes, post_at);
+                }
+                let fin = world.m.fence(self.me, post_at);
+                cost += fin.saturating_sub(post_at);
             }
         }
         // Resume one immediately (greedy), enqueue the rest as stealable
@@ -302,11 +321,8 @@ impl Worker {
                 (None, d.cost)
             }
         };
-        cost += self.put_retval(world, e, v);
         let flag_val = if e.consumers == 1 { 1 } else { DONE_BIT };
-        cost += world
-            .m
-            .put_u64(self.me, e.entry.field(E_FLAG), flag_val);
+        cost += self.publish_retval_and_flag(world, e, v, flag_val, now + cost);
         world.rt.stats.note_die(e.entry.to_u64(), now);
         let mut th = self.cur.take().expect("die without thread");
         self.retire_thread(world, &mut th);
@@ -349,11 +365,8 @@ impl Worker {
             // re-creates this task against a fresh entry.
             cost = c_dead;
         } else {
-            cost = self.put_retval(world, e, v);
             let flag_val = if e.consumers == 1 { 1 } else { DONE_BIT };
-            cost += world
-                .m
-                .put_u64(self.me, e.entry.field(E_FLAG), flag_val);
+            cost = self.publish_retval_and_flag(world, e, v, flag_val, now);
         }
         world.rt.stats.note_die(e.entry.to_u64(), now);
         let mut th = self.cur.take().expect("die without thread");

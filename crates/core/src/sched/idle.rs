@@ -353,12 +353,24 @@ impl Worker {
         item: QueueItem,
         steal: Option<(WorkerId, VTime, VTime, usize)>,
     ) -> VTime {
-        let mut cost = VTime::ZERO;
-        let mut copy_cost = VTime::ZERO;
-        if let Some((victim, _, _, size)) = steal {
-            copy_cost = world.m.get_bulk(self.me, victim, size);
-            cost += copy_cost;
-        }
+        let copy = steal.map(|(victim, _, _, size)| world.m.get_bulk(self.me, victim, size));
+        self.adopt_inner(now, world, item, steal, copy, true)
+    }
+
+    /// [`Self::adopt_item`] body, shared with the pipelined reap path where
+    /// the payload `get_bulk` was already posted (so `copy_cost` is known
+    /// and must not be charged again).
+    fn adopt_inner(
+        &mut self,
+        now: VTime,
+        world: &mut World,
+        item: QueueItem,
+        steal: Option<(WorkerId, VTime, VTime, usize)>,
+        copy: Option<VTime>,
+        charge_copy: bool,
+    ) -> VTime {
+        let copy_cost = copy.unwrap_or(VTime::ZERO);
+        let mut cost = if charge_copy { copy_cost } else { VTime::ZERO };
         match item {
             QueueItem::Cont { mut th, .. } => {
                 if let Some((victim, _, _, _)) = steal {
@@ -416,6 +428,9 @@ impl Worker {
                 return Step::Yield(c_dead + c_wait);
             }
         }
+        if self.fabric == FabricMode::Pipelined {
+            return self.step_steal_take_pipelined(now, world, victim, t0);
+        }
         let took = {
             let (_me_ws, victim_ws) = world.rt.two(self.me, victim);
             thief_take(&mut world.m, &mut victim_ws.items, &self.lay, self.me, victim)
@@ -466,6 +481,124 @@ impl Worker {
                 Step::Yield(cost + c2)
             }
         }
+    }
+
+    /// Pipelined fabric: steps 2–3 of the steal, with the deque-top update,
+    /// the lock release and the payload transfer *posted* concurrently
+    /// instead of serialized. The item is removed from the victim's slab
+    /// here (the take linearizes now); the completions are reaped next step
+    /// in [`Self::step_steal_reap`]. Failure paths (empty deque, dead slot)
+    /// have nothing to overlap and charge exactly what blocking mode does.
+    fn step_steal_take_pipelined(
+        &mut self,
+        now: VTime,
+        world: &mut World,
+        victim: WorkerId,
+        t0: VTime,
+    ) -> Step {
+        let took = {
+            let (_me_ws, victim_ws) = world.rt.two(self.me, victim);
+            thief_take_no_release(&mut world.m, &mut victim_ws.items, &self.lay, self.me, victim)
+        };
+        let lock = GlobalAddr::new(victim, self.lay.dq_word(DQ_LOCK));
+        match took {
+            Err(mut d) => {
+                d.cost += thief_release_lock(&mut world.m, &self.lay, self.me, victim);
+                let faults = world.m.take_faults(self.me);
+                self.note_victim_faults(victim, faults, now);
+                self.state = WState::Idle;
+                self.deque_violation(world, victim, &d);
+                world.rt.stats.steal_failed();
+                self.fail_streak += 1;
+                let c_wait = self.poll_blocked(now, world);
+                Step::Yield(d.cost + c_wait)
+            }
+            Ok((None, mut cost)) => {
+                cost += world.m.post_put_u64_unsignaled(self.me, lock, 0);
+                let faults = world.m.take_faults(self.me);
+                self.note_victim_faults(victim, faults, now);
+                self.state = WState::Idle;
+                world.rt.stats.steal_failed();
+                self.fail_streak += 1;
+                let c_wait = self.poll_blocked(now, world);
+                Step::Yield(cost + c_wait)
+            }
+            Ok((Some((item, size, top)), cost)) => {
+                // The advance rides the release's packet window (adjacent
+                // words), exactly as in blocking mode; release put and
+                // payload get are posted back to back and overlap. Same-QP
+                // in-order retirement guarantees any later thief that wins
+                // the freed lock also observes the advanced bounds.
+                thief_advance_top(&mut world.m, &self.lay, self.me, victim, top + 1);
+                let posted_at = now + cost;
+                let h_release = world.m.post_put_u64(self.me, lock, 0, posted_at);
+                let h_copy = world.m.post_get_bulk(self.me, victim, size, posted_at);
+                let faults = world.m.take_faults(self.me);
+                self.note_victim_faults(victim, faults, now);
+                // Lineage must be recorded before the window opens: if we
+                // die between post and reap, the confirmer replays from it.
+                let rec = match (&item, self.kills && self.policy == Policy::ChildRtc) {
+                    (QueueItem::Child { f, arg, handle }, true) => {
+                        let idx = world.rt.lineage[self.me].len();
+                        world.rt.lineage[self.me].push(StolenChild {
+                            f: *f,
+                            arg: arg.clone(),
+                            handle: *handle,
+                            done: false,
+                        });
+                        Some((self.me, idx))
+                    }
+                    _ => None,
+                };
+                self.pending_steal = Some(PendingSteal {
+                    item,
+                    size,
+                    t0,
+                    h_release,
+                    h_copy,
+                    posted_at,
+                    rec,
+                });
+                self.state = WState::StealReap { victim };
+                Step::Yield(cost)
+            }
+        }
+    }
+
+    /// Pipelined fabric: reap the posted release + payload completions and
+    /// adopt the stolen item. Runs one engine step after the take, so the
+    /// schedule explorer can interleave other workers between the post
+    /// instant and the completion instant.
+    pub(crate) fn step_steal_reap(&mut self, now: VTime, world: &mut World, victim: WorkerId) -> Step {
+        let ps = self.pending_steal.take().expect("reap without a pending steal");
+        // Even if the victim has died meanwhile the steal commits: the item
+        // left its slab at take time and every verb was already posted (and
+        // charged) before the death could be observed.
+        let (_, rel_fin) = world.m.wait(self.me, ps.h_release);
+        let (_, copy_fin) = world.m.wait(self.me, ps.h_copy);
+        let fin = rel_fin.max(copy_fin);
+        let cost = fin.saturating_sub(now);
+        let copy_cost = copy_fin.saturating_sub(ps.posted_at);
+        self.state = WState::Idle;
+        self.fail_streak = 0;
+        // `pre_cost = 0`: everything before this step was charged by the
+        // take step (`now` already includes it), so the recorded latency is
+        // `(now - t0) + copy_cost = fence_instant - t0` — the overlapped
+        // analogue of the blocking path's serial sum.
+        let c2 = self.adopt_inner(
+            now,
+            world,
+            ps.item,
+            Some((victim, ps.t0, VTime::ZERO, ps.size)),
+            Some(copy_cost),
+            false,
+        );
+        if ps.rec.is_some() {
+            if let Some(th) = self.cur.as_mut() {
+                th.replay_rec = ps.rec;
+            }
+        }
+        Step::Yield(cost + c2)
     }
 
     /// End-of-run consistency checks.

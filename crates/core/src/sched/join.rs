@@ -87,11 +87,27 @@ impl Worker {
         cost += world.m.ctx_switch(self.me);
 
         if h.consumers == 1 {
-            // put E.ctxloc ← C, then race (Fig. 4 l. 45–46).
-            cost += world
-                .m
-                .put_u64(self.me, h.entry.field(E_CTXLOC), c_addr.to_u64());
-            let (old, c1) = world.m.fetch_add_u64(self.me, h.entry.field(E_FLAG), 1);
+            // put E.ctxloc ← C, then race (Fig. 4 l. 45–46). Both verbs hit
+            // the entry's rank, so Pipelined may post them together: the
+            // same-QP clamp keeps the ctxloc visible before the AMO lands,
+            // which is all the producer's loser path needs.
+            let (old, c1) = if self.fabric == FabricMode::Pipelined {
+                let at = now + cost;
+                let h_ctx =
+                    world
+                        .m
+                        .post_put_u64(self.me, h.entry.field(E_CTXLOC), c_addr.to_u64(), at);
+                let h_faa = world.m.post_fetch_add_u64(self.me, h.entry.field(E_FLAG), 1, at);
+                let (_, f1) = world.m.wait(self.me, h_ctx);
+                let (old, f2) = world.m.wait(self.me, h_faa);
+                (old, f1.max(f2).saturating_sub(at))
+            } else {
+                let c0 = world
+                    .m
+                    .put_u64(self.me, h.entry.field(E_CTXLOC), c_addr.to_u64());
+                let (old, c1) = world.m.fetch_add_u64(self.me, h.entry.field(E_FLAG), 1);
+                (old, c0 + c1)
+            };
             cost += c1;
             if old == 0 {
                 // Won: stay suspended; the producer will resume us.

@@ -38,10 +38,11 @@
 
 use std::collections::VecDeque;
 
-use dcs_sim::{Actor, GlobalAddr, Machine, SimRng, Step, VTime, WorkerId};
+use dcs_sim::{Actor, FabricMode, GlobalAddr, Machine, SimRng, Step, VTime, VerbHandle, WorkerId};
 
 use crate::deque::{
-    owner_pop, owner_pop_parent, owner_push, thief_lock, thief_take, Busy, DeadSlot, DequeError,
+    owner_pop, owner_pop_parent, owner_push, thief_advance_top, thief_lock, thief_release_lock,
+    thief_take, thief_take_no_release, Busy, DeadSlot, DequeError,
 };
 use crate::entry::{
     alloc_entry, alloc_saved_ctx, free_entry, read_saved_ctx, DONE_BIT, EM_CONSUMED, EM_CTX0,
@@ -72,6 +73,30 @@ pub(crate) enum WState {
     Idle,
     /// Holding `victim`'s deque lock; complete the steal this step.
     StealTake { victim: WorkerId, t0: VTime },
+    /// Pipelined fabric only: the take succeeded last step and the
+    /// deque-top update, lock release and payload transfer are posted but
+    /// not yet fenced. Reap the completions and adopt the item this step.
+    /// The extra engine step is the checker-visible window between *post*
+    /// and *completion*: the victim can already observe its lock released
+    /// while the thief has not yet adopted the stolen item.
+    StealReap { victim: WorkerId },
+}
+
+/// A steal mid-flight under [`FabricMode::Pipelined`]: the item has left the
+/// victim's slab; the overlapped verbs are posted, completions pending.
+pub(crate) struct PendingSteal {
+    item: QueueItem,
+    size: usize,
+    /// When the steal began (lock-CAS step start), for latency accounting.
+    t0: VTime,
+    /// Lock-release put, posted concurrently with the payload transfer.
+    h_release: VerbHandle,
+    /// Stack / descriptor `get_bulk`, posted at the same instant.
+    h_copy: VerbHandle,
+    /// Absolute post instant of the overlapped pair.
+    posted_at: VTime,
+    /// Steal-lineage record created at take time (kill plans only).
+    rec: Option<(WorkerId, usize)>,
 }
 
 /// A thread suspended in the local wait queue (stalling strategies).
@@ -117,8 +142,12 @@ pub struct Worker {
     /// Per-victim misbehaviour scores (allocated lazily on the first
     /// observed fabric fault, so healthy runs never touch it).
     blacklist: Option<Box<Blacklist>>,
+    /// How this run drives the fabric (from [`crate::policy::RunConfig`]).
+    fabric: FabricMode,
     state: WState,
     cur: Option<VThread>,
+    /// Steal awaiting its completions (`WState::StealReap` only).
+    pending_steal: Option<PendingSteal>,
     pending: Option<PendingOp>,
     wait_q: VecDeque<Waiting>,
     nest: Vec<Nested>,
@@ -195,8 +224,10 @@ impl Worker {
             scheme,
             victim_policy,
             fail_streak: 0,
+            fabric: world.rt.cfg.fabric,
             state: if busy { WState::Run } else { WState::Idle },
             cur,
+            pending_steal: None,
             pending: None,
             wait_q: VecDeque::new(),
             nest: Vec::new(),
@@ -239,6 +270,81 @@ impl Worker {
             .retvals
             .insert(e.entry.to_u64(), StoredVal { v, size: size as u32 });
         world.m.put_bulk(self.me, e.entry.rank as usize, size)
+    }
+
+    /// Posted-verb analogue of [`Self::put_retval`]: park the value and post
+    /// the wire put at `at`, returning the handle instead of blocking.
+    pub(crate) fn post_retval(
+        &mut self,
+        world: &mut World,
+        e: ThreadHandle,
+        v: Value,
+        at: VTime,
+    ) -> VerbHandle {
+        let size = v.wire_size();
+        world
+            .rt
+            .retvals
+            .insert(e.entry.to_u64(), StoredVal { v, size: size as u32 });
+        world.m.post_put_bulk(self.me, e.entry.rank as usize, size, at)
+    }
+
+    /// Publish a completion record: park + put the retval, then write the
+    /// join flag. Blocking charges the two verbs serially; Pipelined posts
+    /// them back-to-back and retires both under one wait. Both verbs target
+    /// the entry's rank, so same-QP in-order retirement keeps the value
+    /// visible before the flag — the publication order Fig. 3/4 rely on.
+    /// `at` is the issuer's absolute virtual instant; returns the added cost.
+    pub(crate) fn publish_retval_and_flag(
+        &mut self,
+        world: &mut World,
+        e: ThreadHandle,
+        v: Value,
+        flag_val: u64,
+        at: VTime,
+    ) -> VTime {
+        if self.fabric == FabricMode::Pipelined {
+            let h_rv = self.post_retval(world, e, v, at);
+            let h_flag = world
+                .m
+                .post_put_u64(self.me, e.entry.field(E_FLAG), flag_val, at);
+            let (_, f1) = world.m.wait(self.me, h_rv);
+            let (_, f2) = world.m.wait(self.me, h_flag);
+            f1.max(f2).saturating_sub(at)
+        } else {
+            let mut c = self.put_retval(world, e, v);
+            c += world.m.put_u64(self.me, e.entry.field(E_FLAG), flag_val);
+            c
+        }
+    }
+
+    /// As [`Self::publish_retval_and_flag`], but the flag op is the greedy
+    /// race's fetch-add (Fig. 4 l. 33): returns `(old flag, added cost)`.
+    /// Legal to overlap for the same reason — the AMO cannot retire before
+    /// the retval put on the same QP, so a racing joiner that observes the
+    /// incremented flag is guaranteed to find the value.
+    pub(crate) fn publish_retval_and_faa(
+        &mut self,
+        world: &mut World,
+        e: ThreadHandle,
+        v: Value,
+        add: u64,
+        at: VTime,
+    ) -> (u64, VTime) {
+        if self.fabric == FabricMode::Pipelined {
+            let h_rv = self.post_retval(world, e, v, at);
+            let h_faa = world
+                .m
+                .post_fetch_add_u64(self.me, e.entry.field(E_FLAG), add, at);
+            let (_, f1) = world.m.wait(self.me, h_rv);
+            let (old, f2) = world.m.wait(self.me, h_faa);
+            (old, f1.max(f2).saturating_sub(at))
+        } else {
+            let mut c = self.put_retval(world, e, v);
+            let (old, c1) = world.m.fetch_add_u64(self.me, e.entry.field(E_FLAG), add);
+            c += c1;
+            (old, c)
+        }
     }
 
     /// Fetch a return value from entry `e`. Single-consumer entries hand the
@@ -404,6 +510,13 @@ impl Worker {
         }
         tids.extend(self.wait_q.iter().map(|w| w.th.tid));
         tids.extend(self.nest.iter().map(|x| x.th.tid));
+        if let Some(ps) = &self.pending_steal {
+            // A pipelined steal caught mid-flight dies with us; child
+            // descriptors were lineage-recorded at take time and replay.
+            if let QueueItem::Cont { th, .. } = &ps.item {
+                tids.push(th.tid);
+            }
+        }
         for (_, item) in world.rt.per[self.me].items.iter() {
             if let QueueItem::Cont { th, .. } = item {
                 tids.push(th.tid);
@@ -486,6 +599,7 @@ impl Actor<World> for Worker {
             WState::Run => self.step_run(now, world),
             WState::Idle => self.step_idle(now, world),
             WState::StealTake { victim, t0 } => self.step_steal_take(now, world, victim, t0),
+            WState::StealReap { victim } => self.step_steal_reap(now, world, victim),
         }
     }
 }

@@ -9,9 +9,13 @@
 //!
 //! * every worker is a simulated **process** with its own pinned memory
 //!   [`Segment`] — a worker can touch remote memory *only* through one-sided
-//!   verbs ([`Machine::get_u64`], [`Machine::put_u64`],
-//!   [`Machine::fetch_add_u64`], [`Machine::cas_u64`], bulk
-//!   [`Machine::get_bulk`]/[`Machine::put_bulk`]),
+//!   verbs, which are *posted* ([`Machine::post_get_u64`],
+//!   [`Machine::post_put_u64`], [`Machine::post_fetch_add_u64`],
+//!   [`Machine::post_cas_u64`], bulk [`Machine::post_get_bulk`] /
+//!   [`Machine::post_put_bulk`]) and reaped from a per-worker completion
+//!   queue ([`Machine::wait`] / [`Machine::poll_cq`] / [`Machine::fence`]),
+//!   exactly like `ibv_post_send` / `ibv_poll_cq`; the blocking forms
+//!   ([`Machine::get_u64`] etc.) are `post + wait` wrappers,
 //! * each verb charges a calibrated latency ([`LatencyModel`], with presets for
 //!   both machines in [`profiles`]) to the issuing worker's **virtual clock**
 //!   and updates per-worker operation/byte counters ([`FabricStats`]),
@@ -38,7 +42,7 @@ pub mod topology;
 pub use engine::{Actor, Engine, ScheduleHook, Step};
 pub use fault::{CrashWindow, DegradeWindow, FaultPlan, KillEvent, MsgFate};
 pub use latency::{profiles, LatencyModel, MachineProfile};
-pub use machine::{FabricStats, Machine, MachineConfig};
+pub use machine::{Completion, FabricMode, FabricStats, Machine, MachineConfig, VerbHandle};
 pub use mailbox::Mailbox;
 pub use mem::{GlobalAddr, SegAlloc, Segment, WORD};
 pub use rng::SimRng;

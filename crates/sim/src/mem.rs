@@ -232,6 +232,10 @@ fn pool_put(mut buf: Vec<u64>, dirty_words: usize) {
 pub struct Segment {
     words: Vec<u64>,
     alloc: SegAlloc,
+    /// High-water mark (in words) of raw writes, which may land above the
+    /// allocator bump pointer (one-sided verbs need no local allocation).
+    /// Recycling must zero up to here, not just up to `bump`.
+    hw: usize,
 }
 
 impl Segment {
@@ -242,6 +246,7 @@ impl Segment {
         Segment {
             words: pool_take((cap_bytes / WORD) as usize),
             alloc: SegAlloc::new(cap_bytes, reserved),
+            hw: 0,
         }
     }
 
@@ -254,7 +259,11 @@ impl Segment {
     #[inline]
     pub fn write(&mut self, off: u32, v: u64) {
         debug_assert_eq!(off % WORD, 0);
-        self.words[(off / WORD) as usize] = v;
+        let idx = (off / WORD) as usize;
+        self.words[idx] = v;
+        if idx >= self.hw {
+            self.hw = idx + 1;
+        }
     }
 
     #[inline]
@@ -296,8 +305,10 @@ impl Segment {
 impl Drop for Segment {
     fn drop(&mut self) {
         let buf = std::mem::take(&mut self.words);
-        // Everything ever written sits below the allocator bump pointer.
-        pool_put(buf, (self.alloc.bump / WORD) as usize);
+        // Allocator-managed words sit below the bump pointer; raw verb
+        // writes may sit above it — zero out to whichever is higher.
+        let dirty = ((self.alloc.bump / WORD) as usize).max(self.hw);
+        pool_put(buf, dirty);
     }
 }
 

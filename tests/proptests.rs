@@ -224,6 +224,96 @@ proptest! {
         prop_assert_eq!(r.result.as_u64(), expected);
     }
 
+    /// The posted-verb refactor is conservative: for random verb sequences
+    /// (mixed kinds, issuers, targets, faults), the blocking wrappers are
+    /// bit-identical — in observed value, charged time, and FabricStats —
+    /// to (a) manual post-at-ZERO + wait and (b) posting at a running
+    /// absolute clock and charging `finish − now`. This is the contract
+    /// that lets FabricMode::Blocking keep every golden valid.
+    #[test]
+    fn blocking_equals_posted(
+        workers in 2usize..5,
+        fault_permille in 0u64..80,
+        fault_seed in 0u64..500,
+        ops in proptest::collection::vec(
+            (0u8..6, 0usize..4, 0u32..64, 1u64..1_000_000),
+            1..40,
+        ),
+    ) {
+        use dcs::sim::{FabricMode, GlobalAddr, Machine, MachineConfig};
+        let mk = || {
+            let mut cfg = MachineConfig::new(workers, profiles::itoa())
+                .with_seg_bytes(1 << 20)
+                .with_fabric(FabricMode::Pipelined);
+            if fault_permille > 0 {
+                cfg = cfg.with_faults(FaultPlan::transient(
+                    fault_permille as f64 / 1000.0,
+                    fault_seed,
+                ));
+            }
+            Machine::new(cfg)
+        };
+        let (mut blk, mut posted, mut clocked) = (mk(), mk(), mk());
+        let mut now = VTime::ZERO;
+        for &(kind, tgt, woff, val) in &ops {
+            let tgt = tgt % workers;
+            let me = (tgt + val as usize) % workers; // sometimes local, sometimes remote
+            let addr = GlobalAddr::new(tgt, 8 + woff * 8);
+            let len = (val % 4096) as usize + 8;
+
+            // Blocking wrapper: (value, cost). Puts and bulks carry no value.
+            let (v_b, c_b) = match kind {
+                0 => blk.get_u64(me, addr),
+                1 => (0, blk.put_u64(me, addr, val)),
+                2 => blk.fetch_add_u64(me, addr, val),
+                3 => blk.cas_u64(me, addr, val % 7, val),
+                4 => (0, blk.get_bulk(me, tgt, len)),
+                _ => (0, blk.put_bulk(me, tgt, len)),
+            };
+
+            // Manual post at VTime::ZERO + wait: finish IS the cost.
+            let h = match kind {
+                0 => posted.post_get_u64(me, addr, VTime::ZERO),
+                1 => posted.post_put_u64(me, addr, val, VTime::ZERO),
+                2 => posted.post_fetch_add_u64(me, addr, val, VTime::ZERO),
+                3 => posted.post_cas_u64(me, addr, val % 7, val, VTime::ZERO),
+                4 => posted.post_get_bulk(me, tgt, len, VTime::ZERO),
+                _ => posted.post_put_bulk(me, tgt, len, VTime::ZERO),
+            };
+            let (v_p, c_p) = posted.wait(me, h);
+            prop_assert_eq!(c_b, c_p, "cost diverged on kind {}", kind);
+            if matches!(kind, 0 | 2 | 3) {
+                prop_assert_eq!(v_b, v_p, "value diverged on kind {}", kind);
+            }
+
+            // Post at a running absolute clock: the relative charge
+            // `finish − now` must equal the blocking cost (empty CQ, so the
+            // same-QP clamp never engages).
+            let h = match kind {
+                0 => clocked.post_get_u64(me, addr, now),
+                1 => clocked.post_put_u64(me, addr, val, now),
+                2 => clocked.post_fetch_add_u64(me, addr, val, now),
+                3 => clocked.post_cas_u64(me, addr, val % 7, val, now),
+                4 => clocked.post_get_bulk(me, tgt, len, now),
+                _ => clocked.post_put_bulk(me, tgt, len, now),
+            };
+            let (v_c, fin) = clocked.wait(me, h);
+            prop_assert_eq!(fin.saturating_sub(now), c_b);
+            if matches!(kind, 0 | 2 | 3) {
+                prop_assert_eq!(v_b, v_c);
+            }
+            now = fin;
+        }
+        // Identical traffic ⇒ bit-identical per-worker fabric stats, and a
+        // serial issue pattern never overlaps: depth 1, no CQ polls.
+        for w in 0..workers {
+            prop_assert_eq!(blk.stats(w), posted.stats(w));
+            prop_assert_eq!(blk.stats(w), clocked.stats(w));
+            prop_assert!(blk.stats(w).max_inflight <= 1);
+            prop_assert_eq!(blk.stats(w).cq_polls, 0);
+        }
+    }
+
     /// Determinism: identical configuration ⇒ identical simulation.
     #[test]
     fn determinism(
