@@ -1,19 +1,24 @@
 //! Ablation — what fail-stop recovery costs, armed and firing.
 //!
-//! Two questions, answered for the child run-to-completion fork-join
-//! runtime and the one-sided bag-of-tasks runtime (the two that can
-//! re-execute lost work):
+//! Two questions, answered for every runtime that can re-execute lost
+//! work: the child run-to-completion fork-join runtime, both
+//! continuation-stealing runtimes (greedy and stalling, recoverable via
+//! the continuation-lineage log), and the one-sided bag-of-tasks runtime:
 //!
 //! 1. **Armed overhead.** With recovery armed (`recover=on`: steal-lineage
-//!    records, lease-registry reads, transfer counting) but no kill ever
-//!    firing, how much simulated time does the bookkeeping add over the
-//!    completely unarmed run? The acceptance bar is ≤ 2% — asserted here,
-//!    not just reported.
+//!    records, lease-registry reads, transfer counting, buddy header
+//!    mirroring for the cont policies) but no kill ever firing, how much
+//!    simulated time does the bookkeeping add over the completely unarmed
+//!    run? The acceptance bar is ≤ 2% for the child/BoT runtimes and
+//!    ≤ 3% for the continuation policies (which also pay the checkpoint
+//!    put on every steal) — asserted here, not just reported.
 //! 2. **Recovery latency.** With worker 1 fail-stopped at 25% / 50% / 75%
 //!    of the healthy makespan, how long does the run take to detect the
 //!    death (lease expiry), replay the lost subtrees, and still produce
 //!    the exact fault-free answer? Every killed run asserts the serial
-//!    node count — a kill may only cost time, never nodes.
+//!    node count — a kill may only cost time, never nodes. The paid
+//!    latency (killed elapsed minus the unarmed baseline) is reported as
+//!    its own column.
 
 use dcs_apps::uts::{self, presets};
 use dcs_bench::{mnodes, quick, sweep, workers_default, Csv};
@@ -29,7 +34,46 @@ const LEASE: VTime = VTime::us(50);
 #[derive(Clone, Copy, PartialEq)]
 enum Runtime {
     ChildRtc,
+    ContGreedy,
+    ContStalling,
     BotOnesided,
+}
+
+impl Runtime {
+    const ALL: [Runtime; 4] = [
+        Runtime::ChildRtc,
+        Runtime::ContGreedy,
+        Runtime::ContStalling,
+        Runtime::BotOnesided,
+    ];
+
+    fn name(&self) -> &'static str {
+        match self {
+            Runtime::ChildRtc => "child-rtc",
+            Runtime::ContGreedy => "cont-greedy",
+            Runtime::ContStalling => "cont-stalling",
+            Runtime::BotOnesided => "bot-onesided",
+        }
+    }
+
+    fn policy(&self) -> Option<Policy> {
+        match self {
+            Runtime::ChildRtc => Some(Policy::ChildRtc),
+            Runtime::ContGreedy => Some(Policy::ContGreedy),
+            Runtime::ContStalling => Some(Policy::ContStalling),
+            Runtime::BotOnesided => None,
+        }
+    }
+
+    /// Armed-but-idle slowdown budget. The continuation policies carry the
+    /// lineage log *and* the buddy checkpoint put per steal, so they get a
+    /// slightly wider (but still asserted) bar.
+    fn armed_budget(&self) -> f64 {
+        match self {
+            Runtime::ContGreedy | Runtime::ContStalling => 1.03,
+            _ => 1.02,
+        }
+    }
 }
 
 #[derive(Clone, Copy)]
@@ -89,50 +133,60 @@ fn main() {
 
     // Healthy baselines first: kill times are fractions of these, so the
     // sweep is deterministic for any --jobs value.
-    let rtc_cfg = |plan: FaultPlan| {
-        RunConfig::new(p, Policy::ChildRtc)
+    let cfg = |policy: Policy, plan: FaultPlan| {
+        RunConfig::new(p, policy)
             .with_profile(profile.clone())
             .with_seg_bytes(64 << 20)
             .with_fault_plan(plan)
     };
-    let rtc_healthy = run(rtc_cfg(FaultPlan::none()), uts::program(spec.clone())).elapsed;
-    let bot_healthy = onesided::run_uts_faulty(
-        &spec,
-        p,
-        profile.clone(),
-        1,
-        onesided::StealAmount::Half,
-        FaultPlan::none(),
-    )
-    .elapsed;
+    let healthy: Vec<VTime> = Runtime::ALL
+        .iter()
+        .map(|rt| match rt.policy() {
+            Some(policy) => run(cfg(policy, FaultPlan::none()), uts::program(spec.clone())).elapsed,
+            None => {
+                onesided::run_uts_faulty(
+                    &spec,
+                    p,
+                    profile.clone(),
+                    1,
+                    onesided::StealAmount::Half,
+                    FaultPlan::none(),
+                )
+                .elapsed
+            }
+        })
+        .collect();
 
-    let mut cells: Vec<(Runtime, usize)> = Vec::new();
-    for rt in [Runtime::ChildRtc, Runtime::BotOnesided] {
+    let mut cells: Vec<(usize, usize)> = Vec::new();
+    for ri in 0..Runtime::ALL.len() {
         for si in 0..scenarios.len() {
-            cells.push((rt, si));
+            cells.push((ri, si));
         }
     }
-    let results: Vec<Cell> = sweep::run_matrix(&cells, jobs, |_, &(rt, si)| {
+    let results: Vec<Cell> = sweep::run_matrix(&cells, jobs, |_, &(ri, si)| {
+        let rt = Runtime::ALL[ri];
         let sc = scenarios[si];
-        match rt {
-            Runtime::ChildRtc => {
-                let plan = sc.plan(rtc_healthy);
-                let r = run(rtc_cfg(plan), uts::program(spec.clone()));
+        match rt.policy() {
+            Some(policy) => {
+                let plan = sc.plan(healthy[ri]);
+                let r = run(cfg(policy, plan), uts::program(spec.clone()));
                 assert!(
                     r.outcome.is_complete(),
-                    "ChildRtc {}: losing worker 1 is recoverable",
+                    "{} {}: losing worker 1 is recoverable",
+                    rt.name(),
                     sc.label()
                 );
                 assert_eq!(
                     r.result.as_u64(),
                     info.nodes,
-                    "ChildRtc {}: node count must survive the kill",
+                    "{} {}: node count must survive the kill",
+                    rt.name(),
                     sc.label()
                 );
                 (r.elapsed, r.stats.tasks_lost, r.stats.tasks_replayed)
             }
-            Runtime::BotOnesided => {
-                let plan = sc.plan(bot_healthy);
+            None => {
+                let plan = sc.plan(healthy[ri]);
                 let r = onesided::run_uts_faulty(
                     &spec,
                     p,
@@ -154,19 +208,16 @@ fn main() {
 
     let mut csv = Csv::create(
         "ablate_recovery",
-        "runtime,scenario,p,elapsed_ns,throughput_mnodes_s,tasks_lost,tasks_replayed,slowdown",
+        "runtime,scenario,p,elapsed_ns,throughput_mnodes_s,tasks_lost,tasks_replayed,slowdown,recovery_ns",
     );
     println!(
-        "{:<14} {:>9} {:>12} {:>10} {:>10} {:>10} {:>9}",
-        "runtime", "scenario", "elapsed", "thr(Mn/s)", "lost", "replayed", "slowdown"
+        "{:<14} {:>9} {:>12} {:>10} {:>10} {:>10} {:>9} {:>12}",
+        "runtime", "scenario", "elapsed", "thr(Mn/s)", "lost", "replayed", "slowdown", "recovery"
     );
 
     let mut next = 0usize;
-    for rt in [Runtime::ChildRtc, Runtime::BotOnesided] {
-        let name = match rt {
-            Runtime::ChildRtc => "child-rtc",
-            Runtime::BotOnesided => "bot-onesided",
-        };
+    for rt in Runtime::ALL {
+        let name = rt.name();
         let mut baseline: Option<f64> = None;
         for sc in &scenarios {
             let (elapsed, lost, replayed) = results[next];
@@ -175,23 +226,34 @@ fn main() {
             let slowdown = t / *baseline.get_or_insert(t);
             if matches!(sc, Scenario::Armed) {
                 // The acceptance bar: arming the machinery without a kill
-                // costs at most 2% simulated time.
+                // costs at most 2% (3% for cont policies) simulated time.
+                let budget = rt.armed_budget();
                 assert!(
-                    slowdown <= 1.02,
-                    "{name}: armed-but-idle recovery costs {:.2}% (> 2% budget)",
-                    (slowdown - 1.0) * 100.0
+                    slowdown <= budget,
+                    "{name}: armed-but-idle recovery costs {:.2}% (> {:.0}% budget)",
+                    (slowdown - 1.0) * 100.0,
+                    (budget - 1.0) * 100.0
                 );
             }
+            // Recovery latency actually paid: detection (lease expiry) +
+            // replay, over the unarmed baseline of the same runtime.
+            let recovery = match sc {
+                Scenario::KillAt(_) => {
+                    VTime::ns(elapsed.as_ns().saturating_sub(baseline.unwrap() as u64))
+                }
+                _ => VTime::ZERO,
+            };
             let tp = mnodes(info.nodes, elapsed);
             println!(
-                "{:<14} {:>9} {:>12} {:>10.2} {:>10} {:>10} {:>8.2}x",
+                "{:<14} {:>9} {:>12} {:>10.2} {:>10} {:>10} {:>8.2}x {:>12}",
                 name,
                 sc.label(),
                 elapsed.to_string(),
                 tp,
                 lost,
                 replayed,
-                slowdown
+                slowdown,
+                if recovery == VTime::ZERO { "-".into() } else { recovery.to_string() },
             );
             csv.row(&[
                 &name,
@@ -202,13 +264,14 @@ fn main() {
                 &lost,
                 &replayed,
                 &format!("{slowdown:.3}"),
+                &recovery.as_ns(),
             ]);
         }
     }
     assert_eq!(next, results.len(), "render walked the whole matrix");
 
     println!("\nCSV written to {}", csv.path());
-    println!("Expected shape: armed == unarmed to within noise (the ≤2% assert);");
+    println!("Expected shape: armed == unarmed to within noise (the ≤2%/≤3% assert);");
     println!("killed runs pay roughly lease expiry + lost-subtree re-execution,");
     println!("growing with how late the kill lands — and never lose a node.");
 }

@@ -524,18 +524,30 @@ fn runtime_scenario(
 // Fail-stop crash scenarios
 // ---------------------------------------------------------------------------
 
-/// Crash-recovery oracle: a ChildRtc run that loses a (non-zero) worker
-/// mid-run must still produce the exact fault-free answer under EVERY
-/// schedule — steal-lineage replay plus completion-marking dedup means
-/// at-least-once execution with exactly-once effects. Leak violations are
-/// expected (entries on the dead segment can never be freed) and filtered;
-/// anything else the watchdog reports is a finding.
-fn crash_recovery_scenario(workers: usize, seed: u64) -> Scenario {
+/// Crash-recovery oracle: a run that loses a worker mid-run must still
+/// produce the exact fault-free answer under EVERY schedule —
+/// continuation-lineage replay plus done-flag dedup means at-least-once
+/// execution with exactly-once effects. Covers every recoverable policy:
+/// ChildRtc replays stolen child descriptors; the continuation policies
+/// replay forked continuation frames and repair the ContGreedy FAA race /
+/// ContStalling wait queues through the buddy mirror; killing worker 0
+/// additionally exercises root re-election. Leak violations are expected
+/// (entries on the dead segment can never be freed, and orphaned duplicate
+/// subtrees are tolerated-but-leaky) and filtered; anything else the
+/// watchdog reports is a finding.
+fn crash_recovery_scenario(
+    name: &str,
+    workers: usize,
+    seed: u64,
+    policy: Policy,
+    victim: usize,
+) -> Scenario {
     use dcs_core::RunOutcome;
+    let name_owned = name.to_string();
     let runner = move |hook: &mut dyn ScheduleHook| -> Vec<String> {
-        let mut plan = dcs_sim::FaultPlan::none().with_kill(workers - 1, VTime::ns(100));
+        let mut plan = dcs_sim::FaultPlan::none().with_kill(victim, VTime::ns(100));
         plan.lease = VTime::us(5); // keep death confirmation inside the run
-        let cfg = RunConfig::new(workers, Policy::ChildRtc)
+        let cfg = RunConfig::new(workers, policy)
             .with_profile(profiles::test_profile())
             .with_watchdog(true)
             .with_strict(false)
@@ -567,23 +579,25 @@ fn crash_recovery_scenario(workers: usize, seed: u64) -> Scenario {
         violations
     };
     Scenario {
-        name: "crash-recovery".to_string(),
+        name: name_owned,
         workers,
         expect_violation: false,
         runner: Box::new(runner),
     }
 }
 
-/// Crash-abort oracle: continuation stealing cannot replay a lost stack, so
-/// a kill that fires mid-run must end in a typed `Unrecoverable` outcome
-/// naming the lost worker — never a silent wrong answer or a wedged run
-/// (a wedge surfaces as a missing root result, which panics and is caught).
+/// Crash-abort oracle: ChildFull is the one policy whose lost state (full
+/// private stacks of suspendable tied threads) genuinely cannot be replayed
+/// or mirrored, so a kill that fires mid-run must end in a typed
+/// `Unrecoverable` outcome naming the lost worker with the `FullStacks`
+/// reason — never a silent wrong answer or a wedged run (a wedge surfaces
+/// as a missing root result, which panics and is caught).
 fn crash_abort_scenario(workers: usize, seed: u64) -> Scenario {
-    use dcs_core::RunOutcome;
+    use dcs_core::{RunOutcome, UnrecoverableReason};
     let runner = move |hook: &mut dyn ScheduleHook| -> Vec<String> {
         let mut plan = dcs_sim::FaultPlan::none().with_kill(workers - 1, VTime::ns(100));
         plan.lease = VTime::us(5);
-        let cfg = RunConfig::new(workers, Policy::ContGreedy)
+        let cfg = RunConfig::new(workers, Policy::ChildFull)
             .with_profile(profiles::test_profile())
             .with_watchdog(true)
             .with_strict(false)
@@ -603,14 +617,19 @@ fn crash_abort_scenario(workers: usize, seed: u64) -> Scenario {
                 }
             }
             (RunOutcome::Complete, _) => violations.push(
-                "continuation-stealing run completed despite losing a worker's stacks"
+                "full-stack child-stealing run completed despite losing a worker's stacks"
                     .to_string(),
             ),
-            (RunOutcome::Unrecoverable { worker, .. }, _) => {
+            (RunOutcome::Unrecoverable { worker, reason, .. }, _) => {
                 if *worker != workers - 1 {
                     violations.push(format!(
                         "abort blamed worker {worker}, killed {}",
                         workers - 1
+                    ));
+                }
+                if *reason != UnrecoverableReason::FullStacks {
+                    violations.push(format!(
+                        "abort carried the wrong typed reason: {reason:?}"
                     ));
                 }
                 let named = report.watchdog.as_ref().is_some_and(|wd| {
@@ -765,7 +784,36 @@ pub fn catalog(workers: usize, seed: u64) -> Vec<Scenario> {
         seed,
         FabricMode::Pipelined,
     ));
-    v.push(crash_recovery_scenario(workers, seed));
+    v.push(crash_recovery_scenario(
+        "crash-recovery",
+        workers,
+        seed,
+        Policy::ChildRtc,
+        workers - 1,
+    ));
+    v.push(crash_recovery_scenario(
+        "crash-recovery-greedy",
+        workers,
+        seed,
+        Policy::ContGreedy,
+        workers - 1,
+    ));
+    v.push(crash_recovery_scenario(
+        "crash-recovery-stalling",
+        workers,
+        seed,
+        Policy::ContStalling,
+        workers - 1,
+    ));
+    // Worker 0 holds the root frame: killing it exercises re-election of the
+    // root holder from the mirrored lineage record.
+    v.push(crash_recovery_scenario(
+        "crash-recovery-root",
+        workers,
+        seed,
+        Policy::ContGreedy,
+        0,
+    ));
     v.push(crash_abort_scenario(workers, seed));
     v
 }

@@ -236,16 +236,29 @@ fn pct_runs_replay_deterministically() {
     }
 }
 
-/// Fail-stop crash oracles under exploration. `crash-recovery` loses a
-/// ChildRtc worker mid-run on every schedule and must still produce the
-/// exact fault-free answer (steal-lineage replay + completion dedup);
-/// `crash-abort` loses a continuation-stealing worker and must end in a
-/// typed unrecoverable diagnostic, never a wedge or a wrong answer.
-/// Exhaustive at delay bound 1 on 2 workers, PCT-sampled at 3; CI runs the
-/// wider PCT sweep at 8 workers through the `dcs check` binary.
+/// Fail-stop crash oracles under exploration. The `crash-recovery*` family
+/// loses a worker mid-run on every schedule and must still produce the
+/// exact fault-free answer (continuation-lineage replay + done-flag dedup):
+/// ChildRtc replays stolen child descriptors, the continuation policies
+/// replay forked continuation frames (the Fig. 4 FAA race and the stalling
+/// wait queues must converge through the buddy mirror), and the `-root`
+/// variant kills worker 0 so the root holder is re-elected. `crash-abort`
+/// loses a ChildFull worker and must end in a typed unrecoverable
+/// diagnostic, never a wedge or a wrong answer. Exhaustive at delay bound 1
+/// on 2 workers, PCT-sampled at 3; the wider 500-seed PCT sweep at 8
+/// workers is `crash_oracles_survive_wide_pct` below, which CI also drives
+/// through the `dcs check` binary.
+const CRASH_SCENARIOS: [&str; 5] = [
+    "crash-recovery",
+    "crash-recovery-greedy",
+    "crash-recovery-stalling",
+    "crash-recovery-root",
+    "crash-abort",
+];
+
 #[test]
 fn crash_oracles_survive_exploration() {
-    for name in ["crash-recovery", "crash-abort"] {
+    for name in CRASH_SCENARIOS {
         let s = by_name(name, 2, 1).expect("scenario exists");
         let out = explore_exhaustive(&|c| s.run_choices(c), 1, 6_000);
         assert!(out.complete, "{name}: delay-1 space must fit the budget");
@@ -262,6 +275,47 @@ fn crash_oracles_survive_exploration() {
             out.findings.is_empty(),
             "{name} violated under PCT: {:?}",
             out.findings
+        );
+    }
+}
+
+/// The acceptance-scale sweep: 500 PCT seeds at 8 workers for every crash
+/// oracle. Slow (minutes), so it only runs when asked for by name or under
+/// `--ignored` — CI's checker job includes it.
+#[test]
+#[ignore = "acceptance-scale sweep; run with --ignored (CI does)"]
+fn crash_oracles_survive_wide_pct() {
+    for name in CRASH_SCENARIOS {
+        let s = by_name(name, 8, 1).expect("scenario exists");
+        let out = explore_pct(&|seed| s.run_pct(seed, 3, 512), 500);
+        assert!(
+            out.findings.is_empty(),
+            "{name} violated under wide PCT: {:?}",
+            out.findings
+        );
+    }
+}
+
+/// Checked-in crash-recovery schedules: recorded hostile interleavings
+/// (kill lands mid-steal / mid-join) for each recoverable policy family.
+/// Replaying them must stay clean — a regression in lineage replay, the
+/// join-counter repair, or root re-election trips these without re-running
+/// exploration.
+#[test]
+fn checked_in_crash_recovery_schedules_stay_clean() {
+    for text in [
+        include_str!("schedules/crash-recovery-greedy.schedule"),
+        include_str!("schedules/crash-recovery-stalling.schedule"),
+        include_str!("schedules/crash-recovery-root.schedule"),
+    ] {
+        let sched = Schedule::parse(text).expect("fixture parses");
+        let s = by_name(&sched.scenario, sched.workers, sched.seed).unwrap();
+        let rec = s.run_choices(&sched.choices);
+        assert!(
+            rec.violations.is_empty(),
+            "{} schedule regressed: {:?}",
+            sched.scenario,
+            rec.violations
         );
     }
 }

@@ -447,12 +447,31 @@ fn render_report(a: &RunArgs, n: u64, r: &RunReport) -> String {
         dcs_core::RunOutcome::Complete => {
             let _ = writeln!(s, "result:     {}", r.result.summary());
         }
-        dcs_core::RunOutcome::Unrecoverable { worker, frames } => {
+        dcs_core::RunOutcome::Unrecoverable { worker, frames, reason } => {
+            // Name the policy, the killed worker and its kill instant, so
+            // the abort is reproducible from the rendered line alone.
+            let kill_at = a
+                .fault
+                .kill
+                .iter()
+                .find(|k| k.worker == *worker)
+                .map(|k| format!("{}", k.at))
+                .unwrap_or_else(|| "?".into());
             let _ = writeln!(
                 s,
-                "result:     UNRECOVERABLE — worker {worker} fail-stopped holding {} live frame(s)",
+                "result:     UNRECOVERABLE — {} lost worker {worker} (killed at {kill_at}) holding {} live frame(s): {reason}",
+                a.policy.label(),
                 frames.len()
             );
+            let hint = match reason {
+                dcs_core::UnrecoverableReason::FullStacks => {
+                    "nearest recoverable configuration: same kill plan under child-rtc or a continuation policy (cont-greedy, cont-stalling)"
+                }
+                dcs_core::UnrecoverableReason::AllWorkersDead => {
+                    "nearest recoverable configuration: keep at least one worker alive (drop a kill clause, or stagger kills beyond the lease)"
+                }
+            };
+            let _ = writeln!(s, "hint:       {hint}");
         }
     }
     let _ = writeln!(s, "elapsed:    {}", r.elapsed);
@@ -495,8 +514,8 @@ fn render_report(a: &RunArgs, n: u64, r: &RunReport) -> String {
         if a.fault.recovery_armed() {
             let _ = writeln!(
                 s,
-                "recovery:   {} workers lost, {} tasks lost, {} replayed",
-                r.stats.workers_lost, r.stats.tasks_lost, r.stats.tasks_replayed
+                "recovery:   {} workers lost, {} tasks lost, {} replayed, {} split headers mirrored",
+                r.stats.workers_lost, r.stats.tasks_lost, r.stats.tasks_replayed, r.stats.ckpt_puts
             );
         }
         if let Some(wd) = &r.watchdog {

@@ -308,10 +308,12 @@ pub struct VThread {
     /// address). Cleared — and turned into an outstanding-join statistic —
     /// when the thread actually resumes.
     pub suspension: Option<(VTime, u64)>,
-    /// Fail-stop lineage back-pointer (kill plans + ChildRtc only): the
-    /// `(worker, index)` of this thread's record in the shared steal
-    /// lineage, marked done when the thread dies. `None` for threads that
-    /// were never stolen and in every run without a kill plan.
+    /// Fail-stop lineage back-pointer (armed fault plans only): the
+    /// `(worker, index)` of this thread's origin record in the shared
+    /// lineage log, marked done when the thread dies and re-keyed when it
+    /// migrates (the record always lives with the worker that physically
+    /// holds the thread). `None` for non-replayable threads (ChildFull,
+    /// unstolen ChildRtc children) and in every run without an armed plan.
     pub replay_rec: Option<(usize, usize)>,
 }
 

@@ -71,6 +71,7 @@ pub use stats::{DelayReport, RunStats};
 pub use trace::chrome_trace;
 pub use value::{ThreadHandle, Value};
 pub use watchdog::{Violation, Watchdog, WatchdogReport};
+pub use world::UnrecoverableReason;
 
 /// Convenient glob import for writing programs and harnesses.
 pub mod prelude {

@@ -62,11 +62,16 @@ impl Program {
 pub enum RunOutcome {
     /// The root task completed and published its result.
     Complete,
-    /// A fail-stop kill destroyed state the configured policy cannot
-    /// re-execute (a continuation stack, or the root holder itself): the
-    /// run aborted with a diagnostic instead of hanging. `frames` are the
-    /// thread ids lost with `worker`.
-    Unrecoverable { worker: usize, frames: Vec<u64> },
+    /// A fail-stop kill destroyed state that genuinely cannot be
+    /// re-executed (ChildFull's private stacks, or a loss that leaves no
+    /// survivor): the run aborted with a diagnostic instead of hanging.
+    /// `frames` are the thread ids lost with `worker`; `reason` is the
+    /// typed cause.
+    Unrecoverable {
+        worker: usize,
+        frames: Vec<u64>,
+        reason: crate::world::UnrecoverableReason,
+    },
 }
 
 impl RunOutcome {
@@ -187,9 +192,14 @@ fn run_inner(
     let (world, _actors) = engine.into_parts();
     let World { m, mut rt } = world;
 
+    rt.watch_settle_lineage();
     let mut watchdog = rt.watch_finish();
     let outcome = match rt.unrecoverable.take() {
-        Some((worker, frames)) => RunOutcome::Unrecoverable { worker, frames },
+        Some((worker, frames, reason)) => RunOutcome::Unrecoverable {
+            worker,
+            frames,
+            reason,
+        },
         None => RunOutcome::Complete,
     };
     let result = match rt.result.take() {
@@ -666,37 +676,128 @@ mod tests {
     }
 
     #[test]
-    fn continuation_policies_abort_instead_of_hanging_on_kill() {
+    fn continuation_policies_recover_from_fail_stop_kill() {
         use dcs_sim::FaultPlan;
-        for policy in [Policy::ContGreedy, Policy::ContStalling, Policy::ChildFull] {
-            // Calibrate the kill to land mid-run for this policy.
+        for policy in [Policy::ContGreedy, Policy::ContStalling] {
             let healthy = run_fib(policy, 4, 14);
-            let plan = FaultPlan::none().with_kill(1, healthy.elapsed / 3);
-            let r = run(kill_cfg(policy, plan), Program::new(fib, 14u64));
-            match &r.outcome {
-                RunOutcome::Unrecoverable { worker, .. } => assert_eq!(*worker, 1),
-                other => panic!("{policy:?}: expected Unrecoverable, got {other:?}"),
+            let want = fib_serial(14);
+            // Early / mid / late kills, as in the ChildRtc sweep: a kill
+            // can land while continuations are suspended at joins, parked
+            // in deques, or mid-steal.
+            for frac in [4u64, 2, 1] {
+                let t = healthy.elapsed / (frac + 1) * frac / 2;
+                let r = run(
+                    kill_cfg(policy, FaultPlan::none().with_kill(1, t)),
+                    Program::new(fib, 14u64),
+                );
+                assert_eq!(r.outcome, RunOutcome::Complete, "{policy:?} kill at {t}");
+                assert_eq!(r.result.as_u64(), want, "{policy:?} kill at {t}");
+                assert_eq!(r.stats.workers_lost, 1, "{policy:?} kill at {t}");
             }
-            let wd = r.watchdog.expect("fault runs carry a watchdog");
+        }
+    }
+
+    #[test]
+    fn pipelined_continuation_policies_recover_from_fail_stop_kill() {
+        use dcs_sim::{FabricMode, FaultPlan};
+        for policy in [Policy::ContGreedy, Policy::ContStalling] {
+            let healthy = run(
+                kill_cfg(policy, FaultPlan::none()).with_fabric(FabricMode::Pipelined),
+                Program::new(fib, 14u64),
+            );
+            let want = fib_serial(14);
+            for frac in [4u64, 2, 1] {
+                let t = healthy.elapsed / (frac + 1) * frac / 2;
+                let cfg = kill_cfg(policy, FaultPlan::none().with_kill(1, t))
+                    .with_fabric(FabricMode::Pipelined);
+                let r = run(cfg, Program::new(fib, 14u64));
+                assert_eq!(r.outcome, RunOutcome::Complete, "{policy:?} kill at {t}");
+                assert_eq!(r.result.as_u64(), want, "{policy:?} kill at {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn child_full_aborts_with_typed_reason_on_kill() {
+        use dcs_sim::FaultPlan;
+        let policy = Policy::ChildFull;
+        let healthy = run_fib(policy, 4, 14);
+        let plan = FaultPlan::none().with_kill(1, healthy.elapsed / 3);
+        let r = run(kill_cfg(policy, plan), Program::new(fib, 14u64));
+        match &r.outcome {
+            RunOutcome::Unrecoverable { worker, reason, .. } => {
+                assert_eq!(*worker, 1);
+                assert_eq!(*reason, crate::world::UnrecoverableReason::FullStacks);
+            }
+            other => panic!("expected Unrecoverable, got {other:?}"),
+        }
+        let wd = r.watchdog.expect("fault runs carry a watchdog");
+        assert!(
+            wd.violations
+                .iter()
+                .any(|v| matches!(v, crate::watchdog::Violation::WorkerLost { .. })),
+            "abort must name the lost worker"
+        );
+    }
+
+    #[test]
+    fn killing_worker_zero_re_elects_the_root_holder() {
+        use dcs_sim::FaultPlan;
+        let want = fib_serial(14);
+        for policy in [Policy::ChildRtc, Policy::ContGreedy, Policy::ContStalling] {
+            let healthy = run_fib(policy, 4, 14);
+            let plan = FaultPlan::none().with_kill(0, healthy.elapsed / 3);
+            let r = run(kill_cfg(policy, plan), Program::new(fib, 14u64));
+            assert_eq!(r.outcome, RunOutcome::Complete, "{policy:?}");
+            assert_eq!(r.result.as_u64(), want, "{policy:?}");
             assert!(
-                wd.violations
-                    .iter()
-                    .any(|v| matches!(v, crate::watchdog::Violation::WorkerLost { .. })),
-                "{policy:?}: abort must name the lost worker"
+                r.stats.tasks_replayed > 0,
+                "{policy:?}: a root kill must force re-election via replay"
             );
         }
     }
 
     #[test]
-    fn killing_worker_zero_is_unrecoverable_even_for_child_rtc() {
-        use dcs_sim::FaultPlan;
-        let healthy = run_fib(Policy::ChildRtc, 4, 14);
-        let plan = FaultPlan::none().with_kill(0, healthy.elapsed / 3);
-        let r = run(kill_cfg(Policy::ChildRtc, plan), Program::new(fib, 14u64));
+    fn killing_every_worker_aborts_with_all_dead_reason() {
+        use dcs_sim::{FaultPlan, VTime};
+        let healthy = run_fib(Policy::ContGreedy, 2, 12);
+        let t = healthy.elapsed / 3;
+        // Both workers die inside one lease window: nobody survives to
+        // replay, so the run must abort (typed), never hang.
+        let plan = FaultPlan::none()
+            .with_kill(0, t)
+            .with_kill(1, t + VTime::us(1));
+        let r = run(
+            RunConfig::new(2, Policy::ContGreedy)
+                .with_profile(profiles::test_profile())
+                .with_seg_bytes(64 << 20)
+                .with_fault_plan(plan),
+            Program::new(fib, 12u64),
+        );
         match &r.outcome {
-            RunOutcome::Unrecoverable { worker, .. } => assert_eq!(*worker, 0),
+            RunOutcome::Unrecoverable { reason, .. } => {
+                assert_eq!(*reason, crate::world::UnrecoverableReason::AllWorkersDead);
+            }
             other => panic!("expected Unrecoverable, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn continuation_recovery_mirrors_steal_splits() {
+        use dcs_sim::FaultPlan;
+        // An armed (kill-free) continuation run records lineage at every
+        // fork and mirrors headers at every steal split; the kill-free
+        // answer and the mirror traffic must both be there.
+        let r = run(
+            kill_cfg(Policy::ContGreedy, FaultPlan::none().with_recovery()),
+            Program::new(fib, 14u64),
+        );
+        assert_eq!(r.result.as_u64(), fib_serial(14));
+        assert!(r.stats.steals_ok > 0, "need steals to exercise mirroring");
+        assert_eq!(
+            r.stats.ckpt_puts, r.stats.steals_ok,
+            "every continuation steal split mirrors one header"
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@ impl Worker {
         // Root thread: publish the result and raise the termination flag.
         if e.entry.is_null() {
             let mut th = self.cur.take().expect("checked");
+            Self::mark_lineage_done(world, &th);
             self.retire_thread(world, &mut th);
             world.rt.watch_death(th.tid, now);
             world.rt.result = Some(v);
@@ -62,6 +63,7 @@ impl Worker {
 
         world.rt.stats.note_die(e.entry.to_u64(), now);
         let mut th = self.cur.take().expect("die without thread");
+        Self::mark_lineage_done(world, &th);
         self.retire_thread(world, &mut th);
         world.rt.watch_death(th.tid, now);
 
@@ -134,6 +136,16 @@ impl Worker {
         debug_assert!(!c_addr.is_null(), "loser must find a saved context");
         let (saved, c1) = read_saved_ctx(&mut world.m, self.me, c_addr);
         cost += c1;
+        if self.kills && world.m.is_dead(saved.owner, now) {
+            // The suspended joiner died with its host. Resuming the stale
+            // copy would run it alongside its lineage replay (double
+            // execution); drop the hand-off instead — the replayed joiner
+            // re-runs and re-joins against the (mirrored) entry words. The
+            // value and entry leak, which armed runs tolerate.
+            self.state = WState::Idle;
+            self.set_busy(world, now, false);
+            return cost;
+        }
         let mut th = world.rt.per[saved.owner].saved.take(saved.slot);
         if self.scheme == AddressScheme::Uni && th.home.is_some() {
             world.rt.per[saved.owner].evac.restore(saved.stack_bytes as u64);
@@ -157,6 +169,11 @@ impl Worker {
         cost += c2;
         cost += self.free_entry_here_after_close(world, e, &mut th, now + cost);
         self.claim_home(world, &mut th);
+        if self.kills {
+            // The joiner migrated here: its lineage record follows it.
+            let fresh = self.rekey_lineage(world, &mut th);
+            debug_assert!(fresh, "saved joiner's record cannot be claimed while its owner lives");
+        }
         th.supply(v);
         cost += world.m.ctx_switch(self.me);
         self.start_thread(world, now, th);
@@ -208,6 +225,12 @@ impl Worker {
                 let c_addr = GlobalAddr::from_u64(ctxloc);
                 let (saved, c1) = read_saved_ctx(&mut world.m, self.me, c_addr);
                 cost += c1;
+                if self.kills && world.m.is_dead(saved.owner, now) {
+                    // Same double-execution guard as the single-consumer
+                    // migrate path: the dead waiter's lineage replay
+                    // re-joins the future on its own.
+                    continue;
+                }
                 let mut th = world.rt.per[saved.owner].saved.take(saved.slot);
                 if self.scheme == AddressScheme::Uni && th.home.is_some() {
                     world.rt.per[saved.owner].evac.restore(saved.stack_bytes as u64);
@@ -235,16 +258,25 @@ impl Worker {
                     th.suspension = Some((at.max(now), entry));
                 }
                 self.claim_home(world, &mut th);
+                if self.kills {
+                    // The waiter migrates here: its lineage record follows.
+                    let fresh = self.rekey_lineage(world, &mut th);
+                    debug_assert!(fresh, "saved waiter's record cannot be claimed while its owner lives");
+                }
                 resumed.push(th);
             }
             // Account the hand-offs on the consumed counter so the last
             // consumer (possibly one of these waiters' producers) frees.
+            // Only the waiters actually resumed count: a dead waiter's
+            // consume never happens (its replay re-arrives instead), so
+            // under kills the entry may leak rather than free early.
+            let handed = resumed.len() as u64;
             let (c_old, c2) =
                 world
                     .m
-                    .fetch_add_u64(self.me, e.entry.field(EM_CONSUMED), waiters as u64);
+                    .fetch_add_u64(self.me, e.entry.field(EM_CONSUMED), handed);
             cost += c2;
-            if c_old + waiters as u64 == e.consumers as u64 {
+            if c_old + handed == e.consumers as u64 {
                 cost += self.free_entry_here(world, e);
             }
             if !sweep.is_empty() {
@@ -325,6 +357,7 @@ impl Worker {
         cost += self.publish_retval_and_flag(world, e, v, flag_val, now + cost);
         world.rt.stats.note_die(e.entry.to_u64(), now);
         let mut th = self.cur.take().expect("die without thread");
+        Self::mark_lineage_done(world, &th);
         self.retire_thread(world, &mut th);
         world.rt.watch_death(th.tid, now);
         match popped {
@@ -370,10 +403,8 @@ impl Worker {
         }
         world.rt.stats.note_die(e.entry.to_u64(), now);
         let mut th = self.cur.take().expect("die without thread");
-        if let Some((w, i)) = th.replay_rec {
-            // Completion reached the lineage: this record must never replay.
-            world.rt.lineage[w][i].done = true;
-        }
+        // Completion reached the lineage: this record must never replay.
+        Self::mark_lineage_done(world, &th);
         self.retire_thread(world, &mut th);
         world.rt.watch_death(th.tid, now);
 

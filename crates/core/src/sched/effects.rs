@@ -305,7 +305,14 @@ impl Worker {
             )
             .expect("lock probed free within the same atomic step");
             cost += push_cost;
+            // Continuation-lineage log: the child's origin is pure data;
+            // record it at the split so a survivor can re-execute it if
+            // this worker dies before the child's entry flag is published.
+            let rec = self
+                .kills
+                .then(|| self.record_lineage(world, tid, child, arg.clone(), h));
             let mut th = VThread::new(tid, child, arg, h);
+            th.replay_rec = rec;
             let slot_len = world.rt.cfg.stack_slot;
             th.home = Some(self.place_stack(world, parent_home, slot_len));
             self.cur = Some(th);

@@ -140,9 +140,9 @@ impl Worker {
             }
             self.dead[d] = true;
             self.blacklist_forever(d, now);
-            if self.policy != Policy::ChildRtc || d == 0 {
-                // Unrecoverable configurations abort from the dead worker's
-                // own step; nothing to enumerate here.
+            if self.policy == Policy::ChildFull {
+                // ChildFull is unrecoverable and aborts from the dead
+                // worker's own step; nothing to enumerate here.
                 continue;
             }
             if !world.rt.lineage_drained[d] {
@@ -156,7 +156,7 @@ impl Worker {
         }
     }
 
-    /// Re-adopt one lost task from the replay pool. The record is
+    /// Re-adopt one lost thread from the replay pool. The record is
     /// superseded (marked done) and re-recorded under this worker, so a
     /// second kill hitting the replayer is itself recoverable. Returns
     /// `None` when nothing (relevant) is pooled.
@@ -170,29 +170,61 @@ impl Worker {
                 // task's effect twice.
                 continue;
             }
-            if world.m.is_dead(rec.handle.entry.rank as usize, now) {
-                // The waiting parent died too; the ancestor subtree that
-                // re-creates it (and this task) replays from its own
-                // record instead.
+            let is_root = rec.handle.entry.is_null();
+            if is_root && world.rt.result.is_some() {
+                // The root published its result before its holder died;
+                // termination is already racing in — nothing to re-elect.
+                continue;
+            }
+            if !is_root
+                && !self.policy.is_cont()
+                && world.m.is_dead(rec.handle.entry.rank as usize, now)
+            {
+                // ChildRtc ties a task to the parent frame that owns its
+                // entry: if that parent died too, the ancestor subtree
+                // that re-creates it (and this task) replays from its own
+                // record instead. Continuation records always replay —
+                // after a migration the joiner may be alive anywhere, and
+                // the entry words stay readable on the buddy mirror.
                 continue;
             }
             let (f, arg, handle) = (rec.f, rec.arg.clone(), rec.handle);
+            // Claiming the record settles the original incarnation's fate:
+            // it died with its worker and can never complete — retire it so
+            // the fresh-id replay is the only live copy the oracles track.
+            world.rt.watch_retire(rec.tid);
             world.rt.lineage[w][i].done = true;
-            let idx = world.rt.lineage[self.me].len();
-            world.rt.lineage[self.me].push(StolenChild {
-                f,
-                arg: arg.clone(),
-                handle,
-                done: false,
-            });
             let tid = world.rt.fresh_tid();
-            let mut th = VThread::new(tid, f, arg, handle);
-            th.replay_rec = Some((self.me, idx));
+            let mut th = VThread::new(tid, f, arg.clone(), handle);
+            th.replay_rec = Some(self.record_lineage(world, tid, f, arg, handle));
+            if self.policy.is_cont() {
+                // Re-materialized continuations (root included) need a
+                // stack home in this worker's region.
+                let slot_len = world.rt.cfg.stack_slot;
+                th.home = Some(self.place_stack(world, None, slot_len));
+            }
             world.rt.stats.tasks_replayed += 1;
             let cost = world.m.ctx_restore(self.me);
             self.start_thread(world, now, th);
             world.rt.watch_progress(now);
             return Some(Step::Yield(cost));
+        }
+    }
+
+    /// Blocking-fabric checkpoint put of a stolen continuation's header to
+    /// the thief's buddy (the pipelined take posts the same put alongside
+    /// the steal's other verbs instead). The put is fire-and-forget: the
+    /// mirror only has to land before a lease expiry — microseconds after
+    /// the split — so the thief pays the injection, never a round trip.
+    pub(crate) fn mirror_split(&mut self, world: &mut World, now: VTime) -> VTime {
+        match self.buddy(&world.m, now) {
+            Some(b) => {
+                world.rt.stats.ckpt_puts += 1;
+                world
+                    .m
+                    .post_put_bulk_unsignaled(self.me, b, Self::CKPT_HDR_BYTES)
+            }
+            None => VTime::ZERO,
         }
     }
 
@@ -205,7 +237,7 @@ impl Worker {
         world.rt.watch_stall(now);
         if self.kills {
             self.fail_stop_scan(now, world);
-            if self.policy == Policy::ChildRtc {
+            if self.policy != Policy::ChildFull {
                 if let Some(step) = self.try_replay(now, world) {
                     return step;
                 }
@@ -453,28 +485,45 @@ impl Worker {
                 let c_wait = self.poll_blocked(now, world);
                 Step::Yield(cost + c_wait)
             }
-            Some((item, size)) => {
+            Some((mut item, size)) => {
                 self.fail_streak = 0;
-                // Record the steal lineage before the descriptor crosses
-                // the wire, keyed by us (the executor): if we die before
-                // the entry flag is set, our death's confirmer re-adopts
-                // the task from this record.
-                let rec = match (&item, self.kills && self.policy == Policy::ChildRtc) {
-                    (QueueItem::Child { f, arg, handle }, true) => {
-                        let idx = world.rt.lineage[self.me].len();
-                        world.rt.lineage[self.me].push(StolenChild {
-                            f: *f,
-                            arg: arg.clone(),
-                            handle: *handle,
-                            done: false,
-                        });
-                        Some((self.me, idx))
+                // Record the steal lineage before the payload crosses the
+                // wire, keyed by us (the executor): if we die before the
+                // entry flag is set, our death's confirmer re-adopts the
+                // work from this record. Child descriptors get a fresh
+                // record; a stolen continuation migrates an existing one
+                // (re-keyed here), and its header is mirrored to our
+                // buddy so either side of the split survives one death.
+                let mut cost = cost;
+                let rec = match &mut item {
+                    QueueItem::Child { f, arg, handle }
+                        if self.kills && self.policy == Policy::ChildRtc =>
+                    {
+                        Some(self.record_lineage(world, 0, *f, arg.clone(), *handle))
+                    }
+                    QueueItem::Cont { th, .. } if self.kills => {
+                        if !self.rekey_lineage(world, th) {
+                            // The victim died and a confirmer already
+                            // claimed this continuation's record for
+                            // replay; our take (virtually earlier, later
+                            // in execution order) holds a stale duplicate.
+                            // Running it would execute the thread twice.
+                            world.rt.stats.steal_failed();
+                            self.fail_streak += 1;
+                            let c_wait = self.poll_blocked(now, world);
+                            return Step::Yield(cost + c_wait);
+                        }
+                        cost += self.mirror_split(world, now);
+                        None
                     }
                     _ => None,
                 };
                 let c2 = self.adopt_item(now, world, item, Some((victim, t0, cost, size)));
-                if rec.is_some() {
+                if let Some((w, i)) = rec {
                     if let Some(th) = self.cur.as_mut() {
+                        // The stolen child materialized as a thread only
+                        // now: bind its id to the record made above.
+                        world.rt.lineage[w][i].tid = th.tid;
                         th.replay_rec = rec;
                     }
                 }
@@ -523,7 +572,7 @@ impl Worker {
                 let c_wait = self.poll_blocked(now, world);
                 Step::Yield(cost + c_wait)
             }
-            Ok((Some((item, size, top)), cost)) => {
+            Ok((Some((mut item, size, top)), cost)) => {
                 // The advance rides the release's packet window (adjacent
                 // words), exactly as in blocking mode; release put and
                 // payload get are posted back to back and overlap. Same-QP
@@ -537,25 +586,55 @@ impl Worker {
                 self.note_victim_faults(victim, faults, now);
                 // Lineage must be recorded before the window opens: if we
                 // die between post and reap, the confirmer replays from it.
-                let rec = match (&item, self.kills && self.policy == Policy::ChildRtc) {
-                    (QueueItem::Child { f, arg, handle }, true) => {
-                        let idx = world.rt.lineage[self.me].len();
-                        world.rt.lineage[self.me].push(StolenChild {
-                            f: *f,
-                            arg: arg.clone(),
-                            handle: *handle,
-                            done: false,
-                        });
-                        Some((self.me, idx))
+                // A stolen continuation also piggybacks its checkpoint put
+                // (header to our buddy) on the already-open posting window.
+                let mut h_ckpt = None;
+                let mut stale = false;
+                let rec = match &mut item {
+                    QueueItem::Child { f, arg, handle }
+                        if self.kills && self.policy == Policy::ChildRtc =>
+                    {
+                        Some(self.record_lineage(world, 0, *f, arg.clone(), *handle))
+                    }
+                    QueueItem::Cont { th, .. } if self.kills => {
+                        stale = !self.rekey_lineage(world, th);
+                        if !stale {
+                            if let Some(b) = self.buddy(&world.m, now) {
+                                world.rt.stats.ckpt_puts += 1;
+                                h_ckpt = Some(world.m.post_put_bulk(
+                                    self.me,
+                                    b,
+                                    Self::CKPT_HDR_BYTES,
+                                    posted_at,
+                                ));
+                            }
+                        }
+                        None
                     }
                     _ => None,
                 };
+                if stale {
+                    // A confirmer already claimed this continuation's
+                    // record for replay (the victim is dead; our take was
+                    // virtually earlier but executed later). The take
+                    // still commits protocol-wise — top advanced, release
+                    // posted — but the stale duplicate must not run.
+                    let (_, rel_fin) = world.m.wait(self.me, h_release);
+                    let (_, copy_fin) = world.m.wait(self.me, h_copy);
+                    let fin = rel_fin.max(copy_fin);
+                    self.state = WState::Idle;
+                    world.rt.stats.steal_failed();
+                    self.fail_streak += 1;
+                    let c_wait = self.poll_blocked(now, world);
+                    return Step::Yield(fin.saturating_sub(now).max(cost) + c_wait);
+                }
                 self.pending_steal = Some(PendingSteal {
                     item,
                     size,
                     t0,
                     h_release,
                     h_copy,
+                    h_ckpt,
                     posted_at,
                     rec,
                 });
@@ -576,7 +655,11 @@ impl Worker {
         // charged) before the death could be observed.
         let (_, rel_fin) = world.m.wait(self.me, ps.h_release);
         let (_, copy_fin) = world.m.wait(self.me, ps.h_copy);
-        let fin = rel_fin.max(copy_fin);
+        let ckpt_fin = ps
+            .h_ckpt
+            .map(|h| world.m.wait(self.me, h).1)
+            .unwrap_or(VTime::ZERO);
+        let fin = rel_fin.max(copy_fin).max(ckpt_fin);
         let cost = fin.saturating_sub(now);
         let copy_cost = copy_fin.saturating_sub(ps.posted_at);
         self.state = WState::Idle;
@@ -593,8 +676,11 @@ impl Worker {
             Some(copy_cost),
             false,
         );
-        if ps.rec.is_some() {
+        if let Some((w, i)) = ps.rec {
             if let Some(th) = self.cur.as_mut() {
+                // The stolen child materialized as a thread only now: bind
+                // its id to the record made at take time.
+                world.rt.lineage[w][i].tid = th.tid;
                 th.replay_rec = ps.rec;
             }
         }
@@ -605,6 +691,30 @@ impl Worker {
     pub(crate) fn finalize(&mut self, world: &mut World, now: VTime) {
         self.set_busy(world, now, false);
         self.halted = true;
+        if self.kills {
+            // Armed termination can strand orphaned duplicates: a lineage
+            // replay re-executed an ancestor whose original children kept
+            // running here, and the root completed from the replayed copy.
+            // Threads still buried when the done flag goes up are by
+            // definition not part of the published result — retire them so
+            // the lost-task oracle keeps meaning for live workers. Locally
+            // spawned run-to-completion children carry no lineage record,
+            // so the end-of-run lineage settlement cannot cover them.
+            if let Some(th) = &self.cur {
+                world.rt.watch_retire(th.tid);
+            }
+            for w in &self.wait_q {
+                world.rt.watch_retire(w.th.tid);
+            }
+            for x in &self.nest {
+                world.rt.watch_retire(x.th.tid);
+            }
+            if let Some(ps) = &self.pending_steal {
+                if let QueueItem::Cont { th, .. } = &ps.item {
+                    world.rt.watch_retire(th.tid);
+                }
+            }
+        }
         if world.rt.cfg.strict {
             assert!(self.cur.is_none(), "worker {} halted mid-thread", self.me);
             assert!(

@@ -53,7 +53,7 @@ use crate::layout::{SegLayout, DQ_LOCK};
 use crate::policy::{AddressScheme, FreeStrategy, Policy, VictimPolicy};
 use crate::remote_free::free_robj;
 use crate::value::{ThreadHandle, Value};
-use crate::world::{QueueItem, StolenChild, StoredVal, World};
+use crate::world::{LineageRec, QueueItem, StoredVal, UnrecoverableReason, World};
 
 /// A pending operation carried across steps.
 pub(crate) enum PendingOp {
@@ -93,6 +93,10 @@ pub(crate) struct PendingSteal {
     h_release: VerbHandle,
     /// Stack / descriptor `get_bulk`, posted at the same instant.
     h_copy: VerbHandle,
+    /// Checkpoint put of a stolen continuation's header to the thief's
+    /// buddy, piggybacked on the same posting window (armed fault plans,
+    /// continuation items only).
+    h_ckpt: Option<VerbHandle>,
     /// Absolute post instant of the overlapped pair.
     posted_at: VTime,
     /// Steal-lineage record created at take time (kill plans only).
@@ -188,9 +192,29 @@ impl Worker {
             .map(|s| (s.from, s.until, s.factor))
             .collect();
         let n = world.rt.cfg.workers;
+        // Armed either by a scheduled kill or explicitly (`recover=on`) —
+        // the latter exists so `ablate_recovery` can price the lineage
+        // machinery with no kill actually firing.
+        let kills = world.rt.cfg.fault.recovery_armed();
         let cur = root.map(|(f, arg)| {
             let tid = world.rt.fresh_tid();
+            if kills && policy != Policy::ChildFull {
+                // Root re-election: the root's origin is mirrored as the
+                // first lineage record of worker 0 with a NULL handle, so
+                // a worker-0 kill replays the root elsewhere instead of
+                // aborting the run.
+                world.rt.lineage[me].push(LineageRec {
+                    f,
+                    arg: arg.clone(),
+                    handle: ThreadHandle::single(GlobalAddr::NULL),
+                    tid,
+                    done: false,
+                });
+            }
             let mut th = VThread::new(tid, f, arg, ThreadHandle::single(GlobalAddr::NULL));
+            if kills && policy != Policy::ChildFull {
+                th.replay_rec = Some((me, 0));
+            }
             if policy.is_cont() {
                 let slot = world.rt.cfg.stack_slot;
                 th.home = Some(match scheme {
@@ -206,10 +230,6 @@ impl Worker {
         if busy {
             world.rt.stats.note_busy(VTime::ZERO);
         }
-        // Armed either by a scheduled kill or explicitly (`recover=on`) —
-        // the latter exists so `ablate_recovery` can price the lineage
-        // machinery with no kill actually firing.
-        let kills = world.rt.cfg.fault.recovery_armed();
         Worker {
             me,
             n,
@@ -499,10 +519,13 @@ impl Worker {
 
     /// This worker's scheduled fail-stop kill instant has arrived: collect
     /// every frame that dies with it, report the loss, and halt forever.
-    /// Only [`Policy::ChildRtc`] away from worker 0 is recoverable — child
-    /// descriptors are replayable pure data and the steal lineage covers
-    /// everything in flight; a lost continuation stack (or the root holder)
-    /// cannot be reconstructed, so those runs abort with a typed outcome.
+    /// Every policy except [`Policy::ChildFull`] is recoverable — thread
+    /// origins (child descriptors, continuation fork/steal records, the
+    /// mirrored root) are replayable pure data and the lineage log covers
+    /// everything in flight, including worker 0's root. ChildFull's full
+    /// private stacks cannot be reconstructed, and a loss that leaves no
+    /// survivor has nobody to replay; those runs abort with a typed
+    /// outcome.
     fn step_killed(&mut self, now: VTime, world: &mut World) -> Step {
         let mut tids: Vec<u64> = Vec::new();
         if let Some(th) = &self.cur {
@@ -523,14 +546,95 @@ impl Worker {
             }
         }
         tids.extend(world.rt.per[self.me].saved.iter().map(|(_, th)| th.tid));
-        let recoverable = self.policy == Policy::ChildRtc && self.me != 0;
-        world.rt.note_worker_lost(self.me, tids, recoverable);
-        if !recoverable {
+        let all_dead = (0..self.n).all(|w| w == self.me || world.m.is_dead(w, now));
+        let fail = if self.policy == Policy::ChildFull {
+            Some(UnrecoverableReason::FullStacks)
+        } else if all_dead {
+            Some(UnrecoverableReason::AllWorkersDead)
+        } else {
+            None
+        };
+        world.rt.note_worker_lost(self.me, tids, fail);
+        if fail.is_some() {
             world.m.set_done();
         }
         self.set_busy(world, now, false);
         self.halted = true;
         Step::Halt
+    }
+
+    // ------------------------------------------------------------------
+    // continuation-lineage log (armed fault plans only)
+    // ------------------------------------------------------------------
+
+    /// Checkpoint header bytes mirrored to the thief's buddy at a
+    /// continuation steal split: frame id, steal point, join-counter
+    /// snapshot and retval-slot address (four words).
+    pub(crate) const CKPT_HDR_BYTES: usize = 32;
+
+    /// The thief's buddy: the nearest live higher rank (wrapping). The
+    /// steal split's checkpoint put lands here, so either side of the
+    /// split can be rebuilt after a single death. `None` when every peer
+    /// is already dead.
+    pub(crate) fn buddy(&self, m: &Machine, now: VTime) -> Option<WorkerId> {
+        (1..self.n)
+            .map(|k| (self.me + k) % self.n)
+            .find(|&b| !m.is_dead(b, now))
+    }
+
+    /// Append a lineage record for thread origin `(f, arg, handle)`,
+    /// currently incarnated as thread `tid`, under this worker and return
+    /// its `(worker, index)` key.
+    pub(crate) fn record_lineage(
+        &mut self,
+        world: &mut World,
+        tid: u64,
+        f: TaskFn,
+        arg: Value,
+        handle: ThreadHandle,
+    ) -> (usize, usize) {
+        let idx = world.rt.lineage[self.me].len();
+        world.rt.lineage[self.me].push(LineageRec {
+            f,
+            arg,
+            handle,
+            tid,
+            done: false,
+        });
+        (self.me, idx)
+    }
+
+    /// A thread is migrating to this worker (steal split take, greedy
+    /// joiner migration): supersede its old lineage record and re-record
+    /// it here, preserving the invariant that `lineage[w]` indexes exactly
+    /// the threads worker `w` physically holds. Returns `false` when the
+    /// old record was already claimed by a replayer — the caller holds a
+    /// stale duplicate (its re-execution is already underway elsewhere)
+    /// and must discard it instead of running it.
+    #[must_use = "a false return means the thread is a stale duplicate"]
+    pub(crate) fn rekey_lineage(&mut self, world: &mut World, th: &mut VThread) -> bool {
+        let Some((w, i)) = th.replay_rec else { return true };
+        if w == self.me {
+            return true;
+        }
+        let rec = &mut world.rt.lineage[w][i];
+        if rec.done {
+            // Claimed while we raced for it: a confirmer drained `w`'s
+            // lineage and a replay re-executes this thread already.
+            return false;
+        }
+        let (f, arg, handle) = (rec.f, rec.arg.clone(), rec.handle);
+        rec.done = true;
+        th.replay_rec = Some(self.record_lineage(world, th.tid, f, arg, handle));
+        true
+    }
+
+    /// The thread completed (its entry flag is globally visible): its
+    /// lineage record must never replay.
+    pub(crate) fn mark_lineage_done(world: &mut World, th: &VThread) {
+        if let Some((w, i)) = th.replay_rec {
+            world.rt.lineage[w][i].done = true;
+        }
     }
 
     /// Fail-stop lock-break: a thief that died between acquiring this

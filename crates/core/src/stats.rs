@@ -54,6 +54,9 @@ pub struct RunStats {
     pub tasks_lost: u64,
     /// Lineage records re-adopted by survivors.
     pub tasks_replayed: u64,
+    /// Checkpoint puts of stolen-continuation headers to the thief's buddy
+    /// (peer mirroring at steal splits; continuation policies only).
+    pub ckpt_puts: u64,
     // -- busy time -------------------------------------------------------
     pub busy_total: VTime,
     // -- series (TraceLevel::Series) --------------------------------------

@@ -68,18 +68,59 @@ impl QueueItem {
     }
 }
 
-/// Lineage record of one child descriptor stolen (or re-adopted after a
-/// kill) under a fail-stop fault plan with [`crate::policy::Policy::ChildRtc`].
-/// Because a child descriptor is pure data — function pointer, argument,
-/// entry handle — the victim-side record is everything a survivor needs to
-/// re-execute the task if its executor dies before setting the entry flag.
-/// `done` flips when the executing thread dies (the entry flag became
-/// visible) or when a survivor supersedes the record by re-adopting it.
-pub struct StolenChild {
+/// Continuation-lineage record: the origin of one replayable thread under
+/// a fail-stop fault plan. A thread's origin — function pointer, argument,
+/// own entry handle — is pure data, so the record is everything a survivor
+/// needs to re-execute the thread from scratch if its host dies before the
+/// entry flag is published. Three kinds of thread carry one:
+///
+/// * **child descriptors** (ChildRtc): recorded at steal time, keyed by
+///   the thief/executor — PR 4's original machinery;
+/// * **continuation threads** (ContGreedy/ContStalling): recorded at the
+///   fork that creates them, and *re-keyed* at every migration (steal
+///   split take, greedy joiner migration) so `lineage[w]` always indexes
+///   the threads worker `w` physically holds;
+/// * **the root thread**: recorded on worker 0 at startup with a NULL
+///   handle, so a worker-0 kill re-elects a root holder via replay
+///   instead of aborting.
+///
+/// `done` flips when the thread dies (its completion is globally visible)
+/// or when the record is superseded by a re-key or a replay.
+pub struct LineageRec {
     pub f: TaskFn,
     pub arg: Value,
     pub handle: ThreadHandle,
+    /// Thread id of the live incarnation this record describes. Replay
+    /// assigns a fresh id, so at end of run any still-undone record names a
+    /// thread that never completed anywhere (lost with its worker, or an
+    /// orphaned duplicate abandoned at termination) — the watchdog retires
+    /// it instead of reporting lost work.
+    pub tid: u64,
     pub done: bool,
+}
+
+/// Why a fail-stop loss could not be recovered (typed abort reason).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnrecoverableReason {
+    /// ChildFull ties every task to a private full stack that is neither
+    /// replayable pure data nor mirrored: any kill aborts the run.
+    FullStacks,
+    /// Every worker is dead — no survivor is left to replay the lineage
+    /// (all mirrors died with their owners).
+    AllWorkersDead,
+}
+
+impl std::fmt::Display for UnrecoverableReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnrecoverableReason::FullStacks => {
+                write!(f, "full private stacks cannot be replayed or mirrored")
+            }
+            UnrecoverableReason::AllWorkersDead => {
+                write!(f, "every worker died; no survivor holds a mirror")
+            }
+        }
+    }
 }
 
 /// A thread's return value parked in its entry, plus its wire size (charged
@@ -160,11 +201,12 @@ pub struct RtShared {
     /// Invariant watchdog; allocated only when the run asks for it (or runs
     /// with active fault injection), so healthy runs pay nothing.
     pub watch: Option<Box<Watchdog>>,
-    /// Fail-stop steal lineage (kill plans + ChildRtc only): `lineage[w]`
-    /// holds every child descriptor worker `w` adopted via a steal or a
-    /// replay, so survivors can re-execute the subset `w` never completed.
-    /// Records are marked `done` rather than removed; empty in healthy runs.
-    pub lineage: Vec<Vec<StolenChild>>,
+    /// Fail-stop lineage log (armed fault plans only): `lineage[w]` holds
+    /// the origin record of every replayable thread worker `w` physically
+    /// holds (see [`LineageRec`]), so survivors can re-execute the subset
+    /// `w` never completed. Records are marked `done` rather than removed;
+    /// empty in healthy runs.
+    pub lineage: Vec<Vec<LineageRec>>,
     /// Per-worker flag: `lineage[w]` was already drained by the first
     /// worker to confirm `w`'s death (exactly-once replay hand-off).
     pub lineage_drained: Vec<bool>,
@@ -172,8 +214,9 @@ pub struct RtShared {
     /// death confirmers and drained by any idle survivor.
     pub replay_pool: std::collections::VecDeque<(usize, usize)>,
     /// Set when a fail-stop loss cannot be recovered: `(worker, lost frame
-    /// tids)`. Aborts the run with a typed outcome instead of a hang.
-    pub unrecoverable: Option<(usize, Vec<u64>)>,
+    /// tids, reason)`. Aborts the run with a typed outcome instead of a
+    /// hang.
+    pub unrecoverable: Option<(usize, Vec<u64>, UnrecoverableReason)>,
 }
 
 impl RtShared {
@@ -265,23 +308,61 @@ impl RtShared {
         }
     }
 
+    /// A thread is known to never complete (lost with its worker and
+    /// re-executed under a fresh id, or an orphaned duplicate abandoned at
+    /// termination).
+    pub fn watch_retire(&mut self, tid: u64) {
+        if let Some(w) = &mut self.watch {
+            w.retire(tid);
+        }
+    }
+
+    /// End-of-run lineage settlement (armed fault plans only): any record
+    /// still undone names a thread that never completed anywhere — its
+    /// worker died with it and a fresh-id replay covered the work, or the
+    /// duplicate subtree it belonged to was abandoned at termination. Both
+    /// are expected under kills; retire them so the lost-task oracle keeps
+    /// meaning for everything else.
+    pub fn watch_settle_lineage(&mut self) {
+        if self.watch.is_none() {
+            return;
+        }
+        let tids: Vec<u64> = self
+            .lineage
+            .iter()
+            .flatten()
+            .filter(|r| !r.done)
+            .map(|r| r.tid)
+            .collect();
+        for t in tids {
+            self.watch_retire(t);
+        }
+    }
+
     /// Detach and close the watchdog (end of run).
     pub fn watch_finish(&mut self) -> Option<WatchdogReport> {
         self.watch.take().map(|w| w.finish())
     }
 
     /// A fail-stop kill took `worker` down while it held `tids` live
-    /// frames. Recoverable losses only retire the frames (replay re-creates
-    /// the work under fresh tids); an unrecoverable loss latches the typed
-    /// abort for the runner.
-    pub fn note_worker_lost(&mut self, worker: usize, tids: Vec<u64>, recoverable: bool) {
+    /// frames. Recoverable losses (`fail == None`) only retire the frames
+    /// (replay re-creates the work under fresh tids); an unrecoverable
+    /// loss latches the typed abort for the runner.
+    pub fn note_worker_lost(
+        &mut self,
+        worker: usize,
+        tids: Vec<u64>,
+        fail: Option<UnrecoverableReason>,
+    ) {
         self.stats.workers_lost += 1;
         self.stats.tasks_lost += tids.len() as u64;
         if let Some(w) = &mut self.watch {
-            w.worker_lost(worker, &tids, recoverable);
+            w.worker_lost(worker, &tids, fail.is_none());
         }
-        if !recoverable && self.unrecoverable.is_none() {
-            self.unrecoverable = Some((worker, tids));
+        if let Some(reason) = fail {
+            if self.unrecoverable.is_none() {
+                self.unrecoverable = Some((worker, tids, reason));
+            }
         }
     }
 

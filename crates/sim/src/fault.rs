@@ -97,6 +97,62 @@ pub struct KillEvent {
     pub at: VTime,
 }
 
+/// Typed rejection of a fault-plan spec: either the text itself is
+/// malformed, or the clauses are individually well-formed but describe a
+/// plan that cannot behave as written (a silently-miscalibrated registry,
+/// a kill that can never fire). Collapsing these into one string would let
+/// callers print them, but not distinguish a typo from a semantic trap —
+/// the CLI wants to suggest the nearest working configuration for the
+/// latter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// The spec text does not parse (unknown clause, bad number, …).
+    Syntax(String),
+    /// `lease=` is shorter than `hb=`: a worker could be confirmed dead
+    /// between two of its own heartbeats, making the registry unsound
+    /// (live workers "confirmed" and their work double-executed).
+    LeaseShorterThanHeartbeat { lease: VTime, hb: VTime },
+    /// A kill is scheduled at or past the plan's declared `horizon=`: it
+    /// would never fire, silently turning a crash test into a healthy run.
+    KillPastHorizon {
+        worker: WorkerId,
+        at: VTime,
+        horizon: VTime,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::Syntax(s) => write!(f, "{s}"),
+            FaultPlanError::LeaseShorterThanHeartbeat { lease, hb } => write!(
+                f,
+                "lease {lease} is shorter than the heartbeat period {hb}: a live worker \
+                 could be confirmed dead between two of its own beats (need lease ≥ hb)"
+            ),
+            FaultPlanError::KillPastHorizon { worker, at, horizon } => write!(
+                f,
+                "kill of worker {worker} at {at} lies at or past the declared horizon \
+                 {horizon}: it would never fire"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+impl From<String> for FaultPlanError {
+    fn from(s: String) -> FaultPlanError {
+        FaultPlanError::Syntax(s)
+    }
+}
+
+impl From<FaultPlanError> for String {
+    fn from(e: FaultPlanError) -> String {
+        e.to_string()
+    }
+}
+
 /// Declarative description of every fault the fabric will inject.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultPlan {
@@ -117,6 +173,10 @@ pub struct FaultPlan {
     pub hb_period: VTime,
     /// Lease: silence beyond this since the last heartbeat confirms death.
     pub lease: VTime,
+    /// Declared run horizon (`horizon=` clause): the latest virtual time the
+    /// caller intends to simulate. Purely a validation aid — kills scheduled
+    /// at or past it are rejected instead of silently never firing.
+    pub horizon: Option<VTime>,
     /// Seed of the fault RNG streams (independent of the run seed).
     pub seed: u64,
 }
@@ -140,6 +200,7 @@ impl FaultPlan {
             recover: false,
             hb_period: HB_PERIOD_DEFAULT,
             lease: LEASE_DEFAULT,
+            horizon: None,
             seed: 0,
         }
     }
@@ -221,11 +282,17 @@ impl FaultPlan {
     /// recover=on          arm recovery machinery without scheduling a kill
     /// hb=T                heartbeat period of the lease registry
     /// lease=T             lease timeout confirming a silent worker dead
+    /// horizon=T           declared run horizon; kills must fire before it
     /// ```
     ///
     /// Times accept `ns`/`us`/`ms`/`s` suffixes (default ns):
     /// `verb=0.01,drop=0.02,degrade=3@2ms..9ms*4,crash=1@1ms..3ms,kill=2@4ms`.
-    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+    ///
+    /// Beyond the grammar, the assembled plan is [`validated`]
+    /// (FaultPlan::validate): a lease shorter than the heartbeat period or
+    /// a kill at/past the declared horizon is a typed error, not a plan
+    /// that silently misbehaves.
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultPlanError> {
         let mut plan = FaultPlan::none();
         for clause in spec.split(',').filter(|c| !c.is_empty()) {
             let (key, val) = clause
@@ -245,7 +312,7 @@ impl FaultPlan {
                         .parse()
                         .map_err(|_| format!("bad degrade factor `{factor}`"))?;
                     if factor < 1.0 {
-                        return Err(format!("degrade factor {factor} must be ≥ 1"));
+                        return Err(format!("degrade factor {factor} must be ≥ 1").into());
                     }
                     plan.degrade.push(DegradeWindow {
                         worker,
@@ -274,15 +341,39 @@ impl FaultPlan {
                     plan.recover = match val {
                         "on" | "true" | "1" => true,
                         "off" | "false" | "0" => false,
-                        _ => return Err(format!("recover wants on/off, got `{val}`")),
+                        _ => return Err(format!("recover wants on/off, got `{val}`").into()),
                     };
                 }
                 "hb" => plan.hb_period = parse_vtime(val)?,
                 "lease" => plan.lease = parse_vtime(val)?,
-                _ => return Err(format!("unknown fault clause `{key}`")),
+                "horizon" => plan.horizon = Some(parse_vtime(val)?),
+                _ => return Err(format!("unknown fault clause `{key}`").into()),
             }
         }
+        plan.validate()?;
         Ok(plan)
+    }
+
+    /// Semantic validation of an assembled plan — the checks that individual
+    /// clause parsing cannot see. Runs automatically at the end of
+    /// [`Self::parse`]; programmatic constructors may call it directly.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        if self.recovery_armed() && self.lease < self.hb_period {
+            return Err(FaultPlanError::LeaseShorterThanHeartbeat {
+                lease: self.lease,
+                hb: self.hb_period,
+            });
+        }
+        if let Some(horizon) = self.horizon {
+            if let Some(k) = self.kill.iter().find(|k| k.at >= horizon) {
+                return Err(FaultPlanError::KillPastHorizon {
+                    worker: k.worker,
+                    at: k.at,
+                    horizon,
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -337,6 +428,9 @@ impl fmt::Display for FaultPlan {
         }
         if self.lease != LEASE_DEFAULT {
             clause(f, format_args!("lease={}ns", self.lease.as_ns()))?;
+        }
+        if let Some(h) = self.horizon {
+            clause(f, format_args!("horizon={}ns", h.as_ns()))?;
         }
         Ok(())
     }
@@ -733,6 +827,51 @@ mod tests {
     }
 
     #[test]
+    fn parse_rejects_lease_shorter_than_heartbeat() {
+        // A registry that could confirm a live worker dead is rejected with
+        // the typed error, not accepted as a silently-unsound plan.
+        let err = FaultPlan::parse("kill=1@2ms,hb=50us,lease=20us").unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::LeaseShorterThanHeartbeat {
+                lease: VTime::us(20),
+                hb: VTime::us(50),
+            }
+        );
+        assert!(err.to_string().contains("lease"), "{err}");
+        // Same misconfiguration under recover=on (no kill scheduled).
+        assert!(matches!(
+            FaultPlan::parse("recover=on,hb=50us,lease=20us"),
+            Err(FaultPlanError::LeaseShorterThanHeartbeat { .. })
+        ));
+        // Equality is fine; so is a short lease when recovery never runs.
+        assert!(FaultPlan::parse("kill=1@2ms,hb=20us,lease=20us").is_ok());
+        assert!(FaultPlan::parse("hb=50us,lease=20us").is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_kill_past_horizon() {
+        let err = FaultPlan::parse("kill=2@5ms,horizon=4ms").unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::KillPastHorizon {
+                worker: 2,
+                at: VTime::ms(5),
+                horizon: VTime::ms(4),
+            }
+        );
+        assert!(err.to_string().contains("horizon"), "{err}");
+        // At the horizon exactly: still never fires (run ends first).
+        assert!(FaultPlan::parse("kill=2@4ms,horizon=4ms").is_err());
+        // Strictly before: valid, and the horizon round-trips.
+        let p = FaultPlan::parse("kill=2@3ms,horizon=4ms").unwrap();
+        assert_eq!(p.horizon, Some(VTime::ms(4)));
+        assert_eq!(FaultPlan::parse(&p.to_string()).unwrap(), p);
+        // A horizon with no kills constrains nothing.
+        assert!(FaultPlan::parse("horizon=1us,crash=1@2ms..3ms").is_ok());
+    }
+
+    #[test]
     fn kill_death_and_lease_semantics() {
         let plan = FaultPlan::none().with_kill(1, VTime::ms(1));
         let lease = plan.lease;
@@ -774,8 +913,9 @@ mod tests {
             kill in proptest::collection::vec((0usize..16, 0u64..5_000_000), 0..4),
             recover in proptest::bool::ANY,
             hb_us in 1u64..100,
-            lease_us in 1u64..1000,
+            lease_extra_us in 0u64..1000,
             default_registry in proptest::bool::ANY,
+            with_horizon in proptest::bool::ANY,
         ) {
             let mut p = FaultPlan::none();
             p.verb_fail_p = verb_m as f64 * 0.005;
@@ -797,8 +937,15 @@ mod tests {
             }
             p.recover = recover;
             if !default_registry {
+                // A valid registry needs lease ≥ hb (validated at parse), so
+                // generate the lease as heartbeat-plus-slack.
                 p.hb_period = VTime::us(hb_us);
-                p.lease = VTime::us(lease_us);
+                p.lease = VTime::us(hb_us + lease_extra_us);
+            }
+            if with_horizon {
+                // The horizon must lie strictly past every kill to be valid.
+                let last = p.kill.iter().map(|k| k.at).max().unwrap_or(VTime::ZERO);
+                p.horizon = Some(last + VTime::ns(1));
             }
             let printed = p.to_string();
             let back = FaultPlan::parse(&printed)

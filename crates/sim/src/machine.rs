@@ -526,6 +526,24 @@ impl Machine {
         }
     }
 
+    /// Post an *unsignaled* bulk put: like
+    /// [`Self::post_put_u64_unsignaled`], but for a small payload that still
+    /// rides a single injection (e.g. an inlined checkpoint header). The
+    /// issuer pays the non-blocking injection plus wire serialization and
+    /// never reaps a completion.
+    pub fn post_put_bulk_unsignaled(&mut self, me: WorkerId, to: WorkerId, len: usize) -> VTime {
+        self.note_unsignaled_depth(me);
+        if to == me {
+            self.stats[me].local_ops += 1;
+            self.lat().local() + self.lat().payload(len) / 8
+        } else {
+            self.stats[me].remote_puts += 1;
+            self.stats[me].bytes_put += len as u64;
+            let base = self.lat().put_nb() + self.lat().payload(len);
+            self.fault_cost(me, to, base)
+        }
+    }
+
     /// Post `fetch_and_add(L, v)`: one-sided atomic; the completion carries
     /// the fetched value.
     pub fn post_fetch_add_u64(
