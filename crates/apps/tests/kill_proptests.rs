@@ -66,9 +66,14 @@ fn double_kill_plan(v1: usize, v2: usize, t1_us: u64, delta_ns: u64, workers: us
 }
 
 fn cfg(policy: Policy, plan: FaultPlan) -> RunConfig {
+    cfg_proto(policy, Protocol::CasLock, plan)
+}
+
+fn cfg_proto(policy: Policy, protocol: Protocol, plan: FaultPlan) -> RunConfig {
     let mut cfg = RunConfig::new(WORKERS, policy)
         .with_profile(profiles::test_profile())
         .with_seg_bytes(64 << 20)
+        .with_protocol(protocol)
         .with_fault_plan(plan)
         .with_watchdog(true);
     // A hung recovery must fail loudly (engine panic), not wedge the suite.
@@ -103,10 +108,19 @@ proptest! {
         let spec = presets::tiny();
         let truth = serial_count(&spec).nodes;
         for policy in POLICIES {
-            let r = run(cfg(policy, kill_plan(&raw, WORKERS)), program(spec.clone()));
-            assert!(r.outcome.is_complete(), "{policy:?} raw={raw:?}: {:?}", r.outcome);
-            assert_eq!(r.result.as_u64(), truth, "{policy:?} raw={raw:?}");
-            assert_clean_modulo_leaks(&r, &format!("{policy:?} raw={raw:?}"));
+            // Recovery must be steal-protocol-independent: lineage replay
+            // dedups against a stale fence-free claim the same way it does
+            // against a stale CAS.
+            for protocol in Protocol::ALL {
+                let r = run(
+                    cfg_proto(policy, protocol, kill_plan(&raw, WORKERS)),
+                    program(spec.clone()),
+                );
+                let ctx = format!("{policy:?}/{} raw={raw:?}", protocol.label());
+                assert!(r.outcome.is_complete(), "{ctx}: {:?}", r.outcome);
+                assert_eq!(r.result.as_u64(), truth, "{ctx}");
+                assert_clean_modulo_leaks(&r, &ctx);
+            }
         }
     }
 

@@ -19,19 +19,21 @@
 //!   tree; oracles are termination safety (created == consumed, no resident
 //!   work lost) and the serial node count.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use dcs_core::dedup::ClaimSet;
 use dcs_core::deque::{
-    owner_pop, owner_push, thief_advance_top, thief_lock, thief_release_lock, thief_take,
-    thief_take_no_release, DequeError,
+    ff_owner_pop, ff_owner_push, ff_thief_claim, owner_pop, owner_push, thief_advance_top,
+    thief_lock, thief_read_bounds, thief_release_lock, thief_take, thief_take_no_release,
+    DequeError, FfSteal,
 };
 use dcs_core::frame::{frame, Effect, TaskCtx};
 use dcs_core::layout::{SegLayout, DQ_LOCK};
 use dcs_core::util::Slab;
 use dcs_core::value::{ThreadHandle, Value};
-use dcs_core::world::QueueItem;
-use dcs_core::{run_hooked, FreeStrategy, Policy, Program, RunConfig};
+use dcs_core::world::{QueueItem, WorkerShared};
+use dcs_core::{run_hooked, FreeStrategy, Policy, Program, Protocol, RunConfig};
 use dcs_sim::{
     profiles, Actor, Engine, FabricMode, GlobalAddr, Machine, MachineConfig, ScheduleHook, Step,
     VTime, VerbHandle, WorkerId,
@@ -410,6 +412,271 @@ fn deque_scenario(name: &str, workers: usize, n_items: u64, order: ReleaseOrder)
 }
 
 // ---------------------------------------------------------------------------
+// Fence-free deque scenarios (the multiplicity oracle)
+// ---------------------------------------------------------------------------
+
+/// World for the fence-free steal scenarios. Unlike the CAS-lock shadow
+/// deque, the oracle here is a *multiplicity* ledger: fence-free steals are
+/// read/write-only, so an occupancy may be **taken** (payload transferred)
+/// by more than one party, but the claim arbitration must ensure every
+/// pushed task is **executed** exactly once, with the total take count per
+/// task bounded by the number of potential takers (owner + thieves = the
+/// worker count). Delivery order is deliberately not part of the contract —
+/// fence-free takers validate instead of serializing.
+struct FfWorld {
+    m: Machine,
+    /// Worker 0's shared state: the item slab and the live-ticket map.
+    ws: WorkerShared,
+    /// The claim arbiter honest takers share (models the claim-write).
+    claims: ClaimSet,
+    lay: SegLayout,
+    /// Per-tag (executions, take attempts); filled at push time.
+    counts: HashMap<u64, (u32, u32)>,
+    pushed: u64,
+    /// The multiplicity bound k: owner + thieves.
+    cap: u32,
+    violations: Vec<String>,
+}
+
+impl FfWorld {
+    /// A party got the payload and will run the task.
+    fn note_exec(&mut self, tag: u64, who: &str) {
+        let e = self.counts.entry(tag).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += 1;
+        if e.0 > 1 {
+            self.violations.push(format!(
+                "multiplicity: task {tag} executed {} times ({who} took it again)",
+                e.0
+            ));
+        }
+        if e.1 > self.cap {
+            self.violations.push(format!(
+                "multiplicity: task {tag} taken {} times, bound is {}",
+                e.1, self.cap
+            ));
+        }
+    }
+
+    /// A party paid the payload transfer but lost the claim race.
+    fn note_dup(&mut self, tag: u64) {
+        let e = self.counts.entry(tag).or_insert((0, 0));
+        e.1 += 1;
+        if e.1 > self.cap {
+            self.violations.push(format!(
+                "multiplicity: task {tag} taken {} times, bound is {}",
+                e.1, self.cap
+            ));
+        }
+    }
+
+    fn all_executed(&self) -> bool {
+        self.counts.values().all(|&(e, _)| e >= 1)
+    }
+}
+
+enum FfActor {
+    Owner {
+        to_push: u64,
+    },
+    Thief {
+        state: FfThiefState,
+        /// `Some` recomposes the deliberate bug: this thief arbitrates
+        /// against its own private claim set — a claim-write that reaches
+        /// nobody — so a take it wins is invisible to the owner and the
+        /// task runs twice. The self-test (`broken-claim`) proves the
+        /// multiplicity oracle catches exactly that.
+        private_claims: Option<ClaimSet>,
+    },
+}
+
+enum FfThiefState {
+    Bounds { attempts: u32 },
+    Claim { top: u64, attempts: u32 },
+    Done,
+}
+
+impl Actor<FfWorld> for FfActor {
+    fn step(&mut self, me: WorkerId, _now: VTime, w: &mut FfWorld) -> Step {
+        match self {
+            FfActor::Owner { to_push } => {
+                if w.pushed < *to_push {
+                    let tag = w.pushed;
+                    let cost = ff_owner_push(&mut w.m, &mut w.ws, &w.lay, me, dq_item(tag));
+                    w.pushed += 1;
+                    w.counts.insert(tag, (0, 0));
+                    return Step::Yield(cost);
+                }
+                match ff_owner_pop(&mut w.m, &mut w.ws, &mut w.claims, &w.lay, me) {
+                    Ok((Some(item), cost)) => {
+                        let tag = dq_tag(&item);
+                        w.note_exec(tag, "owner_pop");
+                        Step::Yield(cost)
+                    }
+                    Ok((None, cost)) => {
+                        // Claim + execution bookkeeping are atomic within a
+                        // taker's step, so an empty deque with every task
+                        // executed means the run is over; otherwise a thief
+                        // is still between bounds read and claim.
+                        if w.pushed == *to_push && w.all_executed() {
+                            Step::Halt
+                        } else {
+                            Step::Yield(cost)
+                        }
+                    }
+                    Err(DequeError::Busy) => {
+                        unreachable!("fence-free owners are never blocked")
+                    }
+                    Err(DequeError::Dead(d)) => {
+                        w.violations
+                            .push(format!("ff_owner_pop observed a corrupt slot: {d:?}"));
+                        Step::Halt
+                    }
+                }
+            }
+            FfActor::Thief {
+                state,
+                private_claims,
+            } => match state {
+                FfThiefState::Bounds { attempts } => {
+                    let ((top, bottom), cost) = thief_read_bounds(&mut w.m, &w.lay, me, 0);
+                    if top >= bottom {
+                        *attempts += 1;
+                        if *attempts >= 16 {
+                            return Step::Halt; // give up: a failed steal
+                        }
+                        return Step::Yield(cost);
+                    }
+                    *state = FfThiefState::Claim {
+                        top,
+                        attempts: *attempts,
+                    };
+                    Step::Yield(cost)
+                }
+                FfThiefState::Claim { top, attempts } => {
+                    // Oracle-side peek at the slot the claim will target, so
+                    // a Dup can be charged to the right task.
+                    let keyp1 = w.m.read_own(0, GlobalAddr::new(0, w.lay.dq_slot(*top)));
+                    let (outcome, mut cost) = match private_claims {
+                        Some(p) => ff_thief_claim(&mut w.m, &mut w.ws, p, &w.lay, me, 0, *top),
+                        None => ff_thief_claim(
+                            &mut w.m,
+                            &mut w.ws,
+                            &mut w.claims,
+                            &w.lay,
+                            me,
+                            0,
+                            *top,
+                        ),
+                    };
+                    match outcome {
+                        FfSteal::Taken(item, size) => {
+                            cost += w.m.get_bulk(me, 0, size);
+                            let tag = dq_tag(&item);
+                            w.note_exec(tag, &format!("thief {me}"));
+                            *state = FfThiefState::Done; // one steal per thief
+                            Step::Yield(cost)
+                        }
+                        FfSteal::Dup => {
+                            let tag = keyp1
+                                .checked_sub(1)
+                                .and_then(|k| w.ws.items.get(k as u32))
+                                .map(dq_tag);
+                            if let Some(tag) = tag {
+                                w.note_dup(tag);
+                            }
+                            *state = FfThiefState::Bounds {
+                                attempts: *attempts + 1,
+                            };
+                            Step::Yield(cost)
+                        }
+                        FfSteal::Lost => {
+                            *state = FfThiefState::Bounds {
+                                attempts: *attempts + 1,
+                            };
+                            Step::Yield(cost)
+                        }
+                    }
+                }
+                FfThiefState::Done => Step::Halt,
+            },
+        }
+    }
+}
+
+/// Build a fence-free steal scenario: worker 0 owns the ring and pushes
+/// `n_items` `Child` descriptors; workers `1..workers` each run the
+/// bounds-read → claim pipeline. With `broken_claim`, every thief arbitrates
+/// against a private claim set (the no-op claim-write bug) and the
+/// multiplicity oracle must catch a double execution.
+fn ff_deque_scenario(name: &str, workers: usize, n_items: u64, broken_claim: bool) -> Scenario {
+    assert!(workers >= 2);
+    let name_owned = name.to_string();
+    let runner = move |hook: &mut dyn ScheduleHook| -> Vec<String> {
+        let cfg = RunConfig::new(workers, Policy::ContGreedy);
+        let lay = SegLayout::new(&cfg);
+        let m = Machine::new(
+            MachineConfig::new(workers, profiles::test_profile())
+                .with_seg_bytes(cfg.seg_bytes)
+                .with_reserved(lay.reserved),
+        );
+        let world = FfWorld {
+            m,
+            ws: WorkerShared::new(&cfg),
+            claims: ClaimSet::default(),
+            lay,
+            counts: HashMap::new(),
+            pushed: 0,
+            cap: workers as u32,
+            violations: Vec::new(),
+        };
+        let mut actors = vec![FfActor::Owner { to_push: n_items }];
+        for _ in 1..workers {
+            actors.push(FfActor::Thief {
+                state: FfThiefState::Bounds { attempts: 0 },
+                private_claims: broken_claim.then(ClaimSet::default),
+            });
+        }
+        let mut engine = Engine::new(world, actors).with_max_steps(100_000);
+        engine.run_with_hook(hook);
+        let w = &mut engine.world;
+        let mut tags: Vec<u64> = w.counts.keys().copied().collect();
+        tags.sort_unstable();
+        for tag in tags {
+            let (exec, takes) = w.counts[&tag];
+            if exec != 1 {
+                w.violations.push(format!(
+                    "multiplicity: task {tag} executed {exec} times, want exactly 1"
+                ));
+            }
+            if takes > w.cap {
+                w.violations.push(format!(
+                    "multiplicity: task {tag} taken {takes} times, bound is {}",
+                    w.cap
+                ));
+            }
+        }
+        if !w.ws.items.is_empty() {
+            w.violations
+                .push("leak: queue-item slab not empty at end of run".to_string());
+        }
+        if !w.ws.ff_tickets.is_empty() {
+            w.violations
+                .push("leak: live tickets left at end of run".to_string());
+        }
+        w.violations.sort_unstable();
+        w.violations.dedup();
+        std::mem::take(&mut w.violations)
+    };
+    Scenario {
+        name: name_owned,
+        workers,
+        expect_violation: broken_claim,
+        runner: Box::new(runner),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Full-runtime scenarios
 // ---------------------------------------------------------------------------
 
@@ -480,6 +747,7 @@ struct ProgSpec {
 /// A full-runtime scenario: run the program under the policy/strategy pair
 /// with the watchdog on (non-strict, so leaks and protocol violations are
 /// reported instead of panicking) and check the result value.
+#[allow(clippy::too_many_arguments)]
 fn runtime_scenario(
     name: String,
     workers: usize,
@@ -487,6 +755,7 @@ fn runtime_scenario(
     policy: Policy,
     strategy: FreeStrategy,
     fabric: FabricMode,
+    protocol: Protocol,
     spec: ProgSpec,
 ) -> Scenario {
     let runner = move |hook: &mut dyn ScheduleHook| -> Vec<String> {
@@ -496,7 +765,8 @@ fn runtime_scenario(
             .with_watchdog(true)
             .with_strict(false)
             .with_seed(seed)
-            .with_fabric(fabric);
+            .with_fabric(fabric)
+            .with_protocol(protocol);
         let report = run_hooked(cfg, Program::new(spec.root, spec.arg), hook);
         let mut violations = Vec::new();
         if report.result.as_u64() != spec.expected {
@@ -717,6 +987,11 @@ pub fn catalog(workers: usize, seed: u64) -> Vec<Scenario> {
         deque_scenario("deque-steal", workers, 2, ReleaseOrder::Fixed),
         deque_scenario("broken-release", 2, 1, ReleaseOrder::Broken),
         deque_scenario("deque-steal-pipelined", workers, 2, ReleaseOrder::Pipelined),
+        // The fence-free family: read/write-only steals with bounded
+        // multiplicity, and the no-op-claim-write self-test the
+        // multiplicity oracle must catch.
+        ff_deque_scenario("fence-free-steal", workers, 2, false),
+        ff_deque_scenario("broken-claim", 2, 1, true),
     ];
     for policy in Policy::ALL {
         for strategy in [FreeStrategy::LockQueue, FreeStrategy::LocalCollection] {
@@ -727,6 +1002,7 @@ pub fn catalog(workers: usize, seed: u64) -> Vec<Scenario> {
                 policy,
                 strategy,
                 FabricMode::Blocking,
+                Protocol::CasLock,
                 ProgSpec {
                     root: single_steal_root,
                     arg: 0,
@@ -744,6 +1020,24 @@ pub fn catalog(workers: usize, seed: u64) -> Vec<Scenario> {
             policy,
             FreeStrategy::LocalCollection,
             FabricMode::Pipelined,
+            Protocol::CasLock,
+            ProgSpec {
+                root: single_steal_root,
+                arg: 0,
+                expected: 15,
+            },
+        ));
+        // The Fig. 4 one-item race again, but stealing fence-free: the
+        // thief's claim races the owner's ff_owner_pop_parent fast path and
+        // the dedup arbitration (not a lock) must keep the join exact.
+        v.push(runtime_scenario(
+            format!("single-steal-ff:{}", policy_slug(policy)),
+            workers,
+            seed,
+            policy,
+            FreeStrategy::LocalCollection,
+            FabricMode::Blocking,
+            Protocol::FenceFree,
             ProgSpec {
                 root: single_steal_root,
                 arg: 0,
@@ -758,6 +1052,7 @@ pub fn catalog(workers: usize, seed: u64) -> Vec<Scenario> {
         Policy::ContGreedy,
         FreeStrategy::LocalCollection,
         FabricMode::Blocking,
+        Protocol::CasLock,
         ProgSpec {
             root: fib,
             arg: 8,
@@ -771,6 +1066,53 @@ pub fn catalog(workers: usize, seed: u64) -> Vec<Scenario> {
         Policy::ContGreedy,
         FreeStrategy::LocalCollection,
         FabricMode::Pipelined,
+        Protocol::CasLock,
+        ProgSpec {
+            root: fib,
+            arg: 8,
+            expected: 21,
+        },
+    ));
+    // Fence-free termination: a full fork-join tree must drain, terminate
+    // and pass the end-of-run leak oracles (finalize reclaims thief-claimed
+    // slots) under every explored schedule — in both fabric modes, and
+    // under the lock-free family for contrast.
+    v.push(runtime_scenario(
+        "fence-free-term".to_string(),
+        workers,
+        seed,
+        Policy::ContGreedy,
+        FreeStrategy::LocalCollection,
+        FabricMode::Blocking,
+        Protocol::FenceFree,
+        ProgSpec {
+            root: fib,
+            arg: 8,
+            expected: 21,
+        },
+    ));
+    v.push(runtime_scenario(
+        "fence-free-term-pipelined".to_string(),
+        workers,
+        seed,
+        Policy::ContGreedy,
+        FreeStrategy::LocalCollection,
+        FabricMode::Pipelined,
+        Protocol::FenceFree,
+        ProgSpec {
+            root: fib,
+            arg: 8,
+            expected: 21,
+        },
+    ));
+    v.push(runtime_scenario(
+        "lock-free-term".to_string(),
+        workers,
+        seed,
+        Policy::ContGreedy,
+        FreeStrategy::LocalCollection,
+        FabricMode::Blocking,
+        Protocol::LockFree,
         ProgSpec {
             root: fib,
             arg: 8,

@@ -220,6 +220,186 @@ fn checked_in_regression_schedule_reproduces() {
     );
 }
 
+/// The fence-free multiplicity oracle, exhaustively: the read/write-only
+/// steal pipeline (bounds read → entry get → claim-write) races the owner's
+/// pops on every delay-3 interleaving at 2 workers and delay-2 at 3 — every
+/// pushed task must be executed exactly once and taken at most k times,
+/// with no corrupt slots, lost items, or leaked tickets.
+#[test]
+fn fence_free_steal_survives_exhaustive_exploration() {
+    let s = by_name("fence-free-steal", 2, 1).unwrap();
+    let out = explore_exhaustive(&|c| s.run_choices(c), 3, 50_000);
+    assert!(out.complete, "delay-3 space must fit the budget");
+    assert!(
+        out.findings.is_empty(),
+        "fence-free steal has no failing schedule: {:?}",
+        out.findings
+    );
+    // Without a lock-retry loop the runs are short, so the space is smaller
+    // than the CAS-lock scenario's — but it must still branch.
+    assert!(out.schedules > 20, "exploration actually branched");
+
+    // Three workers: two concurrent thieves can race the same occupancy,
+    // so the Dup path (bounded multiplicity) is reachable here.
+    let s3 = by_name("fence-free-steal", 3, 1).unwrap();
+    let out = explore_exhaustive(&|c| s3.run_choices(c), 2, 50_000);
+    assert!(out.complete, "delay-2 space at 3 workers must fit the budget");
+    assert!(
+        out.findings.is_empty(),
+        "fence-free steal violated at 3 workers: {:?}",
+        out.findings
+    );
+    assert!(out.schedules > 100, "the two-thief space is the larger one");
+}
+
+/// The self-test for the multiplicity oracle: recompose the thief with a
+/// claim-write that arbitrates against a private set (reaches nobody), and
+/// the checker must catch a task executing twice — then minimize the
+/// failing schedule, serialize it, and reproduce the failure from the file.
+#[test]
+fn broken_claim_is_caught_minimized_and_replayable() {
+    let s = by_name("broken-claim", 2, 1).expect("scenario exists");
+    assert!(s.expect_violation);
+    let run = |choices: &[u32]| s.run_choices(choices);
+
+    let out = explore_exhaustive(&run, 2, 5_000);
+    assert!(
+        !out.findings.is_empty(),
+        "exploration must flush out the no-op claim-write"
+    );
+    let finding = &out.findings[0];
+    assert!(
+        finding.violations.iter().any(|v| v.contains("multiplicity")),
+        "the violation is a multiplicity breach: {:?}",
+        finding.violations
+    );
+
+    let min = minimize(&run, &finding.choices);
+    assert!(min.len() <= finding.choices.len());
+    let sched = Schedule {
+        scenario: s.name.clone(),
+        workers: s.workers,
+        seed: 1,
+        choices: min,
+    };
+    let text = sched.to_string();
+    let parsed = Schedule::parse(&text).expect("own output parses");
+    assert_eq!(parsed, sched);
+
+    let replayed = by_name(&parsed.scenario, parsed.workers, parsed.seed)
+        .expect("serialized scenario resolves");
+    let rec = replayed.run_choices(&parsed.choices);
+    assert!(
+        rec.violations.iter().any(|v| v.contains("multiplicity")),
+        "replaying the minimized schedule reproduces the bug: {:?}",
+        rec.violations
+    );
+}
+
+/// The full runtime stealing fence-free: the one-item Fig. 4 race under
+/// every policy, and fork-join termination in both fabric modes (finalize
+/// must reclaim thief-claimed slots on every schedule or the leak oracle
+/// fires). The lock-free family rides along for contrast.
+#[test]
+fn fence_free_runtime_survives_exploration() {
+    for name in [
+        "single-steal-ff:greedy",
+        "single-steal-ff:stalling",
+        "single-steal-ff:child-full",
+        "single-steal-ff:child-rtc",
+    ] {
+        let s = by_name(name, 2, 1).expect("catalog covers all policies");
+        let out = explore_exhaustive(&|c| s.run_choices(c), 2, 20_000);
+        assert!(out.complete, "{name}: delay-2 space must fit the budget");
+        assert!(
+            out.findings.is_empty(),
+            "{name} violated under schedule {:?}: {:?}",
+            out.findings[0].choices,
+            out.findings[0].violations
+        );
+    }
+    for name in ["fence-free-term", "fence-free-term-pipelined", "lock-free-term"] {
+        let s = by_name(name, 2, 1).expect("scenario exists");
+        let out = explore_exhaustive(&|c| s.run_choices(c), 1, 10_000);
+        assert!(out.complete, "{name}: delay-1 space must fit the budget");
+        assert!(
+            out.findings.is_empty(),
+            "{name} violated under schedule {:?}: {:?}",
+            out.findings[0].choices,
+            out.findings[0].violations
+        );
+    }
+}
+
+/// PCT sample of the fence-free scenarios at 3 workers (two thieves racing
+/// one ring makes the Dup path live) — the fast counterpart of the wide
+/// 8-worker sweep below.
+#[test]
+fn fence_free_survives_pct_sample() {
+    for (name, horizon) in [("fence-free-steal", 128), ("fence-free-term", 512)] {
+        let s = by_name(name, 3, 1).unwrap();
+        let out = explore_pct(&|seed| s.run_pct(seed, 3, horizon), 50);
+        assert!(
+            out.findings.is_empty(),
+            "{name} violated under PCT: {:?}",
+            out.findings
+        );
+    }
+}
+
+/// Acceptance-scale sweep for the fence-free family: 500 PCT seeds at 8
+/// workers. Slow, so it only runs under `--ignored` — CI's checker job
+/// includes it.
+#[test]
+#[ignore = "acceptance-scale sweep; run with --ignored (CI does)"]
+fn fence_free_survives_wide_pct() {
+    for (name, horizon) in [("fence-free-steal", 256), ("fence-free-term", 512)] {
+        let s = by_name(name, 8, 1).expect("scenario exists");
+        let out = explore_pct(&|seed| s.run_pct(seed, 3, horizon), 500);
+        assert!(
+            out.findings.is_empty(),
+            "{name} violated under wide PCT: {:?}",
+            out.findings
+        );
+    }
+}
+
+/// The checked-in broken-claim reproducer (found and minimized by
+/// `broken_claim_is_caught_minimized_and_replayable`'s machinery) still
+/// reproduces the double execution from its serialized form.
+#[test]
+fn checked_in_broken_claim_schedule_reproduces() {
+    let text = include_str!("schedules/broken-claim.schedule");
+    let sched = Schedule::parse(text).expect("regression schedule parses");
+    assert_eq!(sched.scenario, "broken-claim");
+    let s = by_name(&sched.scenario, sched.workers, sched.seed).unwrap();
+    let rec = s.run_choices(&sched.choices);
+    assert!(
+        rec.violations.iter().any(|v| v.contains("multiplicity")),
+        "broken-claim schedule no longer reproduces: {:?}",
+        rec.violations
+    );
+}
+
+/// The checked-in fence-free dup-window schedule: a recorded 3-worker
+/// interleaving where two thieves race the same occupancy and one pays the
+/// bounded-multiplicity dup. Replaying it must stay clean — if the claim
+/// arbitration regresses (e.g. the dedup moves after the payload copy
+/// without revalidation), this fixture catches it without re-exploring.
+#[test]
+fn checked_in_fence_free_dup_schedule_stays_clean() {
+    let text = include_str!("schedules/fence-free-steal.schedule");
+    let sched = Schedule::parse(text).expect("fixture parses");
+    assert_eq!(sched.scenario, "fence-free-steal");
+    let s = by_name(&sched.scenario, sched.workers, sched.seed).unwrap();
+    let rec = s.run_choices(&sched.choices);
+    assert!(
+        rec.violations.is_empty(),
+        "fence-free dup-window schedule regressed: {:?}",
+        rec.violations
+    );
+}
+
 /// PCT runs replay exactly: the recorded decision vector of a randomized
 /// run, fed back through the deterministic controller, reproduces the same
 /// outcome. This is what makes CI's randomized findings actionable.

@@ -121,6 +121,8 @@ pub struct RunArgs {
     pub fault: FaultPlan,
     /// One-sided verb issue model (blocking, or posted with overlap).
     pub fabric: FabricMode,
+    /// Steal-protocol family (CAS-lock, lock-free, or fence-free).
+    pub protocol: Protocol,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -179,6 +181,7 @@ impl RunArgs {
             trace_out: None,
             fault: FaultPlan::none(),
             fabric: FabricMode::Blocking,
+            protocol: Protocol::CasLock,
         }
     }
 }
@@ -188,6 +191,19 @@ fn parse_fabric(s: &str) -> Result<FabricMode, String> {
         "blocking" => FabricMode::Blocking,
         "pipelined" => FabricMode::Pipelined,
         other => return Err(format!("unknown fabric mode '{other}' (blocking|pipelined)")),
+    })
+}
+
+fn parse_protocol(s: &str) -> Result<Protocol, String> {
+    Ok(match s {
+        "cas-lock" => Protocol::CasLock,
+        "lock-free" => Protocol::LockFree,
+        "fence-free" => Protocol::FenceFree,
+        other => {
+            return Err(format!(
+                "unknown steal protocol '{other}' (cas-lock|lock-free|fence-free)"
+            ))
+        }
     })
 }
 
@@ -275,6 +291,7 @@ fn parse_run_with_list(args: &[String]) -> Result<(RunArgs, Vec<usize>, Option<S
             }
             "--victim" => out.victim = parse_victim(val()?)?,
             "--fabric" => out.fabric = parse_fabric(val()?)?,
+            "--protocol" => out.protocol = parse_protocol(val()?)?,
             "--node-size" => {
                 out.node_size = Some(val()?.parse().map_err(|_| "bad --node-size".to_string())?)
             }
@@ -341,7 +358,8 @@ pub fn execute_run(a: &RunArgs) -> String {
         .with_seed(a.seed)
         .with_seg_bytes(64 << 20)
         .with_fault_plan(a.fault.clone())
-        .with_fabric(a.fabric);
+        .with_fabric(a.fabric)
+        .with_protocol(a.protocol);
     if a.trace_out.is_some() {
         cfg = cfg.with_trace(TraceLevel::Series);
     }
@@ -478,12 +496,20 @@ fn render_report(a: &RunArgs, n: u64, r: &RunReport) -> String {
     let _ = writeln!(s, "threads:    {}", r.threads);
     let _ = writeln!(
         s,
-        "steals:     {} ok ({} B avg, {} avg latency), {} failed",
+        "steals:     {} ok ({} B avg, {} avg latency), {} failed ({})",
         r.stats.steals_ok,
         r.stats.avg_stolen_bytes(),
         r.stats.avg_steal_latency(),
-        r.stats.steals_failed
+        r.stats.steals_failed,
+        a.protocol.label()
     );
+    if a.protocol == Protocol::FenceFree {
+        let _ = writeln!(
+            s,
+            "multiplicity: {} dup takes absorbed, {} lost claim races",
+            r.stats.ff_dups, r.stats.ff_lost_races
+        );
+    }
     let _ = writeln!(
         s,
         "joins:      {} fast, {} outstanding ({} avg)",
@@ -493,8 +519,9 @@ fn render_report(a: &RunArgs, n: u64, r: &RunReport) -> String {
     );
     let _ = writeln!(
         s,
-        "fabric:     {} remote ops, {} KiB moved ({}, {} max in flight)",
+        "fabric:     {} remote ops ({} AMOs), {} KiB moved ({}, {} max in flight)",
         r.fabric.remote_total(),
+        r.fabric.remote_amos,
         (r.fabric.bytes_got + r.fabric.bytes_put) / 1024,
         a.fabric.label(),
         r.fabric.max_inflight
@@ -820,6 +847,12 @@ FLAGS (run & sweep):
                        posts independent verbs back-to-back and reaps
                        completions (same memory semantics, shorter critical
                        paths)
+    --protocol <cas-lock|lock-free|fence-free>    steal protocol     [cas-lock]
+                       cas-lock serializes steals with a per-deque lock;
+                       lock-free claims entries with a single remote CAS;
+                       fence-free uses plain reads/writes only (zero AMO
+                       verbs) with bounded multiplicity closed by the
+                       done-flag dedup — a doubly-taken task executes once
     --node-size <n>    hierarchical topology with n workers per node
     --trace <file>     write a Chrome trace (chrome://tracing, perfetto) [off]
     --fault-plan <spec>  deterministic fault injection                   [off]
@@ -868,6 +901,7 @@ mod tests {
         assert_eq!(a.policy, Policy::ContGreedy);
         assert_eq!(a.workers, 16);
         assert_eq!(a.fabric, FabricMode::Blocking, "goldens depend on this default");
+        assert_eq!(a.protocol, Protocol::CasLock, "goldens depend on this default");
     }
 
     #[test]
@@ -875,7 +909,7 @@ mod tests {
         let cmd = parse(&argv(
             "run --bench lcs --policy child-full --workers 8 --machine wisteria \
              --n 1024 --seed 7 --free lock-queue --scheme iso --victim locality:0.8 --node-size 4 \
-             --fabric pipelined",
+             --fabric pipelined --protocol fence-free",
         ))
         .unwrap();
         let Command::Run(a) = cmd else { panic!() };
@@ -890,6 +924,7 @@ mod tests {
         assert_eq!(a.victim, VictimPolicy::Locality { p_local: 0.8 });
         assert_eq!(a.node_size, Some(4));
         assert_eq!(a.fabric, FabricMode::Pipelined);
+        assert_eq!(a.protocol, Protocol::FenceFree);
     }
 
     #[test]
@@ -939,6 +974,8 @@ mod tests {
         assert!(parse(&argv("run --n")).is_err(), "missing value");
         assert!(parse(&argv("run --fabric nope")).is_err());
         assert!(parse(&argv("run --fabric")).is_err(), "missing value");
+        assert!(parse(&argv("run --protocol nope")).is_err());
+        assert!(parse(&argv("run --protocol")).is_err(), "missing value");
     }
 
     #[test]
@@ -949,6 +986,7 @@ mod tests {
         assert!(info().contains("ITO-A"));
         assert!(HELP.contains("--bench"));
         assert!(HELP.contains("--fabric"));
+        assert!(HELP.contains("--protocol"));
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! First-claimer-wins deduplication primitives.
+//!
+//! Two runtime features need "at most one of N racers proceeds" decided at
+//! the Rust level (each engine step is atomic, so no host-side locking is
+//! needed — see docs/PROTOCOLS.md, "What the checker can and cannot see"):
+//!
+//! * **Lineage replay** (fail-stop recovery, PRs 4/6): a lineage record may
+//!   be drained by several survivors racing over the same dead worker; the
+//!   first to flip the record's [`DoneFlag`] owns the replay, later
+//!   claimers see `done` and skip. The same flag also marks normal
+//!   completion so a kill after completion never re-executes.
+//! * **Fence-free stealing with multiplicity**: a task may be *taken* by
+//!   more than one thief (no atomics on the wire), but only the first to
+//!   claim its ticket in the shared [`ClaimSet`] may *execute* it.
+//!
+//! Both were originally open-coded as `bool` fields; this module is the one
+//! shared implementation.
+
+use crate::util::U64Map;
+
+/// A one-way done/claimed flag with first-claimer-wins semantics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DoneFlag(bool);
+
+impl DoneFlag {
+    /// A flag that is still unclaimed.
+    pub fn new() -> DoneFlag {
+        DoneFlag(false)
+    }
+
+    /// A flag born already set (e.g. a lineage record for work that
+    /// completed before the record was interesting).
+    pub fn done() -> DoneFlag {
+        DoneFlag(true)
+    }
+
+    /// Attempt to claim: returns `true` exactly once, for the first caller.
+    #[must_use]
+    pub fn claim(&mut self) -> bool {
+        !std::mem::replace(&mut self.0, true)
+    }
+
+    /// Set unconditionally (completion marking, where nobody races).
+    pub fn set(&mut self) {
+        self.0 = true;
+    }
+
+    pub fn is_done(self) -> bool {
+        self.0
+    }
+}
+
+/// A set of `u64` tickets with first-claimer-wins insertion — the dedup
+/// arbiter for fence-free stealing. Tickets are globally unique per deque
+/// occupancy (worker id ⊕ per-worker counter), so the set only ever grows
+/// within a run; entries for consumed tasks are retired by the claimer to
+/// keep the map bounded by in-flight multiplicity, not run length.
+#[derive(Debug, Default)]
+pub struct ClaimSet {
+    claimed: U64Map<()>,
+}
+
+impl ClaimSet {
+    pub fn new() -> ClaimSet {
+        ClaimSet::default()
+    }
+
+    /// Attempt to claim `ticket`: `true` exactly once per ticket.
+    #[must_use]
+    pub fn first_claim(&mut self, ticket: u64) -> bool {
+        self.claimed.insert(ticket, ()).is_none()
+    }
+
+    /// Has `ticket` been claimed (by anyone)?
+    pub fn contains(&self, ticket: u64) -> bool {
+        self.claimed.contains_key(&ticket)
+    }
+
+    /// Retire a claimed ticket once its slot has been consumed and can
+    /// never be observed again (owner-side reclaim). No-op if absent.
+    pub fn retire(&mut self, ticket: u64) {
+        self.claimed.remove(&ticket);
+    }
+
+    pub fn len(&self) -> usize {
+        self.claimed.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.claimed.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn done_flag_first_claim_wins() {
+        let mut f = DoneFlag::new();
+        assert!(!f.is_done());
+        assert!(f.claim(), "first claimer wins");
+        assert!(f.is_done());
+        assert!(!f.claim(), "second claimer loses");
+        assert!(!f.claim(), "and keeps losing");
+    }
+
+    #[test]
+    fn done_flag_set_and_born_done() {
+        let mut f = DoneFlag::new();
+        f.set();
+        assert!(!f.claim(), "set() beats later claims");
+        let mut d = DoneFlag::done();
+        assert!(d.is_done());
+        assert!(!d.claim());
+        assert_eq!(DoneFlag::default(), DoneFlag::new());
+    }
+
+    #[test]
+    fn claim_set_first_claim_per_ticket() {
+        let mut s = ClaimSet::new();
+        assert!(s.is_empty());
+        assert!(s.first_claim(7));
+        assert!(!s.first_claim(7), "double-take of one ticket is denied");
+        assert!(s.first_claim(8), "distinct tickets are independent");
+        assert!(s.contains(7) && s.contains(8) && !s.contains(9));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn claim_set_retire_bounds_the_map() {
+        let mut s = ClaimSet::new();
+        assert!(s.first_claim(1));
+        s.retire(1);
+        assert!(s.is_empty());
+        // Tickets are unique per occupancy, so a retired ticket never
+        // reappears in a real run; retire exists purely to bound memory.
+        s.retire(42); // absent: no-op
+    }
+}

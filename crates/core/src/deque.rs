@@ -7,7 +7,21 @@
 //! *bottom* end at local cost; thieves operate on the *top* (oldest) end so
 //! the task with the most expected work is stolen (§II).
 //!
-//! The steal protocol mirrors MassiveThreads/DM's lock-based RDMA deque:
+//! Three steal-protocol families share this ring (selected by
+//! [`crate::policy::Protocol`]):
+//!
+//! * **CAS-lock** (`owner_*` / `thief_*`, the paper's baseline) — a lock
+//!   word serializes thieves and gates owner operations;
+//! * **lock-free** (`lf_*`, ABP/Chase-Lev style) — no lock word; a thief
+//!   claims the oldest task with one CAS on `top`, the owner resolves the
+//!   last-item race with an owner-local CAS;
+//! * **fence-free** (`ff_*`) — plain reads/writes only, with *bounded
+//!   multiplicity*: a task may be taken more than once, and the shared
+//!   [`ClaimSet`] guarantees it executes at most once (see the module doc
+//!   on [`crate::dedup`] and docs/PROTOCOLS.md).
+//!
+//! The CAS-lock steal protocol mirrors MassiveThreads/DM's lock-based RDMA
+//! deque:
 //!
 //! 1. `CAS` the lock word (one atomic round trip). Failure — somebody else
 //!    holds it — is a failed steal attempt.
@@ -39,9 +53,10 @@
 
 use dcs_sim::{GlobalAddr, Machine, VTime, WorkerId};
 
+use crate::dedup::ClaimSet;
 use crate::layout::{SegLayout, DQ_BOTTOM, DQ_LOCK, DQ_TOP};
 use crate::util::Slab;
-use crate::world::QueueItem;
+use crate::world::{QueueItem, WorkerShared};
 
 /// The deque is momentarily locked by a thief; retry next step. Kept as a
 /// standalone token: the scheduler uses it as its cross-module
@@ -322,6 +337,516 @@ pub fn thief_release_lock(
     m.put_u64(me, word(lay, victim, DQ_LOCK), 0)
 }
 
+// ----------------------------------------------------------------------
+// Shared thief helper (lock-free + fence-free families)
+// ----------------------------------------------------------------------
+
+/// Thief-side bounds read without a lock: one span get covers the adjacent
+/// `[top, bottom]` words. Under the fence-free protocol `top` is a hint
+/// that may momentarily exceed `bottom` (a stale claim-write), so callers
+/// must treat `top >= bottom` as empty rather than subtracting.
+pub fn thief_read_bounds(
+    m: &mut Machine,
+    lay: &SegLayout,
+    me: WorkerId,
+    victim: WorkerId,
+) -> ((u64, u64), VTime) {
+    let ([top, bottom], cost) = m.get_u64_span::<2>(me, word(lay, victim, DQ_TOP));
+    ((top, bottom), cost)
+}
+
+// ----------------------------------------------------------------------
+// Lock-free family (ABP / Chase-Lev style): no lock word, one CAS on
+// `top` per steal, an owner-local CAS only on the last-item race.
+// ----------------------------------------------------------------------
+
+/// Lock-free owner push: identical ring writes to [`owner_push`], but with
+/// no lock to probe — the owner can never be blocked by a thief.
+pub fn lf_owner_push(
+    m: &mut Machine,
+    items: &mut Slab<QueueItem>,
+    lay: &SegLayout,
+    me: WorkerId,
+    item: QueueItem,
+) -> VTime {
+    let cost = m.local_op(me);
+    let top = m.read_own(me, word(lay, me, DQ_TOP));
+    let bottom = m.read_own(me, word(lay, me, DQ_BOTTOM));
+    assert!(
+        bottom - top < lay.deque_cap as u64,
+        "deque overflow (cap {}): nesting deeper than configured",
+        lay.deque_cap
+    );
+    let size = item.wire_size();
+    let key = items.insert(item);
+    let slot = GlobalAddr::new(me, lay.dq_slot(bottom));
+    m.write_own(me, slot, key as u64 + 1);
+    m.write_own(me, slot.field(1), size as u64);
+    m.write_own(me, word(lay, me, DQ_BOTTOM), bottom + 1);
+    cost
+}
+
+/// Lock-free owner pop. Plain take except on the *last* item, where the
+/// owner races thieves with a CAS on its own `top` (a cheap local atomic).
+/// Engine steps are atomic, so a thief's claim either fully precedes this
+/// pop (the owner then observes `top == bottom`, empty) or fully follows
+/// it (the thief's CAS fails); the owner's CAS is charged because the real
+/// protocol cannot know that, but it never loses here.
+pub fn lf_owner_pop(
+    m: &mut Machine,
+    items: &mut Slab<QueueItem>,
+    lay: &SegLayout,
+    me: WorkerId,
+) -> Result<(Option<QueueItem>, VTime), DequeError> {
+    let mut cost = m.local_op(me);
+    let top = m.read_own(me, word(lay, me, DQ_TOP));
+    let bottom = m.read_own(me, word(lay, me, DQ_BOTTOM));
+    if top == bottom {
+        return Ok((None, cost));
+    }
+    let b = bottom - 1;
+    let slot = GlobalAddr::new(me, lay.dq_slot(b));
+    let keyp1 = m.read_own(me, slot);
+    let dead = |cost| {
+        Err(DequeError::Dead(DeadSlot {
+            op: "lf_owner_pop",
+            index: b,
+            cost,
+        }))
+    };
+    if keyp1 == 0 {
+        return dead(cost);
+    }
+    if b == top {
+        // Last item: decide it with the top CAS before touching the slot.
+        let (seen, c) = m.cas_u64(me, word(lay, me, DQ_TOP), top, top + 1);
+        cost += c;
+        m.write_own(me, word(lay, me, DQ_BOTTOM), top + 1);
+        if seen != top {
+            return Ok((None, cost));
+        }
+    } else {
+        m.write_own(me, word(lay, me, DQ_BOTTOM), b);
+    }
+    let Some(item) = items.try_take((keyp1 - 1) as u32) else {
+        return dead(cost);
+    };
+    m.write_own(me, slot, 0);
+    Ok((Some(item), cost))
+}
+
+/// Lock-free variant of [`owner_pop_parent`]: peek the bottom item first;
+/// only a parent match pays the pop (including the last-item CAS).
+pub fn lf_owner_pop_parent(
+    m: &mut Machine,
+    items: &mut Slab<QueueItem>,
+    lay: &SegLayout,
+    me: WorkerId,
+    e: GlobalAddr,
+) -> Result<(Option<QueueItem>, VTime), DequeError> {
+    let mut cost = m.local_op(me);
+    let top = m.read_own(me, word(lay, me, DQ_TOP));
+    let bottom = m.read_own(me, word(lay, me, DQ_BOTTOM));
+    if top == bottom {
+        return Ok((None, cost));
+    }
+    let b = bottom - 1;
+    let slot = GlobalAddr::new(me, lay.dq_slot(b));
+    let keyp1 = m.read_own(me, slot);
+    if keyp1 == 0 {
+        return Err(DequeError::Dead(DeadSlot {
+            op: "lf_owner_pop_parent",
+            index: b,
+            cost,
+        }));
+    }
+    let key = (keyp1 - 1) as u32;
+    let is_parent = matches!(
+        items.get(key),
+        Some(QueueItem::Cont { spawned_child, .. }) if *spawned_child == e
+    );
+    if !is_parent {
+        return Ok((None, cost));
+    }
+    if b == top {
+        let (seen, c) = m.cas_u64(me, word(lay, me, DQ_TOP), top, top + 1);
+        cost += c;
+        m.write_own(me, word(lay, me, DQ_BOTTOM), top + 1);
+        if seen != top {
+            return Ok((None, cost));
+        }
+    } else {
+        m.write_own(me, word(lay, me, DQ_BOTTOM), b);
+    }
+    let item = items.take(key);
+    m.write_own(me, slot, 0);
+    Ok((Some(item), cost))
+}
+
+/// Lock-free thief claim (the second thief step, after a bounds read saw
+/// `top < bottom`): read the entry at `top` and CAS `top → top+1`. A lost
+/// CAS is a benign failed steal (`Ok(None)`); a won CAS guarantees the
+/// slot was live (step atomicity + owner discipline), so a dead decode is
+/// a typed protocol violation. The payload transfer is charged by the
+/// caller.
+pub fn lf_thief_claim(
+    m: &mut Machine,
+    victim_items: &mut Slab<QueueItem>,
+    lay: &SegLayout,
+    me: WorkerId,
+    victim: WorkerId,
+    top: u64,
+) -> Result<(Option<(QueueItem, usize)>, VTime), DeadSlot> {
+    debug_assert_ne!(me, victim, "stealing from self");
+    let slot = GlobalAddr::new(victim, lay.dq_slot(top));
+    let ([keyp1, size], mut cost) = m.get_u64_span::<2>(me, slot);
+    let (seen, c_cas) = m.cas_u64(me, word(lay, victim, DQ_TOP), top, top + 1);
+    cost += c_cas;
+    if seen != top {
+        return Ok((None, cost));
+    }
+    let dead = |cost| {
+        Err(DeadSlot {
+            op: "lf_thief_claim",
+            index: top,
+            cost,
+        })
+    };
+    if keyp1 == 0 {
+        return dead(cost);
+    }
+    let Some(item) = victim_items.try_take((keyp1 - 1) as u32) else {
+        return dead(cost);
+    };
+    m.post_put_u64_unsignaled(me, slot, 0);
+    Ok((Some((item, size as usize)), cost))
+}
+
+// ----------------------------------------------------------------------
+// Fence-free family: plain reads/writes only, bounded multiplicity.
+//
+// The ring grows a third word per slot — an occupancy-unique *ticket*
+// minted by the owner at push. A thief claims a task by (1) reading the
+// entry span, (2) validating the ticket against the victim's live-payload
+// table, (3) writing `top+1` with a plain put (a hint other thieves and
+// nobody else trusts), and (4) claiming the ticket in the shared
+// [`ClaimSet`] — the actual arbiter. Because a continuation payload is
+// removed from the slab by its first taker within one atomic step, only
+// cloneable Child descriptors can ever be doubly taken; the loser pays the
+// wasted transfer and discards (`FfSteal::Dup`). The owner never trusts
+// `top` (stale claim-writes can regress or overrun it); emptiness is "the
+// slot below `bottom` is zero", which is sound because only the owner
+// writes ring slots and only at the bottom end (stack discipline keeps
+// the nonzero region contiguous).
+// ----------------------------------------------------------------------
+
+/// Outcome of a fence-free thief claim.
+#[derive(Debug)]
+pub enum FfSteal {
+    /// First claim of this occupancy: the item (removed for `Cont`,
+    /// cloned for `Child`) and its wire size. Payload transfer is charged
+    /// by the caller.
+    Taken(Box<QueueItem>, usize),
+    /// The occupancy was already claimed by another taker — the bounded
+    /// multiplicity case. The wasted payload transfer was already charged;
+    /// the caller records a `ff_dups` stat and discards.
+    Dup,
+    /// The slot was empty, stale, or reused since the bounds read: a
+    /// benign lost race (`ff_lost_races`), cheaper than a dup.
+    Lost,
+}
+
+/// Fence-free owner push: three plain slot writes + bottom advance, one
+/// local op, and *no* lock probe — the owner can never be blocked. Also
+/// repairs the `top` hint if a stale thief claim-write overran `bottom`
+/// (free: the hint lives in the owner's cache line).
+pub fn ff_owner_push(
+    m: &mut Machine,
+    ws: &mut WorkerShared,
+    lay: &SegLayout,
+    me: WorkerId,
+    item: QueueItem,
+) -> VTime {
+    let cost = m.local_op(me);
+    let top = m.read_own(me, word(lay, me, DQ_TOP));
+    let bottom = m.read_own(me, word(lay, me, DQ_BOTTOM));
+    if top > bottom {
+        m.write_own(me, word(lay, me, DQ_TOP), bottom);
+    }
+    let size = item.wire_size();
+    let key = ws.items.insert(item);
+    let ticket = ws.ff_fresh_ticket(me);
+    ws.ff_tickets.insert(key as u64, ticket);
+    let slot = GlobalAddr::new(me, lay.dq_slot(bottom));
+    // `top` is a hint, so overflow is detected exactly: wrapping onto a
+    // still-nonzero slot means the ring is full.
+    assert!(
+        m.read_own(me, slot) == 0,
+        "deque overflow (cap {}): nesting deeper than configured",
+        lay.deque_cap
+    );
+    m.write_own(me, slot, key as u64 + 1);
+    m.write_own(me, slot.field(1), size as u64);
+    m.write_own(me, slot.field(2), ticket);
+    m.write_own(me, word(lay, me, DQ_BOTTOM), bottom + 1);
+    cost
+}
+
+/// Fence-free owner pop: walk down from `bottom`, reclaiming slots whose
+/// tickets were claimed by thieves (dropping a doubly-held `Child`
+/// original), until a live unclaimed item (claim + take it) or a zero
+/// slot (empty). Never returns [`DequeError::Busy`]; a nonzero slot that
+/// decodes to neither a claimed ticket nor a live payload is a typed
+/// [`DeadSlot`].
+pub fn ff_owner_pop(
+    m: &mut Machine,
+    ws: &mut WorkerShared,
+    claims: &mut ClaimSet,
+    lay: &SegLayout,
+    me: WorkerId,
+) -> Result<(Option<QueueItem>, VTime), DequeError> {
+    let mut cost = m.local_op(me);
+    loop {
+        let bottom = m.read_own(me, word(lay, me, DQ_BOTTOM));
+        if bottom == 0 {
+            return Ok((None, cost));
+        }
+        let b = bottom - 1;
+        let slot = GlobalAddr::new(me, lay.dq_slot(b));
+        let keyp1 = m.read_own(me, slot);
+        if keyp1 == 0 {
+            // Only the owner zeroes slots, bottom-end first: the nonzero
+            // region is contiguous, so a zero slot here means empty.
+            return Ok((None, cost));
+        }
+        let key = keyp1 - 1;
+        let ticket = m.read_own(me, slot.field(2));
+        if claims.contains(ticket) {
+            // A thief owns this occupancy. Drop a still-present Child
+            // original (the thief cloned), retire the ticket, reclaim the
+            // slot and keep walking. One local op per reclaimed slot.
+            if ws.ff_tickets.get(&key) == Some(&ticket) {
+                ws.ff_tickets.remove(&key);
+                let _ = ws.items.try_take(key as u32);
+            }
+            claims.retire(ticket);
+            m.write_own(me, slot, 0);
+            m.write_own(me, slot.field(2), 0);
+            m.write_own(me, word(lay, me, DQ_BOTTOM), b);
+            cost += m.local_op(me);
+            continue;
+        }
+        // Unclaimed: it must be live, or the ring is corrupt.
+        if ws.ff_tickets.get(&key) != Some(&ticket) {
+            return Err(DequeError::Dead(DeadSlot {
+                op: "ff_owner_pop",
+                index: b,
+                cost,
+            }));
+        }
+        let claimed = claims.first_claim(ticket);
+        debug_assert!(claimed, "unclaimed ticket must be claimable in-step");
+        claims.retire(ticket);
+        ws.ff_tickets.remove(&key);
+        let Some(item) = ws.items.try_take(key as u32) else {
+            return Err(DequeError::Dead(DeadSlot {
+                op: "ff_owner_pop",
+                index: b,
+                cost,
+            }));
+        };
+        m.write_own(me, slot, 0);
+        m.write_own(me, slot.field(2), 0);
+        m.write_own(me, word(lay, me, DQ_BOTTOM), b);
+        let top = m.read_own(me, word(lay, me, DQ_TOP));
+        if top > b {
+            m.write_own(me, word(lay, me, DQ_TOP), b);
+        }
+        return Ok((Some(item), cost));
+    }
+}
+
+/// Fence-free variant of [`owner_pop_parent`]: walk down through claimed
+/// slots (reclaiming them like [`ff_owner_pop`]); at the first live
+/// unclaimed item, pop it only on a parent match.
+pub fn ff_owner_pop_parent(
+    m: &mut Machine,
+    ws: &mut WorkerShared,
+    claims: &mut ClaimSet,
+    lay: &SegLayout,
+    me: WorkerId,
+    e: GlobalAddr,
+) -> Result<(Option<QueueItem>, VTime), DequeError> {
+    let mut cost = m.local_op(me);
+    loop {
+        let bottom = m.read_own(me, word(lay, me, DQ_BOTTOM));
+        if bottom == 0 {
+            return Ok((None, cost));
+        }
+        let b = bottom - 1;
+        let slot = GlobalAddr::new(me, lay.dq_slot(b));
+        let keyp1 = m.read_own(me, slot);
+        if keyp1 == 0 {
+            return Ok((None, cost));
+        }
+        let key = keyp1 - 1;
+        let ticket = m.read_own(me, slot.field(2));
+        if claims.contains(ticket) {
+            if ws.ff_tickets.get(&key) == Some(&ticket) {
+                ws.ff_tickets.remove(&key);
+                let _ = ws.items.try_take(key as u32);
+            }
+            claims.retire(ticket);
+            m.write_own(me, slot, 0);
+            m.write_own(me, slot.field(2), 0);
+            m.write_own(me, word(lay, me, DQ_BOTTOM), b);
+            cost += m.local_op(me);
+            continue;
+        }
+        if ws.ff_tickets.get(&key) != Some(&ticket) {
+            return Err(DequeError::Dead(DeadSlot {
+                op: "ff_owner_pop_parent",
+                index: b,
+                cost,
+            }));
+        }
+        let is_parent = matches!(
+            ws.items.get(key as u32),
+            Some(QueueItem::Cont { spawned_child, .. }) if *spawned_child == e
+        );
+        if !is_parent {
+            return Ok((None, cost));
+        }
+        let claimed = claims.first_claim(ticket);
+        debug_assert!(claimed, "unclaimed ticket must be claimable in-step");
+        claims.retire(ticket);
+        ws.ff_tickets.remove(&key);
+        let item = ws.items.take(key as u32);
+        m.write_own(me, slot, 0);
+        m.write_own(me, slot.field(2), 0);
+        m.write_own(me, word(lay, me, DQ_BOTTOM), b);
+        return Ok((Some(item), cost));
+    }
+}
+
+/// Decode one fence-free entry span `[key+1, wire_size, ticket]` read from
+/// a victim's ring and decide the steal outcome — the host-side half of the
+/// thief's claim step, shared by the blocking and pipelined paths. Mutates
+/// the victim's slab (`Cont` take / `Child` clone) and the claim set; the
+/// caller charges the fabric (entry get, claim-write, payload or wasted
+/// payload).
+pub fn ff_decide(
+    victim_ws: &mut WorkerShared,
+    claims: &mut ClaimSet,
+    vals: [u64; 3],
+) -> FfSteal {
+    let [keyp1, size, ticket] = vals;
+    if keyp1 == 0 || ticket == 0 {
+        return FfSteal::Lost;
+    }
+    let key = keyp1 - 1;
+    if victim_ws.ff_tickets.get(&key) != Some(&ticket) {
+        // The occupancy is gone (its first taker was a continuation, or
+        // the owner popped it) or the slot was reused: benign lost race.
+        return FfSteal::Lost;
+    }
+    // Live occupancy. In the fence-free algorithm the taker copies the
+    // payload *before* writing its claim, so a second taker of a cloneable
+    // Child pays the transfer and only then discovers the claim.
+    if !claims.first_claim(ticket) {
+        return FfSteal::Dup;
+    }
+    match victim_ws.items.get(key as u32) {
+        Some(QueueItem::Child { f, arg, handle }) => {
+            // Clone the descriptor; the original stays in the victim's
+            // slab (and `ff_tickets`) until the owner reclaims the slot.
+            FfSteal::Taken(
+                Box::new(QueueItem::Child {
+                    f: *f,
+                    arg: arg.clone(),
+                    handle: *handle,
+                }),
+                size as usize,
+            )
+        }
+        Some(QueueItem::Cont { .. }) => {
+            // First (and only possible) taker of a continuation: remove
+            // the payload so any later taker loses the validation race.
+            victim_ws.ff_tickets.remove(&key);
+            let item = victim_ws
+                .items
+                .try_take(key as u32)
+                .expect("validated live payload");
+            FfSteal::Taken(Box::new(item), size as usize)
+        }
+        None => unreachable!("ff_tickets maps only live slab keys"),
+    }
+}
+
+/// Fence-free thief claim, blocking charging: entry span get (one verb) +
+/// plain claim-write of the `top` hint. A [`FfSteal::Dup`] additionally
+/// charges the wasted payload transfer here; a winner's payload is charged
+/// by the caller (so pipelined and blocking winners share one code path).
+pub fn ff_thief_claim(
+    m: &mut Machine,
+    victim_ws: &mut WorkerShared,
+    claims: &mut ClaimSet,
+    lay: &SegLayout,
+    me: WorkerId,
+    victim: WorkerId,
+    top: u64,
+) -> (FfSteal, VTime) {
+    debug_assert_ne!(me, victim, "stealing from self");
+    let slot = GlobalAddr::new(victim, lay.dq_slot(top));
+    let (vals, mut cost) = m.get_u64_span::<3>(me, slot);
+    let outcome = ff_decide(victim_ws, claims, vals);
+    if !matches!(outcome, FfSteal::Lost) {
+        cost += m.post_put_u64_unsignaled(me, word(lay, victim, DQ_TOP), top + 1);
+    }
+    if let FfSteal::Dup = outcome {
+        cost += m.get_bulk(me, victim, vals[1] as usize);
+    }
+    (outcome, cost)
+}
+
+/// End-of-run safety net (fence-free, strict runs): reclaim any trailing
+/// claimed slots the owner never walked past, so thief-held `Child`
+/// originals don't trip the strict "no leaked items" assert. Stops at the
+/// first unclaimed slot — a genuinely lost item must still be caught.
+pub fn ff_owner_reclaim(
+    m: &mut Machine,
+    ws: &mut WorkerShared,
+    claims: &mut ClaimSet,
+    lay: &SegLayout,
+    me: WorkerId,
+) {
+    for _ in 0..lay.deque_cap {
+        let bottom = m.read_own(me, word(lay, me, DQ_BOTTOM));
+        if bottom == 0 {
+            return;
+        }
+        let b = bottom - 1;
+        let slot = GlobalAddr::new(me, lay.dq_slot(b));
+        let keyp1 = m.read_own(me, slot);
+        if keyp1 == 0 {
+            return;
+        }
+        let ticket = m.read_own(me, slot.field(2));
+        if !claims.contains(ticket) {
+            return;
+        }
+        let key = keyp1 - 1;
+        if ws.ff_tickets.get(&key) == Some(&ticket) {
+            ws.ff_tickets.remove(&key);
+            let _ = ws.items.try_take(key as u32);
+        }
+        claims.retire(ticket);
+        m.write_own(me, slot, 0);
+        m.write_own(me, slot.field(2), 0);
+        m.write_own(me, word(lay, me, DQ_BOTTOM), b);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -548,6 +1073,250 @@ mod tests {
         thief_advance_top(&mut m, &lay, 1, 0, top + 1);
         let (none, _) = owner_pop(&mut m, &mut items, &lay, 0).unwrap();
         assert!(none.is_none());
+    }
+
+    // -- lock-free family -------------------------------------------------
+
+    #[test]
+    fn lf_push_pop_is_lifo_and_steal_is_fifo() {
+        let (mut m, mut items, lay) = setup();
+        for i in 0..3 {
+            lf_owner_push(&mut m, &mut items, &lay, 0, child_item(i));
+        }
+        // Thief: bounds read (one span verb), then claim the oldest.
+        let ((top, bottom), _) = thief_read_bounds(&mut m, &lay, 1, 0);
+        assert_eq!((top, bottom), (0, 3));
+        let (got, _) = lf_thief_claim(&mut m, &mut items, &lay, 1, 0, top).unwrap();
+        let (item, size) = got.unwrap();
+        assert_eq!(tag_of(&item), 0, "steals take the oldest task");
+        assert_eq!(size, item.wire_size());
+        // Owner pops LIFO, unaffected — and never sees Busy.
+        let (it, _) = lf_owner_pop(&mut m, &mut items, &lay, 0).unwrap();
+        assert_eq!(tag_of(&it.unwrap()), 2);
+        let (it, _) = lf_owner_pop(&mut m, &mut items, &lay, 0).unwrap();
+        assert_eq!(tag_of(&it.unwrap()), 1);
+        let (none, _) = lf_owner_pop(&mut m, &mut items, &lay, 0).unwrap();
+        assert!(none.is_none());
+        assert!(items.is_empty());
+    }
+
+    #[test]
+    fn lf_last_item_race_is_decided_by_the_top_cas() {
+        let (mut m, mut items, lay) = setup();
+        lf_owner_push(&mut m, &mut items, &lay, 0, child_item(7));
+        // Thief reads bounds, then the owner pops the last item first: the
+        // owner's top CAS wins, so the thief's stale claim must lose.
+        let ((top, _), _) = thief_read_bounds(&mut m, &lay, 1, 0);
+        let (it, _) = lf_owner_pop(&mut m, &mut items, &lay, 0).unwrap();
+        assert_eq!(tag_of(&it.unwrap()), 7);
+        let (got, _) = lf_thief_claim(&mut m, &mut items, &lay, 1, 0, top).unwrap();
+        assert!(got.is_none(), "stale claim loses the CAS, benignly");
+        assert!(items.is_empty());
+        // And the other order: the thief claims first, the owner then sees
+        // an empty deque (top == bottom after the claim's CAS).
+        lf_owner_push(&mut m, &mut items, &lay, 0, child_item(8));
+        let ((top, _), _) = thief_read_bounds(&mut m, &lay, 1, 0);
+        let (got, _) = lf_thief_claim(&mut m, &mut items, &lay, 1, 0, top).unwrap();
+        assert_eq!(tag_of(&got.unwrap().0), 8);
+        let (none, _) = lf_owner_pop(&mut m, &mut items, &lay, 0).unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn lf_pop_parent_matches_only_spawned_child() {
+        let (mut m, mut items, lay) = setup();
+        let e1 = GlobalAddr::new(0, 0x100);
+        let e2 = GlobalAddr::new(0, 0x200);
+        lf_owner_push(&mut m, &mut items, &lay, 0, cont_item(1, e1));
+        let (none, _) = lf_owner_pop_parent(&mut m, &mut items, &lay, 0, e2).unwrap();
+        assert!(none.is_none());
+        let (some, _) = lf_owner_pop_parent(&mut m, &mut items, &lay, 0, e1).unwrap();
+        assert_eq!(tag_of(&some.unwrap()), 1);
+        assert!(items.is_empty());
+    }
+
+    #[test]
+    fn lf_dead_slot_is_a_typed_error() {
+        let (mut m, mut items, lay) = setup();
+        lf_owner_push(&mut m, &mut items, &lay, 0, child_item(3));
+        let slot = GlobalAddr::new(0, lay.dq_slot(0));
+        m.write_own(0, slot, 0);
+        assert!(matches!(
+            lf_owner_pop(&mut m, &mut items, &lay, 0),
+            Err(DequeError::Dead(DeadSlot { op: "lf_owner_pop", index: 0, .. }))
+        ));
+        // Restore a stale (dangling) key: the thief wins its CAS but the
+        // payload is gone — typed, not a slab panic.
+        m.write_own(0, slot, 77 + 1);
+        let d = lf_thief_claim(&mut m, &mut items, &lay, 1, 0, 0).unwrap_err();
+        assert_eq!((d.op, d.index), ("lf_thief_claim", 0));
+    }
+
+    // -- fence-free family ------------------------------------------------
+
+    fn ff_setup() -> (Machine, WorkerShared, ClaimSet, SegLayout) {
+        let cfg = RunConfig::new(2, Policy::ContGreedy);
+        let lay = SegLayout::new(&cfg);
+        let m = Machine::new(
+            MachineConfig::new(2, profiles::test_profile())
+                .with_seg_bytes(cfg.seg_bytes)
+                .with_reserved(lay.reserved),
+        );
+        (m, WorkerShared::new(&cfg), ClaimSet::new(), lay)
+    }
+
+    #[test]
+    fn ff_push_pop_is_lifo_and_issues_no_amos() {
+        let (mut m, mut ws, mut claims, lay) = ff_setup();
+        for i in 0..3 {
+            ff_owner_push(&mut m, &mut ws, &lay, 0, child_item(i));
+        }
+        for i in (0..3).rev() {
+            let (it, _) = ff_owner_pop(&mut m, &mut ws, &mut claims, &lay, 0).unwrap();
+            assert_eq!(tag_of(&it.unwrap()), i);
+        }
+        let (none, _) = ff_owner_pop(&mut m, &mut ws, &mut claims, &lay, 0).unwrap();
+        assert!(none.is_none());
+        assert!(ws.items.is_empty());
+        assert!(ws.ff_tickets.is_empty());
+        assert!(claims.is_empty());
+        assert_eq!(m.stats_total().remote_amos, 0);
+    }
+
+    #[test]
+    fn ff_steal_takes_oldest_with_plain_verbs_only() {
+        let (mut m, mut ws, mut claims, lay) = ff_setup();
+        for i in 0..3 {
+            ff_owner_push(&mut m, &mut ws, &lay, 0, child_item(i));
+        }
+        let ((top, bottom), _) = thief_read_bounds(&mut m, &lay, 1, 0);
+        assert!(top < bottom);
+        let (out, _) = ff_thief_claim(&mut m, &mut ws, &mut claims, &lay, 1, 0, top);
+        let FfSteal::Taken(item, size) = out else {
+            panic!("expected a clean first take, got {out:?}");
+        };
+        assert_eq!(tag_of(&item), 0, "steals take the oldest task");
+        assert_eq!(size, item.wire_size());
+        // Not one AMO on the whole steal path.
+        assert_eq!(m.stats_total().remote_amos, 0);
+        // The Child original lingers until the owner's walk reclaims it.
+        assert_eq!(ws.items.len(), 3);
+        let (it, _) = ff_owner_pop(&mut m, &mut ws, &mut claims, &lay, 0).unwrap();
+        assert_eq!(tag_of(&it.unwrap()), 2);
+        let (it, _) = ff_owner_pop(&mut m, &mut ws, &mut claims, &lay, 0).unwrap();
+        assert_eq!(tag_of(&it.unwrap()), 1);
+        // The next pop walks onto the claimed slot, reclaims the original
+        // and reports empty.
+        let (none, _) = ff_owner_pop(&mut m, &mut ws, &mut claims, &lay, 0).unwrap();
+        assert!(none.is_none());
+        assert!(ws.items.is_empty(), "claimed original reclaimed");
+        assert!(claims.is_empty(), "ticket retired");
+    }
+
+    #[test]
+    fn ff_double_take_of_a_child_is_a_bounded_dup() {
+        let (mut m, mut ws, mut claims, lay) = ff_setup();
+        ff_owner_push(&mut m, &mut ws, &lay, 0, child_item(5));
+        // Both thieves observed the same bounds before either claimed.
+        let ((top, _), _) = thief_read_bounds(&mut m, &lay, 1, 0);
+        let (first, _) = ff_thief_claim(&mut m, &mut ws, &mut claims, &lay, 1, 0, top);
+        assert!(matches!(first, FfSteal::Taken(..)));
+        let (second, _) = ff_thief_claim(&mut m, &mut ws, &mut claims, &lay, 1, 0, top);
+        assert!(matches!(second, FfSteal::Dup), "second take pays and discards");
+        let (third, _) = ff_thief_claim(&mut m, &mut ws, &mut claims, &lay, 1, 0, top);
+        assert!(matches!(third, FfSteal::Dup));
+        // The owner reclaims the original; nothing executes twice.
+        let (none, _) = ff_owner_pop(&mut m, &mut ws, &mut claims, &lay, 0).unwrap();
+        assert!(none.is_none());
+        assert!(ws.items.is_empty());
+    }
+
+    #[test]
+    fn ff_continuations_are_taken_at_most_once() {
+        let (mut m, mut ws, mut claims, lay) = ff_setup();
+        ff_owner_push(&mut m, &mut ws, &lay, 0, cont_item(1, GlobalAddr::NULL));
+        let ((top, _), _) = thief_read_bounds(&mut m, &lay, 1, 0);
+        let (first, _) = ff_thief_claim(&mut m, &mut ws, &mut claims, &lay, 1, 0, top);
+        assert!(matches!(first, FfSteal::Taken(..)));
+        // A continuation payload leaves the victim with its first taker, so
+        // the second take fails validation — a lost race, not even a dup.
+        let (second, _) = ff_thief_claim(&mut m, &mut ws, &mut claims, &lay, 1, 0, top);
+        assert!(matches!(second, FfSteal::Lost));
+        let (none, _) = ff_owner_pop(&mut m, &mut ws, &mut claims, &lay, 0).unwrap();
+        assert!(none.is_none());
+        assert!(ws.items.is_empty());
+    }
+
+    #[test]
+    fn ff_owner_never_trusts_the_top_hint() {
+        let (mut m, mut ws, mut claims, lay) = ff_setup();
+        // A stale claim-write leaves top > bottom; pushes must repair the
+        // hint and lose nothing.
+        ff_owner_push(&mut m, &mut ws, &lay, 0, child_item(1));
+        let ((top, _), _) = thief_read_bounds(&mut m, &lay, 1, 0);
+        let (out, _) = ff_thief_claim(&mut m, &mut ws, &mut claims, &lay, 1, 0, top);
+        assert!(matches!(out, FfSteal::Taken(..)));
+        assert_eq!(m.read_own(0, GlobalAddr::new(0, lay.dq_word(DQ_TOP))), 1);
+        let (none, _) = ff_owner_pop(&mut m, &mut ws, &mut claims, &lay, 0).unwrap();
+        assert!(none.is_none());
+        // bottom is now 0 while the hint says 1: inverted.
+        ff_owner_push(&mut m, &mut ws, &lay, 0, child_item(2));
+        let (it, _) = ff_owner_pop(&mut m, &mut ws, &mut claims, &lay, 0).unwrap();
+        assert_eq!(tag_of(&it.unwrap()), 2, "item pushed under an inverted hint survives");
+        assert!(ws.items.is_empty());
+    }
+
+    #[test]
+    fn ff_stale_claims_on_consumed_slots_are_lost_races() {
+        let (mut m, mut ws, mut claims, lay) = ff_setup();
+        ff_owner_push(&mut m, &mut ws, &lay, 0, child_item(1));
+        ff_owner_push(&mut m, &mut ws, &lay, 0, child_item(2));
+        let ((top, _), _) = thief_read_bounds(&mut m, &lay, 1, 0);
+        // Owner drains both items before the thief's claim lands.
+        let _ = ff_owner_pop(&mut m, &mut ws, &mut claims, &lay, 0).unwrap();
+        let _ = ff_owner_pop(&mut m, &mut ws, &mut claims, &lay, 0).unwrap();
+        let (out, _) = ff_thief_claim(&mut m, &mut ws, &mut claims, &lay, 1, 0, top);
+        assert!(matches!(out, FfSteal::Lost));
+        // Slot reuse: a new push re-occupies the slot with a fresh ticket;
+        // a thief claiming with the *current* span steals the new item
+        // legitimately (the untorn 3-word read names the new occupancy).
+        ff_owner_push(&mut m, &mut ws, &lay, 0, child_item(3));
+        let ((top, _), _) = thief_read_bounds(&mut m, &lay, 1, 0);
+        let (out, _) = ff_thief_claim(&mut m, &mut ws, &mut claims, &lay, 1, 0, top);
+        let FfSteal::Taken(item, _) = out else {
+            panic!("fresh occupancy steal must win");
+        };
+        assert_eq!(tag_of(&item), 3);
+    }
+
+    #[test]
+    fn ff_corrupt_unclaimed_slot_is_a_typed_error() {
+        let (mut m, mut ws, mut claims, lay) = ff_setup();
+        ff_owner_push(&mut m, &mut ws, &lay, 0, child_item(9));
+        // Corrupt the key word while ticket stays nonzero and unclaimed.
+        let slot = GlobalAddr::new(0, lay.dq_slot(0));
+        m.write_own(0, slot, 555);
+        assert!(matches!(
+            ff_owner_pop(&mut m, &mut ws, &mut claims, &lay, 0),
+            Err(DequeError::Dead(DeadSlot { op: "ff_owner_pop", index: 0, .. }))
+        ));
+    }
+
+    #[test]
+    fn ff_owner_reclaim_sweeps_trailing_claimed_slots() {
+        let (mut m, mut ws, mut claims, lay) = ff_setup();
+        ff_owner_push(&mut m, &mut ws, &lay, 0, child_item(1));
+        ff_owner_push(&mut m, &mut ws, &lay, 0, child_item(2));
+        for _ in 0..2 {
+            let ((top, _), _) = thief_read_bounds(&mut m, &lay, 1, 0);
+            let (out, _) = ff_thief_claim(&mut m, &mut ws, &mut claims, &lay, 1, 0, top);
+            assert!(matches!(out, FfSteal::Taken(..)));
+        }
+        assert_eq!(ws.items.len(), 2, "both originals linger");
+        ff_owner_reclaim(&mut m, &mut ws, &mut claims, &lay, 0);
+        assert!(ws.items.is_empty());
+        assert!(ws.ff_tickets.is_empty());
+        assert!(claims.is_empty());
     }
 
     #[test]

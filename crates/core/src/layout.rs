@@ -3,7 +3,7 @@
 //! ```text
 //! +-----------------------------+ 0
 //! | deque: LOCK TOP BOTTOM      |
-//! | deque ring [cap × 2 words]  |
+//! | deque ring [cap × 3 words]  |
 //! +-----------------------------+ freeq_off
 //! | free queue: LOCK COUNT      |
 //! | free ring  [cap × 2 words]  |
@@ -22,8 +22,10 @@ use crate::policy::RunConfig;
 pub const DQ_LOCK: u32 = 0;
 pub const DQ_TOP: u32 = 1;
 pub const DQ_BOTTOM: u32 = 2;
-/// Words per deque ring entry: `[item_key + 1, wire_size]`.
-pub const DQ_ENTRY_WORDS: u32 = 2;
+/// Words per deque ring entry: `[item_key + 1, wire_size, ticket]`.
+/// `ticket` is only used by the fence-free protocol (zero elsewhere); it
+/// is the occupancy-unique claim key thieves validate and claim against.
+pub const DQ_ENTRY_WORDS: u32 = 3;
 
 /// Word indices of the lock-queue free buffer (relative to `freeq_off`).
 pub const FQ_LOCK: u32 = 0;
@@ -99,7 +101,7 @@ mod tests {
         let cfg = RunConfig::new(2, Policy::ContGreedy);
         let l = SegLayout::new(&cfg);
         assert_eq!(l.deque_off, 0);
-        assert!(l.freeq_off >= (3 + cfg.deque_cap * 2) * WORD);
+        assert!(l.freeq_off >= (3 + cfg.deque_cap * DQ_ENTRY_WORDS) * WORD);
         assert!(l.reserved > l.freeq_off);
         assert!(l.reserved < cfg.seg_bytes);
     }
@@ -110,8 +112,8 @@ mod tests {
         let l = SegLayout::new(&cfg);
         assert_eq!(l.dq_slot(0), l.dq_slot(cfg.deque_cap as u64));
         assert_ne!(l.dq_slot(0), l.dq_slot(1));
-        // Consecutive slots are 2 words apart.
-        assert_eq!(l.dq_slot(1) - l.dq_slot(0), 2 * WORD);
+        // Consecutive slots are DQ_ENTRY_WORDS apart.
+        assert_eq!(l.dq_slot(1) - l.dq_slot(0), 3 * WORD);
     }
 
     #[test]

@@ -49,6 +49,7 @@
 //! assert_eq!(report.result.as_u64(), (0..128).sum::<u64>());
 //! ```
 
+pub mod dedup;
 pub mod deque;
 pub mod entry;
 pub mod frame;
@@ -64,8 +65,9 @@ pub mod value;
 pub mod watchdog;
 pub mod world;
 
+pub use dedup::{ClaimSet, DoneFlag};
 pub use frame::{frame, ret_frame, AppCtx, Effect, Frame, HostWork, RmaOp, TaskCtx, TaskFn, VThread};
-pub use policy::{AddressScheme, FreeStrategy, Policy, RunConfig, SlowdownWindow, TraceLevel, VictimPolicy};
+pub use policy::{AddressScheme, FreeStrategy, Policy, Protocol, RunConfig, SlowdownWindow, TraceLevel, VictimPolicy};
 pub use runner::{run, run_full, run_hooked, Program, RunOutcome, RunReport};
 pub use stats::{DelayReport, RunStats};
 pub use trace::chrome_trace;
@@ -76,7 +78,7 @@ pub use world::UnrecoverableReason;
 /// Convenient glob import for writing programs and harnesses.
 pub mod prelude {
     pub use crate::frame::{frame, ret_frame, Effect, RmaOp, TaskCtx, TaskFn};
-    pub use crate::policy::{AddressScheme, FreeStrategy, Policy, RunConfig, SlowdownWindow, TraceLevel, VictimPolicy};
+    pub use crate::policy::{AddressScheme, FreeStrategy, Policy, Protocol, RunConfig, SlowdownWindow, TraceLevel, VictimPolicy};
     pub use crate::runner::{run, run_full, run_hooked, Program, RunOutcome, RunReport};
     pub use crate::value::{ThreadHandle, Value};
     pub use crate::watchdog::{Violation, WatchdogReport};

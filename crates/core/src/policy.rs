@@ -58,6 +58,43 @@ impl Policy {
     ];
 }
 
+/// Steal-protocol family: how thieves and owners synchronize on the
+/// shared deque words (docs/PROTOCOLS.md, "Steal protocols").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// The paper's baseline: a CAS lock word serializes thieves and gates
+    /// owner operations; every steal pays an AMO round trip to acquire it.
+    CasLock,
+    /// ABP/Chase-Lev-style lock-free: no lock word; the thief claims a
+    /// task with a single CAS on `top`, the owner resolves the last-item
+    /// race with an owner-local CAS. One AMO per steal, none per push.
+    LockFree,
+    /// Fully read/write fence-free stealing with multiplicity: both owner
+    /// and thief use only plain gets/puts — no AMO verbs at all. A task
+    /// may rarely be *taken* more than once (bounded multiplicity ≤ the
+    /// number of concurrent thieves); a shared claim set closes the window
+    /// so every task *executes* at most once observably.
+    FenceFree,
+}
+
+impl Protocol {
+    /// Display name used by the CLI and bench CSVs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::CasLock => "cas-lock",
+            Protocol::LockFree => "lock-free",
+            Protocol::FenceFree => "fence-free",
+        }
+    }
+
+    /// Does the steal path issue any AMO verbs?
+    pub fn uses_amo(self) -> bool {
+        !matches!(self, Protocol::FenceFree)
+    }
+
+    pub const ALL: [Protocol; 3] = [Protocol::CasLock, Protocol::LockFree, Protocol::FenceFree];
+}
+
 /// Remote-object memory management strategy (§III-B).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FreeStrategy {
@@ -146,6 +183,9 @@ pub struct RunConfig {
     pub workers: usize,
     pub profile: MachineProfile,
     pub policy: Policy,
+    /// Steal-protocol family ([`Protocol::CasLock`] is the default every
+    /// golden is pinned to).
+    pub protocol: Protocol,
     pub free_strategy: FreeStrategy,
     pub address_scheme: AddressScheme,
     /// Network topology of the simulated machine.
@@ -203,6 +243,7 @@ impl RunConfig {
             workers,
             profile: profiles::itoa(),
             policy,
+            protocol: Protocol::CasLock,
             free_strategy: FreeStrategy::LocalCollection,
             address_scheme: AddressScheme::Uni,
             topology: Topology::Flat,
@@ -228,6 +269,11 @@ impl RunConfig {
 
     pub fn with_fabric(mut self, mode: FabricMode) -> Self {
         self.fabric = mode;
+        self
+    }
+
+    pub fn with_protocol(mut self, p: Protocol) -> Self {
+        self.protocol = p;
         self
     }
 
@@ -331,6 +377,22 @@ mod tests {
     fn labels_match_paper() {
         assert_eq!(Policy::ContGreedy.label(), "Cont. Steal (greedy)");
         assert_eq!(FreeStrategy::LocalCollection.label(), "local-collection");
+    }
+
+    #[test]
+    fn protocol_families() {
+        assert_eq!(Protocol::ALL.len(), 3);
+        assert_eq!(Protocol::CasLock.label(), "cas-lock");
+        assert_eq!(Protocol::LockFree.label(), "lock-free");
+        assert_eq!(Protocol::FenceFree.label(), "fence-free");
+        assert!(Protocol::CasLock.uses_amo());
+        assert!(Protocol::LockFree.uses_amo());
+        assert!(!Protocol::FenceFree.uses_amo());
+        assert_eq!(
+            RunConfig::new(1, Policy::ContGreedy).protocol,
+            Protocol::CasLock,
+            "cas-lock stays the default so goldens remain valid"
+        );
     }
 
     #[test]

@@ -834,6 +834,169 @@ mod tests {
         assert_eq!(a.stats.workers_lost, 0);
     }
 
+    // ------------------------------------------------------------------
+    // steal-protocol families (CAS-lock / lock-free / fence-free)
+    // ------------------------------------------------------------------
+
+    use crate::policy::Protocol;
+
+    fn proto_cfg(protocol: Protocol, policy: Policy, workers: usize) -> RunConfig {
+        RunConfig::new(workers, policy)
+            .with_profile(profiles::test_profile())
+            .with_seg_bytes(64 << 20)
+            .with_protocol(protocol)
+    }
+
+    #[test]
+    fn fib_correct_under_all_protocols_and_policies() {
+        let want = fib_serial(12);
+        for protocol in Protocol::ALL {
+            for policy in Policy::ALL {
+                for workers in [1, 4] {
+                    let r = run(
+                        proto_cfg(protocol, policy, workers),
+                        Program::new(fib, 12u64),
+                    );
+                    assert_eq!(
+                        r.result.as_u64(),
+                        want,
+                        "{protocol:?} {policy:?} workers={workers}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_default_protocols_steal_without_the_deque_lock() {
+        for protocol in [Protocol::LockFree, Protocol::FenceFree] {
+            let r = run(
+                proto_cfg(protocol, Policy::ContGreedy, 4),
+                Program::new(fib, 14u64),
+            );
+            assert_eq!(r.result.as_u64(), fib_serial(14), "{protocol:?}");
+            assert!(r.stats.steals_ok > 0, "{protocol:?}: expected steals");
+        }
+    }
+
+    #[test]
+    fn fence_free_issues_zero_amo_verbs() {
+        // The headline property of the third family: with the CAS lock gone
+        // from the steal path and no other AMO user in the configuration
+        // (single-consumer joins, local-collection frees, run-to-completion
+        // children), the whole run is read/write-only.
+        let r = run(
+            proto_cfg(Protocol::FenceFree, Policy::ChildRtc, 4),
+            Program::new(fib, 14u64),
+        );
+        assert_eq!(r.result.as_u64(), fib_serial(14));
+        assert!(r.stats.steals_ok > 0, "need steals to make the claim mean something");
+        assert_eq!(
+            r.fabric.remote_amos, 0,
+            "fence-free steals must not issue AMO verbs"
+        );
+        // The same run under the other families pays for its atomics.
+        for protocol in [Protocol::CasLock, Protocol::LockFree] {
+            let r = run(
+                proto_cfg(protocol, Policy::ChildRtc, 4),
+                Program::new(fib, 14u64),
+            );
+            assert!(r.fabric.remote_amos > 0, "{protocol:?} steals use AMOs");
+        }
+    }
+
+    #[test]
+    fn fence_free_pipelined_overlaps_claim_and_copy() {
+        use dcs_sim::FabricMode;
+        let cfg = |mode| {
+            proto_cfg(Protocol::FenceFree, Policy::ChildRtc, 4)
+                .with_profile(profiles::itoa())
+                .with_fabric(mode)
+        };
+        let blk = run(cfg(FabricMode::Blocking), Program::new(fib, 14u64));
+        let pip = run(cfg(FabricMode::Pipelined), Program::new(fib, 14u64));
+        assert_eq!(blk.result, pip.result);
+        assert!(pip.stats.steals_ok > 0);
+        // The thief posts the payload get and the top-hint put together —
+        // overlap without a single atomic on the wire.
+        assert_eq!(pip.fabric.remote_amos, 0);
+        assert!(
+            pip.fabric.max_inflight >= 2,
+            "pipelined fence-free steals must overlap, got {}",
+            pip.fabric.max_inflight
+        );
+    }
+
+    #[test]
+    fn ff_counters_are_zero_under_the_other_families() {
+        for protocol in [Protocol::CasLock, Protocol::LockFree] {
+            let r = run(
+                proto_cfg(protocol, Policy::ContGreedy, 4),
+                Program::new(fib, 13u64),
+            );
+            assert_eq!(r.stats.ff_dups, 0, "{protocol:?}");
+            assert_eq!(r.stats.ff_lost_races, 0, "{protocol:?}");
+        }
+    }
+
+    #[test]
+    fn protocols_are_deterministic() {
+        for protocol in [Protocol::LockFree, Protocol::FenceFree] {
+            let go = || {
+                run(
+                    proto_cfg(protocol, Policy::ContGreedy, 4),
+                    Program::new(fib, 13u64),
+                )
+            };
+            let (a, b) = (go(), go());
+            assert_eq!(a.elapsed, b.elapsed, "{protocol:?}");
+            assert_eq!(a.steps, b.steps, "{protocol:?}");
+            assert_eq!(a.fabric, b.fabric, "{protocol:?}");
+        }
+    }
+
+    #[test]
+    fn protocols_survive_transient_faults() {
+        use dcs_sim::FaultPlan;
+        for protocol in [Protocol::LockFree, Protocol::FenceFree] {
+            for policy in Policy::ALL {
+                let cfg = proto_cfg(protocol, policy, 4)
+                    .with_fault_plan(FaultPlan::transient(0.02, 7));
+                let r = run(cfg, Program::new(fib, 12u64));
+                assert_eq!(r.result.as_u64(), fib_serial(12), "{protocol:?} {policy:?}");
+                let wd = r.watchdog.expect("fault runs carry a watchdog");
+                assert!(wd.is_clean(), "{protocol:?} {policy:?}: {wd}");
+            }
+        }
+    }
+
+    #[test]
+    fn protocols_recover_from_fail_stop_kill() {
+        use dcs_sim::FaultPlan;
+        for protocol in [Protocol::LockFree, Protocol::FenceFree] {
+            for policy in [Policy::ChildRtc, Policy::ContGreedy, Policy::ContStalling] {
+                let healthy = run(
+                    kill_cfg(policy, FaultPlan::none()).with_protocol(protocol),
+                    Program::new(fib, 14u64),
+                );
+                let want = fib_serial(14);
+                for frac in [4u64, 2, 1] {
+                    let t = healthy.elapsed / (frac + 1) * frac / 2;
+                    let cfg = kill_cfg(policy, FaultPlan::none().with_kill(1, t))
+                        .with_protocol(protocol);
+                    let r = run(cfg, Program::new(fib, 14u64));
+                    assert_eq!(
+                        r.outcome,
+                        RunOutcome::Complete,
+                        "{protocol:?} {policy:?} kill at {t}"
+                    );
+                    assert_eq!(r.result.as_u64(), want, "{protocol:?} {policy:?} kill at {t}");
+                    assert_eq!(r.stats.workers_lost, 1, "{protocol:?} {policy:?} kill at {t}");
+                }
+            }
+        }
+    }
+
     #[test]
     fn series_trace_collects_busy_events() {
         let cfg = RunConfig::new(2, Policy::ContGreedy)

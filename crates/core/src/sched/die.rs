@@ -44,13 +44,7 @@ impl Worker {
         // Work-first fast path: try to pop the parent before racing. This
         // observes the deque lock, so Busy can propagate before any side
         // effect.
-        let (popped, mut cost) = match owner_pop_parent(
-            &mut world.m,
-            &mut world.rt.per[self.me].items,
-            &self.lay,
-            self.me,
-            e.entry,
-        ) {
+        let (popped, mut cost) = match self.dq_pop_parent(world, e.entry) {
             Ok(x) => x,
             Err(DequeError::Busy) => return Err(Busy),
             Err(DequeError::Dead(d)) => {
@@ -299,11 +293,8 @@ impl Worker {
             if first.is_none() {
                 first = Some(th);
             } else {
-                let push = owner_push(
-                    &mut world.m,
-                    &mut world.rt.per[self.me].items,
-                    &self.lay,
-                    self.me,
+                let push = self.dq_push(
+                    world,
                     QueueItem::Cont {
                         th,
                         spawned_child: GlobalAddr::NULL,
@@ -337,14 +328,9 @@ impl Worker {
         e: ThreadHandle,
         v: Value,
     ) -> Result<VTime, Busy> {
-        // Lock probe first (owner_pop below must not fail after side
-        // effects).
-        let (popped, mut cost) = match owner_pop(
-            &mut world.m,
-            &mut world.rt.per[self.me].items,
-            &self.lay,
-            self.me,
-        ) {
+        // Pop first (it can observe the deque lock under CAS-lock, and
+        // Busy must propagate before any side effects).
+        let (popped, mut cost) = match self.dq_pop(world) {
             Ok(x) => x,
             Err(DequeError::Busy) => return Err(Busy),
             Err(DequeError::Dead(d)) => {

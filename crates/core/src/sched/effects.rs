@@ -182,28 +182,29 @@ impl Worker {
     ) -> Result<VTime, (Box<dyn Frame>, Busy)> {
         match self.policy {
             Policy::ContGreedy | Policy::ContStalling => {
-                // Probe the deque lock before any side effect.
-                let (lock, _) = world
-                    .m
-                    .get_u64(self.me, GlobalAddr::new(self.me, self.lay.dq_word(0)));
-                if lock != 0 {
-                    return Err((cont, Busy));
+                // CAS-lock only: probe the deque lock before any side
+                // effect (the other families never block the owner).
+                if self.needs_lock_probe() {
+                    let (lock, _) = world
+                        .m
+                        .get_u64(self.me, GlobalAddr::new(self.me, self.lay.dq_word(0)));
+                    if lock != 0 {
+                        return Err((cont, Busy));
+                    }
                 }
                 let mut th = self.cur.take().expect("yield without thread");
                 th.frames.push(cont);
                 th.pending = Pending::Resume(Value::Unit);
-                let cost = owner_push(
-                    &mut world.m,
-                    &mut world.rt.per[self.me].items,
-                    &self.lay,
-                    self.me,
-                    QueueItem::Cont {
-                        th,
-                        spawned_child: GlobalAddr::NULL,
-                        since: now,
-                    },
-                )
-                .expect("lock probed free within the same atomic step");
+                let cost = self
+                    .dq_push(
+                        world,
+                        QueueItem::Cont {
+                            th,
+                            spawned_child: GlobalAddr::NULL,
+                            since: now,
+                        },
+                    )
+                    .expect("lock probed free within the same atomic step");
                 self.state = WState::Idle;
                 self.set_busy(world, now, false);
                 Ok(cost + world.m.ctx_restore(self.me))
@@ -263,13 +264,16 @@ impl Worker {
         consumers: u32,
         cont: Box<dyn Frame>,
     ) -> Result<VTime, (TaskFn, Value, u32, Box<dyn Frame>, Busy)> {
-        // The push must succeed before any side effect; probe the deque lock
-        // first so a Busy retry is side-effect free.
-        let (lock, _) = world
-            .m
-            .get_u64(self.me, GlobalAddr::new(self.me, self.lay.dq_word(0)));
-        if lock != 0 {
-            return Err((child, arg, consumers, cont, Busy));
+        // The push must succeed before any side effect; under CAS-lock,
+        // probe the deque lock first so a Busy retry is side-effect free
+        // (the lock-free and fence-free owners can never be blocked).
+        if self.needs_lock_probe() {
+            let (lock, _) = world
+                .m
+                .get_u64(self.me, GlobalAddr::new(self.me, self.lay.dq_word(0)));
+            if lock != 0 {
+                return Err((child, arg, consumers, cont, Busy));
+            }
         }
         let mut cost = VTime::ZERO;
         let (h, c_alloc) = alloc_entry(
@@ -292,18 +296,16 @@ impl Worker {
             parent.frames.push(cont);
             parent.pending = Pending::Resume(Value::Handle(h));
             let parent_home = parent.home;
-            let push_cost = owner_push(
-                &mut world.m,
-                &mut world.rt.per[self.me].items,
-                &self.lay,
-                self.me,
-                QueueItem::Cont {
-                    th: parent,
-                    spawned_child: h.entry,
-                    since: now,
-                },
-            )
-            .expect("lock probed free within the same atomic step");
+            let push_cost = self
+                .dq_push(
+                    world,
+                    QueueItem::Cont {
+                        th: parent,
+                        spawned_child: h.entry,
+                        since: now,
+                    },
+                )
+                .expect("lock probed free within the same atomic step");
             cost += push_cost;
             // Continuation-lineage log: the child's origin is pure data;
             // record it at the split so a survivor can re-execute it if
@@ -319,14 +321,9 @@ impl Worker {
             Ok(cost + world.m.local_op(self.me))
         } else {
             // Child stealing: push the descriptor, parent continues.
-            let push_cost = owner_push(
-                &mut world.m,
-                &mut world.rt.per[self.me].items,
-                &self.lay,
-                self.me,
-                QueueItem::Child { f: child, arg, handle: h },
-            )
-            .expect("lock probed free within the same atomic step");
+            let push_cost = self
+                .dq_push(world, QueueItem::Child { f: child, arg, handle: h })
+                .expect("lock probed free within the same atomic step");
             cost += push_cost;
             let th = self.cur.as_mut().expect("fork without thread");
             th.frames.push(cont);

@@ -148,7 +148,7 @@ impl Worker {
             if !world.rt.lineage_drained[d] {
                 world.rt.lineage_drained[d] = true;
                 for i in 0..world.rt.lineage[d].len() {
-                    if !world.rt.lineage[d][i].done {
+                    if !world.rt.lineage[d][i].done.is_done() {
                         world.rt.replay_pool.push_back((d, i));
                     }
                 }
@@ -164,7 +164,7 @@ impl Worker {
         loop {
             let (w, i) = world.rt.replay_pool.pop_front()?;
             let rec = &world.rt.lineage[w][i];
-            if rec.done {
+            if rec.done.is_done() {
                 // Completed before the kill: the entry flag is already
                 // visible to the waiting parent — replaying would run the
                 // task's effect twice.
@@ -193,7 +193,7 @@ impl Worker {
             // it died with its worker and can never complete — retire it so
             // the fresh-id replay is the only live copy the oracles track.
             world.rt.watch_retire(rec.tid);
-            world.rt.lineage[w][i].done = true;
+            world.rt.lineage[w][i].done.set();
             let tid = world.rt.fresh_tid();
             let mut th = VThread::new(tid, f, arg.clone(), handle);
             th.replay_rec = Some(self.record_lineage(world, tid, f, arg, handle));
@@ -244,12 +244,7 @@ impl Worker {
             }
         }
         // 1. Local pop.
-        match owner_pop(
-            &mut world.m,
-            &mut world.rt.per[self.me].items,
-            &self.lay,
-            self.me,
-        ) {
+        match self.dq_pop(world) {
             Err(DequeError::Busy) => {
                 self.break_dead_lock(now, world);
                 Step::Yield(world.m.local_op(self.me))
@@ -280,19 +275,42 @@ impl Worker {
                         }
                     }
                     // Drop fault counts accrued before this attempt so the
-                    // post-lock drain attributes only this victim's faults.
+                    // post-attempt drain attributes only this victim's
+                    // faults.
                     let _ = world.m.take_faults(self.me);
-                    let (locked, c_lock) = thief_lock(&mut world.m, &self.lay, self.me, victim);
+                    if self.protocol == Protocol::CasLock {
+                        // Step 1 of the CAS-lock steal: take the lock.
+                        let (locked, c_lock) =
+                            thief_lock(&mut world.m, &self.lay, self.me, victim);
+                        let faults = world.m.take_faults(self.me);
+                        self.note_victim_faults(victim, faults, now);
+                        if locked {
+                            self.state = WState::StealTake { victim, t0: now };
+                            return Step::Yield(cost + c_lock);
+                        }
+                        world.rt.stats.steal_failed();
+                        self.fail_streak += 1;
+                        let c_wait = self.poll_blocked(now, world);
+                        return Step::Yield(cost + c_lock + c_wait);
+                    }
+                    // Lock-free / fence-free step 1: a plain bounds read
+                    // (one span get, no lock, no atomic). The claim runs
+                    // next step, leaving the real protocols' race window
+                    // open between the two.
+                    let ((top, bottom), c_bounds) =
+                        thief_read_bounds(&mut world.m, &self.lay, self.me, victim);
                     let faults = world.m.take_faults(self.me);
                     self.note_victim_faults(victim, faults, now);
-                    if locked {
-                        self.state = WState::StealTake { victim, t0: now };
-                        return Step::Yield(cost + c_lock);
+                    // Fence-free `top` is a hint that can momentarily
+                    // exceed `bottom`; both families treat that as empty.
+                    if top < bottom {
+                        self.state = WState::StealClaim { victim, top, t0: now };
+                        return Step::Yield(cost + c_bounds);
                     }
                     world.rt.stats.steal_failed();
                     self.fail_streak += 1;
                     let c_wait = self.poll_blocked(now, world);
-                    return Step::Yield(cost + c_lock + c_wait);
+                    return Step::Yield(cost + c_bounds + c_wait);
                 }
                 // Single worker: only blocked local work can make progress.
                 let c_wait = self.poll_blocked(now, world);
@@ -485,51 +503,65 @@ impl Worker {
                 let c_wait = self.poll_blocked(now, world);
                 Step::Yield(cost + c_wait)
             }
-            Some((mut item, size)) => {
-                self.fail_streak = 0;
-                // Record the steal lineage before the payload crosses the
-                // wire, keyed by us (the executor): if we die before the
-                // entry flag is set, our death's confirmer re-adopts the
-                // work from this record. Child descriptors get a fresh
-                // record; a stolen continuation migrates an existing one
-                // (re-keyed here), and its header is mirrored to our
-                // buddy so either side of the split survives one death.
-                let mut cost = cost;
-                let rec = match &mut item {
-                    QueueItem::Child { f, arg, handle }
-                        if self.kills && self.policy == Policy::ChildRtc =>
-                    {
-                        Some(self.record_lineage(world, 0, *f, arg.clone(), *handle))
-                    }
-                    QueueItem::Cont { th, .. } if self.kills => {
-                        if !self.rekey_lineage(world, th) {
-                            // The victim died and a confirmer already
-                            // claimed this continuation's record for
-                            // replay; our take (virtually earlier, later
-                            // in execution order) holds a stale duplicate.
-                            // Running it would execute the thread twice.
-                            world.rt.stats.steal_failed();
-                            self.fail_streak += 1;
-                            let c_wait = self.poll_blocked(now, world);
-                            return Step::Yield(cost + c_wait);
-                        }
-                        cost += self.mirror_split(world, now);
-                        None
-                    }
-                    _ => None,
-                };
-                let c2 = self.adopt_item(now, world, item, Some((victim, t0, cost, size)));
-                if let Some((w, i)) = rec {
-                    if let Some(th) = self.cur.as_mut() {
-                        // The stolen child materialized as a thread only
-                        // now: bind its id to the record made above.
-                        world.rt.lineage[w][i].tid = th.tid;
-                        th.replay_rec = rec;
-                    }
+            Some((item, size)) => self.commit_steal(now, world, victim, t0, item, size, cost),
+        }
+    }
+
+    /// Blocking-path steal commit, shared by the CAS-lock take and the
+    /// lock-free / fence-free claims: record the steal lineage, charge the
+    /// payload transfer and adopt the item.
+    ///
+    /// The lineage is recorded before the payload crosses the wire, keyed
+    /// by us (the executor): if we die before the entry flag is set, our
+    /// death's confirmer re-adopts the work from this record. Child
+    /// descriptors get a fresh record; a stolen continuation migrates an
+    /// existing one (re-keyed here), and its header is mirrored to our
+    /// buddy so either side of the split survives one death.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_steal(
+        &mut self,
+        now: VTime,
+        world: &mut World,
+        victim: WorkerId,
+        t0: VTime,
+        mut item: QueueItem,
+        size: usize,
+        mut cost: VTime,
+    ) -> Step {
+        self.fail_streak = 0;
+        let rec = match &mut item {
+            QueueItem::Child { f, arg, handle }
+                if self.kills && self.policy == Policy::ChildRtc =>
+            {
+                Some(self.record_lineage(world, 0, *f, arg.clone(), *handle))
+            }
+            QueueItem::Cont { th, .. } if self.kills => {
+                if !self.rekey_lineage(world, th) {
+                    // The victim died and a confirmer already claimed
+                    // this continuation's record for replay; our take
+                    // (virtually earlier, later in execution order) holds
+                    // a stale duplicate. Running it would execute the
+                    // thread twice.
+                    world.rt.stats.steal_failed();
+                    self.fail_streak += 1;
+                    let c_wait = self.poll_blocked(now, world);
+                    return Step::Yield(cost + c_wait);
                 }
-                Step::Yield(cost + c2)
+                cost += self.mirror_split(world, now);
+                None
+            }
+            _ => None,
+        };
+        let c2 = self.adopt_item(now, world, item, Some((victim, t0, cost, size)));
+        if let Some((w, i)) = rec {
+            if let Some(th) = self.cur.as_mut() {
+                // The stolen child materialized as a thread only now: bind
+                // its id to the record made above.
+                world.rt.lineage[w][i].tid = th.tid;
+                th.replay_rec = rec;
             }
         }
+        Step::Yield(cost + c2)
     }
 
     /// Pipelined fabric: steps 2–3 of the steal, with the deque-top update,
@@ -632,7 +664,7 @@ impl Worker {
                     item,
                     size,
                     t0,
-                    h_release,
+                    h_release: Some(h_release),
                     h_copy,
                     h_ckpt,
                     posted_at,
@@ -644,6 +676,204 @@ impl Worker {
         }
     }
 
+    /// Complete a lock-free / fence-free steal whose bounds read saw
+    /// `top < bottom` last step. The cross-step window since that read is
+    /// where the races live: the slot may have been consumed (CAS loss /
+    /// validation miss) or — fence-free only — already claimed (a dup).
+    pub(crate) fn step_steal_claim(
+        &mut self,
+        now: VTime,
+        world: &mut World,
+        victim: WorkerId,
+        top: u64,
+        t0: VTime,
+    ) -> Step {
+        if self.kills {
+            if let Some(c_dead) = world.m.dead_guard(self.me, victim, now) {
+                // The victim died between our bounds read and this claim:
+                // its segment is gone, abandon the steal.
+                self.state = WState::Idle;
+                self.note_victim_faults(victim, 1, now);
+                world.rt.stats.steal_failed();
+                self.fail_streak += 1;
+                let c_wait = self.poll_blocked(now, world);
+                return Step::Yield(c_dead + c_wait);
+            }
+        }
+        match self.protocol {
+            Protocol::LockFree => self.step_steal_claim_lf(now, world, victim, top, t0),
+            Protocol::FenceFree => self.step_steal_claim_ff(now, world, victim, top, t0),
+            Protocol::CasLock => unreachable!("claim step under the CAS-lock protocol"),
+        }
+    }
+
+    /// Lock-free claim: entry read + one CAS on the victim's `top`. A lost
+    /// CAS is a benign failed steal; a won CAS commits the take. The CAS is
+    /// an atomic round trip in both fabric modes (there is nothing to
+    /// overlap it with — the payload get depends on its outcome).
+    fn step_steal_claim_lf(
+        &mut self,
+        now: VTime,
+        world: &mut World,
+        victim: WorkerId,
+        top: u64,
+        t0: VTime,
+    ) -> Step {
+        let took = {
+            let (_me_ws, victim_ws) = world.rt.two(self.me, victim);
+            lf_thief_claim(&mut world.m, &mut victim_ws.items, &self.lay, self.me, victim, top)
+        };
+        let (got, cost) = match took {
+            Ok(x) => x,
+            Err(d) => {
+                // The victim's deque (not ours) held the corpse.
+                self.deque_violation(world, victim, &d);
+                (None, d.cost)
+            }
+        };
+        let faults = world.m.take_faults(self.me);
+        self.note_victim_faults(victim, faults, now);
+        self.state = WState::Idle;
+        match got {
+            None => {
+                world.rt.stats.steal_failed();
+                self.fail_streak += 1;
+                let c_wait = self.poll_blocked(now, world);
+                Step::Yield(cost + c_wait)
+            }
+            Some((item, size)) => self.commit_steal(now, world, victim, t0, item, size, cost),
+        }
+    }
+
+    /// Fence-free claim: entry span read (plain get), host-side ticket
+    /// arbitration, then a plain claim-write of the `top` hint — no atomic
+    /// anywhere. A `Dup` pays the wasted payload transfer and discards; a
+    /// `Lost` race costs only the span read.
+    fn step_steal_claim_ff(
+        &mut self,
+        now: VTime,
+        world: &mut World,
+        victim: WorkerId,
+        top: u64,
+        t0: VTime,
+    ) -> Step {
+        let slot = GlobalAddr::new(victim, self.lay.dq_slot(top));
+        let (vals, mut cost) = world.m.get_u64_span::<3>(self.me, slot);
+        let outcome = {
+            let rt = &mut world.rt;
+            ff_decide(&mut rt.per[victim], &mut rt.ff_claims, vals)
+        };
+        let faults = world.m.take_faults(self.me);
+        self.note_victim_faults(victim, faults, now);
+        let top_word = GlobalAddr::new(victim, self.lay.dq_word(DQ_TOP));
+        match outcome {
+            FfSteal::Lost => {
+                self.state = WState::Idle;
+                world.rt.stats.ff_lost_races += 1;
+                world.rt.stats.steal_failed();
+                self.fail_streak += 1;
+                let c_wait = self.poll_blocked(now, world);
+                Step::Yield(cost + c_wait)
+            }
+            FfSteal::Dup => {
+                // The loser copied the payload before discovering the claim
+                // (the fence-free algorithm's cost of multiplicity), and
+                // still writes the hint so later thieves skip the slot.
+                cost += world.m.post_put_u64_unsignaled(self.me, top_word, top + 1);
+                cost += world.m.get_bulk(self.me, victim, vals[1] as usize);
+                self.state = WState::Idle;
+                world.rt.stats.ff_dups += 1;
+                world.rt.stats.steal_failed();
+                self.fail_streak += 1;
+                let c_wait = self.poll_blocked(now, world);
+                Step::Yield(cost + c_wait)
+            }
+            FfSteal::Taken(item, size) => {
+                let item = *item;
+                if self.fabric == FabricMode::Pipelined {
+                    return self.commit_steal_ff_pipelined(
+                        now, world, victim, top, t0, item, size, cost,
+                    );
+                }
+                cost += world.m.post_put_u64_unsignaled(self.me, top_word, top + 1);
+                self.commit_steal(now, world, victim, t0, item, size, cost)
+            }
+        }
+    }
+
+    /// Fence-free winner under the pipelined fabric: the payload get is
+    /// posted first and the unsignaled claim-write is injected while it is
+    /// in flight (both plain verbs — the steal stays AMO-free), then the
+    /// completion is reaped next step like a pipelined CAS-lock steal.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_steal_ff_pipelined(
+        &mut self,
+        now: VTime,
+        world: &mut World,
+        victim: WorkerId,
+        top: u64,
+        t0: VTime,
+        mut item: QueueItem,
+        size: usize,
+        mut cost: VTime,
+    ) -> Step {
+        let posted_at = now + cost;
+        let h_copy = world.m.post_get_bulk(self.me, victim, size, posted_at);
+        let top_word = GlobalAddr::new(victim, self.lay.dq_word(DQ_TOP));
+        cost += world.m.post_put_u64_unsignaled(self.me, top_word, top + 1);
+        // Lineage must be recorded before the window opens (see the
+        // pipelined CAS-lock take); a stolen continuation piggybacks its
+        // checkpoint put on the already-open posting window.
+        let mut h_ckpt = None;
+        let mut stale = false;
+        let rec = match &mut item {
+            QueueItem::Child { f, arg, handle }
+                if self.kills && self.policy == Policy::ChildRtc =>
+            {
+                Some(self.record_lineage(world, 0, *f, arg.clone(), *handle))
+            }
+            QueueItem::Cont { th, .. } if self.kills => {
+                stale = !self.rekey_lineage(world, th);
+                if !stale {
+                    if let Some(b) = self.buddy(&world.m, now) {
+                        world.rt.stats.ckpt_puts += 1;
+                        h_ckpt = Some(world.m.post_put_bulk(
+                            self.me,
+                            b,
+                            Self::CKPT_HDR_BYTES,
+                            posted_at,
+                        ));
+                    }
+                }
+                None
+            }
+            _ => None,
+        };
+        if stale {
+            // A confirmer already claimed this continuation's record for
+            // replay. The claim still committed (ticket taken, hint
+            // written) but the stale duplicate must not run.
+            let (_, copy_fin) = world.m.wait(self.me, h_copy);
+            self.state = WState::Idle;
+            world.rt.stats.steal_failed();
+            self.fail_streak += 1;
+            let c_wait = self.poll_blocked(now, world);
+            return Step::Yield(copy_fin.saturating_sub(now).max(cost) + c_wait);
+        }
+        self.pending_steal = Some(PendingSteal {
+            item,
+            size,
+            t0,
+            h_release: None,
+            h_copy,
+            h_ckpt,
+            posted_at,
+            rec,
+        });
+        self.state = WState::StealReap { victim };
+        Step::Yield(cost)
+    }
+
     /// Pipelined fabric: reap the posted release + payload completions and
     /// adopt the stolen item. Runs one engine step after the take, so the
     /// schedule explorer can interleave other workers between the post
@@ -653,7 +883,10 @@ impl Worker {
         // Even if the victim has died meanwhile the steal commits: the item
         // left its slab at take time and every verb was already posted (and
         // charged) before the death could be observed.
-        let (_, rel_fin) = world.m.wait(self.me, ps.h_release);
+        let rel_fin = ps
+            .h_release
+            .map(|h| world.m.wait(self.me, h).1)
+            .unwrap_or(VTime::ZERO);
         let (_, copy_fin) = world.m.wait(self.me, ps.h_copy);
         let ckpt_fin = ps
             .h_ckpt
@@ -691,6 +924,21 @@ impl Worker {
     pub(crate) fn finalize(&mut self, world: &mut World, now: VTime) {
         self.set_busy(world, now, false);
         self.halted = true;
+        if self.protocol == Protocol::FenceFree {
+            // Thief-claimed Child originals linger in our slab until a pop
+            // walks past their slots; at termination nobody will, so sweep
+            // the trailing claimed slots. The sweep stops at the first
+            // unclaimed slot — a genuinely leaked item still trips the
+            // strict assert below.
+            let rt = &mut world.rt;
+            ff_owner_reclaim(
+                &mut world.m,
+                &mut rt.per[self.me],
+                &mut rt.ff_claims,
+                &self.lay,
+                self.me,
+            );
+        }
         if self.kills {
             // Armed termination can strand orphaned duplicates: a lineage
             // replay re-executed an ancestor whose original children kept

@@ -40,17 +40,20 @@ use std::collections::VecDeque;
 
 use dcs_sim::{Actor, FabricMode, GlobalAddr, Machine, SimRng, Step, VTime, VerbHandle, WorkerId};
 
+use crate::dedup::DoneFlag;
 use crate::deque::{
-    owner_pop, owner_pop_parent, owner_push, thief_advance_top, thief_lock, thief_release_lock,
-    thief_take, thief_take_no_release, Busy, DeadSlot, DequeError,
+    ff_decide, ff_owner_pop, ff_owner_pop_parent, ff_owner_push, ff_owner_reclaim, lf_owner_pop,
+    lf_owner_pop_parent, lf_owner_push, lf_thief_claim, owner_pop, owner_pop_parent, owner_push,
+    thief_advance_top, thief_lock, thief_read_bounds, thief_release_lock, thief_take,
+    thief_take_no_release, Busy, DeadSlot, DequeError, FfSteal,
 };
 use crate::entry::{
     alloc_entry, alloc_saved_ctx, free_entry, read_saved_ctx, DONE_BIT, EM_CONSUMED, EM_CTX0,
     E_CTXLOC, E_FLAG, SAVED_CTX_BYTES,
 };
 use crate::frame::{AppCtx, Effect, Frame, Pending, RmaOp, TaskCtx, TaskFn, VThread};
-use crate::layout::{SegLayout, DQ_LOCK};
-use crate::policy::{AddressScheme, FreeStrategy, Policy, VictimPolicy};
+use crate::layout::{SegLayout, DQ_LOCK, DQ_TOP};
+use crate::policy::{AddressScheme, FreeStrategy, Policy, Protocol, VictimPolicy};
 use crate::remote_free::free_robj;
 use crate::value::{ThreadHandle, Value};
 use crate::world::{LineageRec, QueueItem, StoredVal, UnrecoverableReason, World};
@@ -73,6 +76,12 @@ pub(crate) enum WState {
     Idle,
     /// Holding `victim`'s deque lock; complete the steal this step.
     StealTake { victim: WorkerId, t0: VTime },
+    /// Lock-free / fence-free protocols: a bounds read last step saw
+    /// `top < bottom`; claim the entry at `top` this step. The cross-step
+    /// split is the real protocol's race window — the victim (or another
+    /// thief) can consume the slot in between, making the claim lose (CAS
+    /// failure / validation miss) or double-take (fence-free `Dup`).
+    StealClaim { victim: WorkerId, top: u64, t0: VTime },
     /// Pipelined fabric only: the take succeeded last step and the
     /// deque-top update, lock release and payload transfer are posted but
     /// not yet fenced. Reap the completions and adopt the item this step.
@@ -89,8 +98,10 @@ pub(crate) struct PendingSteal {
     size: usize,
     /// When the steal began (lock-CAS step start), for latency accounting.
     t0: VTime,
-    /// Lock-release put, posted concurrently with the payload transfer.
-    h_release: VerbHandle,
+    /// Lock-release put (CAS-lock) or claim-write put of the `top` hint
+    /// (fence-free), posted concurrently with the payload transfer. The
+    /// lock-free protocol has neither — its CAS already committed.
+    h_release: Option<VerbHandle>,
     /// Stack / descriptor `get_bulk`, posted at the same instant.
     h_copy: VerbHandle,
     /// Checkpoint put of a stolen continuation's header to the thief's
@@ -131,6 +142,8 @@ pub struct Worker {
     me: WorkerId,
     n: usize,
     policy: Policy,
+    /// Steal-protocol family (CAS-lock / lock-free / fence-free).
+    protocol: Protocol,
     strategy: FreeStrategy,
     scheme: AddressScheme,
     victim_policy: VictimPolicy,
@@ -178,6 +191,7 @@ impl Worker {
         seed: u64,
     ) -> Worker {
         let policy = world.rt.cfg.policy;
+        let protocol = world.rt.cfg.protocol;
         let strategy = world.rt.cfg.free_strategy;
         let scheme = world.rt.cfg.address_scheme;
         let victim_policy = world.rt.cfg.victim;
@@ -208,7 +222,7 @@ impl Worker {
                     arg: arg.clone(),
                     handle: ThreadHandle::single(GlobalAddr::NULL),
                     tid,
-                    done: false,
+                    done: DoneFlag::new(),
                 });
             }
             let mut th = VThread::new(tid, f, arg, ThreadHandle::single(GlobalAddr::NULL));
@@ -234,6 +248,7 @@ impl Worker {
             me,
             n,
             policy,
+            protocol,
             strategy,
             lay,
             rng: SimRng::for_worker(seed, me),
@@ -599,7 +614,7 @@ impl Worker {
             arg,
             handle,
             tid,
-            done: false,
+            done: DoneFlag::new(),
         });
         (self.me, idx)
     }
@@ -618,13 +633,12 @@ impl Worker {
             return true;
         }
         let rec = &mut world.rt.lineage[w][i];
-        if rec.done {
+        if !rec.done.claim() {
             // Claimed while we raced for it: a confirmer drained `w`'s
             // lineage and a replay re-executes this thread already.
             return false;
         }
         let (f, arg, handle) = (rec.f, rec.arg.clone(), rec.handle);
-        rec.done = true;
         th.replay_rec = Some(self.record_lineage(world, th.tid, f, arg, handle));
         true
     }
@@ -633,7 +647,7 @@ impl Worker {
     /// lineage record must never replay.
     pub(crate) fn mark_lineage_done(world: &mut World, th: &VThread) {
         if let Some((w, i)) = th.replay_rec {
-            world.rt.lineage[w][i].done = true;
+            world.rt.lineage[w][i].done.set();
         }
     }
 
@@ -655,6 +669,119 @@ impl Worker {
         if world.m.confirmed_dead(thief, now) {
             world.m.write_own(self.me, addr, 0);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // owner-side deque dispatch (protocol families)
+    // ------------------------------------------------------------------
+
+    /// Push to the local deque under the run's protocol. Only CAS-lock can
+    /// report [`DequeError::Busy`] (a thief holds the lock); the lock-free
+    /// and fence-free owners are never blocked.
+    pub(crate) fn dq_push(
+        &mut self,
+        world: &mut World,
+        item: QueueItem,
+    ) -> Result<VTime, DequeError> {
+        match self.protocol {
+            Protocol::CasLock => owner_push(
+                &mut world.m,
+                &mut world.rt.per[self.me].items,
+                &self.lay,
+                self.me,
+                item,
+            ),
+            Protocol::LockFree => Ok(lf_owner_push(
+                &mut world.m,
+                &mut world.rt.per[self.me].items,
+                &self.lay,
+                self.me,
+                item,
+            )),
+            Protocol::FenceFree => {
+                let rt = &mut world.rt;
+                Ok(ff_owner_push(
+                    &mut world.m,
+                    &mut rt.per[self.me],
+                    &self.lay,
+                    self.me,
+                    item,
+                ))
+            }
+        }
+    }
+
+    /// Pop the local deque's bottom under the run's protocol.
+    pub(crate) fn dq_pop(
+        &mut self,
+        world: &mut World,
+    ) -> Result<(Option<QueueItem>, VTime), DequeError> {
+        match self.protocol {
+            Protocol::CasLock => owner_pop(
+                &mut world.m,
+                &mut world.rt.per[self.me].items,
+                &self.lay,
+                self.me,
+            ),
+            Protocol::LockFree => lf_owner_pop(
+                &mut world.m,
+                &mut world.rt.per[self.me].items,
+                &self.lay,
+                self.me,
+            ),
+            Protocol::FenceFree => {
+                let rt = &mut world.rt;
+                ff_owner_pop(
+                    &mut world.m,
+                    &mut rt.per[self.me],
+                    &mut rt.ff_claims,
+                    &self.lay,
+                    self.me,
+                )
+            }
+        }
+    }
+
+    /// Fig.-4 parent fast-path pop under the run's protocol.
+    pub(crate) fn dq_pop_parent(
+        &mut self,
+        world: &mut World,
+        e: GlobalAddr,
+    ) -> Result<(Option<QueueItem>, VTime), DequeError> {
+        match self.protocol {
+            Protocol::CasLock => owner_pop_parent(
+                &mut world.m,
+                &mut world.rt.per[self.me].items,
+                &self.lay,
+                self.me,
+                e,
+            ),
+            Protocol::LockFree => lf_owner_pop_parent(
+                &mut world.m,
+                &mut world.rt.per[self.me].items,
+                &self.lay,
+                self.me,
+                e,
+            ),
+            Protocol::FenceFree => {
+                let rt = &mut world.rt;
+                ff_owner_pop_parent(
+                    &mut world.m,
+                    &mut rt.per[self.me],
+                    &mut rt.ff_claims,
+                    &self.lay,
+                    self.me,
+                    e,
+                )
+            }
+        }
+    }
+
+    /// Does a fork/yield need the CAS-lock "probe the lock before side
+    /// effects" dance? The lock-free and fence-free owners never block, so
+    /// their pushes are unconditional.
+    pub(crate) fn needs_lock_probe(&self) -> bool {
+        self.protocol == Protocol::CasLock
     }
 
     /// Run one application step of the current thread, producing an effect.
@@ -703,6 +830,9 @@ impl Actor<World> for Worker {
             WState::Run => self.step_run(now, world),
             WState::Idle => self.step_idle(now, world),
             WState::StealTake { victim, t0 } => self.step_steal_take(now, world, victim, t0),
+            WState::StealClaim { victim, top, t0 } => {
+                self.step_steal_claim(now, world, victim, top, t0)
+            }
             WState::StealReap { victim } => self.step_steal_reap(now, world, victim),
         }
     }

@@ -57,6 +57,13 @@ pub struct RunStats {
     /// Checkpoint puts of stolen-continuation headers to the thief's buddy
     /// (peer mirroring at steal splits; continuation policies only).
     pub ckpt_puts: u64,
+    // -- fence-free multiplicity (always 0 under other protocols) ----------
+    /// Steals that took an already-claimed occupancy: the thief paid the
+    /// payload transfer and discarded (the bounded-multiplicity case).
+    pub ff_dups: u64,
+    /// Steals that validated against an empty/stale/reused slot — benign
+    /// lost races, cheaper than a dup (no payload transferred).
+    pub ff_lost_races: u64,
     // -- busy time -------------------------------------------------------
     pub busy_total: VTime,
     // -- series (TraceLevel::Series) --------------------------------------

@@ -11,6 +11,7 @@
 use dcs_sim::{GlobalAddr, Machine, VTime};
 use dcs_uniaddr::{EvacRegion, IsoAlloc, UniRegion};
 
+use crate::dedup::{ClaimSet, DoneFlag};
 use crate::frame::{TaskFn, VThread};
 use crate::policy::RunConfig;
 use crate::remote_free::RemoteRegistry;
@@ -85,7 +86,9 @@ impl QueueItem {
 ///   instead of aborting.
 ///
 /// `done` flips when the thread dies (its completion is globally visible)
-/// or when the record is superseded by a re-key or a replay.
+/// or when the record is superseded by a re-key or a replay; racing
+/// claimers (replay vs. re-key under cascading kills) are arbitrated by the
+/// flag's first-claimer-wins [`DoneFlag::claim`].
 pub struct LineageRec {
     pub f: TaskFn,
     pub arg: Value,
@@ -96,7 +99,7 @@ pub struct LineageRec {
     /// orphaned duplicate abandoned at termination) — the watchdog retires
     /// it instead of reporting lost work.
     pub tid: u64,
-    pub done: bool,
+    pub done: DoneFlag,
 }
 
 /// Why a fail-stop loss could not be recovered (typed abort reason).
@@ -155,6 +158,14 @@ pub struct WorkerShared {
     /// Live/peak count of full-thread stacks (ChildFull memory footprint).
     pub full_stacks_live: u64,
     pub full_stacks_peak: u64,
+    /// Fence-free protocol: ticket currently occupying each live slab key
+    /// of this worker's deque (`slab key → ticket`). Thieves validate a
+    /// ring-slot read against this map so a stale read of a reused slot
+    /// becomes a benign lost race, never a wrong-payload execution.
+    pub ff_tickets: U64Map<u64>,
+    /// Fence-free protocol: per-worker monotonic ticket counter (combined
+    /// with the worker id into globally unique claim tickets).
+    pub ff_next_ticket: u64,
 }
 
 impl WorkerShared {
@@ -168,7 +179,17 @@ impl WorkerShared {
             robj: RemoteRegistry::new(cfg.collect_limit),
             full_stacks_live: 0,
             full_stacks_peak: 0,
+            ff_tickets: U64Map::default(),
+            ff_next_ticket: 0,
         }
+    }
+
+    /// Mint a globally unique fence-free claim ticket for a new deque
+    /// occupancy on worker `me`. Tickets are nonzero (a zero ring word
+    /// means "empty slot") and never reused within a run.
+    pub fn ff_fresh_ticket(&mut self, me: usize) -> u64 {
+        self.ff_next_ticket += 1;
+        ((me as u64) << 48) | self.ff_next_ticket
     }
 
     pub fn note_full_stack_alloc(&mut self) {
@@ -217,6 +238,12 @@ pub struct RtShared {
     /// tids, reason)`. Aborts the run with a typed outcome instead of a
     /// hang.
     pub unrecoverable: Option<(usize, Vec<u64>, UnrecoverableReason)>,
+    /// Fence-free protocol: the shared claim set arbitrating multiplicity —
+    /// the first taker to claim an occupancy's ticket executes it; later
+    /// takers observe the claim and discard their copy. Models the
+    /// `taken[]` array of the fence-free algorithm (the one word a taker
+    /// *writes* before executing).
+    pub ff_claims: ClaimSet,
 }
 
 impl RtShared {
@@ -241,6 +268,7 @@ impl RtShared {
             lineage_drained: vec![false; workers],
             replay_pool: std::collections::VecDeque::new(),
             unrecoverable: None,
+            ff_claims: ClaimSet::new(),
         }
     }
 
@@ -331,7 +359,7 @@ impl RtShared {
             .lineage
             .iter()
             .flatten()
-            .filter(|r| !r.done)
+            .filter(|r| !r.done.is_done())
             .map(|r| r.tid)
             .collect();
         for t in tids {

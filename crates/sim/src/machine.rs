@@ -488,6 +488,36 @@ impl Machine {
         self.post_core(me, addr.rank as usize, v, cost, at)
     }
 
+    /// Post one read covering `N` *adjacent* words starting at `addr` —
+    /// a single small get spanning a contiguous record (deque bounds,
+    /// a ring-slot entry). One verb on the wire: one `remote_gets`, one
+    /// RDMA-read round trip, `8·N` bytes. The word values are returned
+    /// eagerly at post (verb memory effects are eager everywhere here);
+    /// the handle's completion carries the first word.
+    pub fn post_get_u64_span<const N: usize>(
+        &mut self,
+        me: WorkerId,
+        addr: GlobalAddr,
+        at: VTime,
+    ) -> ([u64; N], VerbHandle) {
+        let seg = &self.segments[addr.rank as usize];
+        let mut vals = [0u64; N];
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = seg.read(addr.off + i as u32 * crate::WORD);
+        }
+        let cost = if self.is_local(me, addr) {
+            self.stats[me].local_ops += 1;
+            self.lat().local()
+        } else {
+            self.stats[me].remote_gets += 1;
+            self.stats[me].bytes_got += 8 * N as u64;
+            let base = self.dist(me, addr.rank as usize, self.lat().rdma_get);
+            self.fault_cost(me, addr.rank as usize, base)
+        };
+        let h = self.post_core(me, addr.rank as usize, vals[0], cost, at);
+        (vals, h)
+    }
+
     /// Post `put L ← v`: one-sided small write, signaled.
     pub fn post_put_u64(&mut self, me: WorkerId, addr: GlobalAddr, v: u64, at: VTime) -> VerbHandle {
         self.segments[addr.rank as usize].write(addr.off, v);
@@ -682,6 +712,18 @@ impl Machine {
     pub fn get_u64(&mut self, me: WorkerId, addr: GlobalAddr) -> (u64, VTime) {
         let h = self.post_get_u64(me, addr, VTime::ZERO);
         self.wait(me, h)
+    }
+
+    /// Blocking span read of `N` adjacent words (see
+    /// [`Machine::post_get_u64_span`]): one verb, one round trip.
+    pub fn get_u64_span<const N: usize>(
+        &mut self,
+        me: WorkerId,
+        addr: GlobalAddr,
+    ) -> ([u64; N], VTime) {
+        let (vals, h) = self.post_get_u64_span::<N>(me, addr, VTime::ZERO);
+        let (_, t) = self.wait(me, h);
+        (vals, t)
     }
 
     /// `put L ← v`: one-sided small write; the issuer waits for completion.
@@ -1061,6 +1103,33 @@ mod tests {
         assert!(fin > small_fin);
         assert_eq!(m.cq_depth(0), 0);
         assert_eq!(m.stats(0).cq_polls, 2, "one poll + one fence");
+    }
+
+    #[test]
+    fn span_get_is_one_verb() {
+        let mut m = machine(2);
+        let a1 = m.alloc(1, 24);
+        m.put_u64(0, a1, 10);
+        m.put_u64(0, a1.field(1), 20);
+        m.put_u64(0, a1.field(2), 30);
+        let before = *m.stats(0);
+        let ([x, y, z], span_cost) = m.get_u64_span::<3>(0, a1);
+        assert_eq!([x, y, z], [10, 20, 30]);
+        let s = m.stats(0);
+        assert_eq!(s.remote_gets, before.remote_gets + 1, "one verb, not three");
+        assert_eq!(s.bytes_got, before.bytes_got + 24);
+        assert_eq!(m.cq_depth(0), 0, "blocking wrapper reaps its post");
+        // One span costs the same round trip as one word — that is the
+        // point — and strictly less than two separate gets.
+        let (_, one) = m.get_u64(0, a1);
+        assert_eq!(span_cost, one);
+        // Local spans charge a single local op.
+        let a0 = m.alloc(0, 16);
+        let before = *m.stats(0);
+        let (_, c) = m.get_u64_span::<2>(0, a0);
+        assert_eq!(m.stats(0).local_ops, before.local_ops + 1);
+        assert_eq!(m.stats(0).remote_gets, before.remote_gets);
+        assert!(c < one);
     }
 
     #[test]

@@ -139,3 +139,68 @@ fn golden_lcs_futures() {
     assert_eq!(r.elapsed, VTime::ns(140_040));
     assert_eq!(r.stats.steals_ok, 2);
 }
+
+/// 16-worker ITO-A UTS under the fence-free protocol — one golden per
+/// policy. Beyond the event-order pinning of `uts16_itoa`, these pin the
+/// *multiplicity* counters: the child-stealing policies genuinely take
+/// entries twice at this scale (`ff_dups > 0`) and the dedup absorbs every
+/// one of them — the node count stays exactly serial.
+fn uts16_itoa_ff(policy: Policy) -> RunReport {
+    run(
+        RunConfig::new(16, policy)
+            .with_profile(profiles::itoa())
+            .with_seed(7)
+            .with_seg_bytes(64 << 20)
+            .with_protocol(Protocol::FenceFree),
+        uts::program(uts::presets::tiny()),
+    )
+}
+
+#[test]
+fn golden_uts16_itoa_ff_cont_greedy() {
+    let r = uts16_itoa_ff(Policy::ContGreedy);
+    assert_eq!(r.result.as_u64(), 3028);
+    assert_eq!(r.elapsed, VTime::ns(430_568));
+    assert_eq!(r.stats.steals_ok, 26);
+    assert_eq!(r.stats.steals_failed, 804);
+    assert_eq!(r.stats.ff_dups, 0);
+    assert_eq!(r.stats.ff_lost_races, 16);
+    assert_eq!(r.steps, 11_648);
+    assert_eq!(r.threads, 1674);
+}
+
+#[test]
+fn golden_uts16_itoa_ff_cont_stalling() {
+    let r = uts16_itoa_ff(Policy::ContStalling);
+    assert_eq!(r.result.as_u64(), 3028);
+    assert_eq!(r.elapsed, VTime::ns(416_203));
+    assert_eq!(r.stats.steals_ok, 27);
+    assert_eq!(r.stats.steals_failed, 764);
+    assert_eq!(r.stats.ff_dups, 0);
+    assert_eq!(r.stats.ff_lost_races, 16);
+    assert_eq!(r.steps, 11_609);
+}
+
+#[test]
+fn golden_uts16_itoa_ff_child_full() {
+    let r = uts16_itoa_ff(Policy::ChildFull);
+    assert_eq!(r.result.as_u64(), 3028);
+    assert_eq!(r.elapsed, VTime::ns(1_296_194));
+    assert_eq!(r.stats.steals_ok, 52);
+    assert_eq!(r.stats.steals_failed, 3_125);
+    assert_eq!(r.stats.ff_dups, 14);
+    assert_eq!(r.stats.ff_lost_races, 11);
+    assert_eq!(r.stats.outstanding_joins, 776);
+}
+
+#[test]
+fn golden_uts16_itoa_ff_child_rtc() {
+    let r = uts16_itoa_ff(Policy::ChildRtc);
+    assert_eq!(r.result.as_u64(), 3028);
+    assert_eq!(r.elapsed, VTime::ns(256_104));
+    assert_eq!(r.stats.steals_ok, 31);
+    assert_eq!(r.stats.steals_failed, 402);
+    assert_eq!(r.stats.ff_dups, 17);
+    assert_eq!(r.stats.ff_lost_races, 6);
+    assert_eq!(r.steps, 13_654);
+}

@@ -236,7 +236,7 @@ proptest! {
         fault_permille in 0u64..80,
         fault_seed in 0u64..500,
         ops in proptest::collection::vec(
-            (0u8..6, 0usize..4, 0u32..64, 1u64..1_000_000),
+            (0u8..8, 0usize..4, 0u32..64, 1u64..1_000_000),
             1..40,
         ),
     ) {
@@ -260,6 +260,33 @@ proptest! {
             let me = (tgt + val as usize) % workers; // sometimes local, sometimes remote
             let addr = GlobalAddr::new(tgt, 8 + woff * 8);
             let len = (val % 4096) as usize + 8;
+
+            if kind == 6 {
+                // Fence-free bounds/entry read: the 3-word span get must be
+                // bit-identical across the three issue styles too.
+                let (v_b, c_b) = blk.get_u64_span::<3>(me, addr);
+                let (v_p, h) = posted.post_get_u64_span::<3>(me, addr, VTime::ZERO);
+                let (_, c_p) = posted.wait(me, h);
+                prop_assert_eq!(v_b, v_p, "span values diverged");
+                prop_assert_eq!(c_b, c_p, "span cost diverged");
+                let (v_c, h) = clocked.post_get_u64_span::<3>(me, addr, now);
+                let (_, fin) = clocked.wait(me, h);
+                prop_assert_eq!(v_b, v_c);
+                prop_assert_eq!(fin.saturating_sub(now), c_b);
+                now = fin;
+                continue;
+            }
+            if kind == 7 {
+                // Fence-free claim write: the unsignaled put is eager and
+                // charges the same non-blocking injection on every machine.
+                let c_b = blk.post_put_u64_unsignaled(me, addr, val);
+                let c_p = posted.post_put_u64_unsignaled(me, addr, val);
+                let c_c = clocked.post_put_u64_unsignaled(me, addr, val);
+                prop_assert_eq!(c_b, c_p, "unsignaled cost diverged");
+                prop_assert_eq!(c_b, c_c);
+                now += c_c;
+                continue;
+            }
 
             // Blocking wrapper: (value, cost). Puts and bulks carry no value.
             let (v_b, c_b) = match kind {
@@ -338,5 +365,124 @@ proptest! {
         prop_assert_eq!(a.stats.steals_ok, b.stats.steals_ok);
         prop_assert_eq!(a.stats.steals_failed, b.stats.steals_failed);
         prop_assert_eq!(a.fabric.bytes_got, b.fabric.bytes_got);
+    }
+}
+
+// The protocol-agreement family runs all three steal families per case (six
+// full simulations each), so it gets its own smaller case budget.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The three steal-protocol families are interchangeable: for every
+    /// (tree, P, policy, fabric mode, fault schedule), cas-lock, lock-free
+    /// and fence-free all produce the exact serial UTS node count and
+    /// conserve every PFor thread — under a fault-free fabric and under
+    /// random transient verb faults alike. Fence-free's bounded
+    /// multiplicity must never leak into the observable result.
+    #[test]
+    fn protocols_agree_on_results(
+        b0 in 2u32..5,
+        gen_mx in 2u32..6,
+        tree_seed in 0u64..300,
+        workers in 2usize..7,
+        policy in any_policy(),
+        pipelined in proptest::bool::ANY,
+        fault_permille in 0u64..80,
+        fault_seed in 0u64..500,
+    ) {
+        let spec = UtsSpec::new(b0 as f64, gen_mx, Shape::Linear, tree_seed);
+        let expected = serial_count(&spec).nodes;
+        let mode = if pipelined { FabricMode::Pipelined } else { FabricMode::Blocking };
+        let params = dcs::apps::pfor::PforParams { n: 64, k: 2, m: VTime::us(2) };
+        for protocol in Protocol::ALL {
+            let cfg = || {
+                let mut c = RunConfig::new(workers, policy)
+                    .with_profile(profiles::test_profile())
+                    .with_seg_bytes(64 << 20)
+                    .with_fabric(mode)
+                    .with_protocol(protocol);
+                if fault_permille > 0 {
+                    c = c.with_fault_plan(FaultPlan::transient(
+                        fault_permille as f64 / 1000.0,
+                        fault_seed,
+                    ));
+                }
+                c
+            };
+            let r = run(cfg(), dcs::apps::uts::program(spec.clone()));
+            prop_assert_eq!(r.result.as_u64(), expected, "uts under {:?}", protocol);
+            if let Some(wd) = &r.watchdog {
+                prop_assert!(wd.is_clean(), "uts under {:?}: {}", protocol, wd);
+            }
+            let r = run(cfg(), dcs::apps::pfor::pfor_program(params));
+            prop_assert!(r.outcome.is_complete(), "pfor under {:?}", protocol);
+            prop_assert_eq!(r.stats.threads_spawned, r.stats.threads_died);
+        }
+    }
+
+    /// Fail-stop worker loss is protocol-independent: random kill schedules
+    /// (the root holder explicitly included) leave every recoverable policy
+    /// × protocol × fabric mode combination with the exact serial node
+    /// count — replayed lineage records dedup against fence-free's claim
+    /// set the same way a doubly-taken entry does.
+    #[test]
+    fn protocols_agree_under_kill(
+        raw in proptest::collection::vec((0usize..8, 1u64..120), 1..3),
+        pipelined in proptest::bool::ANY,
+        policy in prop_oneof![
+            Just(Policy::ChildRtc),
+            Just(Policy::ContGreedy),
+            Just(Policy::ContStalling),
+        ],
+    ) {
+        const WORKERS: usize = 6;
+        let spec = dcs::apps::uts::presets::tiny();
+        let truth = serial_count(&spec).nodes;
+        let mode = if pipelined { FabricMode::Pipelined } else { FabricMode::Blocking };
+        // Thin the raw (victim, at-µs) list to ≤ ⌊W/2⌋ distinct victims and
+        // tune the registry so detection + replay fit the tiny makespan.
+        let mut plan = FaultPlan::none();
+        let mut victims: Vec<usize> = Vec::new();
+        for &(v, at_us) in &raw {
+            let v = v % WORKERS;
+            if victims.len() >= WORKERS / 2 && !victims.contains(&v) {
+                continue;
+            }
+            if !victims.contains(&v) {
+                victims.push(v);
+            }
+            plan = plan.with_kill(v, VTime::us(at_us));
+        }
+        plan.hb_period = VTime::us(10);
+        plan.lease = VTime::us(30);
+        for protocol in Protocol::ALL {
+            let mut cfg = RunConfig::new(WORKERS, policy)
+                .with_profile(profiles::test_profile())
+                .with_seg_bytes(64 << 20)
+                .with_fabric(mode)
+                .with_protocol(protocol)
+                .with_fault_plan(plan.clone())
+                .with_watchdog(true);
+            cfg.max_steps = 50_000_000;
+            let r = run(cfg, dcs::apps::uts::program(spec.clone()));
+            prop_assert!(
+                r.outcome.is_complete(),
+                "{:?}/{:?}/{:?}: {:?}", policy, protocol, mode, r.outcome
+            );
+            prop_assert_eq!(
+                r.result.as_u64(), truth,
+                "{:?}/{:?}/{:?}", policy, protocol, mode
+            );
+            if let Some(wd) = &r.watchdog {
+                // Armed runs legitimately abandon resources mid-recovery;
+                // anything beyond a leak is a bug.
+                let hard: Vec<_> = wd
+                    .violations
+                    .iter()
+                    .filter(|v| !matches!(v, Violation::Leak { .. }))
+                    .collect();
+                prop_assert!(hard.is_empty(), "{:?}/{:?}: {:?}", policy, protocol, hard);
+            }
+        }
     }
 }
