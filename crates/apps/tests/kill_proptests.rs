@@ -156,6 +156,35 @@ proptest! {
         }
     }
 
+    /// Multi-steal probe rings under kills: K >= 2 keeps the new abandon
+    /// and cancel paths hot (won-but-unused locks released, probes posted
+    /// to freshly dead victims dropped un-acted-on) while workers die.
+    /// Same contract as the serial path under every protocol family: the
+    /// exact fault-free answer, never a hang — the pipelined fabric is the
+    /// mode where the whole probe ring is actually in flight at once.
+    #[test]
+    fn multi_steal_survives_random_kill_schedules(
+        raw in proptest::collection::vec((0usize..8, 1u64..150), 1..4),
+        k in 2u32..5,
+    ) {
+        let spec = presets::tiny();
+        let truth = serial_count(&spec).nodes;
+        for policy in POLICIES {
+            for protocol in Protocol::ALL {
+                let r = run(
+                    cfg_proto(policy, protocol, kill_plan(&raw, WORKERS))
+                        .with_fabric(FabricMode::Pipelined)
+                        .with_multi_steal(k),
+                    program(spec.clone()),
+                );
+                let ctx = format!("{policy:?}/{} K={k} raw={raw:?}", protocol.label());
+                assert!(r.outcome.is_complete(), "{ctx}: {:?}", r.outcome);
+                assert_eq!(r.result.as_u64(), truth, "{ctx}");
+                assert_clean_modulo_leaks(&r, &ctx);
+            }
+        }
+    }
+
     /// Two workers down inside one lease window. Either the lineage log
     /// converges to the exact answer, or the run aborts with a typed
     /// reason — it must never hang or return a wrong result.

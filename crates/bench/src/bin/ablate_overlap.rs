@@ -172,6 +172,135 @@ fn main() {
          latency on at least one Fig. 6 configuration (got {fig6_wins})"
     );
 
+    // Fig. 6 revisited with probe rings: the same five configurations on
+    // the pipelined fabric with K ∈ {1, 2, 4} steal probes in flight,
+    // the ring's verbs doorbell-chained at 0.25× injection. K = 1 is the
+    // serial idle loop; K ≥ 2 probes that many victims at once, commits
+    // the first in ring order that has work (its won lock freezes the
+    // bounds, so the take skips one small-get round trip) and cancels the
+    // rest — ready-but-unused victims are counted as `abandoned`, never as
+    // latency samples.
+    const KS: [u32; 3] = [1, 2, 4];
+    let mut kcells: Vec<(usize, usize, u64)> = Vec::new();
+    for ci in 0..CONFIGS.len() {
+        for ki in 0..KS.len() {
+            for rep in 0..REPS {
+                kcells.push((ci, ki, rep));
+            }
+        }
+    }
+    // (elapsed, mean steal latency, steals, abandoned, chained verbs).
+    type KCell = (VTime, VTime, u64, u64, u64);
+    let kraw: Vec<KCell> = sweep::run_matrix(&kcells, jobs, |_, &(ci, ki, rep)| {
+        let cfg = &CONFIGS[ci];
+        let r = run(
+            RunConfig::new(p, cfg.policy)
+                .with_profile(profile.clone())
+                .with_free_strategy(cfg.free)
+                .with_fabric(FabricMode::Pipelined)
+                .with_multi_steal(KS[ki])
+                .with_doorbell(0.25)
+                .with_seed(0x5EED + rep)
+                .with_seg_bytes(64 << 20),
+            recpfor_program(params),
+        );
+        assert!(
+            r.outcome.is_complete(),
+            "{} K={}: run completes",
+            cfg.name,
+            KS[ki]
+        );
+        (
+            r.elapsed,
+            r.stats.avg_steal_latency(),
+            r.stats.steals_ok,
+            r.stats.steals_abandoned,
+            r.fabric.doorbell_chained,
+        )
+    });
+    let kmean = |ci: usize, ki: usize| -> KCell {
+        let base = (ci * KS.len() + ki) * REPS as usize;
+        let (mut e, mut l, mut s, mut a, mut c) = (0u64, 0u64, 0u64, 0u64, 0u64);
+        for r in 0..REPS as usize {
+            let (re, rl, rs, ra, rc) = kraw[base + r];
+            e += re.as_ns();
+            l += rl.as_ns();
+            s += rs;
+            a += ra;
+            c += rc;
+        }
+        (
+            VTime::ns(e / REPS),
+            VTime::ns(l / REPS),
+            s / REPS,
+            a / REPS,
+            c / REPS,
+        )
+    };
+
+    let mut kcsv = Csv::create(
+        "ablate_overlap_k",
+        "bench,config,k,p,elapsed_ns,steal_lat_ns,steals_ok,abandoned,doorbell_chained,speedup,steal_lat_ratio",
+    );
+    println!(
+        "\n{:<10} {:<10} {:>3} {:>12} {:>12} {:>8} {:>9} {:>9} {:>8} {:>9}",
+        "bench", "config", "k", "elapsed", "steal-lat", "steals", "abandon", "chained", "speedup", "lat-ratio"
+    );
+    let mut k4_lat_wins = 0usize;
+    let (mut chained_total, mut abandoned_total) = (0u64, 0u64);
+    for (ci, cfg) in CONFIGS.iter().enumerate() {
+        let (be, bl, _, _, _) = kmean(ci, 0);
+        for (ki, &k) in KS.iter().enumerate() {
+            let (e, l, s, a, c) = kmean(ci, ki);
+            let speedup = be.as_ns() as f64 / e.as_ns() as f64;
+            let lat_ratio = if bl.as_ns() == 0 {
+                1.0
+            } else {
+                l.as_ns() as f64 / bl.as_ns() as f64
+            };
+            if k == 4 && l < bl {
+                k4_lat_wins += 1;
+            }
+            if k >= 2 {
+                chained_total += c;
+                abandoned_total += a;
+            }
+            println!(
+                "{:<10} {:<10} {:>3} {:>12} {:>12} {:>8} {:>9} {:>9} {:>7.3}x {:>9.3}",
+                "recpfor", cfg.name, k, e.to_string(), l.to_string(), s, a, c, speedup, lat_ratio
+            );
+            kcsv.row(&[
+                &"recpfor",
+                &cfg.name,
+                &k,
+                &p,
+                &e.as_ns(),
+                &l.as_ns(),
+                &s,
+                &a,
+                &c,
+                &format!("{speedup:.4}"),
+                &format!("{lat_ratio:.4}"),
+            ]);
+        }
+    }
+    assert!(
+        k4_lat_wins >= 4,
+        "acceptance: a K = 4 probe ring must lower mean steal latency \
+         against K = 1 on at least four of the five Fig. 6 configurations \
+         (got {k4_lat_wins})"
+    );
+    assert!(
+        chained_total > 0,
+        "acceptance: probe rings must actually ride doorbell chains"
+    );
+    assert!(
+        abandoned_total > 0,
+        "acceptance: some ready victims must have been abandoned (K \
+         probes racing dense steals), and the counter must account them"
+    );
+    println!("\nK-sweep CSV written to {}", kcsv.path());
+
     // Fig. 8: UTS-L through the one-sided BoT, both fabric modes.
     let bot: Vec<Cell> = sweep::run_matrix(&[0usize, 1], jobs, |_, &mi| {
         let r = onesided::run_uts_fabric(&spec, p, profile.clone(), 5, MODES[mi]);

@@ -25,11 +25,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use dcs_core::dedup::ClaimSet;
 use dcs_core::deque::{
     ff_owner_pop, ff_owner_push, ff_thief_claim, owner_pop, owner_push, thief_advance_top,
-    thief_lock, thief_read_bounds, thief_release_lock, thief_take, thief_take_no_release,
-    DequeError, FfSteal,
+    thief_lock, thief_read_bounds, thief_release_lock, thief_take, thief_take_at,
+    thief_take_no_release, DequeError, FfSteal,
 };
 use dcs_core::frame::{frame, Effect, TaskCtx};
-use dcs_core::layout::{SegLayout, DQ_LOCK};
+use dcs_core::layout::{SegLayout, DQ_LOCK, DQ_TOP};
 use dcs_core::util::Slab;
 use dcs_core::value::{ThreadHandle, Value};
 use dcs_core::world::{QueueItem, WorkerShared};
@@ -677,6 +677,533 @@ fn ff_deque_scenario(name: &str, workers: usize, n_items: u64, broken_claim: boo
 }
 
 // ---------------------------------------------------------------------------
+// Multi-steal probe-ring scenarios
+// ---------------------------------------------------------------------------
+
+/// World for the multi-steal probe rings: TWO owners (workers 0 and 1) each
+/// drive their own deque; each thief keeps a probe on both victims in flight
+/// at once — the `--multi-steal` composition — and commits the first in ring
+/// order that holds work, abandoning the other. Oracles: per-deque
+/// exactly-once FIFO/LIFO (shadow deques), every victim's lock word reads 0
+/// at the end of the run (an abandoned steal must release a won-but-unused
+/// lock), and no posted verb is left unreaped.
+struct MsWorld {
+    m: Machine,
+    items: Vec<Slab<QueueItem>>,
+    lay: SegLayout,
+    shadow: Vec<VecDeque<u64>>,
+    violations: Vec<String>,
+}
+
+enum MsActor {
+    Owner { to_push: u64, pushed: u64 },
+    Thief { state: MsThiefState, pipelined: bool },
+}
+
+enum MsThiefState {
+    /// Probe both victims in one step (the ring is posted as a unit).
+    Probe { attempts: u32 },
+    /// Ring winner committed: the lock is held and the bounds are frozen
+    /// across this engine-step boundary — the window the owners and the
+    /// other thieves interleave into.
+    Take { victim: WorkerId, top: u64, bottom: u64 },
+    Done,
+}
+
+impl Actor<MsWorld> for MsActor {
+    fn step(&mut self, me: WorkerId, now: VTime, w: &mut MsWorld) -> Step {
+        match self {
+            MsActor::Owner { to_push, pushed } => {
+                if *pushed < *to_push {
+                    let tag = me as u64 * 100 + *pushed;
+                    return match owner_push(&mut w.m, &mut w.items[me], &w.lay, me, dq_item(tag))
+                    {
+                        Ok(cost) => {
+                            *pushed += 1;
+                            w.shadow[me].push_back(tag);
+                            Step::Yield(cost)
+                        }
+                        Err(DequeError::Busy) => Step::Yield(w.m.local_op(me)),
+                        Err(DequeError::Dead(d)) => {
+                            w.violations
+                                .push(format!("owner_push observed dead slot: {d:?}"));
+                            Step::Halt
+                        }
+                    };
+                }
+                match owner_pop(&mut w.m, &mut w.items[me], &w.lay, me) {
+                    Ok((Some(item), cost)) => {
+                        let tag = dq_tag(&item);
+                        match w.shadow[me].pop_back() {
+                            Some(expect) if expect == tag => {}
+                            other => w.violations.push(format!(
+                                "owner_pop LIFO violated: got tag {tag}, shadow back was {other:?}"
+                            )),
+                        }
+                        Step::Yield(cost)
+                    }
+                    Ok((None, cost)) => {
+                        if w.shadow[me].is_empty() {
+                            Step::Halt
+                        } else {
+                            Step::Yield(cost)
+                        }
+                    }
+                    Err(DequeError::Busy) => Step::Yield(w.m.local_op(me)),
+                    Err(DequeError::Dead(d)) => {
+                        w.violations.push(format!(
+                            "multi-steal: owner_pop observed a dead ring slot at index {}",
+                            d.index
+                        ));
+                        Step::Halt
+                    }
+                }
+            }
+            MsActor::Thief { state, pipelined } => match state {
+                MsThiefState::Probe { attempts } => {
+                    const RING: [usize; 2] = [0, 1];
+                    let mut cost = VTime::ZERO;
+                    // (victim, lock won, top, bottom) per ring slot.
+                    let mut probes: Vec<(usize, bool, u64, u64)> = Vec::new();
+                    if *pipelined {
+                        // The shipped pipelined ring: every probe's CAS and
+                        // bounds read posted behind one doorbell, reaped
+                        // together; decisions use the eager values.
+                        w.m.chain_begin(me);
+                        let mut handles = Vec::new();
+                        for &v in &RING {
+                            let lock = GlobalAddr::new(v, w.lay.dq_word(DQ_LOCK));
+                            let h_cas = w.m.post_cas_u64(me, lock, 0, me as u64 + 1, now);
+                            let top_addr = GlobalAddr::new(v, w.lay.dq_word(DQ_TOP));
+                            let (vals, h_b) = w.m.post_get_u64_span::<2>(me, top_addr, now);
+                            handles.push((v, h_cas, h_b, vals));
+                        }
+                        w.m.chain_end(me);
+                        let mut fin_max = now;
+                        for (v, h_cas, h_b, vals) in handles {
+                            let (observed, f1) = w.m.wait(me, h_cas);
+                            let (_, f2) = w.m.wait(me, h_b);
+                            fin_max = fin_max.max(f1).max(f2);
+                            probes.push((v, observed == 0, vals[0], vals[1]));
+                        }
+                        cost = fin_max.saturating_sub(now);
+                    } else {
+                        for &v in &RING {
+                            let (locked, c1) = thief_lock(&mut w.m, &w.lay, me, v);
+                            cost += c1;
+                            if locked {
+                                let ((top, bottom), c2) =
+                                    thief_read_bounds(&mut w.m, &w.lay, me, v);
+                                cost += c2;
+                                probes.push((v, true, top, bottom));
+                            } else {
+                                probes.push((v, false, 0, 0));
+                            }
+                        }
+                    }
+                    // First in ring order with the lock AND work wins; every
+                    // other won lock is released before this step ends — a
+                    // leak here is exactly what the end-of-run lock oracle
+                    // catches.
+                    let mut won: Option<(usize, u64, u64)> = None;
+                    for &(v, locked, top, bottom) in &probes {
+                        if !locked {
+                            continue;
+                        }
+                        if won.is_none() && top < bottom {
+                            won = Some((v, top, bottom));
+                        } else {
+                            cost += thief_release_lock(&mut w.m, &w.lay, me, v);
+                        }
+                    }
+                    match won {
+                        Some((v, top, bottom)) => {
+                            *state = MsThiefState::Take { victim: v, top, bottom };
+                            Step::Yield(cost)
+                        }
+                        None => {
+                            *attempts += 1;
+                            if *attempts >= 16 {
+                                return Step::Halt; // give up: failed steals
+                            }
+                            Step::Yield(cost.max(w.m.local_op(me)))
+                        }
+                    }
+                }
+                MsThiefState::Take { victim, top, bottom } => {
+                    let v = *victim;
+                    match thief_take_at(
+                        &mut w.m,
+                        &mut w.items[v],
+                        &w.lay,
+                        me,
+                        v,
+                        *top,
+                        *bottom,
+                    ) {
+                        Ok((Some((item, _size)), cost)) => {
+                            let tag = dq_tag(&item);
+                            match w.shadow[v].pop_front() {
+                                Some(expect) if expect == tag => {}
+                                other => w.violations.push(format!(
+                                    "steal FIFO violated on victim {v}: got tag {tag}, shadow front was {other:?}"
+                                )),
+                            }
+                            *state = MsThiefState::Done;
+                            Step::Yield(cost)
+                        }
+                        Ok((None, cost)) => {
+                            // The bounds were read under the held lock, so
+                            // the owner cannot have drained the slot since.
+                            w.violations.push(format!(
+                                "multi-steal: probe promised work on victim {v} but the known-bounds take found none"
+                            ));
+                            *state = MsThiefState::Done;
+                            Step::Yield(cost)
+                        }
+                        Err(d) => {
+                            w.violations
+                                .push(format!("thief_take_at observed dead slot: {d:?}"));
+                            Step::Halt
+                        }
+                    }
+                }
+                MsThiefState::Done => Step::Halt,
+            },
+        }
+    }
+}
+
+/// Build a multi-steal probe-ring scenario: workers 0 and 1 own deques and
+/// push `n_items` each; workers `2..workers` run the two-victim probe ring
+/// (posted as one doorbell chain when `pipelined`).
+fn multi_steal_scenario(name: &str, workers: usize, n_items: u64, pipelined: bool) -> Scenario {
+    let workers = workers.max(3);
+    let fabric = if pipelined {
+        FabricMode::Pipelined
+    } else {
+        FabricMode::Blocking
+    };
+    let name_owned = name.to_string();
+    let runner = move |hook: &mut dyn ScheduleHook| -> Vec<String> {
+        let cfg = RunConfig::new(workers, Policy::ContGreedy);
+        let lay = SegLayout::new(&cfg);
+        let m = Machine::new(
+            MachineConfig::new(workers, profiles::test_profile())
+                .with_seg_bytes(cfg.seg_bytes)
+                .with_reserved(lay.reserved)
+                .with_fabric(fabric),
+        );
+        let world = MsWorld {
+            m,
+            items: (0..workers).map(|_| Slab::new()).collect(),
+            lay,
+            shadow: vec![VecDeque::new(); workers],
+            violations: Vec::new(),
+        };
+        let mut actors = vec![
+            MsActor::Owner { to_push: n_items, pushed: 0 },
+            MsActor::Owner { to_push: n_items, pushed: 0 },
+        ];
+        for _ in 2..workers {
+            actors.push(MsActor::Thief {
+                state: MsThiefState::Probe { attempts: 0 },
+                pipelined,
+            });
+        }
+        let mut engine = Engine::new(world, actors).with_max_steps(100_000);
+        engine.run_with_hook(hook);
+        let w = &mut engine.world;
+        for v in 0..2usize {
+            if !w.shadow[v].is_empty() {
+                w.violations.push(format!(
+                    "leak: {} items of victim {v} never consumed",
+                    w.shadow[v].len()
+                ));
+            }
+            if !w.items[v].is_empty() {
+                w.violations
+                    .push(format!("leak: victim {v}'s queue-item slab not empty"));
+            }
+            let lock = w.m.read_own(v, GlobalAddr::new(v, w.lay.dq_word(DQ_LOCK)));
+            if lock != 0 {
+                w.violations.push(format!(
+                    "abandoned lock: victim {v}'s deque lock still held by {lock} at end of run"
+                ));
+            }
+        }
+        for p in 0..workers {
+            let depth = w.m.cq_depth(p);
+            if depth > 0 {
+                w.violations.push(format!(
+                    "overlap-race: worker {p} ended with {depth} posted verbs never reaped"
+                ));
+            }
+        }
+        std::mem::take(&mut w.violations)
+    };
+    Scenario {
+        name: name_owned,
+        workers,
+        expect_violation: false,
+        runner: Box::new(runner),
+    }
+}
+
+/// World for the fence-free multi-steal variant: two owners with their own
+/// rings, ticket maps and claim arbiters; thieves probe both victims'
+/// bounds, then run the claim pipeline against the ring winner ONLY. The
+/// multiplicity ledger is the double-claim oracle: a thief that claimed the
+/// victim it abandoned would execute a task twice (or leak a ticket, caught
+/// at end of run).
+struct MsFfWorld {
+    m: Machine,
+    ws: Vec<WorkerShared>,
+    claims: Vec<ClaimSet>,
+    lay: SegLayout,
+    /// Per (victim, tag): (executions, take attempts).
+    counts: HashMap<(usize, u64), (u32, u32)>,
+    /// Takers per deque: its owner + every thief.
+    cap: u32,
+    violations: Vec<String>,
+}
+
+impl MsFfWorld {
+    fn note_exec(&mut self, victim: usize, tag: u64, who: &str) {
+        let e = self.counts.entry((victim, tag)).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += 1;
+        if e.0 > 1 {
+            self.violations.push(format!(
+                "multiplicity: victim {victim} task {tag} executed {} times ({who} took it again)",
+                e.0
+            ));
+        }
+        if e.1 > self.cap {
+            self.violations.push(format!(
+                "multiplicity: victim {victim} task {tag} taken {} times, bound is {}",
+                e.1, self.cap
+            ));
+        }
+    }
+
+    fn note_dup(&mut self, victim: usize, tag: u64) {
+        let e = self.counts.entry((victim, tag)).or_insert((0, 0));
+        e.1 += 1;
+        if e.1 > self.cap {
+            self.violations.push(format!(
+                "multiplicity: victim {victim} task {tag} taken {} times, bound is {}",
+                e.1, self.cap
+            ));
+        }
+    }
+
+    fn owner_done(&self, me: usize) -> bool {
+        self.counts
+            .iter()
+            .filter(|((v, _), _)| *v == me)
+            .all(|(_, &(e, _))| e >= 1)
+    }
+}
+
+enum MsFfActor {
+    Owner { to_push: u64, pushed: u64 },
+    Thief { state: MsFfState },
+}
+
+enum MsFfState {
+    /// Read both victims' bounds in one step (the posted ring).
+    Probe { attempts: u32 },
+    /// Claim against the ring winner only — never the abandoned victim.
+    Claim { victim: usize, top: u64, attempts: u32 },
+    Done,
+}
+
+impl Actor<MsFfWorld> for MsFfActor {
+    fn step(&mut self, me: WorkerId, _now: VTime, w: &mut MsFfWorld) -> Step {
+        match self {
+            MsFfActor::Owner { to_push, pushed } => {
+                if *pushed < *to_push {
+                    let tag = *pushed;
+                    let cost =
+                        ff_owner_push(&mut w.m, &mut w.ws[me], &w.lay, me, dq_item(tag));
+                    *pushed += 1;
+                    w.counts.insert((me, tag), (0, 0));
+                    return Step::Yield(cost);
+                }
+                match ff_owner_pop(&mut w.m, &mut w.ws[me], &mut w.claims[me], &w.lay, me) {
+                    Ok((Some(item), cost)) => {
+                        let tag = dq_tag(&item);
+                        w.note_exec(me, tag, "owner_pop");
+                        Step::Yield(cost)
+                    }
+                    Ok((None, cost)) => {
+                        if *pushed == *to_push && w.owner_done(me) {
+                            Step::Halt
+                        } else {
+                            Step::Yield(cost)
+                        }
+                    }
+                    Err(DequeError::Busy) => {
+                        unreachable!("fence-free owners are never blocked")
+                    }
+                    Err(DequeError::Dead(d)) => {
+                        w.violations
+                            .push(format!("ff_owner_pop observed a corrupt slot: {d:?}"));
+                        Step::Halt
+                    }
+                }
+            }
+            MsFfActor::Thief { state } => match state {
+                MsFfState::Probe { attempts } => {
+                    const RING: [usize; 2] = [0, 1];
+                    let mut cost = VTime::ZERO;
+                    let mut won: Option<(usize, u64)> = None;
+                    for &v in &RING {
+                        let ((top, bottom), c) = thief_read_bounds(&mut w.m, &w.lay, me, v);
+                        cost += c;
+                        if won.is_none() && top < bottom {
+                            won = Some((v, top));
+                        }
+                        // An abandoned ready victim needs no cancel under
+                        // fence-free: the probe was a plain read, no ticket
+                        // was claimed.
+                    }
+                    match won {
+                        Some((v, top)) => {
+                            *state = MsFfState::Claim { victim: v, top, attempts: *attempts };
+                            Step::Yield(cost)
+                        }
+                        None => {
+                            *attempts += 1;
+                            if *attempts >= 16 {
+                                return Step::Halt; // give up: failed steals
+                            }
+                            Step::Yield(cost)
+                        }
+                    }
+                }
+                MsFfState::Claim { victim, top, attempts } => {
+                    let v = *victim;
+                    // Oracle-side peek at the claim target so a Dup can be
+                    // charged to the right task.
+                    let keyp1 = w.m.read_own(v, GlobalAddr::new(v, w.lay.dq_slot(*top)));
+                    let (outcome, mut cost) = ff_thief_claim(
+                        &mut w.m,
+                        &mut w.ws[v],
+                        &mut w.claims[v],
+                        &w.lay,
+                        me,
+                        v,
+                        *top,
+                    );
+                    match outcome {
+                        FfSteal::Taken(item, size) => {
+                            cost += w.m.get_bulk(me, v, size);
+                            let tag = dq_tag(&item);
+                            w.note_exec(v, tag, &format!("thief {me}"));
+                            *state = MsFfState::Done; // one steal per thief
+                            Step::Yield(cost)
+                        }
+                        FfSteal::Dup => {
+                            let tag = keyp1
+                                .checked_sub(1)
+                                .and_then(|k| w.ws[v].items.get(k as u32))
+                                .map(dq_tag);
+                            if let Some(tag) = tag {
+                                w.note_dup(v, tag);
+                            }
+                            *state = MsFfState::Probe { attempts: *attempts + 1 };
+                            Step::Yield(cost)
+                        }
+                        FfSteal::Lost => {
+                            *state = MsFfState::Probe { attempts: *attempts + 1 };
+                            Step::Yield(cost)
+                        }
+                    }
+                }
+                MsFfState::Done => Step::Halt,
+            },
+        }
+    }
+}
+
+/// Build the fence-free multi-steal scenario: workers 0 and 1 own rings and
+/// push `n_items` each; workers `2..workers` probe both and claim from the
+/// ring winner only.
+fn ms_ff_scenario(name: &str, workers: usize, n_items: u64) -> Scenario {
+    let workers = workers.max(3);
+    let name_owned = name.to_string();
+    let runner = move |hook: &mut dyn ScheduleHook| -> Vec<String> {
+        let cfg = RunConfig::new(workers, Policy::ContGreedy);
+        let lay = SegLayout::new(&cfg);
+        let m = Machine::new(
+            MachineConfig::new(workers, profiles::test_profile())
+                .with_seg_bytes(cfg.seg_bytes)
+                .with_reserved(lay.reserved),
+        );
+        let world = MsFfWorld {
+            m,
+            ws: (0..workers).map(|_| WorkerShared::new(&cfg)).collect(),
+            claims: (0..workers).map(|_| ClaimSet::default()).collect(),
+            lay,
+            counts: HashMap::new(),
+            cap: (workers - 1) as u32,
+            violations: Vec::new(),
+        };
+        let mut actors = vec![
+            MsFfActor::Owner { to_push: n_items, pushed: 0 },
+            MsFfActor::Owner { to_push: n_items, pushed: 0 },
+        ];
+        for _ in 2..workers {
+            actors.push(MsFfActor::Thief {
+                state: MsFfState::Probe { attempts: 0 },
+            });
+        }
+        let mut engine = Engine::new(world, actors).with_max_steps(100_000);
+        engine.run_with_hook(hook);
+        let w = &mut engine.world;
+        let mut keys: Vec<(usize, u64)> = w.counts.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let (exec, takes) = w.counts[&key];
+            if exec != 1 {
+                w.violations.push(format!(
+                    "multiplicity: victim {} task {} executed {exec} times, want exactly 1",
+                    key.0, key.1
+                ));
+            }
+            if takes > w.cap {
+                w.violations.push(format!(
+                    "multiplicity: victim {} task {} taken {takes} times, bound is {}",
+                    key.0, key.1, w.cap
+                ));
+            }
+        }
+        for v in 0..2usize {
+            if !w.ws[v].items.is_empty() {
+                w.violations
+                    .push(format!("leak: victim {v}'s queue-item slab not empty"));
+            }
+            if !w.ws[v].ff_tickets.is_empty() {
+                w.violations.push(format!(
+                    "leak: victim {v} has live tickets left at end of run (double claim?)"
+                ));
+            }
+        }
+        w.violations.sort_unstable();
+        w.violations.dedup();
+        std::mem::take(&mut w.violations)
+    };
+    Scenario {
+        name: name_owned,
+        workers,
+        expect_violation: false,
+        runner: Box::new(runner),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Full-runtime scenarios
 // ---------------------------------------------------------------------------
 
@@ -756,6 +1283,7 @@ fn runtime_scenario(
     strategy: FreeStrategy,
     fabric: FabricMode,
     protocol: Protocol,
+    multi_steal: u32,
     spec: ProgSpec,
 ) -> Scenario {
     let runner = move |hook: &mut dyn ScheduleHook| -> Vec<String> {
@@ -766,7 +1294,8 @@ fn runtime_scenario(
             .with_strict(false)
             .with_seed(seed)
             .with_fabric(fabric)
-            .with_protocol(protocol);
+            .with_protocol(protocol)
+            .with_multi_steal(multi_steal);
         let report = run_hooked(cfg, Program::new(spec.root, spec.arg), hook);
         let mut violations = Vec::new();
         if report.result.as_u64() != spec.expected {
@@ -992,6 +1521,13 @@ pub fn catalog(workers: usize, seed: u64) -> Vec<Scenario> {
         // multiplicity oracle must catch.
         ff_deque_scenario("fence-free-steal", workers, 2, false),
         ff_deque_scenario("broken-claim", 2, 1, true),
+        // The multi-steal probe rings (`--multi-steal`): two victims, each
+        // thief's probes in flight at once, first hit in ring order wins and
+        // the rest are abandoned — the abandoned-lock and double-claim
+        // oracles close the new cancel paths.
+        multi_steal_scenario("multi-steal-probe", workers, 2, false),
+        multi_steal_scenario("multi-steal-probe-pipelined", workers, 2, true),
+        ms_ff_scenario("multi-steal-ff", workers, 2),
     ];
     for policy in Policy::ALL {
         for strategy in [FreeStrategy::LockQueue, FreeStrategy::LocalCollection] {
@@ -1003,6 +1539,7 @@ pub fn catalog(workers: usize, seed: u64) -> Vec<Scenario> {
                 strategy,
                 FabricMode::Blocking,
                 Protocol::CasLock,
+                1,
                 ProgSpec {
                     root: single_steal_root,
                     arg: 0,
@@ -1021,6 +1558,7 @@ pub fn catalog(workers: usize, seed: u64) -> Vec<Scenario> {
             FreeStrategy::LocalCollection,
             FabricMode::Pipelined,
             Protocol::CasLock,
+            1,
             ProgSpec {
                 root: single_steal_root,
                 arg: 0,
@@ -1038,6 +1576,7 @@ pub fn catalog(workers: usize, seed: u64) -> Vec<Scenario> {
             FreeStrategy::LocalCollection,
             FabricMode::Blocking,
             Protocol::FenceFree,
+            1,
             ProgSpec {
                 root: single_steal_root,
                 arg: 0,
@@ -1053,6 +1592,7 @@ pub fn catalog(workers: usize, seed: u64) -> Vec<Scenario> {
         FreeStrategy::LocalCollection,
         FabricMode::Blocking,
         Protocol::CasLock,
+        1,
         ProgSpec {
             root: fib,
             arg: 8,
@@ -1067,6 +1607,7 @@ pub fn catalog(workers: usize, seed: u64) -> Vec<Scenario> {
         FreeStrategy::LocalCollection,
         FabricMode::Pipelined,
         Protocol::CasLock,
+        1,
         ProgSpec {
             root: fib,
             arg: 8,
@@ -1085,6 +1626,7 @@ pub fn catalog(workers: usize, seed: u64) -> Vec<Scenario> {
         FreeStrategy::LocalCollection,
         FabricMode::Blocking,
         Protocol::FenceFree,
+        1,
         ProgSpec {
             root: fib,
             arg: 8,
@@ -1099,6 +1641,7 @@ pub fn catalog(workers: usize, seed: u64) -> Vec<Scenario> {
         FreeStrategy::LocalCollection,
         FabricMode::Pipelined,
         Protocol::FenceFree,
+        1,
         ProgSpec {
             root: fib,
             arg: 8,
@@ -1113,12 +1656,33 @@ pub fn catalog(workers: usize, seed: u64) -> Vec<Scenario> {
         FreeStrategy::LocalCollection,
         FabricMode::Blocking,
         Protocol::LockFree,
+        1,
         ProgSpec {
             root: fib,
             arg: 8,
             expected: 21,
         },
     ));
+    // The full runtime with K=2 probe rings under every protocol family —
+    // the pipelined fabric keeps both probes genuinely in flight, so the
+    // explorer can interleave owners into the probe/commit window.
+    for protocol in Protocol::ALL {
+        v.push(runtime_scenario(
+            format!("multi-steal:{}", protocol.label()),
+            workers,
+            seed,
+            Policy::ContGreedy,
+            FreeStrategy::LocalCollection,
+            FabricMode::Pipelined,
+            protocol,
+            2,
+            ProgSpec {
+                root: fib,
+                arg: 8,
+                expected: 21,
+            },
+        ));
+    }
     v.push(bot_term_scenario("bot-term", workers, seed, FabricMode::Blocking));
     v.push(bot_term_scenario(
         "bot-term-pipelined",

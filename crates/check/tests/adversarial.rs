@@ -499,3 +499,119 @@ fn checked_in_crash_recovery_schedules_stay_clean() {
         );
     }
 }
+
+/// The multi-steal probe ring against the raw deque: two owners drain
+/// LIFO while thieves keep a 2-victim probe ring in flight, commit the
+/// first ready victim in ring order, and cancel the rest. Exhaustive at
+/// delay bound 2 on 3 workers, in both fabric shapes. The oracles that
+/// matter here are the cancellation ones: a won-but-unused lock left set
+/// trips the abandoned-lock check at end of run, and a double commit
+/// trips the shadow-queue mismatch.
+#[test]
+fn multi_steal_probe_survives_exhaustive_exploration() {
+    for name in ["multi-steal-probe", "multi-steal-probe-pipelined"] {
+        let s = by_name(name, 3, 1).expect("scenario exists");
+        let out = explore_exhaustive(&|c| s.run_choices(c), 2, 50_000);
+        assert!(out.complete, "{name}: delay-2 space must fit the budget");
+        assert!(
+            out.findings.is_empty(),
+            "{name} violated under schedule {:?}: {:?}",
+            out.findings[0].choices,
+            out.findings[0].violations
+        );
+        assert!(out.schedules > 50, "{name}: exploration actually branched");
+    }
+}
+
+/// The fence-free flavor of the probe ring: nothing is locked during the
+/// probe, so there is nothing to cancel — the ring winner alone runs the
+/// claim-write arbitration, and the multiplicity ledger plus the ticket
+/// leak oracle ("double claim?") stand in for the lock checks.
+#[test]
+fn multi_steal_ff_survives_exhaustive_exploration() {
+    let s = by_name("multi-steal-ff", 3, 1).expect("scenario exists");
+    let out = explore_exhaustive(&|c| s.run_choices(c), 2, 50_000);
+    assert!(out.complete, "delay-2 space must fit the budget");
+    assert!(
+        out.findings.is_empty(),
+        "multi-steal-ff violated under schedule {:?}: {:?}",
+        out.findings[0].choices,
+        out.findings[0].violations
+    );
+}
+
+/// The full runtime with K=2 probe rings on the pipelined fabric, one
+/// catalog entry per protocol family: fib(8) must come out exact on every
+/// delay-1 interleaving at 2 workers and across a PCT sample at 3, with
+/// the leak/stall oracles green — the end-to-end proof that abandoning a
+/// ready victim never strands its lock or its items.
+const MULTI_STEAL_RUNTIME: [&str; 3] = [
+    "multi-steal:cas-lock",
+    "multi-steal:lock-free",
+    "multi-steal:fence-free",
+];
+
+#[test]
+fn multi_steal_runtime_survives_exploration() {
+    for name in MULTI_STEAL_RUNTIME {
+        let s = by_name(name, 2, 1).expect("catalog covers all protocols");
+        let out = explore_exhaustive(&|c| s.run_choices(c), 1, 10_000);
+        assert!(out.complete, "{name}: delay-1 space must fit the budget");
+        assert!(
+            out.findings.is_empty(),
+            "{name} violated under schedule {:?}: {:?}",
+            out.findings[0].choices,
+            out.findings[0].violations
+        );
+
+        let s3 = by_name(name, 3, 1).unwrap();
+        let out = explore_pct(&|seed| s3.run_pct(seed, 3, 512), 40);
+        assert!(
+            out.findings.is_empty(),
+            "{name} violated under PCT: {:?}",
+            out.findings
+        );
+    }
+}
+
+/// Acceptance-scale sweep for multi-steal: 500 PCT seeds at 8 workers for
+/// the probe-ring scenarios and every runtime protocol. Slow, so it only
+/// runs under `--ignored` — CI's checker job includes it.
+#[test]
+#[ignore = "acceptance-scale sweep; run with --ignored (CI does)"]
+fn multi_steal_survives_wide_pct() {
+    let mut names = vec!["multi-steal-probe", "multi-steal-probe-pipelined", "multi-steal-ff"];
+    names.extend(MULTI_STEAL_RUNTIME);
+    for name in names {
+        let s = by_name(name, 8, 1).expect("scenario exists");
+        let out = explore_pct(&|seed| s.run_pct(seed, 3, 512), 500);
+        assert!(
+            out.findings.is_empty(),
+            "{name} violated under wide PCT: {:?}",
+            out.findings
+        );
+    }
+}
+
+/// Checked-in multi-steal schedules: a recorded pipelined probe-ring
+/// interleaving where both thieves' rings overlap the owners' drains, and
+/// a fence-free ring race. Replaying them must stay clean — if the cancel
+/// path regresses (a loser's lock kept, a ring winner double-claiming),
+/// these fixtures catch it without re-exploring.
+#[test]
+fn checked_in_multi_steal_schedules_stay_clean() {
+    for text in [
+        include_str!("schedules/multi-steal-probe-pipelined.schedule"),
+        include_str!("schedules/multi-steal-ff.schedule"),
+    ] {
+        let sched = Schedule::parse(text).expect("fixture parses");
+        let s = by_name(&sched.scenario, sched.workers, sched.seed).unwrap();
+        let rec = s.run_choices(&sched.choices);
+        assert!(
+            rec.violations.is_empty(),
+            "{} schedule regressed: {:?}",
+            sched.scenario,
+            rec.violations
+        );
+    }
+}

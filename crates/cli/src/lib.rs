@@ -123,6 +123,11 @@ pub struct RunArgs {
     pub fabric: FabricMode,
     /// Steal-protocol family (CAS-lock, lock-free, or fence-free).
     pub protocol: Protocol,
+    /// Steal attempts kept in flight at once while idle (`--multi-steal`).
+    pub multi_steal: u32,
+    /// Injection-cost fraction charged to doorbell-chained verbs
+    /// (`--doorbell`); 1.0 disables the discount.
+    pub doorbell: f64,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -182,6 +187,8 @@ impl RunArgs {
             fault: FaultPlan::none(),
             fabric: FabricMode::Blocking,
             protocol: Protocol::CasLock,
+            multi_steal: 1,
+            doorbell: 1.0,
         }
     }
 }
@@ -292,6 +299,20 @@ fn parse_run_with_list(args: &[String]) -> Result<(RunArgs, Vec<usize>, Option<S
             "--victim" => out.victim = parse_victim(val()?)?,
             "--fabric" => out.fabric = parse_fabric(val()?)?,
             "--protocol" => out.protocol = parse_protocol(val()?)?,
+            "--multi-steal" => {
+                let k: u32 = val()?.parse().map_err(|_| "bad --multi-steal".to_string())?;
+                if k == 0 {
+                    return Err("--multi-steal needs K >= 1 (1 = serial steals)".into());
+                }
+                out.multi_steal = k;
+            }
+            "--doorbell" => {
+                let f: f64 = val()?.parse().map_err(|_| "bad --doorbell".to_string())?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err("--doorbell needs a fraction in 0.0..=1.0".into());
+                }
+                out.doorbell = f;
+            }
             "--node-size" => {
                 out.node_size = Some(val()?.parse().map_err(|_| "bad --node-size".to_string())?)
             }
@@ -359,7 +380,9 @@ pub fn execute_run(a: &RunArgs) -> String {
         .with_seg_bytes(64 << 20)
         .with_fault_plan(a.fault.clone())
         .with_fabric(a.fabric)
-        .with_protocol(a.protocol);
+        .with_protocol(a.protocol)
+        .with_multi_steal(a.multi_steal)
+        .with_doorbell(a.doorbell);
     if a.trace_out.is_some() {
         cfg = cfg.with_trace(TraceLevel::Series);
     }
@@ -510,6 +533,13 @@ fn render_report(a: &RunArgs, n: u64, r: &RunReport) -> String {
             r.stats.ff_dups, r.stats.ff_lost_races
         );
     }
+    if a.multi_steal >= 2 {
+        let _ = writeln!(
+            s,
+            "multi-steal: K={} probe rings, {} ready victims abandoned",
+            a.multi_steal, r.stats.steals_abandoned
+        );
+    }
     let _ = writeln!(
         s,
         "joins:      {} fast, {} outstanding ({} avg)",
@@ -526,6 +556,13 @@ fn render_report(a: &RunArgs, n: u64, r: &RunReport) -> String {
         a.fabric.label(),
         r.fabric.max_inflight
     );
+    if r.fabric.doorbell_chained > 0 {
+        let _ = writeln!(
+            s,
+            "doorbell:   {} chained verbs at {:.2}x injection",
+            r.fabric.doorbell_chained, a.doorbell
+        );
+    }
     let _ = writeln!(
         s,
         "busy:       {:.1}% of {} workers",
@@ -853,6 +890,13 @@ FLAGS (run & sweep):
                        fence-free uses plain reads/writes only (zero AMO
                        verbs) with bounded multiplicity closed by the
                        done-flag dedup — a doubly-taken task executes once
+    --multi-steal <K>  steal attempts kept in flight at once while idle [1]
+                       K >= 2 probes K distinct victims per idle step,
+                       commits the first hit in ring order and abandons
+                       the rest (won locks released, no blind retries)
+    --doorbell <frac>  injection-cost fraction charged to verbs chained
+                       behind one doorbell ring (probe rings, waiter
+                       sweeps); 1.0 disables the discount            [1.0]
     --node-size <n>    hierarchical topology with n workers per node
     --trace <file>     write a Chrome trace (chrome://tracing, perfetto) [off]
     --fault-plan <spec>  deterministic fault injection                   [off]
@@ -909,7 +953,7 @@ mod tests {
         let cmd = parse(&argv(
             "run --bench lcs --policy child-full --workers 8 --machine wisteria \
              --n 1024 --seed 7 --free lock-queue --scheme iso --victim locality:0.8 --node-size 4 \
-             --fabric pipelined --protocol fence-free",
+             --fabric pipelined --protocol fence-free --multi-steal 4 --doorbell 0.25",
         ))
         .unwrap();
         let Command::Run(a) = cmd else { panic!() };
@@ -925,6 +969,16 @@ mod tests {
         assert_eq!(a.node_size, Some(4));
         assert_eq!(a.fabric, FabricMode::Pipelined);
         assert_eq!(a.protocol, Protocol::FenceFree);
+        assert_eq!(a.multi_steal, 4);
+        assert_eq!(a.doorbell, 0.25);
+    }
+
+    #[test]
+    fn multi_steal_and_doorbell_defaults_keep_the_serial_path() {
+        let cmd = parse(&argv("run")).unwrap();
+        let Command::Run(a) = cmd else { panic!() };
+        assert_eq!(a.multi_steal, 1, "goldens depend on this default");
+        assert_eq!(a.doorbell, 1.0, "goldens depend on this default");
     }
 
     #[test]
@@ -976,6 +1030,10 @@ mod tests {
         assert!(parse(&argv("run --fabric")).is_err(), "missing value");
         assert!(parse(&argv("run --protocol nope")).is_err());
         assert!(parse(&argv("run --protocol")).is_err(), "missing value");
+        assert!(parse(&argv("run --multi-steal 0")).is_err(), "K=0 cannot steal");
+        assert!(parse(&argv("run --multi-steal x")).is_err());
+        assert!(parse(&argv("run --doorbell 1.5")).is_err(), "fraction > 1");
+        assert!(parse(&argv("run --doorbell -0.1")).is_err(), "negative fraction");
     }
 
     #[test]
@@ -987,6 +1045,8 @@ mod tests {
         assert!(HELP.contains("--bench"));
         assert!(HELP.contains("--fabric"));
         assert!(HELP.contains("--protocol"));
+        assert!(HELP.contains("--multi-steal"));
+        assert!(HELP.contains("--doorbell"));
     }
 
     #[test]

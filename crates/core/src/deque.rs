@@ -288,15 +288,38 @@ pub fn thief_take_no_release(
 ) -> Result<(Option<StolenEntry>, VTime), DeadSlot> {
     debug_assert_ne!(me, victim, "stealing from self");
     // One get covers the adjacent [top, bottom] words.
-    let (top, mut cost) = m.get_u64(me, word(lay, victim, DQ_TOP));
+    let (top, cost) = m.get_u64(me, word(lay, victim, DQ_TOP));
     let (bottom, _) = m.get_u64(me, word(lay, victim, DQ_BOTTOM));
+    match thief_take_no_release_at(m, victim_items, lay, me, victim, top, bottom) {
+        Ok((got, c)) => Ok((got, cost + c)),
+        Err(mut d) => {
+            d.cost += cost;
+            Err(d)
+        }
+    }
+}
+
+/// [`thief_take_no_release`] with the bounds already known: a multi-steal
+/// probe reads `[top, bottom]` in the same doorbell chain as its lock CAS,
+/// and a won lock freezes the bounds (owner ops and rival thieves observe
+/// the lock), so the take step can skip the bounds re-read — one small-get
+/// round trip saved per successful steal.
+pub fn thief_take_no_release_at(
+    m: &mut Machine,
+    victim_items: &mut Slab<QueueItem>,
+    lay: &SegLayout,
+    me: WorkerId,
+    victim: WorkerId,
+    top: u64,
+    bottom: u64,
+) -> Result<(Option<StolenEntry>, VTime), DeadSlot> {
+    debug_assert_ne!(me, victim, "stealing from self");
     if top == bottom {
-        return Ok((None, cost));
+        return Ok((None, VTime::ZERO));
     }
     let slot = GlobalAddr::new(victim, lay.dq_slot(top));
-    let (keyp1, c_entry) = m.get_u64(me, slot);
+    let (keyp1, cost) = m.get_u64(me, slot);
     let (size, _) = m.get_u64(me, slot.field(1));
-    cost += c_entry;
     let dead = |cost| {
         Err(DeadSlot {
             op: "thief_take",
@@ -312,6 +335,35 @@ pub fn thief_take_no_release(
     };
     m.post_put_u64_unsignaled(me, slot, 0);
     Ok((Some((item, size as usize, top)), cost))
+}
+
+/// [`thief_take`] with the bounds already known (see
+/// [`thief_take_no_release_at`]): entry read, advance, release — no bounds
+/// round trip.
+pub fn thief_take_at(
+    m: &mut Machine,
+    victim_items: &mut Slab<QueueItem>,
+    lay: &SegLayout,
+    me: WorkerId,
+    victim: WorkerId,
+    top: u64,
+    bottom: u64,
+) -> Result<(Option<(QueueItem, usize)>, VTime), DeadSlot> {
+    match thief_take_no_release_at(m, victim_items, lay, me, victim, top, bottom) {
+        Ok((None, mut cost)) => {
+            cost += m.post_put_u64_unsignaled(me, word(lay, victim, DQ_LOCK), 0);
+            Ok((None, cost))
+        }
+        Ok((Some((item, size, top)), mut cost)) => {
+            thief_advance_top(m, lay, me, victim, top + 1);
+            cost += thief_release_lock(m, lay, me, victim);
+            Ok((Some((item, size)), cost))
+        }
+        Err(mut d) => {
+            d.cost += thief_release_lock(m, lay, me, victim);
+            Err(d)
+        }
+    }
 }
 
 /// Checker seam: advance the victim's `top` to `new_top` (non-blocking put;
@@ -1046,6 +1098,34 @@ mod tests {
         assert_eq!(m.get_u64(1, word(&lay, 0, DQ_LOCK)).0, 0);
         let (none, _) = owner_pop(&mut m, &mut items, &lay, 0).unwrap();
         assert!(none.is_none());
+    }
+
+    #[test]
+    fn known_bounds_take_skips_the_bounds_read() {
+        let (mut m, mut items, lay) = setup();
+        owner_push(&mut m, &mut items, &lay, 0, child_item(4)).unwrap();
+        let (locked, _) = thief_lock(&mut m, &lay, 1, 0);
+        assert!(locked);
+        let ((top, bottom), _) = thief_read_bounds(&mut m, &lay, 1, 0);
+        let gets_before = m.stats_total().remote_gets;
+        let (got, _) = thief_take_at(&mut m, &mut items, &lay, 1, 0, top, bottom).unwrap();
+        let (item, size) = got.unwrap();
+        assert_eq!(tag_of(&item), 4);
+        assert_eq!(size, item.wire_size());
+        // Only the ring-entry pair (adjacent [key, size] words) — the
+        // bounds words of `thief_take` were not re-read.
+        assert_eq!(m.stats_total().remote_gets, gets_before + 2);
+        // Post-state identical to `thief_take`: advanced and released.
+        assert_eq!(m.get_u64(1, word(&lay, 0, DQ_TOP)).0, 1);
+        assert_eq!(m.get_u64(1, word(&lay, 0, DQ_LOCK)).0, 0);
+        // A known-bounds take of an empty deque still releases the lock.
+        let (locked, _) = thief_lock(&mut m, &lay, 1, 0);
+        assert!(locked);
+        let ((top, bottom), _) = thief_read_bounds(&mut m, &lay, 1, 0);
+        assert_eq!(top, bottom);
+        let (none, _) = thief_take_at(&mut m, &mut items, &lay, 1, 0, top, bottom).unwrap();
+        assert!(none.is_none());
+        assert_eq!(m.get_u64(1, word(&lay, 0, DQ_LOCK)).0, 0);
     }
 
     #[test]

@@ -235,6 +235,18 @@ pub struct RunConfig {
     /// golden is pinned to) or [`FabricMode::Pipelined`] (independent verbs
     /// in a protocol step are posted concurrently and fenced).
     pub fabric: FabricMode,
+    /// Number of victims an idle worker probes *concurrently* per steal
+    /// round. `1` (the default every golden is pinned to) keeps the classic
+    /// serial probe; `K ≥ 2` posts the protocol's opening verbs to K
+    /// distinct victims at once, commits the first attempt that lands with
+    /// work and abandons the rest (docs/PROTOCOLS.md, "Multi-steal &
+    /// abandonment").
+    pub multi_steal: u32,
+    /// Doorbell-batching fraction forwarded to the fabric
+    /// ([`dcs_sim::MachineConfig::with_doorbell`]): chained verbs pay this
+    /// fraction of `injection`. `1.0` (default) is charge-identical to
+    /// unchained posting.
+    pub doorbell: f64,
 }
 
 impl RunConfig {
@@ -264,11 +276,27 @@ impl RunConfig {
             strict: true,
             max_steps: 20_000_000_000,
             fabric: FabricMode::Blocking,
+            multi_steal: 1,
+            doorbell: 1.0,
         }
     }
 
     pub fn with_fabric(mut self, mode: FabricMode) -> Self {
         self.fabric = mode;
+        self
+    }
+
+    /// Probe `k` victims concurrently per steal round (`k ≥ 1`).
+    pub fn with_multi_steal(mut self, k: u32) -> Self {
+        assert!(k >= 1, "multi-steal width must be at least 1");
+        self.multi_steal = k;
+        self
+    }
+
+    /// Doorbell-batching fraction for chained verbs (`0.0 ..= 1.0`).
+    pub fn with_doorbell(mut self, frac: f64) -> Self {
+        assert!((0.0..=1.0).contains(&frac), "doorbell fraction must be in [0, 1]");
+        self.doorbell = frac;
         self
     }
 
@@ -414,5 +442,21 @@ mod tests {
             FabricMode::Blocking,
             "blocking stays the default so goldens remain valid"
         );
+    }
+
+    #[test]
+    fn multi_steal_and_doorbell_defaults() {
+        let cfg = RunConfig::new(4, Policy::ChildRtc);
+        assert_eq!(cfg.multi_steal, 1, "serial probing stays the default so goldens remain valid");
+        assert_eq!(cfg.doorbell, 1.0, "full injection stays the default so goldens remain valid");
+        let cfg = cfg.with_multi_steal(4).with_doorbell(0.25);
+        assert_eq!(cfg.multi_steal, 4);
+        assert_eq!(cfg.doorbell, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "multi-steal width")]
+    fn multi_steal_zero_rejected() {
+        let _ = RunConfig::new(2, Policy::ChildRtc).with_multi_steal(0);
     }
 }

@@ -276,12 +276,16 @@ fn maybe_sweep(m: &mut Machine, ws: &mut WorkerShared, me: WorkerId) -> VTime {
         // (not fenced) because the reclaim decision needs each bit.
         let snapshot: Vec<(u32, u32)> = ws.robj.list.clone();
         let mut handles = Vec::with_capacity(snapshot.len());
+        // The whole scan rides one doorbell chain: the first bit read pays
+        // full injection, the rest the chained fraction.
+        m.chain_begin(me);
         for &(off, bytes) in &snapshot {
             ws.robj.swept_items += 1;
             cost += m.local_op(me);
             let bit_addr = GlobalAddr::new(me, off + free_bit_off(bytes));
             handles.push(m.post_get_u64(me, bit_addr, VTime::ZERO));
         }
+        m.chain_end(me);
         let mut tail = VTime::ZERO;
         for (&(off, bytes), h) in snapshot.iter().zip(handles) {
             let (bit, fin) = m.wait(me, h);

@@ -164,7 +164,8 @@ fn run_inner(
             .with_reserved(lay.reserved)
             .with_topology(cfg.topology.clone())
             .with_faults(cfg.fault.clone())
-            .with_fabric(cfg.fabric),
+            .with_fabric(cfg.fabric)
+            .with_doorbell(cfg.doorbell),
     );
     if let Some(init) = program.init {
         init(&mut machine);
@@ -994,6 +995,144 @@ mod tests {
                     assert_eq!(r.stats.workers_lost, 1, "{protocol:?} {policy:?} kill at {t}");
                 }
             }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // multi-steal probe rings (`--multi-steal K`) + doorbell batching
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn multi_steal_correct_all_protocols_and_fabrics() {
+        use dcs_sim::FabricMode;
+        let want = fib_serial(12);
+        for protocol in Protocol::ALL {
+            for mode in [FabricMode::Blocking, FabricMode::Pipelined] {
+                for k in [2u32, 4] {
+                    let cfg = proto_cfg(protocol, Policy::ContGreedy, 4)
+                        .with_fabric(mode)
+                        .with_multi_steal(k);
+                    let r = run(cfg, Program::new(fib, 12u64));
+                    assert_eq!(r.result.as_u64(), want, "{protocol:?} {mode:?} K={k}");
+                    assert!(r.stats.steals_ok > 0, "{protocol:?} {mode:?} K={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_steal_k1_is_byte_identical_to_the_serial_path() {
+        // K=1 must take the old single-victim path exactly: the probe ring
+        // is gated on `multi_steal >= 2`, so all pre-existing goldens hold.
+        let a = run_fib(Policy::ContGreedy, 4, 13);
+        let k1 = run(
+            RunConfig::new(4, Policy::ContGreedy)
+                .with_profile(profiles::test_profile())
+                .with_seg_bytes(64 << 20)
+                .with_multi_steal(1),
+            Program::new(fib, 13u64),
+        );
+        assert_eq!(a.elapsed, k1.elapsed);
+        assert_eq!(a.steps, k1.steps);
+        assert_eq!(a.fabric, k1.fabric);
+    }
+
+    #[test]
+    fn multi_steal_is_deterministic() {
+        use dcs_sim::FabricMode;
+        for protocol in Protocol::ALL {
+            let go = || {
+                run(
+                    proto_cfg(protocol, Policy::ContGreedy, 4)
+                        .with_fabric(FabricMode::Pipelined)
+                        .with_multi_steal(3),
+                    Program::new(fib, 13u64),
+                )
+            };
+            let (a, b) = (go(), go());
+            assert_eq!(a.elapsed, b.elapsed, "{protocol:?}");
+            assert_eq!(a.steps, b.steps, "{protocol:?}");
+            assert_eq!(a.fabric, b.fabric, "{protocol:?}");
+        }
+    }
+
+    #[test]
+    fn multi_steal_chains_probes_through_the_doorbell() {
+        use dcs_sim::FabricMode;
+        let cfg = proto_cfg(Protocol::CasLock, Policy::ContGreedy, 4)
+            .with_fabric(FabricMode::Pipelined)
+            .with_multi_steal(4)
+            .with_doorbell(0.25);
+        let r = run(cfg, Program::new(fib, 14u64));
+        assert_eq!(r.result.as_u64(), fib_serial(14));
+        assert!(r.stats.steals_ok > 0);
+        assert!(
+            r.fabric.doorbell_chained > 0,
+            "K=4 probe rings must chain their verbs through the doorbell"
+        );
+    }
+
+    #[test]
+    fn multi_steal_accounts_abandoned_attempts() {
+        use dcs_sim::FabricMode;
+        // With K=4 probes outstanding against a busy 4-worker ring, some
+        // probe must eventually find work at a victim that lost the ring
+        // order — that attempt is abandoned (released, never retried as a
+        // failure) and must be counted as such, not folded into failures
+        // or the latency mean.
+        let cfg = proto_cfg(Protocol::CasLock, Policy::ContGreedy, 4)
+            .with_fabric(FabricMode::Pipelined)
+            .with_multi_steal(4);
+        let r = run(cfg, Program::new(fib, 16u64));
+        assert_eq!(r.result.as_u64(), fib_serial(16));
+        assert!(
+            r.stats.steals_abandoned > 0,
+            "a K=4 sweep over fib(16) must abandon at least one ready victim"
+        );
+    }
+
+    #[test]
+    fn sole_survivor_never_draws_a_confirmed_dead_victim_forever() {
+        use dcs_sim::{FaultPlan, VTime};
+        // Satellite regression: with W-1 peers confirmed dead (permanent
+        // blacklist), select_victim must fall back to a live peer while one
+        // exists and must not hang once none does — the run completes on
+        // the sole survivor either way. K=2 keeps the probe ring in play so
+        // its dead-guard fail-fast path is exercised too.
+        let healthy = run_fib(Policy::ChildRtc, 4, 14);
+        let t = healthy.elapsed / 4;
+        let plan = FaultPlan::none()
+            .with_kill(1, t)
+            .with_kill(2, t + VTime::us(50))
+            .with_kill(3, t + VTime::us(100));
+        let r = run(
+            kill_cfg(Policy::ChildRtc, plan).with_multi_steal(2),
+            Program::new(fib, 14u64),
+        );
+        assert_eq!(r.outcome, RunOutcome::Complete);
+        assert_eq!(r.result.as_u64(), fib_serial(14));
+        assert_eq!(r.stats.workers_lost, 3);
+    }
+
+    #[test]
+    fn multi_steal_recovers_from_fail_stop_kill_all_protocols() {
+        use dcs_sim::FaultPlan;
+        let want = fib_serial(14);
+        for protocol in Protocol::ALL {
+            let healthy = run(
+                kill_cfg(Policy::ContGreedy, FaultPlan::none())
+                    .with_protocol(protocol)
+                    .with_multi_steal(2),
+                Program::new(fib, 14u64),
+            );
+            let t = healthy.elapsed / 3;
+            let cfg = kill_cfg(Policy::ContGreedy, FaultPlan::none().with_kill(1, t))
+                .with_protocol(protocol)
+                .with_multi_steal(2);
+            let r = run(cfg, Program::new(fib, 14u64));
+            assert_eq!(r.outcome, RunOutcome::Complete, "{protocol:?}");
+            assert_eq!(r.result.as_u64(), want, "{protocol:?}");
+            assert_eq!(r.stats.workers_lost, 1, "{protocol:?}");
         }
     }
 

@@ -278,9 +278,13 @@ impl Worker {
                 // traffic to the saved owners (free_robj above) is done, so
                 // the in-order clamp never penalises a blocking wrapper.
                 let post_at = at + cost;
+                // The whole sweep rides one doorbell: the first copy pays
+                // the full injection, the rest the chained fraction.
+                world.m.chain_begin(self.me);
                 for &(owner, bytes) in &sweep {
                     world.m.post_get_bulk(self.me, owner, bytes, post_at);
                 }
+                world.m.chain_end(self.me);
                 let fin = world.m.fence(self.me, post_at);
                 cost += fin.saturating_sub(post_at);
             }

@@ -10,17 +10,28 @@ impl Worker {
 
     /// Decay half-life of a victim's misbehaviour score.
     const BL_HALF_LIFE: VTime = VTime::us(200);
-    /// Decayed score above which a victim is skipped.
-    const BL_THRESHOLD: f64 = 3.0;
+    /// One fault's worth of score, Q32.32 fixed point.
+    const BL_ONE: u64 = 1 << 32;
+    /// Decayed score above which a victim is skipped (3 faults' worth).
+    const BL_THRESHOLD: u64 = 3 * Self::BL_ONE;
+    /// Sentinel for a permanent entry (confirmed-dead victim): immune to
+    /// decay and skipped outright by victim selection.
+    const BL_FOREVER: u64 = u64::MAX;
 
-    fn bl_decayed(score: f64, at: VTime, now: VTime) -> f64 {
-        if score.is_infinite() {
-            // Permanent entry (confirmed-dead victim): decay never clears
-            // it, and `inf * 0` below would turn it into NaN.
+    /// Integer-shift exponential decay: one halving per *fully elapsed*
+    /// half-life. Deterministic across hosts and `--jobs` widths — no f64
+    /// `powf` in the engine's hot path.
+    fn bl_decayed(score: u64, at: VTime, now: VTime) -> u64 {
+        if score == Self::BL_FOREVER {
+            // Permanent entry (confirmed-dead victim): decay never clears it.
             return score;
         }
-        let dt = now.saturating_sub(at).as_ns() as f64;
-        score * 0.5f64.powf(dt / Self::BL_HALF_LIFE.as_ns() as f64)
+        let halves = now.saturating_sub(at).as_ns() / Self::BL_HALF_LIFE.as_ns();
+        if halves >= 64 {
+            0
+        } else {
+            score >> halves
+        }
     }
 
     /// Attribute `faults` transient fabric faults observed while stealing
@@ -33,12 +44,18 @@ impl Worker {
         let n = self.n;
         let bl = self.blacklist.get_or_insert_with(|| {
             Box::new(Blacklist {
-                score: vec![0.0; n],
+                score: vec![0; n],
                 at: vec![VTime::ZERO; n],
             })
         });
-        bl.score[victim] =
-            Self::bl_decayed(bl.score[victim], bl.at[victim], now) + faults as f64;
+        if bl.score[victim] == Self::BL_FOREVER {
+            // Permanent: a transient-fault bump must not disturb (or
+            // overflow) the sentinel.
+            return;
+        }
+        bl.score[victim] = Self::bl_decayed(bl.score[victim], bl.at[victim], now)
+            .saturating_add(faults.saturating_mul(Self::BL_ONE))
+            .min(Self::BL_FOREVER - 1);
         bl.at[victim] = now;
     }
 
@@ -48,12 +65,22 @@ impl Worker {
         let n = self.n;
         let bl = self.blacklist.get_or_insert_with(|| {
             Box::new(Blacklist {
-                score: vec![0.0; n],
+                score: vec![0; n],
                 at: vec![VTime::ZERO; n],
             })
         });
-        bl.score[victim] = f64::INFINITY;
+        bl.score[victim] = Self::BL_FOREVER;
         bl.at[victim] = now;
+    }
+
+    /// Is `victim` permanently blacklisted (confirmed dead)? Permanent
+    /// entries must never be returned by victim selection: probing one is
+    /// a guaranteed wasted round trip, forever.
+    pub(crate) fn victim_blocked_forever(&self, victim: WorkerId) -> bool {
+        match &self.blacklist {
+            Some(bl) => bl.score[victim] == Self::BL_FOREVER,
+            None => false,
+        }
     }
 
     /// Is `victim` currently blacklisted?
@@ -68,18 +95,43 @@ impl Worker {
 
     /// Pick a victim, redrawing (bounded) past blacklisted choices. With no
     /// blacklist allocated this is exactly one [`Self::pick_victim`] draw.
+    ///
+    /// The bounded redraw may exhaust its budget on a *transiently*
+    /// blacklisted victim — that draw stands (the score decays, and an
+    /// occasional probe of a flaky peer is how it earns its way back). A
+    /// *permanent* (confirmed-dead) entry must never be returned: when the
+    /// redraws end on one, fall back to the cheapest (topology-nearest)
+    /// non-permanent victim instead. Only when every peer is permanently
+    /// blacklisted does the doomed draw escape, and the caller's
+    /// `dead_guard` turns it into a fail-fast RTT.
     pub(crate) fn select_victim(&mut self, now: VTime, world: &mut World) -> WorkerId {
         let mut victim = self.pick_victim(&world.m);
-        if self.blacklist.is_some() {
-            for _ in 0..3 {
-                if !self.victim_blocked(victim, now) {
-                    break;
-                }
-                world.rt.stats.blacklist_skips += 1;
-                victim = self.pick_victim(&world.m);
+        if self.blacklist.is_none() {
+            return victim;
+        }
+        for _ in 0..3 {
+            if !self.victim_blocked(victim, now) {
+                return victim;
+            }
+            world.rt.stats.blacklist_skips += 1;
+            victim = self.pick_victim(&world.m);
+        }
+        if !self.victim_blocked_forever(victim) {
+            return victim;
+        }
+        world.rt.stats.blacklist_skips += 1;
+        let topo = world.m.topology();
+        let mut best: Option<(f64, WorkerId)> = None;
+        for v in 0..self.n {
+            if v == self.me || self.victim_blocked_forever(v) {
+                continue;
+            }
+            let f = topo.factor(self.me, v);
+            if best.is_none_or(|(bf, _)| f < bf) {
+                best = Some((f, v));
             }
         }
-        victim
+        best.map_or(victim, |(_, v)| v)
     }
 
     // ------------------------------------------------------------------
@@ -260,6 +312,9 @@ impl Worker {
             Ok((None, cost)) => {
                 // 2. Steal (if anybody to steal from).
                 if self.n >= 2 {
+                    if self.multi_steal >= 2 {
+                        return self.step_idle_multi(now, world, cost);
+                    }
                     let victim = self.select_victim(now, world);
                     if self.kills {
                         if let Some(c_dead) = world.m.dead_guard(self.me, victim, now) {
@@ -285,7 +340,11 @@ impl Worker {
                         let faults = world.m.take_faults(self.me);
                         self.note_victim_faults(victim, faults, now);
                         if locked {
-                            self.state = WState::StealTake { victim, t0: now };
+                            self.state = WState::StealTake {
+                                victim,
+                                t0: now,
+                                bounds: None,
+                            };
                             return Step::Yield(cost + c_lock);
                         }
                         world.rt.stats.steal_failed();
@@ -313,6 +372,178 @@ impl Worker {
                     return Step::Yield(cost + c_bounds + c_wait);
                 }
                 // Single worker: only blocked local work can make progress.
+                let c_wait = self.poll_blocked(now, world);
+                Step::Yield(cost + c_wait)
+            }
+        }
+    }
+
+    /// Multi-steal probe ring (`--multi-steal K`, K ≥ 2): instead of paying
+    /// a full round trip per victim per miss, keep steal probes on up to K
+    /// distinct victims in flight at once and commit the first (in ring
+    /// order) that lands with work.
+    ///
+    /// Per `--protocol` family the probe is:
+    ///
+    /// * **CAS-lock** — a doorbell-chained pair per victim: the lock CAS
+    ///   and the `[top, bottom]` span get, posted back to back on the
+    ///   victim's QP. Issuing the bounds read before the CAS outcome is
+    ///   known is sound — gets have no memory effects, and same-QP
+    ///   in-order retirement lands the bounds after the CAS; a *won* CAS
+    ///   freezes the bounds until release, so the winner's take step
+    ///   reuses them (one small-get round trip saved). A won-but-unused
+    ///   lock (ring order lost, or empty deque) is always released
+    ///   immediately with an unsignaled put.
+    /// * **lock-free / fence-free** — one chained bounds span get per
+    ///   victim; losers' reads are simply dropped (nothing to cancel).
+    ///   The winner proceeds through the ordinary [`WState::StealClaim`]
+    ///   step, so a fence-free ticket is claimed for the ring's single
+    ///   winner at most — and the shared ClaimSet arbitrates races with
+    ///   rival thieves exactly as at K = 1.
+    ///
+    /// Blocking and pipelined fabrics issue the identical verb sequence in
+    /// the identical order (memory effects are eager at post), so both
+    /// modes reach the same answers; only the charged time differs —
+    /// blocking sums the round trips, pipelined fences the overlapped
+    /// chain.
+    fn step_idle_multi(&mut self, now: VTime, world: &mut World, mut cost: VTime) -> Step {
+        let k = self.multi_steal.min(self.n - 1);
+        let mut victims: Vec<WorkerId> = Vec::with_capacity(k);
+        for _ in 0..k {
+            let v = self.select_victim(now, world);
+            if !victims.contains(&v) {
+                victims.push(v);
+            }
+        }
+        // Dead victims fail fast (one guard RTT each, counted as failed
+        // steals) and leave the ring before any probe verb is issued.
+        let mut ring: Vec<WorkerId> = Vec::with_capacity(victims.len());
+        for &v in &victims {
+            if self.kills {
+                if let Some(c_dead) = world.m.dead_guard(self.me, v, now) {
+                    self.note_victim_faults(v, 1, now);
+                    world.rt.stats.steal_failed();
+                    self.fail_streak += 1;
+                    cost += c_dead;
+                    continue;
+                }
+            }
+            ring.push(v);
+        }
+        if ring.is_empty() {
+            let c_wait = self.poll_blocked(now, world);
+            return Step::Yield(cost + c_wait);
+        }
+        // Drop fault counts accrued before the probes so the per-victim
+        // drains below attribute only each victim's own faults.
+        let _ = world.m.take_faults(self.me);
+        // Probe every ring victim inside one doorbell chain.
+        let mut probes: Vec<(WorkerId, bool, u64, u64)> = Vec::with_capacity(ring.len());
+        world.m.chain_begin(self.me);
+        if self.fabric == FabricMode::Pipelined {
+            let posted_at = now + cost;
+            let mut posted: Vec<(WorkerId, Option<VerbHandle>, [u64; 2], VerbHandle)> =
+                Vec::with_capacity(ring.len());
+            for &v in &ring {
+                let h_cas = (self.protocol == Protocol::CasLock).then(|| {
+                    let lock = GlobalAddr::new(v, self.lay.dq_word(DQ_LOCK));
+                    world
+                        .m
+                        .post_cas_u64(self.me, lock, 0, self.me as u64 + 1, posted_at)
+                });
+                let (vals, h_bounds) = world.m.post_get_u64_span::<2>(
+                    self.me,
+                    GlobalAddr::new(v, self.lay.dq_word(DQ_TOP)),
+                    posted_at,
+                );
+                let faults = world.m.take_faults(self.me);
+                self.note_victim_faults(v, faults, now);
+                posted.push((v, h_cas, vals, h_bounds));
+            }
+            world.m.chain_end(self.me);
+            // Reap at the fence: probes to distinct victims overlap, so
+            // the step costs one (chained) probe, not K of them.
+            let mut fin_max = posted_at;
+            for (v, h_cas, vals, h_bounds) in posted {
+                let won = match h_cas {
+                    Some(h) => {
+                        let (old, fin) = world.m.wait(self.me, h);
+                        fin_max = fin_max.max(fin);
+                        old == 0
+                    }
+                    None => true,
+                };
+                let (_, fin) = world.m.wait(self.me, h_bounds);
+                fin_max = fin_max.max(fin);
+                probes.push((v, won, vals[0], vals[1]));
+            }
+            cost = fin_max.saturating_sub(now);
+        } else {
+            for &v in &ring {
+                let mut won = true;
+                if self.protocol == Protocol::CasLock {
+                    let (locked, c_lock) = thief_lock(&mut world.m, &self.lay, self.me, v);
+                    cost += c_lock;
+                    won = locked;
+                }
+                let ((top, bottom), c_bounds) =
+                    thief_read_bounds(&mut world.m, &self.lay, self.me, v);
+                cost += c_bounds;
+                let faults = world.m.take_faults(self.me);
+                self.note_victim_faults(v, faults, now);
+                probes.push((v, won, top, bottom));
+            }
+            world.m.chain_end(self.me);
+        }
+        // Commit the first probe in ring order that landed with work;
+        // cancel the rest. The abandon releases ride their own doorbell
+        // chain (they are issued back to back once the probe results are
+        // in).
+        let mut won: Option<(WorkerId, u64, u64)> = None;
+        world.m.chain_begin(self.me);
+        for (v, locked, top, bottom) in probes {
+            if !locked {
+                // CAS lost: an ordinary failed attempt.
+                world.rt.stats.steal_failed();
+                self.fail_streak += 1;
+                continue;
+            }
+            let has_work = top < bottom;
+            if won.is_none() && has_work {
+                won = Some((v, top, bottom));
+                continue;
+            }
+            if self.protocol == Protocol::CasLock {
+                // A won-but-unused lock is always released, whether the
+                // deque was empty or the ring already committed elsewhere
+                // (unsignaled put: injection only, no round trip).
+                let lock = GlobalAddr::new(v, self.lay.dq_word(DQ_LOCK));
+                cost += world.m.post_put_u64_unsignaled(self.me, lock, 0);
+            }
+            if has_work {
+                // Work was there but the ring committed to an earlier
+                // victim: an abandoned attempt, never a latency sample.
+                world.rt.stats.steal_abandoned();
+            } else {
+                world.rt.stats.steal_failed();
+                self.fail_streak += 1;
+            }
+        }
+        world.m.chain_end(self.me);
+        match won {
+            Some((victim, top, bottom)) => {
+                self.state = if self.protocol == Protocol::CasLock {
+                    WState::StealTake {
+                        victim,
+                        t0: now,
+                        bounds: Some((top, bottom)),
+                    }
+                } else {
+                    WState::StealClaim { victim, top, t0: now }
+                };
+                Step::Yield(cost)
+            }
+            None => {
                 let c_wait = self.poll_blocked(now, world);
                 Step::Yield(cost + c_wait)
             }
@@ -463,8 +694,18 @@ impl Worker {
         cost
     }
 
-    /// Complete a steal whose lock we won last step.
-    pub(crate) fn step_steal_take(&mut self, now: VTime, world: &mut World, victim: WorkerId, t0: VTime) -> Step {
+    /// Complete a steal whose lock we won last step. `bounds` carries the
+    /// `[top, bottom]` words when a multi-steal probe already read them in
+    /// the lock's doorbell chain (the won lock froze them), skipping the
+    /// bounds re-read.
+    pub(crate) fn step_steal_take(
+        &mut self,
+        now: VTime,
+        world: &mut World,
+        victim: WorkerId,
+        t0: VTime,
+        bounds: Option<(u64, u64)>,
+    ) -> Step {
         if self.kills {
             if let Some(c_dead) = world.m.dead_guard(self.me, victim, now) {
                 // The victim died between our lock and this take: its
@@ -479,11 +720,22 @@ impl Worker {
             }
         }
         if self.fabric == FabricMode::Pipelined {
-            return self.step_steal_take_pipelined(now, world, victim, t0);
+            return self.step_steal_take_pipelined(now, world, victim, t0, bounds);
         }
         let took = {
             let (_me_ws, victim_ws) = world.rt.two(self.me, victim);
-            thief_take(&mut world.m, &mut victim_ws.items, &self.lay, self.me, victim)
+            match bounds {
+                Some((top, bottom)) => thief_take_at(
+                    &mut world.m,
+                    &mut victim_ws.items,
+                    &self.lay,
+                    self.me,
+                    victim,
+                    top,
+                    bottom,
+                ),
+                None => thief_take(&mut world.m, &mut victim_ws.items, &self.lay, self.me, victim),
+            }
         };
         let (got, cost) = match took {
             Ok(x) => x,
@@ -576,10 +828,28 @@ impl Worker {
         world: &mut World,
         victim: WorkerId,
         t0: VTime,
+        bounds: Option<(u64, u64)>,
     ) -> Step {
         let took = {
             let (_me_ws, victim_ws) = world.rt.two(self.me, victim);
-            thief_take_no_release(&mut world.m, &mut victim_ws.items, &self.lay, self.me, victim)
+            match bounds {
+                Some((top, bottom)) => thief_take_no_release_at(
+                    &mut world.m,
+                    &mut victim_ws.items,
+                    &self.lay,
+                    self.me,
+                    victim,
+                    top,
+                    bottom,
+                ),
+                None => thief_take_no_release(
+                    &mut world.m,
+                    &mut victim_ws.items,
+                    &self.lay,
+                    self.me,
+                    victim,
+                ),
+            }
         };
         let lock = GlobalAddr::new(victim, self.lay.dq_word(DQ_LOCK));
         match took {
@@ -999,14 +1269,21 @@ mod tests {
 
     #[test]
     fn permanent_blacklist_entries_never_decay() {
-        // A confirmed-dead victim's score is pinned at infinity; the decay
-        // path must short-circuit (inf * 0 would be NaN, and NaN compares
-        // false against the threshold — silently un-blacklisting the dead).
-        let s = Worker::bl_decayed(f64::INFINITY, VTime::ZERO, VTime::ms(10));
-        assert!(s.is_infinite());
+        // A confirmed-dead victim's score is pinned at the sentinel; the
+        // decay path must short-circuit (a shift would silently
+        // un-blacklist the dead).
+        let s = Worker::bl_decayed(Worker::BL_FOREVER, VTime::ZERO, VTime::ms(10));
+        assert_eq!(s, Worker::BL_FOREVER);
         assert!(s > Worker::BL_THRESHOLD);
-        // Finite scores still decay towards zero.
-        let s = Worker::bl_decayed(8.0, VTime::ZERO, VTime::us(400));
-        assert!((s - 2.0).abs() < 1e-9, "two half-lives: 8 -> 2, got {s}");
+        // Finite scores still decay towards zero — exactly one halving per
+        // elapsed half-life, in integer shifts (no f64 in the hot path).
+        let s = Worker::bl_decayed(8 * Worker::BL_ONE, VTime::ZERO, VTime::us(400));
+        assert_eq!(s, 2 * Worker::BL_ONE, "two half-lives: 8 -> 2");
+        // Sub-half-life elapses leave the score untouched (step decay)...
+        let s = Worker::bl_decayed(8 * Worker::BL_ONE, VTime::ZERO, VTime::us(199));
+        assert_eq!(s, 8 * Worker::BL_ONE);
+        // ...and enormous gaps shift all the way to zero, not UB.
+        let s = Worker::bl_decayed(8 * Worker::BL_ONE, VTime::ZERO, VTime::ms(100));
+        assert_eq!(s, 0);
     }
 }

@@ -45,7 +45,8 @@ use crate::deque::{
     ff_decide, ff_owner_pop, ff_owner_pop_parent, ff_owner_push, ff_owner_reclaim, lf_owner_pop,
     lf_owner_pop_parent, lf_owner_push, lf_thief_claim, owner_pop, owner_pop_parent, owner_push,
     thief_advance_top, thief_lock, thief_read_bounds, thief_release_lock, thief_take,
-    thief_take_no_release, Busy, DeadSlot, DequeError, FfSteal,
+    thief_take_at, thief_take_no_release, thief_take_no_release_at, Busy, DeadSlot, DequeError,
+    FfSteal,
 };
 use crate::entry::{
     alloc_entry, alloc_saved_ctx, free_entry, read_saved_ctx, DONE_BIT, EM_CONSUMED, EM_CTX0,
@@ -75,7 +76,15 @@ pub(crate) enum WState {
     /// Looking for work.
     Idle,
     /// Holding `victim`'s deque lock; complete the steal this step.
-    StealTake { victim: WorkerId, t0: VTime },
+    /// `bounds` carries the `[top, bottom]` words when the lock-winning
+    /// probe already read them in its doorbell chain (multi-steal): a won
+    /// lock freezes the bounds, so the take skips the re-read. The
+    /// single-victim path passes `None` and re-reads, exactly as before.
+    StealTake {
+        victim: WorkerId,
+        t0: VTime,
+        bounds: Option<(u64, u64)>,
+    },
     /// Lock-free / fence-free protocols: a bounds read last step saw
     /// `top < bottom`; claim the entry at `top` this step. The cross-step
     /// split is the real protocol's race window — the victim (or another
@@ -130,9 +139,12 @@ pub(crate) struct Nested {
 /// resilience): every transient fabric fault observed while talking to a
 /// victim bumps its score; a victim whose decayed score exceeds
 /// [`Worker::BL_THRESHOLD`] is skipped during victim selection until the
-/// score decays back below it.
+/// score decays back below it. Scores are Q32.32 fixed point and decay by
+/// integer shift (one bit per elapsed half-life) so the engine stays free
+/// of float rounding; [`Worker::BL_FOREVER`] marks a permanent entry
+/// (confirmed-dead victim, never decays).
 pub(crate) struct Blacklist {
-    score: Vec<f64>,
+    score: Vec<u64>,
     /// Timestamp of each score's last update (decay reference point).
     at: Vec<VTime>,
 }
@@ -147,6 +159,9 @@ pub struct Worker {
     strategy: FreeStrategy,
     scheme: AddressScheme,
     victim_policy: VictimPolicy,
+    /// Steal attempts kept in flight at once (`--multi-steal K`); 1 keeps
+    /// the serial single-victim path byte-identical to older runs.
+    multi_steal: usize,
     /// Consecutive failed steal attempts (drives hierarchical escalation).
     fail_streak: u32,
     lay: SegLayout,
@@ -258,6 +273,7 @@ impl Worker {
             blacklist: None,
             scheme,
             victim_policy,
+            multi_steal: (world.rt.cfg.multi_steal as usize).max(1),
             fail_streak: 0,
             fabric: world.rt.cfg.fabric,
             state: if busy { WState::Run } else { WState::Idle },
@@ -829,7 +845,9 @@ impl Actor<World> for Worker {
         match self.state {
             WState::Run => self.step_run(now, world),
             WState::Idle => self.step_idle(now, world),
-            WState::StealTake { victim, t0 } => self.step_steal_take(now, world, victim, t0),
+            WState::StealTake { victim, t0, bounds } => {
+                self.step_steal_take(now, world, victim, t0, bounds)
+            }
             WState::StealClaim { victim, top, t0 } => {
                 self.step_steal_claim(now, world, victim, top, t0)
             }

@@ -27,6 +27,12 @@ pub struct RunStats {
     // -- steals ----------------------------------------------------------
     pub steals_ok: u64,
     pub steals_failed: u64,
+    /// Multi-steal probe attempts abandoned because another victim's
+    /// attempt committed first (won-but-unused locks released, un-acted-on
+    /// span reads dropped). Never enters the steal-latency averages: only
+    /// [`RunStats::steal_ok`] feeds those, and abandoned probes never reach
+    /// it. Always 0 at `--multi-steal 1`.
+    pub steals_abandoned: u64,
     /// Victim draws redrawn because the first choice was blacklisted
     /// (fault-injection resilience; always 0 in healthy runs).
     pub blacklist_skips: u64,
@@ -94,6 +100,11 @@ impl RunStats {
 
     pub fn steal_failed(&mut self) {
         self.steals_failed += 1;
+    }
+
+    /// A multi-steal probe was abandoned after another attempt committed.
+    pub fn steal_abandoned(&mut self) {
+        self.steals_abandoned += 1;
     }
 
     pub fn steal_ok(&mut self, latency: VTime, copy_time: VTime, bytes: usize) {
@@ -337,6 +348,28 @@ mod tests {
         assert_eq!(s.avg_copy_time(), VTime::us(5));
         assert_eq!(s.avg_stolen_bytes(), 1000);
         assert_eq!(s.steals_failed, 1);
+    }
+
+    #[test]
+    fn abandoned_and_failed_attempts_never_skew_steal_latency() {
+        // Only `steal_ok` feeds the latency/copy/bytes averages and only
+        // `note_steal_event` (called for successes alone) feeds the trace
+        // series — abandoned multi-steal probes and dead-guarded fail-fast
+        // attempts must leave both untouched however many there are.
+        let mut s = RunStats::new(true);
+        s.steal_ok(VTime::us(30), VTime::us(6), 1800);
+        s.note_steal_event(1, 0, VTime::ZERO, VTime::us(30));
+        for _ in 0..100 {
+            s.steal_abandoned();
+            s.steal_failed();
+        }
+        assert_eq!(s.steals_ok, 1);
+        assert_eq!(s.steals_abandoned, 100);
+        assert_eq!(s.steals_failed, 100);
+        assert_eq!(s.avg_steal_latency(), VTime::us(30), "abandons don't enter the mean");
+        assert_eq!(s.avg_copy_time(), VTime::us(6));
+        assert_eq!(s.avg_stolen_bytes(), 1800);
+        assert_eq!(s.steal_events.len(), 1, "one success, one trace event");
     }
 
     #[test]

@@ -67,6 +67,12 @@ pub struct MachineConfig {
     pub faults: FaultPlan,
     /// Whether protocol hot paths may overlap independent verbs.
     pub fabric: FabricMode,
+    /// Doorbell-batching discount: fraction of `injection` charged to the
+    /// second and later verbs of a [`Machine::chain_begin`] chain (real NICs
+    /// ring one doorbell for a linked list of work requests). `1.0` (the
+    /// default) keeps chained charges arithmetically identical to unchained
+    /// posts, so every golden stays byte-identical.
+    pub doorbell_frac: f64,
 }
 
 impl MachineConfig {
@@ -79,11 +85,17 @@ impl MachineConfig {
             topology: Topology::Flat,
             faults: FaultPlan::none(),
             fabric: FabricMode::Blocking,
+            doorbell_frac: 1.0,
         }
     }
 
     pub fn with_fabric(mut self, mode: FabricMode) -> MachineConfig {
         self.fabric = mode;
+        self
+    }
+
+    pub fn with_doorbell(mut self, frac: f64) -> MachineConfig {
+        self.doorbell_frac = frac;
         self
     }
 
@@ -133,6 +145,10 @@ pub struct FabricStats {
     /// `wait` on a single handle is not counted: a blocking wrapper is not a
     /// poll, so pure-Blocking runs report 0 here.
     pub cq_polls: u64,
+    /// Verbs that rode an already-rung doorbell: the second and later posts
+    /// of each [`Machine::chain_begin`] chain, charged the configured
+    /// fraction of `injection` instead of the full CPU post cost.
+    pub doorbell_chained: u64,
 }
 
 impl FabricStats {
@@ -157,6 +173,7 @@ impl FabricStats {
             dead_fails,
             max_inflight,
             cq_polls,
+            doorbell_chained,
         } = *o;
         self.remote_gets += remote_gets;
         self.remote_puts += remote_puts;
@@ -173,6 +190,7 @@ impl FabricStats {
         // the deepest any single queue ever got, not a sum.
         self.max_inflight = self.max_inflight.max(max_inflight);
         self.cq_polls += cq_polls;
+        self.doorbell_chained += doorbell_chained;
     }
 }
 
@@ -230,6 +248,11 @@ pub struct Machine {
     stats: Vec<FabricStats>,
     /// One completion queue per worker (posted verbs not yet reaped).
     cqs: Vec<CompletionQueue>,
+    /// Per-worker doorbell-chain state: `Some(n)` while a chain is open,
+    /// where `n` counts the verbs already posted inside it. The first verb
+    /// of a chain rings the doorbell (full `injection`); later ones ride it
+    /// at `doorbell_frac` of the cost.
+    chain: Vec<Option<u32>>,
     /// Fault-injection state; `None` when the plan is inactive, which makes
     /// the fault layer literally free (one branch per verb).
     faults: Option<Box<FaultState>>,
@@ -245,6 +268,7 @@ impl Machine {
             .collect();
         let stats = vec![FabricStats::default(); cfg.workers];
         let cqs = (0..cfg.workers).map(|_| CompletionQueue::default()).collect();
+        let chain = vec![None; cfg.workers];
         let faults = cfg
             .faults
             .is_active()
@@ -254,6 +278,7 @@ impl Machine {
             segments,
             stats,
             cqs,
+            chain,
             faults,
             done: false,
         }
@@ -296,6 +321,56 @@ impl Machine {
     #[inline]
     pub fn topology(&self) -> &Topology {
         &self.cfg.topology
+    }
+
+    // ------------------------------------------------------------------
+    // Doorbell chains: one CPU doorbell for a linked list of work requests
+    // ------------------------------------------------------------------
+
+    /// Open a doorbell chain for `me`: the next posted verb rings the
+    /// doorbell at full `injection`; verbs posted after it (until
+    /// [`Machine::chain_end`]) ride the same doorbell and are charged
+    /// `doorbell_frac · injection` instead. Only the CPU post cost is
+    /// discounted — wire latency, topology scaling and the fault layer are
+    /// untouched, so with `doorbell_frac = 1.0` a chain is charge-identical
+    /// to unchained posts. Chains do not nest.
+    pub fn chain_begin(&mut self, me: WorkerId) {
+        debug_assert!(self.chain[me].is_none(), "doorbell chains do not nest");
+        self.chain[me] = Some(0);
+    }
+
+    /// Close `me`'s doorbell chain (idempotent).
+    pub fn chain_end(&mut self, me: WorkerId) {
+        self.chain[me] = None;
+    }
+
+    /// CPU injection charge for the next remote verb by `me`, accounting
+    /// for an open doorbell chain.
+    #[inline]
+    fn chain_injection(&mut self, me: WorkerId) -> u64 {
+        let inj = self.cfg.profile.latency.injection;
+        match self.chain[me].as_mut() {
+            None => inj,
+            Some(n) => {
+                *n += 1;
+                if *n == 1 {
+                    inj
+                } else {
+                    self.stats[me].doorbell_chained += 1;
+                    (inj as f64 * self.cfg.doorbell_frac).round() as u64
+                }
+            }
+        }
+    }
+
+    /// Chain-aware variant of [`Machine::dist`], used by the posted verbs:
+    /// same topology-scaled network component, but the injection part is the
+    /// doorbell charge for `me`'s current chain state.
+    #[inline]
+    fn dist_chained(&mut self, me: WorkerId, other: WorkerId, network_ns: u64) -> VTime {
+        let inj = self.chain_injection(me);
+        let f = self.cfg.topology.factor(me, other);
+        VTime::ns(inj + (network_ns as f64 * f).round() as u64)
     }
 
     /// Run a remote verb's nominal cost through the fault layer: retries,
@@ -482,7 +557,7 @@ impl Machine {
         } else {
             self.stats[me].remote_gets += 1;
             self.stats[me].bytes_got += 8;
-            let base = self.dist(me, addr.rank as usize, self.lat().rdma_get);
+            let base = self.dist_chained(me, addr.rank as usize, self.lat().rdma_get);
             self.fault_cost(me, addr.rank as usize, base)
         };
         self.post_core(me, addr.rank as usize, v, cost, at)
@@ -511,7 +586,7 @@ impl Machine {
         } else {
             self.stats[me].remote_gets += 1;
             self.stats[me].bytes_got += 8 * N as u64;
-            let base = self.dist(me, addr.rank as usize, self.lat().rdma_get);
+            let base = self.dist_chained(me, addr.rank as usize, self.lat().rdma_get);
             self.fault_cost(me, addr.rank as usize, base)
         };
         let h = self.post_core(me, addr.rank as usize, vals[0], cost, at);
@@ -527,7 +602,7 @@ impl Machine {
         } else {
             self.stats[me].remote_puts += 1;
             self.stats[me].bytes_put += 8;
-            let base = self.dist(me, addr.rank as usize, self.lat().rdma_put);
+            let base = self.dist_chained(me, addr.rank as usize, self.lat().rdma_put);
             self.fault_cost(me, addr.rank as usize, base)
         };
         self.post_core(me, addr.rank as usize, 0, cost, at)
@@ -551,7 +626,7 @@ impl Machine {
             // Unsignaled puts still go through the reliable retransmitting
             // channel: a lost free-bit would leak memory forever, so the NIC
             // retries; the issuer is charged the (rare) extra injections.
-            let base = self.lat().put_nb();
+            let base = VTime::ns(self.chain_injection(me));
             self.fault_cost(me, addr.rank as usize, base)
         }
     }
@@ -569,7 +644,7 @@ impl Machine {
         } else {
             self.stats[me].remote_puts += 1;
             self.stats[me].bytes_put += len as u64;
-            let base = self.lat().put_nb() + self.lat().payload(len);
+            let base = VTime::ns(self.chain_injection(me)) + self.lat().payload(len);
             self.fault_cost(me, to, base)
         }
     }
@@ -590,7 +665,7 @@ impl Machine {
             self.lat().local()
         } else {
             self.stats[me].remote_amos += 1;
-            let base = self.dist(me, addr.rank as usize, self.lat().rdma_amo);
+            let base = self.dist_chained(me, addr.rank as usize, self.lat().rdma_amo);
             self.fault_cost(me, addr.rank as usize, base)
         };
         self.post_core(me, addr.rank as usize, v, cost, at)
@@ -612,7 +687,7 @@ impl Machine {
             self.lat().local()
         } else {
             self.stats[me].remote_amos += 1;
-            let base = self.dist(me, addr.rank as usize, self.lat().rdma_amo);
+            let base = self.dist_chained(me, addr.rank as usize, self.lat().rdma_amo);
             self.fault_cost(me, addr.rank as usize, base)
         };
         self.post_core(me, addr.rank as usize, v, cost, at)
@@ -629,7 +704,7 @@ impl Machine {
         } else {
             self.stats[me].remote_gets += 1;
             self.stats[me].bytes_got += len as u64;
-            let base = self.dist(me, from, self.lat().rdma_get) + self.lat().payload(len);
+            let base = self.dist_chained(me, from, self.lat().rdma_get) + self.lat().payload(len);
             self.fault_cost(me, from, base)
         };
         self.post_core(me, from, 0, cost, at)
@@ -643,7 +718,7 @@ impl Machine {
         } else {
             self.stats[me].remote_puts += 1;
             self.stats[me].bytes_put += len as u64;
-            let base = self.dist(me, to, self.lat().rdma_put) + self.lat().payload(len);
+            let base = self.dist_chained(me, to, self.lat().rdma_put) + self.lat().payload(len);
             self.fault_cost(me, to, base)
         };
         self.post_core(me, to, 0, cost, at)
@@ -885,6 +960,7 @@ mod tests {
             dead_fails: 11,
             max_inflight: 12,
             cq_polls: 13,
+            doorbell_chained: 14,
         };
         let b = FabricStats {
             remote_gets: 100,
@@ -900,6 +976,7 @@ mod tests {
             dead_fails: 1100,
             max_inflight: 1200,
             cq_polls: 1300,
+            doorbell_chained: 1400,
         };
         a.merge(&b);
         assert_eq!(a.remote_gets, 101);
@@ -917,6 +994,7 @@ mod tests {
         // not a sum; poll counts sum like every other op counter.
         assert_eq!(a.max_inflight, 1200);
         assert_eq!(a.cq_polls, 1313);
+        assert_eq!(a.doorbell_chained, 1414);
         assert_eq!(a.remote_total(), 101 + 202 + 303);
         // And max_inflight keeps the larger side when it is the accumulator.
         let mut c = FabricStats { max_inflight: 9000, ..FabricStats::default() };
@@ -1130,6 +1208,73 @@ mod tests {
         assert_eq!(m.stats(0).local_ops, before.local_ops + 1);
         assert_eq!(m.stats(0).remote_gets, before.remote_gets);
         assert!(c < one);
+    }
+
+    #[test]
+    fn doorbell_chain_discounts_chained_verbs() {
+        // frac = 0.5: the first verb of a chain pays full injection, later
+        // ones half — and only the chained ones bump the counter.
+        let mut m = Machine::new(
+            MachineConfig::new(3, profiles::itoa())
+                .with_seg_bytes(1 << 16)
+                .with_doorbell(0.5),
+        );
+        let a1 = m.alloc(1, 32);
+        let a2 = m.alloc(2, 32);
+        let unchained = {
+            let h = m.post_get_u64(0, a1, VTime::ZERO);
+            m.wait(0, h).1
+        };
+        assert_eq!(m.stats(0).doorbell_chained, 0);
+        // Chain to two different peers (independent QPs, no in-order clamp).
+        m.chain_begin(0);
+        let h_first = m.post_get_u64(0, a1, VTime::ZERO);
+        let h_second = m.post_get_u64(0, a2, VTime::ZERO);
+        m.chain_end(0);
+        let (_, first_fin) = m.wait(0, h_first);
+        let (_, second_fin) = m.wait(0, h_second);
+        assert_eq!(first_fin, unchained, "chain head rings the doorbell at full cost");
+        let half_inj = (m.lat().injection as f64 * 0.5).round() as u64;
+        assert_eq!(
+            second_fin,
+            VTime::ns(half_inj + m.lat().rdma_get),
+            "chained verb pays frac · injection plus the full wire latency"
+        );
+        assert!(second_fin < unchained);
+        assert_eq!(m.stats(0).doorbell_chained, 1);
+        // Unsignaled puts in a chain get the same discount.
+        m.chain_begin(0);
+        let head = m.post_put_u64_unsignaled(0, a1, 1);
+        let tail = m.post_put_u64_unsignaled(0, a1, 2);
+        m.chain_end(0);
+        assert_eq!(head, VTime::ns(m.lat().injection));
+        assert_eq!(tail, VTime::ns((m.lat().injection as f64 * 0.5).round() as u64));
+        assert_eq!(m.stats(0).doorbell_chained, 2);
+    }
+
+    #[test]
+    fn doorbell_frac_one_is_charge_identical() {
+        // The default frac = 1.0 makes chained posts cost exactly what
+        // unchained posts cost — this is what keeps every golden byte-stable
+        // while still counting chain ridership.
+        let mut chained = machine(2);
+        let mut plain = machine(2);
+        assert_eq!(chained.cfg.doorbell_frac, 1.0);
+        let ac = chained.alloc(1, 32);
+        let ap = plain.alloc(1, 32);
+        chained.chain_begin(0);
+        let h1 = chained.post_cas_u64(0, ac, 0, 7, VTime::ZERO);
+        let (_, h2) = chained.post_get_u64_span::<2>(0, ac.field(1), VTime::ZERO);
+        let nb_c = chained.post_put_u64_unsignaled(0, ac, 9);
+        chained.chain_end(0);
+        let g1 = plain.post_cas_u64(0, ap, 0, 7, VTime::ZERO);
+        let (_, g2) = plain.post_get_u64_span::<2>(0, ap.field(1), VTime::ZERO);
+        let nb_p = plain.post_put_u64_unsignaled(0, ap, 9);
+        assert_eq!(chained.wait(0, h1).1, plain.wait(0, g1).1);
+        assert_eq!(chained.wait(0, h2).1, plain.wait(0, g2).1);
+        assert_eq!(nb_c, nb_p);
+        assert_eq!(chained.stats(0).doorbell_chained, 2, "ridership still counted");
+        assert_eq!(plain.stats(0).doorbell_chained, 0);
     }
 
     #[test]
