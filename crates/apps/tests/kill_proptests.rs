@@ -21,6 +21,7 @@
 use dcs_apps::pfor::{pfor_program, PforParams};
 use dcs_apps::uts::{presets, program, serial_count};
 use dcs_core::prelude::*;
+use dcs_sim::{DegradeWindow, Detector};
 use proptest::prelude::*;
 
 const WORKERS: usize = 6;
@@ -185,6 +186,61 @@ proptest! {
         }
     }
 
+    /// Suspicion sweep: random degraded-NIC windows, random heartbeat
+    /// drops and an aggressive suspect lease under the message detector —
+    /// with ZERO real kills. Live workers get falsely evicted mid-steal,
+    /// self-fence, and rejoin as fresh incarnations; whatever the windows
+    /// do, every run must complete with exactly the fault-free answer
+    /// (lost-looking work is replayed, never lost, never duplicated) under
+    /// every steal protocol, both fabric modes, and probe rings K ∈ {1,2}.
+    #[test]
+    fn suspicion_only_runs_complete_with_identical_results(
+        windows in proptest::collection::vec(
+            // (worker, from-µs, duration-µs, flight-scale factor)
+            (0usize..6, 0u64..20, 1u64..40, 2u64..40), 1..3),
+        suspect_us in 3u64..8,
+        drop_m in 0u32..3,
+    ) {
+        let spec = presets::tiny();
+        let truth = serial_count(&spec).nodes;
+        let mut plan = FaultPlan::none().with_detector(Detector::Message);
+        plan.hb_period = VTime::us(1);
+        plan.suspect = Some(VTime::us(suspect_us));
+        plan.msg_drop_p = drop_m as f64 * 0.1;
+        for &(w, from_us, dur_us, factor) in &windows {
+            plan = plan.with_degrade(DegradeWindow {
+                worker: w,
+                from: VTime::us(from_us),
+                until: VTime::us(from_us + dur_us),
+                factor: factor as f64,
+            });
+        }
+        for protocol in Protocol::ALL {
+            for fabric in [FabricMode::Blocking, FabricMode::Pipelined] {
+                for k in [1u32, 2] {
+                    let r = run(
+                        cfg_proto(Policy::ContGreedy, protocol, plan.clone())
+                            .with_fabric(fabric)
+                            .with_multi_steal(k),
+                        program(spec.clone()),
+                    );
+                    let ctx = format!(
+                        "{}/{fabric:?}/K={k} windows={windows:?} suspect={suspect_us}us",
+                        protocol.label()
+                    );
+                    assert!(r.outcome.is_complete(), "{ctx}: {:?}", r.outcome);
+                    assert_eq!(r.result.as_u64(), truth, "{ctx}");
+                    assert_eq!(r.stats.workers_lost, 0, "{ctx}: kill=none lost a worker");
+                    assert_eq!(
+                        r.stats.rejoins, r.stats.false_suspects,
+                        "{ctx}: every evicted-live worker rejoins"
+                    );
+                    assert_clean_modulo_leaks(&r, &ctx);
+                }
+            }
+        }
+    }
+
     /// Two workers down inside one lease window. Either the lineage log
     /// converges to the exact answer, or the run aborts with a typed
     /// reason — it must never hang or return a wrong result.
@@ -221,3 +277,4 @@ proptest! {
         }
     }
 }
+

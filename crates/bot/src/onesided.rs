@@ -53,7 +53,9 @@ use dcs_sim::{
     ScheduleHook, SimRng, Step, VTime, WorkerId,
 };
 
-use crate::termination::{accumulate, round_initiator, tag_round, Detector, Token};
+use crate::termination::{
+    accumulate, round_from_old_incarnation, round_initiator, tag_round_epoch, Detector, Token,
+};
 use crate::{BotReport, Counters, PforBag, Recovery, Task, Workload, TASK_BYTES};
 
 /// How much of a victim's bag a successful steal takes.
@@ -291,7 +293,8 @@ impl BotWorker {
         let (tok, c) = Self::read_token(&mut w.m, me, true);
         cost += c;
         if me == self.initiator() {
-            if self.token_outstanding && tok.round == tag_round(me, self.detector.rounds + 1) {
+            let my_tag = tag_round_epoch(me, w.m.epoch_of(me), self.detector.rounds + 1);
+            if self.token_outstanding && tok.round == my_tag {
                 self.token_outstanding = false;
                 // Stability: fire only if every death I know of was already
                 // confirmable when this round started — otherwise some
@@ -318,6 +321,7 @@ impl BotWorker {
                 }
                 let tok = self.detector.new_round_tagged(
                     me,
+                    w.m.epoch_of(me),
                     now.as_ns(),
                     cnt.created,
                     cnt.consumed,
@@ -330,8 +334,14 @@ impl BotWorker {
             cost
         } else {
             // Forward fresh rounds, ignoring any seeded by an initiator I
-            // already know to be dead (its tag can never grow again).
-            if tok.round > self.forwarded_round && !self.dead[round_initiator(tok.round)] {
+            // already know to be dead (its tag can never grow again) or by
+            // a zombie incarnation the fabric has since evicted (its sums
+            // predate the eviction's lineage replay).
+            let seeder = round_initiator(tok.round);
+            if tok.round > self.forwarded_round
+                && !self.dead[seeder]
+                && !round_from_old_incarnation(tok.round, w.m.epoch_of(seeder))
+            {
                 if let Some(fail) = w.m.dead_guard(me, succ, now) {
                     return cost + fail; // hole not confirmed yet: hold the token
                 }

@@ -50,14 +50,32 @@ pub struct Token {
     pub start_ns: u64,
 }
 
-/// Bits of `Token::round` holding the round sequence number; the initiator
-/// id lives above them.
+/// Bits of `Token::round` holding the initiator id; the incarnation epoch
+/// sits below it and the round sequence number at the bottom.
 pub const ROUND_TAG_SHIFT: u32 = 48;
 
-/// Tag a round sequence number with its initiator's id.
+/// Bits of `Token::round` holding the initiator's incarnation epoch
+/// (field `[32, 48)`; the sequence number occupies the low 32 bits).
+pub const ROUND_EPOCH_SHIFT: u32 = 32;
+
+/// Tag a round sequence number with its initiator's id (incarnation
+/// epoch 0 — byte-identical to the pre-epoch encoding, which is what the
+/// oracle detector always sees: a worker only gains epochs by eviction,
+/// and the oracle never evicts the living).
 pub fn tag_round(initiator: usize, seq: u64) -> u64 {
-    debug_assert!(seq < 1 << ROUND_TAG_SHIFT);
-    ((initiator as u64) << ROUND_TAG_SHIFT) | seq
+    tag_round_epoch(initiator, 0, seq)
+}
+
+/// Tag a round with the initiator's id *and* incarnation epoch. Under a
+/// message-based detector a worker id can return as a fresh incarnation,
+/// so "tags only grow with the initiator id" no longer kills every stale
+/// token: a zombie ex-initiator shares its successor's id-ordering. The
+/// epoch field restores the invariant — receivers drop any token whose
+/// epoch trails their view of the initiator's incarnation.
+pub fn tag_round_epoch(initiator: usize, epoch: u64, seq: u64) -> u64 {
+    debug_assert!(epoch < 1 << (ROUND_TAG_SHIFT - ROUND_EPOCH_SHIFT));
+    debug_assert!(seq < 1 << ROUND_EPOCH_SHIFT);
+    ((initiator as u64) << ROUND_TAG_SHIFT) | (epoch << ROUND_EPOCH_SHIFT) | seq
 }
 
 /// The initiator id carried by a tagged round.
@@ -65,9 +83,23 @@ pub fn round_initiator(round: u64) -> usize {
     (round >> ROUND_TAG_SHIFT) as usize
 }
 
+/// The initiator incarnation epoch carried by a tagged round.
+pub fn round_epoch(round: u64) -> u64 {
+    (round >> ROUND_EPOCH_SHIFT) & ((1 << (ROUND_TAG_SHIFT - ROUND_EPOCH_SHIFT)) - 1)
+}
+
 /// The sequence number carried by a tagged round.
 pub fn round_seq(round: u64) -> u64 {
-    round & ((1 << ROUND_TAG_SHIFT) - 1)
+    round & ((1 << ROUND_EPOCH_SHIFT) - 1)
+}
+
+/// Is `round` from an earlier incarnation of its initiator than
+/// `epoch_now` (the receiver's current view)? Such a token was seeded by
+/// a zombie — evicted but not yet self-fenced — and must be ignored: its
+/// counter sums predate the lineage replay of the eviction and could
+/// declare termination with replayed work still outstanding.
+pub fn round_from_old_incarnation(round: u64, epoch_now: u64) -> bool {
+    round_epoch(round) < epoch_now
 }
 
 /// Initiator-side state: remembers the previous round's sums.
@@ -112,12 +144,14 @@ impl Detector {
         }
     }
 
-    /// Start a new recovery-mode round: tagged with the initiator id,
-    /// stamped with the start time, seeding all four counters.
+    /// Start a new recovery-mode round: tagged with the initiator id and
+    /// its incarnation epoch, stamped with the start time, seeding all
+    /// four counters.
     #[allow(clippy::too_many_arguments)]
     pub fn new_round_tagged(
         &self,
         initiator: usize,
+        epoch: u64,
         start_ns: u64,
         my_created: u64,
         my_consumed: u64,
@@ -125,7 +159,7 @@ impl Detector {
         my_recv: u64,
     ) -> Token {
         Token {
-            round: tag_round(initiator, self.rounds + 1),
+            round: tag_round_epoch(initiator, epoch, self.rounds + 1),
             created: my_created,
             consumed: my_consumed,
             sent: my_sent,
@@ -192,6 +226,45 @@ mod tests {
         assert_eq!(t0.round, 1);
         let t1 = accumulate(t0, 2, 4);
         assert_eq!(t1, Token { round: 1, created: 7, consumed: 7, ..Token::default() });
+    }
+
+    #[test]
+    fn epoch_zero_tag_matches_the_pre_epoch_encoding() {
+        // The oracle detector never evicts, so every bot golden runs at
+        // epoch 0 and the tag bytes must not move.
+        for (i, seq) in [(0usize, 1u64), (3, 7), (15, 1 << 20)] {
+            assert_eq!(tag_round(i, seq), tag_round_epoch(i, 0, seq));
+            assert_eq!(round_initiator(tag_round(i, seq)), i);
+            assert_eq!(round_epoch(tag_round(i, seq)), 0);
+            assert_eq!(round_seq(tag_round(i, seq)), seq);
+        }
+    }
+
+    #[test]
+    fn epoch_tag_round_trips_and_orders_incarnations() {
+        let old = tag_round_epoch(2, 0, 9);
+        let new = tag_round_epoch(2, 1, 1);
+        assert_eq!(round_initiator(new), 2);
+        assert_eq!(round_epoch(new), 1);
+        assert_eq!(round_seq(new), 1);
+        // A rejoined initiator's very first round outranks every round its
+        // dead incarnation ever started, so `round > forwarded_round`
+        // forwarding still works unchanged.
+        assert!(new > old);
+        // And the zombie's stale token is recognisably old.
+        assert!(round_from_old_incarnation(old, 1));
+        assert!(!round_from_old_incarnation(new, 1));
+        assert!(!round_from_old_incarnation(new, 0));
+    }
+
+    #[test]
+    fn tagged_round_seeds_with_the_epoch() {
+        let d = Detector::default();
+        let tok = d.new_round_tagged(1, 3, 50, 4, 4, 0, 0);
+        assert_eq!(round_initiator(tok.round), 1);
+        assert_eq!(round_epoch(tok.round), 3);
+        assert_eq!(round_seq(tok.round), 1);
+        assert_eq!(tok.start_ns, 50);
     }
 
     /// Simulated ring: N workers with fixed counter snapshots; verify the

@@ -54,7 +54,10 @@ use dcs_sim::{
     VTime, WorkerId,
 };
 
-use crate::termination::{accumulate, accumulate4, round_initiator, tag_round, Detector, Token};
+use crate::termination::{
+    accumulate, accumulate4, round_from_old_incarnation, round_initiator, tag_round_epoch,
+    Detector, Token,
+};
 use crate::{BotReport, Counters, PforBag, Recovery, Task, Workload, TASK_BYTES};
 
 /// Which two-sided strategy to run.
@@ -312,13 +315,16 @@ impl TwoWorker {
     }
 
     fn on_token_armed(&mut self, w: &mut TwoWorld, now: VTime, tok: Token) -> VTime {
-        // Rounds seeded by an initiator known to be dead can never fire.
-        if self.dead[round_initiator(tok.round)] {
+        // Rounds seeded by an initiator known to be dead can never fire,
+        // and neither can one seeded by an evicted zombie incarnation.
+        let seeder = round_initiator(tok.round);
+        if self.dead[seeder] || round_from_old_incarnation(tok.round, w.m.epoch_of(seeder)) {
             return VTime::ZERO;
         }
         if self.me == self.initiator() {
             if !self.token_outstanding
-                || tok.round != tag_round(self.me, self.detector.rounds + 1)
+                || tok.round
+                    != tag_round_epoch(self.me, w.m.epoch_of(self.me), self.detector.rounds + 1)
             {
                 return VTime::ZERO;
             }
@@ -379,7 +385,7 @@ impl TwoWorker {
         let cnt = w.counters[me];
         let (s_live, r_live) = self.sent_recv_live(w);
         if me == self.initiator() {
-            if tok.round != tag_round(me, self.detector.rounds + 1) {
+            if tok.round != tag_round_epoch(me, w.m.epoch_of(me), self.detector.rounds + 1) {
                 return VTime::ZERO; // confirmed a death since accepting
             }
             self.token_outstanding = false;
@@ -568,8 +574,15 @@ impl TwoWorker {
                 };
                 let tok = if self.armed {
                     let (s, r) = self.sent_recv_live(w);
-                    self.detector
-                        .new_round_tagged(me, now.as_ns(), cnt.created, cnt.consumed, s, r)
+                    self.detector.new_round_tagged(
+                        me,
+                        w.m.epoch_of(me),
+                        now.as_ns(),
+                        cnt.created,
+                        cnt.consumed,
+                        s,
+                        r,
+                    )
                 } else {
                     self.detector.new_round(cnt.created, cnt.consumed)
                 };

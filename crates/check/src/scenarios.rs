@@ -24,9 +24,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use dcs_core::dedup::ClaimSet;
 use dcs_core::deque::{
-    ff_owner_pop, ff_owner_push, ff_thief_claim, owner_pop, owner_push, thief_advance_top,
-    thief_lock, thief_read_bounds, thief_release_lock, thief_take, thief_take_at,
-    thief_take_no_release, DequeError, FfSteal,
+    ff_owner_pop, ff_owner_push, ff_thief_claim, lock_word, owner_pop, owner_push,
+    thief_advance_top, thief_lock, thief_lock_epoch, thief_read_bounds, thief_release_lock,
+    thief_take, thief_take_at, thief_take_no_release, DequeError, FfSteal,
 };
 use dcs_core::frame::{frame, Effect, TaskCtx};
 use dcs_core::layout::{SegLayout, DQ_LOCK, DQ_TOP};
@@ -1453,6 +1453,360 @@ fn crash_abort_scenario(workers: usize, seed: u64) -> Scenario {
 }
 
 // ---------------------------------------------------------------------------
+// Zombie-steal scenarios (imperfect failure detection)
+// ---------------------------------------------------------------------------
+
+/// The zombie seam, recomposed from the raw deque verbs. Worker 0 owns the
+/// deque; worker 1 (the *zombie*) locks it with an epoch-stamped lock word
+/// and then pauses mid-steal; worker 2 (the *suspector*) plays a message
+/// detector with a false positive — it observes the held lock, evicts the
+/// live holder (epoch bump), breaks the now-stale lock exactly as the
+/// owner's `break_dead_lock` would, and steals in the zombie's place.
+///
+/// Shipped composition: the zombie re-checks its own incarnation epoch
+/// before every deque mutation (the runtime's self-fence) and abandons the
+/// steal the moment it observes its own eviction — so no schedule can make
+/// an evicted incarnation touch the deque. With `broken`, the epoch check
+/// is removed from the take-verb class: the zombie completes the take with
+/// its pre-eviction view, executing a task in a dead incarnation — the
+/// two-epochs oracle (and, on nastier schedules, the shadow FIFO and slab
+/// tears) must catch it.
+enum ZombieActor {
+    Owner {
+        to_push: u64,
+        pushed: u64,
+    },
+    Zombie {
+        state: ZombieState,
+        broken: bool,
+    },
+    Suspector {
+        state: SuspectorState,
+    },
+}
+
+enum ZombieState {
+    Locking { attempts: u32 },
+    /// Lock held, take pending: the eviction window the explorer aims at.
+    Pause,
+    Take,
+    Done,
+}
+
+enum SuspectorState {
+    /// Poll the victim's lock word until the zombie is seen holding it.
+    Watch { attempts: u32 },
+    Locking { attempts: u32 },
+    Take,
+    Done,
+}
+
+impl Actor<DqWorld> for ZombieActor {
+    fn step(&mut self, me: WorkerId, _now: VTime, w: &mut DqWorld) -> Step {
+        match self {
+            ZombieActor::Owner { to_push, pushed } => {
+                owner_step(me, w, to_push, pushed)
+            }
+            ZombieActor::Zombie { state, broken } => {
+                // The runtime's self-fence: a worker observing its own
+                // eviction quiesces before issuing another verb. The broken
+                // variant drops the check from the take class only, so the
+                // lock acquisition stays faithful either way.
+                match state {
+                    ZombieState::Locking { attempts } => {
+                        let (locked, cost) = thief_lock_epoch(&mut w.m, &w.lay, me, 0, 0);
+                        if locked {
+                            *state = ZombieState::Pause;
+                        } else {
+                            *attempts += 1;
+                            if *attempts >= 16 {
+                                return Step::Halt;
+                            }
+                        }
+                        Step::Yield(cost)
+                    }
+                    ZombieState::Pause => {
+                        // One idle beat between lock and take: the window a
+                        // degraded NIC opens in the real runtime, and the
+                        // window the suspector's eviction lands in.
+                        *state = ZombieState::Take;
+                        Step::Yield(w.m.local_op(me))
+                    }
+                    ZombieState::Take => {
+                        if !*broken && w.m.epoch_of(me) > 0 {
+                            // Shipped: observed own eviction — abandon. The
+                            // lock is already someone else's problem (the
+                            // suspector broke it as stale).
+                            *state = ZombieState::Done;
+                            return Step::Yield(w.m.local_op(me));
+                        }
+                        match thief_take(&mut w.m, &mut w.items, &w.lay, me, 0) {
+                            Ok((Some((item, _size)), cost)) => {
+                                if w.m.epoch_of(me) > 0 {
+                                    w.violations.push(
+                                        "zombie-steal: task taken by an evicted \
+                                         incarnation (epoch fence missing on the \
+                                         take verb)"
+                                            .to_string(),
+                                    );
+                                }
+                                check_fifo(w, &item);
+                                *state = ZombieState::Done;
+                                Step::Yield(cost)
+                            }
+                            Ok((None, cost)) => {
+                                *state = ZombieState::Done;
+                                Step::Yield(cost)
+                            }
+                            Err(d) => {
+                                w.violations
+                                    .push(format!("zombie thief_take observed dead slot: {d:?}"));
+                                Step::Halt
+                            }
+                        }
+                    }
+                    ZombieState::Done => Step::Halt,
+                }
+            }
+            ZombieActor::Suspector { state } => match state {
+                SuspectorState::Watch { attempts } => {
+                    let lock = GlobalAddr::new(0, w.lay.dq_word(DQ_LOCK));
+                    let (word, cost) = w.m.get_u64(me, lock);
+                    if word == lock_word(0, 1) {
+                        // False suspicion: the holder is alive, but its
+                        // heartbeats look stale from here. Evict it and
+                        // break the stale-epoch lock (the owner-side
+                        // `break_dead_lock` clause, run by a survivor).
+                        w.m.evict(1);
+                        let cost = cost + w.m.put_u64(me, lock, 0);
+                        *state = SuspectorState::Locking { attempts: 0 };
+                        return Step::Yield(cost);
+                    }
+                    *attempts += 1;
+                    if *attempts >= 40 {
+                        return Step::Halt; // the zombie finished first: no eviction
+                    }
+                    Step::Yield(cost)
+                }
+                SuspectorState::Locking { attempts } => {
+                    let (locked, cost) = thief_lock_epoch(&mut w.m, &w.lay, me, 0, 0);
+                    if locked {
+                        *state = SuspectorState::Take;
+                    } else {
+                        *attempts += 1;
+                        if *attempts >= 16 {
+                            return Step::Halt;
+                        }
+                    }
+                    Step::Yield(cost)
+                }
+                SuspectorState::Take => {
+                    match thief_take(&mut w.m, &mut w.items, &w.lay, me, 0) {
+                        Ok((Some((item, _size)), cost)) => {
+                            check_fifo(w, &item);
+                            *state = SuspectorState::Done;
+                            Step::Yield(cost)
+                        }
+                        Ok((None, cost)) => {
+                            *state = SuspectorState::Done;
+                            Step::Yield(cost)
+                        }
+                        Err(d) => {
+                            w.violations
+                                .push(format!("suspector thief_take observed dead slot: {d:?}"));
+                            Step::Halt
+                        }
+                    }
+                }
+                SuspectorState::Done => Step::Halt,
+            },
+        }
+    }
+}
+
+/// Owner push/drain shared by the zombie scenario (the plain deque
+/// scenario's owner, factored so both actor enums can use it).
+fn owner_step(me: WorkerId, w: &mut DqWorld, to_push: &mut u64, pushed: &mut u64) -> Step {
+    if *pushed < *to_push {
+        let tag = *pushed;
+        return match owner_push(&mut w.m, &mut w.items, &w.lay, me, dq_item(tag)) {
+            Ok(cost) => {
+                *pushed += 1;
+                w.shadow.push_back(tag);
+                Step::Yield(cost)
+            }
+            Err(DequeError::Busy) => Step::Yield(w.m.local_op(me)),
+            Err(DequeError::Dead(d)) => {
+                w.violations
+                    .push(format!("owner_push observed dead slot: {d:?}"));
+                Step::Halt
+            }
+        };
+    }
+    match owner_pop(&mut w.m, &mut w.items, &w.lay, me) {
+        Ok((Some(item), cost)) => {
+            let tag = dq_tag(&item);
+            match w.shadow.pop_back() {
+                Some(expect) if expect == tag => {}
+                other => w.violations.push(format!(
+                    "owner_pop LIFO violated: got tag {tag}, shadow back was {other:?}"
+                )),
+            }
+            Step::Yield(cost)
+        }
+        Ok((None, cost)) => {
+            if w.shadow.is_empty() {
+                Step::Halt
+            } else {
+                Step::Yield(cost)
+            }
+        }
+        Err(DequeError::Busy) => Step::Yield(w.m.local_op(me)),
+        Err(DequeError::Dead(d)) => {
+            w.violations.push(format!(
+                "deque-protocol: owner_pop observed a dead ring slot at index {}",
+                d.index
+            ));
+            Step::Halt
+        }
+    }
+}
+
+/// Build the zombie-steal scenario (3 workers: owner, zombie, suspector).
+/// `broken` removes the epoch self-fence from the zombie's take.
+fn zombie_steal_scenario(name: &str, n_items: u64, broken: bool) -> Scenario {
+    let workers = 3;
+    let name_owned = name.to_string();
+    let runner = move |hook: &mut dyn ScheduleHook| -> Vec<String> {
+        let cfg = RunConfig::new(workers, Policy::ContGreedy);
+        let lay = SegLayout::new(&cfg);
+        let m = Machine::new(
+            MachineConfig::new(workers, profiles::test_profile())
+                .with_seg_bytes(cfg.seg_bytes)
+                .with_reserved(lay.reserved),
+        );
+        let world = DqWorld {
+            m,
+            items: Slab::new(),
+            lay,
+            shadow: VecDeque::new(),
+            violations: Vec::new(),
+        };
+        let actors = vec![
+            ZombieActor::Owner {
+                to_push: n_items,
+                pushed: 0,
+            },
+            ZombieActor::Zombie {
+                state: ZombieState::Locking { attempts: 0 },
+                broken,
+            },
+            ZombieActor::Suspector {
+                state: SuspectorState::Watch { attempts: 0 },
+            },
+        ];
+        let mut engine = Engine::new(world, actors).with_max_steps(100_000);
+        engine.run_with_hook(hook);
+        let w = &mut engine.world;
+        // A broken-variant zombie may have consumed an item it had no right
+        // to; the explicit two-epochs oracle has already fired then, so the
+        // leak oracles only apply to the shipped composition.
+        if !broken {
+            if !w.shadow.is_empty() {
+                w.violations
+                    .push(format!("leak: {} pushed items never consumed", w.shadow.len()));
+            }
+            if !w.items.is_empty() {
+                w.violations
+                    .push("leak: queue-item slab not empty at end of run".to_string());
+            }
+        }
+        std::mem::take(&mut w.violations)
+    };
+    Scenario {
+        name: name_owned,
+        workers,
+        expect_violation: broken,
+        runner: Box::new(runner),
+    }
+}
+
+/// Full-runtime suspicion scenarios: a message detector with an aggressive
+/// lease and a degraded-NIC window on worker 1, **zero kills**. Every
+/// explored schedule must complete with the exact fault-free answer —
+/// false suspicion may evict live workers mid-steal, tear into their
+/// in-flight joins and replay their lineage, but can never lose or
+/// duplicate work. `until` bounds the degraded window: a finite window
+/// lets the evictee's beats recover, un-suspects it, clears its blacklist
+/// entry and (rejoin on) puts the fresh incarnation back to work.
+fn suspicion_scenario(
+    name: &str,
+    workers: usize,
+    seed: u64,
+    policy: Policy,
+    until: VTime,
+) -> Scenario {
+    use dcs_core::RunOutcome;
+    let name_owned = name.to_string();
+    let runner = move |hook: &mut dyn ScheduleHook| -> Vec<String> {
+        let mut plan = dcs_sim::FaultPlan::none()
+            .with_detector(dcs_sim::Detector::Message)
+            .with_suspect(VTime::us(3))
+            .with_degrade(dcs_sim::DegradeWindow {
+                worker: 1,
+                from: VTime::ZERO,
+                until,
+                factor: 20.0,
+            });
+        plan.hb_period = VTime::us(1);
+        let cfg = RunConfig::new(workers, policy)
+            .with_profile(profiles::test_profile())
+            .with_watchdog(true)
+            .with_strict(false)
+            .with_seed(seed)
+            .with_fault_plan(plan);
+        let report = run_hooked(cfg, Program::new(fib, 10u64), hook);
+        let mut violations = Vec::new();
+        if !matches!(report.outcome, RunOutcome::Complete) {
+            violations.push(format!(
+                "suspicion-only run aborted: {:?} (false_suspects={})",
+                report.outcome, report.stats.false_suspects
+            ));
+        } else if report.result.as_u64() != 55 {
+            violations.push(format!(
+                "result diverged from fault-free: got {}, expected 55 \
+                 (false_suspects={}, rejoins={}, replayed={})",
+                report.result.as_u64(),
+                report.stats.false_suspects,
+                report.stats.rejoins,
+                report.stats.tasks_replayed
+            ));
+        }
+        if report.stats.workers_lost != 0 {
+            violations.push(format!(
+                "a kill=none run counted {} workers as genuinely lost",
+                report.stats.workers_lost
+            ));
+        }
+        if let Some(wd) = &report.watchdog {
+            violations.extend(
+                wd.violations
+                    .iter()
+                    .filter(|v| !matches!(v, dcs_core::watchdog::Violation::Leak { .. }))
+                    .map(|v| v.to_string()),
+            );
+        }
+        violations
+    };
+    Scenario {
+        name: name_owned,
+        workers,
+        expect_violation: false,
+        runner: Box::new(runner),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Termination scenario
 // ---------------------------------------------------------------------------
 
@@ -1721,6 +2075,25 @@ pub fn catalog(workers: usize, seed: u64) -> Vec<Scenario> {
         0,
     ));
     v.push(crash_abort_scenario(workers, seed));
+    // Imperfect failure detection: the zombie seam on the raw deque (plus
+    // its planted-bug self-test) and the kill=none false-suspicion runs
+    // that must stay result-identical to fault-free.
+    v.push(zombie_steal_scenario("zombie-steal", 2, false));
+    v.push(zombie_steal_scenario("broken-fence", 2, true));
+    v.push(suspicion_scenario(
+        "false-suspect-term",
+        workers,
+        seed,
+        Policy::ContGreedy,
+        VTime::MAX,
+    ));
+    v.push(suspicion_scenario(
+        "rejoin-replay",
+        workers,
+        seed,
+        Policy::ChildRtc,
+        VTime::us(6),
+    ));
     v
 }
 

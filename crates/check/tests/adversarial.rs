@@ -615,3 +615,142 @@ fn checked_in_multi_steal_schedules_stay_clean() {
         );
     }
 }
+
+/// The shipped zombie seam: an eviction (epoch bump + stale-lock break)
+/// lands in the window between a live thief's lock and its take, and the
+/// thief's self-fence must abandon the steal on EVERY schedule — no task
+/// taken by an evicted incarnation, no dead slots, no lost items.
+#[test]
+fn zombie_steal_survives_exhaustive_exploration() {
+    let s = by_name("zombie-steal", 3, 1).expect("scenario exists");
+    let out = explore_exhaustive(&|c| s.run_choices(c), 2, 50_000);
+    assert!(out.complete, "delay-2 space must fit the budget");
+    assert!(
+        out.findings.is_empty(),
+        "zombie-steal violated under schedule {:?}: {:?}",
+        out.findings[0].choices,
+        out.findings[0].violations
+    );
+    assert!(out.schedules > 50, "exploration actually branched");
+}
+
+/// The planted fencing bug: remove the epoch check from the take-verb
+/// class and the two-epochs oracle must catch the zombie completing its
+/// steal after eviction — then minimize the schedule, serialize it, parse
+/// it back, and reproduce the failure from the file.
+#[test]
+fn broken_fence_is_caught_minimized_and_replayable() {
+    let s = by_name("broken-fence", 3, 1).expect("scenario exists");
+    assert!(s.expect_violation);
+    let run = |choices: &[u32]| s.run_choices(choices);
+
+    let out = explore_exhaustive(&run, 2, 50_000);
+    assert!(
+        !out.findings.is_empty(),
+        "exploration must flush out the missing epoch fence"
+    );
+    let finding = &out.findings[0];
+    assert!(
+        finding.violations.iter().any(|v| v.contains("evicted incarnation")),
+        "the violation is the two-epochs breach: {:?}",
+        finding.violations
+    );
+
+    let min = minimize(&run, &finding.choices);
+    assert!(min.len() <= finding.choices.len());
+    let sched = Schedule {
+        scenario: s.name.clone(),
+        workers: s.workers,
+        seed: 1,
+        choices: min,
+    };
+    let text = sched.to_string();
+    let parsed = Schedule::parse(&text).expect("own output parses");
+    assert_eq!(parsed, sched);
+
+    let replayed = by_name(&parsed.scenario, parsed.workers, parsed.seed)
+        .expect("serialized scenario resolves");
+    let rec = replayed.run_choices(&parsed.choices);
+    assert!(
+        rec.violations.iter().any(|v| v.contains("evicted incarnation")),
+        "replaying the minimized schedule reproduces the bug: {:?}",
+        rec.violations
+    );
+}
+
+/// Full-runtime suspicion oracles under exploration: kill=none plus an
+/// aggressive suspect lease and a degraded worker-1 NIC. Whatever the
+/// schedule does to the eviction/rejoin timing, the answer must equal the
+/// fault-free one with no worker counted as genuinely lost.
+const SUSPICION_SCENARIOS: [&str; 2] = ["false-suspect-term", "rejoin-replay"];
+
+#[test]
+fn suspicion_oracles_survive_exploration() {
+    for name in SUSPICION_SCENARIOS {
+        let s = by_name(name, 2, 1).expect("scenario exists");
+        let out = explore_exhaustive(&|c| s.run_choices(c), 1, 6_000);
+        assert!(out.complete, "{name}: delay-1 space must fit the budget");
+        assert!(
+            out.findings.is_empty(),
+            "{name} violated under schedule {:?}: {:?}",
+            out.findings[0].choices,
+            out.findings[0].violations
+        );
+
+        let s3 = by_name(name, 3, 1).unwrap();
+        let out = explore_pct(&|seed| s3.run_pct(seed, 3, 512), 40);
+        assert!(
+            out.findings.is_empty(),
+            "{name} violated under PCT: {:?}",
+            out.findings
+        );
+    }
+}
+
+/// Acceptance-scale zombie sweep: 500 PCT seeds at 8 workers for the
+/// suspicion runtime oracles plus the raw zombie seam. Slow, so it only
+/// runs under `--ignored` — CI's checker job includes it.
+#[test]
+#[ignore = "acceptance-scale sweep; run with --ignored (CI does)"]
+fn zombie_oracles_survive_wide_pct() {
+    for name in ["zombie-steal", "false-suspect-term", "rejoin-replay"] {
+        let s = by_name(name, 8, 1).expect("scenario exists");
+        let out = explore_pct(&|seed| s.run_pct(seed, 3, 512), 500);
+        assert!(
+            out.findings.is_empty(),
+            "{name} violated under wide PCT: {:?}",
+            out.findings
+        );
+    }
+}
+
+/// Checked-in zombie schedules: the minimized broken-fence reproducer must
+/// keep reproducing from its serialized form, and a recorded hostile
+/// interleaving of the shipped seam (eviction mid-steal) must stay clean.
+#[test]
+fn checked_in_broken_fence_schedule_reproduces() {
+    let text = include_str!("schedules/broken-fence.schedule");
+    let sched = Schedule::parse(text).expect("regression schedule parses");
+    assert_eq!(sched.scenario, "broken-fence");
+    let s = by_name(&sched.scenario, sched.workers, sched.seed).unwrap();
+    let rec = s.run_choices(&sched.choices);
+    assert!(
+        rec.violations.iter().any(|v| v.contains("evicted incarnation")),
+        "broken-fence schedule no longer reproduces: {:?}",
+        rec.violations
+    );
+}
+
+#[test]
+fn checked_in_zombie_steal_schedule_stays_clean() {
+    let text = include_str!("schedules/zombie-steal.schedule");
+    let sched = Schedule::parse(text).expect("fixture parses");
+    assert_eq!(sched.scenario, "zombie-steal");
+    let s = by_name(&sched.scenario, sched.workers, sched.seed).unwrap();
+    let rec = s.run_choices(&sched.choices);
+    assert!(
+        rec.violations.is_empty(),
+        "zombie-steal schedule regressed: {:?}",
+        rec.violations
+    );
+}

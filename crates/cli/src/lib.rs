@@ -582,6 +582,13 @@ fn render_report(a: &RunArgs, n: u64, r: &RunReport) -> String {
                 r.stats.workers_lost, r.stats.tasks_lost, r.stats.tasks_replayed, r.stats.ckpt_puts
             );
         }
+        if a.fault.suspicion_possible() {
+            let _ = writeln!(
+                s,
+                "detector:   {} false suspects, {} rejoins, {} epoch-fenced verbs",
+                r.stats.false_suspects, r.stats.rejoins, r.fabric.fenced_verbs
+            );
+        }
         if let Some(wd) = &r.watchdog {
             let _ = writeln!(s, "watchdog:   {wd}");
         }

@@ -217,6 +217,23 @@ pub fn owner_len(m: &mut Machine, lay: &SegLayout, me: WorkerId) -> u64 {
     bottom - top
 }
 
+/// Encode the deque lock word: the holder's rank (biased by 1 so 0 stays
+/// "unlocked") in the low 16 bits, its incarnation epoch above. Epoch-0
+/// holders — every holder until a worker is evicted — encode to exactly the
+/// pre-epoch `rank + 1` word, so healthy runs are byte-identical.
+#[inline]
+pub fn lock_word(epoch: u64, rank: WorkerId) -> u64 {
+    debug_assert!(rank < (1 << 16) - 1, "lock word holds ranks below 65535");
+    (epoch << 16) | (rank as u64 + 1)
+}
+
+/// Decode a non-zero deque lock word into `(holder_epoch, holder_rank)`.
+#[inline]
+pub fn lock_holder(word: u64) -> (u64, WorkerId) {
+    debug_assert!(word != 0, "the unlocked word has no holder");
+    (word >> 16, (word & 0xFFFF) as WorkerId - 1)
+}
+
 /// Step 1 of a steal: try to lock `victim`'s deque. Returns whether the lock
 /// was acquired plus the atomic's cost.
 pub fn thief_lock(
@@ -225,7 +242,20 @@ pub fn thief_lock(
     me: WorkerId,
     victim: WorkerId,
 ) -> (bool, VTime) {
-    let (old, cost) = m.cas_u64(me, word(lay, victim, DQ_LOCK), 0, me as u64 + 1);
+    thief_lock_epoch(m, lay, me, victim, 0)
+}
+
+/// [`thief_lock`] with the thief's incarnation epoch stamped into the lock
+/// word, so an owner breaking a stale lease can tell a dead holder from a
+/// zombie one (see the scheduler's `break_dead_lock`).
+pub fn thief_lock_epoch(
+    m: &mut Machine,
+    lay: &SegLayout,
+    me: WorkerId,
+    victim: WorkerId,
+    epoch: u64,
+) -> (bool, VTime) {
+    let (old, cost) = m.cas_u64(me, word(lay, victim, DQ_LOCK), 0, lock_word(epoch, me));
     (old == 0, cost)
 }
 

@@ -155,8 +155,10 @@ fn run_inner(
     // Fail-stop kills make leaks unavoidable (entries on a dead worker's
     // segment can never be freed) and recovery re-executes work, so the
     // strict end-of-run asserts do not apply: correctness is judged on the
-    // result and the watchdog instead.
-    cfg.strict = cfg.strict && cfg.fault.kill.is_empty();
+    // result and the watchdog instead. A message-based detector can evict
+    // a *live* worker on suspicion — the same recovery machinery fires with
+    // no kill scheduled — so suspicion-capable plans drop strict too.
+    cfg.strict = cfg.strict && cfg.fault.kill.is_empty() && !cfg.fault.suspicion_possible();
     let lay = SegLayout::new(&cfg);
     let mut machine = Machine::new(
         MachineConfig::new(cfg.workers, cfg.profile.clone())
@@ -833,6 +835,115 @@ mod tests {
         assert_eq!(a.steps, b.steps);
         assert_eq!(a.stats.tasks_replayed, 0);
         assert_eq!(a.stats.workers_lost, 0);
+    }
+
+    // ------------------------------------------------------------------
+    // imperfect failure detection (message detector, suspicion, rejoin)
+    // ------------------------------------------------------------------
+
+    /// Message detector over a loss-free fabric: the suspect-lease floor
+    /// (`suspect >= hb + flight`) guarantees a visible beat inside every
+    /// lease window, so no live worker is ever suspected and the run is
+    /// result-identical to the oracle's.
+    #[test]
+    fn loss_free_message_detector_never_suspects() {
+        use dcs_sim::{fault::Detector, FaultPlan};
+        let oracle = run_fib(Policy::ContGreedy, 4, 13);
+        let r = run(
+            kill_cfg(
+                Policy::ContGreedy,
+                FaultPlan::none().with_detector(Detector::Message),
+            ),
+            Program::new(fib, 13u64),
+        );
+        assert_eq!(r.outcome, RunOutcome::Complete);
+        assert_eq!(r.result, oracle.result);
+        assert_eq!(r.stats.false_suspects, 0, "loss-free fabric must never suspect");
+        assert_eq!(r.stats.rejoins, 0);
+        assert_eq!(r.stats.workers_lost, 0);
+    }
+
+    /// The deterministic false-suspicion recipe: a degraded-NIC window
+    /// stretches worker 1's beat flight past an aggressive suspect lease,
+    /// so survivors evict a perfectly live worker. The run must still
+    /// complete with the fault-free answer — the evictee self-fences,
+    /// sheds its (drained) state and rejoins as a fresh incarnation.
+    #[test]
+    fn false_suspicion_evicts_rejoins_and_completes() {
+        use dcs_sim::{fault::Detector, DegradeWindow, FaultPlan, VTime};
+        let want = fib_serial(14);
+        for policy in [Policy::ContGreedy, Policy::ContStalling, Policy::ChildRtc] {
+            let mut plan = FaultPlan::none()
+                .with_detector(Detector::Message)
+                .with_suspect(VTime::us(3))
+                .with_degrade(DegradeWindow {
+                    worker: 1,
+                    from: VTime::ZERO,
+                    until: VTime::MAX,
+                    factor: 20.0,
+                });
+            plan.hb_period = VTime::us(1);
+            let r = run(kill_cfg(policy, plan), Program::new(fib, 14u64));
+            assert_eq!(r.outcome, RunOutcome::Complete, "{policy:?}");
+            assert_eq!(r.result.as_u64(), want, "{policy:?}");
+            assert!(
+                r.stats.false_suspects >= 1,
+                "{policy:?}: the degraded window must trigger a false suspicion"
+            );
+            assert_eq!(
+                r.stats.rejoins, r.stats.false_suspects,
+                "{policy:?}: every evicted-live worker rejoins"
+            );
+            assert_eq!(r.stats.workers_lost, 0, "{policy:?}: nobody actually died");
+        }
+    }
+
+    /// `rejoin=off`: the falsely-evicted worker halts instead of rejoining;
+    /// the survivors replay its drained lineage and still finish correctly.
+    #[test]
+    fn false_suspicion_with_rejoin_disabled_still_completes() {
+        use dcs_sim::{fault::Detector, DegradeWindow, FaultPlan, VTime};
+        let mut plan = FaultPlan::none()
+            .with_detector(Detector::Message)
+            .with_suspect(VTime::us(3))
+            .with_degrade(DegradeWindow {
+                worker: 1,
+                from: VTime::ZERO,
+                until: VTime::MAX,
+                factor: 20.0,
+            });
+        plan.hb_period = VTime::us(1);
+        plan.rejoin = false;
+        let r = run(kill_cfg(Policy::ContGreedy, plan), Program::new(fib, 14u64));
+        assert_eq!(r.outcome, RunOutcome::Complete);
+        assert_eq!(r.result.as_u64(), fib_serial(14));
+        assert!(r.stats.false_suspects >= 1);
+        assert_eq!(r.stats.rejoins, 0, "rejoin=off must keep the evictee down");
+    }
+
+    /// Suspicion-capable runs stay deterministic (beat drops and suspicion
+    /// windows are pure functions of the seed and the virtual clock).
+    #[test]
+    fn suspicion_runs_are_deterministic() {
+        use dcs_sim::{fault::Detector, DegradeWindow, FaultPlan, VTime};
+        let mk = || {
+            let mut plan = FaultPlan::none()
+                .with_detector(Detector::Message)
+                .with_suspect(VTime::us(3))
+                .with_degrade(DegradeWindow {
+                    worker: 1,
+                    from: VTime::ZERO,
+                    until: VTime::MAX,
+                    factor: 20.0,
+                });
+            plan.hb_period = VTime::us(1);
+            run(kill_cfg(Policy::ContGreedy, plan), Program::new(fib, 13u64))
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.stats.false_suspects, b.stats.false_suspects);
+        assert_eq!(a.stats.rejoins, b.stats.rejoins);
     }
 
     // ------------------------------------------------------------------

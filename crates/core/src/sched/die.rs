@@ -140,7 +140,37 @@ impl Worker {
             self.set_busy(world, now, false);
             return cost;
         }
-        let mut th = world.rt.per[saved.owner].saved.take(saved.slot);
+        // Under a message detector the owner can be evicted while ALIVE:
+        // its saved slab may already be gone (self-fenced) or its lineage
+        // drained to a replayer before it self-fences. Either way a replay
+        // re-executes this joiner, so the saved copy is stale — claim it
+        // only if both the slab entry and the lineage record are still
+        // ours, and otherwise drop the hand-off like the dead-owner case.
+        // (Oracle runs never get here with either condition true: a drained
+        // lineage implies a confirmed death, which `is_dead` caught above.)
+        let mut th = if self.kills {
+            match world.rt.per[saved.owner].saved.try_take(saved.slot) {
+                Some(th) => th,
+                None => {
+                    self.state = WState::Idle;
+                    self.set_busy(world, now, false);
+                    return cost;
+                }
+            }
+        } else {
+            world.rt.per[saved.owner].saved.take(saved.slot)
+        };
+        if self.kills && !self.rekey_lineage(world, &mut th) {
+            // A confirmer drained the evicted owner's lineage and a replay
+            // already re-executes this joiner. Undo the slab claim's memory
+            // accounting and drop the stale copy.
+            if self.scheme == AddressScheme::Uni && th.home.is_some() {
+                world.rt.per[saved.owner].evac.restore(saved.stack_bytes as u64);
+            }
+            self.state = WState::Idle;
+            self.set_busy(world, now, false);
+            return cost;
+        }
         if self.scheme == AddressScheme::Uni && th.home.is_some() {
             world.rt.per[saved.owner].evac.restore(saved.stack_bytes as u64);
         }
@@ -163,11 +193,6 @@ impl Worker {
         cost += c2;
         cost += self.free_entry_here_after_close(world, e, &mut th, now + cost);
         self.claim_home(world, &mut th);
-        if self.kills {
-            // The joiner migrated here: its lineage record follows it.
-            let fresh = self.rekey_lineage(world, &mut th);
-            debug_assert!(fresh, "saved joiner's record cannot be claimed while its owner lives");
-        }
         th.supply(v);
         cost += world.m.ctx_switch(self.me);
         self.start_thread(world, now, th);

@@ -73,6 +73,16 @@ impl Worker {
         bl.at[victim] = now;
     }
 
+    /// Drop `victim`'s blacklist entry entirely (permanent or not): the
+    /// "confirmed dead" verdict was revoked — a falsely-suspected worker's
+    /// delayed beats landed, or an evicted worker rejoined as a fresh
+    /// incarnation — so it is a first-class steal target again.
+    pub(crate) fn blacklist_clear(&mut self, victim: WorkerId) {
+        if let Some(bl) = &mut self.blacklist {
+            bl.score[victim] = 0;
+        }
+    }
+
     /// Is `victim` permanently blacklisted (confirmed dead)? Permanent
     /// entries must never be returned by victim selection: probing one is
     /// a guaranteed wasted round trip, forever.
@@ -182,23 +192,50 @@ impl Worker {
     // fail-stop recovery (kill plans only)
     // ------------------------------------------------------------------
 
-    /// Lease-registry scan: confirm newly-expired peers, blacklist them
-    /// forever, and — first confirmer only — move their unfinished lineage
-    /// records into the shared replay pool.
+    /// Detector-registry scan: confirm newly-expired peers, blacklist them,
+    /// and — first confirmer of each incarnation only — evict the peer
+    /// (epoch bump) and move its unfinished lineage records into the shared
+    /// replay pool.
+    ///
+    /// Under the oracle detector a confirmation is ground truth and the
+    /// latch never revokes. Under the message detector it is a *suspicion*
+    /// (no visible heartbeat for a lease): delayed beats landing later
+    /// un-confirm the peer, and the un-latch branch clears the permanent
+    /// blacklist entry so the falsely-suspected (or rejoined) worker is
+    /// stealable again. The eviction itself stands either way — the epoch
+    /// bump already invalidated the old incarnation's verbs, and the peer
+    /// self-fences and rejoins at its next step.
     pub(crate) fn fail_stop_scan(&mut self, now: VTime, world: &mut World) {
         for d in 0..self.n {
-            if d == self.me || self.dead[d] || !world.m.confirmed_dead(d, now) {
+            if d == self.me {
                 continue;
             }
-            self.dead[d] = true;
+            let confirmed_now = world.m.confirmed_dead(d, now);
+            if self.confirmed[d] {
+                if !confirmed_now {
+                    // Revoked: the peer's beats resumed (false suspicion
+                    // cleared, or a fresh incarnation rejoined).
+                    self.confirmed[d] = false;
+                    self.blacklist_clear(d);
+                    world.rt.watch_unsuspect(d);
+                }
+                continue;
+            }
+            if !confirmed_now {
+                continue;
+            }
+            self.confirmed[d] = true;
             self.blacklist_forever(d, now);
-            if self.policy == Policy::ChildFull {
-                // ChildFull is unrecoverable and aborts from the dead
-                // worker's own step; nothing to enumerate here.
-                continue;
+            if world.m.suspicion_possible() {
+                world.rt.watch_suspect(d);
             }
-            if !world.rt.lineage_drained[d] {
-                world.rt.lineage_drained[d] = true;
+            // Exactly-once per incarnation: the first confirmer of
+            // `(d, epoch)` evicts and drains; racing confirmers of the same
+            // incarnation observe the claim and stand down. (ChildFull
+            // records no lineage, so its drain is vacuous.)
+            let epoch = world.m.epoch_of(d);
+            if world.rt.evictions.first_claim(evict_key(d, epoch)) {
+                world.m.evict(d);
                 for i in 0..world.rt.lineage[d].len() {
                     if !world.rt.lineage[d][i].done.is_done() {
                         world.rt.replay_pool.push_back((d, i));
@@ -333,10 +370,13 @@ impl Worker {
                     // post-attempt drain attributes only this victim's
                     // faults.
                     let _ = world.m.take_faults(self.me);
+                    let vepoch = world.m.epoch_of(victim);
                     if self.protocol == Protocol::CasLock {
-                        // Step 1 of the CAS-lock steal: take the lock.
+                        // Step 1 of the CAS-lock steal: take the lock. The
+                        // lock word encodes our rank *and* epoch, so the
+                        // victim can break it if we are evicted mid-steal.
                         let (locked, c_lock) =
-                            thief_lock(&mut world.m, &self.lay, self.me, victim);
+                            thief_lock_epoch(&mut world.m, &self.lay, self.me, victim, self.my_epoch);
                         let faults = world.m.take_faults(self.me);
                         self.note_victim_faults(victim, faults, now);
                         if locked {
@@ -344,6 +384,7 @@ impl Worker {
                                 victim,
                                 t0: now,
                                 bounds: None,
+                                vepoch,
                             };
                             return Step::Yield(cost + c_lock);
                         }
@@ -363,7 +404,12 @@ impl Worker {
                     // Fence-free `top` is a hint that can momentarily
                     // exceed `bottom`; both families treat that as empty.
                     if top < bottom {
-                        self.state = WState::StealClaim { victim, top, t0: now };
+                        self.state = WState::StealClaim {
+                            victim,
+                            top,
+                            t0: now,
+                            vepoch,
+                        };
                         return Step::Yield(cost + c_bounds);
                     }
                     world.rt.stats.steal_failed();
@@ -447,9 +493,13 @@ impl Worker {
             for &v in &ring {
                 let h_cas = (self.protocol == Protocol::CasLock).then(|| {
                     let lock = GlobalAddr::new(v, self.lay.dq_word(DQ_LOCK));
-                    world
-                        .m
-                        .post_cas_u64(self.me, lock, 0, self.me as u64 + 1, posted_at)
+                    world.m.post_cas_u64(
+                        self.me,
+                        lock,
+                        0,
+                        lock_word(self.my_epoch, self.me),
+                        posted_at,
+                    )
                 });
                 let (vals, h_bounds) = world.m.post_get_u64_span::<2>(
                     self.me,
@@ -482,7 +532,8 @@ impl Worker {
             for &v in &ring {
                 let mut won = true;
                 if self.protocol == Protocol::CasLock {
-                    let (locked, c_lock) = thief_lock(&mut world.m, &self.lay, self.me, v);
+                    let (locked, c_lock) =
+                        thief_lock_epoch(&mut world.m, &self.lay, self.me, v, self.my_epoch);
                     cost += c_lock;
                     won = locked;
                 }
@@ -532,14 +583,23 @@ impl Worker {
         world.m.chain_end(self.me);
         match won {
             Some((victim, top, bottom)) => {
+                // Probes and the commit run inside this one step, so the
+                // victim's epoch now is the epoch every probe saw.
+                let vepoch = world.m.epoch_of(victim);
                 self.state = if self.protocol == Protocol::CasLock {
                     WState::StealTake {
                         victim,
                         t0: now,
                         bounds: Some((top, bottom)),
+                        vepoch,
                     }
                 } else {
-                    WState::StealClaim { victim, top, t0: now }
+                    WState::StealClaim {
+                        victim,
+                        top,
+                        t0: now,
+                        vepoch,
+                    }
                 };
                 Step::Yield(cost)
             }
@@ -705,6 +765,7 @@ impl Worker {
         victim: WorkerId,
         t0: VTime,
         bounds: Option<(u64, u64)>,
+        vepoch: u64,
     ) -> Step {
         if self.kills {
             if let Some(c_dead) = world.m.dead_guard(self.me, victim, now) {
@@ -717,6 +778,19 @@ impl Worker {
                 self.fail_streak += 1;
                 let c_wait = self.poll_blocked(now, world);
                 return Step::Yield(c_dead + c_wait);
+            }
+            if world.m.fence_verb(self.me, vepoch, victim) {
+                // The victim was evicted and rejoined between our lock and
+                // this take: the rejoin purged the deque — our lock word
+                // with it — so touching the fresh incarnation's deque would
+                // tear it. The fence voids the steal. (Unreachable under
+                // the oracle detector: an eviction there implies a
+                // confirmed death, which the dead guard above catches.)
+                self.state = WState::Idle;
+                world.rt.stats.steal_failed();
+                self.fail_streak += 1;
+                let c_wait = self.poll_blocked(now, world);
+                return Step::Yield(c_wait);
             }
         }
         if self.fabric == FabricMode::Pipelined {
@@ -957,6 +1031,7 @@ impl Worker {
         victim: WorkerId,
         top: u64,
         t0: VTime,
+        vepoch: u64,
     ) -> Step {
         if self.kills {
             if let Some(c_dead) = world.m.dead_guard(self.me, victim, now) {
@@ -968,6 +1043,17 @@ impl Worker {
                 self.fail_streak += 1;
                 let c_wait = self.poll_blocked(now, world);
                 return Step::Yield(c_dead + c_wait);
+            }
+            if world.m.fence_verb(self.me, vepoch, victim) {
+                // The victim was evicted and rejoined since our bounds
+                // read: the bounds (and the slot behind them) belong to a
+                // purged incarnation — claiming against the fresh deque
+                // would take an item we never raced for. Void the steal.
+                self.state = WState::Idle;
+                world.rt.stats.steal_failed();
+                self.fail_streak += 1;
+                let c_wait = self.poll_blocked(now, world);
+                return Step::Yield(c_wait);
             }
         }
         match self.protocol {

@@ -43,21 +43,21 @@ use dcs_sim::{Actor, FabricMode, GlobalAddr, Machine, SimRng, Step, VTime, VerbH
 use crate::dedup::DoneFlag;
 use crate::deque::{
     ff_decide, ff_owner_pop, ff_owner_pop_parent, ff_owner_push, ff_owner_reclaim, lf_owner_pop,
-    lf_owner_pop_parent, lf_owner_push, lf_thief_claim, owner_pop, owner_pop_parent, owner_push,
-    thief_advance_top, thief_lock, thief_read_bounds, thief_release_lock, thief_take,
-    thief_take_at, thief_take_no_release, thief_take_no_release_at, Busy, DeadSlot, DequeError,
-    FfSteal,
+    lf_owner_pop_parent, lf_owner_push, lf_thief_claim, lock_holder, lock_word, owner_pop,
+    owner_pop_parent, owner_push, thief_advance_top, thief_lock_epoch, thief_read_bounds,
+    thief_release_lock, thief_take, thief_take_at, thief_take_no_release,
+    thief_take_no_release_at, Busy, DeadSlot, DequeError, FfSteal,
 };
 use crate::entry::{
     alloc_entry, alloc_saved_ctx, free_entry, read_saved_ctx, DONE_BIT, EM_CONSUMED, EM_CTX0,
     E_CTXLOC, E_FLAG, SAVED_CTX_BYTES,
 };
 use crate::frame::{AppCtx, Effect, Frame, Pending, RmaOp, TaskCtx, TaskFn, VThread};
-use crate::layout::{SegLayout, DQ_LOCK, DQ_TOP};
+use crate::layout::{SegLayout, DQ_BOTTOM, DQ_LOCK, DQ_TOP};
 use crate::policy::{AddressScheme, FreeStrategy, Policy, Protocol, VictimPolicy};
 use crate::remote_free::free_robj;
 use crate::value::{ThreadHandle, Value};
-use crate::world::{LineageRec, QueueItem, StoredVal, UnrecoverableReason, World};
+use crate::world::{evict_key, LineageRec, QueueItem, StoredVal, UnrecoverableReason, World};
 
 /// A pending operation carried across steps.
 pub(crate) enum PendingOp {
@@ -80,17 +80,28 @@ pub(crate) enum WState {
     /// probe already read them in its doorbell chain (multi-steal): a won
     /// lock freezes the bounds, so the take skips the re-read. The
     /// single-victim path passes `None` and re-reads, exactly as before.
+    /// `vepoch` is the victim's incarnation epoch observed when the probe
+    /// was issued: if the victim is evicted and rejoins before the next
+    /// step, the epoch fence voids the stale take instead of letting a
+    /// zombie-held lock tear the fresh incarnation's deque.
     StealTake {
         victim: WorkerId,
         t0: VTime,
         bounds: Option<(u64, u64)>,
+        vepoch: u64,
     },
     /// Lock-free / fence-free protocols: a bounds read last step saw
     /// `top < bottom`; claim the entry at `top` this step. The cross-step
     /// split is the real protocol's race window — the victim (or another
     /// thief) can consume the slot in between, making the claim lose (CAS
     /// failure / validation miss) or double-take (fence-free `Dup`).
-    StealClaim { victim: WorkerId, top: u64, t0: VTime },
+    /// `vepoch` fences the claim exactly like the CAS-lock take's.
+    StealClaim {
+        victim: WorkerId,
+        top: u64,
+        t0: VTime,
+        vepoch: u64,
+    },
     /// Pipelined fabric only: the take succeeded last step and the
     /// deque-top update, lock release and payload transfer are posted but
     /// not yet fenced. Reap the completions and adopt the item this step.
@@ -186,12 +197,21 @@ pub struct Worker {
     busy: bool,
     busy_since: VTime,
     halted: bool,
-    /// The fault plan schedules at least one fail-stop kill: gate for every
-    /// recovery code path, so kill-free runs stay bit-identical.
+    /// The fault plan arms recovery (a scheduled kill, `recover=on`, or a
+    /// message-based detector that can evict on suspicion): gate for every
+    /// recovery code path, so unarmed runs stay bit-identical.
     kills: bool,
-    /// Peers this worker has confirmed dead (lease expiry); empty without a
-    /// kill plan.
-    dead: Vec<bool>,
+    /// This worker's incarnation epoch: its view of its own entry in the
+    /// machine epoch registry. A survivor that confirms this worker dead
+    /// bumps the registry; the gap between registry and view is how the
+    /// worker observes its own eviction (self-fence) at its next step.
+    my_epoch: u64,
+    /// Peers this worker currently holds confirmed dead (latched lease
+    /// expiry); empty without an armed plan. Under the message detector a
+    /// latch is revocable: delayed beats landing un-confirm the peer and
+    /// clear the latch (and its permanent blacklist entry), making a
+    /// falsely-suspected or rejoined peer stealable again.
+    confirmed: Vec<bool>,
 }
 
 impl Worker {
@@ -286,7 +306,8 @@ impl Worker {
             busy_since: VTime::ZERO,
             halted: false,
             kills,
-            dead: if kills { vec![false; n] } else { Vec::new() },
+            my_epoch: 0,
+            confirmed: if kills { vec![false; n] } else { Vec::new() },
         }
     }
 
@@ -594,6 +615,146 @@ impl Worker {
         Step::Halt
     }
 
+    /// This worker observed its own eviction (the epoch registry moved past
+    /// its view): a survivor's lease on us expired — under the message
+    /// detector possibly a *false* suspicion — and our unfinished lineage
+    /// was drained for replay. Everything we still hold is therefore a
+    /// stale duplicate: quiesce, shed it, and rejoin as a fresh incarnation
+    /// with an empty deque (or halt, when the plan forbids rejoining).
+    ///
+    /// ChildFull is the exception: it records no lineage, so the confirmer
+    /// drained nothing and nothing we hold is stale — the worker just
+    /// adopts its new epoch and keeps running (survivors un-blacklist it
+    /// once its beats resume).
+    fn step_evicted(&mut self, now: VTime, world: &mut World) -> Step {
+        let new_epoch = world.m.epoch_of(self.me);
+        if self.policy == Policy::ChildFull {
+            self.my_epoch = new_epoch;
+            world.rt.note_worker_evicted(self.me, Vec::new());
+            return Step::Yield(world.m.local_op(self.me));
+        }
+        // Enumerate every frame that dies with this incarnation (the same
+        // census a fail-stop kill takes; replay re-creates the recorded
+        // subset under fresh ids).
+        let mut tids: Vec<u64> = Vec::new();
+        if let Some(th) = &self.cur {
+            tids.push(th.tid);
+        }
+        tids.extend(self.wait_q.iter().map(|w| w.th.tid));
+        tids.extend(self.nest.iter().map(|x| x.th.tid));
+        if let Some(ps) = &self.pending_steal {
+            if let QueueItem::Cont { th, .. } = &ps.item {
+                tids.push(th.tid);
+            }
+        }
+        for (_, item) in world.rt.per[self.me].items.iter() {
+            if let QueueItem::Cont { th, .. } = item {
+                tids.push(th.tid);
+            }
+        }
+        tids.extend(world.rt.per[self.me].saved.iter().map(|(_, th)| th.tid));
+        // Shed the current thread and the local queues, returning stack
+        // homes so the region survives into the next incarnation.
+        if let Some(mut th) = self.cur.take() {
+            self.retire_thread(world, &mut th);
+        }
+        while let Some(Waiting { mut th, .. }) = self.wait_q.pop_front() {
+            if self.scheme == AddressScheme::Uni && th.home.take().is_some() {
+                // Stalling suspensions released their home at evacuation;
+                // only the evacuation accounting is still open.
+                world.rt.per[self.me].evac.restore(th.stack_bytes() as u64);
+            } else {
+                self.retire_thread(world, &mut th);
+            }
+        }
+        while let Some(Nested { mut th, .. }) = self.nest.pop() {
+            self.retire_thread(world, &mut th);
+        }
+        // Reap any mid-flight steal's posted completions, then abandon the
+        // item (its lineage record is keyed under us and was just drained —
+        // the replay is the only legitimate copy).
+        if let Some(ps) = self.pending_steal.take() {
+            if let Some(h) = ps.h_release {
+                let _ = world.m.wait(self.me, h);
+            }
+            let _ = world.m.wait(self.me, ps.h_copy);
+            if let Some(h) = ps.h_ckpt {
+                let _ = world.m.wait(self.me, h);
+            }
+            if let QueueItem::Cont { mut th, .. } = ps.item {
+                if let (WState::StealReap { victim }, Some(home)) = (&self.state, th.home.take())
+                {
+                    // The stolen stack's home still sits in the *victim's*
+                    // region (adopt would have released it there).
+                    match self.scheme {
+                        AddressScheme::Uni => world.rt.per[*victim].uni.release(home),
+                        AddressScheme::Iso => world.rt.iso.free(home),
+                    }
+                }
+            }
+        }
+        self.pending = None;
+        // Empty the deque: payload objects, suspended threads, fence-free
+        // ticket index (the ticket *counter* survives — tickets must stay
+        // unique across incarnations), and the pinned protocol words.
+        let items = std::mem::take(&mut world.rt.per[self.me].items);
+        for (_, item) in items.iter() {
+            if let QueueItem::Cont { th, .. } = item {
+                if let Some(home) = th.home {
+                    match self.scheme {
+                        AddressScheme::Uni => world.rt.per[self.me].uni.release(home),
+                        AddressScheme::Iso => world.rt.iso.free(home),
+                    }
+                }
+            }
+        }
+        drop(items);
+        let saved = std::mem::take(&mut world.rt.per[self.me].saved);
+        for (_, th) in saved.iter() {
+            if th.home.is_some() {
+                match self.scheme {
+                    AddressScheme::Uni => {
+                        // Greedy suspensions evacuated: the home was already
+                        // released, only the evacuation accounting is open.
+                        world.rt.per[self.me].evac.restore(th.stack_bytes() as u64);
+                    }
+                    AddressScheme::Iso => {
+                        if let Some(home) = th.home {
+                            world.rt.iso.free(home);
+                        }
+                    }
+                }
+            }
+        }
+        drop(saved);
+        world.rt.per[self.me].ff_tickets.clear();
+        for w in [DQ_LOCK, DQ_TOP, DQ_BOTTOM] {
+            let addr = GlobalAddr::new(self.me, self.lay.dq_word(w));
+            world.m.write_own(self.me, addr, 0);
+        }
+        // The ring slots too: fence-free reads "slot word == 0" as the
+        // empty/overflow discriminator, so a stale key left over from the
+        // previous incarnation would look like a live item to a thief and
+        // trip the overflow assert on the new life's very first push.
+        for idx in 0..self.lay.deque_cap as u64 {
+            let slot = GlobalAddr::new(self.me, self.lay.dq_slot(idx));
+            world.m.write_own(self.me, slot, 0);
+        }
+        world.rt.note_worker_evicted(self.me, tids);
+        self.set_busy(world, now, false);
+        self.state = WState::Idle;
+        self.fail_streak = 0;
+        let cost = world.m.ctx_switch(self.me);
+        if world.m.rejoin_allowed() {
+            self.my_epoch = new_epoch;
+            world.rt.stats.rejoins += 1;
+            Step::Yield(cost)
+        } else {
+            self.halted = true;
+            Step::Halt
+        }
+    }
+
     // ------------------------------------------------------------------
     // continuation-lineage log (armed fault plans only)
     // ------------------------------------------------------------------
@@ -671,7 +832,13 @@ impl Worker {
     /// worker's deque lock and its take step left the lock set forever —
     /// and can never have taken anything (the take is a single atomic
     /// step), so once the holder's death is lease-confirmed the owner may
-    /// clear the word without losing an item.
+    /// clear the word without losing an item. The lock word carries the
+    /// holder's incarnation epoch (see [`lock_word`]): a holder that was
+    /// evicted and rejoined since acquiring is equally gone — its old
+    /// incarnation self-fenced and will never run the take — so an epoch
+    /// gap breaks the lock too. Under the oracle detector the epoch clause
+    /// is redundant (eviction requires confirmation, which this check sees
+    /// first), keeping oracle runs byte-identical.
     pub(crate) fn break_dead_lock(&mut self, now: VTime, world: &mut World) {
         if !self.kills {
             return;
@@ -681,8 +848,8 @@ impl Worker {
         if holder == 0 {
             return;
         }
-        let thief = (holder - 1) as usize;
-        if world.m.confirmed_dead(thief, now) {
+        let (holder_epoch, thief) = lock_holder(holder);
+        if world.m.confirmed_dead(thief, now) || world.m.epoch_of(thief) > holder_epoch {
             world.m.write_own(self.me, addr, 0);
         }
     }
@@ -842,15 +1009,30 @@ impl Actor<World> for Worker {
             world.rt.watch_crash_sleep(until);
             return Step::Yield(until.saturating_sub(now).max(VTime::ns(1)));
         }
+        // Self-fence: the epoch registry moved past our view — a survivor
+        // evicted us (lease expiry; under the message detector possibly a
+        // false suspicion). Everything we hold is stale; quiesce and rejoin
+        // as a fresh incarnation. Under the oracle detector eviction
+        // requires a confirmed death, so the `is_dead` check above always
+        // fires first and this branch is unreachable (byte-identical runs).
+        if self.kills && world.m.epoch_of(me) > self.my_epoch {
+            return self.step_evicted(now, world);
+        }
         match self.state {
             WState::Run => self.step_run(now, world),
             WState::Idle => self.step_idle(now, world),
-            WState::StealTake { victim, t0, bounds } => {
-                self.step_steal_take(now, world, victim, t0, bounds)
-            }
-            WState::StealClaim { victim, top, t0 } => {
-                self.step_steal_claim(now, world, victim, top, t0)
-            }
+            WState::StealTake {
+                victim,
+                t0,
+                bounds,
+                vepoch,
+            } => self.step_steal_take(now, world, victim, t0, bounds, vepoch),
+            WState::StealClaim {
+                victim,
+                top,
+                t0,
+                vepoch,
+            } => self.step_steal_claim(now, world, victim, top, t0, vepoch),
             WState::StealReap { victim } => self.step_steal_reap(now, world, victim),
         }
     }

@@ -63,6 +63,15 @@ pub struct RunStats {
     /// Checkpoint puts of stolen-continuation headers to the thief's buddy
     /// (peer mirroring at steal splits; continuation policies only).
     pub ckpt_puts: u64,
+    // -- imperfect failure detection (always 0 under the oracle) -----------
+    /// Evictions whose victim turned out to be alive: the message detector
+    /// suspected a live worker long enough for its lease to expire, a
+    /// survivor evicted it, and the "corpse" later observed its own
+    /// eviction and self-fenced (rejoining if permitted).
+    pub false_suspects: u64,
+    /// Evicted workers that rejoined as a fresh incarnation (empty deque,
+    /// bumped epoch) instead of halting.
+    pub rejoins: u64,
     // -- fence-free multiplicity (always 0 under other protocols) ----------
     /// Steals that took an already-claimed occupancy: the thief paid the
     /// payload transfer and discarded (the bounded-multiplicity case).

@@ -174,6 +174,12 @@ pub struct Watchdog {
     /// Workers reported lost (fail-stop kills observed so far); names the
     /// suspects in a stall report.
     lost_workers: Vec<usize>,
+    /// Workers currently *suspected* by a message-based failure detector
+    /// (lease expired without a visible heartbeat). Unlike `lost_workers`
+    /// this set is revocable: a delayed beat landing clears the suspicion.
+    /// Always empty under the oracle detector, so oracle stall reports are
+    /// unchanged.
+    suspected: Vec<usize>,
     spawned: u64,
     died: u64,
     max_gap: VTime,
@@ -190,6 +196,7 @@ impl Watchdog {
             live: HashSet::new(),
             lost_tids: HashSet::new(),
             lost_workers: Vec::new(),
+            suspected: Vec::new(),
             spawned: 0,
             died: 0,
             max_gap: VTime::ZERO,
@@ -271,6 +278,30 @@ impl Watchdog {
         self.live.remove(&tid);
     }
 
+    /// A message-based failure detector started suspecting `worker` (its
+    /// lease expired with no visible heartbeat). Suspicion names the worker
+    /// in stall reports but, unlike a confirmed loss, is revocable.
+    pub fn suspect(&mut self, worker: usize) {
+        if !self.suspected.contains(&worker) {
+            self.suspected.push(worker);
+        }
+    }
+
+    /// A delayed heartbeat from `worker` landed: the suspicion was false.
+    pub fn unsuspect(&mut self, worker: usize) {
+        self.suspected.retain(|&w| w != worker);
+    }
+
+    /// A *live* worker was evicted on suspicion and self-fenced, shedding
+    /// `tids` in-flight frames. The frames are discounted exactly like a
+    /// recoverable kill's (replay re-creates the work under fresh ids), but
+    /// the worker is not recorded as lost — it rejoins as a fresh
+    /// incarnation.
+    pub fn worker_evicted(&mut self, worker: usize, tids: &[u64]) {
+        self.lost_tids.extend(tids.iter().copied());
+        self.unsuspect(worker);
+    }
+
     /// An entry free about to happen; `present` says whether the entry's
     /// metadata still exists. Returns true when the free may proceed.
     pub fn check_free(&mut self, entry: u64, present: bool) -> bool {
@@ -290,11 +321,19 @@ impl Watchdog {
         self.max_gap = self.max_gap.max(gap);
         if gap > self.stall_limit {
             self.stall_reported = true;
+            // Confirmed losses first (oracle-order preserved), then any
+            // workers the message detector currently suspects.
+            let mut suspected_dead = self.lost_workers.clone();
+            for &w in &self.suspected {
+                if !suspected_dead.contains(&w) {
+                    suspected_dead.push(w);
+                }
+            }
             self.record(Violation::Stall {
                 at: now,
                 idle_for: gap,
                 last_progress: since,
-                suspected_dead: self.lost_workers.clone(),
+                suspected_dead,
             });
         }
     }
@@ -433,6 +472,66 @@ mod tests {
         assert!(matches!(r.violations[0], Violation::Stall { .. }));
         // Longest silent period: progress at 10us, next progress at 310us.
         assert_eq!(r.max_gap, VTime::us(300));
+    }
+
+    #[test]
+    fn stall_report_names_confirmed_losses_under_the_oracle() {
+        // Oracle detector: deaths are confirmed facts, suspect()/unsuspect()
+        // are never called. The stall report must name exactly the workers
+        // the registry confirmed lost — pinned so detector work cannot
+        // silently change oracle output.
+        let mut w = Watchdog::new(VTime::us(100));
+        w.progress(VTime::us(10));
+        w.worker_lost(2, &[], true);
+        w.check_stall(VTime::us(500));
+        let r = w.finish();
+        assert!(matches!(
+            &r.violations[..],
+            [Violation::Stall { suspected_dead, .. }] if suspected_dead == &vec![2]
+        ));
+    }
+
+    #[test]
+    fn stall_report_names_live_suspects_under_the_message_detector() {
+        // Message detector: nobody is confirmed dead, but worker 1's lease
+        // expired without a visible beat. The stall report must name the
+        // *suspected* worker — and a delayed beat must revoke it.
+        let mut w = Watchdog::new(VTime::us(100));
+        w.progress(VTime::us(10));
+        w.suspect(1);
+        w.suspect(1); // idempotent
+        w.check_stall(VTime::us(500));
+        // Suspicion revoked: the next silent period reports nobody.
+        w.progress(VTime::us(510));
+        w.unsuspect(1);
+        w.check_stall(VTime::us(900));
+        let r = w.finish();
+        assert!(matches!(
+            &r.violations[..],
+            [
+                Violation::Stall { suspected_dead: a, .. },
+                Violation::Stall { suspected_dead: b, .. },
+            ] if a == &vec![1] && b.is_empty()
+        ));
+    }
+
+    #[test]
+    fn eviction_discounts_frames_without_reporting_the_worker_lost() {
+        // A false suspicion evicts a live worker: its in-flight frames are
+        // replayed under fresh ids (discounted like a recoverable kill's),
+        // but the worker itself rejoins — it must not appear as a confirmed
+        // loss in later stall reports.
+        let mut w = Watchdog::new(VTime::us(100));
+        w.spawn(7);
+        w.suspect(4);
+        w.worker_evicted(4, &[7]);
+        w.progress(VTime::us(10));
+        w.check_stall(VTime::us(500));
+        let r = w.finish();
+        assert!(matches!(
+            &r.violations[..],
+            [Violation::Stall { suspected_dead, .. }] if suspected_dead.is_empty()
+        ));
     }
 
     #[test]

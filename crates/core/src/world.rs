@@ -25,6 +25,15 @@ use crate::watchdog::{Watchdog, WatchdogReport};
 /// argument this gives the paper's ~55-byte stolen tasks.
 pub const DESC_BASE: usize = 46;
 
+/// Key of one worker *incarnation* in the eviction [`ClaimSet`]: evicting
+/// `(w, epoch)` is a distinct, exactly-once event per epoch, so a worker
+/// that rejoined as epoch `e+1` can later be evicted again without
+/// colliding with its epoch-`e` eviction claim.
+pub fn evict_key(worker: usize, epoch: u64) -> u64 {
+    debug_assert!(epoch < (1 << 32), "epoch counter overflowed the key split");
+    ((worker as u64) << 32) | epoch
+}
+
 /// An item in a worker's stealable deque.
 pub enum QueueItem {
     /// A continuation (whole suspended stack). `spawned_child` is the entry
@@ -228,9 +237,14 @@ pub struct RtShared {
     /// `w` never completed. Records are marked `done` rather than removed;
     /// empty in healthy runs.
     pub lineage: Vec<Vec<LineageRec>>,
-    /// Per-worker flag: `lineage[w]` was already drained by the first
-    /// worker to confirm `w`'s death (exactly-once replay hand-off).
-    pub lineage_drained: Vec<bool>,
+    /// Eviction arbiter: one claim per `(worker, epoch)` incarnation end
+    /// (see [`evict_key`]). The first survivor to confirm an incarnation's
+    /// death — by oracle confirmation or by suspicion-lease expiry — wins
+    /// the claim, bumps the victim's epoch in the machine registry and
+    /// drains `lineage[w]`'s undone records into the replay pool
+    /// (exactly-once hand-off); every later confirmer of the *same*
+    /// incarnation observes the claim and stands down.
+    pub evictions: ClaimSet,
     /// Replay pool: `(worker, index)` references into `lineage` enqueued by
     /// death confirmers and drained by any idle survivor.
     pub replay_pool: std::collections::VecDeque<(usize, usize)>,
@@ -265,7 +279,7 @@ impl RtShared {
             result: None,
             watch,
             lineage: (0..workers).map(|_| Vec::new()).collect(),
-            lineage_drained: vec![false; workers],
+            evictions: ClaimSet::new(),
             replay_pool: std::collections::VecDeque::new(),
             unrecoverable: None,
             ff_claims: ClaimSet::new(),
@@ -391,6 +405,35 @@ impl RtShared {
             if self.unrecoverable.is_none() {
                 self.unrecoverable = Some((worker, tids, reason));
             }
+        }
+    }
+
+    /// A *live* worker observed its own eviction and self-fenced, shedding
+    /// `tids` in-flight frames (false suspicion by the message detector).
+    /// The frames are discounted like a recoverable kill's — the lineage
+    /// drain replays them under fresh ids — but the worker is not counted
+    /// lost: it rejoins as a fresh incarnation (or halts, if the plan
+    /// disallows rejoin).
+    pub fn note_worker_evicted(&mut self, worker: usize, tids: Vec<u64>) {
+        self.stats.false_suspects += 1;
+        self.stats.tasks_lost += tids.len() as u64;
+        if let Some(w) = &mut self.watch {
+            w.worker_evicted(worker, &tids);
+        }
+    }
+
+    /// The message detector started suspecting `worker` (stall-report
+    /// bookkeeping only; the eviction decision is the scheduler's).
+    pub fn watch_suspect(&mut self, worker: usize) {
+        if let Some(w) = &mut self.watch {
+            w.suspect(worker);
+        }
+    }
+
+    /// A delayed heartbeat cleared the suspicion of `worker`.
+    pub fn watch_unsuspect(&mut self, worker: usize) {
+        if let Some(w) = &mut self.watch {
+            w.unsuspect(worker);
         }
     }
 

@@ -69,6 +69,27 @@ pub const HB_PERIOD_DEFAULT: VTime = VTime::us(25);
 /// Default lease: a worker silent for this long since its last heartbeat is
 /// confirmed dead (8 missed beats at the default period).
 pub const LEASE_DEFAULT: VTime = VTime::us(200);
+/// Nominal flight time of a heartbeat put from the worker's NIC to the lease
+/// registry. Degraded-NIC windows covering the emitter scale it, which is
+/// exactly how a live straggler's lease can expire under the message
+/// detector.
+pub const HB_FLIGHT: VTime = VTime::us(1);
+
+/// How survivors decide that a peer is dead.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Detector {
+    /// Ground-truth detector computed from the kill schedule: a live worker
+    /// is never suspected and a dead one is confirmed exactly `lease` after
+    /// its kill. Sound by construction — the pre-PR-9 behaviour, and still
+    /// the default so every golden stays byte-identical.
+    #[default]
+    Oracle,
+    /// Message-based detector: each worker's beats are fabric puts subject
+    /// to the plan's drop probability and degraded-NIC windows, so lease
+    /// expiry can fire on a *live* worker. The runtime must survive the
+    /// resulting false suspicion (epoch fencing + rejoin).
+    Message,
+}
 
 /// A per-worker time window during which remote operations touching the
 /// worker run `factor`× slower (degraded NIC / congested link).
@@ -119,6 +140,14 @@ pub enum FaultPlanError {
         at: VTime,
         horizon: VTime,
     },
+    /// Two `kill=W@T` clauses name the same worker. A worker fail-stops at
+    /// most once; silently letting the later clause shadow the earlier one
+    /// turns a typo into a different experiment.
+    DuplicateKill { worker: WorkerId },
+    /// Under `detector=message` the suspicion lease is shorter than one
+    /// heartbeat period plus the beat flight time, so even a loss-free
+    /// fabric would suspect live workers continuously.
+    SuspectLeaseTooShort { suspect: VTime, min: VTime },
 }
 
 impl fmt::Display for FaultPlanError {
@@ -134,6 +163,17 @@ impl fmt::Display for FaultPlanError {
                 f,
                 "kill of worker {worker} at {at} lies at or past the declared horizon \
                  {horizon}: it would never fire"
+            ),
+            FaultPlanError::DuplicateKill { worker } => write!(
+                f,
+                "worker {worker} has more than one kill= clause: a worker fail-stops \
+                 at most once"
+            ),
+            FaultPlanError::SuspectLeaseTooShort { suspect, min } => write!(
+                f,
+                "suspect lease {suspect} is shorter than one heartbeat period plus the \
+                 beat flight time ({min}): the message detector would suspect live \
+                 workers even on a loss-free fabric"
             ),
         }
     }
@@ -173,6 +213,16 @@ pub struct FaultPlan {
     pub hb_period: VTime,
     /// Lease: silence beyond this since the last heartbeat confirms death.
     pub lease: VTime,
+    /// How survivors confirm deaths (`detector=` clause).
+    pub detector: Detector,
+    /// Suspicion lease of the message detector (`suspect=` clause): silence
+    /// beyond this since the last *visible* beat suspects the worker. Falls
+    /// back to `lease` when unset. Smaller = more aggressive.
+    pub suspect: Option<VTime>,
+    /// Whether an evicted-but-live worker may rejoin as a fresh incarnation
+    /// (`rejoin=` clause). Defaults on; `rejoin=off` makes false suspicion
+    /// permanent, which is only useful for measuring the cost of rejoin.
+    pub rejoin: bool,
     /// Declared run horizon (`horizon=` clause): the latest virtual time the
     /// caller intends to simulate. Purely a validation aid — kills scheduled
     /// at or past it are rejected instead of silently never firing.
@@ -200,6 +250,9 @@ impl FaultPlan {
             recover: false,
             hb_period: HB_PERIOD_DEFAULT,
             lease: LEASE_DEFAULT,
+            detector: Detector::Oracle,
+            suspect: None,
+            rejoin: true,
             horizon: None,
             seed: 0,
         }
@@ -230,10 +283,23 @@ impl FaultPlan {
     }
 
     /// True when the recovery machinery (lineage, leases, transfer-counted
-    /// termination) must run: either a kill is scheduled or the plan asks
-    /// for it explicitly.
+    /// termination) must run: a kill is scheduled, the plan asks for it
+    /// explicitly, or the message detector is selected (false suspicion can
+    /// evict a live worker, whose in-flight work must then be replayable).
     pub fn recovery_armed(&self) -> bool {
-        self.recover || !self.kill.is_empty()
+        self.recover || !self.kill.is_empty() || self.suspicion_possible()
+    }
+
+    /// True when the detector can suspect a *live* worker (message detector
+    /// selected). Callers that assume confirmation implies death — strict
+    /// leak accounting, the oracle soundness shortcut — must check this.
+    pub fn suspicion_possible(&self) -> bool {
+        self.detector == Detector::Message
+    }
+
+    /// Lease the active detector applies to heartbeat silence.
+    pub fn suspect_lease(&self) -> VTime {
+        self.suspect.unwrap_or(self.lease)
     }
 
     /// First kill time of `worker`, if any.
@@ -270,6 +336,16 @@ impl FaultPlan {
         self
     }
 
+    pub fn with_detector(mut self, detector: Detector) -> FaultPlan {
+        self.detector = detector;
+        self
+    }
+
+    pub fn with_suspect(mut self, suspect: VTime) -> FaultPlan {
+        self.suspect = Some(suspect);
+        self
+    }
+
     /// Parse the CLI spec grammar, a comma-separated list of clauses:
     ///
     /// ```text
@@ -282,6 +358,9 @@ impl FaultPlan {
     /// recover=on          arm recovery machinery without scheduling a kill
     /// hb=T                heartbeat period of the lease registry
     /// lease=T             lease timeout confirming a silent worker dead
+    /// detector=oracle|message   how deaths are confirmed (default oracle)
+    /// suspect=T           message-detector suspicion lease (default: lease)
+    /// rejoin=on|off       evicted live workers rejoin (default on)
     /// horizon=T           declared run horizon; kills must fire before it
     /// ```
     ///
@@ -346,6 +425,25 @@ impl FaultPlan {
                 }
                 "hb" => plan.hb_period = parse_vtime(val)?,
                 "lease" => plan.lease = parse_vtime(val)?,
+                "detector" => {
+                    plan.detector = match val {
+                        "oracle" => Detector::Oracle,
+                        "message" => Detector::Message,
+                        _ => {
+                            return Err(
+                                format!("detector wants oracle/message, got `{val}`").into()
+                            )
+                        }
+                    };
+                }
+                "suspect" => plan.suspect = Some(parse_vtime(val)?),
+                "rejoin" => {
+                    plan.rejoin = match val {
+                        "on" | "true" | "1" => true,
+                        "off" | "false" | "0" => false,
+                        _ => return Err(format!("rejoin wants on/off, got `{val}`").into()),
+                    };
+                }
                 "horizon" => plan.horizon = Some(parse_vtime(val)?),
                 _ => return Err(format!("unknown fault clause `{key}`").into()),
             }
@@ -370,6 +468,20 @@ impl FaultPlan {
                     worker: k.worker,
                     at: k.at,
                     horizon,
+                });
+            }
+        }
+        for (i, k) in self.kill.iter().enumerate() {
+            if self.kill[..i].iter().any(|p| p.worker == k.worker) {
+                return Err(FaultPlanError::DuplicateKill { worker: k.worker });
+            }
+        }
+        if self.detector == Detector::Message {
+            let min = self.hb_period + HB_FLIGHT;
+            if self.suspect_lease() < min {
+                return Err(FaultPlanError::SuspectLeaseTooShort {
+                    suspect: self.suspect_lease(),
+                    min,
                 });
             }
         }
@@ -428,6 +540,15 @@ impl fmt::Display for FaultPlan {
         }
         if self.lease != LEASE_DEFAULT {
             clause(f, format_args!("lease={}ns", self.lease.as_ns()))?;
+        }
+        if self.detector == Detector::Message {
+            clause(f, format_args!("detector=message"))?;
+        }
+        if let Some(s) = self.suspect {
+            clause(f, format_args!("suspect={}ns", s.as_ns()))?;
+        }
+        if !self.rejoin {
+            clause(f, format_args!("rejoin=off"))?;
         }
         if let Some(h) = self.horizon {
             clause(f, format_args!("horizon={}ns", h.as_ns()))?;
@@ -554,14 +675,86 @@ impl FaultState {
         matches!(self.kill_at[worker], Some(t) if at >= t)
     }
 
-    /// Has `worker`'s lease expired at `at`? The heartbeat registry is a
-    /// deterministic pure function of the kill schedule: `worker` beats
-    /// every `hb_period` until it dies, so a live worker is never confirmed
-    /// (soundness), and a dead one is confirmed once `lease` has elapsed
-    /// since its kill.
+    /// Does the active detector consider `worker` dead at `at`?
+    ///
+    /// * `detector=oracle`: ground truth — the lease registry is a pure
+    ///   function of the kill schedule, so a live worker is never confirmed
+    ///   and a dead one is confirmed exactly `lease` after its kill.
+    /// * `detector=message`: beats travel over the lossy fabric, so this is
+    ///   mere *suspicion* — it fires on a dead worker once its beats stop,
+    ///   but can also fire on a live worker whose beats were dropped or
+    ///   delayed past the suspicion lease. Callers must treat a confirmed
+    ///   worker as evicted, not as provably dead.
     #[inline]
     pub fn confirmed_dead(&self, worker: WorkerId, at: VTime) -> bool {
-        matches!(self.kill_at[worker], Some(t) if at >= t + self.plan.lease)
+        match self.plan.detector {
+            Detector::Oracle => {
+                matches!(self.kill_at[worker], Some(t) if at >= t + self.plan.lease)
+            }
+            Detector::Message => self.suspected(worker, at),
+        }
+    }
+
+    /// Message-detector view: is `worker` suspected at `at` because no beat
+    /// of its became visible within the suspicion lease?
+    ///
+    /// The beat sequence is a deterministic pure function of the plan: beat
+    /// `k` is emitted at `k·hb_period` while the worker lives, dropped with
+    /// probability `msg_drop_p` (hashed from `(seed, worker, k)`, so repeated
+    /// queries agree), and becomes visible [`HB_FLIGHT`] later — scaled by
+    /// any degraded-NIC window covering the emitter, which is how a live
+    /// straggler gets falsely suspected. Beat 0 is the registration write
+    /// and is never dropped, so a worker is only suspected after startup
+    /// grace (`at ≥ suspect lease`).
+    pub fn suspected(&self, worker: WorkerId, at: VTime) -> bool {
+        let s = self.plan.suspect_lease();
+        if at < s {
+            return false;
+        }
+        let period = self.plan.hb_period.as_ns().max(1);
+        // A beat emitted before the window start can still land inside it
+        // after a degraded flight; widen the scan by the worst-case flight.
+        let max_factor = self
+            .plan
+            .degrade
+            .iter()
+            .filter(|d| d.worker == worker)
+            .map(|d| d.factor)
+            .fold(1.0, f64::max);
+        let max_flight = HB_FLIGHT.scale(max_factor);
+        let lo = (at - s).as_ns().saturating_sub(max_flight.as_ns()) / period;
+        let hi = at.as_ns() / period;
+        for k in lo..=hi {
+            let emit = VTime::ns(k * period);
+            if matches!(self.kill_at[worker], Some(t) if emit >= t) {
+                break; // beats stop at the kill
+            }
+            if k > 0 && self.beat_dropped(worker, k) {
+                continue;
+            }
+            let flight = HB_FLIGHT.scale(self.degrade_factor(worker, worker, emit));
+            let visible = emit + flight;
+            // Not suspected iff some beat is visible in (at - s, at].
+            if visible > at - s && visible <= at {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Deterministic per-(plan, worker, beat) drop draw, independent of every
+    /// other RNG stream so querying suspicion never perturbs the run.
+    fn beat_dropped(&self, worker: WorkerId, k: u64) -> bool {
+        if self.plan.msg_drop_p <= 0.0 {
+            return false;
+        }
+        let mut s = self.plan.seed
+            ^ 0x5EED_BEA7_0000_0000
+            ^ ((worker as u64) << 32)
+            ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let x = crate::rng::splitmix64(&mut s);
+        let u = (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < self.plan.msg_drop_p
     }
 
     /// Has a heartbeat from `worker` been published strictly after `since`
@@ -872,6 +1065,149 @@ mod tests {
     }
 
     #[test]
+    fn parse_rejects_duplicate_kill() {
+        // Same worker twice: typed error, whatever the times are.
+        let err = FaultPlan::parse("kill=2@4ms,kill=2@9ms").unwrap_err();
+        assert_eq!(err, FaultPlanError::DuplicateKill { worker: 2 });
+        assert!(err.to_string().contains("more than one kill"), "{err}");
+        assert!(matches!(
+            FaultPlan::parse("kill=1@5us,kill=0@9us,kill=1@5us"),
+            Err(FaultPlanError::DuplicateKill { worker: 1 })
+        ));
+        // Distinct workers still parse.
+        assert!(FaultPlan::parse("kill=1@5us,kill=0@9us").is_ok());
+        // Programmatic construction trips the same validation.
+        let p = FaultPlan::none()
+            .with_kill(3, VTime::us(1))
+            .with_kill(3, VTime::us(2));
+        assert_eq!(
+            p.validate(),
+            Err(FaultPlanError::DuplicateKill { worker: 3 })
+        );
+    }
+
+    #[test]
+    fn parse_detector_suspect_rejoin() {
+        let p = FaultPlan::parse("detector=message,suspect=40us,rejoin=off").unwrap();
+        assert_eq!(p.detector, Detector::Message);
+        assert_eq!(p.suspect, Some(VTime::us(40)));
+        assert!(!p.rejoin);
+        assert!(p.suspicion_possible());
+        // Message detector alone arms recovery: false suspicion must be
+        // survivable even with no kill scheduled.
+        assert!(p.recovery_armed() && p.is_active());
+        assert_eq!(p.suspect_lease(), VTime::us(40));
+        // Defaults: oracle, no suspicion, rejoin on, suspect falls back to
+        // the lease.
+        let d = FaultPlan::none();
+        assert_eq!(d.detector, Detector::Oracle);
+        assert!(d.rejoin && !d.suspicion_possible());
+        assert_eq!(d.suspect_lease(), d.lease);
+        // Round-trip of the new clauses.
+        assert_eq!(FaultPlan::parse(&p.to_string()).unwrap(), p);
+        assert!(FaultPlan::parse("detector=gossip").is_err());
+        assert!(FaultPlan::parse("rejoin=maybe").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_too_aggressive_suspect_lease() {
+        // hb=25us default + 1us flight: suspect below 26us would suspect
+        // live workers even loss-free.
+        let err = FaultPlan::parse("detector=message,suspect=20us").unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::SuspectLeaseTooShort {
+                suspect: VTime::us(20),
+                min: HB_PERIOD_DEFAULT + HB_FLIGHT,
+            }
+        );
+        assert!(err.to_string().contains("suspect lease"), "{err}");
+        assert!(FaultPlan::parse("detector=message,suspect=26us").is_ok());
+        // Under the oracle the suspect lease is inert and unvalidated.
+        assert!(FaultPlan::parse("suspect=1ns").is_ok());
+    }
+
+    #[test]
+    fn message_detector_loss_free_never_suspects_live_workers() {
+        let plan = FaultPlan::none()
+            .with_detector(Detector::Message)
+            .with_suspect(VTime::us(30));
+        let fs = FaultState::new(plan, 2);
+        for t in (0..2_000).map(|k| VTime::us(k)) {
+            assert!(!fs.suspected(0, t), "falsely suspected at {t}");
+            assert!(!fs.confirmed_dead(0, t));
+        }
+    }
+
+    #[test]
+    fn message_detector_suspects_dead_workers() {
+        let plan = FaultPlan::none()
+            .with_kill(1, VTime::us(60))
+            .with_detector(Detector::Message)
+            .with_suspect(VTime::us(30));
+        let fs = FaultState::new(plan, 2);
+        // Last beat emitted at 50us, visible 51us; suspicion holds from
+        // 81us on (and forever, since beats never resume).
+        assert!(!fs.suspected(1, VTime::us(80)));
+        assert!(fs.suspected(1, VTime::us(82)));
+        assert!(fs.suspected(1, VTime::ms(50)));
+        assert!(fs.confirmed_dead(1, VTime::ms(50)));
+    }
+
+    #[test]
+    fn degraded_nic_window_causes_false_suspicion() {
+        // Worker 1 is alive the whole run, but a 50× degraded NIC inflates
+        // its beat flight to 50us > the 30us suspicion lease: the detector
+        // falsely suspects it, then clears once beats land again.
+        let plan = FaultPlan::none()
+            .with_degrade(DegradeWindow {
+                worker: 1,
+                from: VTime::ZERO,
+                until: VTime::us(500),
+                factor: 50.0,
+            })
+            .with_detector(Detector::Message)
+            .with_suspect(VTime::us(30));
+        let fs = FaultState::new(plan, 2);
+        // Beat 0 emitted at 0 is visible at 50us; nothing is visible in
+        // (5us, 35us] so worker 1 is suspected at 35us...
+        assert!(fs.suspected(1, VTime::us(35)));
+        // ...but unsuspected once the delayed beats land (50us, 75us, ...).
+        assert!(!fs.suspected(1, VTime::us(55)));
+        // The undegraded worker 0 is never suspected.
+        for t in (0..600).map(|k| VTime::us(k)) {
+            assert!(!fs.suspected(0, t));
+        }
+        // Under the oracle the same plan confirms nobody (ground truth).
+        let mut oracle = fs.plan().clone();
+        oracle.detector = Detector::Oracle;
+        let ofs = FaultState::new(oracle, 2);
+        assert!(!ofs.confirmed_dead(1, VTime::us(35)));
+    }
+
+    #[test]
+    fn beat_drops_are_deterministic() {
+        let mut plan = FaultPlan::none()
+            .with_detector(Detector::Message)
+            .with_suspect(VTime::us(60));
+        plan.msg_drop_p = 0.5;
+        plan.seed = 9;
+        let a = FaultState::new(plan.clone(), 4);
+        let b = FaultState::new(plan, 4);
+        let mut suspected_somewhere = false;
+        for w in 0..4 {
+            for t in (0..4_000).map(|k| VTime::us(k)) {
+                assert_eq!(a.suspected(w, t), b.suspected(w, t));
+                suspected_somewhere |= a.suspected(w, t);
+            }
+        }
+        assert!(
+            suspected_somewhere,
+            "p=0.5 drops with a 60us lease must falsely suspect somebody"
+        );
+    }
+
+    #[test]
     fn kill_death_and_lease_semantics() {
         let plan = FaultPlan::none().with_kill(1, VTime::ms(1));
         let lease = plan.lease;
@@ -916,6 +1252,9 @@ mod tests {
             lease_extra_us in 0u64..1000,
             default_registry in proptest::bool::ANY,
             with_horizon in proptest::bool::ANY,
+            message in proptest::bool::ANY,
+            suspect_extra_us in 0u64..500,
+            rejoin in proptest::bool::ANY,
         ) {
             let mut p = FaultPlan::none();
             p.verb_fail_p = verb_m as f64 * 0.005;
@@ -933,7 +1272,10 @@ mod tests {
                 p.crash.push(CrashWindow { worker: w, from: VTime::ns(from), until: VTime::ns(from + len) });
             }
             for (w, at) in kill {
-                p.kill.push(KillEvent { worker: w, at: VTime::ns(at) });
+                // At most one kill per worker (DuplicateKill is validated).
+                if p.kill.iter().all(|k| k.worker != w) {
+                    p.kill.push(KillEvent { worker: w, at: VTime::ns(at) });
+                }
             }
             p.recover = recover;
             if !default_registry {
@@ -942,6 +1284,12 @@ mod tests {
                 p.hb_period = VTime::us(hb_us);
                 p.lease = VTime::us(hb_us + lease_extra_us);
             }
+            if message {
+                p.detector = Detector::Message;
+                // The suspicion lease must cover a beat period plus flight.
+                p.suspect = Some(p.hb_period + HB_FLIGHT + VTime::us(suspect_extra_us));
+            }
+            p.rejoin = rejoin;
             if with_horizon {
                 // The horizon must lie strictly past every kill to be valid.
                 let last = p.kill.iter().map(|k| k.at).max().unwrap_or(VTime::ZERO);

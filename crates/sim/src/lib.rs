@@ -40,7 +40,7 @@ pub mod time;
 pub mod topology;
 
 pub use engine::{Actor, Engine, ScheduleHook, Step};
-pub use fault::{CrashWindow, DegradeWindow, FaultPlan, KillEvent, MsgFate};
+pub use fault::{CrashWindow, DegradeWindow, Detector, FaultPlan, KillEvent, MsgFate};
 pub use latency::{profiles, LatencyModel, MachineProfile};
 pub use machine::{Completion, FabricMode, FabricStats, Machine, MachineConfig, VerbHandle};
 pub use mailbox::Mailbox;

@@ -149,6 +149,11 @@ pub struct FabricStats {
     /// of each [`Machine::chain_begin`] chain, charged the configured
     /// fraction of `injection` instead of the full CPU post cost.
     pub doorbell_chained: u64,
+    /// Recovery-relevant verbs rejected by the epoch fence: the issuer's
+    /// view of the target's incarnation (or of its own) was stale, so the
+    /// verb was refused instead of tearing post-eviction state. See
+    /// [`Machine::fence_verb`].
+    pub fenced_verbs: u64,
 }
 
 impl FabricStats {
@@ -174,6 +179,7 @@ impl FabricStats {
             max_inflight,
             cq_polls,
             doorbell_chained,
+            fenced_verbs,
         } = *o;
         self.remote_gets += remote_gets;
         self.remote_puts += remote_puts;
@@ -191,6 +197,7 @@ impl FabricStats {
         self.max_inflight = self.max_inflight.max(max_inflight);
         self.cq_polls += cq_polls;
         self.doorbell_chained += doorbell_chained;
+        self.fenced_verbs += fenced_verbs;
     }
 }
 
@@ -256,6 +263,13 @@ pub struct Machine {
     /// Fault-injection state; `None` when the plan is inactive, which makes
     /// the fault layer literally free (one branch per verb).
     faults: Option<Box<FaultState>>,
+    /// Per-worker incarnation epochs of the cluster-membership view. Bumped
+    /// by [`Machine::evict`] when a worker is confirmed dead (rightly or,
+    /// under the message detector, wrongly); recovery-relevant verbs carry
+    /// the issuer's epoch view and are refused by [`Machine::fence_verb`]
+    /// when it is stale. All-zero for the entire run unless an eviction
+    /// happens, so healthy runs are untouched.
+    epochs: Vec<u64>,
     /// Global termination flag. In a real deployment this is a tiny
     /// RDMA-broadcast epoch counter; idle loops poll it at local cost.
     done: bool,
@@ -273,6 +287,7 @@ impl Machine {
             .faults
             .is_active()
             .then(|| Box::new(FaultState::new(cfg.faults.clone(), cfg.workers)));
+        let epochs = vec![0; cfg.workers];
         Machine {
             cfg,
             segments,
@@ -280,6 +295,7 @@ impl Machine {
             cqs,
             chain,
             faults,
+            epochs,
             done: false,
         }
     }
@@ -495,6 +511,67 @@ impl Machine {
         } else {
             None
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Incarnation epochs (cluster-membership view)
+    // ------------------------------------------------------------------
+
+    /// Current incarnation epoch of `worker`. 0 until its first eviction.
+    #[inline]
+    pub fn epoch_of(&self, worker: WorkerId) -> u64 {
+        self.epochs[worker]
+    }
+
+    /// Evict `worker`'s current incarnation: bump its epoch so every verb
+    /// still tagged with the old one is refused from here on. Called by the
+    /// first confirmer (ClaimSet-arbitrated on the scheduler side, so the
+    /// bump happens exactly once per incarnation). Returns the new epoch.
+    ///
+    /// In a real deployment this is a membership write to the same
+    /// well-known registry the heartbeats land in; survivors piggyback the
+    /// refreshed view on their next lease read, which the idle loop already
+    /// charges for.
+    pub fn evict(&mut self, worker: WorkerId) -> u64 {
+        self.epochs[worker] += 1;
+        self.epochs[worker]
+    }
+
+    /// Epoch fence for a recovery-relevant verb issued by `me` under the
+    /// view that `target` is at incarnation `view`. Returns `true` — and
+    /// counts it in [`FabricStats::fenced_verbs`] — when the view is stale
+    /// and the verb must not happen (the target NIC would reject the
+    /// stale-tagged work request). Purely a host-side comparison against
+    /// the locally cached membership view: no fabric verbs, no cost —
+    /// the issuer learns nothing it wasn't already charged for.
+    ///
+    /// Self-fences (`target == me`) are how a zombie observes its own
+    /// eviction: its next step sees its epoch moved on and quiesces instead
+    /// of issuing the verb.
+    #[inline]
+    pub fn fence_verb(&mut self, me: WorkerId, view: u64, target: WorkerId) -> bool {
+        if self.epochs[target] > view {
+            self.stats[me].fenced_verbs += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True when the loaded plan's detector can falsely suspect a live
+    /// worker (message detector). Strict accounting must be off then.
+    #[inline]
+    pub fn suspicion_possible(&self) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|fs| fs.plan().suspicion_possible())
+    }
+
+    /// True when an evicted-but-live worker may rejoin as a fresh
+    /// incarnation (the plan's `rejoin=` clause; on by default).
+    #[inline]
+    pub fn rejoin_allowed(&self) -> bool {
+        self.faults.as_ref().is_some_and(|fs| fs.plan().rejoin)
     }
 
     // ------------------------------------------------------------------
@@ -961,6 +1038,7 @@ mod tests {
             max_inflight: 12,
             cq_polls: 13,
             doorbell_chained: 14,
+            fenced_verbs: 15,
         };
         let b = FabricStats {
             remote_gets: 100,
@@ -977,6 +1055,7 @@ mod tests {
             max_inflight: 1200,
             cq_polls: 1300,
             doorbell_chained: 1400,
+            fenced_verbs: 1500,
         };
         a.merge(&b);
         assert_eq!(a.remote_gets, 101);
@@ -995,6 +1074,7 @@ mod tests {
         assert_eq!(a.max_inflight, 1200);
         assert_eq!(a.cq_polls, 1313);
         assert_eq!(a.doorbell_chained, 1414);
+        assert_eq!(a.fenced_verbs, 1515);
         assert_eq!(a.remote_total(), 101 + 202 + 303);
         // And max_inflight keeps the larger side when it is the accumulator.
         let mut c = FabricStats { max_inflight: 9000, ..FabricStats::default() };
@@ -1025,6 +1105,28 @@ mod tests {
         // Lease confirmation trails ground truth.
         assert!(!m.confirmed_dead(1, VTime::us(60)));
         assert!(m.confirmed_dead(1, VTime::us(50) + m.fault_plan().unwrap().lease));
+    }
+
+    #[test]
+    fn epoch_fence_rejects_stale_views_and_counts() {
+        let mut m = machine(3);
+        assert_eq!(m.epoch_of(1), 0);
+        // Fresh views pass for free.
+        assert!(!m.fence_verb(0, 0, 1));
+        assert_eq!(m.stats(0).fenced_verbs, 0);
+        // Evict worker 1: epoch moves to 1, every view-0 verb is refused.
+        assert_eq!(m.evict(1), 1);
+        assert!(m.fence_verb(0, 0, 1));
+        assert!(!m.fence_verb(0, 1, 1), "refreshed view passes again");
+        // Self-fence: the zombie's own view of itself is stale.
+        assert!(m.fence_verb(1, 0, 1));
+        assert_eq!(m.stats(0).fenced_verbs, 1);
+        assert_eq!(m.stats(1).fenced_verbs, 1);
+        // Epochs are per worker; worker 2 is untouched.
+        assert_eq!(m.epoch_of(2), 0);
+        assert!(!m.fence_verb(0, 0, 2));
+        // No plan loaded: suspicion impossible, rejoin moot.
+        assert!(!m.suspicion_possible() && !m.rejoin_allowed());
     }
 
     #[test]

@@ -30,7 +30,7 @@ done
 cargo build --release -p dcs-bench
 
 mkdir -p results
-for bin in fig6 fig6_protocols table2 fig7 fig8 fig9 table3 fig12 ablate_free ablate_join ablate_uniaddr ablate_topology ablate_stealhalf ablate_faults ablate_recovery ablate_overlap; do
+for bin in fig6 fig6_protocols table2 fig7 fig8 fig9 table3 fig12 ablate_free ablate_join ablate_uniaddr ablate_topology ablate_stealhalf ablate_faults ablate_recovery ablate_suspicion ablate_overlap; do
     echo "=== running $bin ==="
     start=$(date +%s)
     ./target/release/$bin "${JOBS_ARGS[@]}" 2>&1 | tee "results/$bin.txt"
