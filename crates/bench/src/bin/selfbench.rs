@@ -50,6 +50,94 @@ fn json_escape_free(s: &str) -> &str {
     s
 }
 
+/// Worker-scaling record: one (workload, W) cell of the headline sweep.
+struct ScaleCell {
+    workload: &'static str,
+    workers: usize,
+    steps: u64,
+    host_ms: f64,
+    steps_per_sec: f64,
+    vtime_us: f64,
+    peak_resident_bytes: u64,
+}
+
+/// Constant-size workloads on cubish 3-D meshes at growing worker counts.
+/// The point is the *engine*, not the workload: with the O(active) paths
+/// (indexed event queue, lazy mailboxes/segments, sparse runtime maps) the
+/// host cost per step and the simulated peak resident bytes should both
+/// stay ~O(touched state), not O(W) per step / O(W·seg) resident.
+fn scaling_build(name: &str, workers: usize) -> (RunConfig, Program) {
+    let mut cfg = RunConfig::new(workers, Policy::ContGreedy)
+        .with_seed(0x5CA1E)
+        .with_topology(Topology::cubish_mesh(workers, 48))
+        .with_seg_bytes(2 << 20)
+        .with_strict(false);
+    // Small tree over many workers: shrink the per-worker fixed rings so
+    // the simulated footprint reflects live state, not default capacity.
+    cfg.deque_cap = 512;
+    cfg.freeq_cap = 256;
+    cfg.stack_slot = 8 << 10;
+    let program = match name {
+        "uts" => uts::program(presets::tiny()),
+        // Scaled-down RecPFor: the paper instance's ~100 ms of work would
+        // make the 100k-worker cell simulate billions of idle steps; a
+        // sub-millisecond makespan keeps the cell about the same weight as
+        // the UTS one while still exercising the loop-nest spawn shape.
+        _ => recpfor_program(PforParams {
+            n: 64,
+            k: 2,
+            m: VTime::us(2),
+        }),
+    };
+    (cfg, program)
+}
+
+fn scaling_sweep() -> Vec<ScaleCell> {
+    let scales: &[usize] = if quick() {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    println!("=== worker scaling: cubish_mesh(W, node = 48) ===");
+    println!(
+        "{:<10} {:>8} {:>12} {:>10} {:>14} {:>12} {:>14}",
+        "workload", "workers", "steps", "host ms", "steps/s", "vtime", "peak bytes"
+    );
+    let mut out = Vec::new();
+    for &w in scales {
+        for name in ["uts", "recpfor"] {
+            let (cfg, program) = scaling_build(name, w);
+            let t0 = Instant::now();
+            let r = run(cfg, program);
+            let host = t0.elapsed();
+            let host_ms = host.as_secs_f64() * 1e3;
+            let sps = r.steps as f64 / host.as_secs_f64().max(1e-9);
+            let peak = r.fabric.peak_resident_bytes;
+            println!(
+                "{:<10} {:>8} {:>12} {:>10.1} {:>14.0} {:>12} {:>14}",
+                name,
+                w,
+                r.steps,
+                host_ms,
+                sps,
+                r.elapsed.to_string(),
+                peak
+            );
+            out.push(ScaleCell {
+                workload: name,
+                workers: w,
+                steps: r.steps,
+                host_ms,
+                steps_per_sec: sps,
+                vtime_us: r.elapsed.as_secs_f64() * 1e6,
+                peak_resident_bytes: peak,
+            });
+        }
+    }
+    println!();
+    out
+}
+
 fn main() {
     let jobs = sweep::jobs_or_exit();
     let host_cores = sweep::available_jobs();
@@ -57,6 +145,9 @@ fn main() {
 
     println!("=== selfbench: simulator host throughput ===");
     println!("host cores: {host_cores}; sweep pass uses --jobs {jobs}\n");
+
+    // Phase 0 (headline): worker-scaling sweep on cubish meshes.
+    let scaling = scaling_sweep();
 
     // Phase 1: single-run engine throughput (actor steps per host second).
     println!(
@@ -131,6 +222,23 @@ fn main() {
     let _ = writeln!(j, "  \"host_cores\": {host_cores},");
     let _ = writeln!(j, "  \"jobs\": {jobs},");
     let _ = writeln!(j, "  \"quick\": {},", quick());
+    j.push_str("  \"worker_scaling\": [\n");
+    for (i, c) in scaling.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"workload\": \"{}\", \"workers\": {}, \"steps\": {}, \"host_ms\": {:.3}, \
+             \"steps_per_sec\": {:.0}, \"vtime_us\": {:.3}, \"peak_resident_bytes\": {}}}{}",
+            json_escape_free(c.workload),
+            c.workers,
+            c.steps,
+            c.host_ms,
+            c.steps_per_sec,
+            c.vtime_us,
+            c.peak_resident_bytes,
+            if i + 1 < scaling.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n");
     j.push_str("  \"single_runs\": [\n");
     for (i, (name, steps, host_ms, sps)) in singles.iter().enumerate() {
         let _ = writeln!(

@@ -258,12 +258,17 @@ impl Recovery {
 
     /// Root coverage: the root task is a batch recorded at the host. When
     /// its holder is confirmed dead, the lowest live worker re-injects it
-    /// and becomes the holder. `dead` is the caller's confirmed-dead set;
-    /// soundness of confirmation (live workers are never confirmed) makes
-    /// "all lower ids confirmed dead" hold for at most one live worker.
-    /// Returns true if `me` adopted (it must bump `created` by 1).
-    pub fn maybe_adopt_root(&mut self, me: WorkerId, dead: &[bool], bag: &mut Vec<Task>) -> bool {
-        if dead[self.root_holder] && (0..me).all(|j| dead[j]) {
+    /// and becomes the holder. `dead` is the caller's sparse confirmed-dead
+    /// set; soundness of confirmation (live workers are never confirmed)
+    /// makes "all lower ids confirmed dead" hold for at most one live
+    /// worker. Returns true if `me` adopted (it must bump `created` by 1).
+    pub fn maybe_adopt_root(
+        &mut self,
+        me: WorkerId,
+        dead: &std::collections::BTreeSet<WorkerId>,
+        bag: &mut Vec<Task>,
+    ) -> bool {
+        if dead.contains(&self.root_holder) && dead.range(..me).count() == me {
             bag.push(self.root_task);
             self.root_holder = me;
             self.reexec_tasks += 1;
@@ -414,8 +419,8 @@ mod tests {
     fn root_adoption_goes_to_lowest_live() {
         let mut r = Recovery::new(4, Task::Range(0, 10));
         let mut bag = Vec::new();
-        let mut dead = vec![false; 4];
-        dead[0] = true;
+        let mut dead = std::collections::BTreeSet::new();
+        dead.insert(0);
         // Worker 2 is not the lowest live worker (1 is): no adoption.
         assert!(!r.maybe_adopt_root(2, &dead, &mut bag));
         assert!(r.maybe_adopt_root(1, &dead, &mut bag));

@@ -118,7 +118,12 @@ struct BotWorker {
     /// Last token round this worker forwarded (non-initiators).
     forwarded_round: u64,
     /// Peers this worker has confirmed dead via the lease registry.
-    dead: Vec<bool>,
+    /// Sparse: only confirmed workers appear, so scans over it cost
+    /// O(confirmed), not O(W).
+    dead: std::collections::BTreeSet<WorkerId>,
+    /// Position in the machine's death-candidate feed
+    /// ([`Machine::death_candidates`]); replaces an O(W) sweep per scan.
+    death_cursor: usize,
     steals_ok: u64,
     steals_failed: u64,
     halted: bool,
@@ -164,25 +169,36 @@ impl BotWorker {
 
     /// The lowest worker this one has not confirmed dead — every live
     /// worker converges on the same answer because confirmation is sound.
+    /// The dead set is sorted, so this walks its prefix: O(confirmed).
     fn initiator(&self) -> WorkerId {
-        (0..self.n).find(|&p| !self.dead[p]).expect("self is never confirmed dead")
+        let mut c = 0;
+        for &d in &self.dead {
+            if d == c {
+                c += 1;
+            } else {
+                break;
+            }
+        }
+        debug_assert!(c < self.n, "self is never confirmed dead");
+        c
     }
 
     /// Next ring successor not confirmed dead; `None` when every other
-    /// worker is.
+    /// worker is. Skips only confirmed-dead peers, so the walk costs
+    /// O(confirmed), not O(W).
     fn succ_live(&self) -> Option<WorkerId> {
         (1..self.n)
             .map(|d| (self.me + d) % self.n)
-            .find(|&p| !self.dead[p])
+            .find(|p| !self.dead.contains(p))
     }
 
     /// Mark `d` confirmed dead: replay my lineage batches to it and adopt
     /// the root if I am now responsible for it.
     fn confirm(&mut self, d: WorkerId, w: &mut BotWorld) -> VTime {
-        if d == self.me || self.dead[d] {
+        if d == self.me || self.dead.contains(&d) {
             return VTime::ZERO;
         }
-        self.dead[d] = true;
+        self.dead.insert(d);
         if self.token_outstanding {
             // The outstanding round's token may have died in the dead
             // worker's slot. Abandon the round — burning its sequence
@@ -207,10 +223,23 @@ impl BotWorker {
     /// peer whose lease has expired. The scan itself is step bookkeeping
     /// over a local mirror (like the `self.dead` checks) and charges
     /// nothing; only an actual confirmation costs time.
+    ///
+    /// Driven by the machine's death-candidate feed: only workers whose
+    /// suspicion status could have changed since the last scan are
+    /// re-checked, so total scan cost over a run is O(status changes)
+    /// instead of O(W) per step. Candidates are processed in increasing id
+    /// order, matching the old `0..n` sweep's confirmation order.
     fn scan_confirm(&mut self, now: VTime, w: &mut BotWorld) -> VTime {
+        let mut cands: Vec<WorkerId> = Vec::new();
+        w.m.death_candidates(&mut self.death_cursor, now, &mut cands);
+        if cands.is_empty() {
+            return VTime::ZERO;
+        }
+        cands.sort_unstable();
+        cands.dedup();
         let mut cost = VTime::ZERO;
-        for p in 0..self.n {
-            if p != self.me && !self.dead[p] && w.m.confirmed_dead(p, now) {
+        for p in cands {
+            if p != self.me && !self.dead.contains(&p) && w.m.confirmed_dead(p, now) {
                 cost += self.confirm(p, w);
             }
         }
@@ -301,8 +330,7 @@ impl BotWorker {
                 // worker folded its counters before replaying its lineage
                 // to the newly dead peer.
                 let start = VTime::ns(tok.start_ns);
-                let stable =
-                    (0..self.n).all(|d| !self.dead[d] || w.m.confirmed_dead(d, start));
+                let stable = self.dead.iter().all(|&d| w.m.confirmed_dead(d, start));
                 let done = self.detector.round_done(tok.created, tok.consumed) && stable;
                 w.token_rounds = w.token_rounds.max(self.detector.rounds);
                 if done {
@@ -339,7 +367,7 @@ impl BotWorker {
             // predate the eviction's lineage replay).
             let seeder = round_initiator(tok.round);
             if tok.round > self.forwarded_round
-                && !self.dead[seeder]
+                && !self.dead.contains(&seeder)
                 && !round_from_old_incarnation(tok.round, w.m.epoch_of(seeder))
             {
                 if let Some(fail) = w.m.dead_guard(me, succ, now) {
@@ -360,7 +388,7 @@ impl BotWorker {
         if lock != 0 {
             if self.armed {
                 let holder = (lock - 1) as usize;
-                if self.dead[holder] || w.m.confirmed_dead(holder, now) {
+                if self.dead.contains(&holder) || w.m.confirmed_dead(holder, now) {
                     // The take is a single atomic step, so a thief that died
                     // holding our lock transferred nothing: break the lock.
                     let mut cost = self.confirm(holder, w);
@@ -418,7 +446,7 @@ impl BotWorker {
             let victim = self.rng.victim(self.n, me);
             let mut attempt = true;
             if self.armed {
-                if self.dead[victim] {
+                if self.dead.contains(&victim) {
                     self.steals_failed += 1;
                     attempt = false;
                 } else if let Some(fail) = w.m.dead_guard(me, victim, now) {
@@ -820,7 +848,8 @@ fn build(
             detector: Detector::default(),
             token_outstanding: false,
             forwarded_round: 0,
-            dead: vec![false; workers],
+            dead: std::collections::BTreeSet::new(),
+            death_cursor: 0,
             steals_ok: 0,
             steals_failed: 0,
             halted: false,

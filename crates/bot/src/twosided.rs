@@ -131,12 +131,20 @@ struct TwoWorker {
     /// Next sequence number for task-carrying sends.
     send_seq: u64,
     /// Highest task-message sequence accepted per sender (dup filter).
-    seen_seq: Vec<u64>,
+    /// Sparse: only senders this worker has actually heard from appear;
+    /// an absent entry means sequence 0.
+    seen_seq: std::collections::BTreeMap<WorkerId, u64>,
     /// Peers this worker has confirmed dead via the lease registry.
-    dead: Vec<bool>,
+    /// Sparse: only confirmed workers appear, so scans over it cost
+    /// O(confirmed), not O(W).
+    dead: std::collections::BTreeSet<WorkerId>,
+    /// Position in the machine's death-candidate feed
+    /// ([`Machine::death_candidates`]); replaces an O(W) sweep per scan.
+    death_cursor: usize,
     /// Tasks sent to / received from each peer (recovery bookkeeping).
-    sent_to: Vec<u64>,
-    recv_from: Vec<u64>,
+    /// Sparse: only channels that actually carried tasks appear.
+    sent_to: std::collections::BTreeMap<WorkerId, u64>,
+    recv_from: std::collections::BTreeMap<WorkerId, u64>,
     /// Totals excluded from the `sent`/`recv` folds: channel traffic with
     /// peers now confirmed dead.
     sent_dead: u64,
@@ -162,16 +170,27 @@ impl TwoWorker {
         out
     }
 
-    /// The lowest worker this one has not confirmed dead.
+    /// The lowest worker this one has not confirmed dead. The dead set is
+    /// sorted, so this walks its prefix: O(confirmed).
     fn initiator(&self) -> WorkerId {
-        (0..self.n).find(|&p| !self.dead[p]).expect("self is never confirmed dead")
+        let mut c = 0;
+        for &d in &self.dead {
+            if d == c {
+                c += 1;
+            } else {
+                break;
+            }
+        }
+        debug_assert!(c < self.n, "self is never confirmed dead");
+        c
     }
 
-    /// Next ring successor not confirmed dead.
+    /// Next ring successor not confirmed dead. Skips only confirmed-dead
+    /// peers, so the walk costs O(confirmed), not O(W).
     fn succ_live(&self) -> Option<WorkerId> {
         (1..self.n)
             .map(|d| (self.me + d) % self.n)
-            .find(|&p| !self.dead[p])
+            .find(|p| !self.dead.contains(p))
     }
 
     /// `sent`/`recv` fold values excluding channels with confirmed-dead
@@ -185,10 +204,10 @@ impl TwoWorker {
     /// received from it, fence its channel out of the folds, and drop any
     /// protocol state pointing at it.
     fn confirm(&mut self, d: WorkerId, w: &mut TwoWorld) {
-        if d == self.me || self.dead[d] {
+        if d == self.me || self.dead.contains(&d) {
             return;
         }
-        self.dead[d] = true;
+        self.dead.insert(d);
         let me = self.me;
         // Re-inject the batches granted to the dead peer. No `created`
         // adjustment: excluding the channel via `sent_dead` below already
@@ -202,9 +221,10 @@ impl TwoWorker {
         // Tasks received from the dead peer are re-labelled as locally
         // created: with its channel fenced off the transfer never happened
         // as far as the folds are concerned.
-        add += self.recv_from[d];
-        self.sent_dead += self.sent_to[d];
-        self.recv_dead += self.recv_from[d];
+        let recv_d = self.recv_from.get(&d).copied().unwrap_or(0);
+        add += recv_d;
+        self.sent_dead += self.sent_to.get(&d).copied().unwrap_or(0);
+        self.recv_dead += recv_d;
         w.counters[me].created += add;
         // Drop protocol state aimed at the dead peer.
         if matches!(self.pending, Some((v, _)) if v == d) {
@@ -223,10 +243,22 @@ impl TwoWorker {
         }
     }
 
-    /// Confirm every peer whose lease has expired.
+    /// Confirm every peer whose lease has expired. Driven by the machine's
+    /// death-candidate feed: only workers whose suspicion status could have
+    /// changed since the last scan are re-checked, so total scan cost over
+    /// a run is O(status changes) instead of O(W) per step. Candidates are
+    /// processed in increasing id order, matching the old `0..n` sweep's
+    /// confirmation order.
     fn scan_confirm(&mut self, now: VTime, w: &mut TwoWorld) {
-        for p in 0..self.n {
-            if p != self.me && !self.dead[p] && w.m.confirmed_dead(p, now) {
+        let mut cands: Vec<WorkerId> = Vec::new();
+        w.m.death_candidates(&mut self.death_cursor, now, &mut cands);
+        if cands.is_empty() {
+            return;
+        }
+        cands.sort_unstable();
+        cands.dedup();
+        for p in cands {
+            if p != self.me && !self.dead.contains(&p) && w.m.confirmed_dead(p, now) {
                 self.confirm(p, w);
             }
         }
@@ -263,7 +295,7 @@ impl TwoWorker {
         if self.armed {
             w.recovery.record_batch(me, to, &tasks);
             w.counters[me].sent += k as u64;
-            self.sent_to[to] += k as u64;
+            *self.sent_to.entry(to).or_insert(0) += k as u64;
         }
         self.send_seq += 1;
         let seq = self.send_seq;
@@ -277,7 +309,7 @@ impl TwoWorker {
         let cost = w.m.lat().payload(tasks.len() * TASK_BYTES);
         if self.armed {
             w.counters[me].recv += tasks.len() as u64;
-            self.recv_from[from] += tasks.len() as u64;
+            *self.recv_from.entry(from).or_insert(0) += tasks.len() as u64;
         }
         w.bags[me].extend(tasks);
         cost
@@ -318,7 +350,7 @@ impl TwoWorker {
         // Rounds seeded by an initiator known to be dead can never fire,
         // and neither can one seeded by an evicted zombie incarnation.
         let seeder = round_initiator(tok.round);
-        if self.dead[seeder] || round_from_old_incarnation(tok.round, w.m.epoch_of(seeder)) {
+        if self.dead.contains(&seeder) || round_from_old_incarnation(tok.round, w.m.epoch_of(seeder)) {
             return VTime::ZERO;
         }
         if self.me == self.initiator() {
@@ -393,7 +425,7 @@ impl TwoWorker {
             // Stability: fire only if every known death was confirmable
             // before the round started (see onesided.rs for the argument).
             let start = VTime::ns(tok.start_ns);
-            let stable = (0..self.n).all(|d| !self.dead[d] || w.m.confirmed_dead(d, start));
+            let stable = self.dead.iter().all(|&d| w.m.confirmed_dead(d, start));
             let done = self
                 .detector
                 .round_done4(tok.created, tok.consumed, tok.sent, tok.recv)
@@ -423,7 +455,7 @@ impl TwoWorker {
         let me = self.me;
         let mut cost = w.m.message_handled(me);
         let mut got_work = false;
-        if self.armed && self.dead[from] && !matches!(msg, Msg::Token(_)) {
+        if self.armed && self.dead.contains(&from) && !matches!(msg, Msg::Token(_)) {
             // Epoch fencing: traffic from a confirmed-dead sender is
             // rejected — its batches were already replayed and its channel
             // excluded from the folds, so accepting now would double-count.
@@ -440,8 +472,8 @@ impl TwoWorker {
                 }
             }
             Msg::Grant(seq, tasks) => {
-                if seq > self.seen_seq[from] {
-                    self.seen_seq[from] = seq;
+                if seq > self.seen_seq.get(&from).copied().unwrap_or(0) {
+                    self.seen_seq.insert(from, seq);
                     // A grant may land after the reply timeout already gave
                     // up on this victim: the tasks are still welcome, only
                     // the matching pending slot (if any) is cleared.
@@ -470,8 +502,8 @@ impl TwoWorker {
             }
             Msg::Push(seq, tasks) => {
                 self.my_armed.retain(|&v| v != from);
-                if seq > self.seen_seq[from] {
-                    self.seen_seq[from] = seq;
+                if seq > self.seen_seq.get(&from).copied().unwrap_or(0) {
+                    self.seen_seq.insert(from, seq);
                     cost += self.accept_tasks(w, from, tasks);
                     self.steals_ok += 1;
                     got_work = true;
@@ -626,7 +658,7 @@ impl TwoWorker {
         match self.variant {
             Variant::Random => {
                 let victim = self.rng.victim(self.n, me);
-                if self.armed && self.dead[victim] {
+                if self.armed && self.dead.contains(&victim) {
                     self.steals_failed += 1;
                 } else {
                     cost += self.send(w, now, victim, Msg::Request, true);
@@ -636,7 +668,7 @@ impl TwoWorker {
             Variant::Lifeline => {
                 if self.fails < RANDOM_ATTEMPTS {
                     let victim = self.rng.victim(self.n, me);
-                    if self.armed && self.dead[victim] {
+                    if self.armed && self.dead.contains(&victim) {
                         self.steals_failed += 1;
                     } else {
                         cost += self.send(w, now, victim, Msg::Request, true);
@@ -655,7 +687,7 @@ impl TwoWorker {
                     // Arm any un-armed lifelines, then wait passively.
                     let mut armed_any = false;
                     for nb in self.lifeline_neighbours() {
-                        if self.armed && self.dead[nb] {
+                        if self.armed && self.dead.contains(&nb) {
                             continue;
                         }
                         if !self.my_armed.contains(&nb) {
@@ -792,10 +824,11 @@ pub fn run_workload_faulty(
             forwarded_round: 0,
             sent_cache: None,
             send_seq: 0,
-            seen_seq: vec![0; workers],
-            dead: vec![false; workers],
-            sent_to: vec![0; workers],
-            recv_from: vec![0; workers],
+            seen_seq: std::collections::BTreeMap::new(),
+            dead: std::collections::BTreeSet::new(),
+            death_cursor: 0,
+            sent_to: std::collections::BTreeMap::new(),
+            recv_from: std::collections::BTreeMap::new(),
             sent_dead: 0,
             recv_dead: 0,
             rto,

@@ -143,7 +143,13 @@ pub fn run_hooked<H: ScheduleHook + ?Sized>(
     program: Program,
     hook: &mut H,
 ) -> RunReport {
-    run_inner(cfg, program, |e| e.run_with_hook(hook)).0
+    run_inner(cfg, program, |e| {
+        // Exploration reorders actor steps, which breaks the parked-spin
+        // wake-instant computation: keep the spin loops stepping.
+        e.world.rt.allow_park = false;
+        e.run_with_hook(hook)
+    })
+    .0
 }
 
 fn run_inner(
@@ -190,7 +196,9 @@ fn run_inner(
         })
         .collect();
 
-    let mut engine = Engine::new(world, actors).with_max_steps(max_steps);
+    let mut engine = Engine::new(world, actors)
+        .with_max_steps(max_steps)
+        .with_waker(|w, out| w.m.take_wakeups(out));
     let report = drive(&mut engine);
     let (world, _actors) = engine.into_parts();
     let World { m, mut rt } = world;

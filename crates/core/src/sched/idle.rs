@@ -41,36 +41,29 @@ impl Worker {
         if faults == 0 {
             return;
         }
-        let n = self.n;
-        let bl = self.blacklist.get_or_insert_with(|| {
-            Box::new(Blacklist {
-                score: vec![0; n],
-                at: vec![VTime::ZERO; n],
-            })
-        });
-        if bl.score[victim] == Self::BL_FOREVER {
+        let bl = self
+            .blacklist
+            .get_or_insert_with(|| Box::new(Blacklist::new()));
+        let e = bl.entries.entry(victim).or_insert((0, VTime::ZERO));
+        if e.0 == Self::BL_FOREVER {
             // Permanent: a transient-fault bump must not disturb (or
             // overflow) the sentinel.
             return;
         }
-        bl.score[victim] = Self::bl_decayed(bl.score[victim], bl.at[victim], now)
+        e.0 = Self::bl_decayed(e.0, e.1, now)
             .saturating_add(faults.saturating_mul(Self::BL_ONE))
             .min(Self::BL_FOREVER - 1);
-        bl.at[victim] = now;
+        e.1 = now;
     }
 
     /// Blacklist `victim` permanently: a confirmed-dead worker never comes
     /// back, so its score is pinned at infinity (immune to decay).
     pub(crate) fn blacklist_forever(&mut self, victim: WorkerId, now: VTime) {
-        let n = self.n;
-        let bl = self.blacklist.get_or_insert_with(|| {
-            Box::new(Blacklist {
-                score: vec![0; n],
-                at: vec![VTime::ZERO; n],
-            })
-        });
-        bl.score[victim] = Self::BL_FOREVER;
-        bl.at[victim] = now;
+        let bl = self
+            .blacklist
+            .get_or_insert_with(|| Box::new(Blacklist::new()));
+        bl.entries.insert(victim, (Self::BL_FOREVER, now));
+        bl.fallback = None; // the permanent set changed
     }
 
     /// Drop `victim`'s blacklist entry entirely (permanent or not): the
@@ -79,7 +72,9 @@ impl Worker {
     /// incarnation — so it is a first-class steal target again.
     pub(crate) fn blacklist_clear(&mut self, victim: WorkerId) {
         if let Some(bl) = &mut self.blacklist {
-            bl.score[victim] = 0;
+            if bl.entries.remove(&victim).is_some_and(|e| e.0 == Self::BL_FOREVER) {
+                bl.fallback = None; // the permanent set changed
+            }
         }
     }
 
@@ -88,7 +83,7 @@ impl Worker {
     /// a guaranteed wasted round trip, forever.
     pub(crate) fn victim_blocked_forever(&self, victim: WorkerId) -> bool {
         match &self.blacklist {
-            Some(bl) => bl.score[victim] == Self::BL_FOREVER,
+            Some(bl) => bl.entries.get(&victim).is_some_and(|e| e.0 == Self::BL_FOREVER),
             None => false,
         }
     }
@@ -96,9 +91,10 @@ impl Worker {
     /// Is `victim` currently blacklisted?
     pub(crate) fn victim_blocked(&self, victim: WorkerId, now: VTime) -> bool {
         match &self.blacklist {
-            Some(bl) => {
-                Self::bl_decayed(bl.score[victim], bl.at[victim], now) > Self::BL_THRESHOLD
-            }
+            Some(bl) => bl
+                .entries
+                .get(&victim)
+                .is_some_and(|&(score, at)| Self::bl_decayed(score, at, now) > Self::BL_THRESHOLD),
             None => false,
         }
     }
@@ -130,18 +126,33 @@ impl Worker {
             return victim;
         }
         world.rt.stats.blacklist_skips += 1;
-        let topo = world.m.topology();
-        let mut best: Option<(f64, WorkerId)> = None;
-        for v in 0..self.n {
-            if v == self.me || self.victim_blocked_forever(v) {
-                continue;
+        // Cheapest-live fallback, cached: the answer is a pure function of
+        // the permanent-blacklist set and the (static) topology, so the
+        // O(W) sweep runs once per death/revocation — not once per draw,
+        // which starved a sole survivor of 10⁵ dead peers.
+        let cached = self.blacklist.as_ref().and_then(|bl| bl.fallback);
+        let fallback = match cached {
+            Some(f) => f,
+            None => {
+                let topo = world.m.topology();
+                let mut best: Option<(f64, WorkerId)> = None;
+                for v in 0..self.n {
+                    if v == self.me || self.victim_blocked_forever(v) {
+                        continue;
+                    }
+                    let f = topo.factor(self.me, v);
+                    if best.is_none_or(|(bf, _)| f < bf) {
+                        best = Some((f, v));
+                    }
+                }
+                let f = best.map(|(_, v)| v);
+                if let Some(bl) = &mut self.blacklist {
+                    bl.fallback = Some(f);
+                }
+                f
             }
-            let f = topo.factor(self.me, v);
-            if best.is_none_or(|(bf, _)| f < bf) {
-                best = Some((f, v));
-            }
-        }
-        best.map_or(victim, |(_, v)| v)
+        };
+        fallback.unwrap_or(victim)
     }
 
     // ------------------------------------------------------------------
@@ -205,17 +216,31 @@ impl Worker {
     /// stealable again. The eviction itself stands either way — the epoch
     /// bump already invalidated the old incarnation's verbs, and the peer
     /// self-fences and rejoins at its next step.
+    ///
+    /// Work is O(detector status changes), not O(workers) per poll: the
+    /// machine's candidate feed names exactly the peers whose registry
+    /// status may have flipped since this worker's last scan, and only
+    /// those are re-examined. Candidates are processed in increasing id
+    /// order — the same relative order the former full `0..n` sweep
+    /// visited them in — so every golden stays byte-identical.
     pub(crate) fn fail_stop_scan(&mut self, now: VTime, world: &mut World) {
-        for d in 0..self.n {
+        let mut cands: Vec<WorkerId> = Vec::new();
+        world.m.death_candidates(&mut self.death_cursor, now, &mut cands);
+        if cands.is_empty() {
+            return;
+        }
+        cands.sort_unstable();
+        cands.dedup();
+        for d in cands {
             if d == self.me {
                 continue;
             }
             let confirmed_now = world.m.confirmed_dead(d, now);
-            if self.confirmed[d] {
+            if self.confirmed.contains(&d) {
                 if !confirmed_now {
                     // Revoked: the peer's beats resumed (false suspicion
                     // cleared, or a fresh incarnation rejoined).
-                    self.confirmed[d] = false;
+                    self.confirmed.remove(&d);
                     self.blacklist_clear(d);
                     world.rt.watch_unsuspect(d);
                 }
@@ -224,7 +249,7 @@ impl Worker {
             if !confirmed_now {
                 continue;
             }
-            self.confirmed[d] = true;
+            self.confirmed.insert(d);
             self.blacklist_forever(d, now);
             if world.m.suspicion_possible() {
                 world.rt.watch_suspect(d);
@@ -236,8 +261,8 @@ impl Worker {
             let epoch = world.m.epoch_of(d);
             if world.rt.evictions.first_claim(evict_key(d, epoch)) {
                 world.m.evict(d);
-                for i in 0..world.rt.lineage[d].len() {
-                    if !world.rt.lineage[d][i].done.is_done() {
+                for (i, rec) in world.rt.lineage.log(d).iter().enumerate() {
+                    if !rec.done.is_done() {
                         world.rt.replay_pool.push_back((d, i));
                     }
                 }
@@ -252,7 +277,7 @@ impl Worker {
     pub(crate) fn try_replay(&mut self, now: VTime, world: &mut World) -> Option<Step> {
         loop {
             let (w, i) = world.rt.replay_pool.pop_front()?;
-            let rec = &world.rt.lineage[w][i];
+            let rec = world.rt.lineage.rec(w, i);
             if rec.done.is_done() {
                 // Completed before the kill: the entry flag is already
                 // visible to the waiting parent — replaying would run the
@@ -282,7 +307,7 @@ impl Worker {
             // it died with its worker and can never complete — retire it so
             // the fresh-id replay is the only live copy the oracles track.
             world.rt.watch_retire(rec.tid);
-            world.rt.lineage[w][i].done.set();
+            world.rt.lineage.rec_mut(w, i).done.set();
             let tid = world.rt.fresh_tid();
             let mut th = VThread::new(tid, f, arg.clone(), handle);
             th.replay_rec = Some(self.record_lineage(world, tid, f, arg, handle));
@@ -336,7 +361,18 @@ impl Worker {
         match self.dq_pop(world) {
             Err(DequeError::Busy) => {
                 self.break_dead_lock(now, world);
-                Step::Yield(world.m.local_op(self.me))
+                let cost = world.m.local_op(self.me);
+                if self.may_park(world) {
+                    // Same lock-spin park as `step_run`'s Busy arm; the
+                    // done flag is re-checked on wake (`set_done` wakes all
+                    // parked workers), so termination is never missed.
+                    world
+                        .m
+                        .park_on_own_word(self.me, self.lay.dq_word(DQ_LOCK), cost, Self::SPIN_CHARGE);
+                    Step::Park
+                } else {
+                    Step::Yield(cost)
+                }
             }
             Err(DequeError::Dead(d)) => {
                 self.deque_violation(world, self.me, &d);
@@ -883,7 +919,7 @@ impl Worker {
             if let Some(th) = self.cur.as_mut() {
                 // The stolen child materialized as a thread only now: bind
                 // its id to the record made above.
-                world.rt.lineage[w][i].tid = th.tid;
+                world.rt.lineage.rec_mut(w, i).tid = th.tid;
                 th.replay_rec = rec;
             }
         }
@@ -1269,7 +1305,7 @@ impl Worker {
             if let Some(th) = self.cur.as_mut() {
                 // The stolen child materialized as a thread only now: bind
                 // its id to the record made at take time.
-                world.rt.lineage[w][i].tid = th.tid;
+                world.rt.lineage.rec_mut(w, i).tid = th.tid;
                 th.replay_rec = ps.rec;
             }
         }

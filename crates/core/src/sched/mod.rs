@@ -154,10 +154,30 @@ pub(crate) struct Nested {
 /// integer shift (one bit per elapsed half-life) so the engine stays free
 /// of float rounding; [`Worker::BL_FOREVER`] marks a permanent entry
 /// (confirmed-dead victim, never decays).
+///
+/// Sparse: keyed by victim id, populated only for peers that actually
+/// misbehaved, so a worker in a 10⁵-peer run pays for its handful of flaky
+/// or dead victims rather than two O(W) vectors. Never iterated (only
+/// probed per victim), so the map's ordering is irrelevant to determinism.
 pub(crate) struct Blacklist {
-    score: Vec<u64>,
-    /// Timestamp of each score's last update (decay reference point).
-    at: Vec<VTime>,
+    /// `victim → (score, last-update time)`; absent means score 0.
+    entries: std::collections::HashMap<WorkerId, (u64, VTime)>,
+    /// Cached cheapest-by-topology non-permanently-blacklisted fallback
+    /// victim (`None` = stale, recompute; `Some(None)` = every peer is
+    /// permanently blacklisted). Invalidated whenever the permanent set
+    /// changes, so the sole-survivor fallback in
+    /// [`Worker::select_victim`] costs O(W) once per death/rejoin instead
+    /// of per draw.
+    fallback: Option<Option<WorkerId>>,
+}
+
+impl Blacklist {
+    fn new() -> Blacklist {
+        Blacklist {
+            entries: std::collections::HashMap::new(),
+            fallback: None,
+        }
+    }
 }
 
 /// One simulated worker process.
@@ -210,8 +230,13 @@ pub struct Worker {
     /// expiry); empty without an armed plan. Under the message detector a
     /// latch is revocable: delayed beats landing un-confirm the peer and
     /// clear the latch (and its permanent blacklist entry), making a
-    /// falsely-suspected or rejoined peer stealable again.
-    confirmed: Vec<bool>,
+    /// falsely-suspected or rejoined peer stealable again. Sparse: holds
+    /// only the (few) latched peers, not a W-wide bitmap per worker.
+    confirmed: std::collections::BTreeSet<WorkerId>,
+    /// Position in the machine's detector candidate feed (see
+    /// [`dcs_sim::Machine::death_candidates`]): everything before it has
+    /// been folded into `confirmed` by [`Worker::fail_stop_scan`].
+    death_cursor: usize,
 }
 
 impl Worker {
@@ -252,13 +277,16 @@ impl Worker {
                 // first lineage record of worker 0 with a NULL handle, so
                 // a worker-0 kill replays the root elsewhere instead of
                 // aborting the run.
-                world.rt.lineage[me].push(LineageRec {
-                    f,
-                    arg: arg.clone(),
-                    handle: ThreadHandle::single(GlobalAddr::NULL),
-                    tid,
-                    done: DoneFlag::new(),
-                });
+                world.rt.lineage.push(
+                    me,
+                    LineageRec {
+                        f,
+                        arg: arg.clone(),
+                        handle: ThreadHandle::single(GlobalAddr::NULL),
+                        tid,
+                        done: DoneFlag::new(),
+                    },
+                );
             }
             let mut th = VThread::new(tid, f, arg, ThreadHandle::single(GlobalAddr::NULL));
             if kills && policy != Policy::ChildFull {
@@ -307,7 +335,8 @@ impl Worker {
             halted: false,
             kills,
             my_epoch: 0,
-            confirmed: if kills { vec![false; n] } else { Vec::new() },
+            confirmed: std::collections::BTreeSet::new(),
+            death_cursor: 0,
         }
     }
 
@@ -785,14 +814,16 @@ impl Worker {
         arg: Value,
         handle: ThreadHandle,
     ) -> (usize, usize) {
-        let idx = world.rt.lineage[self.me].len();
-        world.rt.lineage[self.me].push(LineageRec {
-            f,
-            arg,
-            handle,
-            tid,
-            done: DoneFlag::new(),
-        });
+        let idx = world.rt.lineage.push(
+            self.me,
+            LineageRec {
+                f,
+                arg,
+                handle,
+                tid,
+                done: DoneFlag::new(),
+            },
+        );
         (self.me, idx)
     }
 
@@ -809,7 +840,7 @@ impl Worker {
         if w == self.me {
             return true;
         }
-        let rec = &mut world.rt.lineage[w][i];
+        let rec = world.rt.lineage.rec_mut(w, i);
         if !rec.done.claim() {
             // Claimed while we raced for it: a confirmer drained `w`'s
             // lineage and a replay re-executes this thread already.
@@ -824,7 +855,7 @@ impl Worker {
     /// lineage record must never replay.
     pub(crate) fn mark_lineage_done(world: &mut World, th: &VThread) {
         if let Some((w, i)) = th.replay_rec {
-            world.rt.lineage[w][i].done.set();
+            world.rt.lineage.rec_mut(w, i).done.set();
         }
     }
 
@@ -839,6 +870,26 @@ impl Worker {
     /// gap breaks the lock too. Under the oracle detector the epoch clause
     /// is redundant (eviction requires confirmation, which this check sees
     /// first), keeping oracle runs byte-identical.
+    /// Fabric charge of one owner-side lock-spin iteration: the lock
+    /// probe's local get (charged inside the deque op / probe) plus the
+    /// retry's bookkeeping `local_op`. Parking credits this per skipped
+    /// iteration.
+    pub(crate) const SPIN_CHARGE: u64 = 2;
+
+    /// Whether an owner-side lock spin may park on the engine's wake
+    /// mechanism instead of re-stepping every `local_op` of virtual time
+    /// (see `Machine::park_on_own_word`). Parking reproduces the spin loop
+    /// exactly only when each skipped iteration would have been a pure
+    /// re-poll: no fault plan evaluating crash/suspicion windows per step,
+    /// no dead-lock breaking, no watchdog stall clock, and no schedule
+    /// exploration reordering steps.
+    pub(crate) fn may_park(&self, world: &World) -> bool {
+        world.rt.allow_park
+            && !self.kills
+            && !world.m.faults_active()
+            && world.rt.watch.is_none()
+    }
+
     pub(crate) fn break_dead_lock(&mut self, now: VTime, world: &mut World) {
         if !self.kills {
             return;

@@ -135,6 +135,49 @@ impl std::fmt::Display for UnrecoverableReason {
     }
 }
 
+/// The fail-stop lineage log: `log(w)` holds the origin record of every
+/// replayable thread worker `w` physically holds (see [`LineageRec`]).
+///
+/// Sparse: only workers that ever recorded a thread own a per-worker log,
+/// so an armed 10⁵-worker run where a handful of workers do all the
+/// spawning stays O(records), not O(workers). Backed by a `BTreeMap` so
+/// whole-log iteration (end-of-run settlement) visits workers in id order —
+/// the exact order the former `Vec<Vec<_>>` gave — keeping retirement
+/// bookkeeping deterministic.
+#[derive(Default)]
+pub struct Lineage {
+    logs: std::collections::BTreeMap<usize, Vec<LineageRec>>,
+}
+
+impl Lineage {
+    /// Worker `w`'s records (empty slice if it never recorded any).
+    pub fn log(&self, w: usize) -> &[LineageRec] {
+        self.logs.get(&w).map_or(&[], |v| v)
+    }
+
+    /// Append a record under worker `w`, returning its index.
+    pub fn push(&mut self, w: usize, rec: LineageRec) -> usize {
+        let log = self.logs.entry(w).or_default();
+        log.push(rec);
+        log.len() - 1
+    }
+
+    /// Record `(w, i)`; the pair must have come from [`Self::push`].
+    pub fn rec(&self, w: usize, i: usize) -> &LineageRec {
+        &self.logs[&w][i]
+    }
+
+    /// Mutable access to record `(w, i)`.
+    pub fn rec_mut(&mut self, w: usize, i: usize) -> &mut LineageRec {
+        &mut self.logs.get_mut(&w).expect("lineage log exists")[i]
+    }
+
+    /// Every record, in (worker id, index) order.
+    pub fn iter(&self) -> impl Iterator<Item = &LineageRec> {
+        self.logs.values().flatten()
+    }
+}
+
 /// A thread's return value parked in its entry, plus its wire size (charged
 /// when a remote joiner fetches it).
 pub struct StoredVal {
@@ -231,12 +274,10 @@ pub struct RtShared {
     /// Invariant watchdog; allocated only when the run asks for it (or runs
     /// with active fault injection), so healthy runs pay nothing.
     pub watch: Option<Box<Watchdog>>,
-    /// Fail-stop lineage log (armed fault plans only): `lineage[w]` holds
-    /// the origin record of every replayable thread worker `w` physically
-    /// holds (see [`LineageRec`]), so survivors can re-execute the subset
-    /// `w` never completed. Records are marked `done` rather than removed;
-    /// empty in healthy runs.
-    pub lineage: Vec<Vec<LineageRec>>,
+    /// Fail-stop lineage log (armed fault plans only): survivors can
+    /// re-execute the subset a dead worker never completed. Records are
+    /// marked `done` rather than removed; empty in healthy runs.
+    pub lineage: Lineage,
     /// Eviction arbiter: one claim per `(worker, epoch)` incarnation end
     /// (see [`evict_key`]). The first survivor to confirm an incarnation's
     /// death — by oracle confirmation or by suspicion-lease expiry — wins
@@ -258,6 +299,11 @@ pub struct RtShared {
     /// `taken[]` array of the fence-free algorithm (the one word a taker
     /// *writes* before executing).
     pub ff_claims: ClaimSet,
+    /// Whether owner-side lock spins may park on the engine's wake
+    /// mechanism instead of re-stepping every poll. On for plain runs;
+    /// forced off under schedule exploration, whose reordered steps break
+    /// the wake-instant computation (see `Machine::park_on_own_word`).
+    pub allow_park: bool,
 }
 
 impl RtShared {
@@ -267,7 +313,6 @@ impl RtShared {
         let watch = cfg
             .watchdog_enabled()
             .then(|| Box::new(Watchdog::new(cfg.stall_limit)));
-        let workers = cfg.workers;
         RtShared {
             cfg,
             retvals: U64Map::default(),
@@ -278,11 +323,12 @@ impl RtShared {
             next_tid: 0,
             result: None,
             watch,
-            lineage: (0..workers).map(|_| Vec::new()).collect(),
+            lineage: Lineage::default(),
             evictions: ClaimSet::new(),
             replay_pool: std::collections::VecDeque::new(),
             unrecoverable: None,
             ff_claims: ClaimSet::new(),
+            allow_park: true,
         }
     }
 
@@ -372,7 +418,6 @@ impl RtShared {
         let tids: Vec<u64> = self
             .lineage
             .iter()
-            .flatten()
             .filter(|r| !r.done.is_done())
             .map(|r| r.tid)
             .collect();

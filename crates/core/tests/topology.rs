@@ -80,6 +80,7 @@ fn mesh_topology_scales_latency_with_distance() {
             dims: (2, 2, 2),
             intra_factor: 0.3,
             hop_factor: 0.5,
+            torus: false,
         },
         VictimPolicy::Uniform,
         16,

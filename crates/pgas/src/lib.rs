@@ -180,19 +180,13 @@ impl GlobalVec {
     pub fn fill(&self, m: &mut Machine, data: &[u64]) {
         assert_eq!(data.len() as u64, self.len);
         for (i, &v) in data.iter().enumerate() {
-            let a = self.addr(i as u64);
-            m.segment_mut(a.rank as usize).write(a.off, v);
+            m.poke_word(self.addr(i as u64), v);
         }
     }
 
     /// Read the whole vector back (verification phase).
     pub fn to_vec(&self, m: &Machine) -> Vec<u64> {
-        (0..self.len)
-            .map(|i| {
-                let a = self.addr(i);
-                m.segment(a.rank as usize).read(a.off)
-            })
-            .collect()
+        (0..self.len).map(|i| m.peek_word(self.addr(i))).collect()
     }
 }
 

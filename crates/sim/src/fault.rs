@@ -616,6 +616,197 @@ pub enum MsgFate {
     Duplicate,
 }
 
+/// Time-ordered feed of *candidate* detector status changes, shared by
+/// every consumer of [`FaultState::confirmed_dead`].
+///
+/// The detector registry is a pure function of the plan, so the set of
+/// instants at which any worker's confirmed/suspected status can flip is
+/// computable up front (oracle: one event per kill) or incrementally
+/// (message detector: suspicion intervals derived from each candidate's
+/// visible-beat sequence). Consumers hold a cursor into the append-only
+/// `events` list and learn in O(changes) which workers to re-examine —
+/// replacing the former O(workers) full-registry scan per idle poll, the
+/// dominant term at 10⁵ workers.
+///
+/// Candidate sets are conservative but tight: under the oracle only killed
+/// workers ever confirm; under a loss-free message detector only killed or
+/// degraded workers can be suspected (a live worker's beats all land within
+/// the lease — validated at plan parse); with `msg_drop_p > 0` every worker
+/// is a candidate and its beat stream is walked once per run, amortized
+/// across all consumers.
+#[derive(Default)]
+struct DeathWatch {
+    /// `(time, worker)` candidate status changes, sorted by time.
+    events: Vec<(VTime, WorkerId)>,
+    /// Every status change at or before this instant is already in
+    /// `events` (`VTime` max when the feed is complete up front).
+    generated_to: VTime,
+    /// Per-candidate incremental generators (message detector only).
+    gens: Vec<BeatGen>,
+}
+
+/// Incremental suspicion-interval generator for one message-detector
+/// candidate: merges the worker's visible heartbeats into an "unsuspected
+/// coverage" frontier and emits a feed event at each boundary where
+/// suspicion begins or clears.
+struct BeatGen {
+    worker: WorkerId,
+    /// Next heartbeat index to emit.
+    next_k: u64,
+    /// Visible-at times of beats already emitted but landing past the
+    /// generated horizon (degraded flights arrive out of order), sorted.
+    pending: Vec<VTime>,
+    /// The worker is continuously unsuspected up to here (exclusive).
+    cover_end: VTime,
+    /// A suspicion interval is open (its start event is already emitted).
+    gap_open: bool,
+    /// The kill point was reached: no further beats will ever be emitted.
+    beats_done: bool,
+    /// Suspected forever (killed, all beats landed): nothing left to emit.
+    done: bool,
+}
+
+impl DeathWatch {
+    fn new(plan: &FaultPlan, workers: usize) -> DeathWatch {
+        let complete = VTime::ns(u64::MAX);
+        if !plan.recovery_armed() {
+            // `confirmed_dead` is identically false: empty, complete feed.
+            return DeathWatch {
+                events: Vec::new(),
+                generated_to: complete,
+                gens: Vec::new(),
+            };
+        }
+        match plan.detector {
+            Detector::Oracle => {
+                // Ground truth: worker `w` confirms exactly once, at
+                // `kill + lease`, and never revokes.
+                let mut events: Vec<(VTime, WorkerId)> = plan
+                    .kill
+                    .iter()
+                    .map(|k| (k.at + plan.lease, k.worker))
+                    .collect();
+                events.sort_unstable();
+                DeathWatch {
+                    events,
+                    generated_to: complete,
+                    gens: Vec::new(),
+                }
+            }
+            Detector::Message => {
+                // Tight candidate set: with a loss-free fabric only killed
+                // or degraded workers can ever be suspected; per-beat drops
+                // make every worker a candidate.
+                let mut cands: Vec<WorkerId> = if plan.msg_drop_p > 0.0 {
+                    (0..workers).collect()
+                } else {
+                    plan.kill
+                        .iter()
+                        .map(|k| k.worker)
+                        .chain(plan.degrade.iter().map(|d| d.worker))
+                        .filter(|&w| w < workers)
+                        .collect()
+                };
+                cands.sort_unstable();
+                cands.dedup();
+                let grace = plan.suspect_lease();
+                let gens = cands
+                    .into_iter()
+                    .map(|worker| BeatGen {
+                        worker,
+                        next_k: 0,
+                        pending: Vec::new(),
+                        // Startup grace: `suspected` is false before one
+                        // full lease regardless of beats.
+                        cover_end: grace,
+                        gap_open: false,
+                        beats_done: false,
+                        done: false,
+                    })
+                    .collect();
+                DeathWatch {
+                    events: Vec::new(),
+                    generated_to: VTime::ZERO,
+                    gens,
+                }
+            }
+        }
+    }
+
+    /// Extend the feed so every status change at or before `target` is in
+    /// `events`. Generates in chunks of at least 64 heartbeat periods so a
+    /// caller polling every few nanoseconds touches the generators rarely.
+    fn generate(&mut self, fs: &FaultState, target: VTime) {
+        if target <= self.generated_to {
+            return;
+        }
+        let period = fs.plan.hb_period.as_ns().max(1);
+        let t = target.max(self.generated_to + VTime::ns(64 * period));
+        let s = fs.plan.suspect_lease();
+        let mut batch: Vec<(VTime, WorkerId)> = Vec::new();
+        for g in &mut self.gens {
+            if g.done {
+                continue;
+            }
+            // Emit this chunk's beats. A beat emitted at `e` becomes
+            // visible at `e + flight(e)` — possibly past `t` (parked in
+            // `pending`) and possibly out of order under degrade windows.
+            if !g.beats_done {
+                loop {
+                    let emit = VTime::ns(g.next_k * period);
+                    if emit > t {
+                        break;
+                    }
+                    if matches!(fs.kill_at[g.worker], Some(k) if emit >= k) {
+                        g.beats_done = true; // beats stop at the kill
+                        break;
+                    }
+                    if g.next_k == 0 || !fs.beat_dropped(g.worker, g.next_k) {
+                        let flight =
+                            HB_FLIGHT.scale(fs.degrade_factor(g.worker, g.worker, emit));
+                        g.pending.push(emit + flight);
+                    }
+                    g.next_k += 1;
+                }
+                g.pending.sort_unstable();
+            }
+            // Merge beats visible by `t` into the coverage frontier. Every
+            // boundary crossed is a feed event; `suspected` holds exactly
+            // on the complement of `[0, grace) ∪ ⋃ [visible, visible+s)`.
+            let cut = g.pending.partition_point(|&v| v <= t);
+            for &v in &g.pending[..cut] {
+                if g.gap_open {
+                    batch.push((v, g.worker)); // suspicion clears at `v`
+                    g.gap_open = false;
+                    g.cover_end = v + s;
+                } else if v > g.cover_end {
+                    batch.push((g.cover_end, g.worker)); // suspicion begins
+                    batch.push((v, g.worker)); // ... and clears
+                    g.cover_end = v + s;
+                } else {
+                    g.cover_end = g.cover_end.max(v + s);
+                }
+            }
+            g.pending.drain(..cut);
+            // Coverage ran out within the horizon: suspicion begins at the
+            // frontier and stays open into the next chunk (or forever).
+            if !g.gap_open && g.cover_end <= t {
+                batch.push((g.cover_end, g.worker));
+                g.gap_open = true;
+            }
+            if g.beats_done && g.pending.is_empty() && g.gap_open {
+                g.done = true; // killed, all beats landed: suspected forever
+            }
+        }
+        // Each chunk's events all lie in (generated_to, t] — later than
+        // everything already emitted — so a per-chunk sort keeps the whole
+        // list time-ordered.
+        batch.sort_unstable();
+        self.events.extend(batch);
+        self.generated_to = t;
+    }
+}
+
 /// Live fault-injection state inside [`Machine`](crate::Machine). Exists only
 /// when the plan is active.
 pub struct FaultState {
@@ -630,6 +821,8 @@ pub struct FaultState {
     recent: Vec<u64>,
     /// First kill time per worker (precomputed from the plan).
     kill_at: Vec<Option<VTime>>,
+    /// Shared candidate feed of detector status changes (see [`DeathWatch`]).
+    watch: DeathWatch,
 }
 
 impl FaultState {
@@ -639,12 +832,40 @@ impl FaultState {
             .map(|w| SimRng::for_worker(plan.seed ^ 0xFA01_7A11_u64, w))
             .collect();
         let kill_at = (0..workers).map(|w| plan.killed_at(w)).collect();
+        let watch = DeathWatch::new(&plan, workers);
         FaultState {
             plan,
             rng,
             step_now: vec![VTime::ZERO; workers],
             recent: vec![0; workers],
             kill_at,
+            watch,
+        }
+    }
+
+    /// Advance `cursor` through the detector's candidate feed up to `now`,
+    /// appending the id of every worker whose [`Self::confirmed_dead`]
+    /// status may have changed since the cursor's last position. Each
+    /// consumer owns its cursor (starting at 0) and re-examines only the
+    /// returned workers — O(status changes) total instead of O(workers) per
+    /// poll. The feed is conservative (a returned worker's status may be
+    /// unchanged after an intra-poll toggle) but complete: a worker absent
+    /// from the feed since the cursor's last position has not changed.
+    pub fn death_candidates(&mut self, cursor: &mut usize, now: VTime, out: &mut Vec<WorkerId>) {
+        if now > self.watch.generated_to {
+            // Detach the feed so generation can read plan state through
+            // `&self` (it never touches the watch itself).
+            let mut watch = std::mem::take(&mut self.watch);
+            watch.generate(self, now);
+            self.watch = watch;
+        }
+        let events = &self.watch.events;
+        while let Some(&(t, w)) = events.get(*cursor) {
+            if t > now {
+                break;
+            }
+            out.push(w);
+            *cursor += 1;
         }
     }
 
@@ -1300,6 +1521,109 @@ mod tests {
                 .unwrap_or_else(|e| panic!("`{printed}` failed to re-parse: {e}"));
             prop_assert_eq!(back, p, "round-trip through `{}`", printed);
         }
+    }
+
+    /// A consumer that re-examines only fed candidates must observe every
+    /// status transition a brute-force all-worker scan would, at the same
+    /// poll instants.
+    fn assert_feed_covers_brute_force(plan: FaultPlan, workers: usize, horizon_us: u64) {
+        let mut fs = FaultState::new(plan, workers);
+        let mut cursor = 0usize;
+        let mut latched = vec![false; workers];
+        let mut out = Vec::new();
+        for t in (0..horizon_us).map(VTime::us) {
+            out.clear();
+            fs.death_candidates(&mut cursor, t, &mut out);
+            for w in 0..workers {
+                let now_dead = fs.confirmed_dead(w, t);
+                if now_dead != latched[w] {
+                    assert!(
+                        out.contains(&w),
+                        "feed missed worker {w}'s transition to {now_dead} at {t}"
+                    );
+                    latched[w] = now_dead;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn death_feed_covers_oracle_transitions() {
+        let plan = FaultPlan::none()
+            .with_kill(1, VTime::us(60))
+            .with_kill(5, VTime::us(300))
+            .with_kill(0, VTime::us(301));
+        assert_feed_covers_brute_force(plan, 8, 1_000);
+    }
+
+    #[test]
+    fn death_feed_covers_message_detector_transitions() {
+        // Loss-free: candidates are exactly the killed + degraded workers.
+        let plan = FaultPlan::none()
+            .with_kill(1, VTime::us(60))
+            .with_degrade(DegradeWindow {
+                worker: 2,
+                from: VTime::us(100),
+                until: VTime::us(400),
+                factor: 50.0,
+            })
+            .with_detector(Detector::Message)
+            .with_suspect(VTime::us(30));
+        assert_feed_covers_brute_force(plan, 4, 1_000);
+        // Lossy: every worker is a candidate; drops carve suspicion
+        // intervals out of live workers' beat streams.
+        let mut lossy = FaultPlan::none()
+            .with_detector(Detector::Message)
+            .with_suspect(VTime::us(30));
+        lossy.msg_drop_p = 0.5;
+        lossy.seed = 9;
+        assert_feed_covers_brute_force(lossy, 4, 2_000);
+    }
+
+    #[test]
+    fn death_feed_is_silent_for_steady_workers() {
+        // Oracle, one kill: the feed names only the killed worker, once.
+        let plan = FaultPlan::none().with_kill(1, VTime::us(60));
+        let mut fs = FaultState::new(plan, 8);
+        let (mut cursor, mut out) = (0usize, Vec::new());
+        fs.death_candidates(&mut cursor, VTime::secs(1), &mut out);
+        assert_eq!(out, vec![1]);
+        // A transient-only plan (no recovery armed) feeds nothing at all.
+        let mut fs = FaultState::new(FaultPlan::transient(0.1, 3), 8);
+        let (mut cursor, mut out) = (0usize, Vec::new());
+        fs.death_candidates(&mut cursor, VTime::secs(1), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn death_feed_is_poll_granularity_independent() {
+        // The feed is a pure function of the plan: polling every 1us and
+        // polling once at the horizon must generate identical events.
+        let mut plan = FaultPlan::none()
+            .with_kill(1, VTime::us(777))
+            .with_detector(Detector::Message)
+            .with_suspect(VTime::us(30));
+        plan.msg_drop_p = 0.4;
+        plan.seed = 12;
+        let horizon = VTime::us(3_000);
+        let mut fine = FaultState::new(plan.clone(), 3);
+        let (mut cursor, mut sink) = (0usize, Vec::new());
+        for t in (0..3_000).map(VTime::us) {
+            fine.death_candidates(&mut cursor, t, &mut sink);
+        }
+        let mut coarse = FaultState::new(plan, 3);
+        let (mut cursor2, mut sink2) = (0usize, Vec::new());
+        coarse.death_candidates(&mut cursor2, horizon, &mut sink2);
+        let upto = |fs: &FaultState| -> Vec<(VTime, WorkerId)> {
+            fs.watch
+                .events
+                .iter()
+                .copied()
+                .take_while(|&(t, _)| t <= horizon)
+                .collect()
+        };
+        assert_eq!(upto(&fine), upto(&coarse));
+        assert!(!sink2.is_empty(), "drops at p=0.4 must produce suspicions");
     }
 
     #[test]

@@ -39,12 +39,12 @@ pub mod rng;
 pub mod time;
 pub mod topology;
 
-pub use engine::{Actor, Engine, ScheduleHook, Step};
+pub use engine::{Actor, Engine, EventQueue, ScheduleHook, Step};
 pub use fault::{CrashWindow, DegradeWindow, Detector, FaultPlan, KillEvent, MsgFate};
 pub use latency::{profiles, LatencyModel, MachineProfile};
 pub use machine::{Completion, FabricMode, FabricStats, Machine, MachineConfig, VerbHandle};
 pub use mailbox::Mailbox;
-pub use mem::{GlobalAddr, SegAlloc, Segment, WORD};
+pub use mem::{GlobalAddr, SegAlloc, Segment, PAGE_BYTES, WORD};
 pub use rng::SimRng;
 pub use time::VTime;
 pub use topology::Topology;

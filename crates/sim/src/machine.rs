@@ -154,6 +154,15 @@ pub struct FabricStats {
     /// verb was refused instead of tearing post-eviction state. See
     /// [`Machine::fence_verb`].
     pub fenced_verbs: u64,
+    /// High-water mark of host bytes resident for *this worker's* pinned
+    /// segment, at page granularity: backing pages materialize on the first
+    /// non-zero write they receive, so a worker that is never written
+    /// reports 0 and one whose traffic stays inside its deque control words
+    /// reports a single page — regardless of the configured `seg_bytes`.
+    /// The machine-wide total ([`FabricStats::merge`] sums this field)
+    /// therefore grows with the number of *touched pages*, not with
+    /// `workers × seg_bytes`.
+    pub peak_resident_bytes: u64,
 }
 
 impl FabricStats {
@@ -180,6 +189,7 @@ impl FabricStats {
             cq_polls,
             doorbell_chained,
             fenced_verbs,
+            peak_resident_bytes,
         } = *o;
         self.remote_gets += remote_gets;
         self.remote_puts += remote_puts;
@@ -198,6 +208,9 @@ impl FabricStats {
         self.cq_polls += cq_polls;
         self.doorbell_chained += doorbell_chained;
         self.fenced_verbs += fenced_verbs;
+        // Segments are disjoint host allocations, so the machine-wide
+        // footprint is the sum of the per-worker high-water marks.
+        self.peak_resident_bytes += peak_resident_bytes;
     }
 }
 
@@ -251,7 +264,12 @@ struct CompletionQueue {
 /// The simulated cluster: one segment per worker plus the latency model.
 pub struct Machine {
     pub cfg: MachineConfig,
-    segments: Vec<Segment>,
+    /// Per-worker pinned segments, materialized on first *mutating* touch
+    /// (write, atomic, allocation). Reads of an absent segment report 0 —
+    /// exactly what a freshly calloc'd segment holds — so laziness is
+    /// unobservable to the simulation; it only keeps an idle worker's host
+    /// footprint at O(1) bytes instead of `seg_bytes`.
+    segments: Vec<Option<Segment>>,
     stats: Vec<FabricStats>,
     /// One completion queue per worker (posted verbs not yet reaped).
     cqs: Vec<CompletionQueue>,
@@ -273,13 +291,35 @@ pub struct Machine {
     /// Global termination flag. In a real deployment this is a tiny
     /// RDMA-broadcast epoch counter; idle loops poll it at local cost.
     done: bool,
+    /// Per-rank park watch: `Some` while that worker is parked on a word
+    /// of its own segment (see [`Machine::park_on_own_word`]).
+    parked: Vec<Option<ParkWatch>>,
+    /// Wake instants computed since the engine last drained them.
+    wakeups: Vec<(VTime, WorkerId)>,
+    /// The actor currently stepping and its step-start clock — i.e. the
+    /// engine key `(step_now, step_cur)` of the step every eager memory
+    /// effect belongs to. Recorded by [`Machine::begin_step`]; wake-instant
+    /// computation orders writes against parked pollers by this key.
+    step_cur: WorkerId,
+    step_now: VTime,
+}
+
+/// A worker parked on one word of its own segment instead of re-polling it
+/// every `grid_ns` of virtual time. The watch carries everything needed to
+/// reproduce the abandoned polling loop exactly: the instant of the last
+/// real poll (`since`), the poll period (`grid_ns`), and the fabric charge
+/// (`charge` local ops) each skipped poll would have made.
+#[derive(Clone, Copy, Debug)]
+struct ParkWatch {
+    off: u32,
+    since: VTime,
+    grid_ns: u64,
+    charge: u64,
 }
 
 impl Machine {
     pub fn new(cfg: MachineConfig) -> Machine {
-        let segments = (0..cfg.workers)
-            .map(|_| Segment::new(cfg.seg_bytes, cfg.seg_reserved))
-            .collect();
+        let segments = (0..cfg.workers).map(|_| None).collect();
         let stats = vec![FabricStats::default(); cfg.workers];
         let cqs = (0..cfg.workers).map(|_| CompletionQueue::default()).collect();
         let chain = vec![None; cfg.workers];
@@ -288,6 +328,7 @@ impl Machine {
             .is_active()
             .then(|| Box::new(FaultState::new(cfg.faults.clone(), cfg.workers)));
         let epochs = vec![0; cfg.workers];
+        let parked = vec![None; epochs.len()];
         Machine {
             cfg,
             segments,
@@ -297,6 +338,10 @@ impl Machine {
             faults,
             epochs,
             done: false,
+            parked,
+            wakeups: Vec::new(),
+            step_cur: 0,
+            step_now: VTime::ZERO,
         }
     }
 
@@ -337,6 +382,32 @@ impl Machine {
     #[inline]
     pub fn topology(&self) -> &Topology {
         &self.cfg.topology
+    }
+
+    // ------------------------------------------------------------------
+    // Lazy segment materialization
+    // ------------------------------------------------------------------
+
+    /// Read a word of `rank`'s segment without materializing it: an absent
+    /// segment is indistinguishable from an all-zero one.
+    #[inline]
+    fn seg_read(&self, rank: usize, off: u32) -> u64 {
+        self.segments[rank].as_ref().map_or(0, |s| s.read(off))
+    }
+
+    /// The segment backing `rank`, materialized on first mutating touch.
+    /// Materialization is pure host-side bookkeeping (a fresh segment is
+    /// all-zero, exactly what [`Machine::seg_read`] reported while it was
+    /// absent) and costs only the page table — backing pages materialize
+    /// one by one as words are written (see [`crate::mem::Segment`]), and
+    /// [`Machine::note_word_write`] keeps the resident stat in step.
+    #[inline]
+    fn seg_mut(&mut self, rank: usize) -> &mut Segment {
+        let slot = &mut self.segments[rank];
+        if slot.is_none() {
+            *slot = Some(Segment::new(self.cfg.seg_bytes, self.cfg.seg_reserved));
+        }
+        slot.as_mut().expect("just materialized")
     }
 
     // ------------------------------------------------------------------
@@ -403,11 +474,15 @@ impl Machine {
         }
     }
 
-    /// Record the issuing worker's clock at the top of its step so fault
-    /// windows (crash, degraded NIC) are evaluated against the right virtual
-    /// instant. No-op when faults are disabled.
+    /// Record the issuing worker's clock at the top of its step: the
+    /// `(now, me)` engine key orders this step's eager memory effects
+    /// against parked pollers (see [`Machine::park_on_own_word`]), and
+    /// fault windows (crash, degraded NIC) are evaluated against the right
+    /// virtual instant.
     #[inline]
     pub fn begin_step(&mut self, me: WorkerId, now: VTime) {
+        self.step_cur = me;
+        self.step_now = now;
         if let Some(fs) = self.faults.as_mut() {
             fs.begin_step(me, now);
         }
@@ -483,6 +558,19 @@ impl Machine {
         self.faults
             .as_ref()
             .is_some_and(|fs| fs.confirmed_dead(worker, now))
+    }
+
+    /// Advance `cursor` through the detector's candidate feed up to `now`,
+    /// appending the id of every worker whose [`Machine::confirmed_dead`]
+    /// status may have changed since the cursor's last position (see
+    /// [`crate::fault::FaultState::death_candidates`]). Consumers re-check
+    /// only the returned workers instead of scanning the whole registry —
+    /// O(status changes) per run, not O(workers) per poll. No-op (and
+    /// `out` stays empty) without a fault plan.
+    pub fn death_candidates(&mut self, cursor: &mut usize, now: VTime, out: &mut Vec<WorkerId>) {
+        if let Some(fs) = &mut self.faults {
+            fs.death_candidates(cursor, now, out);
+        }
     }
 
     /// Has `worker` published a heartbeat strictly after `since` that is
@@ -627,7 +715,7 @@ impl Machine {
 
     /// Post `get v ← L` of the paper's pseudocode: one-sided small read.
     pub fn post_get_u64(&mut self, me: WorkerId, addr: GlobalAddr, at: VTime) -> VerbHandle {
-        let v = self.segments[addr.rank as usize].read(addr.off);
+        let v = self.seg_read(addr.rank as usize, addr.off);
         let cost = if self.is_local(me, addr) {
             self.stats[me].local_ops += 1;
             self.lat().local()
@@ -652,10 +740,9 @@ impl Machine {
         addr: GlobalAddr,
         at: VTime,
     ) -> ([u64; N], VerbHandle) {
-        let seg = &self.segments[addr.rank as usize];
         let mut vals = [0u64; N];
         for (i, v) in vals.iter_mut().enumerate() {
-            *v = seg.read(addr.off + i as u32 * crate::WORD);
+            *v = self.seg_read(addr.rank as usize, addr.off + i as u32 * crate::WORD);
         }
         let cost = if self.is_local(me, addr) {
             self.stats[me].local_ops += 1;
@@ -672,7 +759,8 @@ impl Machine {
 
     /// Post `put L ← v`: one-sided small write, signaled.
     pub fn post_put_u64(&mut self, me: WorkerId, addr: GlobalAddr, v: u64, at: VTime) -> VerbHandle {
-        self.segments[addr.rank as usize].write(addr.off, v);
+        self.seg_mut(addr.rank as usize).write(addr.off, v);
+        self.note_word_write(addr.rank as usize, addr.off);
         let cost = if self.is_local(me, addr) {
             self.stats[me].local_ops += 1;
             self.lat().local()
@@ -692,7 +780,8 @@ impl Machine {
     /// non-blocking communication, and by protocol writes that ride an
     /// already-charged packet window.
     pub fn post_put_u64_unsignaled(&mut self, me: WorkerId, addr: GlobalAddr, v: u64) -> VTime {
-        self.segments[addr.rank as usize].write(addr.off, v);
+        self.seg_mut(addr.rank as usize).write(addr.off, v);
+        self.note_word_write(addr.rank as usize, addr.off);
         self.note_unsignaled_depth(me);
         if self.is_local(me, addr) {
             self.stats[me].local_ops += 1;
@@ -735,7 +824,8 @@ impl Machine {
         add: u64,
         at: VTime,
     ) -> VerbHandle {
-        let v = self.segments[addr.rank as usize].fetch_add(addr.off, add);
+        let v = self.seg_mut(addr.rank as usize).fetch_add(addr.off, add);
+        self.note_word_write(addr.rank as usize, addr.off);
         let cost = if self.is_local(me, addr) {
             // Local atomics still cost a little more than plain accesses.
             self.stats[me].local_ops += 1;
@@ -758,7 +848,11 @@ impl Machine {
         new: u64,
         at: VTime,
     ) -> VerbHandle {
-        let v = self.segments[addr.rank as usize].cas(addr.off, expect, new);
+        let v = self.seg_mut(addr.rank as usize).cas(addr.off, expect, new);
+        if v == expect {
+            // Only a successful CAS writes the word.
+            self.note_word_write(addr.rank as usize, addr.off);
+        }
         let cost = if self.is_local(me, addr) {
             self.stats[me].local_ops += 1;
             self.lat().local()
@@ -927,14 +1021,15 @@ impl Machine {
     #[inline]
     pub fn read_own(&self, me: WorkerId, addr: GlobalAddr) -> u64 {
         debug_assert_eq!(addr.rank as usize, me, "read_own must be owner-local");
-        self.segments[addr.rank as usize].read(addr.off)
+        self.seg_read(addr.rank as usize, addr.off)
     }
 
     /// Owner-side word write, free of charge (see [`Machine::read_own`]).
     #[inline]
     pub fn write_own(&mut self, me: WorkerId, addr: GlobalAddr, v: u64) {
         debug_assert_eq!(addr.rank as usize, me, "write_own must be owner-local");
-        self.segments[addr.rank as usize].write(addr.off, v);
+        self.seg_mut(addr.rank as usize).write(addr.off, v);
+        self.note_word_write(addr.rank as usize, addr.off);
     }
 
     /// Charge a full user-level context switch (suspend/restore or fresh
@@ -965,26 +1060,32 @@ impl Machine {
         VTime::ns(self.lat().msg_handler)
     }
 
-    /// Direct segment access for the *owner* (allocation, static layout).
-    pub fn segment_mut(&mut self, rank: WorkerId) -> &mut Segment {
-        &mut self.segments[rank]
+    /// Cost-free host-side word write (setup phase), the mutating mirror of
+    /// [`Machine::peek_word`]. Goes through the same write path as the
+    /// fabric verbs so page residency accounting (and parked-worker wakes)
+    /// stay exact.
+    pub fn poke_word(&mut self, addr: GlobalAddr, v: u64) {
+        self.seg_mut(addr.rank as usize).write(addr.off, v);
+        self.note_word_write(addr.rank as usize, addr.off);
     }
 
-    pub fn segment(&self, rank: WorkerId) -> &Segment {
-        &self.segments[rank]
+    /// Cost-free host-side word read (setup / verification), valid whether
+    /// or not the segment has been materialized.
+    pub fn peek_word(&self, addr: GlobalAddr) -> u64 {
+        self.seg_read(addr.rank as usize, addr.off)
     }
 
     /// Allocate a zeroed record in `rank`'s segment (owner-side allocation;
     /// thread entries are always allocated where the thread is spawned).
     pub fn alloc(&mut self, rank: WorkerId, bytes: u32) -> GlobalAddr {
-        let off = self.segments[rank].alloc(bytes);
+        let off = self.seg_mut(rank).alloc(bytes);
         GlobalAddr::new(rank, off)
     }
 
     /// Free a record in its owner's segment. Only the owner calls this
     /// directly; remote frees go through the `remote_free` protocols.
     pub fn free(&mut self, addr: GlobalAddr, bytes: u32) {
-        self.segments[addr.rank as usize].free(addr.off, bytes);
+        self.seg_mut(addr.rank as usize).free(addr.off, bytes);
     }
 
     pub fn stats(&self, w: WorkerId) -> &FabricStats {
@@ -999,9 +1100,105 @@ impl Machine {
         t
     }
 
-    /// Raise the global termination flag (root task finished).
+    // ------------------------------------------------------------------
+    // Park/wake: host-side fast path for owner-side polling loops
+    // ------------------------------------------------------------------
+
+    /// Park worker `me` (the actor currently stepping) on word `off` of its
+    /// *own* segment instead of re-polling it every `grid` of virtual time.
+    ///
+    /// This is a pure host-side optimization with byte-identical simulated
+    /// behaviour: had the worker kept polling, it would have re-checked the
+    /// word at `now + grid`, `now + 2·grid`, … and each failed check would
+    /// have charged `charge` local ops. When the word is next written (or
+    /// the global done flag raised), [`Machine::wake_parked`] computes the
+    /// first poll instant that observes the write under the engine's
+    /// `(clock, worker)` ordering, credits the skipped polls' local ops,
+    /// and hands the wake instant to the engine — which re-runs the worker
+    /// exactly where the polling loop would have made its first successful
+    /// check. The caller must return [`crate::engine::Step::Park`] for the
+    /// current step.
+    ///
+    /// The wake-instant computation assumes minimum-key scheduling, so
+    /// callers must not park under schedule exploration, and it reproduces
+    /// the abandoned loop only if every skipped poll would have been a
+    /// no-op apart from its `charge` — callers gate on that (no fault
+    /// plan, no watchdog).
+    pub fn park_on_own_word(&mut self, me: WorkerId, off: u32, grid: VTime, charge: u64) {
+        debug_assert_eq!(me, self.step_cur, "only the stepping worker can park");
+        debug_assert!(self.parked[me].is_none(), "double park");
+        self.parked[me] = Some(ParkWatch {
+            off,
+            since: self.step_now,
+            grid_ns: grid.as_ns().max(1),
+            charge,
+        });
+    }
+
+    /// Wake the worker parked on `rank`: compute the first of its abandoned
+    /// poll instants that observes the current step's effects, credit the
+    /// polls skipped before it, and queue the wake for the engine.
+    ///
+    /// A poll at `(s, rank)` observes an effect of the step `(T, writer)`
+    /// iff `(s, rank) > (T, writer)` in engine key order — effects are
+    /// eager, so everything a step writes is visible to every later step.
+    fn wake_parked(&mut self, rank: usize) {
+        let w = self.parked[rank].take().expect("wake of an unparked worker");
+        let d = self.step_now.as_ns() - w.since.as_ns();
+        let g = w.grid_ns;
+        let (j0, rem) = (d / g, d % g);
+        // First poll index j ≥ 1 with (since + j·g, rank) > (step_now, cur);
+        // on an exact grid hit the worker-id tiebreak decides.
+        let j = if rem != 0 {
+            j0 + 1
+        } else if j0 >= 1 && rank > self.step_cur {
+            j0
+        } else {
+            j0 + 1
+        };
+        // The polls at since + g, …, since + (j−1)·g were skipped; each
+        // would have charged `charge` local ops and nothing else.
+        self.stats[rank].local_ops += (j - 1) * w.charge;
+        self.wakeups
+            .push((VTime::ns(w.since.as_ns() + j * g), rank));
+    }
+
+    /// A word of `rank`'s segment was just written; wake `rank` if it is
+    /// parked on exactly that word. Spurious wakes (the write did not
+    /// change what the poller checks) are safe: the woken poll re-runs at
+    /// an instant the abandoned loop would have polled anyway, fails, and
+    /// re-parks on the same grid.
+    #[inline]
+    fn note_word_write(&mut self, rank: usize, off: u32) {
+        // The write may have materialized a backing page of `rank`'s
+        // segment; residency is monotone, so current == peak.
+        let r = self.segments[rank].as_ref().map_or(0, |s| s.resident_bytes());
+        if r > self.stats[rank].peak_resident_bytes {
+            self.stats[rank].peak_resident_bytes = r;
+        }
+        if let Some(w) = &self.parked[rank] {
+            if w.off == off {
+                self.wake_parked(rank);
+            }
+        }
+    }
+
+    /// Move the pending wake instants into `out` (engine waker hook).
+    pub fn take_wakeups(&mut self, out: &mut Vec<(VTime, WorkerId)>) {
+        out.append(&mut self.wakeups);
+    }
+
+    /// Raise the global termination flag (root task finished). Parked
+    /// pollers re-check the flag on every poll, so wake them all; each
+    /// re-runs its poll at the first instant the flag is visible to it
+    /// (same engine-order rule as a word write).
     pub fn set_done(&mut self) {
         self.done = true;
+        for r in 0..self.parked.len() {
+            if self.parked[r].is_some() {
+                self.wake_parked(r);
+            }
+        }
     }
 
     #[inline]
@@ -1039,6 +1236,7 @@ mod tests {
             cq_polls: 13,
             doorbell_chained: 14,
             fenced_verbs: 15,
+            peak_resident_bytes: 16,
         };
         let b = FabricStats {
             remote_gets: 100,
@@ -1056,6 +1254,7 @@ mod tests {
             cq_polls: 1300,
             doorbell_chained: 1400,
             fenced_verbs: 1500,
+            peak_resident_bytes: 1600,
         };
         a.merge(&b);
         assert_eq!(a.remote_gets, 101);
@@ -1075,6 +1274,8 @@ mod tests {
         assert_eq!(a.cq_polls, 1313);
         assert_eq!(a.doorbell_chained, 1414);
         assert_eq!(a.fenced_verbs, 1515);
+        // Segments are disjoint host memory: footprints sum across workers.
+        assert_eq!(a.peak_resident_bytes, 1616);
         assert_eq!(a.remote_total(), 101 + 202 + 303);
         // And max_inflight keeps the larger side when it is the accumulator.
         let mut c = FabricStats { max_inflight: 9000, ..FabricStats::default() };
@@ -1377,6 +1578,41 @@ mod tests {
         assert_eq!(nb_c, nb_p);
         assert_eq!(chained.stats(0).doorbell_chained, 2, "ridership still counted");
         assert_eq!(plain.stats(0).doorbell_chained, 0);
+    }
+
+    #[test]
+    fn segments_materialize_lazily_and_report_resident_bytes() {
+        let mut m = machine(4);
+        assert_eq!(m.stats_total().peak_resident_bytes, 0, "nothing touched yet");
+        // Remote reads of an absent segment report zero and stay free.
+        let a3 = GlobalAddr::new(3, 0);
+        let (v, _) = m.get_u64(0, a3);
+        assert_eq!(v, 0);
+        assert_eq!(m.stats_total().peak_resident_bytes, 0, "reads do not materialize");
+        assert_eq!(m.read_own(3, a3), 0);
+        // A non-zero write materializes exactly one page of the target's
+        // segment, regardless of the configured capacity.
+        let a1 = GlobalAddr::new(1, 0);
+        m.put_u64(0, a1, 7);
+        let page = crate::mem::PAGE_BYTES as u64;
+        assert_eq!(m.stats(1).peak_resident_bytes, page);
+        assert_eq!(m.stats(0).peak_resident_bytes, 0, "issuer untouched");
+        assert_eq!(m.stats_total().peak_resident_bytes, page);
+        // Allocation alone writes only zeroes — no backing page yet; the
+        // record costs its page when first really written.
+        let r = m.alloc(2, 8);
+        assert_eq!(m.stats(2).peak_resident_bytes, 0);
+        m.put_u64(2, r, 1);
+        assert_eq!(m.stats(2).peak_resident_bytes, page);
+        // Re-touching an already-resident page is idempotent.
+        m.put_u64(0, a1, 8);
+        assert_eq!(m.stats_total().peak_resident_bytes, 2 * page);
+        // A write far into the same segment costs one more page.
+        m.put_u64(0, GlobalAddr::new(1, 32 * 1024), 9);
+        assert_eq!(m.stats(1).peak_resident_bytes, 2 * page);
+        // The lazily materialized segment behaves like an eager one.
+        let (v, _) = m.get_u64(3, a1);
+        assert_eq!(v, 8);
     }
 
     #[test]

@@ -20,10 +20,11 @@ pub struct Mailbox<M> {
 impl<M> Mailbox<M> {
     pub fn new(workers: usize) -> Mailbox<M> {
         Mailbox {
-            // Pre-sized so the first bursts of steal traffic don't grow the
-            // ring; a VecDeque never shrinks, so after warm-up the queue is
-            // allocation-free regardless.
-            queues: (0..workers).map(|_| VecDeque::with_capacity(32)).collect(),
+            // Unallocated until a worker actually receives a message: an
+            // empty VecDeque holds no heap buffer, so a 100k-worker mailbox
+            // costs per-queue headers only. A VecDeque never shrinks, so
+            // after warm-up each active queue is allocation-free anyway.
+            queues: (0..workers).map(|_| VecDeque::new()).collect(),
         }
     }
 

@@ -20,8 +20,7 @@
 //! segregated free list is good at, and it keeps allocation O(1) and
 //! deterministic.
 
-use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Bytes per memory word.
@@ -178,49 +177,21 @@ fn round_up(bytes: u32) -> u32 {
     bytes.div_ceil(WORD) * WORD
 }
 
-/// Per-thread recycling pool for segment backing buffers.
-///
-/// Segments are typically sized at tens of MiB and a sweep executes many
-/// thousands of runs, each creating one segment per simulated worker — the
-/// dominant host-side allocation of the whole harness. Instead of returning
-/// each buffer to the OS on drop (and re-faulting every touched page on the
-/// next run), dropped buffers have their *dirty prefix* zeroed and are kept
-/// for reuse.
-///
-/// Invariant: every pooled buffer is all-zero, so a recycled buffer is
-/// indistinguishable from a freshly calloc'd one — pooling cannot change
-/// any simulation result. The dirty prefix is exactly `[0, alloc.bump)`:
-/// the allocator only hands out offsets below its bump pointer and the
-/// statically reserved region sits below the initial bump, so no write can
-/// land past it.
-///
-/// The pool is thread-local (a run lives entirely on one host thread, see
-/// `dcs-bench`'s sweep harness) and bounded per size class.
-const POOL_PER_CLASS: usize = 256;
+/// Bytes per backing page of a segment. Segments are *page-granular* on the
+/// host: the configured capacity is only an address-space bound, and a page
+/// of backing memory is allocated the first time a non-zero word is written
+/// into it. A 64 MiB segment whose run only ever touches its deque control
+/// words and a handful of thread entries costs a few KiB of host memory —
+/// the whole-machine footprint is O(touched pages), not
+/// O(workers × seg_bytes).
+pub const PAGE_BYTES: u32 = 4096;
 
-thread_local! {
-    static SEG_POOL: RefCell<HashMap<usize, Vec<Vec<u64>>>> = RefCell::new(HashMap::new());
-}
+/// Words per backing page.
+const PAGE_WORDS: usize = (PAGE_BYTES / WORD) as usize;
 
-fn pool_take(words: usize) -> Vec<u64> {
-    SEG_POOL
-        .with(|p| p.borrow_mut().get_mut(&words).and_then(Vec::pop))
-        .unwrap_or_else(|| vec![0; words])
-}
-
-fn pool_put(mut buf: Vec<u64>, dirty_words: usize) {
-    if buf.is_empty() {
-        return; // moved-out segment (or zero-capacity): nothing to keep
-    }
-    let dirty = dirty_words.min(buf.len());
-    buf[..dirty].fill(0);
-    SEG_POOL.with(|p| {
-        let mut pool = p.borrow_mut();
-        let class = pool.entry(buf.len()).or_default();
-        if class.len() < POOL_PER_CLASS {
-            class.push(buf);
-        }
-    });
+fn zero_page() -> Box<[u64]> {
+    // `vec![0; _]` lowers to a zeroed allocation; no 4 KiB stack round-trip.
+    vec![0u64; PAGE_WORDS].into_boxed_slice()
 }
 
 /// One worker's pinned memory window.
@@ -228,14 +199,20 @@ fn pool_put(mut buf: Vec<u64>, dirty_words: usize) {
 /// The first `reserved` bytes are statically laid out by the runtime (deque
 /// control words + ring buffer); the rest is managed by the embedded
 /// allocator for dynamically created remote objects (thread entries, saved
-/// contexts).
+/// contexts). Backing storage is a page table of lazily materialized 4 KiB
+/// pages (see [`PAGE_BYTES`]): an absent page reads as zero, and writing a
+/// zero to an absent page is a no-op — so a fresh segment, a fresh page and
+/// a never-written word are all indistinguishable, and laziness cannot
+/// change any simulation result.
 pub struct Segment {
-    words: Vec<u64>,
+    /// `cap / PAGE_BYTES` slots (rounded up); `None` until the page's first
+    /// non-zero write.
+    pages: Vec<Option<Box<[u64]>>>,
     alloc: SegAlloc,
-    /// High-water mark (in words) of raw writes, which may land above the
-    /// allocator bump pointer (one-sided verbs need no local allocation).
-    /// Recycling must zero up to here, not just up to `bump`.
-    hw: usize,
+    /// Materialized page count. Monotone: pages are never released while
+    /// the segment lives (a freed record's page stays resident, matching a
+    /// real allocator's behaviour).
+    resident_pages: usize,
 }
 
 impl Segment {
@@ -243,26 +220,50 @@ impl Segment {
         assert_eq!(cap_bytes % WORD, 0);
         let reserved = round_up(reserved_bytes);
         assert!(reserved <= cap_bytes);
+        let n_pages = (cap_bytes as usize).div_ceil(PAGE_BYTES as usize);
         Segment {
-            words: pool_take((cap_bytes / WORD) as usize),
+            pages: (0..n_pages).map(|_| None).collect(),
             alloc: SegAlloc::new(cap_bytes, reserved),
-            hw: 0,
+            resident_pages: 0,
         }
+    }
+
+    /// Host bytes actually backing this segment (materialized pages only;
+    /// the page table itself is one word per page of *capacity*).
+    #[inline]
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_pages as u64 * PAGE_BYTES as u64
     }
 
     #[inline]
     pub fn read(&self, off: u32) -> u64 {
         debug_assert_eq!(off % WORD, 0);
-        self.words[(off / WORD) as usize]
+        let idx = (off / WORD) as usize;
+        match &self.pages[idx / PAGE_WORDS] {
+            Some(p) => p[idx % PAGE_WORDS],
+            None => 0,
+        }
     }
 
     #[inline]
     pub fn write(&mut self, off: u32, v: u64) {
         debug_assert_eq!(off % WORD, 0);
+        debug_assert!(off < self.alloc.cap, "write past segment capacity");
         let idx = (off / WORD) as usize;
-        self.words[idx] = v;
-        if idx >= self.hw {
-            self.hw = idx + 1;
+        let slot = &mut self.pages[idx / PAGE_WORDS];
+        match slot {
+            Some(p) => p[idx % PAGE_WORDS] = v,
+            None => {
+                // An absent page already reads as zero: only a non-zero
+                // write needs backing. This keeps record-zeroing on alloc
+                // (and protocol writes of 0 / NULL) free of host memory.
+                if v != 0 {
+                    let mut p = zero_page();
+                    p[idx % PAGE_WORDS] = v;
+                    *slot = Some(p);
+                    self.resident_pages += 1;
+                }
+            }
         }
     }
 
@@ -299,16 +300,6 @@ impl Segment {
 
     pub fn alloc_stats(&self) -> SegStats {
         self.alloc.stats()
-    }
-}
-
-impl Drop for Segment {
-    fn drop(&mut self) {
-        let buf = std::mem::take(&mut self.words);
-        // Allocator-managed words sit below the bump pointer; raw verb
-        // writes may sit above it — zero out to whichever is higher.
-        let dirty = ((self.alloc.bump / WORD) as usize).max(self.hw);
-        pool_put(buf, dirty);
     }
 }
 
@@ -383,30 +374,47 @@ mod tests {
         let _ = s.alloc(128);
     }
 
-    /// A dropped segment's buffer comes back through the thread-local pool
-    /// with every previously dirtied word zeroed — a recycled segment must
-    /// be indistinguishable from a fresh one.
+    /// Pages materialize only on the first *non-zero* write; reads and
+    /// zero writes are free, and host cost tracks touched pages, not
+    /// capacity.
     #[test]
-    fn recycled_segment_is_all_zero() {
-        // An odd capacity no other test uses, so this class is ours alone.
-        let cap = 81 * 1024 * 8;
-        let mut dirtied = Vec::new();
-        {
-            let mut s = Segment::new(cap, 128);
-            s.write(0, u64::MAX); // reserved region
-            for _ in 0..100 {
-                let off = s.alloc(56);
-                s.write(off, 0xDEAD_BEEF);
-                s.write(off + 48, 0xF00D);
-                dirtied.push(off);
-            }
-        } // drop → pooled
-        let s = Segment::new(cap, 128);
-        assert_eq!(s.read(0), 0);
-        for off in dirtied {
-            for i in 0..7 {
-                assert_eq!(s.read(off + i * WORD), 0, "stale word at {off}+{i}");
-            }
+    fn pages_materialize_on_first_nonzero_write() {
+        let far = 512 * 1024; // well past the first page of a 1 MiB segment
+        let mut s = Segment::new(1 << 20, 128);
+        assert_eq!(s.resident_bytes(), 0);
+        assert_eq!(s.read(far), 0, "absent page reads as zero");
+        s.write(far, 0);
+        assert_eq!(s.resident_bytes(), 0, "zero write needs no backing");
+        s.write(far, 7);
+        assert_eq!(s.resident_bytes(), PAGE_BYTES as u64);
+        assert_eq!(s.read(far), 7);
+        // Same page: free. Distant page: one more page, regardless of the
+        // untouched span in between.
+        s.write(far + 8, 9);
+        assert_eq!(s.resident_bytes(), PAGE_BYTES as u64);
+        s.write(0, 1);
+        assert_eq!(s.resident_bytes(), 2 * PAGE_BYTES as u64);
+        // Overwriting with zero keeps the page (residency is monotone) and
+        // the value round-trips.
+        s.write(far, 0);
+        assert_eq!(s.read(far), 0);
+        assert_eq!(s.read(far + 8), 9);
+        assert_eq!(s.resident_bytes(), 2 * PAGE_BYTES as u64);
+    }
+
+    /// The allocator's zeroing of recycled records really clears stale data
+    /// on materialized pages (the zero-skip applies only to absent pages).
+    #[test]
+    fn realloc_on_materialized_page_is_zeroed() {
+        let mut s = Segment::new(1 << 16, 0);
+        let a = s.alloc(24);
+        s.write(a, u64::MAX);
+        s.write(a + 16, u64::MAX);
+        s.free(a, 24);
+        let b = s.alloc(24);
+        assert_eq!(b, a);
+        for i in 0..3 {
+            assert_eq!(s.read(b + i * WORD), 0, "stale word at field {i}");
         }
     }
 

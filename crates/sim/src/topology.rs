@@ -28,12 +28,16 @@ pub enum Topology {
     Hierarchical { node_size: usize, intra_factor: f64 },
     /// Nodes of `node_size` workers arranged in an `x × y × z` mesh;
     /// latency scales with Manhattan hop count: `1 + hop_factor·(hops − 1)`
-    /// for inter-node pairs, `intra_factor` within a node.
+    /// for inter-node pairs, `intra_factor` within a node. With `torus`,
+    /// each dimension wraps around (Wisteria-O's Tofu-D is a 6-D *torus*,
+    /// not an open mesh): the per-dimension hop count is
+    /// `min(|Δ|, dim − |Δ|)`.
     Mesh3d {
         node_size: usize,
         dims: (usize, usize, usize),
         intra_factor: f64,
         hop_factor: f64,
+        torus: bool,
     },
 }
 
@@ -51,6 +55,28 @@ impl Topology {
             dims: (x, y, z),
             intra_factor: 0.3,
             hop_factor: 0.08,
+            torus: false,
+        }
+    }
+
+    /// [`Self::cubish_mesh`] with torus wraparound in every dimension —
+    /// the Tofu-D-faithful variant used by the worker-scaling sweeps.
+    pub fn cubish_torus(workers: usize, node_size: usize) -> Topology {
+        match Self::cubish_mesh(workers, node_size) {
+            Topology::Mesh3d {
+                node_size,
+                dims,
+                intra_factor,
+                hop_factor,
+                ..
+            } => Topology::Mesh3d {
+                node_size,
+                dims,
+                intra_factor,
+                hop_factor,
+                torus: true,
+            },
+            other => other,
         }
     }
 
@@ -102,6 +128,7 @@ impl Topology {
                 dims,
                 intra_factor,
                 hop_factor,
+                torus,
             } => {
                 let (na, nb) = (a / node_size, b / node_size);
                 if na == nb {
@@ -109,7 +136,16 @@ impl Topology {
                 }
                 let ca = Self::mesh_coords(na, dims);
                 let cb = Self::mesh_coords(nb, dims);
-                let hops = ca.0.abs_diff(cb.0) + ca.1.abs_diff(cb.1) + ca.2.abs_diff(cb.2);
+                let axis = |d: usize, len: usize| {
+                    if torus {
+                        d.min(len - d)
+                    } else {
+                        d
+                    }
+                };
+                let hops = axis(ca.0.abs_diff(cb.0), dims.0)
+                    + axis(ca.1.abs_diff(cb.1), dims.1)
+                    + axis(ca.2.abs_diff(cb.2), dims.2);
                 1.0 + hop_factor * hops.saturating_sub(1) as f64
             }
         }
@@ -147,6 +183,7 @@ mod tests {
             dims: (3, 3, 3),
             intra_factor: 0.3,
             hop_factor: 0.1,
+            torus: false,
         };
         // Workers 0,1 on node 0 at (0,0,0); workers 4,5 on node 2 at (2,0,0).
         assert_eq!(t.factor(0, 1), 0.3);
@@ -175,6 +212,52 @@ mod tests {
         let t = Topology::cubish_mesh(256, 8);
         for (a, b) in [(0usize, 255usize), (3, 77), (12, 200)] {
             assert!((t.factor(a, b) - t.factor(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn torus_wraps_each_dimension() {
+        let mesh = Topology::Mesh3d {
+            node_size: 1,
+            dims: (5, 4, 3),
+            intra_factor: 0.3,
+            hop_factor: 0.1,
+            torus: false,
+        };
+        let torus = Topology::Mesh3d {
+            node_size: 1,
+            dims: (5, 4, 3),
+            intra_factor: 0.3,
+            hop_factor: 0.1,
+            torus: true,
+        };
+        // Node 0 at (0,0,0) vs node 4 at (4,0,0): 4 mesh hops, but the x
+        // wraparound link makes it 1 torus hop.
+        assert!((mesh.factor(0, 4) - 1.3).abs() < 1e-9);
+        assert!((torus.factor(0, 4) - 1.0).abs() < 1e-9);
+        // (0,0,0) vs (4,3,2): mesh 4+3+2 = 9 hops; torus 1+1+1 = 3 hops.
+        let far = 4 + 3 * 5 + 2 * 20;
+        assert!((mesh.factor(0, far) - 1.8).abs() < 1e-9);
+        assert!((torus.factor(0, far) - 1.2).abs() < 1e-9);
+        // Distances at or below half the ring are unchanged by wrapping.
+        assert_eq!(mesh.factor(0, 2), torus.factor(0, 2));
+        assert_eq!(mesh.factor(0, 1), torus.factor(0, 1));
+        // Intra-node discount is topology-independent.
+        let t2 = Topology::cubish_torus(64, 4);
+        assert_eq!(t2.factor(0, 3), 0.3);
+    }
+
+    #[test]
+    fn torus_factor_is_symmetric() {
+        let t = Topology::cubish_torus(256, 8);
+        assert!(matches!(t, Topology::Mesh3d { torus: true, .. }));
+        for (a, b) in [(0usize, 255usize), (3, 77), (12, 200), (9, 250)] {
+            assert!((t.factor(a, b) - t.factor(b, a)).abs() < 1e-12);
+        }
+        // Wrapping can only shorten paths, never lengthen them.
+        let open = Topology::cubish_mesh(256, 8);
+        for (a, b) in [(0usize, 255usize), (3, 77), (12, 200), (9, 250)] {
+            assert!(t.factor(a, b) <= open.factor(a, b) + 1e-12);
         }
     }
 }

@@ -65,6 +65,7 @@ fn reference_run(mut actors: Vec<Scripted>) -> (Trace, VTime, u64, Vec<VTime>) {
                 clocks[w] = nt;
                 heap.push(Reverse((nt, w)));
             }
+            Step::Park => unreachable!("scripted actors never park"),
             Step::Halt => {
                 clocks[w] = t;
                 end = end.max(t);
@@ -114,6 +115,191 @@ proptest! {
     fn single_actor_all_fast_path(script in proptest::collection::vec(0u64..50, 0..64)) {
         assert_equivalent(vec![script]);
     }
+}
+
+// ---------------------------------------------------------------------
+// Park/wake: parking a polling actor is unobservable
+// ---------------------------------------------------------------------
+
+/// World for the park/wake tests: a release event, the park registry, and
+/// the wake pipe the engine drains after every step.
+struct PWorld {
+    trace: Trace,
+    /// Engine key `(clock, worker)` of the releasing step, once it ran.
+    release: Option<(VTime, WorkerId)>,
+    /// `(since, worker)` of the parked poller, if any.
+    park: Option<(VTime, WorkerId)>,
+    wakeups: Vec<(VTime, WorkerId)>,
+    /// Poll period in ns.
+    grid: u64,
+}
+
+/// A poll at `(now, me)` observes the release iff the releasing step ran
+/// strictly before it in engine key order (effects are eager).
+fn sees(release: Option<(VTime, WorkerId)>, now: VTime, me: WorkerId) -> bool {
+    release.is_some_and(|k| k < (now, me))
+}
+
+#[derive(Clone)]
+enum Role {
+    /// Yields `delay` once, then "releases" on its second step and halts.
+    Writer { delay: u64, fired: bool },
+    /// Polls every `grid` ns until the release is visible, then halts.
+    Spinner,
+    /// Like `Spinner`, but parks instead of re-polling; the writer's
+    /// release wakes it at the first poll instant that observes the
+    /// release — the same rule `Machine::wake_parked` implements.
+    Parker,
+}
+
+impl Actor<PWorld> for Role {
+    fn step(&mut self, me: WorkerId, now: VTime, w: &mut PWorld) -> Step {
+        w.trace.push((now, me));
+        match self {
+            Role::Writer { delay, fired } => {
+                if !*fired {
+                    *fired = true;
+                    return Step::Yield(VTime::ns(*delay));
+                }
+                w.release = Some((now, me));
+                if let Some((since, p)) = w.park.take() {
+                    let d = now.as_ns() - since.as_ns();
+                    let g = w.grid;
+                    let (j0, rem) = (d / g, d % g);
+                    // First poll index j ≥ 1 with (since + j·g, p) > (now, me).
+                    let j = if rem != 0 {
+                        j0 + 1
+                    } else if j0 >= 1 && p > me {
+                        j0
+                    } else {
+                        j0 + 1
+                    };
+                    w.wakeups.push((VTime::ns(since.as_ns() + j * g), p));
+                }
+                Step::Halt
+            }
+            Role::Spinner => {
+                if sees(w.release, now, me) {
+                    Step::Halt
+                } else {
+                    Step::Yield(VTime::ns(w.grid))
+                }
+            }
+            Role::Parker => {
+                if sees(w.release, now, me) {
+                    Step::Halt
+                } else {
+                    w.park = Some((now, me));
+                    Step::Park
+                }
+            }
+        }
+    }
+}
+
+fn poll_run(actors: Vec<Role>, grid: u64) -> (Trace, VTime, Vec<VTime>) {
+    let n = actors.len();
+    let world = PWorld {
+        trace: Trace::new(),
+        release: None,
+        park: None,
+        wakeups: Vec::new(),
+        grid,
+    };
+    let mut e = Engine::new(world, actors).with_waker(|w, out| out.append(&mut w.wakeups));
+    let r = e.run();
+    let clocks = (0..n).map(|w| e.clock(w)).collect();
+    let (world, _) = e.into_parts();
+    (world.trace, r.end_time, clocks)
+}
+
+/// The parked run must halt every actor at the same virtual instant as the
+/// polling run — its trace is the polling trace minus the skipped re-polls.
+fn assert_park_equivalent(delay: u64, grid: u64, writer_first: bool) {
+    let writer = Role::Writer { delay, fired: false };
+    let (spin_fleet, park_fleet) = if writer_first {
+        (
+            vec![writer.clone(), Role::Spinner],
+            vec![writer, Role::Parker],
+        )
+    } else {
+        (
+            vec![Role::Spinner, writer.clone()],
+            vec![Role::Parker, writer],
+        )
+    };
+    let (st, send, sclocks) = poll_run(spin_fleet, grid);
+    let (pt, pend, pclocks) = poll_run(park_fleet, grid);
+    assert_eq!(
+        send, pend,
+        "end_time diverged (delay={delay} grid={grid} writer_first={writer_first})"
+    );
+    assert_eq!(
+        sclocks, pclocks,
+        "final clocks diverged (delay={delay} grid={grid} writer_first={writer_first})"
+    );
+    // The parked trace is a subsequence of the polling trace (only failed
+    // re-polls are skipped), with identical first and last poller steps.
+    let mut si = st.iter();
+    assert!(
+        pt.iter().all(|e| si.any(|s| s == e)),
+        "parked trace is not a subsequence (delay={delay} grid={grid} writer_first={writer_first})"
+    );
+    assert_eq!(st.last(), pt.last(), "final steps diverged");
+    assert!(pt.len() <= st.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Random release delays (on- and off-grid, both id orders): parking
+    /// the poller never changes end time, final clocks, or the poller's
+    /// wake step — only the number of host steps.
+    #[test]
+    fn park_is_unobservable(delay in 1u64..200, grid in 2u64..12, writer_first in proptest::bool::ANY) {
+        assert_park_equivalent(delay, grid, writer_first);
+    }
+}
+
+/// The exact-grid tie: release lands precisely on a poll instant. Whether
+/// the poll at that instant sees it depends on the worker-id tiebreak.
+#[test]
+fn park_wake_grid_tie_is_exact() {
+    for &grid in &[5u64, 10] {
+        for k in 1..6 {
+            assert_park_equivalent(k * grid, grid, true); // writer id < poller id
+            assert_park_equivalent(k * grid, grid, false); // writer id > poller id
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "still parked")]
+fn lost_wakeup_panics() {
+    // A parker with no writer: the queue drains with it still parked.
+    let world = PWorld {
+        trace: Trace::new(),
+        release: None,
+        park: None,
+        wakeups: Vec::new(),
+        grid: 10,
+    };
+    let mut e = Engine::new(world, vec![Role::Parker]).with_waker(|w, out| out.append(&mut w.wakeups));
+    e.run();
+}
+
+#[test]
+#[should_panic(expected = "requires a waker")]
+fn park_without_waker_panics() {
+    let world = PWorld {
+        trace: Trace::new(),
+        release: None,
+        park: None,
+        wakeups: Vec::new(),
+        grid: 10,
+    };
+    let mut e = Engine::new(world, vec![Role::Parker]);
+    e.run();
 }
 
 #[test]

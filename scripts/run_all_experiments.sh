@@ -36,4 +36,12 @@ for bin in fig6 fig6_protocols table2 fig7 fig8 fig9 table3 fig12 ablate_free ab
     ./target/release/$bin "${JOBS_ARGS[@]}" 2>&1 | tee "results/$bin.txt"
     echo "($(( $(date +%s) - start )) s host time for $bin)"
 done
+
+# Host-side self-benchmark: worker-scaling sweep (1k/10k/100k, the engine
+# O(active) headline) + engine throughput + sweep-harness speedup. Writes
+# BENCH_simperf.json at the repo root (committed trajectory).
+echo "=== running selfbench ==="
+start=$(date +%s)
+./target/release/selfbench "${JOBS_ARGS[@]}" 2>&1 | tee "results/selfbench.txt"
+echo "($(( $(date +%s) - start )) s host time for selfbench)"
 echo "All experiments complete; see results/."

@@ -26,7 +26,7 @@ fn golden_uts_cont_greedy() {
     assert_eq!(r.elapsed, VTime::ns(667_253));
     assert_eq!(r.stats.steals_ok, 13);
     assert_eq!(r.stats.steals_failed, 80);
-    assert_eq!(r.steps, 24_885);
+    assert_eq!(r.steps, 10_970);
 }
 
 #[test]
@@ -34,7 +34,7 @@ fn golden_uts_cont_stalling() {
     let r = uts_run(Policy::ContStalling);
     assert_eq!(r.elapsed, VTime::ns(679_137));
     assert_eq!(r.stats.steals_ok, 13);
-    assert_eq!(r.steps, 25_976);
+    assert_eq!(r.steps, 10_978);
 }
 
 #[test]
@@ -75,7 +75,7 @@ fn golden_uts16_itoa_cont_greedy() {
     assert_eq!(r.stats.steals_ok, 32);
     assert_eq!(r.stats.steals_failed, 532);
     assert_eq!(r.stats.outstanding_joins, 8);
-    assert_eq!(r.steps, 82_685);
+    assert_eq!(r.steps, 11_931);
     assert_eq!(r.threads, 1674);
 }
 
@@ -86,7 +86,7 @@ fn golden_uts16_itoa_cont_stalling() {
     assert_eq!(r.elapsed, VTime::ns(609_913));
     assert_eq!(r.stats.steals_ok, 29);
     assert_eq!(r.stats.steals_failed, 570);
-    assert_eq!(r.steps, 83_125);
+    assert_eq!(r.steps, 12_005);
 }
 
 #[test]
@@ -97,7 +97,7 @@ fn golden_uts16_itoa_child_full() {
     assert_eq!(r.stats.steals_ok, 53);
     assert_eq!(r.stats.steals_failed, 2_922);
     assert_eq!(r.stats.outstanding_joins, 769);
-    assert_eq!(r.steps, 383_082);
+    assert_eq!(r.steps, 19_308);
 }
 
 #[test]
@@ -106,7 +106,7 @@ fn golden_uts16_itoa_child_rtc() {
     assert_eq!(r.result.as_u64(), 3028);
     assert_eq!(r.elapsed, VTime::ns(451_170));
     assert_eq!(r.stats.steals_ok, 34);
-    assert_eq!(r.steps, 80_298);
+    assert_eq!(r.steps, 14_130);
 }
 
 #[test]
